@@ -1,0 +1,85 @@
+// Extension benchmark: heterogeneous GPU pods. Four nodes run at full
+// speed, four at half speed (think A800s next to a previous generation).
+// Gang-synchronous jobs pace at their slowest GPU, so placement quality
+// matters twice: picking the right plan AND keeping a job's GPUs
+// speed-uniform. Rubick's speed-aware node ordering plus reconfigurability
+// is compared against the baselines, and against the same policies on a
+// homogeneous cluster of equal aggregate capacity (6 reference nodes).
+#include <iostream>
+
+#include "baselines/sia.h"
+#include "baselines/synergy.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+using namespace rubick;
+
+namespace {
+
+void run_cluster(const char* label, const ClusterSpec& cluster,
+                 TextTable& table) {
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+  TraceOptions opts;
+  opts.seed = 6;
+  opts.num_jobs = 150;
+  opts.window_s = hours(8);
+  const auto jobs = gen.generate(opts);
+
+  std::vector<std::string> names;
+  for (const auto& m : model_zoo()) names.push_back(m.name);
+  std::map<std::string, double> costs;
+  const PerfModelStore store =
+      PerfModelStore::profile_models(oracle, cluster, names, 0, &costs);
+
+  auto run = [&](auto make_policy, const char* policy_name) {
+    auto policy = make_policy();
+    Simulator sim(cluster, oracle);
+    const SimResult r = sim.run(jobs, *policy, store, costs);
+    table.add_row({label, policy_name,
+                   TextTable::fmt(to_hours(r.avg_jct_s())),
+                   TextTable::fmt(to_hours(r.jct_summary().p99)),
+                   TextTable::fmt(to_hours(r.makespan_s)),
+                   TextTable::fmt(100.0 * r.timeline.average_utilization(),
+                                  0) + "%"});
+  };
+  run([] { return std::make_unique<RubickPolicy>(); }, "Rubick");
+  run([] { return std::make_unique<SiaPolicy>(); }, "Sia");
+  run([] { return std::make_unique<SynergyPolicy>(); }, "Synergy");
+}
+
+}  // namespace
+
+int main() {
+  // Keep the report machine-readable: rare requeue warnings go to the
+  // error log only.
+  set_log_level(LogLevel::kError);
+  std::cout << "=== Extension: heterogeneous GPU pods (4 fast + 4 "
+               "half-speed nodes vs. 6 uniform nodes of equal aggregate "
+               "capacity) ===\n\n";
+
+  TextTable table({"cluster", "scheduler", "avg JCT (h)", "P99 JCT (h)",
+                   "makespan (h)", "avg util"});
+
+  ClusterSpec hetero;
+  hetero.node_speed = {1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5};
+  run_cluster("hetero 4+4", hetero, table);
+
+  ClusterSpec uniform;
+  uniform.num_nodes = 6;  // 4*1.0 + 4*0.5 = 6 node-equivalents
+  run_cluster("uniform 6", uniform, table);
+
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: Rubick stays ahead of the baselines on "
+               "the heterogeneous pod, and\nthe heterogeneity tax (hetero "
+               "vs. equal-capacity uniform) is smaller for Rubick\nbecause "
+               "speed-aware placement avoids pacing whole gangs at the slow "
+               "GPUs.\n";
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Ablation: how much does the performance model's quality matter?
+//
+//   1. Prediction error vs. profiling budget — fit each model from the
+//      first k profiled samples (k = 4 ... all) and measure held-out error.
+//      The paper's claim: ~7 well-chosen points suffice.
+//   2. Online refinement on/off — end-to-end Rubick JCT with and without
+//      §4.3's continuous fitting, plus the refit counts.
+//   3. Scheduling on a deliberately degraded model — Rubick driven by a
+//      model fitted WITHOUT multi-GPU scaling points (the failure mode the
+//      profiler's sampling plan exists to avoid).
+#include <cmath>
+#include <set>
+#include <iostream>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+using namespace rubick;
+
+namespace {
+
+double held_out_error(const GroundTruthOracle& oracle,
+                      const ClusterSpec& cluster, const PerfModel& fitted,
+                      const ModelSpec& model) {
+  MemoryEstimator est;
+  const int batch = model.default_global_batch;
+  double worst = 0.0;
+  for (int g : {1, 2, 4, 8}) {
+    for (const ExecutionPlan& plan :
+         {make_dp(g), make_zero_dp(g, 2), make_zero3(g, 2),
+          make_dp(g, 2, true), make_zero_offload(g, 4)}) {
+      if (!plan.valid_for(model, batch)) continue;
+      if (!est.fits(model, plan, batch, make_memory_budget(cluster, g)))
+        continue;
+      const PerfContext ctx = make_perf_context(cluster, g, 4 * g);
+      const double truth = oracle.true_throughput(model, plan, batch, ctx);
+      const double pred = fitted.predict_throughput(model, plan, batch, ctx);
+      worst = std::max(worst, std::abs(pred - truth) / truth);
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  // Keep the report machine-readable: rare requeue warnings go to the
+  // error log only.
+  set_log_level(LogLevel::kError);
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const Profiler profiler(oracle, cluster);
+  const PerfModelFitter fitter;
+
+  std::cout << "=== Ablation: performance-model quality ===\n\n"
+            << "--- (1) held-out max error vs. profiling budget ---\n";
+  {
+    TextTable table({"model", "k=4 samples", "k=7", "k=9", "all"});
+    for (const char* name : {"BERT", "GPT-2", "T5"}) {
+      const ModelSpec& model = find_model(name);
+      const int batch = model.default_global_batch;
+      auto samples = profiler.choose_samples(model, batch);
+      for (auto& s : samples)
+        s.measured_throughput =
+            oracle.measure_throughput(model, s.plan, s.global_batch, s.ctx);
+      const double fwd = oracle.profiled_fwd_unit_s(model);
+      std::vector<std::string> row = {name};
+      for (std::size_t k : {std::size_t{4}, std::size_t{7}, std::size_t{9},
+                            samples.size()}) {
+        std::vector<PerfSample> subset(
+            samples.begin(),
+            samples.begin() + std::min(k, samples.size()));
+        // The fitter needs >= 3 offload samples to fit offload params; the
+        // profiler front-loads them, so small subsets still qualify.
+        const PerfModel fitted = fitter.fit(model, fwd, subset);
+        row.push_back(
+            TextTable::fmt(100.0 * held_out_error(oracle, cluster, fitted,
+                                                  model)) +
+            "%");
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+  }
+
+  // ---- (2) + (3): end-to-end effect on scheduling quality. ----
+  std::cout << "\n--- (2,3) Rubick end-to-end vs. model quality (120 jobs) "
+               "---\n";
+  {
+    const TraceGenerator gen(cluster, oracle);
+    TraceOptions opts;
+    opts.seed = 9;
+    opts.num_jobs = 120;
+    opts.window_s = hours(6);
+    const auto jobs = gen.generate(opts);
+
+    std::vector<std::string> names;
+    for (const auto& j : jobs) names.push_back(j.model_name);
+    std::map<std::string, double> costs;
+    const PerfModelStore good =
+        PerfModelStore::profile_models(oracle, cluster, names, 0, &costs);
+
+    // Degraded store: fitted from 1-GPU samples only (no scaling points).
+    PerfModelStore degraded;
+    {
+      std::set<std::string> seen;
+      for (const auto& j : jobs) {
+        if (!seen.insert(j.model_name).second) continue;
+        const ModelSpec& model = find_model(j.model_name);
+        const int batch = model.default_global_batch;
+        auto samples = profiler.choose_samples(model, batch);
+        std::vector<PerfSample> small;
+        for (auto& s : samples)
+          if (s.plan.num_gpus() <= 1) small.push_back(s);
+        if (small.empty()) small.push_back(samples.front());
+        for (auto& s : small)
+          s.measured_throughput =
+              oracle.measure_throughput(model, s.plan, s.global_batch, s.ctx);
+        int offload = 0;
+        for (const auto& s : small)
+          if (s.plan.uses_offload()) ++offload;
+        if (offload > 0 && offload < 3) {
+          std::vector<PerfSample> filtered;
+          for (auto& s : small)
+            if (!s.plan.uses_offload()) filtered.push_back(s);
+          if (!filtered.empty()) {
+            small = filtered;
+          } else {
+            // Only offload runs at 1 GPU (large models): pad with CPU
+            // variations so the fitter's 3-offload-run requirement holds.
+            while (small.size() < 3) {
+              PerfSample extra = small.front();
+              extra.ctx.cpus *= 2;
+              extra.measured_throughput = oracle.measure_throughput(
+                  model, extra.plan, extra.global_batch, extra.ctx);
+              small.push_back(extra);
+            }
+          }
+        }
+        degraded.add(
+            fitter.fit(model, oracle.profiled_fwd_unit_s(model), small));
+      }
+    }
+
+    TextTable table({"configuration", "avg JCT (h)", "makespan (h)",
+                     "reconfigs", "online refits"});
+    auto run = [&](const char* label, const PerfModelStore& store,
+                   bool refinement) {
+      SimOptions so;
+      so.online_refinement = refinement;
+      Simulator sim(cluster, oracle, so);
+      RubickPolicy policy;
+      const SimResult r = sim.run(jobs, policy, store, costs);
+      int reconfigs = 0;
+      for (const auto& j : r.jobs) reconfigs += j.reconfig_count;
+      table.add_row({label, TextTable::fmt(to_hours(r.avg_jct_s())),
+                     TextTable::fmt(to_hours(r.makespan_s)),
+                     std::to_string(reconfigs),
+                     std::to_string(r.online_refits)});
+    };
+    run("full profile + refinement", good, true);
+    run("full profile, no refinement", good, false);
+    run("1-GPU-only profile + refinement", degraded, true);
+    run("1-GPU-only profile, no refinement", degraded, false);
+    table.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: error shrinks with budget; the paper's "
+               "~7-point budget is already\nnear the asymptote; a degraded "
+               "model costs JCT, and online refinement claws much of\nit "
+               "back.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation: the Rubick scheduling policy's own design knobs, measured
+// end-to-end on a base trace.
+//
+//   * opportunistic admission on/off — admit guaranteed jobs below minRes
+//     and grow them, vs. strict gang admission at minRes;
+//   * reconfiguration-penalty gate threshold — how aggressively jobs may be
+//     reconfigured ((T - N*delta)/T >= threshold, paper uses 0.97);
+//   * plan-switch margin — required predicted gain before switching plans
+//     at an unchanged placement;
+//   * checkpoint-resume cost delta — flat sweep plus the size-dependent
+//     model (16 bytes/param over a 5 GB/s checkpoint store).
+#include <iostream>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+using namespace rubick;
+
+int main() {
+  // Keep the report machine-readable: rare requeue warnings go to the
+  // error log only.
+  set_log_level(LogLevel::kError);
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+  TraceOptions opts;
+  opts.seed = 2;
+  opts.num_jobs = 200;
+  opts.window_s = hours(10);
+  const auto jobs = gen.generate(opts);
+
+  std::vector<std::string> names;
+  for (const auto& j : jobs) names.push_back(j.model_name);
+  std::map<std::string, double> costs;
+  const PerfModelStore store =
+      PerfModelStore::profile_models(oracle, cluster, names, 0, &costs);
+
+  TextTable table(
+      {"configuration", "avg JCT (h)", "P99 JCT (h)", "makespan (h)",
+       "reconfigs"});
+  auto run = [&](const std::string& label, const RubickConfig& config,
+                 const SimOptions& sim_opts) {
+    Simulator sim(cluster, oracle, sim_opts);
+    RubickPolicy policy(config);
+    const SimResult r = sim.run(jobs, policy, store, costs);
+    int reconfigs = 0;
+    for (const auto& j : r.jobs) reconfigs += j.reconfig_count;
+    table.add_row({label, TextTable::fmt(to_hours(r.avg_jct_s())),
+                   TextTable::fmt(to_hours(r.jct_summary().p99)),
+                   TextTable::fmt(to_hours(r.makespan_s)),
+                   std::to_string(reconfigs)});
+  };
+
+  std::cout << "=== Ablation: Rubick policy knobs (200-job base trace) "
+               "===\n\n";
+
+  run("default", RubickConfig{}, SimOptions{});
+
+  {
+    RubickConfig c;
+    c.opportunistic_admission = false;
+    run("strict minRes admission", c, SimOptions{});
+  }
+  for (double gate : {0.90, 0.99}) {
+    RubickConfig c;
+    c.gate_threshold = gate;
+    run("gate threshold " + TextTable::fmt(gate, 2), c, SimOptions{});
+  }
+  for (double gain : {1.0, 1.25}) {
+    RubickConfig c;
+    c.plan_switch_gain = gain;
+    run("plan-switch margin " + TextTable::fmt(gain, 2), c, SimOptions{});
+  }
+  for (double delta : {0.0, 156.0, 312.0}) {
+    SimOptions so;
+    so.reconfig_penalty_s = delta;
+    run("delta = " + TextTable::fmt(delta, 0) + " s", RubickConfig{}, so);
+  }
+  {
+    SimOptions so;
+    so.size_dependent_reconfig_cost = true;
+    run("size-dependent delta (16B/param @ 5 GB/s)", RubickConfig{}, so);
+  }
+
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: opportunistic admission and the 0.97 gate "
+               "are load-bearing;\nJCT degrades gracefully as the "
+               "checkpoint-resume cost grows (the paper's\n78 s costs ~1% "
+               "of GPU-hours).\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Fig. 8: maximizing throughput across two jobs on a single 4-GPU server.
+// The "simple" scheduler splits GPUs evenly (2+2) — it may reconfigure
+// plans, isolating the allocation policy. Rubick recognizes that T5 gains
+// more from extra GPUs than RoBERTa and allocates 3+1, yielding a higher
+// total normalized speedup. Speedups are normalized per job to its rigid
+// best plan on the full 4-GPU server (as in the paper).
+#include <iostream>
+#include <map>
+
+#include "baselines/equal_share.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/perf_store.h"
+
+using namespace rubick;
+
+int main() {
+  // Keep the report machine-readable: rare requeue warnings go to the
+  // error log only.
+  set_log_level(LogLevel::kError);
+  ClusterSpec cluster;
+  cluster.num_nodes = 1;
+  cluster.node.gpus = 4;
+  const GroundTruthOracle oracle(2025);
+
+  PerfModelStore store =
+      PerfModelStore::profile_models(oracle, cluster, {"RoBERTa", "T5", "ViT"});
+  MemoryEstimator estimator;
+  BestPlanPredictor predictor(cluster, store, estimator);
+  FullPlanSelector all_plans;
+
+  // Per-job baseline: the measured throughput of a rigid, user-default plan
+  // (plain DP) on the full 4-GPU server — "a rigid execution plan on static
+  // resources", as the paper normalizes.
+  auto baseline = [&](const std::string& name) {
+    const ModelSpec& m = find_model(name);
+    const PerfContext ctx = make_perf_context(cluster, 4, 16);
+    return oracle.measure_throughput(m, make_dp(4), m.default_global_batch,
+                                     ctx);
+  };
+
+  auto run_pair = [&](const char* model_a, const char* model_b) {
+    std::map<std::string, double> base_thr = {{model_a, baseline(model_a)},
+                                              {model_b, baseline(model_b)}};
+    std::vector<JobSpec> specs(2);
+    specs[0].id = 0;
+    specs[0].model_name = model_a;
+    specs[1].id = 1;
+    specs[1].model_name = model_b;
+    for (auto& s : specs) {
+      const ModelSpec& m = find_model(s.model_name);
+      s.global_batch = m.default_global_batch;
+      s.requested = ResourceVector{4, 16, 0};
+      s.initial_plan = make_dp(4);
+      s.target_samples = 1e9;
+      s.guaranteed = false;  // pure throughput comparison, no SLA floor
+    }
+
+    TextTable table({"scheduler", "job", "GPUs", "plan", "speedup"});
+    auto evaluate = [&](SchedulerPolicy& policy) {
+      SchedulerInput in;
+      in.cluster = cluster;
+      in.models = &store;
+      in.estimator = &estimator;
+      for (auto& s : specs) {
+        JobView v;
+        v.spec = &s;
+        v.plan = s.initial_plan;
+        v.remaining_samples = s.target_samples;
+        in.jobs.push_back(v);
+      }
+      const auto assignments = policy.schedule(in);
+      double total = 0.0;
+      for (const auto& a : assignments) {
+        const JobSpec& s = specs[static_cast<std::size_t>(a.job_id)];
+        const ModelSpec& m = find_model(s.model_name);
+        const PerfContext ctx = make_perf_context(cluster, a.placement);
+        const double thr =
+            oracle.measure_throughput(m, a.plan, s.global_batch, ctx);
+        const double speedup = thr / base_thr[s.model_name];
+        total += speedup;
+        table.add_row({policy.name(), s.model_name,
+                       std::to_string(a.placement.total_gpus()),
+                       a.plan.display_name(), TextTable::fmt(speedup)});
+      }
+      table.add_row({policy.name(), "TOTAL (avg)", "-", "-",
+                     TextTable::fmt(total / 2.0)});
+    };
+    std::cout << "--- " << model_a << " + " << model_b << " ---\n";
+    EqualSharePolicy equal;
+    RubickPolicy rubick;
+    evaluate(equal);
+    evaluate(rubick);
+    table.print(std::cout);
+    std::cout << "\n";
+  };
+
+  std::cout << "=== Fig. 8: throughput maximization across two jobs on one "
+               "4-GPU server ===\n(speedup normalized to each job's rigid "
+               "DP plan on 4 GPUs)\n\n";
+
+  // The paper's pair. Under this repo's calibration both jobs have similar
+  // GPU sensitivity, so Rubick's and the equal split coincide — the
+  // interesting asymmetric case follows below.
+  run_pair("RoBERTa", "T5");
+  // Asymmetric sensitivities: ViT is latency-bound (flat curve) while T5
+  // scales; Rubick should skew the allocation toward T5.
+  run_pair("ViT", "T5");
+
+  std::cout << "Expected shape (paper): the equal split wastes GPUs on the "
+               "insensitive job;\nRubick's sensitivity-driven skew achieves "
+               "a higher total normalized speedup.\n";
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the scheduler's own machinery:
+// plan enumeration, analytic prediction, model fitting, sensitivity-curve
+// construction and a full scheduling round at 64-GPU scale. These bound the
+// control-plane cost of running Rubick in a real cluster (the paper's
+// scheduler makes decisions at job arrival/completion granularity, so
+// per-round latencies in the milliseconds are ample).
+#include <benchmark/benchmark.h>
+
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/profiler.h"
+#include "sim/perf_store.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+const ClusterSpec& cluster() {
+  static const ClusterSpec spec;
+  return spec;
+}
+
+const GroundTruthOracle& oracle() {
+  static const GroundTruthOracle o(2025);
+  return o;
+}
+
+const PerfModelStore& store() {
+  static const PerfModelStore s = [] {
+    std::vector<std::string> names;
+    for (const auto& m : model_zoo()) names.push_back(m.name);
+    return PerfModelStore::profile_models(oracle(), cluster(), names);
+  }();
+  return s;
+}
+
+void BM_PlanEnumeration(benchmark::State& state) {
+  const ModelSpec& model = find_model("LLaMA-2-7B");
+  MemoryEstimator est;
+  PlanConstraints pc;
+  pc.num_gpus = static_cast<int>(state.range(0));
+  pc.max_tp = 8;
+  pc.budget = make_memory_budget(cluster(), pc.num_gpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_plans(model, 16, pc, est));
+  }
+}
+BENCHMARK(BM_PlanEnumeration)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_AnalyticPrediction(benchmark::State& state) {
+  const ModelSpec& model = find_model("GPT-2");
+  const FitParams params;
+  const PerfContext ctx = make_perf_context(cluster(), 8, 16);
+  const ExecutionPlan plan = make_zero_dp(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predict_throughput(model, plan, 16, 0.01, params, ctx));
+  }
+}
+BENCHMARK(BM_AnalyticPrediction);
+
+void BM_ModelFit(benchmark::State& state) {
+  const Profiler profiler(oracle(), cluster());
+  const ModelSpec& model = find_model("GPT-2");
+  auto samples = profiler.choose_samples(model, 16);
+  for (auto& s : samples)
+    s.measured_throughput =
+        oracle().measure_throughput(model, s.plan, s.global_batch, s.ctx);
+  const double fwd = oracle().profiled_fwd_unit_s(model);
+  const PerfModelFitter fitter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fitter.fit(model, fwd, samples));
+  }
+}
+BENCHMARK(BM_ModelFit)->Unit(benchmark::kMillisecond);
+
+void BM_SensitivityCurve(benchmark::State& state) {
+  const ModelSpec& model = find_model(
+      state.range(0) == 0 ? "BERT" : "LLaMA-2-7B");
+  MemoryEstimator est;
+  FullPlanSelector sel;
+  for (auto _ : state) {
+    // Fresh predictor per iteration: measures uncached curve construction.
+    BestPlanPredictor predictor(cluster(), store(), est);
+    double sum = 0.0;
+    for (int g = 1; g <= 64; ++g)
+      sum += predictor.envelope(model, model.default_global_batch, sel, g,
+                                2 * g);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SensitivityCurve)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_MemoryEstimate(benchmark::State& state) {
+  const ModelSpec& model = find_model("LLaMA-2-7B");
+  MemoryEstimator est;
+  const ExecutionPlan plan = make_zero3(8, 2);
+  const MemoryBudget budget = make_memory_budget(cluster(), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate(model, plan, 16, budget));
+  }
+}
+BENCHMARK(BM_MemoryEstimate);
+
+void BM_OracleMeasure(benchmark::State& state) {
+  const ModelSpec& model = find_model("GPT-2");
+  const PerfContext ctx = make_perf_context(cluster(), 8, 16);
+  const ExecutionPlan plan = make_zero_dp(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        oracle().measure_throughput(model, plan, 16, ctx));
+  }
+}
+BENCHMARK(BM_OracleMeasure);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const TraceGenerator gen(cluster(), oracle());
+  TraceOptions opts;
+  opts.seed = 3;
+  opts.num_jobs = static_cast<int>(state.range(0));
+  opts.window_s = 12.0 * 3600.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(opts));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100)->Arg(406)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleRound(benchmark::State& state) {
+  const int num_jobs = static_cast<int>(state.range(0));
+  const TraceGenerator gen(cluster(), oracle());
+  TraceOptions opts;
+  opts.seed = 11;
+  opts.num_jobs = num_jobs;
+  opts.window_s = 3600.0;
+  const auto jobs = gen.generate(opts);
+
+  MemoryEstimator est;
+  SchedulerInput input;
+  input.cluster = cluster();
+  input.models = &store();
+  input.estimator = &est;
+  for (const auto& j : jobs) {
+    JobView v;
+    v.spec = &j;
+    v.plan = j.initial_plan;
+    v.remaining_samples = j.target_samples;
+    v.queued_since = j.submit_time_s;
+    input.jobs.push_back(v);
+  }
+  for (auto _ : state) {
+    // Fresh policy per iteration: measures a cold scheduling round
+    // (including curve construction) over `num_jobs` queued jobs.
+    RubickPolicy policy;
+    benchmark::DoNotOptimize(policy.schedule(input));
+  }
+}
+BENCHMARK(BM_ScheduleRound)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rubick
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Fig. 9 / Table 3: accuracy preservation under reconfiguration. Three
+// model surrogates (stand-ins for GPT-2 / BERT / LLaMA-2-7B: distinct
+// dataset + architecture seeds) each train 3000 mini-batches under several
+// execution-plan partitionings of the SAME global batch — including live
+// mid-run reconfigurations — and under a changed random seed. We report the
+// maximum loss differences: reconfiguration must sit below the seed spread
+// on train, validation and test sets.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/table.h"
+#include "convergence/trainer.h"
+
+using namespace rubick;
+
+namespace {
+
+struct Surrogate {
+  const char* label;
+  std::uint64_t data_seed;
+  int features;
+  int hidden;
+};
+
+double max_curve_diff(const TrainResult& a, const TrainResult& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.loss_curve.size(); ++i)
+    m = std::max(m, std::abs(a.loss_curve[i] - b.loss_curve[i]));
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const Surrogate surrogates[] = {
+      {"GPT-2 (surrogate)", 101, 32, 16},
+      {"BERT (surrogate)", 202, 24, 12},
+      {"LLaMA-2-7B (surrogate)", 303, 48, 24},
+  };
+
+  std::cout << "=== Table 3 / Fig. 9: max loss differences — "
+               "reconfiguration (\"Rcfg.\") vs. changing seeds (\"Seed\") "
+               "===\n(3000 mini-batches each; global batch fixed at 64)\n\n";
+
+  TextTable table({"Model", "Train Rcfg.", "Train Seed", "Valid Rcfg.",
+                   "Valid Seed", "Test Rcfg.", "Test Seed"});
+
+  for (const Surrogate& s : surrogates) {
+    const DatasetSplits data =
+        make_synthetic_dataset(4096, s.features, s.data_seed);
+    Trainer trainer(data);
+
+    TrainerConfig base;
+    base.optimizer = OptimizerKind::kAdam;  // what the paper's jobs run
+    base.steps = 3000;
+    base.hidden = s.hidden;
+    base.seed = s.data_seed + 1;
+    base.phases = {{0, 1, 1}};
+
+    // Reconfiguration variants: different static partitionings plus two
+    // live mid-run reconfigurations.
+    std::vector<std::vector<TrainPhase>> variants = {
+        {{0, 4, 1}},
+        {{0, 2, 2}},
+        {{0, 1, 8}},
+        {{0, 1, 1}, {1000, 4, 1}, {2000, 2, 2}},
+        {{0, 8, 1}, {1500, 1, 4}},
+    };
+
+    const TrainResult rb = trainer.train(base);
+
+    double rcfg_train = 0.0, rcfg_val = 0.0, rcfg_test = 0.0;
+    for (const auto& phases : variants) {
+      TrainerConfig cfg = base;
+      cfg.phases = phases;
+      const TrainResult r = trainer.train(cfg);
+      rcfg_train = std::max(rcfg_train, max_curve_diff(rb, r));
+      rcfg_val = std::max(rcfg_val, std::abs(r.final_validation_loss -
+                                             rb.final_validation_loss));
+      rcfg_test =
+          std::max(rcfg_test, std::abs(r.final_test_loss - rb.final_test_loss));
+    }
+
+    double seed_train = 0.0, seed_val = 0.0, seed_test = 0.0;
+    for (std::uint64_t seed_offset : {7ull, 13ull}) {
+      TrainerConfig cfg = base;
+      cfg.seed = base.seed + seed_offset;
+      const TrainResult r = trainer.train(cfg);
+      seed_train = std::max(seed_train, max_curve_diff(rb, r));
+      seed_val = std::max(seed_val, std::abs(r.final_validation_loss -
+                                             rb.final_validation_loss));
+      seed_test =
+          std::max(seed_test, std::abs(r.final_test_loss - rb.final_test_loss));
+    }
+
+    table.add_row({s.label, TextTable::fmt(rcfg_train, 4),
+                   TextTable::fmt(seed_train, 4), TextTable::fmt(rcfg_val, 4),
+                   TextTable::fmt(seed_val, 4), TextTable::fmt(rcfg_test, 4),
+                   TextTable::fmt(seed_test, 4)});
+  }
+  table.print(std::cout);
+
+  // --- Fig. 9 companion: the loss curves themselves (GPT-2 surrogate). ---
+  // Every series is the same run at 60-step resolution; the reconfigured
+  // run is indistinguishable from the baseline while the reseeded run
+  // wanders.
+  {
+    const Surrogate& s = surrogates[0];
+    const DatasetSplits data =
+        make_synthetic_dataset(4096, s.features, s.data_seed);
+    Trainer trainer(data);
+    TrainerConfig base;
+    base.optimizer = OptimizerKind::kAdam;
+    base.steps = 3000;
+    base.hidden = s.hidden;
+    base.seed = s.data_seed + 1;
+    TrainerConfig rcfg = base;
+    rcfg.phases = {{0, 1, 1}, {1000, 4, 1}, {2000, 2, 2}};
+    TrainerConfig reseeded = base;
+    reseeded.seed = base.seed + 7;
+
+    auto curve = [&](const TrainerConfig& cfg) {
+      return trainer.train(cfg).loss_curve;
+    };
+    const auto a = curve(base);
+    const auto b = curve(rcfg);
+    const auto c = curve(reseeded);
+    double lo = 1e9, hi = -1e9;
+    for (const auto* v : {&a, &b, &c})
+      for (double x : *v) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+    auto render = [&](const std::vector<double>& v) {
+      static const char* kLevels = " .:-=+*#";
+      std::string out;
+      for (std::size_t i = 0; i < v.size(); i += 2) {  // thin the curve
+        const double u = hi > lo ? (v[i] - lo) / (hi - lo) : 0.0;
+        out.push_back(
+            kLevels[std::clamp(static_cast<int>(std::lround(u * 7)), 0, 7)]);
+      }
+      return out;
+    };
+    std::cout << "\nFig. 9 (GPT-2 surrogate train-loss curves, high = worse):"
+              << "\n  baseline     [" << render(a) << "]"
+              << "\n  reconfigured [" << render(b) << "]"
+              << "\n  reseeded     [" << render(c) << "]\n";
+  }
+
+  std::cout << "\nExpected shape (paper Table 3): every \"Rcfg.\" column is "
+               "at most the matching \"Seed\" column —\nreconfigurations "
+               "that preserve the global batch do not disturb training.\n";
+  return 0;
+}

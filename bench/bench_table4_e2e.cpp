@@ -1,0 +1,244 @@
+// Table 4: end-to-end 64-GPU cluster experiments. Replays the paper's
+// methodology in the discrete-event simulator:
+//   * Base trace  — 406 Philly-like jobs, random feasible initial plans:
+//                   Rubick vs Sia vs Synergy vs the Rubick-E/R/N ablations.
+//   * BP trace    — best initial plans: Rubick vs Sia vs Synergy.
+//   * MT trace    — two tenants (A: 64-GPU quota, guaranteed; B: quota-less
+//                   best-effort): Rubick vs AntMan with per-class JCTs.
+// Also reports the §7.3 system-overhead numbers (reconfiguration cost as a
+// share of GPU-hours, profiling cost) and a simulator-fidelity estimate
+// (sensitivity of Rubick's average JCT to the oracle's measurement-noise
+// draw, the analog of the paper's 6.9% replay error).
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <functional>
+#include <memory>
+
+#include "baselines/antman.h"
+#include "baselines/sia.h"
+#include "baselines/tiresias.h"
+#include "baselines/synergy.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+using namespace rubick;
+
+namespace {
+
+struct RunStats {
+  Summary all, guaranteed, best_effort;
+  double makespan_h = 0.0;
+  int reconfigs = 0;
+  double reconfig_share = 0.0;
+};
+
+RunStats run_policy(const ClusterSpec& cluster, const GroundTruthOracle& oracle,
+                    const std::vector<JobSpec>& jobs, SchedulerPolicy& policy,
+                    const PerfModelStore& store,
+                    const std::map<std::string, double>& costs) {
+  Simulator sim(cluster, oracle);
+  const SimResult r = sim.run(jobs, policy, store, costs);
+  RunStats stats;
+  stats.all = r.jct_summary();
+  stats.guaranteed = r.jct_summary_where(true);
+  stats.best_effort = r.jct_summary_where(false);
+  stats.makespan_h = to_hours(r.makespan_s);
+  for (const auto& j : r.jobs) stats.reconfigs += j.reconfig_count;
+  if (r.total_gpu_seconds > 0.0)
+    stats.reconfig_share =
+        r.reconfig_overhead_gpu_seconds /
+        (r.total_gpu_seconds + r.reconfig_overhead_gpu_seconds);
+  return stats;
+}
+
+std::string ratio(double value, double reference) {
+  return TextTable::fmt(value, 2) + " (" +
+         TextTable::fmt(reference > 0 ? value / reference : 0.0, 2) + "x)";
+}
+
+}  // namespace
+
+int main() {
+  // Keep the report machine-readable: rare requeue warnings go to the
+  // error log only.
+  set_log_level(LogLevel::kError);
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+
+  // Three trace draws per variant: a single 406-job draw leaves a few
+  // percent of seed noise in the ratios, so the table reports seed means.
+  const std::uint64_t kSeeds[] = {1, 2, 3};
+
+  TraceOptions base_opts;
+  base_opts.seed = 1;
+  base_opts.num_jobs = 406;
+  base_opts.window_s = hours(12);
+
+  auto traces_for = [&](TraceVariant variant) {
+    std::vector<std::vector<JobSpec>> traces;
+    for (std::uint64_t seed : kSeeds) {
+      TraceOptions opts = base_opts;
+      opts.seed = seed;
+      opts.variant = variant;
+      traces.push_back(gen.generate(opts));
+    }
+    return traces;
+  };
+  const auto base_traces = traces_for(TraceVariant::kBase);
+  const auto bp_traces = traces_for(TraceVariant::kBestPlan);
+  const auto mt_traces = traces_for(TraceVariant::kMultiTenant);
+
+  // Shared fitted models: every policy sees identical predictions.
+  std::vector<std::string> names;
+  for (const auto& m : model_zoo()) names.push_back(m.name);
+  std::map<std::string, double> costs;
+  const PerfModelStore store =
+      PerfModelStore::profile_models(oracle, cluster, names, 0, &costs);
+
+  // Seed-mean of RunStats for one policy over a trace set. Policies are
+  // single-workload objects (see SchedulerPolicy), so the factory builds a
+  // fresh instance per trace.
+  auto run_mean = [&](const std::vector<std::vector<JobSpec>>& traces,
+                      const std::function<std::unique_ptr<SchedulerPolicy>()>&
+                          make_policy) {
+    RunStats mean;
+    for (const auto& t : traces) {
+      const auto policy = make_policy();
+      const RunStats s = run_policy(cluster, oracle, t, *policy, store, costs);
+      mean.all.mean += s.all.mean / traces.size();
+      mean.all.p99 += s.all.p99 / traces.size();
+      mean.guaranteed.mean += s.guaranteed.mean / traces.size();
+      mean.guaranteed.p99 += s.guaranteed.p99 / traces.size();
+      mean.best_effort.mean += s.best_effort.mean / traces.size();
+      mean.best_effort.p99 += s.best_effort.p99 / traces.size();
+      mean.makespan_h += s.makespan_h / traces.size();
+      mean.reconfigs += s.reconfigs / static_cast<int>(traces.size());
+      mean.reconfig_share += s.reconfig_share / traces.size();
+    }
+    return mean;
+  };
+
+  std::cout << "=== Table 4: 64-GPU cluster experiments (406 jobs / 12 h "
+               "window) ===\n\n";
+
+  // ---------------- Base + BP traces ----------------
+  TextTable table({"Trace", "Scheduler", "Avg JCT (h)", "P99 JCT (h)",
+                   "Makespan (h)", "#reconfigs"});
+  std::map<std::string, RunStats> base_results;
+  using PolicyFactory = std::function<std::unique_ptr<SchedulerPolicy>()>;
+  const std::vector<std::pair<std::string, PolicyFactory>> all_factories = {
+      {"Rubick", [] { return std::make_unique<RubickPolicy>(); }},
+      {"Sia", [] { return std::make_unique<SiaPolicy>(); }},
+      {"Synergy", [] { return std::make_unique<SynergyPolicy>(); }},
+      {"Rubick-E",
+       [] { return std::make_unique<RubickPolicy>(RubickPolicy::plans_only()); }},
+      {"Rubick-R",
+       [] {
+         return std::make_unique<RubickPolicy>(RubickPolicy::resources_only());
+       }},
+      {"Rubick-N",
+       [] { return std::make_unique<RubickPolicy>(RubickPolicy::neither()); }},
+      // Extra baseline beyond the paper's Table 4: classic LAS scheduling.
+      {"Tiresias*", [] { return std::make_unique<TiresiasPolicy>(); }},
+  };
+
+  auto run_block = [&](const char* trace_name,
+                       const std::vector<std::vector<JobSpec>>& traces,
+                       std::size_t num_policies) {
+    double rubick_jct = 0.0, rubick_p99 = 0.0, rubick_mk = 0.0;
+    for (std::size_t i = 0; i < num_policies; ++i) {
+      const auto& [name, factory] = all_factories[i];
+      const RunStats s = run_mean(traces, factory);
+      if (std::string(trace_name) == "Base") base_results[name] = s;
+      if (i == 0) {
+        rubick_jct = to_hours(s.all.mean);
+        rubick_p99 = to_hours(s.all.p99);
+        rubick_mk = s.makespan_h;
+      }
+      table.add_row({trace_name, name,
+                     ratio(to_hours(s.all.mean), rubick_jct),
+                     ratio(to_hours(s.all.p99), rubick_p99),
+                     ratio(s.makespan_h, rubick_mk),
+                     std::to_string(s.reconfigs)});
+    }
+  };
+  run_block("Base", base_traces, all_factories.size());
+  run_block("BP", bp_traces, 3);
+  table.print(std::cout);
+
+  // ---------------- MT trace: Rubick vs AntMan ----------------
+  std::cout << "\n--- Multi-tenant trace (Tenant-A: 64-GPU quota, "
+               "guaranteed; Tenant-B: best-effort) ---\n";
+  TextTable mt({"Scheduler", "Class", "Avg JCT (h)", "P99 JCT (h)",
+                "Makespan (h)"});
+  RubickConfig rubick_mt_config;
+  rubick_mt_config.tenant_quota_gpus["tenant-a"] = 64;
+  const RunStats rs = run_mean(mt_traces, [&] {
+    return std::make_unique<RubickPolicy>(rubick_mt_config);
+  });
+  const RunStats as = run_mean(mt_traces, [] {
+    return std::make_unique<AntManPolicy>(
+        std::map<std::string, int>{{"tenant-a", 64}});
+  });
+  auto add_class = [&](const char* sched, const char* cls, const Summary& s,
+                       const Summary& ref, double mk, double ref_mk) {
+    mt.add_row({sched, cls, ratio(to_hours(s.mean), to_hours(ref.mean)),
+                ratio(to_hours(s.p99), to_hours(ref.p99)),
+                mk > 0 ? ratio(mk, ref_mk) : "-"});
+  };
+  add_class("Rubick", "All", rs.all, rs.all, rs.makespan_h, rs.makespan_h);
+  add_class("Rubick", "Guar.", rs.guaranteed, rs.guaranteed, 0, 0);
+  add_class("Rubick", "BE", rs.best_effort, rs.best_effort, 0, 0);
+  add_class("AntMan", "All", as.all, rs.all, as.makespan_h, rs.makespan_h);
+  add_class("AntMan", "Guar.", as.guaranteed, rs.guaranteed, 0, 0);
+  add_class("AntMan", "BE", as.best_effort, rs.best_effort, 0, 0);
+  mt.print(std::cout);
+
+  // ---------------- System overheads (§7.3) ----------------
+  std::cout << "\n--- System overheads ---\n";
+  const RunStats& rb = base_results["Rubick"];
+  double total_prof = 0.0;
+  for (const auto& [name, c] : costs) total_prof += c;
+  std::cout << "reconfigurations (Rubick, base trace): " << rb.reconfigs
+            << ", checkpoint-resume cost 78 s each\n"
+            << "reconfiguration share of GPU-hours: "
+            << TextTable::fmt(100.0 * rb.reconfig_share, 2) << "% (paper: ~1%)\n"
+            << "profiling cost: avg "
+            << TextTable::fmt(total_prof / static_cast<double>(costs.size()), 0)
+            << " s per model type (paper: 210 s)\n";
+
+  // ---------------- Simulator fidelity (§7.4) ----------------
+  // The paper replays its cluster runs in a model-driven simulator and sees
+  // max 6.9% avg-JCT error. Analog here: run Rubick once with jobs
+  // advancing at oracle-measured ("real") throughput and once at the fitted
+  // model's predicted throughput ("simulated"), same trace and decisions
+  // machinery, and compare average JCT.
+  {
+    SimOptions model_driven;
+    model_driven.advance_with_fitted_model = true;
+    Simulator sim(cluster, oracle);
+    Simulator sim_model(cluster, oracle, model_driven);
+    RubickPolicy real_policy, sim_policy;
+    const double real_jct =
+        sim.run(base_traces[0], real_policy, store, costs).avg_jct_s();
+    const double model_jct =
+        sim_model.run(base_traces[0], sim_policy, store, costs).avg_jct_s();
+    const double drift = std::abs(model_jct - real_jct) / real_jct;
+    std::cout << "fidelity: model-driven vs measured-throughput avg JCT "
+              << "differs by " << TextTable::fmt(100.0 * drift, 1)
+              << "% (paper replay error: 6.9%)\n";
+  }
+
+  std::cout << "\nExpected shape (paper): Rubick best everywhere; Sia/Synergy "
+               "2-3x worse on Base, closer on BP;\nRubick-R beats Rubick-E "
+               "beats Rubick-N; Rubick beats AntMan ~1.6x on MT for all "
+               "classes.\n";
+  return 0;
+}

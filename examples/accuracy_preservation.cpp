@@ -1,0 +1,65 @@
+// Accuracy preservation under reconfiguration (paper §7.2, Fig. 9 /
+// Table 3): training with different DP / GA partitionings of the same
+// global batch — including a reconfiguration mid-run — changes the loss by
+// less than changing the random seed does.
+//
+//   ./build/examples/accuracy_preservation
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "convergence/trainer.h"
+
+using namespace rubick;
+
+int main() {
+  const DatasetSplits data = make_synthetic_dataset(4096, 32, /*seed=*/11);
+  Trainer trainer(data);
+
+  TrainerConfig base;
+  base.steps = 3000;
+  base.seed = 1;
+  base.phases = {{0, 1, 1}};  // single worker throughout
+
+  TrainerConfig dp4 = base;
+  dp4.phases = {{0, 4, 1}};  // 4-way data parallel
+
+  TrainerConfig reconfig = base;
+  reconfig.phases = {{0, 1, 1}, {1000, 4, 1}, {2000, 2, 2}};  // live reconfig
+
+  TrainerConfig reseeded = base;
+  reseeded.seed = 2;  // same plan, different seed
+
+  const TrainResult r_base = trainer.train(base);
+  const TrainResult r_dp4 = trainer.train(dp4);
+  const TrainResult r_rcfg = trainer.train(reconfig);
+  const TrainResult r_seed = trainer.train(reseeded);
+
+  auto max_curve_diff = [](const TrainResult& a, const TrainResult& b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.loss_curve.size(); ++i)
+      m = std::max(m, std::abs(a.loss_curve[i] - b.loss_curve[i]));
+    return m;
+  };
+
+  TextTable table({"comparison vs baseline", "max train-loss diff",
+                   "final val diff", "final test diff"});
+  auto add = [&](const char* label, const TrainResult& r) {
+    table.add_row(
+        {label, TextTable::fmt(max_curve_diff(r_base, r), 4),
+         TextTable::fmt(
+             std::abs(r.final_validation_loss - r_base.final_validation_loss),
+             4),
+         TextTable::fmt(std::abs(r.final_test_loss - r_base.final_test_loss),
+                        4)});
+  };
+  add("DP=4 (same seed)", r_dp4);
+  add("reconfig 1->4->2x2 (same seed)", r_rcfg);
+  add("same plan, new seed", r_seed);
+  table.print(std::cout);
+
+  std::cout << "\nReconfiguration rows should sit well below the seed row —\n"
+               "keeping the global batch fixed preserves the training\n"
+               "trajectory up to floating-point round-off.\n";
+  return 0;
+}

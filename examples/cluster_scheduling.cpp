@@ -1,0 +1,73 @@
+// Cluster scheduling end-to-end: generate a Philly-like trace, run it
+// through Rubick and the baselines on the simulated 64-GPU cluster, and
+// compare JCT / makespan (a miniature of the paper's Table 4).
+//
+//   ./build/examples/cluster_scheduling [num_jobs] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "baselines/antman.h"
+#include "baselines/sia.h"
+#include "baselines/synergy.h"
+#include "baselines/tiresias.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+using namespace rubick;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  TraceGenerator gen(cluster, oracle);
+
+  TraceOptions opts;
+  opts.seed = seed;
+  opts.num_jobs = num_jobs;
+  opts.window_s = hours(3);
+  const std::vector<JobSpec> jobs = gen.generate(opts);
+  std::cout << "Generated " << jobs.size() << " jobs over "
+            << to_hours(opts.window_s) << " h\n";
+
+  // Fit performance models once and share them across policies so every
+  // scheduler sees identical predictions.
+  std::vector<std::string> names;
+  for (const auto& j : jobs) names.push_back(j.model_name);
+  std::map<std::string, double> prof_costs;
+  const PerfModelStore store =
+      PerfModelStore::profile_models(oracle, cluster, names, 0, &prof_costs);
+
+  Simulator sim(cluster, oracle);
+
+  TextTable table({"scheduler", "avg JCT (h)", "P99 JCT (h)", "makespan (h)",
+                   "reconfigs"});
+  auto run = [&](SchedulerPolicy& policy) {
+    std::cout << "running " << policy.name() << "...\n" << std::flush;
+    const SimResult r = sim.run(jobs, policy, store, prof_costs);
+    int reconfigs = 0;
+    for (const auto& jr : r.jobs) reconfigs += jr.reconfig_count;
+    const Summary s = r.jct_summary();
+    table.add_row({policy.name(), TextTable::fmt(to_hours(s.mean)),
+                   TextTable::fmt(to_hours(s.p99)),
+                   TextTable::fmt(to_hours(r.makespan_s)),
+                   std::to_string(reconfigs)});
+  };
+
+  RubickPolicy rubick;
+  SiaPolicy sia;
+  SynergyPolicy synergy;
+  TiresiasPolicy tiresias;
+  run(rubick);
+  run(sia);
+  run(synergy);
+  run(tiresias);
+
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Multi-tenant scheduling walkthrough (paper §5.1): Tenant-A owns a 64-GPU
+// quota and submits guaranteed jobs; Tenant-B has no quota and runs
+// best-effort. Rubick guarantees Tenant-A's jobs the performance of their
+// requested configuration (often with fewer GPUs and a better plan) and
+// gives the reclaimed capacity to Tenant-B — compare with AntMan, which
+// guarantees the literal resources.
+//
+//   ./build/examples/multi_tenant
+#include <iostream>
+
+#include "baselines/antman.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "sim/simulator.h"
+#include "telemetry/timeline.h"
+#include "trace/trace_gen.h"
+
+using namespace rubick;
+
+int main() {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+
+  TraceOptions opts;
+  opts.seed = 21;
+  opts.num_jobs = 120;
+  opts.window_s = hours(6);
+  opts.variant = TraceVariant::kMultiTenant;
+  const auto jobs = gen.generate(opts);
+
+  int guaranteed = 0;
+  for (const auto& j : jobs) guaranteed += j.guaranteed ? 1 : 0;
+  std::cout << "Trace: " << jobs.size() << " jobs over "
+            << to_hours(opts.window_s) << " h — " << guaranteed
+            << " guaranteed (Tenant-A, 64-GPU quota), "
+            << jobs.size() - guaranteed << " best-effort (Tenant-B)\n\n";
+
+  Simulator sim(cluster, oracle);
+  TextTable table({"scheduler", "class", "avg JCT (h)", "P99 JCT (h)",
+                   "SLA met*"});
+
+  auto run = [&](SchedulerPolicy& policy) {
+    const SimResult r = sim.run(jobs, policy);
+    auto add = [&](const char* cls, bool want_guaranteed) {
+      const Summary s = r.jct_summary_where(want_guaranteed);
+      int met = 0, total = 0;
+      for (const auto& j : r.jobs) {
+        if (!j.finished || j.spec.guaranteed != want_guaranteed) continue;
+        if (j.baseline_throughput <= 0.0) continue;
+        ++total;
+        if (j.achieved_throughput >= 0.9 * j.baseline_throughput) ++met;
+      }
+      table.add_row({policy.name(), cls, TextTable::fmt(to_hours(s.mean)),
+                     TextTable::fmt(to_hours(s.p99)),
+                     std::to_string(met) + "/" + std::to_string(total)});
+    };
+    add("guaranteed", true);
+    add("best-effort", false);
+
+    std::cout << policy.name() << " utilization  ["
+              << ClusterTimeline::sparkline(
+                     r.timeline.utilization_buckets(48))
+              << "]  avg "
+              << TextTable::fmt(100.0 * r.timeline.average_utilization(), 0)
+              << "%, avg queue "
+              << TextTable::fmt(r.timeline.average_queue_length(), 1)
+              << " jobs\n";
+  };
+
+  RubickConfig config;
+  config.tenant_quota_gpus["tenant-a"] = 64;
+  RubickPolicy rubick(config);
+  AntManPolicy antman({{"tenant-a", 64}});
+  run(rubick);
+  run(antman);
+
+  std::cout << "\n";
+  table.print(std::cout);
+  std::cout << "\n*jobs achieving >= 90% of their requested configuration's "
+               "measured throughput\nwhile resident. Rubick guarantees "
+               "performance, not literal resources — so it can\nrun "
+               "guaranteed jobs on fewer GPUs with better plans and hand "
+               "the slack to Tenant-B.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: fit a performance model for GPT-2 from a handful of profiled
+// runs, then explore the reconfiguration space — predicted throughput of
+// every plan family across GPU counts, the resource sensitivity curve, and
+// the best plan per allocation (paper Figs. 3 and 6 in miniature).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/profiler.h"
+#include "sim/perf_store.h"
+
+using namespace rubick;
+
+int main() {
+  const ClusterSpec cluster;           // the paper's 8x8 A800 pod
+  const GroundTruthOracle oracle(42);  // stands in for the real testbed
+  const ModelSpec& model = find_model("GPT-2");
+  const int batch = model.default_global_batch;
+
+  // --- 1. Profile & fit (paper §4.3: >=7 sampled runs, 3 with offload). ---
+  Profiler profiler(oracle, cluster);
+  const Profiler::Result fit = profiler.profile_and_fit(model, batch);
+  std::cout << "Fitted " << model.to_string() << " from "
+            << fit.samples.size() << " profiled runs ("
+            << fit.profiling_cost_s << " s simulated profiling)\n";
+  std::cout << "  fit RMSLE = " << fit.model.fit_error() << "\n\n";
+
+  // --- 2. Validate predictions against held-out measurements. ---
+  std::cout << "Prediction spot-check (plan @ 4 GPUs, 8 CPUs):\n";
+  const PerfContext ctx = make_perf_context(cluster, 4, 8);
+  for (const ExecutionPlan& plan :
+       {make_dp(4), make_zero_dp(4), make_zero_offload(4), make_dp(4, 2),
+        make_dp(4, 1, /*gc=*/true)}) {
+    const double pred =
+        fit.model.predict_throughput(model, plan, batch, ctx);
+    const double meas = oracle.measure_throughput(model, plan, batch, ctx);
+    std::printf("  %-24s predicted %8.2f  measured %8.2f  (%+5.1f%%)\n",
+                plan.display_name().c_str(), pred, meas,
+                100.0 * (pred - meas) / meas);
+  }
+
+  // --- 3. Resource sensitivity curve (paper Fig. 6). ---
+  PerfModelStore store;
+  store.add(fit.model);
+  MemoryEstimator estimator;
+  BestPlanPredictor predictor(cluster, store, estimator);
+  FullPlanSelector all_plans;
+
+  std::cout << "\nGPU sensitivity curve (best plan per GPU count):\n";
+  TextTable table({"GPUs", "best plan", "pred. samples/s", "speedup vs 1"});
+  const double base = predictor.envelope(model, batch, all_plans, 1, 8);
+  for (int g : {1, 2, 4, 8, 16, 32}) {
+    const auto best =
+        predictor.best_canonical(model, batch, all_plans, g, 2 * g);
+    table.add_row({std::to_string(g),
+                   best.feasible ? best.plan.display_name() : "(infeasible)",
+                   TextTable::fmt(best.throughput),
+                   TextTable::fmt(predictor.envelope(model, batch, all_plans,
+                                                     g, 2 * g) /
+                                  base)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDone. See examples/cluster_scheduling.cpp for the full "
+               "scheduler in action.\n";
+  return 0;
+}

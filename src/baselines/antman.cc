@@ -1,0 +1,162 @@
+#include "baselines/antman.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+
+const PlanSelector& AntManPolicy::selector_for(const JobSpec& spec) {
+  auto it = selectors_.find(spec.id);
+  if (it == selectors_.end()) {
+    // Guaranteed jobs run exactly as submitted. Best-effort DP-family jobs
+    // are elastically DP-scaled into leftovers (AntMan's dynamic scaling).
+    std::unique_ptr<PlanSelector> sel;
+    if (!spec.guaranteed && spec.initial_plan.tp == 1 &&
+        spec.initial_plan.pp == 1)
+      sel = std::make_unique<ScaledDpSelector>(spec.initial_plan);
+    else
+      sel = std::make_unique<FixedPlanSelector>(spec.initial_plan);
+    it = selectors_.emplace(spec.id, std::move(sel)).first;
+  }
+  return *it->second;
+}
+
+std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
+  RUBICK_CHECK(input.models != nullptr && input.estimator != nullptr);
+  if (bound_store_ != input.models ||
+      bound_version_ != input.models->version()) {
+    // Rebind (and drop prediction caches) when the store was swapped or a
+    // model was refitted online.
+    predictor_ = std::make_unique<BestPlanPredictor>(
+        input.cluster, *input.models, *input.estimator);
+    bound_store_ = input.models;
+    bound_version_ = input.models->version();
+  }
+
+  std::vector<std::pair<int, Placement>> running;
+  for (const auto& v : input.jobs)
+    if (v.running) running.emplace_back(v.spec->id, v.placement);
+  AllocState state(input.cluster, running);
+
+  std::map<int, ExecutionPlan> chosen;
+  for (const auto& v : input.jobs)
+    if (v.running) chosen[v.spec->id] = v.plan;
+
+  std::map<std::string, int> quota_used;
+  for (const auto& v : input.jobs)
+    if (v.running && v.spec->guaranteed)
+      quota_used[v.spec->tenant] += v.spec->requested.gpus;
+
+  auto cpu_per_gpu = [](const JobSpec& spec) {
+    return std::max(1, (spec.requested.cpus + spec.requested.gpus - 1) /
+                           spec.requested.gpus);
+  };
+
+  auto try_place = [&](const JobView& v) {
+    const JobSpec& spec = *v.spec;
+    const int chunk = std::max(1, spec.initial_plan.tp);
+    if (!pack_job(state, input.cluster, spec.id, spec.requested.gpus,
+                  cpu_per_gpu(spec), chunk))
+      return false;
+    if (!commit_job_plan(state, *predictor_, *input.estimator, *input.models,
+                         input.cluster, v, selector_for(spec), chosen)) {
+      state.release_job(spec.id);
+      chosen.erase(spec.id);
+      return false;
+    }
+    return true;
+  };
+
+  // --- Guaranteed jobs FCFS within quota; may evict best-effort jobs. ---
+  std::vector<const JobView*> pending_guaranteed;
+  std::vector<const JobView*> pending_best_effort;
+  for (const auto& v : input.jobs) {
+    if (v.running) continue;
+    (v.spec->guaranteed ? pending_guaranteed : pending_best_effort)
+        .push_back(&v);
+  }
+  auto fcfs = [](const JobView* a, const JobView* b) {
+    return a->queued_since < b->queued_since;
+  };
+  std::sort(pending_guaranteed.begin(), pending_guaranteed.end(), fcfs);
+  std::sort(pending_best_effort.begin(), pending_best_effort.end(), fcfs);
+
+  for (const JobView* v : pending_guaranteed) {
+    const JobSpec& spec = *v->spec;
+    const auto quota_it = quota_.find(spec.tenant);
+    if (quota_it != quota_.end() &&
+        quota_used[spec.tenant] + spec.requested.gpus > quota_it->second)
+      continue;
+
+    if (!try_place(*v)) {
+      // Evict running best-effort jobs (least progress first) until the
+      // guaranteed job fits or none are left.
+      std::vector<const JobView*> victims;
+      for (const auto& r : input.jobs)
+        if (r.running && !r.spec->guaranteed &&
+            state.job_gpus(r.spec->id) > 0)
+          victims.push_back(&r);
+      std::sort(victims.begin(), victims.end(),
+                [](const JobView* a, const JobView* b) {
+                  return a->samples_done < b->samples_done;
+                });
+      bool placed = false;
+      for (const JobView* victim : victims) {
+        state.release_job(victim->spec->id);
+        chosen.erase(victim->spec->id);
+        if (try_place(*v)) {
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) continue;
+    }
+    quota_used[spec.tenant] += spec.requested.gpus;
+  }
+
+  // --- Best-effort jobs into whatever is left: FCFS, DP-scaled down to
+  // the largest feasible size that fits (dynamic scaling). ---
+  auto try_place_scaled = [&](const JobView& v) {
+    const JobSpec& spec = *v.spec;
+    const int id = spec.id;
+    const int shard =
+        std::max(1, spec.initial_plan.tp * spec.initial_plan.pp);
+    const int chunk = std::max(1, spec.initial_plan.tp);
+    for (int g = spec.requested.gpus; g >= shard; g -= shard) {
+      if (!pack_job(state, input.cluster, id, g, cpu_per_gpu(spec), chunk))
+        continue;
+      if (commit_job_plan(state, *predictor_, *input.estimator, *input.models,
+                          input.cluster, v, selector_for(spec), chosen))
+        return true;
+      state.release_job(id);
+      chosen.erase(id);
+    }
+    return false;
+  };
+  for (const JobView* v : pending_best_effort) try_place_scaled(*v);
+
+  // Grow running best-effort jobs back toward their request when leftovers
+  // allow and the job has been stable for a while (avoid restart thrash).
+  for (const auto& v : input.jobs) {
+    if (!v.running || v.spec->guaranteed) continue;
+    const int cur = state.job_gpus(v.spec->id);
+    if (cur <= 0 || cur >= v.spec->requested.gpus) continue;
+    const double T = v.total_active_time_s;
+    const double nd = (v.reconfig_count + 1) * input.reconfig_penalty_s;
+    if (T <= 0.0 || (T - nd) / T < 0.97) continue;
+    const auto snap = state.snapshot();
+    const auto chosen_snap = chosen;
+    state.release_job(v.spec->id);
+    chosen.erase(v.spec->id);
+    if (!try_place_scaled(v) || state.job_gpus(v.spec->id) <= cur) {
+      state.restore(snap);
+      chosen = chosen_snap;
+    }
+  }
+
+  return emit_assignments(state, input.jobs, chosen);
+}
+
+}  // namespace rubick

@@ -1,0 +1,41 @@
+// AntMan baseline (Xiao et al., OSDI'20), as modelled in the paper's
+// evaluation (§7.3): a multi-tenant scheduler with resource guarantees.
+// Guaranteed jobs receive exactly their requested resources (consuming the
+// tenant's GPU quota) FCFS; best-effort jobs run opportunistically on
+// leftover resources — dynamically scaled down along the DP dimension to
+// fit (AntMan's "dynamic scaling"), grown back when space frees up, and
+// preempted whenever a guaranteed job needs the space. Execution plans are
+// never reconfigured beyond that DP scaling. The key contrast with Rubick:
+// AntMan guarantees the requested *resources*, Rubick guarantees the
+// corresponding *performance* (often achievable with fewer resources and a
+// better plan).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "baselines/common.h"
+#include "core/plan_selector.h"
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+class AntManPolicy final : public SchedulerPolicy {
+ public:
+  explicit AntManPolicy(std::map<std::string, int> tenant_quota_gpus = {})
+      : quota_(std::move(tenant_quota_gpus)) {}
+
+  std::string name() const override { return "AntMan"; }
+  std::vector<Assignment> schedule(const SchedulerInput& input) override;
+
+ private:
+  const PlanSelector& selector_for(const JobSpec& spec);
+
+  std::map<std::string, int> quota_;
+  std::unique_ptr<BestPlanPredictor> predictor_;
+  const PerfModelStore* bound_store_ = nullptr;
+  std::uint64_t bound_version_ = 0;
+  std::map<int, std::unique_ptr<PlanSelector>> selectors_;
+};
+
+}  // namespace rubick

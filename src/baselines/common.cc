@@ -1,0 +1,109 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+bool pack_job(AllocState& state, const ClusterSpec& cluster, int job_id,
+              int gpus, int cpu_per_gpu, int chunk) {
+  RUBICK_CHECK(gpus > 0 && cpu_per_gpu >= 1 && chunk >= 1);
+  const auto snap = state.snapshot();
+
+  std::vector<int> order(static_cast<std::size_t>(cluster.num_nodes));
+  for (int n = 0; n < cluster.num_nodes; ++n)
+    order[static_cast<std::size_t>(n)] = n;
+  // Prefer faster nodes first (heterogeneous pods), then emptier ones.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = cluster.speed_of(a);
+    const double sb = cluster.speed_of(b);
+    if (sa != sb) return sa > sb;
+    return state.free_gpus(a) > state.free_gpus(b);
+  });
+
+  int remaining = gpus;
+  for (int n : order) {
+    if (remaining <= 0) break;
+    int take = std::min(state.free_gpus(n), remaining);
+    take = std::min(take, state.free_cpus(n) / cpu_per_gpu);
+    take -= take % chunk;
+    if (take <= 0) continue;
+    state.take_gpus(job_id, n, take);
+    state.take_cpus(job_id, n, take * cpu_per_gpu);
+    remaining -= take;
+  }
+  if (remaining > 0) {
+    state.restore(snap);
+    return false;
+  }
+  return true;
+}
+
+bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
+                     const MemoryEstimator& estimator,
+                     const PerfModelStore& store, const ClusterSpec& cluster,
+                     const JobView& view, const PlanSelector& selector,
+                     std::map<int, ExecutionPlan>& chosen, double switch_gain) {
+  const int id = view.spec->id;
+  const Placement placement = state.placement_of(id);
+  if (placement.total_gpus() <= 0) return false;
+  const ModelSpec& model = find_model(view.spec->model_name);
+  const int batch = view.spec->global_batch;
+
+  const bool same_shape = [&] {
+    if (!view.running) return false;
+    if (view.placement.slices.size() != placement.slices.size()) return false;
+    for (std::size_t i = 0; i < placement.slices.size(); ++i) {
+      const auto& a = view.placement.slices[i];
+      const auto& b = placement.slices[i];
+      if (a.node != b.node || a.gpus != b.gpus || a.cpus != b.cpus)
+        return false;
+    }
+    return true;
+  }();
+
+  auto ranked =
+      predictor.ranked_for_placement(model, batch, selector, placement);
+  if (ranked.empty()) return false;
+
+  if (same_shape) {
+    const PerfModel& perf = store.get(model.name);
+    const PerfContext ctx = make_perf_context(cluster, placement);
+    const double current =
+        perf.predict_throughput(model, view.plan, batch, ctx);
+    if (ranked.front().throughput < switch_gain * current) {
+      chosen[id] = view.plan;
+      return true;
+    }
+  }
+
+  state.release_memory(id);
+  for (const auto& pred : ranked) {
+    if (state.alloc_memory(id, model, pred.plan, batch, estimator)) {
+      chosen[id] = pred.plan;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Assignment> emit_assignments(
+    const AllocState& state, const std::vector<JobView>& jobs,
+    const std::map<int, ExecutionPlan>& chosen) {
+  std::vector<Assignment> out;
+  for (const auto& v : jobs) {
+    const int id = v.spec->id;
+    const Placement placement = state.placement_of(id);
+    if (placement.total_gpus() <= 0) continue;
+    auto it = chosen.find(id);
+    RUBICK_CHECK_MSG(it != chosen.end(),
+                     "job " << id << " has an allocation but no plan");
+    out.push_back(Assignment{id, placement, it->second});
+  }
+  return out;
+}
+
+}  // namespace rubick

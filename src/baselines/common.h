@@ -1,0 +1,38 @@
+// Shared machinery for the baseline schedulers: GPU packing onto nodes and
+// plan+memory commit. All baselines run against the same AllocState /
+// BestPlanPredictor substrate as Rubick so the comparison isolates policy
+// differences (paper §7.3).
+#pragma once
+
+#include <map>
+
+#include "core/alloc_state.h"
+#include "core/predictor.h"
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+// Packs `gpus` GPUs (with cpu_per_gpu CPUs each) for `job_id`, preferring as
+// few nodes as possible; every per-node slice is a multiple of `chunk`
+// (pass the plan's TP size so tensor-parallel groups stay intra-node).
+// Returns false — leaving the state untouched — if the resources don't fit.
+bool pack_job(AllocState& state, const ClusterSpec& cluster, int job_id,
+              int gpus, int cpu_per_gpu, int chunk = 1);
+
+// GetBestPlan + AllocMem for the job's current slices in `state`. Picks the
+// highest-predicted-throughput plan whose host memory fits; if the job is
+// running with an unchanged placement shape, keeps the current plan unless
+// the best plan clears `switch_gain`. Records the choice in `chosen`.
+bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
+                     const MemoryEstimator& estimator,
+                     const PerfModelStore& store, const ClusterSpec& cluster,
+                     const JobView& view, const PlanSelector& selector,
+                     std::map<int, ExecutionPlan>& chosen,
+                     double switch_gain = 1.05);
+
+// Emits assignments for every job holding GPUs in `state`.
+std::vector<Assignment> emit_assignments(
+    const AllocState& state, const std::vector<JobView>& jobs,
+    const std::map<int, ExecutionPlan>& chosen);
+
+}  // namespace rubick

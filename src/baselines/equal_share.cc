@@ -1,0 +1,59 @@
+#include "baselines/equal_share.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+
+std::vector<Assignment> EqualSharePolicy::schedule(
+    const SchedulerInput& input) {
+  RUBICK_CHECK(input.models != nullptr && input.estimator != nullptr);
+  if (bound_store_ != input.models ||
+      bound_version_ != input.models->version()) {
+    // Rebind (and drop prediction caches) when the store was swapped or a
+    // model was refitted online.
+    predictor_ = std::make_unique<BestPlanPredictor>(
+        input.cluster, *input.models, *input.estimator);
+    bound_store_ = input.models;
+    bound_version_ = input.models->version();
+  }
+
+  // Rebuild the whole allocation from scratch: every job gets an equal GPU
+  // share (rounded down to a count it can actually use).
+  AllocState state(input.cluster, {});
+  std::map<int, ExecutionPlan> chosen;
+
+  const int n = static_cast<int>(input.jobs.size());
+  if (n == 0) return {};
+  const int share = std::max(1, input.cluster.total_gpus() / n);
+  const int cpu_share =
+      std::max(2, input.cluster.num_nodes * input.cluster.node.cpus / n /
+                      std::max(1, share));
+
+  for (const auto& v : input.jobs) {
+    const ModelSpec& model = find_model(v.spec->model_name);
+    // Largest usable count within the share (envelope is flat on invalid
+    // counts, so walk down to the smallest count with the same value).
+    int g = share;
+    const double value = predictor_->envelope(model, v.spec->global_batch,
+                                              selector_, g, cpu_share * g);
+    while (g > 1 &&
+           predictor_->envelope(model, v.spec->global_batch, selector_, g - 1,
+                                cpu_share * (g - 1)) + 1e-12 >=
+               value)
+      --g;
+    if (value <= 0.0) continue;  // infeasible even at the share
+    if (!pack_job(state, input.cluster, v.spec->id, g, cpu_share, 1)) continue;
+    if (!commit_job_plan(state, *predictor_, *input.estimator, *input.models,
+                         input.cluster, v, selector_, chosen)) {
+      state.release_job(v.spec->id);
+      chosen.erase(v.spec->id);
+    }
+  }
+
+  return emit_assignments(state, input.jobs, chosen);
+}
+
+}  // namespace rubick

@@ -1,0 +1,29 @@
+// The "simple scheduler" of the paper's Fig. 8 micro-benchmark: splits the
+// cluster's GPUs evenly across jobs, but — like Rubick — is allowed to
+// reconfigure execution plans, so the comparison isolates the scheduling
+// policy (sensitivity-aware vs. egalitarian allocation).
+#pragma once
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "core/plan_selector.h"
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+class EqualSharePolicy final : public SchedulerPolicy {
+ public:
+  EqualSharePolicy() = default;
+
+  std::string name() const override { return "EqualShare"; }
+  std::vector<Assignment> schedule(const SchedulerInput& input) override;
+
+ private:
+  std::unique_ptr<BestPlanPredictor> predictor_;
+  const PerfModelStore* bound_store_ = nullptr;
+  std::uint64_t bound_version_ = 0;
+  FullPlanSelector selector_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,196 @@
+#include "baselines/sia.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+const PlanSelector& SiaPolicy::selector_for(const JobSpec& spec) {
+  auto it = selectors_.find(spec.id);
+  if (it == selectors_.end()) {
+    std::unique_ptr<PlanSelector> sel;
+    if (spec.initial_plan.tp == 1 && spec.initial_plan.pp == 1)
+      sel = std::make_unique<ScaledDpSelector>(spec.initial_plan);
+    else
+      sel = std::make_unique<FixedPlanSelector>(spec.initial_plan);
+    it = selectors_.emplace(spec.id, std::move(sel)).first;
+  }
+  return *it->second;
+}
+
+std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
+  RUBICK_CHECK(input.models != nullptr && input.estimator != nullptr);
+  if (bound_store_ != input.models ||
+      bound_version_ != input.models->version()) {
+    // Rebind (and drop prediction caches) when the store was swapped or a
+    // model was refitted online.
+    predictor_ = std::make_unique<BestPlanPredictor>(
+        input.cluster, *input.models, *input.estimator);
+    bound_store_ = input.models;
+    bound_version_ = input.models->version();
+  }
+
+  struct Info {
+    const JobView* view;
+    const ModelSpec* model;
+    const PlanSelector* selector;
+    bool scalable;   // DP-family initial plan
+    bool frozen;
+    double baseline;
+    int shard;       // tp * pp of the initial plan (allocation granularity)
+    int target = 0;  // water-filled GPU target
+  };
+
+  std::vector<Info> infos;
+  std::vector<std::pair<int, Placement>> running;
+  for (const auto& v : input.jobs) {
+    Info info;
+    info.view = &v;
+    info.model = &find_model(v.spec->model_name);
+    info.selector = &selector_for(*v.spec);
+    info.scalable = v.spec->initial_plan.tp == 1 && v.spec->initial_plan.pp == 1;
+    info.shard = v.spec->initial_plan.tp * v.spec->initial_plan.pp;
+    const double T = v.total_active_time_s;
+    const double nd = (v.reconfig_count + 1) * input.reconfig_penalty_s;
+    info.frozen =
+        v.running && (T <= 0.0 || (T - nd) / T < gate_threshold_);
+    auto bit = baseline_cache_.find(v.spec->id);
+    if (bit == baseline_cache_.end()) {
+      const PerfModel& perf = input.models->get(v.spec->model_name);
+      const PerfContext ctx = make_perf_context(
+          input.cluster, v.spec->requested.gpus, v.spec->requested.cpus);
+      double thr = 1e-9;
+      if (v.spec->initial_plan.valid_for(*info.model, v.spec->global_batch))
+        thr = perf.predict_throughput(*info.model, v.spec->initial_plan,
+                                      v.spec->global_batch, ctx);
+      bit = baseline_cache_.emplace(v.spec->id, thr).first;
+    }
+    info.baseline = bit->second;
+    if (v.running) running.emplace_back(v.spec->id, v.placement);
+    infos.push_back(info);
+  }
+
+  AllocState state(input.cluster, running);
+  std::map<int, ExecutionPlan> chosen;
+  for (const auto& info : infos)
+    if (info.view->running)
+      chosen[info.view->spec->id] = info.view->plan;
+
+  // Frozen jobs keep their allocation; everything else is re-derived from a
+  // clean slate (Sia re-solves its allocation every round).
+  int free_gpus = 0;
+  for (auto& info : infos) {
+    if (info.view->running && !info.frozen) {
+      state.release_job(info.view->spec->id);
+      chosen.erase(info.view->spec->id);
+    }
+  }
+  for (int n = 0; n < input.cluster.num_nodes; ++n)
+    free_gpus += state.free_gpus(n);
+
+  auto env = [&](const Info& info, int g) {
+    return predictor_->envelope(*info.model, info.view->spec->global_batch,
+                                *info.selector, g, std::max(1, 2 * g));
+  };
+
+  // Pollux-style statistical efficiency: scaling the DP size beyond the
+  // requested one means scaling the effective batch, and each sample then
+  // contributes less toward the accuracy target (the paper evaluates Sia
+  // against time-to-accuracy). Sia optimizes goodput = throughput x
+  // efficiency and pays this factor at execution time; Rubick never does
+  // (it keeps the global batch fixed by design).
+  auto efficiency = [](const Info& info, int gpus) {
+    const int d0 = std::max(1, info.view->spec->initial_plan.dp);
+    const int d = std::max(1, gpus / std::max(1, info.shard));
+    if (d <= d0) return 1.0;
+    const double noise = info.view->spec->grad_noise_rel;
+    const double r = static_cast<double>(d) / d0;
+    return (noise + 1.0) / (noise + r);
+  };
+
+  // --- Greedy goodput water-filling over whole DP shards. ---
+  while (free_gpus > 0) {
+    Info* best = nullptr;
+    double best_gain = 0.0;
+    int best_step = 0;
+    for (auto& info : infos) {
+      if (info.frozen) continue;
+      if (info.scalable) {
+        // Step to the next GPU count where the envelope actually rises (the
+        // curve can be flat over infeasible DP sizes, e.g. a large model
+        // whose smallest feasible ZeRO-DP size is 2).
+        const double here =
+            env(info, info.target) * efficiency(info, info.target);
+        int step = info.shard;  // == 1 for DP-family
+        double there = here;
+        while (step <= free_gpus) {
+          there = env(info, info.target + step) *
+                  efficiency(info, info.target + step);
+          if (there > here + 1e-12) break;
+          step += info.shard;
+        }
+        if (step > free_gpus || there <= here + 1e-12) continue;
+        const double gain = (there - here) / (info.baseline * step);
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best = &info;
+          best_step = step;
+        }
+      } else if (info.target == 0) {
+        const int need = info.view->spec->requested.gpus;
+        if (need > free_gpus) continue;
+        const double gain = env(info, need) / (info.baseline * need);
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best = &info;
+          best_step = need;
+        }
+      }
+    }
+    if (best == nullptr) break;
+    best->target += best_step;
+    free_gpus -= best_step;
+  }
+
+  // --- Place targets (largest first), then pick the scaled plan. ---
+  std::vector<Info*> order;
+  for (auto& info : infos)
+    if (!info.frozen && info.target > 0) order.push_back(&info);
+  std::sort(order.begin(), order.end(),
+            [](const Info* a, const Info* b) { return a->target > b->target; });
+
+  for (Info* info : order) {
+    const int id = info->view->spec->id;
+    int target = info->target;
+    const int chunk = std::max(1, info->view->spec->initial_plan.tp);
+    while (target >= info->shard && target > 0) {
+      if (pack_job(state, input.cluster, id, target, 2, chunk) &&
+          commit_job_plan(state, *predictor_, *input.estimator, *input.models,
+                          input.cluster, *info->view, *info->selector,
+                          chosen)) {
+        break;
+      }
+      state.release_job(id);
+      chosen.erase(id);
+      if (!info->scalable) break;  // all-or-nothing for fixed plans
+      target -= info->shard;       // fragmentation: try one shard fewer
+    }
+  }
+
+  std::vector<Assignment> out = emit_assignments(state, input.jobs, chosen);
+  for (auto& a : out) {
+    for (const auto& info : infos) {
+      if (info.view->spec->id != a.job_id) continue;
+      if (info.scalable)
+        a.statistical_efficiency =
+            efficiency(info, a.placement.total_gpus());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rubick

@@ -1,0 +1,40 @@
+// Sia baseline (Jayaram Subramanya et al., SOSP'23), as modelled in the
+// paper's evaluation (§7.3):
+//   * adapts GPU counts only along the data-parallel dimension — a job whose
+//     initial plan is DP-family (ZeRO/GA/GC included) is scaled by changing
+//     its DP size; a job with a 3D-parallel initial plan cannot be scaled
+//     and falls back to its fixed plan and fixed GPU count;
+//   * allocates GPUs by greedy goodput water-filling (normalized marginal
+//     speedup per GPU);
+//   * ignores multi-resource allocation beyond GPUs (CPUs pinned at 2/GPU).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "baselines/common.h"
+#include "core/plan_selector.h"
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+class SiaPolicy final : public SchedulerPolicy {
+ public:
+  explicit SiaPolicy(double gate_threshold = 0.97)
+      : gate_threshold_(gate_threshold) {}
+
+  std::string name() const override { return "Sia"; }
+  std::vector<Assignment> schedule(const SchedulerInput& input) override;
+
+ private:
+  const PlanSelector& selector_for(const JobSpec& spec);
+
+  double gate_threshold_;
+  std::unique_ptr<BestPlanPredictor> predictor_;
+  const PerfModelStore* bound_store_ = nullptr;
+  std::uint64_t bound_version_ = 0;
+  std::map<int, std::unique_ptr<PlanSelector>> selectors_;
+  std::map<int, double> baseline_cache_;
+};
+
+}  // namespace rubick

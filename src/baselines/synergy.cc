@@ -1,0 +1,85 @@
+#include "baselines/synergy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+
+const PlanSelector& SynergyPolicy::selector_for(const JobSpec& spec) {
+  auto it = selectors_.find(spec.id);
+  if (it == selectors_.end())
+    it = selectors_
+             .emplace(spec.id,
+                      std::make_unique<FixedPlanSelector>(spec.initial_plan))
+             .first;
+  return *it->second;
+}
+
+std::vector<Assignment> SynergyPolicy::schedule(const SchedulerInput& input) {
+  RUBICK_CHECK(input.models != nullptr && input.estimator != nullptr);
+  if (bound_store_ != input.models ||
+      bound_version_ != input.models->version()) {
+    // Rebind (and drop prediction caches) when the store was swapped or a
+    // model was refitted online.
+    predictor_ = std::make_unique<BestPlanPredictor>(
+        input.cluster, *input.models, *input.estimator);
+    bound_store_ = input.models;
+    bound_version_ = input.models->version();
+  }
+
+  std::vector<std::pair<int, Placement>> running;
+  for (const auto& v : input.jobs)
+    if (v.running) running.emplace_back(v.spec->id, v.placement);
+  AllocState state(input.cluster, running);
+
+  std::map<int, ExecutionPlan> chosen;
+  for (const auto& v : input.jobs)
+    if (v.running) chosen[v.spec->id] = v.plan;
+
+  // Pending jobs FCFS with backfill. Running jobs are never touched.
+  std::vector<const JobView*> pending;
+  for (const auto& v : input.jobs)
+    if (!v.running) pending.push_back(&v);
+  std::sort(pending.begin(), pending.end(),
+            [](const JobView* a, const JobView* b) {
+              return a->queued_since < b->queued_since;
+            });
+
+  for (const JobView* v : pending) {
+    const JobSpec& spec = *v->spec;
+    const ModelSpec& model = find_model(spec.model_name);
+    const PlanSelector& sel = selector_for(spec);
+    const int id = spec.id;
+    const int chunk = std::max(1, spec.initial_plan.tp);
+
+    // CPU-sensitive jobs get above-proportional cores; the rest get the
+    // input-pipeline floor (Synergy's core idea: disproportionate
+    // CPU/memory allocation driven by per-job sensitivity).
+    const int g = spec.requested.gpus;
+    const bool cpu_sensitive =
+        predictor_->cpu_slope_up(model, spec.global_batch, sel, g,
+                                 std::max(1, 2 * g)) > 1e-6;
+    const int cpu_per_gpu = cpu_sensitive ? 8 : 2;
+
+    const auto snap = state.snapshot();
+    bool ok = pack_job(state, input.cluster, id, g, cpu_per_gpu, chunk);
+    if (!ok && cpu_sensitive) {
+      // Not enough spare cores for the boosted share: fall back to floor.
+      ok = pack_job(state, input.cluster, id, g, 2, chunk);
+    }
+    if (ok)
+      ok = commit_job_plan(state, *predictor_, *input.estimator, *input.models,
+                           input.cluster, *v, sel, chosen);
+    if (!ok) {
+      state.restore(snap);
+      chosen.erase(id);
+      continue;  // backfill: try the next queued job
+    }
+  }
+
+  return emit_assignments(state, input.jobs, chosen);
+}
+
+}  // namespace rubick

@@ -1,0 +1,35 @@
+// Synergy baseline (Mohan et al., OSDI'22), as modelled in the paper's
+// evaluation (§7.3): keeps each job's GPU count fixed at its request and its
+// execution plan fixed at the user's choice, but breaks away from
+// GPU-proportional CPU allocation — CPU-sensitive jobs (ZeRO-Offload) get
+// extra cores at placement time while insensitive jobs run at the floor.
+// Jobs are gang-scheduled FCFS with backfill; placements never change after
+// start.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "baselines/common.h"
+#include "core/plan_selector.h"
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+class SynergyPolicy final : public SchedulerPolicy {
+ public:
+  SynergyPolicy() = default;
+
+  std::string name() const override { return "Synergy"; }
+  std::vector<Assignment> schedule(const SchedulerInput& input) override;
+
+ private:
+  const PlanSelector& selector_for(const JobSpec& spec);
+
+  std::unique_ptr<BestPlanPredictor> predictor_;
+  const PerfModelStore* bound_store_ = nullptr;
+  std::uint64_t bound_version_ = 0;
+  std::map<int, std::unique_ptr<PlanSelector>> selectors_;
+};
+
+}  // namespace rubick

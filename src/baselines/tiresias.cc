@@ -1,0 +1,103 @@
+#include "baselines/tiresias.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+
+const PlanSelector& TiresiasPolicy::selector_for(const JobSpec& spec) {
+  auto it = selectors_.find(spec.id);
+  if (it == selectors_.end())
+    it = selectors_
+             .emplace(spec.id,
+                      std::make_unique<FixedPlanSelector>(spec.initial_plan))
+             .first;
+  return *it->second;
+}
+
+std::vector<Assignment> TiresiasPolicy::schedule(const SchedulerInput& input) {
+  RUBICK_CHECK(input.models != nullptr && input.estimator != nullptr);
+  if (bound_store_ != input.models ||
+      bound_version_ != input.models->version()) {
+    predictor_ = std::make_unique<BestPlanPredictor>(
+        input.cluster, *input.models, *input.estimator);
+    bound_store_ = input.models;
+    bound_version_ = input.models->version();
+  }
+
+  // Integrate attained service since the previous round (running jobs only;
+  // the launch/restart pauses inside a round are ignored — an upper bound
+  // exactly like Tiresias' own accounting of occupied GPUs).
+  for (const auto& v : input.jobs) {
+    const int id = v.spec->id;
+    double& last = last_seen_s_.try_emplace(id, input.now).first->second;
+    if (v.running)
+      attained_gpu_s_[id] +=
+          (input.now - last) * v.placement.total_gpus();
+    last = input.now;
+  }
+
+  // Priority order: high queue (attained < threshold) before low queue,
+  // FCFS by submission inside each queue.
+  std::vector<const JobView*> order;
+  for (const auto& v : input.jobs) order.push_back(&v);
+  auto attained = [&](const JobView* v) {
+    auto it = attained_gpu_s_.find(v->spec->id);
+    return it == attained_gpu_s_.end() ? 0.0 : it->second;
+  };
+  std::sort(order.begin(), order.end(),
+            [&](const JobView* a, const JobView* b) {
+              const bool ha = attained(a) < threshold_;
+              const bool hb = attained(b) < threshold_;
+              if (ha != hb) return ha;
+              return a->spec->submit_time_s < b->spec->submit_time_s;
+            });
+
+  // Rebuild the allocation from scratch in priority order (preemptive LAS):
+  // each job takes its full request or waits.
+  AllocState state(input.cluster, {});
+  std::map<int, ExecutionPlan> chosen;
+  for (const JobView* v : order) {
+    const JobSpec& spec = *v->spec;
+    const int cpu_per_gpu = std::max(
+        1, (spec.requested.cpus + spec.requested.gpus - 1) /
+               spec.requested.gpus);
+    const int chunk = std::max(1, spec.initial_plan.tp);
+    // Keep a running job's existing placement when it still fits — avoids
+    // gratuitous checkpoint-resume churn between identical rounds.
+    if (v->running) {
+      bool fits = true;
+      for (const auto& s : v->placement.slices)
+        if (state.free_gpus(s.node) < s.gpus ||
+            state.free_cpus(s.node) < s.cpus)
+          fits = false;
+      if (fits) {
+        for (const auto& s : v->placement.slices) {
+          state.take_gpus(spec.id, s.node, s.gpus);
+          state.take_cpus(spec.id, s.node, s.cpus);
+        }
+        if (state.alloc_memory(spec.id, find_model(spec.model_name),
+                               v->plan, spec.global_batch,
+                               *input.estimator)) {
+          chosen[spec.id] = v->plan;
+          continue;
+        }
+        state.release_job(spec.id);
+      }
+    }
+    if (!pack_job(state, input.cluster, spec.id, spec.requested.gpus,
+                  cpu_per_gpu, chunk))
+      continue;
+    if (!commit_job_plan(state, *predictor_, *input.estimator, *input.models,
+                         input.cluster, *v, selector_for(spec), chosen)) {
+      state.release_job(spec.id);
+      chosen.erase(spec.id);
+    }
+  }
+
+  return emit_assignments(state, input.jobs, chosen);
+}
+
+}  // namespace rubick

@@ -1,0 +1,47 @@
+// Tiresias-style baseline (Gu et al., NSDI'19) — one of the classic
+// JCT-minimizing DL schedulers the paper positions against (§8).
+//
+// Discretized Least-Attained-Service: jobs are prioritized by how little
+// GPU-service (GPU x seconds) they have consumed so far, so short jobs
+// finish quickly without knowing durations in advance. Like the other
+// black-box baselines it never reconfigures: every job runs its submitted
+// plan on its requested GPUs, and lower-priority (high-attained-service)
+// jobs are preempted when higher-priority ones arrive. Two-queue
+// discretization follows the paper's spirit: jobs under the service
+// threshold form the high-priority queue, the rest the low-priority one,
+// FCFS inside each.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "baselines/common.h"
+#include "core/plan_selector.h"
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+class TiresiasPolicy final : public SchedulerPolicy {
+ public:
+  // Jobs below `queue_threshold_gpu_s` of attained GPU-service stay in the
+  // high-priority queue (Tiresias' queue demotion threshold).
+  explicit TiresiasPolicy(double queue_threshold_gpu_s = 8.0 * 3600.0)
+      : threshold_(queue_threshold_gpu_s) {}
+
+  std::string name() const override { return "Tiresias"; }
+  std::vector<Assignment> schedule(const SchedulerInput& input) override;
+
+ private:
+  const PlanSelector& selector_for(const JobSpec& spec);
+
+  double threshold_;
+  std::unique_ptr<BestPlanPredictor> predictor_;
+  const PerfModelStore* bound_store_ = nullptr;
+  std::uint64_t bound_version_ = 0;
+  std::map<int, std::unique_ptr<PlanSelector>> selectors_;
+  // Attained GPU-service per job, integrated across rounds.
+  std::map<int, double> attained_gpu_s_;
+  std::map<int, double> last_seen_s_;
+};
+
+}  // namespace rubick

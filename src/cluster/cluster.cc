@@ -1,0 +1,79 @@
+#include "cluster/cluster.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace rubick {
+
+Cluster::Cluster(const ClusterSpec& spec) : spec_(spec) {
+  RUBICK_CHECK(spec.num_nodes > 0);
+  RUBICK_CHECK_MSG(spec.node_speed.empty() ||
+                       spec.node_speed.size() ==
+                           static_cast<std::size_t>(spec.num_nodes),
+                   "node_speed must be empty or have one entry per node");
+  for (double s : spec.node_speed) RUBICK_CHECK(s > 0.0);
+  nodes_.reserve(static_cast<std::size_t>(spec.num_nodes));
+  for (int i = 0; i < spec.num_nodes; ++i) {
+    Node n;
+    n.id = i;
+    n.spec = spec.node;
+    n.free = n.capacity();
+    nodes_.push_back(n);
+  }
+}
+
+const Node& Cluster::node(int id) const {
+  RUBICK_CHECK_MSG(id >= 0 && id < num_nodes(), "bad node id " << id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+ResourceVector Cluster::free_total() const {
+  ResourceVector rv;
+  for (const auto& n : nodes_) rv += n.free;
+  return rv;
+}
+
+ResourceVector Cluster::capacity_total() const {
+  ResourceVector rv;
+  for (const auto& n : nodes_) rv += n.capacity();
+  return rv;
+}
+
+bool Cluster::can_allocate(const Placement& p) const {
+  for (const auto& s : p.slices) {
+    if (s.node < 0 || s.node >= num_nodes()) return false;
+    const ResourceVector want{s.gpus, s.cpus, s.host_memory_bytes};
+    if (!want.fits_within(nodes_[static_cast<std::size_t>(s.node)].free))
+      return false;
+  }
+  return true;
+}
+
+void Cluster::allocate(const Placement& p) {
+  RUBICK_CHECK_MSG(can_allocate(p),
+                   "allocation exceeds free resources: " << p.to_string());
+  for (const auto& s : p.slices)
+    nodes_[static_cast<std::size_t>(s.node)].free -=
+        ResourceVector{s.gpus, s.cpus, s.host_memory_bytes};
+}
+
+void Cluster::release(const Placement& p) {
+  for (const auto& s : p.slices) {
+    RUBICK_CHECK(s.node >= 0 && s.node < num_nodes());
+    Node& n = nodes_[static_cast<std::size_t>(s.node)];
+    n.free += ResourceVector{s.gpus, s.cpus, s.host_memory_bytes};
+    RUBICK_CHECK_MSG(n.free.fits_within(n.capacity()),
+                     "release overflows node " << s.node << " capacity");
+  }
+}
+
+std::string Cluster::to_string() const {
+  std::ostringstream os;
+  os << "Cluster(" << num_nodes() << " nodes; free:";
+  for (const auto& n : nodes_) os << " n" << n.id << "=" << n.free.to_string();
+  os << ")";
+  return os.str();
+}
+
+}  // namespace rubick

@@ -1,0 +1,90 @@
+// Cluster substrate: nodes with multi-resource capacity and link speeds.
+//
+// Default topology mirrors the paper's testbed (§7): 8 servers, each with
+// 8 NVIDIA A800-80GB GPUs, 96 vCPUs, 1600 GB host memory, 400 GB/s NVLink
+// intra-node, 100 GB/s RDMA inter-node; PCIe Gen4 for GPU<->host staging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "common/units.h"
+
+namespace rubick {
+
+struct NodeSpec {
+  int gpus = 8;
+  int cpus = 96;
+  std::uint64_t memory_bytes = gigabytes(1600);
+  std::uint64_t gpu_memory_bytes = gigabytes(80);
+};
+
+struct ClusterSpec {
+  int num_nodes = 8;
+  NodeSpec node;
+  // Optional per-node GPU speed factors (relative sustained throughput;
+  // 1.0 = the reference A800). Empty means homogeneous. A gang-synchronous
+  // job placed across nodes runs at its SLOWEST node's pace, so schedulers
+  // should avoid mixing speeds within one job (see speed_of()).
+  std::vector<double> node_speed;
+
+  double speed_of(int node_id) const {
+    if (node_speed.empty()) return 1.0;
+    return node_speed[static_cast<std::size_t>(node_id)];
+  }
+  bool heterogeneous() const { return !node_speed.empty(); }
+  double intra_node_bw_bps = gb_per_s(400);  // NVLink
+  // Effective per-flow RDMA bandwidth. The testbed advertises 100 GB/s of
+  // aggregate NIC bandwidth per server; a single collective's bottleneck
+  // pair sees a fraction of that, and it is that bottleneck the performance
+  // model divides by (paper §4.1).
+  double inter_node_bw_bps = gb_per_s(12.5);
+  double pcie_bw_bps = gb_per_s(25);         // GPU <-> host staging
+
+  int total_gpus() const { return num_nodes * node.gpus; }
+};
+
+// Resource bookkeeping for one node.
+struct Node {
+  int id = 0;
+  NodeSpec spec;
+  ResourceVector free;
+
+  ResourceVector capacity() const {
+    return {spec.gpus, spec.cpus, spec.memory_bytes};
+  }
+};
+
+// Mutable cluster state: tracks free resources per node, with invariant
+// checks that no allocation exceeds capacity and every release matches a
+// previous allocation.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterSpec& spec = {});
+
+  const ClusterSpec& spec() const { return spec_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const;
+
+  ResourceVector free_total() const;
+  ResourceVector capacity_total() const;
+
+  // True iff every slice of `p` fits in the current free resources.
+  bool can_allocate(const Placement& p) const;
+
+  // Claims / returns the resources of a placement. Throws InvariantError on
+  // violation (the scheduler must never double-book).
+  void allocate(const Placement& p);
+  void release(const Placement& p);
+
+  std::string to_string() const;
+
+ private:
+  ClusterSpec spec_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,66 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rubick {
+
+void Placement::add(const NodeSlice& slice) {
+  RUBICK_CHECK(slice.gpus >= 0 && slice.cpus >= 0);
+  auto it = std::find_if(slices.begin(), slices.end(),
+                         [&](const NodeSlice& s) { return s.node == slice.node; });
+  if (it != slices.end()) {
+    it->gpus += slice.gpus;
+    it->cpus += slice.cpus;
+    it->host_memory_bytes += slice.host_memory_bytes;
+  } else {
+    slices.push_back(slice);
+    std::sort(slices.begin(), slices.end(),
+              [](const NodeSlice& a, const NodeSlice& b) {
+                return a.node < b.node;
+              });
+  }
+}
+
+ResourceVector Placement::total() const {
+  ResourceVector rv;
+  for (const auto& s : slices) {
+    rv.gpus += s.gpus;
+    rv.cpus += s.cpus;
+    rv.memory_bytes += s.host_memory_bytes;
+  }
+  return rv;
+}
+
+int Placement::total_gpus() const { return total().gpus; }
+int Placement::total_cpus() const { return total().cpus; }
+std::uint64_t Placement::total_host_memory() const {
+  return total().memory_bytes;
+}
+
+int Placement::min_slice_gpus() const {
+  int m = 0;
+  for (const auto& s : slices) {
+    if (s.gpus == 0) continue;
+    m = (m == 0) ? s.gpus : std::min(m, s.gpus);
+  }
+  return m;
+}
+
+std::string Placement::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    const auto& s = slices[i];
+    os << "n" << s.node << ":{g=" << s.gpus << ",c=" << s.cpus
+       << ",m=" << to_gigabytes(s.host_memory_bytes) << "GB}";
+    if (i + 1 < slices.size()) os << ", ";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rubick

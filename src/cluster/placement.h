@@ -1,0 +1,48 @@
+// Placements: which slice of which node a job occupies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/resource.h"
+
+namespace rubick {
+
+// A job's share of a single node.
+struct NodeSlice {
+  int node = 0;
+  int gpus = 0;
+  int cpus = 0;
+  std::uint64_t host_memory_bytes = 0;
+
+  friend bool operator==(const NodeSlice&, const NodeSlice&) = default;
+};
+
+// A placement is the list of node slices a job runs on. Slices are unique
+// per node and sorted by node id (canonical form maintained by add()).
+struct Placement {
+  std::vector<NodeSlice> slices;
+
+  // Merges into an existing slice for the node if present.
+  void add(const NodeSlice& slice);
+
+  ResourceVector total() const;
+  int total_gpus() const;
+  int total_cpus() const;
+  std::uint64_t total_host_memory() const;
+
+  int num_nodes() const { return static_cast<int>(slices.size()); }
+  bool multi_node() const { return slices.size() > 1; }
+  bool empty() const { return slices.empty(); }
+
+  // Smallest per-node GPU count among used nodes — the upper bound for a
+  // tensor-parallel group (TP stays inside a node).
+  int min_slice_gpus() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+}  // namespace rubick

@@ -1,0 +1,74 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace rubick {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  RUBICK_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    RUBICK_CHECK_MSG(arg.rfind("--", 0) == 0,
+                     "expected --flag, got '" << arg << "'");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else if (arg.rfind("no-", 0) == 0) {
+      values_[arg.substr(3)] = "false";
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 const std::string& def) {
+  known_.push_back(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int CliFlags::get_int(const std::string& name, int def) {
+  const std::string v = get_string(name, "");
+  if (v.empty()) return def;
+  return std::atoi(v.c_str());
+}
+
+double CliFlags::get_double(const std::string& name, double def) {
+  const std::string v = get_string(name, "");
+  if (v.empty()) return def;
+  return std::atof(v.c_str());
+}
+
+std::uint64_t CliFlags::get_u64(const std::string& name, std::uint64_t def) {
+  const std::string v = get_string(name, "");
+  if (v.empty()) return def;
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) {
+  const std::string v = get_string(name, "");
+  if (v.empty()) return def;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+void CliFlags::finish() const {
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (std::find(known_.begin(), known_.end(), key) == known_.end()) {
+      std::string flags;
+      for (const auto& k : known_) flags += " --" + k;
+      RUBICK_CHECK_MSG(false, "unknown flag --" << key << "; known flags:"
+                                                << flags);
+    }
+  }
+}
+
+}  // namespace rubick

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the tools and benches.
+//
+// Supports `--key=value` and `--key value` forms plus boolean switches
+// (`--flag` / `--no-flag`). Unknown flags raise an error listing the flags
+// that were registered, so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rubick {
+
+class CliFlags {
+ public:
+  // Parses argv; throws InvariantError on malformed or unknown flags once
+  // `finish()` is called (flags are validated lazily so the caller can
+  // declare them with defaults first).
+  CliFlags(int argc, char** argv);
+
+  // Declares a flag and returns its value (or the default). Each getter
+  // also marks the flag as known for unknown-flag detection.
+  std::string get_string(const std::string& name, const std::string& def);
+  int get_int(const std::string& name, int def);
+  double get_double(const std::string& name, double def);
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def);
+  bool get_bool(const std::string& name, bool def);
+
+  // Validates that every flag the user passed was declared; call after all
+  // getters. Throws InvariantError otherwise.
+  void finish() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> known_;
+};
+
+}  // namespace rubick

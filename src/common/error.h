@@ -1,0 +1,46 @@
+// Lightweight invariant-checking macros used across the library.
+//
+// RUBICK_CHECK is always on (also in release builds): the scheduler is a
+// long-running control-plane component, so violated invariants must fail fast
+// with a diagnosable message instead of silently corrupting allocations.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rubick {
+
+// Thrown whenever a library invariant or precondition is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RUBICK_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rubick
+
+#define RUBICK_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::rubick::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define RUBICK_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream os_;                                           \
+      os_ << msg;                                                       \
+      ::rubick::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     os_.str());                        \
+    }                                                                   \
+  } while (0)

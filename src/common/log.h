@@ -1,0 +1,36 @@
+// Minimal leveled logger.
+//
+// The simulator and scheduler emit structured progress lines; benchmarks run
+// with logging at kWarn to keep their stdout machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rubick {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace rubick
+
+#define RUBICK_LOG(level, msg)                                  \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::rubick::log_level())) {              \
+      std::ostringstream os_;                                   \
+      os_ << msg;                                               \
+      ::rubick::detail::log_line(level, os_.str());             \
+    }                                                           \
+  } while (0)
+
+#define RUBICK_DEBUG(msg) RUBICK_LOG(::rubick::LogLevel::kDebug, msg)
+#define RUBICK_INFO(msg) RUBICK_LOG(::rubick::LogLevel::kInfo, msg)
+#define RUBICK_WARN(msg) RUBICK_LOG(::rubick::LogLevel::kWarn, msg)
+#define RUBICK_ERROR(msg) RUBICK_LOG(::rubick::LogLevel::kError, msg)

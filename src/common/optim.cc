@@ -1,0 +1,131 @@
+#include "common/optim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rubick {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+void clamp_into(Vec& x, const Vec& lo, const Vec& hi) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::clamp(x[i], lo[i], hi[i]);
+}
+
+struct Vertex {
+  Vec x;
+  double fx;
+};
+
+// One Nelder–Mead run from a given start; returns the best vertex found.
+Vertex run_once(const std::function<double(const Vec&)>& f, Vec start,
+                const Vec& lo, const Vec& hi, int max_iters, double tol,
+                int& iters_used) {
+  const std::size_t n = start.size();
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  clamp_into(start, lo, hi);
+  simplex.push_back({start, f(start)});
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec v = start;
+    const double span = hi[i] - lo[i];
+    double step = 0.1 * span;
+    if (v[i] + step > hi[i]) step = -step;
+    v[i] += step;
+    clamp_into(v, lo, hi);
+    simplex.push_back({v, f(v)});
+  }
+
+  auto by_value = [](const Vertex& a, const Vertex& b) { return a.fx < b.fx; };
+
+  int iter = 0;
+  for (; iter < max_iters; ++iter) {
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    if (simplex.back().fx - simplex.front().fx < tol) break;
+
+    // Centroid of all but the worst vertex.
+    Vec centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < n; ++v) centroid[i] += simplex[v].x[i];
+      centroid[i] /= static_cast<double>(n);
+    }
+    const Vertex& worst = simplex.back();
+
+    auto affine = [&](double t) {
+      Vec y(n);
+      for (std::size_t i = 0; i < n; ++i)
+        y[i] = centroid[i] + t * (centroid[i] - worst.x[i]);
+      clamp_into(y, lo, hi);
+      return y;
+    };
+
+    Vec xr = affine(1.0);  // reflection
+    const double fr = f(xr);
+    if (fr < simplex.front().fx) {
+      Vec xe = affine(2.0);  // expansion
+      const double fe = f(xe);
+      simplex.back() = fe < fr ? Vertex{xe, fe} : Vertex{xr, fr};
+      continue;
+    }
+    if (fr < simplex[n - 1].fx) {
+      simplex.back() = {xr, fr};
+      continue;
+    }
+    Vec xc = affine(0.5);  // outside/inside contraction toward centroid
+    const double fc = f(xc);
+    if (fc < worst.fx) {
+      simplex.back() = {xc, fc};
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t v = 1; v < simplex.size(); ++v) {
+      for (std::size_t i = 0; i < n; ++i)
+        simplex[v].x[i] =
+            simplex[0].x[i] + 0.5 * (simplex[v].x[i] - simplex[0].x[i]);
+      clamp_into(simplex[v].x, lo, hi);
+      simplex[v].fx = f(simplex[v].x);
+    }
+  }
+  iters_used += iter;
+  std::sort(simplex.begin(), simplex.end(), by_value);
+  return simplex.front();
+}
+
+}  // namespace
+
+OptimResult nelder_mead(const std::function<double(const Vec&)>& f,
+                        Vec initial, const Vec& lower, const Vec& upper,
+                        const OptimOptions& opts) {
+  const std::size_t n = initial.size();
+  RUBICK_CHECK(n > 0);
+  RUBICK_CHECK(lower.size() == n && upper.size() == n);
+  for (std::size_t i = 0; i < n; ++i) RUBICK_CHECK(lower[i] < upper[i]);
+
+  Rng rng(opts.seed);
+  OptimResult best;
+  best.value = std::numeric_limits<double>::infinity();
+
+  for (int r = 0; r < std::max(1, opts.restarts); ++r) {
+    Vec start(n);
+    if (r == 0) {
+      start = initial;
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        start[i] = rng.uniform(lower[i], upper[i]);
+    }
+    const Vertex v = run_once(f, std::move(start), lower, upper,
+                              opts.max_iterations, opts.tolerance,
+                              best.iterations);
+    if (v.fx < best.value) {
+      best.value = v.fx;
+      best.x = v.x;
+    }
+  }
+  return best;
+}
+
+}  // namespace rubick

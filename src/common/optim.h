@@ -1,0 +1,39 @@
+// Derivative-free minimization used to fit the performance model.
+//
+// The paper fits 7 positive parameters by minimizing RMSLE over sampled
+// throughput measurements (§4.3). We provide a bounded Nelder–Mead simplex
+// with random restarts: the objective is smooth but non-convex in the overlap
+// exponents, and restarts make the fit robust to the tiny sample sizes the
+// paper uses (as few as 7 points).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rubick {
+
+struct OptimOptions {
+  int max_iterations = 4000;     // per restart
+  double tolerance = 1e-10;      // simplex spread termination
+  int restarts = 8;              // random restarts within bounds
+  std::uint64_t seed = 42;
+};
+
+struct OptimResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int iterations = 0;  // total across restarts
+};
+
+// Minimizes `f` over the box [lower[i], upper[i]]. The initial guess is
+// clamped into the box and used for the first restart; subsequent restarts
+// draw random interior points. Box constraints are enforced by clamping
+// candidate vertices (adequate for our well-separated optima).
+OptimResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> initial, const std::vector<double>& lower,
+    const std::vector<double>& upper, const OptimOptions& opts = {});
+
+}  // namespace rubick

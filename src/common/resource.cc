@@ -1,0 +1,83 @@
+#include "common/resource.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rubick {
+
+const char* to_string(ResourceType t) {
+  switch (t) {
+    case ResourceType::kGpu:
+      return "GPU";
+    case ResourceType::kCpu:
+      return "CPU";
+    case ResourceType::kMemory:
+      return "Memory";
+  }
+  return "?";
+}
+
+double ResourceVector::get(ResourceType t) const {
+  switch (t) {
+    case ResourceType::kGpu:
+      return gpus;
+    case ResourceType::kCpu:
+      return cpus;
+    case ResourceType::kMemory:
+      return static_cast<double>(memory_bytes);
+  }
+  return 0.0;
+}
+
+void ResourceVector::add(ResourceType t, double amount) {
+  switch (t) {
+    case ResourceType::kGpu:
+      gpus += static_cast<int>(amount);
+      RUBICK_CHECK(gpus >= 0);
+      return;
+    case ResourceType::kCpu:
+      cpus += static_cast<int>(amount);
+      RUBICK_CHECK(cpus >= 0);
+      return;
+    case ResourceType::kMemory: {
+      const auto delta = static_cast<std::int64_t>(amount);
+      const auto current = static_cast<std::int64_t>(memory_bytes);
+      RUBICK_CHECK(current + delta >= 0);
+      memory_bytes = static_cast<std::uint64_t>(current + delta);
+      return;
+    }
+  }
+}
+
+ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
+  gpus += o.gpus;
+  cpus += o.cpus;
+  memory_bytes += o.memory_bytes;
+  return *this;
+}
+
+ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
+  RUBICK_CHECK_MSG(o.fits_within(*this),
+                   "resource underflow: " << to_string() << " -= "
+                                          << o.to_string());
+  gpus -= o.gpus;
+  cpus -= o.cpus;
+  memory_bytes -= o.memory_bytes;
+  return *this;
+}
+
+std::string ResourceVector::to_string() const {
+  std::ostringstream os;
+  os << "{gpu=" << gpus << ", cpu=" << cpus
+     << ", mem=" << to_gigabytes(memory_bytes) << "GB}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& rv) {
+  return os << rv.to_string();
+}
+
+}  // namespace rubick

@@ -1,0 +1,58 @@
+// Multi-resource vectors.
+//
+// The paper schedules three resource types per job: GPUs, CPUs and host
+// memory (network bandwidth is a property of the placement, not an allocated
+// quantity). ResourceVector is the value type used for requests, free
+// capacity, quotas and allocations throughout the scheduler.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace rubick {
+
+enum class ResourceType { kGpu, kCpu, kMemory };
+
+const char* to_string(ResourceType t);
+
+struct ResourceVector {
+  int gpus = 0;
+  int cpus = 0;
+  std::uint64_t memory_bytes = 0;
+
+  static ResourceVector zero() { return {}; }
+
+  bool is_zero() const { return gpus == 0 && cpus == 0 && memory_bytes == 0; }
+
+  // Component-wise comparison: true iff every component of *this is <= other.
+  // Note this is a partial order; !(a.fits_within(b)) does not imply
+  // b.fits_within(a).
+  bool fits_within(const ResourceVector& other) const {
+    return gpus <= other.gpus && cpus <= other.cpus &&
+           memory_bytes <= other.memory_bytes;
+  }
+
+  double get(ResourceType t) const;
+  void add(ResourceType t, double amount);
+
+  ResourceVector& operator+=(const ResourceVector& o);
+  // Subtraction checks for underflow (an allocation may never exceed what is
+  // available); see resource.cc.
+  ResourceVector& operator-=(const ResourceVector& o);
+
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    return a += b;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    return a -= b;
+  }
+  friend bool operator==(const ResourceVector&, const ResourceVector&) =
+      default;
+
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceVector& rv);
+
+}  // namespace rubick

@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace rubick {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_seed(std::string_view s, std::uint64_t salt) {
+  std::uint64_t h = 0xCBF29CE484222325ull ^ salt;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return splitmix64(h);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(std::string_view tag) {
+  return Rng(next_u64() ^ hash_seed(tag));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RUBICK_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RUBICK_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; discards the second variate for simplicity.
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  RUBICK_CHECK(rate > 0.0);
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted_index(const double* weights, std::size_t n) {
+  RUBICK_CHECK(n > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    RUBICK_CHECK(weights[i] >= 0.0);
+    total += weights[i];
+  }
+  RUBICK_CHECK(total > 0.0);
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < n; ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace rubick

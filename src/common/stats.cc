@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rubick {
+
+double mean(std::span<const double> xs) {
+  RUBICK_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  RUBICK_CHECK(xs.size() >= 2);
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  RUBICK_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  RUBICK_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  RUBICK_CHECK(!xs.empty());
+  RUBICK_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double rmsle(std::span<const double> predicted,
+             std::span<const double> actual) {
+  RUBICK_CHECK(predicted.size() == actual.size());
+  RUBICK_CHECK(!predicted.empty());
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    RUBICK_CHECK_MSG(predicted[i] > 0.0 && actual[i] > 0.0,
+                     "rmsle requires positive values");
+    const double d = std::log(predicted[i]) - std::log(actual[i]);
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double mape(std::span<const double> predicted, std::span<const double> actual) {
+  RUBICK_CHECK(predicted.size() == actual.size());
+  RUBICK_CHECK(!predicted.empty());
+  double s = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    RUBICK_CHECK(actual[i] != 0.0);
+    s += std::abs(predicted[i] - actual[i]) / std::abs(actual[i]);
+  }
+  return s / static_cast<double>(predicted.size());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary out;
+  if (xs.empty()) return out;
+  out.count = xs.size();
+  out.mean = mean(xs);
+  out.p50 = percentile(xs, 0.5);
+  out.p99 = percentile(xs, 0.99);
+  out.max = max_of(xs);
+  return out;
+}
+
+}  // namespace rubick

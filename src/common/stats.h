@@ -1,0 +1,39 @@
+// Small statistics helpers shared by the fitter, the simulator metrics and
+// the benchmark reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rubick {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  // sample stddev (n-1)
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+// p in [0, 1]; linear interpolation between order statistics.
+// percentile({..}, 0.99) is the P99 used in the paper's JCT tables.
+double percentile(std::span<const double> xs, double p);
+
+// Root mean squared logarithmic error between predictions and targets;
+// the objective minimized when fitting the performance model (paper §4.3).
+// Both inputs must be positive and the same length.
+double rmsle(std::span<const double> predicted, std::span<const double> actual);
+
+// Mean absolute percentage error, |pred - actual| / actual, as a fraction.
+double mape(std::span<const double> predicted, std::span<const double> actual);
+
+// Summary of a sample, used for JCT reporting.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace rubick

@@ -1,0 +1,31 @@
+// Plain-text table formatting for benchmark reports.
+//
+// Each bench binary reproduces one table/figure of the paper and prints it as
+// an aligned text table (plus optional CSV), so `bench_output.txt` can be
+// compared against the paper side by side.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rubick {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,43 @@
+// Unit conventions and conversion helpers.
+//
+// The whole library uses a single, explicit unit system:
+//   time        : seconds (double)
+//   memory      : bytes (std::uint64_t) — helpers for GiB below
+//   bandwidth   : bytes per second (double) — helpers for GB/s below
+//   throughput  : training samples per second (double)
+//   parameters  : raw count (std::uint64_t); bytes via element size
+//
+// Quantities embedded in identifiers carry suffixes (_s, _bytes, _bps).
+#pragma once
+
+#include <cstdint>
+
+namespace rubick {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+// The paper reports link speeds in GB/s (decimal).
+constexpr double gb_per_s(double gb) { return gb * kGiga; }
+
+// GPU / host memory sizes are reported in GiB-ish "GB"; we use decimal GB
+// consistently since only ratios matter for feasibility decisions.
+constexpr std::uint64_t gigabytes(double gb) {
+  return static_cast<std::uint64_t>(gb * kGiga);
+}
+
+constexpr double to_gigabytes(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / kGiga;
+}
+
+// Mixed-precision training: fp16 model weights / gradients, fp32 optimizer
+// state (master weights + Adam moments).
+inline constexpr std::uint64_t kBytesPerParamFp16 = 2;
+inline constexpr std::uint64_t kBytesPerParamFp32 = 4;
+
+constexpr double hours(double h) { return h * 3600.0; }
+constexpr double minutes(double m) { return m * 60.0; }
+constexpr double to_hours(double seconds) { return seconds / 3600.0; }
+
+}  // namespace rubick

@@ -1,0 +1,68 @@
+#include "convergence/dataset.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace rubick {
+
+DatasetSplits make_synthetic_dataset(int num_samples, int num_features,
+                                     std::uint64_t seed) {
+  RUBICK_CHECK(num_samples >= 10 && num_features >= 2);
+  Rng rng(seed);
+
+  // Teacher: x -> sign(w2 . tanh(W1 x)), a fixed random two-layer network.
+  const int teacher_hidden = 8;
+  std::vector<float> w1(static_cast<std::size_t>(teacher_hidden) *
+                        num_features);
+  std::vector<float> w2(static_cast<std::size_t>(teacher_hidden));
+  for (auto& w : w1) w = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& w : w2) w = static_cast<float>(rng.normal(0.0, 1.0));
+
+  Dataset all;
+  all.num_features = num_features;
+  all.features.resize(static_cast<std::size_t>(num_samples) * num_features);
+  all.labels.resize(static_cast<std::size_t>(num_samples));
+
+  for (int i = 0; i < num_samples; ++i) {
+    float* x = &all.features[static_cast<std::size_t>(i) * num_features];
+    for (int f = 0; f < num_features; ++f)
+      x[f] = static_cast<float>(rng.normal(0.0, 1.0));
+    double score = 0.0;
+    for (int h = 0; h < teacher_hidden; ++h) {
+      double pre = 0.0;
+      for (int f = 0; f < num_features; ++f)
+        pre += static_cast<double>(
+                   w1[static_cast<std::size_t>(h) * num_features + f]) *
+               x[f];
+      score += w2[static_cast<std::size_t>(h)] * std::tanh(pre);
+    }
+    float label = score > 0.0 ? 1.0f : 0.0f;
+    if (rng.bernoulli(0.05)) label = 1.0f - label;  // 5% label noise
+    all.labels[static_cast<std::size_t>(i)] = label;
+  }
+
+  const int n_train = num_samples * 70 / 100;
+  const int n_val = num_samples * 15 / 100;
+
+  auto slice = [&](int begin, int count) {
+    Dataset d;
+    d.num_features = num_features;
+    d.features.assign(
+        all.features.begin() + static_cast<std::ptrdiff_t>(begin) * num_features,
+        all.features.begin() +
+            static_cast<std::ptrdiff_t>(begin + count) * num_features);
+    d.labels.assign(all.labels.begin() + begin,
+                    all.labels.begin() + begin + count);
+    return d;
+  };
+
+  DatasetSplits splits;
+  splits.train = slice(0, n_train);
+  splits.validation = slice(n_train, n_val);
+  splits.test = slice(n_train + n_val, num_samples - n_train - n_val);
+  return splits;
+}
+
+}  // namespace rubick

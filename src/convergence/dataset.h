@@ -1,0 +1,43 @@
+// Synthetic classification dataset for the accuracy-preservation experiment
+// (paper Fig. 9 / Table 3).
+//
+// The paper validates that reconfiguration does not affect training accuracy
+// by comparing loss curves across resource/plan changes against the spread
+// caused by merely changing the random seed. We reproduce that mechanism
+// with a miniature but *real* training loop: data, model and optimizer are
+// actual computations, and DP / gradient accumulation are implemented as
+// true partitionings of the same global batch (see trainer.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rubick {
+
+struct Dataset {
+  int num_features = 0;
+  // Row-major features, one label in {0, 1} per sample.
+  std::vector<float> features;  // size = num_samples * num_features
+  std::vector<float> labels;
+
+  int num_samples() const {
+    return num_features == 0
+               ? 0
+               : static_cast<int>(labels.size());
+  }
+  const float* sample(int i) const { return &features[static_cast<std::size_t>(i) * num_features]; }
+};
+
+struct DatasetSplits {
+  Dataset train;
+  Dataset validation;
+  Dataset test;
+};
+
+// Generates a nonlinearly separable problem (two-layer teacher network plus
+// label noise), split 70/15/15. Deterministic in `seed`; the same seed used
+// by every execution-plan surrogate so only the training procedure varies.
+DatasetSplits make_synthetic_dataset(int num_samples, int num_features,
+                                     std::uint64_t seed);
+
+}  // namespace rubick

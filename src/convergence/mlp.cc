@@ -1,0 +1,98 @@
+#include "convergence/mlp.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace rubick {
+
+Mlp::Mlp(int num_features, int hidden, std::uint64_t init_seed)
+    : num_features_(num_features), hidden_(hidden) {
+  RUBICK_CHECK(num_features >= 1 && hidden >= 1);
+  params_.resize(static_cast<std::size_t>(hidden) * num_features + hidden +
+                 hidden + 1);
+  Rng rng(init_seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(num_features));
+  for (auto& p : params_) p = static_cast<float>(rng.normal(0.0, scale));
+}
+
+namespace {
+inline float sigmoidf(float z) {
+  return 1.0f / (1.0f + std::exp(-z));
+}
+}  // namespace
+
+float Mlp::forward(const float* x, std::vector<float>* hidden_out) const {
+  const float* w1 = params_.data();
+  const float* b1 = w1 + static_cast<std::size_t>(hidden_) * num_features_;
+  const float* w2 = b1 + hidden_;
+  const float b2 = *(w2 + hidden_);
+
+  float out = b2;
+  for (int h = 0; h < hidden_; ++h) {
+    float pre = b1[h];
+    const float* row = w1 + static_cast<std::size_t>(h) * num_features_;
+    for (int f = 0; f < num_features_; ++f) pre += row[f] * x[f];
+    const float act = std::tanh(pre);
+    if (hidden_out != nullptr) (*hidden_out)[static_cast<std::size_t>(h)] = act;
+    out += w2[h] * act;
+  }
+  return out;
+}
+
+float Mlp::loss_and_grad(const Dataset& data, const int* indices, int count,
+                         std::vector<float>* grad) const {
+  RUBICK_CHECK(grad != nullptr &&
+               grad->size() == params_.size() && count > 0);
+  const float* w1 = params_.data();
+  const float* w2 =
+      w1 + static_cast<std::size_t>(hidden_) * num_features_ + hidden_;
+  float* g_w1 = grad->data();
+  float* g_b1 = g_w1 + static_cast<std::size_t>(hidden_) * num_features_;
+  float* g_w2 = g_b1 + hidden_;
+  float* g_b2 = g_w2 + hidden_;
+
+  std::vector<float> act(static_cast<std::size_t>(hidden_));
+  float total_loss = 0.0f;
+  const float inv = 1.0f / static_cast<float>(count);
+
+  for (int i = 0; i < count; ++i) {
+    const int idx = indices[i];
+    const float* x = data.sample(idx);
+    const float y = data.labels[static_cast<std::size_t>(idx)];
+    const float logit = forward(x, &act);
+    const float p = sigmoidf(logit);
+    // Numerically stable BCE: log(1+exp(-|z|)) + max(z,0) - z*y.
+    const float z = logit;
+    total_loss += (std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0f) -
+                   z * y) *
+                  inv;
+
+    const float dlogit = (p - y) * inv;
+    *g_b2 += dlogit;
+    for (int h = 0; h < hidden_; ++h) {
+      const float a = act[static_cast<std::size_t>(h)];
+      g_w2[h] += dlogit * a;
+      const float dpre = dlogit * w2[h] * (1.0f - a * a);
+      g_b1[h] += dpre;
+      float* grow = g_w1 + static_cast<std::size_t>(h) * num_features_;
+      for (int f = 0; f < num_features_; ++f) grow[f] += dpre * x[f];
+    }
+  }
+  return total_loss;
+}
+
+float Mlp::loss(const Dataset& data) const {
+  float total = 0.0f;
+  const int n = data.num_samples();
+  RUBICK_CHECK(n > 0);
+  for (int i = 0; i < n; ++i) {
+    const float z = forward(data.sample(i), nullptr);
+    const float y = data.labels[static_cast<std::size_t>(i)];
+    total += std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0f) - z * y;
+  }
+  return total / static_cast<float>(n);
+}
+
+}  // namespace rubick

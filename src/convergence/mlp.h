@@ -1,0 +1,41 @@
+// A small two-layer MLP with binary cross-entropy loss — the model trained
+// in the accuracy-preservation experiments. Deliberately implemented with
+// float accumulations so that different gradient partitionings (DP ranks,
+// GA micro-batches) produce bit-level different but mathematically
+// equivalent updates, mirroring what happens on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "convergence/dataset.h"
+
+namespace rubick {
+
+class Mlp {
+ public:
+  Mlp(int num_features, int hidden, std::uint64_t init_seed);
+
+  int num_params() const { return static_cast<int>(params_.size()); }
+  const std::vector<float>& params() const { return params_; }
+  std::vector<float>& mutable_params() { return params_; }
+
+  // Mean BCE loss over [begin, begin+count) of `data`, and the gradient of
+  // that mean accumulated into `grad` (which must be zeroed by the caller
+  // and have num_params() entries). Returns the loss.
+  float loss_and_grad(const Dataset& data, const int* indices, int count,
+                      std::vector<float>* grad) const;
+
+  // Mean BCE loss over the whole dataset (no gradient).
+  float loss(const Dataset& data) const;
+
+ private:
+  float forward(const float* x, std::vector<float>* hidden_out) const;
+
+  int num_features_;
+  int hidden_;
+  // Layout: W1 [hidden x features], b1 [hidden], w2 [hidden], b2 [1].
+  std::vector<float> params_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,172 @@
+#include "convergence/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace rubick {
+
+std::vector<float> Trainer::partitioned_gradient(const Mlp& model,
+                                                 const Dataset& train,
+                                                 const std::vector<int>& batch,
+                                                 int dp, int ga_steps,
+                                                 float* loss_out) {
+  const int b = static_cast<int>(batch.size());
+  RUBICK_CHECK_MSG(b % (dp * ga_steps) == 0,
+                   "global batch " << b << " not divisible by dp*ga = "
+                                   << dp * ga_steps);
+  const int micro = b / (dp * ga_steps);
+  const std::size_t np = static_cast<std::size_t>(model.num_params());
+
+  // Per-rank accumulation over `ga_steps` micro-batches (local fp32 sums),
+  // then an all-reduce in rank order — the same shape real DP+GA training
+  // has. Each micro-gradient is the mean over its micro-batch; the final
+  // gradient is the mean of all micro-gradients.
+  std::vector<std::vector<float>> rank_grad(
+      static_cast<std::size_t>(dp), std::vector<float>(np, 0.0f));
+  float loss = 0.0f;
+  int cursor = 0;
+  for (int step = 0; step < ga_steps; ++step) {
+    for (int rank = 0; rank < dp; ++rank) {
+      std::vector<float> micro_grad(np, 0.0f);
+      loss += model.loss_and_grad(train, batch.data() + cursor, micro,
+                                  &micro_grad);
+      cursor += micro;
+      auto& acc = rank_grad[static_cast<std::size_t>(rank)];
+      for (std::size_t i = 0; i < np; ++i) acc[i] += micro_grad[i];
+    }
+  }
+
+  std::vector<float> total(np, 0.0f);
+  for (int rank = 0; rank < dp; ++rank) {  // ring-order reduction
+    const auto& acc = rank_grad[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < np; ++i) total[i] += acc[i];
+  }
+  const float scale = 1.0f / static_cast<float>(dp * ga_steps);
+  for (auto& g : total) g *= scale;
+  if (loss_out != nullptr) *loss_out = loss * scale;
+  return total;
+}
+
+TrainResult Trainer::train(const TrainerConfig& config) const {
+  return train_segment(config, nullptr, nullptr);
+}
+
+TrainResult Trainer::train_segment(const TrainerConfig& config,
+                                   const TrainerCheckpoint* resume_from,
+                                   TrainerCheckpoint* capture) const {
+  RUBICK_CHECK(!config.phases.empty());
+  RUBICK_CHECK(config.phases.front().from_step == 0);
+  const Dataset& train_set = data_->train;
+  RUBICK_CHECK(train_set.num_samples() >= config.global_batch);
+
+  Mlp model(train_set.num_features, config.hidden,
+            hash_seed("init", config.seed));
+  Rng order_rng(hash_seed("order", config.seed));
+
+  std::vector<int> perm(static_cast<std::size_t>(train_set.num_samples()));
+  std::iota(perm.begin(), perm.end(), 0);
+  int pos = train_set.num_samples();  // force an initial shuffle
+
+  std::vector<float> velocity(static_cast<std::size_t>(model.num_params()),
+                              0.0f);
+  std::vector<float> second_moment;
+  if (config.optimizer == OptimizerKind::kAdam)
+    second_moment.assign(static_cast<std::size_t>(model.num_params()), 0.0f);
+  int start_step = 0;
+  if (resume_from != nullptr) {
+    RUBICK_CHECK(resume_from->params.size() == model.params().size());
+    RUBICK_CHECK(resume_from->perm.size() == perm.size());
+    model.mutable_params() = resume_from->params;
+    velocity = resume_from->velocity;
+    second_moment = resume_from->second_moment;
+    perm = resume_from->perm;
+    pos = resume_from->pos;
+    order_rng = resume_from->order_rng;
+    start_step = resume_from->step;
+  }
+  RUBICK_CHECK(start_step <= config.steps);
+
+  TrainResult result;
+  std::size_t phase_idx = 0;
+
+  for (int step = start_step; step < config.steps; ++step) {
+    while (phase_idx + 1 < config.phases.size() &&
+           config.phases[phase_idx + 1].from_step <= step)
+      ++phase_idx;
+    const TrainPhase& phase = config.phases[phase_idx];
+
+    // Draw the next global batch from the shuffled stream. The order
+    // depends only on the seed — not on the partitioning — exactly like a
+    // seeded distributed sampler resumed from a checkpoint.
+    std::vector<int> batch(static_cast<std::size_t>(config.global_batch));
+    for (int i = 0; i < config.global_batch; ++i) {
+      if (pos >= train_set.num_samples()) {
+        for (int j = train_set.num_samples() - 1; j > 0; --j) {
+          const auto k =
+              static_cast<std::size_t>(order_rng.uniform_int(0, j));
+          std::swap(perm[static_cast<std::size_t>(j)], perm[k]);
+        }
+        pos = 0;
+      }
+      batch[static_cast<std::size_t>(i)] =
+          perm[static_cast<std::size_t>(pos++)];
+    }
+
+    float loss = 0.0f;
+    const std::vector<float> grad = partitioned_gradient(
+        model, train_set, batch, phase.dp, phase.ga_steps, &loss);
+
+    auto& params = model.mutable_params();
+    if (config.optimizer == OptimizerKind::kAdam) {
+      const auto lr = static_cast<float>(config.adam_lr);
+      const auto b1 = static_cast<float>(config.adam_beta1);
+      const auto b2 = static_cast<float>(config.adam_beta2);
+      const auto eps = static_cast<float>(config.adam_eps);
+      // Bias correction uses the global step count, so it survives
+      // checkpoint-resume unchanged.
+      const float c1 =
+          1.0f - std::pow(b1, static_cast<float>(step + 1));
+      const float c2 =
+          1.0f - std::pow(b2, static_cast<float>(step + 1));
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        velocity[i] = b1 * velocity[i] + (1.0f - b1) * grad[i];
+        second_moment[i] =
+            b2 * second_moment[i] + (1.0f - b2) * grad[i] * grad[i];
+        const float m_hat = velocity[i] / c1;
+        const float v_hat = second_moment[i] / c2;
+        params[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    } else {
+      const auto lr = static_cast<float>(config.learning_rate);
+      const auto mu = static_cast<float>(config.momentum);
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        velocity[i] = mu * velocity[i] + grad[i];
+        params[i] -= lr * velocity[i];
+      }
+    }
+
+    if (step % config.record_every == 0)
+      result.loss_curve.push_back(static_cast<double>(loss));
+  }
+
+  result.final_train_loss = model.loss(data_->train);
+  result.final_validation_loss = model.loss(data_->validation);
+  result.final_test_loss = model.loss(data_->test);
+
+  if (capture != nullptr) {
+    capture->step = config.steps;
+    capture->params = model.params();
+    capture->velocity = velocity;
+    capture->second_moment = second_moment;
+    capture->perm = perm;
+    capture->pos = pos;
+    capture->order_rng = order_rng;
+  }
+  return result;
+}
+
+}  // namespace rubick

@@ -1,0 +1,102 @@
+// Training harness with data parallelism and gradient accumulation as real
+// gradient partitionings (paper §7.2 "Accuracy during reconfiguration").
+//
+// A training step with global batch B, DP size d and GA steps a computes
+//   grad = (1/(d*a)) * sum over d ranks, a micro-steps of micro-gradients,
+// where each micro-gradient averages B/(d*a) samples. Mathematically this
+// is independent of (d, a) — exactly Rubick's argument that keeping the
+// global batch fixed preserves convergence. Partition boundaries change the
+// float summation order, so different configurations (and reconfigurations
+// mid-run) diverge only at round-off level, while changing the RNG seed
+// changes initialization and data order outright. Table 3 compares the two
+// spreads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "convergence/dataset.h"
+#include "convergence/mlp.h"
+
+namespace rubick {
+
+// One phase of a (possibly reconfigured) run: from step `from_step` on,
+// train with the given DP size and GA steps.
+struct TrainPhase {
+  int from_step = 0;
+  int dp = 1;
+  int ga_steps = 1;
+};
+
+enum class OptimizerKind {
+  kMomentumSgd,
+  kAdam,  // what the paper's training jobs actually run
+};
+
+struct TrainerConfig {
+  int steps = 3000;
+  int global_batch = 64;
+  int hidden = 16;
+  OptimizerKind optimizer = OptimizerKind::kMomentumSgd;
+  double learning_rate = 0.1;   // used by SGD; Adam uses adam_lr
+  double momentum = 0.9;
+  double adam_lr = 0.01;
+  double adam_beta1 = 0.9;
+  double adam_beta2 = 0.999;
+  double adam_eps = 1e-8;
+  std::uint64_t seed = 1;  // controls init AND data order
+  std::vector<TrainPhase> phases = {{0, 1, 1}};
+  int record_every = 50;  // loss-curve sampling interval
+};
+
+struct TrainResult {
+  std::vector<double> loss_curve;  // train loss every record_every steps
+  double final_train_loss = 0.0;
+  double final_validation_loss = 0.0;
+  double final_test_loss = 0.0;
+};
+
+// Full optimizer + sampler state at a step boundary — what Rubick's
+// checkpoint-resume reconfiguration saves and restores. Training that is
+// checkpointed, "relaunched" (possibly with a different DP/GA partitioning)
+// and resumed is bit-identical to an uninterrupted run with the same phase
+// schedule (see test_convergence).
+struct TrainerCheckpoint {
+  int step = 0;
+  std::vector<float> params;
+  std::vector<float> velocity;  // SGD momentum, or Adam first moment
+  std::vector<float> second_moment;  // Adam only (empty for SGD)
+  std::vector<int> perm;  // current epoch permutation
+  int pos = 0;            // cursor into perm
+  Rng order_rng{0};       // data-order RNG state
+};
+
+class Trainer {
+ public:
+  explicit Trainer(const DatasetSplits& data) : data_(&data) {}
+
+  TrainResult train(const TrainerConfig& config) const;
+
+  // Runs from `resume_from` (or from scratch when null) up to config.steps;
+  // captures the end-of-run state into `capture` when non-null. The
+  // loss_curve covers only the steps executed by this segment.
+  TrainResult train_segment(const TrainerConfig& config,
+                            const TrainerCheckpoint* resume_from,
+                            TrainerCheckpoint* capture) const;
+
+  // Exposed for property tests: the global-batch gradient computed with the
+  // given partitioning (sum of per-rank, per-micro-step gradients in tree
+  // order). Same (indices, model) with different (dp, ga) must agree to
+  // float round-off.
+  static std::vector<float> partitioned_gradient(const Mlp& model,
+                                                 const Dataset& train,
+                                                 const std::vector<int>& batch,
+                                                 int dp, int ga_steps,
+                                                 float* loss_out);
+
+ private:
+  const DatasetSplits* data_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,184 @@
+#include "core/alloc_state.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rubick {
+
+AllocState::AllocState(const ClusterSpec& spec,
+                       const std::vector<std::pair<int, Placement>>& running)
+    : spec_(spec) {
+  free_.resize(static_cast<std::size_t>(spec.num_nodes));
+  for (auto& f : free_)
+    f = ResourceVector{spec.node.gpus, spec.node.cpus, spec.node.memory_bytes};
+  for (const auto& [job, placement] : running) {
+    for (const auto& s : placement.slices) {
+      RUBICK_CHECK(s.node >= 0 && s.node < spec.num_nodes);
+      free_[static_cast<std::size_t>(s.node)] -=
+          ResourceVector{s.gpus, s.cpus, s.host_memory_bytes};
+      jobs_[job][s.node] = s;
+    }
+  }
+}
+
+int AllocState::free_gpus(int node) const {
+  return free_[static_cast<std::size_t>(node)].gpus;
+}
+int AllocState::free_cpus(int node) const {
+  return free_[static_cast<std::size_t>(node)].cpus;
+}
+std::uint64_t AllocState::free_memory(int node) const {
+  return free_[static_cast<std::size_t>(node)].memory_bytes;
+}
+
+int AllocState::job_gpus(int job) const {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return 0;
+  int total = 0;
+  for (const auto& [node, s] : it->second) total += s.gpus;
+  return total;
+}
+
+int AllocState::job_cpus(int job) const {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return 0;
+  int total = 0;
+  for (const auto& [node, s] : it->second) total += s.cpus;
+  return total;
+}
+
+int AllocState::job_gpus_on(int job, int node) const {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return 0;
+  auto sit = it->second.find(node);
+  return sit == it->second.end() ? 0 : sit->second.gpus;
+}
+
+int AllocState::job_cpus_on(int job, int node) const {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return 0;
+  auto sit = it->second.find(node);
+  return sit == it->second.end() ? 0 : sit->second.cpus;
+}
+
+std::vector<int> AllocState::job_nodes(int job) const {
+  std::vector<int> out;
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return out;
+  for (const auto& [node, s] : it->second)
+    if (s.gpus > 0 || s.cpus > 0) out.push_back(node);
+  return out;
+}
+
+void AllocState::take_gpus(int job, int node, int count) {
+  RUBICK_CHECK(count >= 0);
+  auto& f = free_[static_cast<std::size_t>(node)];
+  RUBICK_CHECK_MSG(f.gpus >= count, "node " << node << " lacks free GPUs");
+  f.gpus -= count;
+  auto& slice = slices_of(job)[node];
+  slice.node = node;
+  slice.gpus += count;
+}
+
+void AllocState::take_cpus(int job, int node, int count) {
+  RUBICK_CHECK(count >= 0);
+  auto& f = free_[static_cast<std::size_t>(node)];
+  RUBICK_CHECK_MSG(f.cpus >= count, "node " << node << " lacks free CPUs");
+  f.cpus -= count;
+  auto& slice = slices_of(job)[node];
+  slice.node = node;
+  slice.cpus += count;
+}
+
+void AllocState::give_back_gpus(int job, int node, int count) {
+  RUBICK_CHECK(count >= 0);
+  auto& slice = slices_of(job)[node];
+  RUBICK_CHECK_MSG(slice.gpus >= count, "job holds fewer GPUs than returned");
+  slice.node = node;
+  slice.gpus -= count;
+  free_[static_cast<std::size_t>(node)].gpus += count;
+}
+
+void AllocState::give_back_cpus(int job, int node, int count) {
+  RUBICK_CHECK(count >= 0);
+  auto& slice = slices_of(job)[node];
+  RUBICK_CHECK_MSG(slice.cpus >= count, "job holds fewer CPUs than returned");
+  slice.node = node;
+  slice.cpus -= count;
+  free_[static_cast<std::size_t>(node)].cpus += count;
+}
+
+void AllocState::release_job(int job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  for (const auto& [node, s] : it->second)
+    free_[static_cast<std::size_t>(node)] +=
+        ResourceVector{s.gpus, s.cpus, s.host_memory_bytes};
+  jobs_.erase(it);
+}
+
+void AllocState::release_memory(int job) {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  for (auto& [node, s] : it->second) {
+    free_[static_cast<std::size_t>(node)].memory_bytes += s.host_memory_bytes;
+    s.host_memory_bytes = 0;
+  }
+}
+
+bool AllocState::alloc_memory(int job, const ModelSpec& model,
+                              const ExecutionPlan& plan, int global_batch,
+                              const MemoryEstimator& estimator) {
+  (void)global_batch;
+  auto it = jobs_.find(job);
+  RUBICK_CHECK_MSG(it != jobs_.end(), "alloc_memory for job with no slices");
+
+  const std::uint64_t total = estimator.host_bytes(model, plan);
+  const int gpus = job_gpus(job);
+  RUBICK_CHECK(gpus > 0);
+
+  // Distribute proportionally to the job's GPUs per node (workers are bound
+  // to GPUs, so their host footprint follows them).
+  std::vector<std::pair<int, std::uint64_t>> wants;
+  std::uint64_t assigned = 0;
+  for (const auto& [node, s] : it->second) {
+    if (s.gpus == 0) continue;
+    const std::uint64_t share =
+        total * static_cast<std::uint64_t>(s.gpus) /
+        static_cast<std::uint64_t>(gpus);
+    wants.emplace_back(node, share);
+    assigned += share;
+  }
+  if (!wants.empty()) wants.front().second += total - assigned;  // remainder
+
+  for (const auto& [node, share] : wants)
+    if (free_[static_cast<std::size_t>(node)].memory_bytes < share)
+      return false;
+
+  for (const auto& [node, share] : wants) {
+    free_[static_cast<std::size_t>(node)].memory_bytes -= share;
+    it->second[node].host_memory_bytes += share;
+  }
+  return true;
+}
+
+Placement AllocState::placement_of(int job) const {
+  Placement p;
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return p;
+  for (const auto& [node, s] : it->second)
+    if (s.gpus > 0 || s.cpus > 0 || s.host_memory_bytes > 0) p.add(s);
+  return p;
+}
+
+AllocState::Snapshot AllocState::snapshot() const {
+  return Snapshot{free_, jobs_};
+}
+
+void AllocState::restore(const Snapshot& snap) {
+  free_ = snap.free;
+  jobs_ = snap.jobs;
+}
+
+}  // namespace rubick

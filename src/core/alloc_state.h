@@ -1,0 +1,78 @@
+// Mutable working state for a scheduling round: per-node free resources and
+// per-job per-node allocations. Algorithm 1 takes free resources, shrinks
+// victims and rolls back failed placements against this structure; the
+// final state is converted into Placements for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "model/model_spec.h"
+#include "plan/memory_estimator.h"
+
+namespace rubick {
+
+class AllocState {
+ public:
+  // Starts from an empty cluster, then registers the given running jobs'
+  // placements (including their host memory).
+  AllocState(const ClusterSpec& spec,
+             const std::vector<std::pair<int, Placement>>& running);
+
+  int num_nodes() const { return static_cast<int>(free_.size()); }
+  int free_gpus(int node) const;
+  int free_cpus(int node) const;
+  std::uint64_t free_memory(int node) const;
+
+  int job_gpus(int job) const;
+  int job_cpus(int job) const;
+  int job_gpus_on(int job, int node) const;
+  int job_cpus_on(int job, int node) const;
+
+  // Node ids where the job currently holds GPUs.
+  std::vector<int> job_nodes(int job) const;
+
+  // Moves `count` GPUs/CPUs from the node's free pool to the job.
+  void take_gpus(int job, int node, int count);
+  void take_cpus(int job, int node, int count);
+  // Returns resources from the job to the node's free pool.
+  void give_back_gpus(int job, int node, int count);
+  void give_back_cpus(int job, int node, int count);
+
+  // Releases everything a job holds (GPUs, CPUs, memory).
+  void release_job(int job);
+  // Releases only the job's host memory (before re-planning).
+  void release_memory(int job);
+
+  // Distributes the plan's host-memory demand across the job's nodes
+  // (proportionally to its GPUs there). Returns false — with no state
+  // change — if any node lacks free memory. This is AllocMem of Alg. 1.
+  bool alloc_memory(int job, const ModelSpec& model, const ExecutionPlan& plan,
+                    int global_batch, const MemoryEstimator& estimator);
+
+  // Current placement of the job (empty if it holds nothing).
+  Placement placement_of(int job) const;
+
+  // Whole-state snapshot/rollback (used when ScheduleJob fails).
+  struct Snapshot;
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  struct Snapshot {
+    std::vector<ResourceVector> free;
+    std::map<int, std::map<int, NodeSlice>> jobs;
+  };
+
+ private:
+  std::map<int, NodeSlice>& slices_of(int job) { return jobs_[job]; }
+
+  ClusterSpec spec_;
+  std::vector<ResourceVector> free_;
+  // job id -> node id -> slice
+  std::map<int, std::map<int, NodeSlice>> jobs_;
+};
+
+}  // namespace rubick

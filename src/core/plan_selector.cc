@@ -1,0 +1,71 @@
+#include "core/plan_selector.h"
+
+#include <sstream>
+
+namespace rubick {
+
+std::vector<ExecutionPlan> FullPlanSelector::candidates(
+    const ModelSpec& model, int global_batch,
+    const PlanConstraints& constraints,
+    const MemoryEstimator& estimator) const {
+  return enumerate_plans(model, global_batch, constraints, estimator);
+}
+
+std::vector<ExecutionPlan> ScaledDpSelector::candidates(
+    const ModelSpec& model, int global_batch,
+    const PlanConstraints& constraints,
+    const MemoryEstimator& estimator) const {
+  std::vector<ExecutionPlan> out;
+  const int g = constraints.num_gpus;
+  const int shard = initial_.tp * initial_.pp;
+  if (g % shard != 0) return out;
+  if (initial_.tp > constraints.max_tp) return out;
+
+  ExecutionPlan scaled = initial_;
+  scaled.dp = g / shard;
+  // Re-pick the GA steps (or keep micro-batching) so the batch divides.
+  if (scaled.pp > 1) {
+    if (scaled.valid_for(model, global_batch) &&
+        estimator.fits(model, scaled, global_batch, constraints.budget))
+      out.push_back(scaled);
+  } else {
+    for (int a : {1, 2, 4, 8, 16}) {
+      ExecutionPlan candidate = scaled;
+      candidate.ga_steps = a;
+      if (!candidate.valid_for(model, global_batch)) continue;
+      if (!estimator.fits(model, candidate, global_batch, constraints.budget))
+        continue;
+      out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+std::string ScaledDpSelector::cache_key() const {
+  std::ostringstream os;
+  os << "scaled-dp:" << initial_.display_name() << ":t" << initial_.tp << "p"
+     << initial_.pp;
+  return os.str();
+}
+
+std::vector<ExecutionPlan> FixedPlanSelector::candidates(
+    const ModelSpec& model, int global_batch,
+    const PlanConstraints& constraints,
+    const MemoryEstimator& estimator) const {
+  std::vector<ExecutionPlan> out;
+  if (constraints.num_gpus != plan_.num_gpus()) return out;
+  if (plan_.tp > constraints.max_tp) return out;
+  if (!plan_.valid_for(model, global_batch)) return out;
+  if (!estimator.fits(model, plan_, global_batch, constraints.budget))
+    return out;
+  out.push_back(plan_);
+  return out;
+}
+
+std::string FixedPlanSelector::cache_key() const {
+  std::ostringstream os;
+  os << "fixed:" << plan_.display_name() << ":g" << plan_.num_gpus();
+  return os.str();
+}
+
+}  // namespace rubick

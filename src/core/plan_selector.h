@@ -1,0 +1,77 @@
+// Plan selectors: which execution plans a scheduler may consider for a job.
+//
+// Rubick searches the full reconfiguration space; the ablations and
+// baselines restrict it (paper §7.3):
+//   * FullPlanSelector    — every feasible plan (Rubick, Rubick-E).
+//   * ScaledDpSelector    — the job's initial plan with only the DP size
+//                           scaled, Sia-style (Sia, Rubick-R).
+//   * FixedPlanSelector   — exactly the initial plan, exactly its GPU count
+//                           (Rubick-N, Synergy, AntMan).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+
+namespace rubick {
+
+class PlanSelector {
+ public:
+  virtual ~PlanSelector() = default;
+
+  // Candidate plans using exactly `constraints.num_gpus` GPUs; must already
+  // be filtered for validity and memory feasibility.
+  virtual std::vector<ExecutionPlan> candidates(
+      const ModelSpec& model, int global_batch,
+      const PlanConstraints& constraints,
+      const MemoryEstimator& estimator) const = 0;
+
+  // Stable key for memoization (distinct selector behaviors must differ).
+  virtual std::string cache_key() const = 0;
+};
+
+class FullPlanSelector final : public PlanSelector {
+ public:
+  std::vector<ExecutionPlan> candidates(
+      const ModelSpec& model, int global_batch,
+      const PlanConstraints& constraints,
+      const MemoryEstimator& estimator) const override;
+  std::string cache_key() const override { return "full"; }
+};
+
+class ScaledDpSelector final : public PlanSelector {
+ public:
+  explicit ScaledDpSelector(ExecutionPlan initial_plan)
+      : initial_(initial_plan) {}
+
+  // Keeps the plan's TP/PP sizes, ZeRO stage and GC flag; adjusts the DP
+  // size to fill the GPU count and the GA steps / micro-batch count to keep
+  // the global batch divisible.
+  std::vector<ExecutionPlan> candidates(
+      const ModelSpec& model, int global_batch,
+      const PlanConstraints& constraints,
+      const MemoryEstimator& estimator) const override;
+  std::string cache_key() const override;
+
+ private:
+  ExecutionPlan initial_;
+};
+
+class FixedPlanSelector final : public PlanSelector {
+ public:
+  explicit FixedPlanSelector(ExecutionPlan plan) : plan_(plan) {}
+
+  std::vector<ExecutionPlan> candidates(
+      const ModelSpec& model, int global_batch,
+      const PlanConstraints& constraints,
+      const MemoryEstimator& estimator) const override;
+  std::string cache_key() const override;
+
+ private:
+  ExecutionPlan plan_;
+};
+
+}  // namespace rubick

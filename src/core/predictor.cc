@@ -1,0 +1,227 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+BestPlanPredictor::BestPlanPredictor(const ClusterSpec& cluster,
+                                     const PerfModelStore& store,
+                                     const MemoryEstimator& estimator)
+    : cluster_(cluster), store_(&store), estimator_(&estimator) {}
+
+PlanConstraints BestPlanPredictor::constraints_for(int gpus,
+                                                   int max_tp) const {
+  PlanConstraints pc;
+  pc.num_gpus = gpus;
+  pc.max_tp = std::min(max_tp, cluster_.node.gpus);
+  pc.budget = make_memory_budget(cluster_, gpus);
+  return pc;
+}
+
+namespace {
+
+// Complexity score for tie-breaking: among plans predicted within float
+// noise of each other, prefer the structurally simplest (plain DP before
+// GA/GC/ZeRO variants, fewer shards before more).
+int plan_complexity(const ExecutionPlan& p) {
+  return (p.ga_steps - 1) + (p.grad_ckpt ? 1 : 0) +
+         (p.zero != ZeroStage::kNone ? 2 : 0) + 4 * (p.tp - 1) +
+         4 * (p.pp - 1);
+}
+
+constexpr double kTieRel = 1e-9;
+
+std::string cache_key(const ModelSpec& model, int batch,
+                      const PlanSelector& selector, int gpus, int cpus,
+                      int max_tp, bool multi_node) {
+  std::ostringstream os;
+  os << model.name << "|" << batch << "|" << selector.cache_key() << "|g"
+     << gpus << "c" << cpus << "t" << max_tp << "mn" << multi_node;
+  return os.str();
+}
+
+}  // namespace
+
+BestPlanPredictor::Prediction BestPlanPredictor::best_exact(
+    const ModelSpec& model, int global_batch, const PlanSelector& selector,
+    int gpus, int cpus, int max_tp, bool multi_node) {
+  if (gpus <= 0 || cpus <= 0) return {};
+  const std::string key =
+      cache_key(model, global_batch, selector, gpus, cpus, max_tp, multi_node);
+  auto it = exact_cache_.find(key);
+  if (it != exact_cache_.end()) return it->second;
+
+  const PlanConstraints pc = constraints_for(gpus, max_tp);
+  const std::vector<ExecutionPlan> plans =
+      selector.candidates(model, global_batch, pc, *estimator_);
+  PerfContext ctx = make_perf_context(cluster_, gpus, cpus);
+  ctx.multi_node = multi_node;
+  const PerfModel& perf = store_->get(model.name);
+
+  Prediction best;
+  for (const auto& plan : plans) {
+    const double thr =
+        perf.predict_throughput(model, plan, global_batch, ctx);
+    const bool wins =
+        !best.feasible || thr > best.throughput * (1.0 + kTieRel) ||
+        (thr > best.throughput * (1.0 - kTieRel) &&
+         plan_complexity(plan) < plan_complexity(best.plan));
+    if (wins) {
+      best.feasible = true;
+      best.throughput = thr;
+      best.plan = plan;
+    }
+  }
+  exact_cache_.emplace(key, best);
+  return best;
+}
+
+BestPlanPredictor::Prediction BestPlanPredictor::best_canonical(
+    const ModelSpec& model, int global_batch, const PlanSelector& selector,
+    int gpus, int cpus) {
+  const bool multi = gpus > cluster_.node.gpus;
+  const int max_tp = std::min(gpus, cluster_.node.gpus);
+  return best_exact(model, global_batch, selector, gpus, cpus, max_tp, multi);
+}
+
+std::vector<BestPlanPredictor::Prediction>
+BestPlanPredictor::ranked_for_placement(const ModelSpec& model,
+                                        int global_batch,
+                                        const PlanSelector& selector,
+                                        const Placement& placement) {
+  std::vector<Prediction> out;
+  const int gpus = placement.total_gpus();
+  const int cpus = placement.total_cpus();
+  if (gpus <= 0 || cpus <= 0) return out;
+
+  const PlanConstraints pc =
+      constraints_for(gpus, std::max(1, placement.min_slice_gpus()));
+  const std::vector<ExecutionPlan> plans =
+      selector.candidates(model, global_batch, pc, *estimator_);
+  const PerfContext ctx = make_perf_context(cluster_, placement);
+  const PerfModel& perf = store_->get(model.name);
+
+  out.reserve(plans.size());
+  for (const auto& plan : plans) {
+    // A TP group must sit inside one node: every slice must hold whole
+    // groups (checked again by the simulator).
+    if (plan.tp > 1) {
+      bool ok = true;
+      for (const auto& s : placement.slices)
+        if (s.gpus % plan.tp != 0) ok = false;
+      if (!ok) continue;
+    }
+    Prediction p;
+    p.feasible = true;
+    p.plan = plan;
+    p.throughput = perf.predict_throughput(model, plan, global_batch, ctx);
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Prediction& a, const Prediction& b) {
+              if (a.throughput > b.throughput * (1.0 + kTieRel)) return true;
+              if (b.throughput > a.throughput * (1.0 + kTieRel)) return false;
+              return plan_complexity(a.plan) < plan_complexity(b.plan);
+            });
+  return out;
+}
+
+void BestPlanPredictor::warm(const ModelSpec& model, int global_batch,
+                             const PlanSelector& selector, int max_gpus,
+                             int cpus_per_gpu) {
+  max_gpus = std::min(max_gpus, cluster_.total_gpus());
+  for (int g = 1; g <= max_gpus; ++g)
+    envelope(model, global_batch, selector, g,
+             std::max(1, cpus_per_gpu * g));
+}
+
+double BestPlanPredictor::envelope(const ModelSpec& model, int global_batch,
+                                   const PlanSelector& selector, int gpus,
+                                   int cpus) {
+  if (gpus <= 0 || cpus <= 0) return 0.0;
+  gpus = std::min(gpus, cluster_.total_gpus());
+  const std::string key =
+      cache_key(model, global_batch, selector, gpus, cpus, /*max_tp=*/-1,
+                /*multi_node=*/false) +
+      "|env";
+  auto it = envelope_cache_.find(key);
+  if (it != envelope_cache_.end()) return it->second;
+
+  double value = 0.0;
+  if (gpus > 1)
+    value = envelope(model, global_batch, selector, gpus - 1, cpus);
+  const Prediction p =
+      best_canonical(model, global_batch, selector, gpus, cpus);
+  value = std::max(value, p.throughput);
+  envelope_cache_.emplace(key, value);
+  return value;
+}
+
+double BestPlanPredictor::gpu_slope_up(const ModelSpec& model,
+                                       int global_batch,
+                                       const PlanSelector& selector, int gpus,
+                                       int cpus) {
+  // Average slope to the NEXT point where the envelope actually rises. On
+  // flat stretches (invalid GPU counts) the adjacent difference is zero and
+  // would make reallocation decisions myopic: gaining/losing 2 GPUs across
+  // an invalid count has a well-defined per-GPU value.
+  const int total = cluster_.total_gpus();
+  if (gpus >= total) return 0.0;
+  const double here = envelope(model, global_batch, selector, gpus, cpus);
+  for (int g2 = gpus + 1; g2 <= total; ++g2) {
+    const double there = envelope(model, global_batch, selector, g2, cpus);
+    if (there > here * (1.0 + kTieRel) + 1e-12)
+      return (there - here) / static_cast<double>(g2 - gpus);
+  }
+  return 0.0;
+}
+
+double BestPlanPredictor::gpu_slope_down(const ModelSpec& model,
+                                         int global_batch,
+                                         const PlanSelector& selector,
+                                         int gpus, int cpus) {
+  // Average slope down to the start of the PREVIOUS flat stretch: when a
+  // job shrinks below a valid count, the GPUs stranded on the flat stretch
+  // are worthless to it (commit trims them back to the pool), so the loss
+  // is amortized over all of them.
+  if (gpus <= 0) return 0.0;
+  const double here = envelope(model, global_batch, selector, gpus, cpus);
+  if (here <= 0.0) return 0.0;
+  for (int g1 = gpus - 1; g1 >= 0; --g1) {
+    const double there =
+        g1 == 0 ? 0.0 : envelope(model, global_batch, selector, g1, cpus);
+    if (there < here * (1.0 - kTieRel) - 1e-12) {
+      // Walk to the smallest count still achieving `there`.
+      int g2 = g1;
+      while (g2 > 0 &&
+             envelope(model, global_batch, selector, g2 - 1, cpus) >=
+                 there * (1.0 - kTieRel) - 1e-12)
+        --g2;
+      return (here - there) / static_cast<double>(gpus - g2);
+    }
+  }
+  return 0.0;
+}
+
+double BestPlanPredictor::cpu_slope_up(const ModelSpec& model,
+                                       int global_batch,
+                                       const PlanSelector& selector, int gpus,
+                                       int cpus) {
+  return envelope(model, global_batch, selector, gpus, cpus + 1) -
+         envelope(model, global_batch, selector, gpus, cpus);
+}
+
+double BestPlanPredictor::cpu_slope_down(const ModelSpec& model,
+                                         int global_batch,
+                                         const PlanSelector& selector,
+                                         int gpus, int cpus) {
+  if (cpus <= 1) return 0.0;
+  return envelope(model, global_batch, selector, gpus, cpus) -
+         envelope(model, global_batch, selector, gpus, cpus - 1);
+}
+
+}  // namespace rubick

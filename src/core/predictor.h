@@ -1,0 +1,93 @@
+// Best-plan prediction and resource sensitivity curves (paper §5.2).
+//
+// For a job (model type + global batch) and a hypothetical allocation, the
+// predictor enumerates the selector's candidate plans, ranks them with the
+// fitted performance model and memoizes the result. The sensitivity-curve
+// "envelope" is the maximum predicted throughput achievable with AT MOST g
+// GPUs — flat across invalid GPU counts exactly as in Fig. 6 — and its
+// finite-difference slopes drive the shrink/expand decisions of Algorithm 1.
+//
+// Curves use a canonical placement shape for each GPU count (packed into as
+// few nodes as possible); the final plan for a concrete placement is ranked
+// with the placement's real shape (max TP group, multi-node bandwidth).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "core/plan_selector.h"
+#include "sim/perf_store.h"
+
+namespace rubick {
+
+class BestPlanPredictor {
+ public:
+  BestPlanPredictor(const ClusterSpec& cluster, const PerfModelStore& store,
+                    const MemoryEstimator& estimator);
+
+  struct Prediction {
+    bool feasible = false;
+    double throughput = 0.0;  // samples/s; 0 when infeasible
+    ExecutionPlan plan;
+  };
+
+  // Best plan using EXACTLY g GPUs under the given placement shape.
+  Prediction best_exact(const ModelSpec& model, int global_batch,
+                        const PlanSelector& selector, int gpus, int cpus,
+                        int max_tp, bool multi_node);
+
+  // Best plan for g GPUs packed canonically.
+  Prediction best_canonical(const ModelSpec& model, int global_batch,
+                            const PlanSelector& selector, int gpus, int cpus);
+
+  // All feasible plans for a concrete placement, best first. The caller
+  // walks this list until host-memory allocation succeeds (paper Alg. 1
+  // lines 19-23).
+  std::vector<Prediction> ranked_for_placement(const ModelSpec& model,
+                                               int global_batch,
+                                               const PlanSelector& selector,
+                                               const Placement& placement);
+
+  // Sensitivity-curve value: max over g' <= gpus of best_canonical.
+  double envelope(const ModelSpec& model, int global_batch,
+                  const PlanSelector& selector, int gpus, int cpus);
+
+  // Finite-difference slopes of the curve at (gpus, cpus).
+  double gpu_slope_up(const ModelSpec& model, int global_batch,
+                      const PlanSelector& selector, int gpus, int cpus);
+  double gpu_slope_down(const ModelSpec& model, int global_batch,
+                        const PlanSelector& selector, int gpus, int cpus);
+  double cpu_slope_up(const ModelSpec& model, int global_batch,
+                      const PlanSelector& selector, int gpus, int cpus);
+  double cpu_slope_down(const ModelSpec& model, int global_batch,
+                        const PlanSelector& selector, int gpus, int cpus);
+
+  // Precomputes the envelope (and the exact-count entries beneath it) for
+  // every GPU count up to `max_gpus` — the paper's §5.2 note that curves
+  // "can be computed in parallel or even prior to the scheduling, and then
+  // cached". Scheduling rounds after a warm() are pure cache hits for this
+  // (model, selector, cpus-per-GPU profile).
+  void warm(const ModelSpec& model, int global_batch,
+            const PlanSelector& selector, int max_gpus, int cpus_per_gpu = 2);
+
+  // Number of memoized entries (diagnostic; used by tests and benches).
+  std::size_t cache_size() const {
+    return exact_cache_.size() + envelope_cache_.size();
+  }
+
+  const ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  PlanConstraints constraints_for(int gpus, int max_tp) const;
+
+  ClusterSpec cluster_;
+  const PerfModelStore* store_;
+  const MemoryEstimator* estimator_;
+  std::unordered_map<std::string, Prediction> exact_cache_;
+  std::unordered_map<std::string, double> envelope_cache_;
+};
+
+}  // namespace rubick

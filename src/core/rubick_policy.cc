@@ -1,0 +1,618 @@
+#include "core/rubick_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+namespace {
+// Minimum normalized-slope advantage before reallocating a unit (guards
+// against float-noise thrash between equal jobs).
+constexpr double kSlopeEps = 1e-9;
+// Minimum normalized CPU slope worth pursuing beyond the floor.
+constexpr double kCpuSlopeEps = 1e-4;
+}  // namespace
+
+RubickPolicy::RubickPolicy(RubickConfig config) : config_(std::move(config)) {}
+
+RubickConfig RubickPolicy::full() { return RubickConfig{}; }
+
+RubickConfig RubickPolicy::plans_only() {
+  RubickConfig c;
+  c.reallocate_resources = false;
+  return c;
+}
+
+RubickConfig RubickPolicy::resources_only() {
+  RubickConfig c;
+  c.reconfigure_plans = false;
+  c.scale_dp_when_fixed = true;
+  return c;
+}
+
+RubickConfig RubickPolicy::neither() {
+  RubickConfig c;
+  c.reconfigure_plans = false;
+  c.scale_dp_when_fixed = false;
+  c.reallocate_resources = false;
+  return c;
+}
+
+std::string RubickPolicy::name() const {
+  if (config_.reconfigure_plans && config_.reallocate_resources)
+    return "Rubick";
+  if (config_.reconfigure_plans) return "Rubick-E";
+  if (config_.reallocate_resources) return "Rubick-R";
+  return "Rubick-N";
+}
+
+const PlanSelector& RubickPolicy::selector_for(const JobSpec& spec) {
+  if (config_.reconfigure_plans) return full_selector_;
+  auto it = job_selectors_.find(spec.id);
+  if (it == job_selectors_.end()) {
+    std::unique_ptr<PlanSelector> sel;
+    if (config_.scale_dp_when_fixed)
+      sel = std::make_unique<ScaledDpSelector>(spec.initial_plan);
+    else
+      sel = std::make_unique<FixedPlanSelector>(spec.initial_plan);
+    it = job_selectors_.emplace(spec.id, std::move(sel)).first;
+  }
+  return *it->second;
+}
+
+struct RubickPolicy::JobInfo {
+  const JobView* view = nullptr;
+  const ModelSpec* model = nullptr;
+  const PlanSelector* selector = nullptr;
+  double baseline = 1.0;
+  ResourceVector min_res;
+  bool frozen = false;
+};
+
+std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
+  RUBICK_CHECK(input.models != nullptr && input.estimator != nullptr);
+  if (bound_store_ != input.models ||
+      bound_version_ != input.models->version()) {
+    // Rebind when the store was swapped or a model was refitted online; all
+    // derived predictions (curves, baselines, minRes) go stale with it.
+    predictor_ = std::make_unique<BestPlanPredictor>(
+        input.cluster, *input.models, *input.estimator);
+    sla_ = std::make_unique<SlaCalculator>(*predictor_, *input.models,
+                                           input.cluster,
+                                           config_.cpu_floor_per_gpu);
+    bound_store_ = input.models;
+    bound_version_ = input.models->version();
+  }
+
+  // ---------- Build per-job info. ----------
+  int free_gpus_now = input.cluster.total_gpus();
+  for (const auto& v : input.jobs)
+    if (v.running) free_gpus_now -= v.placement.total_gpus();
+
+  std::vector<JobInfo> infos;
+  infos.reserve(input.jobs.size());
+  std::vector<std::pair<int, Placement>> running;
+  for (const auto& v : input.jobs) {
+    JobInfo info;
+    info.view = &v;
+    info.model = &find_model(v.spec->model_name);
+    info.selector = &selector_for(*v.spec);
+    info.baseline = sla_->baseline_throughput(*v.spec);
+    info.min_res = sla_->min_res(*v.spec, *info.selector,
+                                 !config_.reallocate_resources);
+    if (v.running) {
+      // Reconfiguration-penalty gate (paper §5.2): only touch the job if
+      // (T - N*delta)/T stays above the threshold with one more reconfig.
+      // SLA priority overrides the gate: a job still below its minimum
+      // demand (opportunistically admitted) stays eligible to grow — but
+      // only when free GPUs exist, so below-min jobs don't churn victims
+      // every round while the cluster is packed.
+      const double T = v.total_active_time_s;
+      const double nd = (v.reconfig_count + 1) * input.reconfig_penalty_s;
+      const bool below_min_can_grow =
+          v.placement.total_gpus() < info.min_res.gpus && free_gpus_now > 0;
+      info.frozen = (T <= 0.0 || (T - nd) / T < config_.gate_threshold) &&
+                    !below_min_can_grow;
+      running.emplace_back(v.spec->id, v.placement);
+    }
+    infos.push_back(info);
+  }
+
+  AllocState state(input.cluster, running);
+  std::map<int, ExecutionPlan> chosen_plan;
+  for (const auto& info : infos)
+    if (info.view->running) chosen_plan[info.view->spec->id] = info.view->plan;
+
+  const int total_gpus = input.cluster.total_gpus();
+
+  // ---------- Slope helpers (normalized to per-job baseline speedup). ----
+  auto job_id = [](const JobInfo& info) { return info.view->spec->id; };
+  auto batch = [](const JobInfo& info) { return info.view->spec->global_batch; };
+
+  auto gpu_up = [&](const JobInfo& info) {
+    const int g = state.job_gpus(job_id(info));
+    const int c = std::max(1, state.job_cpus(job_id(info)));
+    return predictor_->gpu_slope_up(*info.model, batch(info), *info.selector,
+                                    g, c) /
+           info.baseline;
+  };
+  auto gpu_down = [&](const JobInfo& info) {
+    const int g = state.job_gpus(job_id(info));
+    const int c = std::max(1, state.job_cpus(job_id(info)));
+    return predictor_->gpu_slope_down(*info.model, batch(info), *info.selector,
+                                      g, c) /
+           info.baseline;
+  };
+  auto cpu_up = [&](const JobInfo& info) {
+    const int g = state.job_gpus(job_id(info));
+    if (g <= 0) return 0.0;
+    const int c = std::max(1, state.job_cpus(job_id(info)));
+    return predictor_->cpu_slope_up(*info.model, batch(info), *info.selector,
+                                    g, c) /
+           info.baseline;
+  };
+  auto cpu_down = [&](const JobInfo& info) {
+    const int g = state.job_gpus(job_id(info));
+    if (g <= 0) return 0.0;
+    const int c = std::max(1, state.job_cpus(job_id(info)));
+    return predictor_->cpu_slope_down(*info.model, batch(info), *info.selector,
+                                      g, c) /
+           info.baseline;
+  };
+
+  // Saturation point of the GPU sensitivity curve (smallest GPU count
+  // reaching the curve's maximum); jobs never take GPUs beyond it.
+  auto max_useful_gpus = [&](const JobInfo& info) {
+    int best_g = 1;
+    double best_v = 0.0;
+    for (int g = 1; g <= total_gpus; ++g) {
+      const int c = std::max(1, config_.cpu_floor_per_gpu * g);
+      const double v = predictor_->envelope(*info.model, batch(info),
+                                            *info.selector, g, c);
+      if (v > best_v * (1.0 + 1e-9)) {
+        best_v = v;
+        best_g = g;
+      }
+    }
+    return best_v > 0.0 ? best_g : 0;
+  };
+
+  auto min_feasible_gpus_for = [&](const JobInfo& info) {
+    for (int g = 1; g <= total_gpus; ++g) {
+      const int c = std::max(1, config_.cpu_floor_per_gpu * g);
+      if (predictor_->envelope(*info.model, batch(info), *info.selector, g,
+                               c) > 0.0)
+        return g;
+    }
+    return 0;
+  };
+
+  // ---------- Victim selection (GetLowestSlopeOverMinJob). ----------
+  // `allow_frozen` lets a claimant that is still below its minimum demand
+  // shrink even recently-reconfigured jobs: denying a guaranteed job its
+  // minRes admission would head-of-line block the queue, which is worse
+  // than charging the victim one extra checkpoint-resume cycle.
+  auto gpu_victim = [&](int node, int exclude, bool allow_frozen) -> JobInfo* {
+    JobInfo* best = nullptr;
+    double best_slope = std::numeric_limits<double>::infinity();
+    for (auto& cand : infos) {
+      const int id = job_id(cand);
+      if (id == exclude || (cand.frozen && !allow_frozen)) continue;
+      if (state.job_gpus_on(id, node) <= 0) continue;
+      const int g = state.job_gpus(id);
+      if (g <= cand.min_res.gpus) continue;  // must stay over its minimum
+      if (g - 1 == 0) {
+        if (cand.view->spec->guaranteed) continue;  // only BE is preemptible
+      } else {
+        // Shrinking must leave the victim at least one feasible plan.
+        const int c = std::max(1, state.job_cpus(id));
+        if (predictor_->envelope(*cand.model, batch(cand), *cand.selector,
+                                 g - 1, c) <= 0.0)
+          continue;
+      }
+      const double s = gpu_down(cand);
+      if (s < best_slope) {
+        best_slope = s;
+        best = &cand;
+      }
+    }
+    return best;
+  };
+
+  auto cpu_victim = [&](int node, int exclude, bool allow_frozen) -> JobInfo* {
+    JobInfo* best = nullptr;
+    double best_slope = std::numeric_limits<double>::infinity();
+    for (auto& cand : infos) {
+      const int id = job_id(cand);
+      if (id == exclude || (cand.frozen && !allow_frozen)) continue;
+      if (state.job_cpus_on(id, node) <= 0) continue;
+      const int floor_c = std::max(
+          cand.min_res.cpus, config_.cpu_floor_per_gpu * state.job_gpus(id));
+      if (state.job_cpus(id) <= std::max(1, floor_c)) continue;
+      const double s = cpu_down(cand);
+      if (s < best_slope) {
+        best_slope = s;
+        best = &cand;
+      }
+    }
+    return best;
+  };
+
+  auto shrink_victim_gpu = [&](JobInfo& victim, int node) {
+    const int id = job_id(victim);
+    state.give_back_gpus(id, node, 1);
+    if (state.job_gpus(id) == 0) {
+      // Shrunk to zero: preemption (best-effort only, checked above).
+      state.release_job(id);
+      chosen_plan.erase(id);
+    } else if (state.job_gpus_on(id, node) == 0 &&
+               state.job_cpus_on(id, node) > 0) {
+      // No GPUs left on this node: its CPUs there are useless, free them.
+      state.give_back_cpus(id, node, state.job_cpus_on(id, node));
+    }
+  };
+
+  // Gives one GPU back to the free pool from the job's smallest slice
+  // (releasing stranded CPUs with it). Returns false if the job holds none.
+  auto give_back_one_gpu = [&](int id) {
+    int pick = -1, pick_g = std::numeric_limits<int>::max();
+    for (int n : state.job_nodes(id)) {
+      const int gn = state.job_gpus_on(id, n);
+      if (gn > 0 && gn < pick_g) {
+        pick_g = gn;
+        pick = n;
+      }
+    }
+    if (pick < 0) return false;
+    state.give_back_gpus(id, pick, 1);
+    if (state.job_gpus_on(id, pick) == 0 && state.job_cpus_on(id, pick) > 0)
+      state.give_back_cpus(id, pick, state.job_cpus_on(id, pick));
+    return true;
+  };
+
+  // ---------- Plan + memory commit (GetBestPlan / AllocMem). ----------
+  auto commit_plan_memory = [&](JobInfo& info) -> bool {
+    const int id = job_id(info);
+    // The job may sit at a GPU count with no exact-count plan (the curve is
+    // flat across invalid counts): trim useless GPUs back to the free pool
+    // until the placement supports at least one plan.
+    while (state.job_gpus(id) > 0 &&
+           predictor_
+               ->ranked_for_placement(*info.model, batch(info),
+                                      *info.selector, state.placement_of(id))
+               .empty()) {
+      if (!give_back_one_gpu(id)) break;
+    }
+    const Placement placement = state.placement_of(id);
+    if (placement.total_gpus() <= 0) return false;
+    // Admission requires the full minimum demand; running jobs keep the
+    // best allocation they currently can (see grow_allocation).
+    if (!info.view->running &&
+        placement.total_gpus() < std::max(1, info.min_res.gpus))
+      return false;
+
+    // Unchanged allocation: keep the current plan unless a switch clears
+    // the thrash margin.
+    const bool same_shape = [&] {
+      if (!info.view->running) return false;
+      const Placement& cur = info.view->placement;
+      if (cur.slices.size() != placement.slices.size()) return false;
+      for (std::size_t i = 0; i < cur.slices.size(); ++i) {
+        if (cur.slices[i].node != placement.slices[i].node ||
+            cur.slices[i].gpus != placement.slices[i].gpus ||
+            cur.slices[i].cpus != placement.slices[i].cpus)
+          return false;
+      }
+      return true;
+    }();
+
+    auto ranked = predictor_->ranked_for_placement(
+        *info.model, batch(info), *info.selector, placement);
+    if (ranked.empty()) return false;
+
+    if (same_shape) {
+      const PerfModel& perf = input.models->get(info.model->name);
+      const PerfContext ctx = make_perf_context(input.cluster, placement);
+      const double current_thr = perf.predict_throughput(
+          *info.model, info.view->plan, batch(info), ctx);
+      if (ranked.front().throughput <
+          config_.plan_switch_gain * current_thr) {
+        chosen_plan[id] = info.view->plan;  // memory already in place
+        return true;
+      }
+    }
+
+    state.release_memory(id);
+    for (const auto& pred : ranked) {
+      if (state.alloc_memory(id, *info.model, pred.plan, batch(info),
+                             *input.estimator)) {
+        chosen_plan[id] = pred.plan;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // ---------- Gang placement (Rubick-E / Rubick-N: fixed resources). ----
+  auto gang_place = [&](JobInfo& info) -> bool {
+    if (info.view->running) return true;
+    const JobSpec& spec = *info.view->spec;
+    const int id = spec.id;
+    const int want_g = spec.requested.gpus;
+    const int cpu_per_gpu =
+        std::max(1, (spec.requested.cpus + want_g - 1) / want_g);
+
+    std::vector<int> order(static_cast<std::size_t>(input.cluster.num_nodes));
+    for (int n = 0; n < input.cluster.num_nodes; ++n)
+      order[static_cast<std::size_t>(n)] = n;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const double sa = input.cluster.speed_of(a);
+      const double sb = input.cluster.speed_of(b);
+      if (sa != sb) return sa > sb;
+      return state.free_gpus(a) > state.free_gpus(b);
+    });
+
+    int got = 0;
+    for (int n : order) {
+      if (got >= want_g) break;
+      int take = std::min(state.free_gpus(n), want_g - got);
+      take = std::min(take, state.free_cpus(n) / cpu_per_gpu);
+      if (take <= 0) continue;
+      state.take_gpus(id, n, take);
+      state.take_cpus(id, n, take * cpu_per_gpu);
+      got += take;
+    }
+    return got == want_g;
+  };
+
+  // ---------- ScheduleJob (Algorithm 1 lines 6-24). ----------
+  auto grow_allocation = [&](JobInfo& info) {
+    const JobSpec& spec = *info.view->spec;
+    const int id = spec.id;
+    const int max_g = max_useful_gpus(info);
+
+    // Visit nodes where the job already holds GPUs first (locality), then
+    // the rest by descending free GPUs.
+    std::vector<int> order;
+    for (int n : state.job_nodes(id)) order.push_back(n);
+    std::vector<int> rest;
+    for (int n = 0; n < input.cluster.num_nodes; ++n)
+      if (std::find(order.begin(), order.end(), n) == order.end())
+        rest.push_back(n);
+    // Prefer faster nodes (heterogeneous pods: a gang job paces at its
+    // slowest GPU), then emptier ones.
+    std::sort(rest.begin(), rest.end(), [&](int a, int b) {
+      const double sa = input.cluster.speed_of(a);
+      const double sb = input.cluster.speed_of(b);
+      if (sa != sb) return sa > sb;
+      return state.free_gpus(a) > state.free_gpus(b);
+    });
+    order.insert(order.end(), rest.begin(), rest.end());
+
+    for (int n : order) {
+      // --- GPUs ---
+      while (state.job_gpus(id) < max_g) {
+        if (state.free_gpus(n) > 0) {
+          state.take_gpus(id, n, 1);
+          continue;
+        }
+        const bool below_min = state.job_gpus(id) < info.min_res.gpus;
+        JobInfo* victim = gpu_victim(n, id, below_min);
+        if (victim == nullptr) break;
+        if (below_min || gpu_up(info) > gpu_down(*victim) + kSlopeEps) {
+          shrink_victim_gpu(*victim, n);
+          state.take_gpus(id, n, 1);
+        } else {
+          break;
+        }
+      }
+      // --- CPUs (only on nodes where the job holds GPUs) ---
+      if (state.job_gpus_on(id, n) <= 0) continue;
+      while (true) {
+        const int floor_c = std::max(
+            info.min_res.cpus, config_.cpu_floor_per_gpu * state.job_gpus(id));
+        const bool below_floor = state.job_cpus(id) < floor_c;
+        if (!below_floor && cpu_up(info) <= kCpuSlopeEps) break;
+        if (state.free_cpus(n) > 0) {
+          state.take_cpus(id, n, 1);
+          continue;
+        }
+        JobInfo* victim = cpu_victim(n, id, below_floor);
+        if (victim == nullptr) break;
+        if (below_floor || cpu_up(info) > cpu_down(*victim) + kSlopeEps) {
+          state.give_back_cpus(job_id(*victim), n, 1);
+          state.take_cpus(id, n, 1);
+        } else {
+          break;
+        }
+      }
+      RUBICK_DEBUG("grow " << id << " node " << n << ": g="
+                           << state.job_gpus(id) << " c="
+                           << state.job_cpus(id) << " max_g=" << max_g);
+    }
+
+    // Trim GPUs that sit on the flat part of the curve (beyond the smallest
+    // count achieving the same envelope value) back to the free pool.
+    {
+      const int c = std::max(1, state.job_cpus(id));
+      int g = state.job_gpus(id);
+      const double value =
+          predictor_->envelope(*info.model, batch(info), *info.selector, g, c);
+      while (g > std::max(1, info.min_res.gpus)) {
+        const double v1 = predictor_->envelope(*info.model, batch(info),
+                                               *info.selector, g - 1, c);
+        if (v1 + 1e-12 < value) break;
+        // Give back from the node with the smallest slice.
+        int pick = -1, pick_g = std::numeric_limits<int>::max();
+        for (int n : state.job_nodes(id)) {
+          const int gn = state.job_gpus_on(id, n);
+          if (gn > 0 && gn < pick_g) {
+            pick_g = gn;
+            pick = n;
+          }
+        }
+        if (pick < 0) break;
+        state.give_back_gpus(id, pick, 1);
+        if (state.job_gpus_on(id, pick) == 0 &&
+            state.job_cpus_on(id, pick) > 0)
+          state.give_back_cpus(id, pick, state.job_cpus_on(id, pick));
+        --g;
+      }
+    }
+
+    // Trimming may have released CPUs along with emptied slices; restore
+    // the input-pipeline floor from free cores on the remaining nodes.
+    {
+      const int floor_c = std::max(info.min_res.cpus,
+                                   config_.cpu_floor_per_gpu *
+                                       state.job_gpus(id));
+      for (int n : state.job_nodes(id)) {
+        while (state.job_cpus(id) < floor_c && state.free_cpus(n) > 0)
+          state.take_cpus(id, n, 1);
+      }
+    }
+
+    // A queued job must secure its full minimum demand to be admitted
+    // (Alg. 1 line 19). A RUNNING job keeps whatever it grew into: rolling
+    // back a partial growth to the old allocation would waste free
+    // resources whenever the full minRes is blocked by one unpreemptible
+    // GPU.
+    if (info.view->running)
+      return state.job_gpus(id) >= 1 && state.job_cpus(id) >= 1;
+    return state.job_gpus(id) >= std::max(1, info.min_res.gpus) &&
+           state.job_cpus(id) >= std::max(1, info.min_res.cpus);
+  };
+
+  auto schedule_job = [&](JobInfo& info) -> bool {
+    const auto snap = state.snapshot();
+    const auto plans_snap = chosen_plan;
+    bool ok = config_.reallocate_resources ? grow_allocation(info)
+                                           : gang_place(info);
+    RUBICK_DEBUG("schedule_job " << job_id(info) << " grow/gang="
+                                 << ok << " g=" << state.job_gpus(job_id(info))
+                                 << " c=" << state.job_cpus(job_id(info))
+                                 << " minres=" << info.min_res.to_string());
+    if (ok) ok = commit_plan_memory(info);
+    RUBICK_DEBUG("schedule_job " << job_id(info) << " after commit=" << ok
+                                 << " g=" << state.job_gpus(job_id(info)));
+    if (!ok) {
+      state.restore(snap);
+      chosen_plan = plans_snap;
+    }
+    return ok;
+  };
+
+  // ---------- Schedule() (Algorithm 1 lines 1-5). ----------
+  // 1. Privileged: queued guaranteed jobs within their tenant's quota, FCFS.
+  std::map<std::string, int> quota_used;
+  for (const auto& info : infos)
+    if (info.view->running && info.view->spec->guaranteed)
+      quota_used[info.view->spec->tenant] += info.min_res.gpus;
+
+  std::vector<JobInfo*> queued_guaranteed;
+  for (auto& info : infos)
+    if (!info.view->running && info.view->spec->guaranteed)
+      queued_guaranteed.push_back(&info);
+  std::sort(queued_guaranteed.begin(), queued_guaranteed.end(),
+            [](const JobInfo* a, const JobInfo* b) {
+              return a->view->queued_since < b->view->queued_since;
+            });
+  for (JobInfo* info : queued_guaranteed) {
+    const std::string& tenant = info->view->spec->tenant;
+    const auto quota_it = config_.tenant_quota_gpus.find(tenant);
+    const int need = std::max(1, info->min_res.gpus);
+    if (quota_it != config_.tenant_quota_gpus.end() &&
+        quota_used[tenant] + need > quota_it->second)
+      continue;  // quota exhausted: wait
+    if (schedule_job(*info)) {
+      quota_used[tenant] += need;
+    } else if (config_.opportunistic_admission &&
+               config_.reallocate_resources) {
+      // Could not secure the full minimum demand right now. Rather than
+      // queueing (zero progress), start the job at its minimum feasible
+      // size; the below-min clause will force-grow it toward minRes in
+      // later rounds as resources free up.
+      const int g = min_feasible_gpus_for(*info);
+      if (g > 0 && g < info->min_res.gpus) {
+        const ResourceVector saved = info->min_res;
+        info->min_res =
+            ResourceVector{g, std::max(1, config_.cpu_floor_per_gpu * g), 0};
+        if (schedule_job(*info)) quota_used[tenant] += need;
+        info->min_res = saved;
+      }
+    }
+  }
+
+  // 2. Starving best-effort jobs: force in at their minimum feasible size.
+  for (auto& info : infos) {
+    if (info.view->running || info.view->spec->guaranteed) continue;
+    if (input.now - info.view->queued_since < config_.starvation_threshold_s)
+      continue;
+    const int g = min_feasible_gpus_for(info);
+    if (g <= 0) continue;
+    const ResourceVector saved = info.min_res;
+    info.min_res =
+        ResourceVector{g, std::max(1, config_.cpu_floor_per_gpu * g), 0};
+    schedule_job(info);
+    info.min_res = saved;
+  }
+
+  // 3. Everyone else (queued best-effort + running), highest slope first.
+  std::vector<JobInfo*> rest;
+  for (auto& info : infos) {
+    if (info.frozen) continue;
+    if (info.view->running) {
+      rest.push_back(&info);
+    } else if (!info.view->spec->guaranteed && state.job_gpus(job_id(info)) == 0) {
+      rest.push_back(&info);
+    }
+  }
+  std::stable_sort(rest.begin(), rest.end(),
+                   [&](JobInfo* a, JobInfo* b) {
+                     const double ga = gpu_up(*a), gb = gpu_up(*b);
+                     if (ga != gb) return ga > gb;
+                     return cpu_up(*a) > cpu_up(*b);
+                   });
+  for (JobInfo* info : rest) schedule_job(*info);
+
+  // ---------- Final re-plan pass + assignment emission. ----------
+  std::vector<Assignment> out;
+  for (auto& info : infos) {
+    const int id = job_id(info);
+    Placement placement = state.placement_of(id);
+    if (placement.total_gpus() <= 0) continue;  // queued or preempted
+
+    if (info.frozen && placement == info.view->placement) {
+      out.push_back(Assignment{id, info.view->placement, info.view->plan});
+      continue;
+    }
+    // A frozen job that was shrunk by a below-min claimant falls through to
+    // the re-plan path and pays the reconfiguration like everyone else.
+
+    // Re-plan if the committed plan went stale (the job was shrunk as a
+    // victim after its own commit).
+    auto plan_it = chosen_plan.find(id);
+    if (plan_it == chosen_plan.end() ||
+        plan_it->second.num_gpus() != placement.total_gpus()) {
+      if (!commit_plan_memory(info)) {
+        // No feasible plan at the final shape (rare): drop the allocation.
+        RUBICK_WARN("job " << id << " lost feasibility after shrinking; "
+                           << "returning it to the queue");
+        state.release_job(id);
+        chosen_plan.erase(id);
+        continue;
+      }
+      plan_it = chosen_plan.find(id);
+    }
+    placement = state.placement_of(id);  // memory may have moved
+    out.push_back(Assignment{id, placement, plan_it->second});
+  }
+  return out;
+}
+
+}  // namespace rubick

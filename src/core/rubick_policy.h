@@ -1,0 +1,96 @@
+// The Rubick scheduling policy (paper §5, Algorithm 1).
+//
+// Goals:
+//   1. Performance-guarantee SLA: every guaranteed job performs at least as
+//      well as it would with its requested resources and initial plan —
+//      enforced through a `minRes` search for the smallest allocation (and
+//      possibly better plan) matching the baseline performance.
+//   2. Maximize cluster throughput: resources flow to the jobs with the
+//      steepest resource-sensitivity-curve slopes; the scheduler may shrink
+//      the least-sensitive over-minimum jobs to feed more sensitive ones.
+//
+// Throughputs are normalized per job by the predicted baseline performance
+// (a speedup factor, as in the paper's Fig. 8 and Pollux), so slopes are
+// comparable across heterogeneous models.
+//
+// The same class implements the paper's ablations through RubickConfig:
+//   Rubick    : reconfigure_plans + reallocate_resources
+//   Rubick-E  : reconfigure_plans only (resources fixed at the request)
+//   Rubick-R  : reallocate_resources only (plan family fixed, DP-scaled)
+//   Rubick-N  : neither (placement policy only)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/alloc_state.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "core/sla.h"
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+struct RubickConfig {
+  bool reconfigure_plans = true;
+  bool reallocate_resources = true;
+  // When reconfigure_plans is false: scale the initial plan's DP size with
+  // the GPU count (Sia-style) instead of pinning the exact plan.
+  bool scale_dp_when_fixed = true;
+
+  // GPU quota per tenant for guaranteed jobs; tenants not listed are
+  // unlimited. Quota is consumed by minRes GPUs (paper §5.2).
+  std::map<std::string, int> tenant_quota_gpus;
+
+  // Best-effort jobs queued longer than this get force-scheduled.
+  double starvation_threshold_s = 3600.0;
+
+  // When a guaranteed job's full minimum demand cannot be carved out yet,
+  // admit it at its minimum feasible size instead of queueing; the policy
+  // force-grows it toward minRes in subsequent rounds. Running small now
+  // strictly dominates waiting for the full gang.
+  bool opportunistic_admission = true;
+
+  // Reconfigure a running job only if (T - N*delta)/T stays above this.
+  double gate_threshold = 0.97;
+
+  // Input-pipeline CPU floor per GPU; allocations never drop below it.
+  int cpu_floor_per_gpu = 2;
+
+  // Required predicted gain before switching the plan of a job whose
+  // placement did not change (avoids reconfiguration thrash).
+  double plan_switch_gain = 1.05;
+};
+
+class RubickPolicy final : public SchedulerPolicy {
+ public:
+  explicit RubickPolicy(RubickConfig config = {});
+
+  std::string name() const override;
+  std::vector<Assignment> schedule(const SchedulerInput& input) override;
+
+  // Factory helpers for the paper's ablation variants.
+  static RubickConfig full();
+  static RubickConfig plans_only();      // Rubick-E
+  static RubickConfig resources_only();  // Rubick-R
+  static RubickConfig neither();         // Rubick-N
+
+ private:
+  struct JobInfo;
+
+  const PlanSelector& selector_for(const JobSpec& spec);
+
+  RubickConfig config_;
+
+  // Persistent across rounds; rebuilt when the fitted-model store changes.
+  std::unique_ptr<BestPlanPredictor> predictor_;
+  std::unique_ptr<SlaCalculator> sla_;
+  const PerfModelStore* bound_store_ = nullptr;
+  std::uint64_t bound_version_ = 0;
+
+  FullPlanSelector full_selector_;
+  std::map<int, std::unique_ptr<PlanSelector>> job_selectors_;
+};
+
+}  // namespace rubick

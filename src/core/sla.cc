@@ -1,0 +1,77 @@
+#include "core/sla.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+SlaCalculator::SlaCalculator(BestPlanPredictor& predictor,
+                             const PerfModelStore& store,
+                             const ClusterSpec& cluster,
+                             int cpu_floor_per_gpu)
+    : predictor_(&predictor),
+      store_(&store),
+      cluster_(cluster),
+      cpu_floor_per_gpu_(cpu_floor_per_gpu) {}
+
+double SlaCalculator::baseline_throughput(const JobSpec& spec) {
+  auto it = baseline_cache_.find(spec.id);
+  if (it != baseline_cache_.end()) return it->second;
+  const ModelSpec& model = find_model(spec.model_name);
+  const PerfModel& perf = store_->get(spec.model_name);
+  const PerfContext ctx = make_perf_context(cluster_, spec.requested.gpus,
+                                            spec.requested.cpus);
+  double thr = 1e-9;
+  if (spec.initial_plan.valid_for(model, spec.global_batch))
+    thr = perf.predict_throughput(model, spec.initial_plan, spec.global_batch,
+                                  ctx);
+  baseline_cache_.emplace(spec.id, thr);
+  return thr;
+}
+
+ResourceVector SlaCalculator::min_res(const JobSpec& spec,
+                                      const PlanSelector& selector,
+                                      bool fixed_resources) {
+  auto it = min_res_cache_.find(spec.id);
+  if (it != min_res_cache_.end()) return it->second;
+
+  ResourceVector result;
+  if (!spec.guaranteed) {
+    result = ResourceVector::zero();  // best-effort: can shrink to nothing
+  } else if (fixed_resources) {
+    result = ResourceVector{spec.requested.gpus, spec.requested.cpus, 0};
+  } else {
+    // Smallest (gpus, cpus), component-wise <= requested, whose best plan
+    // matches the baseline performance of (requested, initial plan).
+    const ModelSpec& model = find_model(spec.model_name);
+    const double baseline = baseline_throughput(spec);
+    result = ResourceVector{spec.requested.gpus, spec.requested.cpus, 0};
+    bool found = false;
+    for (int g = 1; g <= spec.requested.gpus && !found; ++g) {
+      const int floor_c = std::min(spec.requested.cpus,
+                                   std::max(1, cpu_floor_per_gpu_ * g));
+      for (int c : {floor_c, 2 * floor_c, spec.requested.cpus}) {
+        if (c > spec.requested.cpus || c < 1) continue;
+        const auto pred = predictor_->best_canonical(model, spec.global_batch,
+                                                     selector, g, c);
+        if (pred.feasible && pred.throughput >= baseline * 0.999) {
+          result = ResourceVector{g, c, 0};
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  min_res_cache_.emplace(spec.id, result);
+  return result;
+}
+
+void SlaCalculator::clear() {
+  baseline_cache_.clear();
+  min_res_cache_.clear();
+}
+
+}  // namespace rubick

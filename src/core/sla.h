@@ -1,0 +1,58 @@
+// Performance-guarantee SLA machinery (paper §5.1-5.2).
+//
+// Rubick redefines the SLA of shared clusters: a guaranteed job is promised
+// at least the PERFORMANCE it would have with its requested resources and
+// user-chosen plan — not the literal resources. Two quantities realize it:
+//
+//   * the BASELINE: the fitted model's predicted throughput of
+//     (requested resources, initial plan), the per-job normalizer for every
+//     slope comparison;
+//   * minRes: the smallest allocation, component-wise <= the request, whose
+//     best plan matches the baseline — what the scheduler actually reserves
+//     (and charges against the tenant's quota). When no smaller allocation
+//     qualifies, the original request is the minimum; for best-effort jobs
+//     the minimum is the zero vector.
+//
+// Values are memoized per job id; call clear() when the fitted-model store
+// changes (online refits). Extracted from RubickPolicy so the SLA logic is
+// unit-testable in isolation (test_sla.cc).
+#pragma once
+
+#include <map>
+
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "trace/job.h"
+
+namespace rubick {
+
+class SlaCalculator {
+ public:
+  // `cpu_floor_per_gpu`: the input-pipeline floor used when scanning CPU
+  // allocations (matches RubickConfig::cpu_floor_per_gpu).
+  SlaCalculator(BestPlanPredictor& predictor, const PerfModelStore& store,
+                const ClusterSpec& cluster, int cpu_floor_per_gpu = 2);
+
+  // Predicted throughput of (requested resources, initial plan) under a
+  // canonical placement; a tiny positive floor when the initial plan is
+  // invalid so normalization never divides by zero.
+  double baseline_throughput(const JobSpec& spec);
+
+  // The minimum demand. `selector` bounds the plan space (Rubick's full
+  // space, or an ablation's restricted one); with `fixed_resources` the
+  // search is skipped and the request returned (Rubick-E/N semantics).
+  ResourceVector min_res(const JobSpec& spec, const PlanSelector& selector,
+                         bool fixed_resources = false);
+
+  void clear();
+
+ private:
+  BestPlanPredictor* predictor_;
+  const PerfModelStore* store_;
+  ClusterSpec cluster_;
+  int cpu_floor_per_gpu_;
+  std::map<int, double> baseline_cache_;
+  std::map<int, ResourceVector> min_res_cache_;
+};
+
+}  // namespace rubick

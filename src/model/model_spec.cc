@@ -1,0 +1,31 @@
+#include "model/model_spec.h"
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace rubick {
+
+std::uint64_t ModelSpec::param_bytes_fp16() const {
+  return param_count * kBytesPerParamFp16;
+}
+
+std::uint64_t ModelSpec::full_state_bytes() const {
+  // fp16 weights (2) + fp16 grads (2) + fp32 master weights (4)
+  // + fp32 Adam momentum (4) + fp32 Adam variance (4) = 16 bytes per param.
+  return param_count * 16ull;
+}
+
+std::uint64_t ModelSpec::optimizer_state_bytes() const {
+  return param_count * 12ull;
+}
+
+std::string ModelSpec::to_string() const {
+  std::ostringstream os;
+  os << name << "(P=" << static_cast<double>(param_count) / 1e6
+     << "M, s=" << seq_len << ", h=" << hidden_size << ", l=" << num_layers
+     << ")";
+  return os.str();
+}
+
+}  // namespace rubick

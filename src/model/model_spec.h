@@ -1,0 +1,50 @@
+// Static description of a trainable model architecture.
+//
+// The performance model (paper §4, Table 1) consumes four architecture
+// quantities: sequence length s, hidden size h, layer count l and total
+// parameter count P. The memory estimator additionally uses them to size
+// activations and model states.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rubick {
+
+struct ModelSpec {
+  std::string name;
+
+  // Architecture parameters (Table 1 "Model" row).
+  std::uint64_t param_count = 0;  // P, raw parameter count
+  int seq_len = 0;                // s
+  int hidden_size = 0;            // h
+  int num_layers = 0;             // l
+
+  // Default global batch size used when a trace job does not specify one.
+  int default_global_batch = 16;
+
+  // Whether TP/PP plans are considered for this model. The paper disables
+  // TP and PP for ViT/RoBERTa/BERT/T5 in the trace experiments ("mostly
+  // unnecessary for these relatively small models").
+  bool allow_model_parallel = true;
+
+  // Approximate forward-pass FLOPs for one training sample (2·P per token).
+  double fwd_flops_per_sample() const {
+    return 2.0 * static_cast<double>(param_count) *
+           static_cast<double>(seq_len);
+  }
+
+  // Bytes of fp16 parameters / gradients for the full model.
+  std::uint64_t param_bytes_fp16() const;
+  // Bytes of the full mixed-precision training state: fp16 weights + fp16
+  // grads + fp32 master weights + two fp32 Adam moments (16 bytes/param).
+  std::uint64_t full_state_bytes() const;
+  // Optimizer-only state (fp32 master + moments): 12 bytes/param.
+  std::uint64_t optimizer_state_bytes() const;
+
+  bool is_large_model() const { return param_count >= 6'000'000'000ull; }
+
+  std::string to_string() const;
+};
+
+}  // namespace rubick

@@ -1,0 +1,82 @@
+#include "model/model_zoo.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace rubick {
+
+namespace {
+
+// Architecture numbers follow the models' original publications; parameter
+// counts follow Table 2 of the paper. For T5 (an encoder-decoder) we count
+// encoder+decoder blocks in num_layers.
+const std::array<ModelSpec, 7> kZoo = {{
+    {.name = "ViT",
+     .param_count = 86'000'000,
+     .seq_len = 197,  // 196 patches + [CLS] at 224x224 / 16
+     .hidden_size = 768,
+     .num_layers = 12,
+     .default_global_batch = 64,
+     .allow_model_parallel = false},
+    {.name = "RoBERTa",
+     .param_count = 355'000'000,
+     .seq_len = 512,
+     .hidden_size = 1024,
+     .num_layers = 24,
+     .default_global_batch = 32,
+     .allow_model_parallel = false},
+    {.name = "BERT",
+     .param_count = 336'000'000,
+     .seq_len = 512,
+     .hidden_size = 1024,
+     .num_layers = 24,
+     .default_global_batch = 32,
+     .allow_model_parallel = false},
+    {.name = "T5",
+     .param_count = 1'200'000'000,
+     .seq_len = 512,
+     .hidden_size = 1536,
+     .num_layers = 48,  // 24 encoder + 24 decoder blocks
+     .default_global_batch = 16,
+     .allow_model_parallel = true},
+    {.name = "GPT-2",
+     .param_count = 1'500'000'000,
+     .seq_len = 1024,
+     .hidden_size = 1600,
+     .num_layers = 48,
+     .default_global_batch = 16,
+     .allow_model_parallel = true},
+    {.name = "LLaMA-2-7B",
+     .param_count = 7'000'000'000,
+     .seq_len = 4096,
+     .hidden_size = 4096,
+     .num_layers = 32,
+     .default_global_batch = 16,
+     .allow_model_parallel = true},
+    {.name = "LLaMA-30B",
+     .param_count = 30'000'000'000,
+     .seq_len = 2048,
+     .hidden_size = 6656,
+     .num_layers = 60,
+     .default_global_batch = 16,
+     .allow_model_parallel = true},
+}};
+
+}  // namespace
+
+std::span<const ModelSpec> model_zoo() { return kZoo; }
+
+const ModelSpec& find_model(std::string_view name) {
+  for (const auto& m : kZoo)
+    if (m.name == name) return m;
+  RUBICK_CHECK_MSG(false, "unknown model: " << name);
+}
+
+bool has_model(std::string_view name) {
+  for (const auto& m : kZoo)
+    if (m.name == name) return true;
+  return false;
+}
+
+}  // namespace rubick

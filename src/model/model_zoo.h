@@ -1,0 +1,23 @@
+// The seven Transformer models used throughout the paper's evaluation
+// (Table 2), with architecture parameters taken from the cited papers.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "model/model_spec.h"
+
+namespace rubick {
+
+// All models in Table 2, in the paper's order:
+// ViT-86M, RoBERTa-355M, BERT-336M, T5-1.2B, GPT-2-1.5B, LLaMA-2-7B,
+// LLaMA-30B.
+std::span<const ModelSpec> model_zoo();
+
+// Looks a model up by name; throws InvariantError if unknown.
+const ModelSpec& find_model(std::string_view name);
+
+// True if the zoo contains `name`.
+bool has_model(std::string_view name);
+
+}  // namespace rubick

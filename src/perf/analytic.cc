@@ -1,0 +1,168 @@
+#include "perf/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rubick {
+
+double f_overlap(double k, double x, double y) {
+  RUBICK_CHECK_MSG(k >= 1.0, "overlap exponent must be >= 1, got " << k);
+  RUBICK_CHECK(x >= 0.0 && y >= 0.0);
+  if (x == 0.0) return y;
+  if (y == 0.0) return x;
+  // Factor out the max for numerical stability at large k.
+  const double m = std::max(x, y);
+  const double r = std::min(x, y) / m;
+  return m * std::pow(1.0 + std::pow(r, k), 1.0 / k);
+}
+
+IterBreakdown iteration_breakdown(const ModelSpec& model,
+                                  const ExecutionPlan& plan, int global_batch,
+                                  double fwd_unit_s, const FitParams& params,
+                                  const PerfContext& ctx,
+                                  const Perturbation& perturb) {
+  RUBICK_CHECK_MSG(plan.valid_for(model, global_batch),
+                   "iteration_breakdown on infeasible plan "
+                       << plan.display_name() << " for " << model.name
+                       << " b=" << global_batch);
+  RUBICK_CHECK(fwd_unit_s > 0.0);
+  RUBICK_CHECK(ctx.cpus >= 1);
+  RUBICK_CHECK_MSG(ctx.gpu_speed > 0.0, "gpu_speed must be positive");
+  // Heterogeneity: every GPU-side compute term paces at the slowest GPU.
+  fwd_unit_s /= ctx.gpu_speed;
+
+  IterBreakdown out;
+  const double d = plan.dp;
+  const double t = plan.tp;
+  const double p = plan.pp;
+  const double a = plan.ga_steps;
+  const double m = plan.micro_batches;
+  const double b = global_batch;
+  const double s = model.seq_len;
+  const double h = model.hidden_size;
+  const double l = model.num_layers;
+  const double P = static_cast<double>(model.param_count);
+  const double grad_bytes = static_cast<double>(model.param_bytes_fp16());
+
+  // ---- T_fwd (per forward pass; out.t_fwd totals all passes) ----
+  // TP shards each operator across t GPUs; the oracle adds an imbalance
+  // overhead growing with the shard count.
+  const double tp_factor =
+      (1.0 / t) * (1.0 + perturb.tp_overhead * (t - 1.0) / t);
+  double fwd_per_pass = 0.0;
+  if (plan.pp > 1) {
+    // t_micro: one micro-batch through l/p layers on one stage.
+    const double b_micro = b / (d * m);
+    const double t_micro = fwd_unit_s * b_micro * tp_factor / p;
+    // (m + p - 1) schedule steps; the oracle's bubble term models stalls the
+    // ideal 1F1B formula misses.
+    const double steps =
+        (m + p - 1.0) * (1.0 + perturb.pp_bubble * (p - 1.0) / p);
+    fwd_per_pass = t_micro * steps;
+  } else {
+    const double b_pass = b / (d * a);
+    fwd_per_pass = fwd_unit_s * b_pass * tp_factor;
+  }
+  out.t_fwd = fwd_per_pass * a;  // GA runs `a` forward passes
+
+  // ---- T_bwd (per accumulation step) ----
+  out.t_bwd = params.k_bwd * fwd_per_pass;
+  if (plan.grad_ckpt) out.t_bwd += fwd_per_pass;  // activation recompute
+
+  // ---- Communication volumes (bytes) and times ----
+  if (plan.dp > 1) {
+    out.v_dp_bytes = grad_bytes * 2.0 * (d - 1.0) / (d * t * p);
+  }
+  if (plan.tp > 1) {
+    // 4 collective ops per layer (fwd+bwd), ring factor 2(t-1)/t, tensor
+    // b/d x s x h per layer, fp16.
+    out.v_tp_bytes =
+        4.0 * 2.0 * (t - 1.0) * (b * s * h * l) / (d * t) * kBytesPerParamFp16;
+  }
+  if (plan.pp > 1) {
+    out.v_pp_bytes = 2.0 * p * (b * s * h) / (d * t) * kBytesPerParamFp16;
+  }
+
+  // ZeRO-3 extension (beyond the paper's §4 model, which covers ZeRO-2):
+  // fp16 parameters are sliced across DP ranks and all-gathered once in the
+  // forward and once in the backward pass of every accumulation step.
+  if (plan.zero == ZeroStage::kZero3 && plan.dp > 1) {
+    out.v_ag_bytes = a * 2.0 * grad_bytes * (d - 1.0) / d;
+  }
+
+  const double b_dp = ctx.multi_node ? ctx.inter_bw_bps : ctx.intra_bw_bps;
+  const double b_tp = ctx.intra_bw_bps;  // TP stays inside a node
+  const double b_pp = ctx.multi_node ? ctx.inter_bw_bps : ctx.intra_bw_bps;
+
+  out.t_comm_dp = out.v_dp_bytes / b_dp;
+  if (ctx.multi_node) out.t_comm_dp *= 1.0 + perturb.dp_congestion;
+  out.t_comm_tp = out.v_tp_bytes / b_tp;
+  out.t_comm_pp = out.v_pp_bytes / b_pp;
+  out.t_comm_ag = out.v_ag_bytes / b_dp;
+
+  // ---- T_cc: computation + communication ----
+  // General form covering both §4.1 cases: with a == 1 this reduces to
+  //   T_fwd + f^k_sync(T_bwd, T_comm_dp) + T_comm_tp + T_comm_pp,
+  // with a > 1 to the GA formula a*T_fwd + (a-1)*T_bwd + f(...). ZeRO-3's
+  // parameter all-gathers prefetch layer by layer and overlap with the
+  // forward computation under the same k_sync exponent.
+  const double fwd_term =
+      out.t_comm_ag > 0.0
+          ? f_overlap(params.k_sync, out.t_fwd, out.t_comm_ag)
+          : out.t_fwd;
+  out.t_cc = fwd_term + (a - 1.0) * out.t_bwd +
+             f_overlap(params.k_sync, out.t_bwd, out.t_comm_dp) +
+             out.t_comm_tp + out.t_comm_pp;
+
+  // ---- T_opt / T_off ----
+  switch (plan.zero) {
+    case ZeroStage::kNone:
+      out.t_opt = params.k_opt * P / (t * p) / ctx.gpu_speed;
+      break;
+    case ZeroStage::kZeroDp:
+    case ZeroStage::kZero3:
+      out.t_opt = params.k_opt * P / d / ctx.gpu_speed;
+      break;
+    case ZeroStage::kOffload:
+      // CPUs across the job jointly compute the update.
+      out.t_opt = params.k_opt_off * P / (d * static_cast<double>(ctx.cpus));
+      break;
+  }
+
+  if (plan.uses_offload()) {
+    // Per-rank PCIe traffic: fp16 gradients down + updated fp16 params up.
+    out.t_off = 2.0 * grad_bytes / (d * ctx.pcie_bw_bps);
+    out.t_oo = f_overlap(params.k_off, out.t_comm_dp, out.t_off) +
+               f_overlap(params.k_swap, out.t_opt, out.t_off);
+  } else {
+    out.t_oo = out.t_opt;
+  }
+
+  out.t_iter = out.t_cc + out.t_oo + params.k_const;
+
+  // Oracle-only: jobs starve without enough input-pipeline CPUs (roughly 2
+  // cores per GPU); the fitted model does not include this term.
+  if (perturb.cpu_pipeline > 0.0) {
+    const double g = plan.num_gpus();
+    const double want = 2.0 * g;
+    const double deficit =
+        std::max(0.0, want - static_cast<double>(ctx.cpus)) / want;
+    out.t_iter *= 1.0 + perturb.cpu_pipeline * deficit;
+  }
+  return out;
+}
+
+double predict_throughput(const ModelSpec& model, const ExecutionPlan& plan,
+                          int global_batch, double fwd_unit_s,
+                          const FitParams& params, const PerfContext& ctx,
+                          const Perturbation& perturb) {
+  const IterBreakdown bd = iteration_breakdown(model, plan, global_batch,
+                                               fwd_unit_s, params, ctx,
+                                               perturb);
+  return static_cast<double>(global_batch) / bd.t_iter;
+}
+
+}  // namespace rubick

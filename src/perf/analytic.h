@@ -1,0 +1,98 @@
+// The analytic resource-performance model of paper §4.
+//
+// Predicts the per-iteration time T_iter of a (model, execution plan,
+// resource allocation) combination as the composition of
+//   T_fwd  forward computation            (profiled base, scaled)
+//   T_bwd  backward computation           (k_bwd * T_fwd, + T_fwd under GC)
+//   T_comm DP/TP/PP communication         (volume / bottleneck bandwidth)
+//   T_opt  optimizer step                 (partitioned parameter update)
+//   T_off  ZeRO-Offload PCIe traffic
+// joined by the parametric overlap function
+//   f_overlap^k(x, y) = (x^k + y^k)^(1/k)
+// which interpolates between no overlap (k=1: x+y) and perfect overlap
+// (k->inf: max(x, y)).
+//
+// The same functions serve two masters:
+//   * the fitted PerfModel (zero Perturbation) used by the scheduler, and
+//   * the GroundTruthOracle, which evaluates the analytic core with hidden
+//     true parameters plus structural Perturbation terms the fitted model
+//     does not know about — so prediction error is real, as in Table 2.
+#pragma once
+
+#include "model/model_spec.h"
+#include "plan/execution_plan.h"
+
+namespace rubick {
+
+// The seven fittable parameters of Table 1.
+struct FitParams {
+  double k_bwd = 2.0;       // backward/forward compute ratio
+  double k_sync = 2.0;      // overlap: backward pass vs DP gradient sync
+  double k_opt = 3e-11;     // s per parameter, GPU optimizer update
+  double k_opt_off = 2e-9;  // s per parameter per CPU, offloaded optimizer
+  double k_off = 2.0;       // overlap: DP sync vs PCIe offload
+  double k_swap = 2.0;      // overlap: optimizer vs PCIe offload
+  double k_const = 0.03;    // s, constant per-iteration overhead
+};
+
+// Resource / environment context of one evaluation (Table 1 "Resources" and
+// "Environment" rows). `cpus` is the job's total CPU-core allocation.
+struct PerfContext {
+  int cpus = 8;
+  bool multi_node = false;  // placement spans nodes: DP/PP cross RDMA
+  // Relative speed of the slowest GPU in the placement (1.0 = reference).
+  // Gang-synchronous training paces every collective at the straggler, so
+  // all GPU compute terms scale by 1/gpu_speed (heterogeneous clusters).
+  double gpu_speed = 1.0;
+  double intra_bw_bps = 400e9;
+  double inter_bw_bps = 100e9;
+  double pcie_bw_bps = 25e9;
+};
+
+// Structural deviations applied only by the ground-truth oracle.
+struct Perturbation {
+  double tp_overhead = 0.0;     // extra TP compute imbalance per shard
+  double pp_bubble = 0.0;       // pipeline bubble beyond the (m+p-1) model
+  double dp_congestion = 0.0;   // cross-node DP all-reduce congestion
+  double cpu_pipeline = 0.0;    // input-pipeline slowdown when CPUs scarce
+};
+
+// Full decomposition of one iteration; all fields in seconds except volumes.
+struct IterBreakdown {
+  double t_fwd = 0.0;   // all forward passes of the iteration
+  double t_bwd = 0.0;   // one backward pass (per accumulation step)
+  double t_comm_dp = 0.0;
+  double t_comm_tp = 0.0;
+  double t_comm_pp = 0.0;
+  double t_comm_ag = 0.0;  // ZeRO-3 parameter all-gathers (fwd+bwd)
+  double t_opt = 0.0;
+  double t_off = 0.0;
+  double t_cc = 0.0;    // computation + communication combined
+  double t_oo = 0.0;    // optimizer + offload combined
+  double t_iter = 0.0;
+
+  double v_dp_bytes = 0.0;
+  double v_tp_bytes = 0.0;
+  double v_pp_bytes = 0.0;
+  double v_ag_bytes = 0.0;
+};
+
+// f_overlap^k. Handles zero operands (returns the other) and requires k>=1.
+double f_overlap(double k, double x, double y);
+
+// Evaluates the model. `fwd_unit_s` is the profiled forward time for ONE
+// sample of the full (unsharded) model on one GPU; the plan's sharding and
+// batching scale it per §4.1. Preconditions: plan.valid_for(model, batch).
+IterBreakdown iteration_breakdown(const ModelSpec& model,
+                                  const ExecutionPlan& plan, int global_batch,
+                                  double fwd_unit_s, const FitParams& params,
+                                  const PerfContext& ctx,
+                                  const Perturbation& perturb = {});
+
+// Convenience: global_batch / T_iter, in samples per second.
+double predict_throughput(const ModelSpec& model, const ExecutionPlan& plan,
+                          int global_batch, double fwd_unit_s,
+                          const FitParams& params, const PerfContext& ctx,
+                          const Perturbation& perturb = {});
+
+}  // namespace rubick

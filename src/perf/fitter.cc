@@ -1,0 +1,115 @@
+#include "perf/fitter.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/optim.h"
+#include "common/stats.h"
+
+namespace rubick {
+
+double PerfModel::predict_throughput(const ModelSpec& model,
+                                     const ExecutionPlan& plan,
+                                     int global_batch,
+                                     const PerfContext& ctx) const {
+  return rubick::predict_throughput(model, plan, global_batch, fwd_unit_s_,
+                                    params_, ctx);
+}
+
+IterBreakdown PerfModel::breakdown(const ModelSpec& model,
+                                   const ExecutionPlan& plan,
+                                   int global_batch,
+                                   const PerfContext& ctx) const {
+  return iteration_breakdown(model, plan, global_batch, fwd_unit_s_, params_,
+                             ctx);
+}
+
+namespace {
+
+// Decision-vector layout. The two rate parameters span orders of magnitude,
+// so they are optimized in log10 space.
+struct ParamCodec {
+  bool fit_offload = false;
+
+  std::size_t dim() const { return fit_offload ? 7 : 4; }
+
+  std::vector<double> lower() const {
+    if (fit_offload)
+      return {0.5, 1.0, -12.0, -11.0, 1.0, 1.0, 1e-4};
+    return {0.5, 1.0, -12.0, 1e-4};
+  }
+  std::vector<double> upper() const {
+    if (fit_offload)
+      return {4.0, 8.0, -9.0, -7.0, 8.0, 8.0, 0.5};
+    return {4.0, 8.0, -9.0, 0.5};
+  }
+  std::vector<double> encode(const FitParams& p) const {
+    if (fit_offload)
+      return {p.k_bwd,          p.k_sync,        std::log10(p.k_opt),
+              std::log10(p.k_opt_off), p.k_off, p.k_swap,
+              p.k_const};
+    return {p.k_bwd, p.k_sync, std::log10(p.k_opt), p.k_const};
+  }
+  FitParams decode(const std::vector<double>& x,
+                   const FitParams& defaults) const {
+    FitParams p = defaults;
+    p.k_bwd = x[0];
+    p.k_sync = x[1];
+    p.k_opt = std::pow(10.0, x[2]);
+    if (fit_offload) {
+      p.k_opt_off = std::pow(10.0, x[3]);
+      p.k_off = x[4];
+      p.k_swap = x[5];
+      p.k_const = x[6];
+    } else {
+      p.k_const = x[3];
+    }
+    return p;
+  }
+};
+
+}  // namespace
+
+PerfModel PerfModelFitter::fit(const ModelSpec& model, double fwd_unit_s,
+                               const std::vector<PerfSample>& samples) const {
+  RUBICK_CHECK_MSG(!samples.empty(), "cannot fit with zero samples");
+
+  ParamCodec codec;
+  for (const auto& s : samples)
+    if (s.plan.uses_offload()) codec.fit_offload = true;
+  if (codec.fit_offload) {
+    int offload_count = 0;
+    for (const auto& s : samples)
+      if (s.plan.uses_offload()) ++offload_count;
+    RUBICK_CHECK_MSG(offload_count >= 3,
+                     "fitting offload parameters needs >= 3 offload samples, "
+                     "got " << offload_count);
+  }
+
+  const FitParams defaults;
+  auto objective = [&](const std::vector<double>& x) {
+    const FitParams p = codec.decode(x, defaults);
+    double sum = 0.0;
+    for (const auto& s : samples) {
+      const double pred = predict_throughput(model, s.plan, s.global_batch,
+                                             fwd_unit_s, p, s.ctx);
+      const double d = std::log(pred) - std::log(s.measured_throughput);
+      sum += d * d;
+    }
+    return std::sqrt(sum / static_cast<double>(samples.size()));
+  };
+
+  OptimOptions opt;
+  opt.restarts = options_.restarts;
+  opt.max_iterations = options_.max_iterations;
+  opt.seed = options_.seed;
+  const OptimResult result =
+      nelder_mead(objective, codec.encode(defaults), codec.lower(),
+                  codec.upper(), opt);
+
+  PerfModel out(model.name, fwd_unit_s, codec.decode(result.x, defaults));
+  out.record_fit_diagnostics(result.value, static_cast<int>(samples.size()));
+  return out;
+}
+
+}  // namespace rubick

@@ -1,0 +1,88 @@
+// Fitting the performance model from sampled measurements (paper §4.3).
+//
+// The seven fittable parameters are recovered by minimizing the root mean
+// squared logarithmic error (RMSLE) between predicted and measured
+// throughput over a handful of profiled configurations — at least seven
+// points, three of which must exercise ZeRO-Offload so that k_opt_off,
+// k_off and k_swap are identified. Fitted models are reusable across jobs
+// of the same model type and are refined online when prediction error
+// exceeds a threshold.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/analytic.h"
+#include "plan/execution_plan.h"
+
+namespace rubick {
+
+// One profiled data point.
+struct PerfSample {
+  ExecutionPlan plan;
+  int global_batch = 0;
+  PerfContext ctx;
+  double measured_throughput = 0.0;  // samples/s
+};
+
+// A fitted model for one model type; the scheduler's only view of job
+// performance.
+class PerfModel {
+ public:
+  PerfModel() = default;
+  PerfModel(std::string model_name, double fwd_unit_s, FitParams params)
+      : model_name_(std::move(model_name)),
+        fwd_unit_s_(fwd_unit_s),
+        params_(params) {}
+
+  const std::string& model_name() const { return model_name_; }
+  double fwd_unit_s() const { return fwd_unit_s_; }
+  const FitParams& params() const { return params_; }
+
+  double predict_throughput(const ModelSpec& model, const ExecutionPlan& plan,
+                            int global_batch, const PerfContext& ctx) const;
+  IterBreakdown breakdown(const ModelSpec& model, const ExecutionPlan& plan,
+                          int global_batch, const PerfContext& ctx) const;
+
+  // Training RMSLE achieved by the fit (diagnostic).
+  double fit_error() const { return fit_error_; }
+  int sample_count() const { return sample_count_; }
+
+  // Online refinement (paper: "the model can be updated online using
+  // metrics collected in real training runs when the prediction error
+  // exceeds a threshold"): re-fits including the new observations.
+  void record_fit_diagnostics(double rmsle, int n) {
+    fit_error_ = rmsle;
+    sample_count_ = n;
+  }
+
+ private:
+  std::string model_name_;
+  double fwd_unit_s_ = 0.0;
+  FitParams params_;
+  double fit_error_ = 0.0;
+  int sample_count_ = 0;
+};
+
+struct FitOptions {
+  int restarts = 10;
+  int max_iterations = 3000;
+  std::uint64_t seed = 7;
+};
+
+class PerfModelFitter {
+ public:
+  explicit PerfModelFitter(FitOptions options = {}) : options_(options) {}
+
+  // Fits the 7-tuple. `fwd_unit_s` comes from the framework profiler and is
+  // treated as a known constant. When no sample uses ZeRO-Offload, the three
+  // offload parameters are left at their defaults and only the remaining
+  // four are fitted.
+  PerfModel fit(const ModelSpec& model, double fwd_unit_s,
+                const std::vector<PerfSample>& samples) const;
+
+ private:
+  FitOptions options_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,56 @@
+// Ground-truth throughput oracle — the stand-in for the paper's 64-A800
+// testbed (see DESIGN.md §1).
+//
+// For each model the oracle draws hidden "true" parameters (seeded,
+// deterministic): realistic forward-pass speed derived from FLOPs and an
+// effective-throughput draw, true overlap exponents, and structural
+// perturbation terms the fitted model cannot represent (TP imbalance,
+// pipeline-bubble excess, cross-node congestion, input-pipeline CPU
+// sensitivity). Measurements additionally carry multiplicative lognormal
+// noise keyed by the configuration, so re-measuring the same configuration
+// returns the same value (like a fixed testbed) while different
+// configurations scatter independently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "perf/analytic.h"
+#include "plan/execution_plan.h"
+
+namespace rubick {
+
+class GroundTruthOracle {
+ public:
+  explicit GroundTruthOracle(std::uint64_t seed = 2025);
+
+  // "Runs" the configuration and reports measured throughput in samples/s.
+  // Precondition: plan.valid_for(model, global_batch). Memory feasibility is
+  // the caller's concern (the simulator checks it via MemoryEstimator).
+  double measure_throughput(const ModelSpec& model, const ExecutionPlan& plan,
+                            int global_batch, const PerfContext& ctx) const;
+
+  // Noise-free ground truth (used by tests and to quantify fitting error).
+  double true_throughput(const ModelSpec& model, const ExecutionPlan& plan,
+                         int global_batch, const PerfContext& ctx) const;
+
+  // What a framework profiler reports as the per-sample forward time of the
+  // full model on one GPU (the fitted model consumes this as a constant).
+  double profiled_fwd_unit_s(const ModelSpec& model) const;
+
+  // Exposed for tests: the hidden truth for a model.
+  struct Truth {
+    double fwd_unit_s = 0.0;
+    FitParams params;
+    Perturbation perturb;
+    double noise_sigma = 0.02;
+  };
+  const Truth& truth_for(const ModelSpec& model) const;
+
+ private:
+  std::uint64_t seed_;
+  mutable std::map<std::string, Truth> cache_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,191 @@
+#include "perf/profiler.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace rubick {
+
+PerfContext make_perf_context(const ClusterSpec& cluster, int gpus, int cpus) {
+  PerfContext ctx;
+  ctx.cpus = std::max(1, cpus);
+  ctx.multi_node = gpus > cluster.node.gpus;
+  ctx.intra_bw_bps = cluster.intra_node_bw_bps;
+  ctx.inter_bw_bps = cluster.inter_node_bw_bps;
+  ctx.pcie_bw_bps = cluster.pcie_bw_bps;
+  return ctx;
+}
+
+PerfContext make_perf_context(const ClusterSpec& cluster,
+                              const Placement& placement) {
+  PerfContext ctx;
+  ctx.cpus = std::max(1, placement.total_cpus());
+  ctx.multi_node = placement.multi_node();
+  ctx.intra_bw_bps = cluster.intra_node_bw_bps;
+  ctx.inter_bw_bps = cluster.inter_node_bw_bps;
+  ctx.pcie_bw_bps = cluster.pcie_bw_bps;
+  // Gang-synchronous training runs at the slowest GPU of the placement.
+  for (const auto& slice : placement.slices)
+    if (slice.gpus > 0)
+      ctx.gpu_speed = std::min(ctx.gpu_speed, cluster.speed_of(slice.node));
+  return ctx;
+}
+
+MemoryBudget make_memory_budget(const ClusterSpec& cluster, int gpus) {
+  const int nodes =
+      std::max(1, (gpus + cluster.node.gpus - 1) / cluster.node.gpus);
+  return {cluster.node.gpu_memory_bytes,
+          static_cast<std::uint64_t>(nodes) * cluster.node.memory_bytes};
+}
+
+Profiler::Profiler(const GroundTruthOracle& oracle, const ClusterSpec& cluster)
+    : oracle_(&oracle), cluster_(cluster) {}
+
+namespace {
+
+// Structural signature used to diversify the sampling plan: two plans with
+// the same signature carry mostly redundant information for the fit.
+// Distinct (tp, pp) shapes count as distinct — they exercise different
+// communication-volume terms.
+using PlanSignature = std::tuple<int, int, int, int, bool, bool>;
+
+PlanSignature signature(const ExecutionPlan& p, int gpus) {
+  return {gpus,           static_cast<int>(p.zero), p.tp, p.pp,
+          p.ga_steps > 1, p.grad_ckpt};
+}
+
+// Prefers simple plans (fewer GA steps, no GC) so the sample resembles what
+// a profiler would naturally run.
+bool simpler(const ExecutionPlan& a, const ExecutionPlan& b) {
+  return std::tuple(a.ga_steps, a.grad_ckpt, a.micro_batches) <
+         std::tuple(b.ga_steps, b.grad_ckpt, b.micro_batches);
+}
+
+}  // namespace
+
+std::vector<PerfSample> Profiler::choose_samples(const ModelSpec& model,
+                                                 int global_batch) const {
+  std::vector<PerfSample> samples;
+
+  auto budget_for = [&](int gpus) { return make_memory_budget(cluster_, gpus); };
+
+  // --- Offload points: 3 runs varying (d, cpus) to identify k_opt_off,
+  // k_off and k_swap (paper: "the test runs should include three using this
+  // strategy"). ---
+  const int offload_cpu_choices[] = {8, 16, 32};
+  int offload_idx = 0;
+  for (int d : {1, 2, 4}) {
+    PlanConstraints pc;
+    pc.num_gpus = d;
+    pc.max_tp = 1;
+    pc.budget = budget_for(d);
+    auto plans = enumerate_plans(model, global_batch, pc, estimator_);
+    const ExecutionPlan* best = nullptr;
+    for (const auto& p : plans) {
+      if (!p.uses_offload()) continue;
+      if (best == nullptr || simpler(p, *best)) best = &p;
+    }
+    if (best == nullptr) continue;
+    PerfSample s;
+    s.plan = *best;
+    s.global_batch = global_batch;
+    s.ctx = make_perf_context(cluster_, d, offload_cpu_choices[offload_idx]);
+    samples.push_back(s);
+    offload_idx = std::min(offload_idx + 1, 2);
+  }
+  // If offload is feasible at fewer than three distinct DP sizes, vary the
+  // CPU allocation instead so the three-offload-run requirement still holds.
+  if (!samples.empty() && samples.size() < 3 &&
+      samples.front().plan.uses_offload()) {
+    const PerfSample base = samples.front();
+    int extra_cpus = 12;
+    while (samples.size() < 3) {
+      PerfSample s = base;
+      s.ctx.cpus = extra_cpus;
+      extra_cpus *= 2;
+      samples.push_back(s);
+    }
+  }
+
+  // --- Non-offload points, two passes. ---
+  // Pass 1 — GPU scaling: the SIMPLEST feasible plan at each GPU count
+  // (including one multi-node point), which identifies k_opt / k_const /
+  // k_sync against the forward-time scaling. Without cross-count samples
+  // the optimizer and constant terms are confounded and multi-GPU
+  // predictions collapse.
+  auto add_sample = [&](const ExecutionPlan& plan, int gpus) {
+    PerfSample s;
+    s.plan = plan;
+    s.global_batch = global_batch;
+    // Default CPU allocation: 2 cores per GPU (typical data pipeline).
+    s.ctx = make_perf_context(cluster_, gpus, 2 * gpus);
+    samples.push_back(s);
+  };
+  const int scaling_counts[] = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<int> feasible_counts;
+  for (int gpus : scaling_counts) {
+    if (gpus > cluster_.total_gpus()) break;
+    PlanConstraints pc;
+    pc.num_gpus = gpus;
+    pc.max_tp = std::min(gpus, cluster_.node.gpus);
+    pc.budget = budget_for(gpus);
+    auto plans = enumerate_plans(model, global_batch, pc, estimator_);
+    std::stable_sort(plans.begin(), plans.end(), simpler);
+    for (const auto& p : plans) {
+      if (p.uses_offload()) continue;
+      // Stop adding scaling points beyond the second multi-node count for
+      // small models; a couple suffice to pin the inter-node bandwidth term.
+      add_sample(p, gpus);
+      feasible_counts.push_back(gpus);
+      break;
+    }
+    if (feasible_counts.size() >= 5 && gpus > cluster_.node.gpus) break;
+  }
+  // Pass 2 — plan structure: starting from the largest feasible count and
+  // walking down, one plan per new structural signature (ZeRO-DP /
+  // model-parallel / GA / GC), which identifies the k_bwd vs k_opt split
+  // and the GC recompute term.
+  constexpr std::size_t kTargetSamples = 12;
+  std::set<PlanSignature> seen;
+  for (const auto& s : samples)
+    seen.insert(signature(s.plan, s.plan.num_gpus()));
+  for (auto it = feasible_counts.rbegin();
+       it != feasible_counts.rend() && samples.size() < kTargetSamples;
+       ++it) {
+    const int gpus = *it;
+    PlanConstraints pc;
+    pc.num_gpus = gpus;
+    pc.max_tp = std::min(gpus, cluster_.node.gpus);
+    pc.budget = budget_for(gpus);
+    auto plans = enumerate_plans(model, global_batch, pc, estimator_);
+    std::stable_sort(plans.begin(), plans.end(), simpler);
+    for (const auto& p : plans) {
+      if (samples.size() >= kTargetSamples) break;
+      if (p.uses_offload()) continue;
+      if (!seen.insert(signature(p, gpus)).second) continue;
+      add_sample(p, gpus);
+    }
+  }
+
+  RUBICK_CHECK_MSG(!samples.empty(),
+                   "no feasible profiling configuration for " << model.name);
+  return samples;
+}
+
+Profiler::Result Profiler::profile_and_fit(const ModelSpec& model,
+                                           int global_batch) const {
+  Result out;
+  out.samples = choose_samples(model, global_batch);
+  for (auto& s : out.samples)
+    s.measured_throughput =
+        oracle_->measure_throughput(model, s.plan, s.global_batch, s.ctx);
+  out.profiling_cost_s =
+      kSecondsPerSample * static_cast<double>(out.samples.size());
+  const double fwd_unit = oracle_->profiled_fwd_unit_s(model);
+  out.model = fitter_.fit(model, fwd_unit, out.samples);
+  return out;
+}
+
+}  // namespace rubick

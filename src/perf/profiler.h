@@ -1,0 +1,62 @@
+// Workload profiler: picks the sampled test-run configurations, "runs" them
+// against the ground-truth oracle, and fits a PerfModel (paper §3 step 1 and
+// §4.3 "continuous model fitting").
+//
+// The paper fits from a minimum of 7 data points, of which 3 exercise
+// ZeRO-Offload, profiled on an 8-GPU server in ~210 s per model. The
+// profiler reproduces that sampling plan and accounts the simulated
+// profiling cost so the cluster simulator can charge it.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "perf/fitter.h"
+#include "perf/oracle.h"
+#include "plan/enumerate.h"
+
+namespace rubick {
+
+// PerfContext for a job occupying `gpus` GPUs / `cpus` CPUs placed
+// canonically (packed into as few nodes as possible).
+PerfContext make_perf_context(const ClusterSpec& cluster, int gpus, int cpus);
+
+// PerfContext for an explicit placement.
+PerfContext make_perf_context(const ClusterSpec& cluster,
+                              const Placement& placement);
+
+// Memory budget for a job using `gpus` GPUs packed canonically: per-GPU
+// device capacity and the host memory of the nodes it spans.
+MemoryBudget make_memory_budget(const ClusterSpec& cluster, int gpus);
+
+class Profiler {
+ public:
+  // Simulated wall-clock cost per sampled test run; 7 samples ~ 210 s
+  // matches the paper's reported profiling overhead.
+  static constexpr double kSecondsPerSample = 30.0;
+
+  Profiler(const GroundTruthOracle& oracle, const ClusterSpec& cluster);
+
+  struct Result {
+    PerfModel model;
+    std::vector<PerfSample> samples;
+    double profiling_cost_s = 0.0;
+  };
+
+  // Chooses the sampling plan (>= 7 points, >= 3 ZeRO-Offload when offload
+  // is feasible at all), measures each against the oracle and fits.
+  Result profile_and_fit(const ModelSpec& model, int global_batch) const;
+
+  // The sampling plan alone (unmeasured), exposed for tests.
+  std::vector<PerfSample> choose_samples(const ModelSpec& model,
+                                         int global_batch) const;
+
+ private:
+  const GroundTruthOracle* oracle_;
+  ClusterSpec cluster_;
+  MemoryEstimator estimator_;
+  PerfModelFitter fitter_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,112 @@
+#include "plan/enumerate.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace rubick {
+
+namespace {
+
+// GA step counts considered; larger accumulation rarely helps and inflates
+// the search space.
+constexpr int kGaChoices[] = {1, 2, 4, 8, 16};
+
+void push_if_valid(std::vector<ExecutionPlan>& out, const ModelSpec& model,
+                   int global_batch, ExecutionPlan plan) {
+  if (plan.valid_for(model, global_batch)) out.push_back(plan);
+}
+
+}  // namespace
+
+std::vector<ExecutionPlan> enumerate_candidate_plans(
+    const ModelSpec& model, int global_batch,
+    const PlanConstraints& constraints) {
+  RUBICK_CHECK(constraints.num_gpus >= 1);
+  const int g = constraints.num_gpus;
+  std::vector<ExecutionPlan> out;
+
+  // --- DP family: plain DP, ZeRO-2, ZeRO-3, ZeRO-Offload, each x GA x GC.
+  for (ZeroStage zero : {ZeroStage::kNone, ZeroStage::kZeroDp,
+                         ZeroStage::kZero3, ZeroStage::kOffload}) {
+    for (int a : kGaChoices) {
+      for (bool gc : {false, true}) {
+        ExecutionPlan p;
+        p.dp = g;
+        p.ga_steps = a;
+        p.zero = zero;
+        p.grad_ckpt = gc;
+        push_if_valid(out, model, global_batch, p);
+      }
+    }
+  }
+
+  // --- Model-parallel combinations (TP / PP / full 3D). ---
+  const bool mp_allowed =
+      constraints.allow_model_parallel && model.allow_model_parallel;
+  if (mp_allowed) {
+    for (int t = 1; t <= std::min(g, constraints.max_tp); ++t) {
+      if (g % t != 0) continue;
+      // valid_for() additionally requires hidden_size % t == 0.
+      const int rest = g / t;
+      for (int p = 1; p <= rest; ++p) {
+        if (rest % p != 0) continue;
+        const int d = rest / p;
+        if (t == 1 && p == 1) continue;  // plain DP covered above
+        if (p == 1) {
+          for (bool gc : {false, true})
+            push_if_valid(out, model, global_batch,
+                          ExecutionPlan{.dp = d,
+                                        .tp = t,
+                                        .pp = 1,
+                                        .ga_steps = 1,
+                                        .micro_batches = 1,
+                                        .zero = ZeroStage::kNone,
+                                        .grad_ckpt = gc});
+          // TP can also accumulate gradients to shrink activations.
+          for (int a : kGaChoices) {
+            if (a == 1) continue;
+            push_if_valid(out, model, global_batch,
+                          ExecutionPlan{.dp = d,
+                                        .tp = t,
+                                        .pp = 1,
+                                        .ga_steps = a,
+                                        .micro_batches = 1,
+                                        .zero = ZeroStage::kNone,
+                                        .grad_ckpt = false});
+          }
+        } else {
+          for (int m : {p, 2 * p, 4 * p}) {
+            for (bool gc : {false, true}) {
+              ExecutionPlan plan{.dp = d,
+                                 .tp = t,
+                                 .pp = p,
+                                 .ga_steps = 1,
+                                 .micro_batches = m,
+                                 .zero = ZeroStage::kNone,
+                                 .grad_ckpt = gc};
+              push_if_valid(out, model, global_batch, plan);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ExecutionPlan> enumerate_plans(const ModelSpec& model,
+                                           int global_batch,
+                                           const PlanConstraints& constraints,
+                                           const MemoryEstimator& estimator) {
+  std::vector<ExecutionPlan> candidates =
+      enumerate_candidate_plans(model, global_batch, constraints);
+  std::vector<ExecutionPlan> out;
+  out.reserve(candidates.size());
+  for (const auto& plan : candidates)
+    if (estimator.fits(model, plan, global_batch, constraints.budget))
+      out.push_back(plan);
+  return out;
+}
+
+}  // namespace rubick

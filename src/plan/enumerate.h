@@ -1,0 +1,40 @@
+// Enumeration of candidate execution plans for a model under placement
+// constraints. This is the search space GetBestPlan (paper Alg. 1) ranks
+// with the performance model.
+#pragma once
+
+#include <vector>
+
+#include "model/model_spec.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+
+namespace rubick {
+
+struct PlanConstraints {
+  int num_gpus = 1;
+  // Largest tensor-parallel group that fits inside one node of the
+  // placement (TP is restricted to intra-node links, paper §4.1).
+  int max_tp = 8;
+  MemoryBudget budget{80ull << 30, 1600ull << 30};
+  // When false, ZeRO/GA/GC DP-family plans only (the paper disables TP/PP
+  // for small models in the traces); combined with
+  // ModelSpec::allow_model_parallel.
+  bool allow_model_parallel = true;
+};
+
+// All structurally valid, batch-divisible, memory-feasible plans using
+// exactly `constraints.num_gpus` GPUs. Deterministic order (DP-family
+// first, then 3D combinations by (t, p, m), GC-less before GC).
+std::vector<ExecutionPlan> enumerate_plans(const ModelSpec& model,
+                                           int global_batch,
+                                           const PlanConstraints& constraints,
+                                           const MemoryEstimator& estimator);
+
+// Like enumerate_plans but without the memory-feasibility filter; used by
+// benches that sweep memory limits themselves.
+std::vector<ExecutionPlan> enumerate_candidate_plans(
+    const ModelSpec& model, int global_batch,
+    const PlanConstraints& constraints);
+
+}  // namespace rubick

@@ -1,0 +1,122 @@
+#include "plan/execution_plan.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "model/model_spec.h"
+
+namespace rubick {
+
+const char* to_string(ZeroStage z) {
+  switch (z) {
+    case ZeroStage::kNone:
+      return "none";
+    case ZeroStage::kZeroDp:
+      return "ZeRO-DP";
+    case ZeroStage::kZero3:
+      return "ZeRO-3";
+    case ZeroStage::kOffload:
+      return "ZeRO-Offload";
+  }
+  return "?";
+}
+
+int ExecutionPlan::per_pass_batch(int global_batch) const {
+  const int splits = pp > 1 ? dp * micro_batches : dp * ga_steps;
+  if (splits <= 0 || global_batch % splits != 0) return 0;
+  return global_batch / splits;
+}
+
+bool ExecutionPlan::structurally_valid() const {
+  if (dp < 1 || tp < 1 || pp < 1 || ga_steps < 1 || micro_batches < 1)
+    return false;
+  // ZeRO variants are DP-based optimizations (paper §3).
+  if (zero != ZeroStage::kNone && (tp != 1 || pp != 1)) return false;
+  if (pp > 1) {
+    // Pipeline plans use micro-batching instead of GA; m >= p keeps every
+    // stage busy at least once.
+    if (ga_steps != 1) return false;
+    if (micro_batches < pp) return false;
+  } else if (micro_batches != 1) {
+    return false;
+  }
+  return true;
+}
+
+bool ExecutionPlan::valid_for(const ModelSpec& model, int global_batch) const {
+  if (!structurally_valid()) return false;
+  if (uses_model_parallelism() && !model.allow_model_parallel) return false;
+  // TP partitions attention heads / MLP columns: hidden size must divide.
+  if (model.hidden_size % tp != 0) return false;
+  // PP places l/p layers per stage.
+  if (model.num_layers % pp != 0) return false;
+  // The global batch must split evenly into per-pass micro-batches.
+  return per_pass_batch(global_batch) > 0;
+}
+
+std::string ExecutionPlan::display_name() const {
+  std::ostringstream os;
+  if (zero == ZeroStage::kZeroDp) {
+    os << "ZeRO-DP";
+  } else if (zero == ZeroStage::kZero3) {
+    os << "ZeRO-3";
+  } else if (zero == ZeroStage::kOffload) {
+    os << "ZeRO-Offload";
+  } else if (tp > 1 && pp > 1) {
+    os << "3D(d=" << dp << ",t=" << tp << ",p=" << pp << ")";
+  } else if (tp > 1) {
+    os << (dp > 1 ? "TP+DP" : "TP");
+    os << "(d=" << dp << ",t=" << tp << ")";
+  } else if (pp > 1) {
+    os << (dp > 1 ? "PP+DP" : "PP");
+    os << "(d=" << dp << ",p=" << pp << ")";
+  } else {
+    os << "DP";
+    if (dp > 1) os << "(d=" << dp << ")";
+  }
+  if (ga_steps > 1) os << "+GA";
+  if (grad_ckpt) os << "+GC";
+  return os.str();
+}
+
+ExecutionPlan make_dp(int dp, int ga_steps, bool gc) {
+  ExecutionPlan p;
+  p.dp = dp;
+  p.ga_steps = ga_steps;
+  p.grad_ckpt = gc;
+  RUBICK_CHECK(p.structurally_valid());
+  return p;
+}
+
+ExecutionPlan make_zero_dp(int dp, int ga_steps, bool gc) {
+  ExecutionPlan p = make_dp(dp, ga_steps, gc);
+  p.zero = ZeroStage::kZeroDp;
+  return p;
+}
+
+ExecutionPlan make_zero3(int dp, int ga_steps, bool gc) {
+  ExecutionPlan p = make_dp(dp, ga_steps, gc);
+  p.zero = ZeroStage::kZero3;
+  return p;
+}
+
+ExecutionPlan make_zero_offload(int dp, int ga_steps, bool gc) {
+  ExecutionPlan p = make_dp(dp, ga_steps, gc);
+  p.zero = ZeroStage::kOffload;
+  return p;
+}
+
+ExecutionPlan make_3d(int dp, int tp, int pp, int micro_batches, bool gc) {
+  ExecutionPlan p;
+  p.dp = dp;
+  p.tp = tp;
+  p.pp = pp;
+  p.micro_batches = pp > 1 ? (micro_batches > 0 ? micro_batches : 4 * pp) : 1;
+  p.grad_ckpt = gc;
+  RUBICK_CHECK_MSG(p.structurally_valid(),
+                   "invalid 3D plan d=" << dp << " t=" << tp << " p=" << pp
+                                        << " m=" << p.micro_batches);
+  return p;
+}
+
+}  // namespace rubick

@@ -1,0 +1,84 @@
+// Execution plans — the reconfigurable dimension Rubick schedules.
+//
+// A plan combines (paper §3):
+//   * Megatron-style 3D parallelism with sizes (d, t, p), d·t·p = #GPUs;
+//   * the ZeRO series on top of DP (ZeRO-DP a.k.a. ZeRO-2, ZeRO-Offload);
+//   * gradient accumulation (GA) and gradient checkpointing (GC), usable
+//     with DP or the ZeRO series.
+// Rubick reconfigures a job by switching among plan kinds and, for 3D
+// parallelism, changing the (d, t, p) sizes; the global batch size stays
+// fixed so training convergence is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rubick {
+
+struct ModelSpec;
+
+// Memory-optimization family applied on top of data parallelism.
+enum class ZeroStage {
+  kNone,     // plain DP / 3D parallelism
+  kZeroDp,   // ZeRO-2: optimizer states + gradients sliced across DP ranks
+  kZero3,    // ZeRO-3: weights sliced too; parameters all-gathered per pass
+  kOffload,  // ZeRO-Offload: states offloaded to host, CPU optimizer
+};
+
+const char* to_string(ZeroStage z);
+
+struct ExecutionPlan {
+  // 3D-parallel sizes. dp * tp * pp must equal the number of GPUs the plan
+  // runs on. ZeRO plans require tp == pp == 1 (they are DP-based).
+  int dp = 1;
+  int tp = 1;
+  int pp = 1;
+
+  // Gradient accumulation steps (a in Table 1); 1 means no accumulation.
+  int ga_steps = 1;
+
+  // Number of pipeline micro-batches per iteration (m in Table 1). Must be
+  // >= pp and divide the per-replica batch. Meaningful only when pp > 1.
+  int micro_batches = 1;
+
+  ZeroStage zero = ZeroStage::kNone;
+
+  // Gradient checkpointing: recompute activations in the backward pass.
+  bool grad_ckpt = false;
+
+  int num_gpus() const { return dp * tp * pp; }
+
+  bool uses_model_parallelism() const { return tp > 1 || pp > 1; }
+  bool uses_offload() const { return zero == ZeroStage::kOffload; }
+
+  // Samples each GPU processes per forward pass:
+  //   global_batch / (dp * ga_steps)            for DP-family plans,
+  //   global_batch / (dp * micro_batches)       for pipeline plans.
+  // Returns 0 if the division is not exact (infeasible).
+  int per_pass_batch(int global_batch) const;
+
+  // Structural validity irrespective of a concrete model or memory limits:
+  // positive sizes, ZeRO implies pure DP, GA and PP micro-batching are not
+  // combined, micro_batches >= pp when pp > 1.
+  bool structurally_valid() const;
+
+  // Validity against a model: layer/hidden divisibility for PP/TP and batch
+  // divisibility. (Memory feasibility is checked by the MemoryEstimator.)
+  bool valid_for(const ModelSpec& model, int global_batch) const;
+
+  // Human-readable name matching the paper's figures, e.g. "DP+GA",
+  // "ZeRO-DP", "ZeRO-Offload+GC", "TP", "3D(d=4,t=4,p=2)".
+  std::string display_name() const;
+
+  friend bool operator==(const ExecutionPlan&, const ExecutionPlan&) = default;
+};
+
+// Convenience constructors for the plan families named in the paper.
+ExecutionPlan make_dp(int dp, int ga_steps = 1, bool gc = false);
+ExecutionPlan make_zero_dp(int dp, int ga_steps = 1, bool gc = false);
+ExecutionPlan make_zero3(int dp, int ga_steps = 1, bool gc = false);
+ExecutionPlan make_zero_offload(int dp, int ga_steps = 1, bool gc = false);
+ExecutionPlan make_3d(int dp, int tp, int pp, int micro_batches = 0,
+                      bool gc = false);  // micro_batches 0 -> 4*pp default
+
+}  // namespace rubick

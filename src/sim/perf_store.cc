@@ -1,0 +1,116 @@
+#include "sim/perf_store.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+
+void PerfModelStore::add(PerfModel model) {
+  add(std::move(model), {});
+}
+
+void PerfModelStore::add(PerfModel model,
+                         std::vector<PerfSample> profiled_samples) {
+  Entry entry;
+  const std::string name = model.model_name();
+  entry.model = std::move(model);
+  entry.profiled = std::move(profiled_samples);
+  entries_[name] = std::move(entry);
+  ++version_;
+}
+
+bool PerfModelStore::contains(const std::string& model_name) const {
+  return entries_.count(model_name) > 0;
+}
+
+const PerfModel& PerfModelStore::get(const std::string& model_name) const {
+  auto it = entries_.find(model_name);
+  RUBICK_CHECK_MSG(it != entries_.end(),
+                   "no fitted performance model for " << model_name);
+  return it->second.model;
+}
+
+bool PerfModelStore::record_observation(const std::string& model_name,
+                                        const ModelSpec& model,
+                                        const PerfSample& sample) {
+  auto it = entries_.find(model_name);
+  RUBICK_CHECK_MSG(it != entries_.end(),
+                   "observation for unknown model " << model_name);
+  Entry& entry = it->second;
+  RUBICK_CHECK(sample.measured_throughput > 0.0);
+
+  const double predicted = entry.model.predict_throughput(
+      model, sample.plan, sample.global_batch, sample.ctx);
+  const double err =
+      std::abs(predicted - sample.measured_throughput) /
+      sample.measured_throughput;
+
+  entry.observed.push_back(sample);
+  if (entry.observed.size() > kMaxObservations)
+    entry.observed.erase(entry.observed.begin());
+
+  if (err <= kRefitThreshold) return false;
+
+  // Refit over profiled + observed samples. The fitter requires >= 3
+  // offload samples to identify the offload parameters; drop offload
+  // observations if the combined set falls short.
+  std::vector<PerfSample> all = entry.profiled;
+  all.insert(all.end(), entry.observed.begin(), entry.observed.end());
+  int offload = 0;
+  for (const auto& s : all)
+    if (s.plan.uses_offload()) ++offload;
+  if (offload > 0 && offload < 3) {
+    std::vector<PerfSample> filtered;
+    for (auto& s : all)
+      if (!s.plan.uses_offload()) filtered.push_back(std::move(s));
+    all = std::move(filtered);
+  }
+  if (all.empty()) return false;
+
+  const PerfModelFitter fitter;
+  PerfModel refitted = fitter.fit(model, entry.model.fwd_unit_s(), all);
+  RUBICK_DEBUG("refit " << model_name << " after " << 100.0 * err
+                        << "% prediction error; new train RMSLE "
+                        << refitted.fit_error());
+  entry.model = std::move(refitted);
+  ++entry.refits;
+  ++version_;
+  return true;
+}
+
+int PerfModelStore::observation_count(const std::string& model_name) const {
+  auto it = entries_.find(model_name);
+  return it == entries_.end() ? 0
+                              : static_cast<int>(it->second.observed.size());
+}
+
+int PerfModelStore::refit_count(const std::string& model_name) const {
+  auto it = entries_.find(model_name);
+  return it == entries_.end() ? 0 : it->second.refits;
+}
+
+PerfModelStore PerfModelStore::profile_models(
+    const GroundTruthOracle& oracle, const ClusterSpec& cluster,
+    const std::vector<std::string>& model_names, int global_batch_hint,
+    std::map<std::string, double>* profiling_cost_s) {
+  PerfModelStore store;
+  Profiler profiler(oracle, cluster);
+  std::set<std::string> seen;
+  for (const auto& name : model_names) {
+    if (!seen.insert(name).second) continue;
+    const ModelSpec& model = find_model(name);
+    const int batch =
+        global_batch_hint > 0 ? global_batch_hint : model.default_global_batch;
+    Profiler::Result result = profiler.profile_and_fit(model, batch);
+    if (profiling_cost_s != nullptr)
+      (*profiling_cost_s)[name] = result.profiling_cost_s;
+    store.add(std::move(result.model), std::move(result.samples));
+  }
+  return store;
+}
+
+}  // namespace rubick

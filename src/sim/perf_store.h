@@ -1,0 +1,78 @@
+// Registry of fitted performance models, one per model type, with online
+// refinement.
+//
+// The paper fits the performance model once per model type and reuses it
+// across jobs of that type (§3); it then "updates the model online using
+// metrics collected in real training runs when the prediction error exceeds
+// a threshold" (§4.3). The store keeps every profiled and observed sample;
+// record_observation() feeds live measurements back, and the model is
+// re-fitted when the recent relative prediction error exceeds the
+// threshold. `version()` increments on every refit so consumers
+// (BestPlanPredictor caches, scheduler baselines) can invalidate.
+//
+// Schedulers consult this store for all predictions; the simulator advances
+// jobs with the ground-truth oracle, so fitting error propagates into
+// scheduling quality exactly as on a real cluster.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/fitter.h"
+#include "perf/oracle.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+class PerfModelStore {
+ public:
+  // Relative error on a live measurement that triggers a refit.
+  static constexpr double kRefitThreshold = 0.10;
+  // Cap on retained online observations per model (oldest dropped).
+  static constexpr std::size_t kMaxObservations = 64;
+
+  void add(PerfModel model);
+  // Registers the profiling samples the model was fitted from, so later
+  // refits keep them in the training set.
+  void add(PerfModel model, std::vector<PerfSample> profiled_samples);
+
+  bool contains(const std::string& model_name) const;
+  const PerfModel& get(const std::string& model_name) const;
+
+  // Feeds back a live measurement. If the current model's prediction for
+  // the observed configuration errs by more than `kRefitThreshold`, the
+  // model is refitted over profiled + observed samples. Returns true if a
+  // refit happened.
+  bool record_observation(const std::string& model_name,
+                          const ModelSpec& model, const PerfSample& sample);
+
+  // Monotonic counter bumped on every refit; lets prediction caches detect
+  // staleness.
+  std::uint64_t version() const { return version_; }
+
+  int observation_count(const std::string& model_name) const;
+  int refit_count(const std::string& model_name) const;
+
+  // Profiles and fits every model type named in `model_names`
+  // (deduplicated) against the oracle. Returns per-model profiling cost in
+  // seconds via `profiling_cost_s` when non-null.
+  static PerfModelStore profile_models(
+      const GroundTruthOracle& oracle, const ClusterSpec& cluster,
+      const std::vector<std::string>& model_names, int global_batch_hint = 0,
+      std::map<std::string, double>* profiling_cost_s = nullptr);
+
+ private:
+  struct Entry {
+    PerfModel model;
+    std::vector<PerfSample> profiled;
+    std::vector<PerfSample> observed;
+    int refits = 0;
+  };
+
+  std::map<std::string, Entry> entries_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace rubick

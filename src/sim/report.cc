@@ -1,0 +1,78 @@
+#include "sim/report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace rubick {
+
+void write_results_csv(std::ostream& os, const SimResult& result) {
+  os << "job_id,model,guaranteed,requested_gpus,submit_h,start_h,finish_h,"
+        "jct_h,reconfigs,achieved_thr,baseline_thr\n";
+  for (const JobResult& j : result.jobs) {
+    os << j.spec.id << ',' << j.spec.model_name << ','
+       << (j.spec.guaranteed ? 1 : 0) << ',' << j.spec.requested.gpus << ','
+       << TextTable::fmt(to_hours(j.spec.submit_time_s), 4) << ','
+       << TextTable::fmt(to_hours(j.first_start_s), 4) << ','
+       << TextTable::fmt(to_hours(j.finish_s), 4) << ','
+       << TextTable::fmt(to_hours(j.jct_s), 4) << ',' << j.reconfig_count
+       << ',' << TextTable::fmt(j.achieved_throughput, 3) << ','
+       << TextTable::fmt(j.baseline_throughput, 3) << "\n";
+  }
+}
+
+void write_results_csv_file(const std::string& path,
+                            const SimResult& result) {
+  std::ofstream os(path);
+  RUBICK_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_results_csv(os, result);
+}
+
+void print_summary(std::ostream& os, const std::string& policy_name,
+                   const SimResult& result) {
+  const Summary s = result.jct_summary();
+  int reconfigs = 0, finished = 0;
+  for (const auto& j : result.jobs) {
+    reconfigs += j.reconfig_count;
+    finished += j.finished ? 1 : 0;
+  }
+  os << "policy       " << policy_name << "\n"
+     << "jobs         " << finished << "/" << result.jobs.size()
+     << " finished\n"
+     << "avg JCT      " << TextTable::fmt(to_hours(s.mean)) << " h\n"
+     << "P50 JCT      " << TextTable::fmt(to_hours(s.p50)) << " h\n"
+     << "P99 JCT      " << TextTable::fmt(to_hours(s.p99)) << " h\n"
+     << "makespan     " << TextTable::fmt(to_hours(result.makespan_s))
+     << " h\n"
+     << "reconfigs    " << reconfigs << "\n"
+     << "refits       " << result.online_refits << "\n"
+     << "sched rounds " << result.scheduling_rounds << "\n";
+  if (!result.timeline.empty()) {
+    os << "utilization  "
+       << TextTable::fmt(100.0 * result.timeline.average_utilization(), 0)
+       << "%  ["
+       << ClusterTimeline::sparkline(result.timeline.utilization_buckets(40))
+       << "]\n"
+       << "avg queue    "
+       << TextTable::fmt(result.timeline.average_queue_length(), 1)
+       << " jobs\n";
+  }
+}
+
+void print_job_history(std::ostream& os, const JobResult& job) {
+  os << job.spec.to_string() << "\n";
+  for (const AssignmentRecord& rec : job.history) {
+    os << "  t=" << TextTable::fmt(to_hours(rec.since_s), 2) << "h  g="
+       << rec.gpus << " c=" << rec.cpus << "  " << rec.plan.display_name()
+       << "  @" << TextTable::fmt(rec.throughput, 1) << "/s\n";
+  }
+  if (job.finished)
+    os << "  finished t=" << TextTable::fmt(to_hours(job.finish_s), 2)
+       << "h (JCT " << TextTable::fmt(to_hours(job.jct_s), 2) << "h, "
+       << job.reconfig_count << " reconfigurations)\n";
+}
+
+}  // namespace rubick

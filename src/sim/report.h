@@ -1,0 +1,28 @@
+// Reporting helpers for simulation results: per-job CSV export and an
+// aligned summary block. Shared by the CLI tool, examples and benches so a
+// SimResult is rendered identically everywhere.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace rubick {
+
+// One line per job:
+//   job_id,model,guaranteed,requested_gpus,submit_h,start_h,finish_h,jct_h,
+//   reconfigs,achieved_thr,baseline_thr
+void write_results_csv(std::ostream& os, const SimResult& result);
+void write_results_csv_file(const std::string& path, const SimResult& result);
+
+// Human-readable run summary: JCT percentiles, makespan, reconfiguration
+// and refit counts, average utilization with a sparkline.
+void print_summary(std::ostream& os, const std::string& policy_name,
+                   const SimResult& result);
+
+// The reconfiguration timeline of one job: each configuration it ran with
+// (time, GPUs, plan, measured rate). For policy debugging.
+void print_job_history(std::ostream& os, const JobResult& job);
+
+}  // namespace rubick

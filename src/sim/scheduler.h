@@ -1,0 +1,68 @@
+// Scheduler policy interface shared by Rubick and all baselines.
+//
+// The simulator invokes the policy at every scheduling event (job arrival,
+// job completion, model-profile-ready). The policy returns the COMPLETE
+// desired running set: every job that should be running after the round,
+// with its placement and execution plan. Running jobs omitted from the
+// result are preempted (their progress is checkpointed); pending jobs
+// omitted stay queued.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "sim/perf_store.h"
+#include "trace/job.h"
+
+namespace rubick {
+
+struct JobView {
+  const JobSpec* spec = nullptr;
+  bool running = false;
+  Placement placement;      // empty when queued
+  ExecutionPlan plan;       // last assigned plan (initial plan when queued)
+  double samples_done = 0.0;
+  double remaining_samples = 0.0;
+  double queued_since = 0.0;        // last time the job entered the queue
+  double total_active_time_s = 0.0;  // T in the reconfiguration-penalty gate
+  int reconfig_count = 0;            // N in the gate
+};
+
+struct SchedulerInput {
+  double now = 0.0;
+  ClusterSpec cluster;
+  std::vector<JobView> jobs;  // pending + running, profile-ready only
+  const PerfModelStore* models = nullptr;
+  const MemoryEstimator* estimator = nullptr;
+  double reconfig_penalty_s = 78.0;  // delta in the gate
+};
+
+struct Assignment {
+  int job_id = 0;
+  Placement placement;
+  ExecutionPlan plan;
+  // Statistical efficiency of progress toward the job's sample target, in
+  // (0, 1]. Rubick keeps the global batch fixed, so its assignments are
+  // always 1.0. Schedulers that (implicitly) scale the batch with the DP
+  // size — Sia/Pollux-style goodput systems — pay Pollux's efficiency
+  // factor: each processed sample contributes less toward convergence.
+  double statistical_efficiency = 1.0;
+};
+
+// LIFETIME: a policy instance serves exactly one workload (one simulator
+// run). Implementations memoize per-job state (minimum demands, baselines,
+// plan selectors) keyed by job id, so reusing an instance across traces
+// whose job ids overlap silently corrupts its decisions — construct a fresh
+// policy per run instead.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<Assignment> schedule(const SchedulerInput& input) = 0;
+};
+
+}  // namespace rubick

@@ -1,0 +1,384 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+Summary SimResult::jct_summary() const {
+  std::vector<double> jcts;
+  jcts.reserve(jobs.size());
+  for (const auto& j : jobs)
+    if (j.finished) jcts.push_back(j.jct_s);
+  return summarize(jcts);
+}
+
+Summary SimResult::jct_summary_where(bool guaranteed) const {
+  std::vector<double> jcts;
+  for (const auto& j : jobs)
+    if (j.finished && j.spec.guaranteed == guaranteed)
+      jcts.push_back(j.jct_s);
+  return summarize(jcts);
+}
+
+namespace {
+
+enum class State { kNotReady, kPending, kRunning, kFinished };
+
+struct SimJob {
+  JobSpec spec;
+  State state = State::kNotReady;
+  double ready_time = 0.0;  // submit + profiling gate
+
+  Placement placement;
+  ExecutionPlan plan;
+  double samples_done = 0.0;
+  double throughput = 0.0;
+  double pause_until = 0.0;
+  double last_advance = 0.0;
+  double queued_since = 0.0;
+  double first_start = -1.0;
+  double finish_time = -1.0;
+  int reconfig_count = 0;
+  double total_active = 0.0;
+  double gpu_seconds = 0.0;
+  bool ever_ran = false;
+  std::vector<AssignmentRecord> history;
+
+  double remaining() const {
+    return std::max(0.0, spec.target_samples - samples_done);
+  }
+};
+
+constexpr double kEps = 1e-6;
+
+}  // namespace
+
+Simulator::Simulator(const ClusterSpec& cluster,
+                     const GroundTruthOracle& oracle, SimOptions options)
+    : cluster_spec_(cluster), oracle_(&oracle), options_(options) {}
+
+SimResult Simulator::run(const std::vector<JobSpec>& jobs,
+                         SchedulerPolicy& policy) {
+  std::vector<std::string> names;
+  names.reserve(jobs.size());
+  for (const auto& j : jobs) names.push_back(j.model_name);
+  std::map<std::string, double> costs;
+  const PerfModelStore store = PerfModelStore::profile_models(
+      *oracle_, cluster_spec_, names, /*global_batch_hint=*/0, &costs);
+  return run(jobs, policy, store, costs);
+}
+
+SimResult Simulator::run(const std::vector<JobSpec>& jobs,
+                         SchedulerPolicy& policy, const PerfModelStore& store_in,
+                         const std::map<std::string, double>& profiling_cost) {
+  RUBICK_CHECK(!jobs.empty());
+  MemoryEstimator estimator;
+  Cluster cluster(cluster_spec_);
+  // Work on a copy so online refinement never mutates the caller's store
+  // (benches share one store across policies).
+  PerfModelStore store = store_in;
+
+  // --- Initialize jobs; the first job of each model type waits for the
+  // profiling run to finish before it becomes schedulable. ---
+  std::vector<SimJob> sim_jobs;
+  sim_jobs.reserve(jobs.size());
+  std::map<std::string, double> model_ready;
+  for (const auto& spec : jobs) {
+    SimJob sj;
+    sj.spec = spec;
+    sj.plan = spec.initial_plan;
+    double ready = spec.submit_time_s;
+    if (options_.charge_profiling) {
+      auto it = model_ready.find(spec.model_name);
+      if (it == model_ready.end()) {
+        auto cost_it = profiling_cost.find(spec.model_name);
+        const double cost =
+            cost_it != profiling_cost.end() ? cost_it->second : 210.0;
+        ready += cost;
+        model_ready[spec.model_name] = spec.submit_time_s + cost;
+      } else {
+        ready = std::max(ready, it->second);
+      }
+    }
+    sj.ready_time = ready;
+    sim_jobs.push_back(std::move(sj));
+  }
+
+  SimResult result;
+  result.jobs.resize(sim_jobs.size());
+
+  auto advance_to = [&](double now) {
+    for (auto& sj : sim_jobs) {
+      if (sj.state != State::kRunning) continue;
+      const double from = std::max(sj.last_advance, sj.pause_until);
+      const double active = std::max(0.0, now - from);
+      sj.samples_done += sj.throughput * active;
+      sj.total_active += active;
+      sj.gpu_seconds += active * sj.placement.total_gpus();
+      sj.last_advance = now;
+    }
+  };
+
+  auto finish_completed = [&](double now) {
+    bool any = false;
+    for (auto& sj : sim_jobs) {
+      if (sj.state != State::kRunning) continue;
+      // Complete when the shortfall is within float slop or under 1 ms of
+      // additional progress (avoids degenerate micro-steps in the event loop).
+      const double slop =
+          kEps * sj.spec.target_samples + sj.throughput * 1e-3;
+      if (sj.samples_done + slop < sj.spec.target_samples) continue;
+      cluster.release(sj.placement);
+      sj.placement = Placement{};
+      sj.state = State::kFinished;
+      sj.finish_time = now;
+      any = true;
+    }
+    return any;
+  };
+
+  auto activate_ready = [&](double now) {
+    bool any = false;
+    for (auto& sj : sim_jobs) {
+      if (sj.state == State::kNotReady && sj.ready_time <= now + kEps) {
+        sj.state = State::kPending;
+        sj.queued_since = now;
+        any = true;
+      }
+    }
+    return any;
+  };
+
+  auto apply_assignments = [&](const std::vector<Assignment>& assignments,
+                               double now) {
+    std::set<int> assigned_ids;
+    for (const auto& a : assignments) {
+      RUBICK_CHECK_MSG(assigned_ids.insert(a.job_id).second,
+                       "duplicate assignment for job " << a.job_id);
+    }
+
+    // Phase 1: release every running job whose assignment changes or
+    // disappears, so phase 2 allocates against up-to-date free resources.
+    for (auto& sj : sim_jobs) {
+      if (sj.state != State::kRunning) continue;
+      const auto it = std::find_if(
+          assignments.begin(), assignments.end(),
+          [&](const Assignment& a) { return a.job_id == sj.spec.id; });
+      const bool keep = it != assignments.end() && !it->placement.empty() &&
+                        it->placement == sj.placement && it->plan == sj.plan;
+      if (keep) continue;
+      cluster.release(sj.placement);
+      sj.placement = Placement{};
+      sj.state = State::kPending;
+      sj.queued_since = now;
+    }
+
+    // Phase 2: start / restart jobs per the new assignments.
+    for (const auto& a : assignments) {
+      if (a.placement.empty()) continue;  // leave pending
+      auto it = std::find_if(
+          sim_jobs.begin(), sim_jobs.end(),
+          [&](const SimJob& sj) { return sj.spec.id == a.job_id; });
+      RUBICK_CHECK_MSG(it != sim_jobs.end(), "assignment for unknown job");
+      SimJob& sj = *it;
+      RUBICK_CHECK_MSG(sj.state != State::kNotReady,
+                       "assignment for job " << a.job_id
+                                             << " before profiling finished");
+      RUBICK_CHECK_MSG(sj.state != State::kFinished,
+                       "assignment for finished job " << a.job_id);
+      if (sj.state == State::kRunning) continue;  // unchanged, kept in phase 1
+
+      const ModelSpec& model = find_model(sj.spec.model_name);
+      RUBICK_CHECK_MSG(
+          a.plan.num_gpus() == a.placement.total_gpus(),
+          "plan " << a.plan.display_name() << " does not match placement "
+                  << a.placement.to_string());
+      RUBICK_CHECK_MSG(a.plan.valid_for(model, sj.spec.global_batch),
+                       "invalid plan " << a.plan.display_name() << " for "
+                                       << model.name);
+      if (a.plan.tp > 1) {
+        for (const auto& slice : a.placement.slices)
+          RUBICK_CHECK_MSG(slice.gpus % a.plan.tp == 0,
+                           "TP group split across nodes: "
+                               << a.placement.to_string());
+      }
+      const std::uint64_t gpu_need =
+          estimator.gpu_bytes(model, a.plan, sj.spec.global_batch);
+      RUBICK_CHECK_MSG(gpu_need <= cluster_spec_.node.gpu_memory_bytes,
+                       "plan " << a.plan.display_name() << " OOMs on "
+                               << model.name);
+
+      cluster.allocate(a.placement);  // throws if over-committed
+      const bool was_warm = sj.ever_ran;
+      double warm_penalty = options_.reconfig_penalty_s;
+      if (options_.size_dependent_reconfig_cost)
+        warm_penalty = options_.launch_delay_s +
+                       static_cast<double>(model.full_state_bytes()) /
+                           options_.checkpoint_bw_bps;
+      const double penalty = was_warm ? warm_penalty : options_.launch_delay_s;
+      if (was_warm) ++sj.reconfig_count;
+      sj.placement = a.placement;
+      sj.plan = a.plan;
+      sj.state = State::kRunning;
+      sj.pause_until = now + penalty;
+      sj.last_advance = now;
+      sj.ever_ran = true;
+      if (sj.first_start < 0.0) sj.first_start = now;
+      // Only checkpoint-resume cycles count as reconfiguration overhead
+      // (the paper's ~1%-of-GPU-hours figure); cold launches are the cost
+      // any scheduler pays once per job.
+      if (was_warm)
+        result.reconfig_overhead_gpu_seconds +=
+            penalty * sj.placement.total_gpus();
+
+      const PerfContext ctx = make_perf_context(cluster_spec_, a.placement);
+      const double measured =
+          options_.advance_with_fitted_model
+              ? store.get(sj.spec.model_name)
+                    .predict_throughput(model, sj.plan, sj.spec.global_batch,
+                                        ctx)
+              : oracle_->measure_throughput(model, sj.plan,
+                                            sj.spec.global_batch, ctx);
+      if (options_.online_refinement && !options_.advance_with_fitted_model) {
+        PerfSample obs;
+        obs.plan = sj.plan;
+        obs.global_batch = sj.spec.global_batch;
+        obs.ctx = ctx;
+        obs.measured_throughput = measured;
+        if (store.record_observation(sj.spec.model_name, model, obs))
+          ++result.online_refits;
+      }
+      RUBICK_CHECK_MSG(a.statistical_efficiency > 0.0 &&
+                           a.statistical_efficiency <= 1.0,
+                       "statistical efficiency must be in (0, 1]");
+      sj.throughput = measured * a.statistical_efficiency;
+      RUBICK_CHECK(sj.throughput > 0.0);
+      sj.history.push_back(AssignmentRecord{now, a.placement.total_gpus(),
+                                            a.placement.total_cpus(), a.plan,
+                                            sj.throughput});
+    }
+  };
+
+  auto build_input = [&](double now) {
+    SchedulerInput input;
+    input.now = now;
+    input.cluster = cluster_spec_;
+    input.models = &store;
+    input.estimator = &estimator;
+    input.reconfig_penalty_s = options_.reconfig_penalty_s;
+    for (const auto& sj : sim_jobs) {
+      if (sj.state != State::kPending && sj.state != State::kRunning) continue;
+      JobView v;
+      v.spec = &sj.spec;
+      v.running = sj.state == State::kRunning;
+      v.placement = sj.placement;
+      v.plan = sj.plan;
+      v.samples_done = sj.samples_done;
+      v.remaining_samples = sj.remaining();
+      v.queued_since = sj.queued_since;
+      v.total_active_time_s = sj.total_active;
+      v.reconfig_count = sj.reconfig_count;
+      input.jobs.push_back(std::move(v));
+    }
+    return input;
+  };
+
+  auto next_event_time = [&](double now) {
+    double next = std::numeric_limits<double>::infinity();
+    for (const auto& sj : sim_jobs) {
+      if (sj.state == State::kNotReady) {
+        next = std::min(next, sj.ready_time);
+      } else if (sj.state == State::kRunning) {
+        const double start = std::max(now, sj.pause_until);
+        next = std::min(next, start + sj.remaining() / sj.throughput);
+      }
+    }
+    return next;
+  };
+
+  // --- Main loop. ---
+  double now = 0.0;
+  while (true) {
+    advance_to(now);
+    const bool completed = finish_completed(now);
+    const bool arrived = activate_ready(now);
+
+    if (completed || arrived || result.scheduling_rounds == 0) {
+      const SchedulerInput input = build_input(now);
+      if (!input.jobs.empty()) {
+        const std::vector<Assignment> assignments = policy.schedule(input);
+        apply_assignments(assignments, now);
+        ++result.scheduling_rounds;
+      }
+      TimelineSample sample;
+      sample.time_s = now;
+      sample.total_gpus = cluster_spec_.total_gpus();
+      for (const auto& sj : sim_jobs) {
+        if (sj.state == State::kRunning) {
+          ++sample.running_jobs;
+          sample.busy_gpus += sj.placement.total_gpus();
+        } else if (sj.state == State::kPending) {
+          ++sample.pending_jobs;
+        }
+      }
+      result.timeline.record(sample);
+    }
+
+    const double next = next_event_time(now);
+    if (!std::isfinite(next)) {
+      // No running jobs and no future arrivals: everything must be done.
+      std::string pending_desc;
+      for (const auto& sj : sim_jobs)
+        if (sj.state == State::kPending)
+          pending_desc += " " + sj.spec.to_string();
+      RUBICK_CHECK_MSG(pending_desc.empty(),
+                       "scheduler deadlock: pending jobs but idle cluster at t="
+                           << now << ":" << pending_desc);
+      break;
+    }
+    RUBICK_CHECK_MSG(next <= options_.max_sim_time_s,
+                     "simulation exceeded max_sim_time");
+    now = std::max(now, next);
+  }
+
+  // --- Collect results. ---
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < sim_jobs.size(); ++i) {
+    const SimJob& sj = sim_jobs[i];
+    JobResult& jr = result.jobs[i];
+    jr.spec = sj.spec;
+    jr.finished = sj.state == State::kFinished;
+    jr.history = sj.history;
+    jr.first_start_s = sj.first_start;
+    jr.finish_s = sj.finish_time;
+    jr.jct_s = jr.finished ? sj.finish_time - sj.spec.submit_time_s : 0.0;
+    jr.reconfig_count = sj.reconfig_count;
+    jr.total_active_time_s = sj.total_active;
+    jr.gpu_seconds = sj.gpu_seconds;
+    result.total_gpu_seconds += sj.gpu_seconds;
+
+    const ModelSpec& model = find_model(sj.spec.model_name);
+    const PerfContext base_ctx = make_perf_context(
+        cluster_spec_, sj.spec.requested.gpus, sj.spec.requested.cpus);
+    if (sj.spec.initial_plan.valid_for(model, sj.spec.global_batch)) {
+      jr.baseline_throughput = oracle_->measure_throughput(
+          model, sj.spec.initial_plan, sj.spec.global_batch, base_ctx);
+    }
+    if (jr.finished && sj.finish_time > sj.first_start)
+      jr.achieved_throughput =
+          sj.spec.target_samples / (sj.finish_time - sj.first_start);
+    makespan = std::max(makespan, sj.finish_time);
+  }
+  result.makespan_s = makespan;
+  return result;
+}
+
+}  // namespace rubick

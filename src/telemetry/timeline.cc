@@ -1,0 +1,97 @@
+#include "telemetry/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rubick {
+
+void ClusterTimeline::record(const TimelineSample& sample) {
+  RUBICK_CHECK(sample.total_gpus > 0);
+  RUBICK_CHECK(sample.busy_gpus >= 0 &&
+               sample.busy_gpus <= sample.total_gpus);
+  if (!samples_.empty()) {
+    RUBICK_CHECK_MSG(sample.time_s >= samples_.back().time_s,
+                     "timeline samples must be time-ordered");
+    if (sample.time_s == samples_.back().time_s) {
+      samples_.back() = sample;
+      return;
+    }
+  }
+  samples_.push_back(sample);
+}
+
+template <typename Fn>
+double ClusterTimeline::time_weighted_mean(Fn value_of) const {
+  if (samples_.size() < 2) return samples_.empty() ? 0.0 : value_of(samples_[0]);
+  double weighted = 0.0;
+  double span = 0.0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const double dt = samples_[i + 1].time_s - samples_[i].time_s;
+    weighted += value_of(samples_[i]) * dt;
+    span += dt;
+  }
+  return span > 0.0 ? weighted / span : value_of(samples_.back());
+}
+
+double ClusterTimeline::average_utilization() const {
+  return time_weighted_mean([](const TimelineSample& s) {
+    return static_cast<double>(s.busy_gpus) / s.total_gpus;
+  });
+}
+
+double ClusterTimeline::average_queue_length() const {
+  return time_weighted_mean(
+      [](const TimelineSample& s) { return static_cast<double>(s.pending_jobs); });
+}
+
+double ClusterTimeline::fully_busy_fraction() const {
+  return time_weighted_mean([](const TimelineSample& s) {
+    return s.busy_gpus == s.total_gpus ? 1.0 : 0.0;
+  });
+}
+
+std::vector<double> ClusterTimeline::utilization_buckets(int buckets) const {
+  RUBICK_CHECK(buckets > 0);
+  std::vector<double> out(static_cast<std::size_t>(buckets), 0.0);
+  if (samples_.size() < 2) return out;
+  const double t0 = samples_.front().time_s;
+  const double t1 = samples_.back().time_s;
+  if (t1 <= t0) return out;
+  const double width = (t1 - t0) / buckets;
+
+  std::vector<double> covered(static_cast<std::size_t>(buckets), 0.0);
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const double util =
+        static_cast<double>(samples_[i].busy_gpus) / samples_[i].total_gpus;
+    double begin = samples_[i].time_s;
+    const double end = samples_[i + 1].time_s;
+    while (begin < end) {
+      const auto b = std::min<std::size_t>(
+          static_cast<std::size_t>((begin - t0) / width),
+          static_cast<std::size_t>(buckets - 1));
+      const double bucket_end = t0 + (static_cast<double>(b) + 1.0) * width;
+      const double chunk = std::min(end, bucket_end) - begin;
+      out[b] += util * chunk;
+      covered[b] += chunk;
+      begin += chunk > 0.0 ? chunk : width * 1e-9;
+    }
+  }
+  for (std::size_t b = 0; b < out.size(); ++b)
+    out[b] = covered[b] > 0.0 ? out[b] / covered[b] : 0.0;
+  return out;
+}
+
+std::string ClusterTimeline::sparkline(const std::vector<double>& buckets) {
+  static const char* kLevels = " .:-=+*#";
+  std::string out;
+  out.reserve(buckets.size());
+  for (double u : buckets) {
+    const int level = std::clamp(static_cast<int>(std::lround(u * 7.0)), 0, 7);
+    out.push_back(kLevels[level]);
+  }
+  return out;
+}
+
+}  // namespace rubick

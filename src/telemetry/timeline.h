@@ -1,0 +1,57 @@
+// Cluster telemetry: step-wise time series of utilization and queue state.
+//
+// The simulator records a sample at every scheduling event; reports
+// time-weighted averages and coarse-grained buckets suitable for printing
+// utilization curves next to the JCT tables (the kind of evidence behind
+// the paper's "higher loads lead to more gains" claim in Fig. 10).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rubick {
+
+struct TimelineSample {
+  double time_s = 0.0;
+  int busy_gpus = 0;       // GPUs allocated to running jobs
+  int total_gpus = 0;
+  int running_jobs = 0;
+  int pending_jobs = 0;
+};
+
+class ClusterTimeline {
+ public:
+  // Samples must arrive in non-decreasing time order; a sample at the same
+  // timestamp replaces the previous one (several events can coincide).
+  void record(const TimelineSample& sample);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+  // Time-weighted mean GPU utilization in [0, 1] over [begin, end] of the
+  // recorded span (step function: each sample holds until the next).
+  double average_utilization() const;
+
+  // Time-weighted mean number of queued jobs.
+  double average_queue_length() const;
+
+  // Fraction of the recorded span with every GPU busy.
+  double fully_busy_fraction() const;
+
+  // Down-samples the step function into `buckets` equal time slices of mean
+  // utilization — printable as a coarse utilization curve.
+  std::vector<double> utilization_buckets(int buckets) const;
+
+  // Renders `buckets` as a one-line ASCII sparkline (0-100% -> ' ' .. '#').
+  static std::string sparkline(const std::vector<double>& buckets);
+
+ private:
+  template <typename Fn>
+  double time_weighted_mean(Fn value_of) const;
+
+  std::vector<TimelineSample> samples_;
+};
+
+}  // namespace rubick

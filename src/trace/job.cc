@@ -1,0 +1,36 @@
+#include "trace/job.h"
+
+#include <sstream>
+
+#include "cluster/cluster.h"
+#include "common/error.h"
+#include "model/model_spec.h"
+#include "perf/profiler.h"
+#include "plan/enumerate.h"
+
+namespace rubick {
+
+std::string JobSpec::to_string() const {
+  std::ostringstream os;
+  os << "job" << id << "(" << model_name << ", req=" << requested.to_string()
+     << ", plan=" << initial_plan.display_name() << ", b=" << global_batch
+     << ", " << (guaranteed ? "guaranteed" : "best-effort") << "@" << tenant
+     << ")";
+  return os.str();
+}
+
+int min_feasible_gpus(const ModelSpec& model, int global_batch,
+                      const ClusterSpec& cluster) {
+  MemoryEstimator estimator;
+  for (int g = 1; g <= cluster.total_gpus(); ++g) {
+    PlanConstraints pc;
+    pc.num_gpus = g;
+    pc.max_tp = std::min(g, cluster.node.gpus);
+    pc.budget = make_memory_budget(cluster, g);
+    if (!enumerate_plans(model, global_batch, pc, estimator).empty()) return g;
+  }
+  RUBICK_CHECK_MSG(false, "model " << model.name
+                                   << " infeasible even with the full cluster");
+}
+
+}  // namespace rubick

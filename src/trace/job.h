@@ -1,0 +1,56 @@
+// Job specifications as submitted by users (paper §2.1, §5.1).
+//
+// A job requests a fixed amount of multi-dimensional resources and carries a
+// user-chosen initial execution plan. Rubick's SLA: a *guaranteed* job must
+// achieve at least the performance it would have with (requested resources,
+// initial plan); *best-effort* jobs use free resources opportunistically and
+// may be preempted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/resource.h"
+#include "plan/execution_plan.h"
+
+namespace rubick {
+
+struct JobSpec {
+  int id = 0;
+  std::string model_name;
+
+  double submit_time_s = 0.0;
+
+  // User-requested resources (the gang-scheduling request).
+  ResourceVector requested;
+
+  int global_batch = 16;
+  ExecutionPlan initial_plan;
+
+  // Total training samples to process (duration translated through measured
+  // throughput, as the paper does with mini-batch targets).
+  double target_samples = 0.0;
+
+  std::string tenant = "default";
+  bool guaranteed = true;
+
+  // Gradient noise scale relative to the global batch (Pollux/Sia): the
+  // statistical efficiency of training at an effective batch of r times the
+  // requested one is (noise + 1) / (noise + r). Larger values mean the job
+  // tolerates batch scaling better.
+  double grad_noise_rel = 2.0;
+
+  std::string to_string() const;
+};
+
+// Computes the smallest GPU count at which any execution plan is feasible
+// for the model (used to fix up infeasible trace requests, as the paper
+// does: "In case the original GPU number is infeasible for the model, we use
+// a feasible one and change the duration accordingly").
+class MemoryEstimator;
+struct ModelSpec;
+struct ClusterSpec;
+int min_feasible_gpus(const ModelSpec& model, int global_batch,
+                      const ClusterSpec& cluster);
+
+}  // namespace rubick

@@ -1,0 +1,46 @@
+// Synthetic Philly-like trace generation (paper §7.3 "Methodology").
+//
+// The paper down-samples the busiest 12 hours of the Microsoft Philly trace
+// to 406 jobs for a 64-GPU cluster, assigns each job a random model from the
+// zoo, fixes up infeasible GPU counts keeping GPU-hours constant, and
+// translates durations into mini-batch targets via measured throughput.
+// Three variants: Base (random feasible initial plan), BP (best initial plan
+// for the requested resources) and MT (two tenants: A with a 64-GPU quota,
+// all guaranteed; B quota-less, all best-effort).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "perf/oracle.h"
+#include "trace/job.h"
+
+namespace rubick {
+
+enum class TraceVariant { kBase, kBestPlan, kMultiTenant };
+
+struct TraceOptions {
+  std::uint64_t seed = 1;
+  TraceVariant variant = TraceVariant::kBase;
+  int num_jobs = 406;
+  double window_s = 12.0 * 3600.0;  // arrivals spread over 12 hours
+  // Load multiplier (Fig. 10): scales the number of jobs in the window.
+  double load_scale = 1.0;
+  // Probability a job is a large model (LLaMA-2-7B / LLaMA-30B), Fig. 11.
+  double large_model_fraction = 0.15;
+};
+
+class TraceGenerator {
+ public:
+  TraceGenerator(const ClusterSpec& cluster, const GroundTruthOracle& oracle);
+
+  // Generates jobs sorted by submit time. Deterministic in opts.seed.
+  std::vector<JobSpec> generate(const TraceOptions& opts) const;
+
+ private:
+  ClusterSpec cluster_;
+  const GroundTruthOracle* oracle_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,109 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+
+namespace {
+
+constexpr const char* kHeader =
+    "id,model,submit_s,gpus,cpus,mem_bytes,batch,target_samples,tenant,"
+    "guaranteed,noise_rel,dp,tp,pp,ga,micro,zero,gc";
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  // Trailing empty field after a terminal separator.
+  if (!line.empty() && line.back() == sep) out.push_back("");
+  return out;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& os, const std::vector<JobSpec>& jobs) {
+  os << kHeader << "\n";
+  os.precision(17);
+  for (const JobSpec& j : jobs) {
+    RUBICK_CHECK_MSG(j.model_name.find(',') == std::string::npos &&
+                         j.tenant.find(',') == std::string::npos,
+                     "commas in names break the CSV format");
+    os << j.id << ',' << j.model_name << ',' << j.submit_time_s << ','
+       << j.requested.gpus << ',' << j.requested.cpus << ','
+       << j.requested.memory_bytes << ',' << j.global_batch << ','
+       << j.target_samples << ',' << j.tenant << ','
+       << (j.guaranteed ? 1 : 0) << ',' << j.grad_noise_rel << ','
+       << j.initial_plan.dp << ',' << j.initial_plan.tp << ','
+       << j.initial_plan.pp << ',' << j.initial_plan.ga_steps << ','
+       << j.initial_plan.micro_batches << ','
+       << static_cast<int>(j.initial_plan.zero) << ','
+       << (j.initial_plan.grad_ckpt ? 1 : 0) << "\n";
+  }
+}
+
+void write_trace_csv_file(const std::string& path,
+                          const std::vector<JobSpec>& jobs) {
+  std::ofstream os(path);
+  RUBICK_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_trace_csv(os, jobs);
+}
+
+std::vector<JobSpec> read_trace_csv(std::istream& is) {
+  std::string line;
+  RUBICK_CHECK_MSG(std::getline(is, line), "empty trace file");
+  RUBICK_CHECK_MSG(line == kHeader,
+                   "unexpected trace header; expected '" << kHeader << "'");
+
+  std::vector<JobSpec> jobs;
+  int lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto f = split(line, ',');
+    RUBICK_CHECK_MSG(f.size() == 18, "line " << lineno << ": expected 18 "
+                                             << "fields, got " << f.size());
+    JobSpec j;
+    j.id = std::stoi(f[0]);
+    j.model_name = f[1];
+    RUBICK_CHECK_MSG(has_model(j.model_name),
+                     "line " << lineno << ": unknown model " << j.model_name);
+    j.submit_time_s = std::stod(f[2]);
+    j.requested.gpus = std::stoi(f[3]);
+    j.requested.cpus = std::stoi(f[4]);
+    j.requested.memory_bytes = std::stoull(f[5]);
+    j.global_batch = std::stoi(f[6]);
+    j.target_samples = std::stod(f[7]);
+    j.tenant = f[8];
+    j.guaranteed = f[9] == "1";
+    j.grad_noise_rel = std::stod(f[10]);
+    j.initial_plan.dp = std::stoi(f[11]);
+    j.initial_plan.tp = std::stoi(f[12]);
+    j.initial_plan.pp = std::stoi(f[13]);
+    j.initial_plan.ga_steps = std::stoi(f[14]);
+    j.initial_plan.micro_batches = std::stoi(f[15]);
+    const int zero = std::stoi(f[16]);
+    RUBICK_CHECK_MSG(zero >= 0 && zero <= 3,
+                     "line " << lineno << ": bad ZeRO stage " << zero);
+    j.initial_plan.zero = static_cast<ZeroStage>(zero);
+    j.initial_plan.grad_ckpt = f[17] == "1";
+    RUBICK_CHECK_MSG(
+        j.initial_plan.valid_for(find_model(j.model_name), j.global_batch),
+        "line " << lineno << ": invalid plan "
+                << j.initial_plan.display_name() << " for " << j.model_name);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> read_trace_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  RUBICK_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_trace_csv(is);
+}
+
+}  // namespace rubick

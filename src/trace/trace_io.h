@@ -1,0 +1,30 @@
+// Trace serialization: save generated traces to CSV and load them back, so
+// experiments can be re-run against the exact same workload from other
+// tooling (or hand-edited). The format is one job per line:
+//
+//   id,model,submit_s,gpus,cpus,mem_bytes,batch,target_samples,tenant,
+//   guaranteed,noise_rel,dp,tp,pp,ga,micro,zero,gc
+//
+// A single header line is required. Round-tripping is lossless
+// (`test_trace_io.cc` checks field-for-field equality).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/job.h"
+
+namespace rubick {
+
+// Writes the header plus one line per job.
+void write_trace_csv(std::ostream& os, const std::vector<JobSpec>& jobs);
+void write_trace_csv_file(const std::string& path,
+                          const std::vector<JobSpec>& jobs);
+
+// Parses a trace written by write_trace_csv. Throws InvariantError on
+// malformed input (wrong column count, unknown model, invalid plan).
+std::vector<JobSpec> read_trace_csv(std::istream& is);
+std::vector<JobSpec> read_trace_csv_file(const std::string& path);
+
+}  // namespace rubick

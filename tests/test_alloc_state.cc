@@ -1,0 +1,128 @@
+#include "core/alloc_state.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+namespace {
+
+TEST(AllocState, StartsFromFullClusterWhenEmpty) {
+  const ClusterSpec spec;
+  AllocState state(spec, {});
+  for (int n = 0; n < spec.num_nodes; ++n) {
+    EXPECT_EQ(state.free_gpus(n), 8);
+    EXPECT_EQ(state.free_cpus(n), 96);
+    EXPECT_EQ(state.free_memory(n), spec.node.memory_bytes);
+  }
+}
+
+TEST(AllocState, RegistersRunningJobs) {
+  const ClusterSpec spec;
+  Placement p;
+  p.add({0, 4, 8, gigabytes(100)});
+  AllocState state(spec, {{7, p}});
+  EXPECT_EQ(state.free_gpus(0), 4);
+  EXPECT_EQ(state.free_cpus(0), 88);
+  EXPECT_EQ(state.job_gpus(7), 4);
+  EXPECT_EQ(state.placement_of(7), p);
+}
+
+TEST(AllocState, TakeAndGiveBackRoundtrip) {
+  AllocState state(ClusterSpec{}, {});
+  state.take_gpus(1, 0, 3);
+  state.take_cpus(1, 0, 6);
+  EXPECT_EQ(state.job_gpus_on(1, 0), 3);
+  EXPECT_EQ(state.free_gpus(0), 5);
+  state.give_back_gpus(1, 0, 3);
+  state.give_back_cpus(1, 0, 6);
+  EXPECT_EQ(state.job_gpus(1), 0);
+  EXPECT_EQ(state.free_gpus(0), 8);
+}
+
+TEST(AllocState, OverTakeThrows) {
+  AllocState state(ClusterSpec{}, {});
+  EXPECT_THROW(state.take_gpus(1, 0, 9), InvariantError);
+  state.take_gpus(1, 0, 2);
+  EXPECT_THROW(state.give_back_gpus(1, 0, 3), InvariantError);
+}
+
+TEST(AllocState, ReleaseJobFreesEverything) {
+  AllocState state(ClusterSpec{}, {});
+  state.take_gpus(5, 0, 2);
+  state.take_cpus(5, 1, 4);
+  state.release_job(5);
+  EXPECT_EQ(state.free_gpus(0), 8);
+  EXPECT_EQ(state.free_cpus(1), 96);
+  EXPECT_TRUE(state.placement_of(5).empty());
+}
+
+TEST(AllocState, SnapshotRestoreRoundtrip) {
+  AllocState state(ClusterSpec{}, {});
+  state.take_gpus(1, 0, 4);
+  const auto snap = state.snapshot();
+  state.take_gpus(2, 0, 4);
+  state.take_cpus(2, 0, 8);
+  state.release_job(1);
+  state.restore(snap);
+  EXPECT_EQ(state.job_gpus(1), 4);
+  EXPECT_EQ(state.job_gpus(2), 0);
+  EXPECT_EQ(state.free_gpus(0), 4);
+  EXPECT_EQ(state.free_cpus(0), 96);
+}
+
+TEST(AllocState, JobNodesListsOnlyOccupiedNodes) {
+  AllocState state(ClusterSpec{}, {});
+  state.take_gpus(1, 0, 1);
+  state.take_gpus(1, 3, 2);
+  const auto nodes = state.job_nodes(1);
+  EXPECT_EQ(nodes, (std::vector<int>{0, 3}));
+}
+
+TEST(AllocState, AllocMemoryDistributesByGpuShare) {
+  AllocState state(ClusterSpec{}, {});
+  const ModelSpec& model = find_model("GPT-2");
+  MemoryEstimator est;
+  state.take_gpus(1, 0, 3);
+  state.take_gpus(1, 1, 1);
+  const ExecutionPlan plan = make_dp(4);
+  ASSERT_TRUE(state.alloc_memory(1, model, plan, 16, est));
+  const Placement p = state.placement_of(1);
+  const std::uint64_t total = est.host_bytes(model, plan);
+  EXPECT_EQ(p.total_host_memory(), total);
+  // Node 0 has 3 of 4 GPUs => ~75% of the memory.
+  EXPECT_NEAR(static_cast<double>(p.slices[0].host_memory_bytes) /
+                  static_cast<double>(total),
+              0.75, 0.01);
+}
+
+TEST(AllocState, AllocMemoryFailsWithoutChangingState) {
+  ClusterSpec spec;
+  spec.node.memory_bytes = gigabytes(10);  // tiny host memory
+  AllocState state(spec, {});
+  const ModelSpec& model = find_model("LLaMA-2-7B");
+  MemoryEstimator est;
+  state.take_gpus(1, 0, 1);
+  // ZeRO-Offload needs 14P ~ 98 GB host memory: cannot fit in 10 GB.
+  EXPECT_FALSE(
+      state.alloc_memory(1, model, make_zero_offload(1, 16, true), 16, est));
+  EXPECT_EQ(state.free_memory(0), gigabytes(10));
+  EXPECT_EQ(state.placement_of(1).total_host_memory(), 0u);
+}
+
+TEST(AllocState, ReleaseMemoryKeepsGpus) {
+  AllocState state(ClusterSpec{}, {});
+  const ModelSpec& model = find_model("BERT");
+  MemoryEstimator est;
+  state.take_gpus(1, 0, 2);
+  ASSERT_TRUE(state.alloc_memory(1, model, make_dp(2), 32, est));
+  state.release_memory(1);
+  EXPECT_EQ(state.job_gpus(1), 2);
+  EXPECT_EQ(state.placement_of(1).total_host_memory(), 0u);
+  EXPECT_EQ(state.free_memory(0), ClusterSpec{}.node.memory_bytes);
+}
+
+}  // namespace
+}  // namespace rubick

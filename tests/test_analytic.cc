@@ -1,0 +1,215 @@
+#include "perf/analytic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+namespace {
+
+PerfContext single_node(int cpus = 8) {
+  PerfContext ctx;
+  ctx.cpus = cpus;
+  ctx.multi_node = false;
+  return ctx;
+}
+
+TEST(FOverlap, K1IsSum) {
+  EXPECT_DOUBLE_EQ(f_overlap(1.0, 2.0, 3.0), 5.0);
+}
+
+TEST(FOverlap, LargeKApproachesMax) {
+  EXPECT_NEAR(f_overlap(64.0, 2.0, 3.0), 3.0, 1e-6);
+}
+
+TEST(FOverlap, BoundedBetweenMaxAndSum) {
+  for (double k : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+    const double v = f_overlap(k, 2.0, 3.0);
+    EXPECT_GE(v, 3.0) << k;
+    EXPECT_LE(v, 5.0) << k;
+  }
+}
+
+TEST(FOverlap, MonotoneDecreasingInK) {
+  double prev = f_overlap(1.0, 2.0, 3.0);
+  for (double k : {1.5, 2.0, 3.0, 5.0, 10.0}) {
+    const double v = f_overlap(k, 2.0, 3.0);
+    EXPECT_LE(v, prev + 1e-12) << k;
+    prev = v;
+  }
+}
+
+TEST(FOverlap, ZeroOperandReturnsOther) {
+  EXPECT_DOUBLE_EQ(f_overlap(2.0, 0.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(f_overlap(2.0, 3.0, 0.0), 3.0);
+}
+
+TEST(FOverlap, RejectsKBelowOne) {
+  EXPECT_THROW(f_overlap(0.5, 1.0, 1.0), InvariantError);
+}
+
+TEST(FOverlap, SymmetricInOperands) {
+  EXPECT_DOUBLE_EQ(f_overlap(2.5, 1.0, 4.0), f_overlap(2.5, 4.0, 1.0));
+}
+
+TEST(Analytic, CommunicationVolumesZeroWhenSizeOne) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  const auto bd = iteration_breakdown(m, make_dp(1), 16, 0.01, p, single_node());
+  EXPECT_DOUBLE_EQ(bd.v_dp_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(bd.v_tp_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(bd.v_pp_bytes, 0.0);
+}
+
+TEST(Analytic, DpVolumeMatchesFormula) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  const auto bd = iteration_breakdown(m, make_dp(4), 16, 0.01, p, single_node());
+  // V_dp = 2P_bytes * 2(d-1)/(d*t*p)
+  const double expect = 2.0 * m.param_count * 2.0 * 3.0 / 4.0;
+  EXPECT_NEAR(bd.v_dp_bytes, expect, 1.0);
+}
+
+TEST(Analytic, TpVolumeMatchesFormula) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  const auto bd =
+      iteration_breakdown(m, make_3d(1, 4, 1), 16, 0.01, p, single_node());
+  const double expect = 4.0 * 2.0 * 3.0 *
+                        (16.0 * m.seq_len * m.hidden_size * m.num_layers) /
+                        4.0 * 2.0;
+  EXPECT_NEAR(bd.v_tp_bytes / expect, 1.0, 1e-9);
+}
+
+TEST(Analytic, PpVolumeMatchesFormula) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  const auto bd =
+      iteration_breakdown(m, make_3d(1, 1, 2, 4), 16, 0.01, p, single_node());
+  const double expect =
+      2.0 * 2.0 * (16.0 * m.seq_len * m.hidden_size) / 1.0 * 2.0;
+  EXPECT_NEAR(bd.v_pp_bytes / expect, 1.0, 1e-9);
+}
+
+TEST(Analytic, GcAddsForwardToBackward) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  const auto plain = iteration_breakdown(m, make_dp(2), 16, 0.01, p, single_node());
+  const auto gc =
+      iteration_breakdown(m, make_dp(2, 1, true), 16, 0.01, p, single_node());
+  EXPECT_NEAR(gc.t_bwd - plain.t_bwd, plain.t_fwd, 1e-9);
+}
+
+TEST(Analytic, GaIsComputeNeutralWithoutComm) {
+  // At d=1 (no gradient sync), GA changes nothing but activation memory.
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  const auto a1 = iteration_breakdown(m, make_dp(1, 1), 16, 0.01, p, single_node());
+  const auto a4 = iteration_breakdown(m, make_dp(1, 4), 16, 0.01, p, single_node());
+  EXPECT_NEAR(a1.t_iter, a4.t_iter, 1e-9);
+}
+
+TEST(Analytic, ThroughputImprovesWithDpUnderFastInterconnect) {
+  const ModelSpec& m = find_model("BERT");
+  const FitParams p;
+  const double t1 =
+      predict_throughput(m, make_dp(1), 32, 0.005, p, single_node());
+  const double t4 =
+      predict_throughput(m, make_dp(4), 32, 0.005, p, single_node());
+  EXPECT_GT(t4, 2.0 * t1);
+}
+
+TEST(Analytic, MultiNodeSlowsDataParallelComm) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  PerfContext remote = single_node();
+  remote.multi_node = true;
+  const auto local = iteration_breakdown(m, make_dp(8), 16, 0.01, p, single_node());
+  const auto cross = iteration_breakdown(m, make_dp(8), 16, 0.01, p, remote);
+  EXPECT_GT(cross.t_comm_dp, local.t_comm_dp);
+  EXPECT_GE(cross.t_iter, local.t_iter);
+}
+
+TEST(Analytic, TpCommStaysOnIntraNodeLinks) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  PerfContext remote = single_node();
+  remote.multi_node = true;
+  const auto local =
+      iteration_breakdown(m, make_3d(1, 4, 1), 16, 0.01, p, single_node());
+  const auto cross =
+      iteration_breakdown(m, make_3d(1, 4, 1), 16, 0.01, p, remote);
+  EXPECT_DOUBLE_EQ(local.t_comm_tp, cross.t_comm_tp);
+}
+
+TEST(Analytic, OffloadOptimizerSpeedsUpWithCpus) {
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  const FitParams p;
+  const auto c8 = iteration_breakdown(m, make_zero_offload(1, 16), 16, 0.4, p,
+                                      single_node(8));
+  const auto c16 = iteration_breakdown(m, make_zero_offload(1, 16), 16, 0.4, p,
+                                       single_node(16));
+  EXPECT_GT(c8.t_opt, c16.t_opt);
+  EXPECT_GT(c8.t_iter, c16.t_iter);
+}
+
+TEST(Analytic, ZeroDpPartitionsOptimizer) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  const auto dp = iteration_breakdown(m, make_dp(4), 16, 0.01, p, single_node());
+  const auto zero =
+      iteration_breakdown(m, make_zero_dp(4), 16, 0.01, p, single_node());
+  EXPECT_NEAR(zero.t_opt * 4.0, dp.t_opt, dp.t_opt * 1e-9);
+}
+
+TEST(Analytic, PipelineBubbleGrowsWithStages) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  // Same micro-batch count: deeper pipelines pay more bubble.
+  const auto p2 =
+      iteration_breakdown(m, make_3d(1, 1, 2, 8), 16, 0.01, p, single_node());
+  const auto p4 =
+      iteration_breakdown(m, make_3d(1, 1, 4, 8), 16, 0.01, p, single_node());
+  // fwd time: t_micro*(m+p-1); t_micro halves with p but bubble term grows.
+  EXPECT_GT(p4.t_fwd / p2.t_fwd, 0.5);
+}
+
+TEST(Analytic, PerturbationsOnlyHurt) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  Perturbation worst;
+  worst.tp_overhead = 0.2;
+  worst.pp_bubble = 0.2;
+  worst.dp_congestion = 0.2;
+  worst.cpu_pipeline = 0.2;
+  PerfContext ctx = single_node(2);
+  ctx.multi_node = true;
+  const ExecutionPlan plan = make_3d(2, 2, 2, 4);
+  const double clean = predict_throughput(m, plan, 16, 0.01, p, ctx);
+  const double bad = predict_throughput(m, plan, 16, 0.01, p, ctx, worst);
+  EXPECT_LT(bad, clean);
+}
+
+TEST(Analytic, KConstAddsConstantOverhead) {
+  const ModelSpec& m = find_model("BERT");
+  FitParams p;
+  const auto base = iteration_breakdown(m, make_dp(2), 32, 0.01, p, single_node());
+  p.k_const += 0.5;
+  const auto slower =
+      iteration_breakdown(m, make_dp(2), 32, 0.01, p, single_node());
+  EXPECT_NEAR(slower.t_iter - base.t_iter, 0.5, 1e-9);
+}
+
+TEST(Analytic, InvalidPlanThrows) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams p;
+  EXPECT_THROW(
+      iteration_breakdown(m, make_dp(3), 16, 0.01, p, single_node()),
+      InvariantError);
+}
+
+}  // namespace
+}  // namespace rubick

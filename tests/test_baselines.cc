@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "baselines/antman.h"
+#include "baselines/equal_share.h"
+#include "baselines/sia.h"
+#include "baselines/synergy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : oracle_(2025),
+        store_(PerfModelStore::profile_models(
+            oracle_, cluster_,
+            {"RoBERTa", "BERT", "T5", "GPT-2", "LLaMA-2-7B"})) {}
+
+  JobSpec make_spec(int id, const std::string& model, int gpus,
+                    bool guaranteed = true) {
+    JobSpec spec;
+    spec.id = id;
+    spec.model_name = model;
+    spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+    spec.global_batch = find_model(model).default_global_batch;
+    spec.initial_plan = make_dp(gpus);
+    spec.target_samples = 1e6;
+    spec.guaranteed = guaranteed;
+    spec.tenant = guaranteed ? "tenant-a" : "tenant-b";
+    return spec;
+  }
+
+  SchedulerInput input_for(const std::vector<JobSpec*>& specs) {
+    SchedulerInput in;
+    in.cluster = cluster_;
+    in.models = &store_;
+    in.estimator = &estimator_;
+    for (JobSpec* s : specs) {
+      JobView v;
+      v.spec = s;
+      v.running = false;
+      v.plan = s->initial_plan;
+      v.remaining_samples = s->target_samples;
+      v.queued_since = s->submit_time_s;
+      in.jobs.push_back(v);
+    }
+    return in;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  MemoryEstimator estimator_;
+  PerfModelStore store_;
+};
+
+// ---------------- Sia ----------------
+
+TEST_F(BaselinesTest, SiaScalesDpJobs) {
+  SiaPolicy sia;
+  JobSpec spec = make_spec(0, "T5", 2);
+  spec.initial_plan = make_zero_dp(2);
+  const auto out = sia.schedule(input_for({&spec}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0].placement.total_gpus(), 2);  // scaled up on idle cluster
+  EXPECT_EQ(out[0].plan.zero, ZeroStage::kZeroDp);
+}
+
+TEST_F(BaselinesTest, SiaCannotScale3dJobs) {
+  SiaPolicy sia;
+  JobSpec spec = make_spec(0, "LLaMA-2-7B", 8);
+  spec.initial_plan = make_3d(1, 8, 1);
+  const auto out = sia.schedule(input_for({&spec}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].placement.total_gpus(), 8);  // pinned
+  EXPECT_EQ(out[0].plan, spec.initial_plan);
+}
+
+TEST_F(BaselinesTest, SiaPinsCpusAtTwoPerGpu) {
+  SiaPolicy sia;
+  JobSpec spec = make_spec(0, "BERT", 4);
+  const auto out = sia.schedule(input_for({&spec}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].placement.total_cpus(),
+            2 * out[0].placement.total_gpus());
+}
+
+TEST_F(BaselinesTest, SiaSharesGpusAcrossJobsByMarginalGain) {
+  SiaPolicy sia;
+  std::vector<JobSpec> specs = {make_spec(0, "BERT", 4),
+                                make_spec(1, "T5", 4),
+                                make_spec(2, "GPT-2", 4)};
+  std::vector<JobSpec*> ptrs = {&specs[0], &specs[1], &specs[2]};
+  const auto out = sia.schedule(input_for(ptrs));
+  EXPECT_EQ(out.size(), 3u);
+  int total = 0;
+  for (const auto& a : out) total += a.placement.total_gpus();
+  EXPECT_LE(total, 64);
+  EXPECT_GT(total, 12);  // idle cluster: everyone grows
+}
+
+// ---------------- Synergy ----------------
+
+TEST_F(BaselinesTest, SynergyKeepsRequestedGpusAndPlan) {
+  SynergyPolicy synergy;
+  JobSpec spec = make_spec(0, "T5", 2);
+  spec.initial_plan = make_dp(2, 2);
+  const auto out = synergy.schedule(input_for({&spec}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].placement.total_gpus(), 2);
+  EXPECT_EQ(out[0].plan, spec.initial_plan);
+}
+
+TEST_F(BaselinesTest, SynergyBoostsCpusForOffloadJobs) {
+  SynergyPolicy synergy;
+  JobSpec offload = make_spec(0, "LLaMA-2-7B", 1);
+  offload.initial_plan = make_zero_offload(1, 16, true);
+  JobSpec plain = make_spec(1, "BERT", 1);
+  const auto out = synergy.schedule(input_for({&offload, &plain}));
+  ASSERT_EQ(out.size(), 2u);
+  int offload_cpus = 0, plain_cpus = 0;
+  for (const auto& a : out) {
+    if (a.job_id == 0) offload_cpus = a.placement.total_cpus();
+    if (a.job_id == 1) plain_cpus = a.placement.total_cpus();
+  }
+  EXPECT_GT(offload_cpus, plain_cpus);
+}
+
+TEST_F(BaselinesTest, SynergyBackfillsPastBlockedHead) {
+  SynergyPolicy synergy;
+  JobSpec big = make_spec(0, "BERT", 32);
+  big.initial_plan = make_dp(32);
+  JobSpec small = make_spec(1, "BERT", 2);
+  small.submit_time_s = 1.0;
+  // Occupy 48 GPUs so the 32-GPU job cannot start but the 2-GPU one can.
+  JobSpec runner = make_spec(2, "GPT-2", 16);
+  runner.initial_plan = make_dp(16);
+  SchedulerInput in = input_for({&big, &small});
+  JobView running;
+  running.spec = &runner;
+  running.running = true;
+  for (int n = 0; n < 6; ++n) running.placement.add({n, 8, 16, 0});
+  running.plan = make_dp(48);  // placeholder; Synergy passes it through
+  in.jobs.push_back(running);
+  const auto out = synergy.schedule(in);
+  bool small_scheduled = false, big_scheduled = false;
+  for (const auto& a : out) {
+    if (a.job_id == 1 && a.placement.total_gpus() > 0) small_scheduled = true;
+    if (a.job_id == 0 && a.placement.total_gpus() > 0) big_scheduled = true;
+  }
+  EXPECT_TRUE(small_scheduled);
+  EXPECT_FALSE(big_scheduled);
+}
+
+// ---------------- AntMan ----------------
+
+TEST_F(BaselinesTest, AntManGuaranteesExactRequest) {
+  AntManPolicy antman({{"tenant-a", 64}});
+  JobSpec spec = make_spec(0, "T5", 4);
+  const auto out = antman.schedule(input_for({&spec}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].placement.total_gpus(), 4);
+  EXPECT_EQ(out[0].plan, spec.initial_plan);
+}
+
+TEST_F(BaselinesTest, AntManRespectsQuota) {
+  AntManPolicy antman({{"tenant-a", 8}});
+  JobSpec a = make_spec(0, "BERT", 8);
+  JobSpec b = make_spec(1, "BERT", 8);
+  b.submit_time_s = 1.0;
+  const auto out = antman.schedule(input_for({&a, &b}));
+  int scheduled = 0;
+  for (const auto& asg : out)
+    if (asg.placement.total_gpus() > 0) ++scheduled;
+  EXPECT_EQ(scheduled, 1);
+}
+
+TEST_F(BaselinesTest, AntManEvictsBestEffortForGuaranteed) {
+  AntManPolicy antman({{"tenant-a", 64}});
+  JobSpec guaranteed = make_spec(0, "BERT", 8);
+  JobSpec best_effort = make_spec(1, "GPT-2", 16, /*guaranteed=*/false);
+  best_effort.initial_plan = make_dp(16);
+
+  SchedulerInput in = input_for({&guaranteed});
+  // Best-effort job occupies the whole cluster.
+  JobView running;
+  running.spec = &best_effort;
+  running.running = true;
+  for (int n = 0; n < 8; ++n) running.placement.add({n, 8, 32, 0});
+  running.plan = make_dp(16);
+  in.jobs.push_back(running);
+
+  const auto out = antman.schedule(in);
+  bool guaranteed_runs = false, be_runs = false;
+  for (const auto& a : out) {
+    if (a.job_id == 0 && a.placement.total_gpus() > 0) guaranteed_runs = true;
+    if (a.job_id == 1 && a.placement.total_gpus() > 0) be_runs = true;
+  }
+  EXPECT_TRUE(guaranteed_runs);
+  EXPECT_FALSE(be_runs);  // evicted
+}
+
+TEST_F(BaselinesTest, AntManSchedulesBestEffortIntoLeftovers) {
+  AntManPolicy antman({{"tenant-a", 64}});
+  JobSpec g = make_spec(0, "BERT", 8);
+  JobSpec be = make_spec(1, "GPT-2", 4, /*guaranteed=*/false);
+  const auto out = antman.schedule(input_for({&g, &be}));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ---------------- EqualShare ----------------
+
+TEST_F(BaselinesTest, EqualShareSplitsEvenly) {
+  EqualSharePolicy equal;
+  ClusterSpec small;
+  small.num_nodes = 1;
+  small.node.gpus = 4;
+  PerfModelStore store = PerfModelStore::profile_models(
+      oracle_, small, {"RoBERTa", "T5"});
+  JobSpec a = make_spec(0, "RoBERTa", 4);
+  JobSpec b = make_spec(1, "T5", 4);
+  SchedulerInput in;
+  in.cluster = small;
+  in.models = &store;
+  in.estimator = &estimator_;
+  for (JobSpec* s : {&a, &b}) {
+    JobView v;
+    v.spec = s;
+    v.plan = s->initial_plan;
+    in.jobs.push_back(v);
+  }
+  const auto out = equal.schedule(in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].placement.total_gpus(), 2);
+  EXPECT_EQ(out[1].placement.total_gpus(), 2);
+}
+
+TEST_F(BaselinesTest, PolicyNames) {
+  EXPECT_EQ(SiaPolicy().name(), "Sia");
+  EXPECT_EQ(SynergyPolicy().name(), "Synergy");
+  EXPECT_EQ(AntManPolicy().name(), "AntMan");
+  EXPECT_EQ(EqualSharePolicy().name(), "EqualShare");
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,72 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.h"
+
+namespace rubick {
+namespace {
+
+CliFlags parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return CliFlags(static_cast<int>(args.size()),
+                  const_cast<char**>(args.data()));
+}
+
+TEST(Cli, EqualsForm) {
+  CliFlags flags = parse({"--jobs=42", "--policy=sia"});
+  EXPECT_EQ(flags.get_int("jobs", 0), 42);
+  EXPECT_EQ(flags.get_string("policy", ""), "sia");
+  flags.finish();
+}
+
+TEST(Cli, SpaceForm) {
+  CliFlags flags = parse({"--jobs", "13"});
+  EXPECT_EQ(flags.get_int("jobs", 0), 13);
+  flags.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  CliFlags flags = parse({});
+  EXPECT_EQ(flags.get_int("jobs", 406), 406);
+  EXPECT_DOUBLE_EQ(flags.get_double("load", 1.5), 1.5);
+  EXPECT_EQ(flags.get_u64("seed", 9u), 9u);
+  EXPECT_TRUE(flags.get_bool("refine", true));
+  flags.finish();
+}
+
+TEST(Cli, BooleanSwitches) {
+  CliFlags flags = parse({"--csv", "--no-refine"});
+  EXPECT_TRUE(flags.get_bool("csv", false));
+  EXPECT_FALSE(flags.get_bool("refine", true));
+  flags.finish();
+}
+
+TEST(Cli, BooleanValueForms) {
+  CliFlags flags = parse({"--a=true", "--b=0", "--c=yes"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  flags.finish();
+}
+
+TEST(Cli, UnknownFlagThrowsAtFinish) {
+  CliFlags flags = parse({"--tpyo=1"});
+  flags.get_int("typo", 0);  // declared flag differs
+  EXPECT_THROW(flags.finish(), InvariantError);
+}
+
+TEST(Cli, NonFlagArgumentThrows) {
+  EXPECT_THROW(parse({"positional"}), InvariantError);
+}
+
+TEST(Cli, DoubleParsing) {
+  CliFlags flags = parse({"--load=2.5"});
+  EXPECT_DOUBLE_EQ(flags.get_double("load", 0.0), 2.5);
+  flags.finish();
+}
+
+}  // namespace
+}  // namespace rubick

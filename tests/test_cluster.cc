@@ -1,0 +1,120 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rubick {
+namespace {
+
+Placement simple_placement(int node, int gpus, int cpus,
+                           std::uint64_t mem = 0) {
+  Placement p;
+  p.add({node, gpus, cpus, mem});
+  return p;
+}
+
+TEST(Cluster, DefaultTopologyMatchesPaperTestbed) {
+  const Cluster c;
+  EXPECT_EQ(c.num_nodes(), 8);
+  EXPECT_EQ(c.capacity_total().gpus, 64);
+  EXPECT_EQ(c.capacity_total().cpus, 8 * 96);
+  EXPECT_EQ(c.spec().node.gpu_memory_bytes, gigabytes(80));
+}
+
+TEST(Cluster, AllocateReducesFreeAndReleaseRestores) {
+  Cluster c;
+  const Placement p = simple_placement(0, 4, 8, gigabytes(100));
+  c.allocate(p);
+  EXPECT_EQ(c.node(0).free.gpus, 4);
+  EXPECT_EQ(c.node(0).free.cpus, 88);
+  c.release(p);
+  EXPECT_EQ(c.free_total(), c.capacity_total());
+}
+
+TEST(Cluster, OverAllocationThrows) {
+  Cluster c;
+  EXPECT_THROW(c.allocate(simple_placement(0, 9, 0)), InvariantError);
+  c.allocate(simple_placement(0, 8, 0));
+  EXPECT_THROW(c.allocate(simple_placement(0, 1, 0)), InvariantError);
+}
+
+TEST(Cluster, ReleaseOverflowThrows) {
+  Cluster c;
+  EXPECT_THROW(c.release(simple_placement(0, 1, 0)), InvariantError);
+}
+
+TEST(Cluster, CanAllocateChecksEveryDimension) {
+  Cluster c;
+  EXPECT_TRUE(c.can_allocate(simple_placement(0, 8, 96)));
+  EXPECT_FALSE(c.can_allocate(simple_placement(0, 8, 97)));
+  EXPECT_FALSE(c.can_allocate(simple_placement(0, 0, 0, gigabytes(1601))));
+  EXPECT_FALSE(c.can_allocate(simple_placement(99, 1, 0)));
+}
+
+TEST(Cluster, MultiSlicePlacements) {
+  Cluster c;
+  Placement p;
+  p.add({0, 8, 16, 0});
+  p.add({1, 8, 16, 0});
+  c.allocate(p);
+  EXPECT_EQ(c.free_total().gpus, 48);
+  c.release(p);
+  EXPECT_EQ(c.free_total().gpus, 64);
+}
+
+TEST(Cluster, BadNodeIdThrows) {
+  const Cluster c;
+  EXPECT_THROW(c.node(-1), InvariantError);
+  EXPECT_THROW(c.node(8), InvariantError);
+}
+
+TEST(Placement, AddMergesSameNode) {
+  Placement p;
+  p.add({2, 2, 4, 10});
+  p.add({2, 1, 2, 5});
+  ASSERT_EQ(p.slices.size(), 1u);
+  EXPECT_EQ(p.slices[0].gpus, 3);
+  EXPECT_EQ(p.slices[0].cpus, 6);
+  EXPECT_EQ(p.slices[0].host_memory_bytes, 15u);
+}
+
+TEST(Placement, SlicesSortedByNode) {
+  Placement p;
+  p.add({3, 1, 0, 0});
+  p.add({1, 1, 0, 0});
+  p.add({2, 1, 0, 0});
+  EXPECT_EQ(p.slices[0].node, 1);
+  EXPECT_EQ(p.slices[1].node, 2);
+  EXPECT_EQ(p.slices[2].node, 3);
+}
+
+TEST(Placement, TotalsAndMinSlice) {
+  Placement p;
+  p.add({0, 6, 12, gigabytes(10)});
+  p.add({1, 2, 4, gigabytes(5)});
+  EXPECT_EQ(p.total_gpus(), 8);
+  EXPECT_EQ(p.total_cpus(), 16);
+  EXPECT_EQ(p.total_host_memory(), gigabytes(15));
+  EXPECT_EQ(p.min_slice_gpus(), 2);
+  EXPECT_TRUE(p.multi_node());
+}
+
+TEST(Placement, MinSliceIgnoresGpulessSlices) {
+  Placement p;
+  p.add({0, 4, 8, 0});
+  p.add({1, 0, 8, 0});
+  EXPECT_EQ(p.min_slice_gpus(), 4);
+}
+
+TEST(Placement, EmptyPlacement) {
+  const Placement p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.total_gpus(), 0);
+  EXPECT_EQ(p.min_slice_gpus(), 0);
+  EXPECT_FALSE(p.multi_node());
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "convergence/trainer.h"
+
+namespace rubick {
+namespace {
+
+TEST(Dataset, DeterministicAndSplitCorrectly) {
+  const DatasetSplits a = make_synthetic_dataset(1000, 16, 3);
+  const DatasetSplits b = make_synthetic_dataset(1000, 16, 3);
+  EXPECT_EQ(a.train.features, b.train.features);
+  EXPECT_EQ(a.train.num_samples(), 700);
+  EXPECT_EQ(a.validation.num_samples(), 150);
+  EXPECT_EQ(a.test.num_samples(), 150);
+  EXPECT_EQ(a.train.num_features, 16);
+}
+
+TEST(Dataset, SeedChangesData) {
+  const DatasetSplits a = make_synthetic_dataset(1000, 16, 3);
+  const DatasetSplits b = make_synthetic_dataset(1000, 16, 4);
+  EXPECT_NE(a.train.features, b.train.features);
+}
+
+TEST(Dataset, LabelsAreBinary) {
+  const DatasetSplits d = make_synthetic_dataset(500, 8, 5);
+  for (float y : d.train.labels) EXPECT_TRUE(y == 0.0f || y == 1.0f);
+}
+
+TEST(Mlp, NumericGradientCheck) {
+  const DatasetSplits data = make_synthetic_dataset(64, 8, 7);
+  Mlp model(8, 4, 11);
+  std::vector<int> idx = {0, 1, 2, 3};
+  std::vector<float> grad(static_cast<std::size_t>(model.num_params()), 0.0f);
+  model.loss_and_grad(data.train, idx.data(), 4, &grad);
+
+  // Central differences on a few parameters (float precision: coarse tol).
+  for (int pi : {0, 7, model.num_params() / 2, model.num_params() - 1}) {
+    Mlp plus = model, minus = model;
+    const float eps = 1e-3f;
+    plus.mutable_params()[static_cast<std::size_t>(pi)] += eps;
+    minus.mutable_params()[static_cast<std::size_t>(pi)] -= eps;
+    std::vector<float> dummy(grad.size(), 0.0f);
+    const float lp = plus.loss_and_grad(data.train, idx.data(), 4, &dummy);
+    std::fill(dummy.begin(), dummy.end(), 0.0f);
+    const float lm = minus.loss_and_grad(data.train, idx.data(), 4, &dummy);
+    const float numeric = (lp - lm) / (2.0f * eps);
+    EXPECT_NEAR(grad[static_cast<std::size_t>(pi)], numeric, 5e-3f) << pi;
+  }
+}
+
+TEST(Mlp, LossIsFiniteAndPositive) {
+  const DatasetSplits data = make_synthetic_dataset(256, 8, 9);
+  const Mlp model(8, 4, 13);
+  const float loss = model.loss(data.train);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+}
+
+// The central claim (paper §7.2): the gradient of a fixed global batch is
+// independent of how it is partitioned into DP ranks and GA micro-steps.
+class PartitionInvariance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionInvariance, GradientMatchesUnpartitioned) {
+  const auto [dp, ga] = GetParam();
+  const DatasetSplits data = make_synthetic_dataset(512, 16, 21);
+  const Mlp model(16, 8, 23);
+  std::vector<int> batch;
+  for (int i = 0; i < 64; ++i) batch.push_back(i);
+
+  float loss_ref = 0.0f, loss_split = 0.0f;
+  const auto ref =
+      Trainer::partitioned_gradient(model, data.train, batch, 1, 1, &loss_ref);
+  const auto split = Trainer::partitioned_gradient(model, data.train, batch,
+                                                   dp, ga, &loss_split);
+  ASSERT_EQ(ref.size(), split.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    max_diff = std::max(max_diff,
+                        static_cast<double>(std::abs(ref[i] - split[i])));
+  EXPECT_LT(max_diff, 1e-5);  // float round-off only
+  EXPECT_NEAR(loss_ref, loss_split, 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, PartitionInvariance,
+    ::testing::Values(std::tuple(2, 1), std::tuple(4, 1), std::tuple(8, 1),
+                      std::tuple(1, 2), std::tuple(1, 4), std::tuple(2, 2),
+                      std::tuple(4, 2), std::tuple(2, 4), std::tuple(8, 8)));
+
+TEST(Trainer, IndivisibleBatchThrows) {
+  const DatasetSplits data = make_synthetic_dataset(128, 8, 3);
+  const Mlp model(8, 4, 5);
+  std::vector<int> batch = {0, 1, 2, 3, 4, 5};
+  EXPECT_THROW(
+      Trainer::partitioned_gradient(model, data.train, batch, 4, 1, nullptr),
+      InvariantError);
+}
+
+TEST(Trainer, LossDecreasesDuringTraining) {
+  const DatasetSplits data = make_synthetic_dataset(2048, 32, 17);
+  Trainer trainer(data);
+  TrainerConfig config;
+  config.steps = 600;
+  const TrainResult r = trainer.train(config);
+  ASSERT_GT(r.loss_curve.size(), 4u);
+  EXPECT_LT(r.loss_curve.back(), r.loss_curve.front());
+  EXPECT_LT(r.final_train_loss, 0.69);  // better than chance (log 2)
+}
+
+TEST(Trainer, ReconfigurationPreservesTrajectory) {
+  const DatasetSplits data = make_synthetic_dataset(2048, 32, 17);
+  Trainer trainer(data);
+  TrainerConfig base;
+  base.steps = 800;
+  TrainerConfig reconfig = base;
+  reconfig.phases = {{0, 1, 1}, {300, 4, 1}, {600, 2, 2}};
+  TrainerConfig reseeded = base;
+  reseeded.seed = base.seed + 1;
+
+  const TrainResult rb = trainer.train(base);
+  const TrainResult rr = trainer.train(reconfig);
+  const TrainResult rs = trainer.train(reseeded);
+
+  auto max_diff = [](const TrainResult& a, const TrainResult& b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.loss_curve.size(); ++i)
+      m = std::max(m, std::abs(a.loss_curve[i] - b.loss_curve[i]));
+    return m;
+  };
+  const double reconfig_diff = max_diff(rb, rr);
+  const double seed_diff = max_diff(rb, rs);
+  EXPECT_LT(reconfig_diff, seed_diff);        // Table 3's claim
+  EXPECT_LT(reconfig_diff, 1e-3);             // round-off scale
+  EXPECT_NEAR(rr.final_test_loss, rb.final_test_loss, 1e-3);
+}
+
+TEST(Trainer, CheckpointResumeIsBitIdentical) {
+  // The mechanism behind Rubick's checkpoint-resume reconfiguration: stop
+  // at a step boundary, "relaunch" from the checkpoint, and the combined
+  // run matches an uninterrupted one exactly — even when the partitioning
+  // changes at the boundary.
+  const DatasetSplits data = make_synthetic_dataset(1024, 16, 29);
+  Trainer trainer(data);
+
+  TrainerConfig full;
+  full.steps = 600;
+  full.phases = {{0, 1, 1}, {300, 4, 1}};  // reconfig at the boundary
+  TrainerCheckpoint reference_end;
+  const TrainResult whole = trainer.train_segment(full, nullptr,
+                                                  &reference_end);
+
+  TrainerConfig first_half = full;
+  first_half.steps = 300;
+  TrainerCheckpoint ckpt;
+  trainer.train_segment(first_half, nullptr, &ckpt);
+  EXPECT_EQ(ckpt.step, 300);
+
+  TrainerConfig second_half = full;  // same phase schedule, steps = 600
+  TrainerCheckpoint resumed_end;
+  const TrainResult resumed =
+      trainer.train_segment(second_half, &ckpt, &resumed_end);
+
+  EXPECT_EQ(reference_end.params, resumed_end.params);  // bit-identical
+  EXPECT_EQ(reference_end.velocity, resumed_end.velocity);
+  EXPECT_FLOAT_EQ(static_cast<float>(whole.final_test_loss),
+                  static_cast<float>(resumed.final_test_loss));
+}
+
+TEST(Trainer, SegmentLossCurveCoversOnlyItsSteps) {
+  const DatasetSplits data = make_synthetic_dataset(512, 8, 31);
+  Trainer trainer(data);
+  TrainerConfig config;
+  config.steps = 200;
+  config.record_every = 50;
+  TrainerCheckpoint ckpt;
+  TrainerConfig half = config;
+  half.steps = 100;
+  const TrainResult a = trainer.train_segment(half, nullptr, &ckpt);
+  const TrainResult b = trainer.train_segment(config, &ckpt, nullptr);
+  EXPECT_EQ(a.loss_curve.size(), 2u);  // steps 0 and 50
+  EXPECT_EQ(b.loss_curve.size(), 2u);  // steps 100 and 150
+}
+
+TEST(Trainer, ResumePastEndThrows) {
+  const DatasetSplits data = make_synthetic_dataset(256, 8, 33);
+  Trainer trainer(data);
+  TrainerConfig config;
+  config.steps = 100;
+  TrainerCheckpoint ckpt;
+  trainer.train_segment(config, nullptr, &ckpt);
+  TrainerConfig shorter = config;
+  shorter.steps = 50;  // checkpoint is at step 100 > 50
+  EXPECT_THROW(trainer.train_segment(shorter, &ckpt, nullptr),
+               InvariantError);
+}
+
+TEST(Trainer, AdamConverges) {
+  const DatasetSplits data = make_synthetic_dataset(2048, 32, 41);
+  Trainer trainer(data);
+  TrainerConfig config;
+  config.optimizer = OptimizerKind::kAdam;
+  config.steps = 600;
+  const TrainResult r = trainer.train(config);
+  EXPECT_LT(r.loss_curve.back(), r.loss_curve.front());
+  EXPECT_LT(r.final_train_loss, 0.69);
+}
+
+TEST(Trainer, AdamPartitionInvariance) {
+  // The accuracy-preservation claim holds for Adam too: same global batch,
+  // different (dp, ga) partitioning -> same trajectory up to round-off.
+  const DatasetSplits data = make_synthetic_dataset(2048, 32, 43);
+  Trainer trainer(data);
+  TrainerConfig base;
+  base.optimizer = OptimizerKind::kAdam;
+  base.steps = 400;
+  TrainerConfig split = base;
+  split.phases = {{0, 4, 2}};
+  const TrainResult a = trainer.train(base);
+  const TrainResult b = trainer.train(split);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.loss_curve.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(a.loss_curve[i] - b.loss_curve[i]));
+  EXPECT_LT(max_diff, 1e-3);
+}
+
+TEST(Trainer, AdamCheckpointCarriesBothMoments) {
+  const DatasetSplits data = make_synthetic_dataset(1024, 16, 47);
+  Trainer trainer(data);
+  TrainerConfig full;
+  full.optimizer = OptimizerKind::kAdam;
+  full.steps = 300;
+  TrainerCheckpoint whole_end;
+  trainer.train_segment(full, nullptr, &whole_end);
+  EXPECT_FALSE(whole_end.second_moment.empty());
+
+  TrainerConfig half = full;
+  half.steps = 150;
+  TrainerCheckpoint mid, resumed_end;
+  trainer.train_segment(half, nullptr, &mid);
+  trainer.train_segment(full, &mid, &resumed_end);
+  EXPECT_EQ(whole_end.params, resumed_end.params);
+  EXPECT_EQ(whole_end.second_moment, resumed_end.second_moment);
+}
+
+TEST(Trainer, SgdCheckpointHasNoSecondMoment) {
+  const DatasetSplits data = make_synthetic_dataset(512, 8, 49);
+  Trainer trainer(data);
+  TrainerConfig config;
+  config.steps = 50;
+  TrainerCheckpoint end;
+  trainer.train_segment(config, nullptr, &end);
+  EXPECT_TRUE(end.second_moment.empty());
+}
+
+TEST(Trainer, DeterministicForSameConfig) {
+  const DatasetSplits data = make_synthetic_dataset(1024, 16, 19);
+  Trainer trainer(data);
+  TrainerConfig config;
+  config.steps = 200;
+  const TrainResult a = trainer.train(config);
+  const TrainResult b = trainer.train(config);
+  EXPECT_EQ(a.loss_curve, b.loss_curve);
+  EXPECT_DOUBLE_EQ(a.final_test_loss, b.final_test_loss);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,117 @@
+#include "plan/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+namespace {
+
+PlanConstraints constraints(int gpus, int max_tp = 8) {
+  PlanConstraints pc;
+  pc.num_gpus = gpus;
+  pc.max_tp = max_tp;
+  pc.budget = MemoryBudget{gigabytes(80), gigabytes(1600)};
+  return pc;
+}
+
+TEST(Enumerate, AllPlansValidFeasibleAndExactGpuCount) {
+  MemoryEstimator est;
+  for (const ModelSpec& m : model_zoo()) {
+    const int b = m.default_global_batch;
+    for (int g : {1, 2, 4, 8}) {
+      for (const ExecutionPlan& p : enumerate_plans(m, b, constraints(g), est)) {
+        EXPECT_TRUE(p.valid_for(m, b)) << m.name << " " << p.display_name();
+        EXPECT_EQ(p.num_gpus(), g) << m.name << " " << p.display_name();
+        EXPECT_TRUE(est.fits(m, p, b, constraints(g).budget))
+            << m.name << " " << p.display_name();
+      }
+    }
+  }
+}
+
+TEST(Enumerate, NoDuplicates) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  const auto plans = enumerate_plans(m, 16, constraints(8), est);
+  std::set<std::string> keys;
+  for (const auto& p : plans) {
+    std::string key = p.display_name() + "/" + std::to_string(p.dp) + "," +
+                      std::to_string(p.tp) + "," + std::to_string(p.pp) + "," +
+                      std::to_string(p.ga_steps) + "," +
+                      std::to_string(p.micro_batches);
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate: " << key;
+  }
+}
+
+TEST(Enumerate, SmallModelsGetDpFamilyOnly) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("RoBERTa");
+  for (const auto& p : enumerate_plans(m, 32, constraints(8), est)) {
+    EXPECT_EQ(p.tp, 1) << p.display_name();
+    EXPECT_EQ(p.pp, 1) << p.display_name();
+  }
+}
+
+TEST(Enumerate, LargeModelsGetModelParallelPlans) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  bool has_tp = false, has_pp = false;
+  for (const auto& p : enumerate_plans(m, 16, constraints(8), est)) {
+    has_tp |= p.tp > 1;
+    has_pp |= p.pp > 1;
+  }
+  EXPECT_TRUE(has_tp);
+  EXPECT_TRUE(has_pp);
+}
+
+TEST(Enumerate, MaxTpConstraintRespected) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  for (const auto& p : enumerate_plans(m, 8, constraints(8, /*max_tp=*/2), est))
+    EXPECT_LE(p.tp, 2) << p.display_name();
+}
+
+TEST(Enumerate, DisallowModelParallelFlag) {
+  MemoryEstimator est;
+  PlanConstraints pc = constraints(8);
+  pc.allow_model_parallel = false;
+  const ModelSpec& m = find_model("GPT-2");
+  for (const auto& p : enumerate_plans(m, 16, pc, est))
+    EXPECT_FALSE(p.uses_model_parallelism()) << p.display_name();
+}
+
+TEST(Enumerate, SingleGpuLargeModelOnlyOffload) {
+  // Paper: ZeRO-Offload is the only feasible plan for LLaMA-2-7B on 1 GPU.
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  const auto plans = enumerate_plans(m, 16, constraints(1, 1), est);
+  ASSERT_FALSE(plans.empty());
+  for (const auto& p : plans)
+    EXPECT_EQ(p.zero, ZeroStage::kOffload) << p.display_name();
+}
+
+TEST(Enumerate, MemoryFilterOnlyRemovesPlans) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  const auto all = enumerate_candidate_plans(m, 16, constraints(4));
+  const auto fits = enumerate_plans(m, 16, constraints(4), est);
+  EXPECT_GE(all.size(), fits.size());
+  // Every fitting plan is among the candidates.
+  for (const auto& p : fits)
+    EXPECT_NE(std::find(all.begin(), all.end(), p), all.end());
+}
+
+TEST(Enumerate, DeterministicOrder) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("T5");
+  const auto a = enumerate_plans(m, 16, constraints(8), est);
+  const auto b = enumerate_plans(m, 16, constraints(8), est);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,150 @@
+#include "perf/fitter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+namespace {
+
+// Fits each model from its profiler sampling plan and checks held-out
+// prediction error — the library's miniature of Table 2.
+class FitAccuracy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FitAccuracy, HeldOutErrorIsSmall) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const ModelSpec& model = find_model(GetParam());
+  const int batch = model.default_global_batch;
+
+  Profiler profiler(oracle, cluster);
+  const auto fit = profiler.profile_and_fit(model, batch);
+
+  // Held-out configurations: DP-family at a few sizes and CPU counts.
+  MemoryEstimator est;
+  int tested = 0;
+  double worst = 0.0;
+  for (int g : {1, 2, 4, 8}) {
+    for (const ExecutionPlan& plan :
+         {make_dp(g), make_zero_dp(g, 2), make_dp(g, 2, true),
+          make_zero_offload(g, 4)}) {
+      if (!plan.valid_for(model, batch)) continue;
+      if (!est.fits(model, plan, batch,
+                    MemoryBudget{cluster.node.gpu_memory_bytes,
+                                 cluster.node.memory_bytes}))
+        continue;
+      const PerfContext ctx = make_perf_context(cluster, g, 4 * g);
+      const double truth = oracle.true_throughput(model, plan, batch, ctx);
+      const double pred =
+          fit.model.predict_throughput(model, plan, batch, ctx);
+      const double err = std::abs(pred - truth) / truth;
+      worst = std::max(worst, err);
+      ++tested;
+    }
+  }
+  ASSERT_GE(tested, 3);
+  // Paper reports max errors around 10%; allow slack since the oracle
+  // includes structural terms the model cannot represent and the held-out
+  // grid extrapolates offload to unseen CPU counts.
+  EXPECT_LT(worst, 0.35) << "worst held-out error too large";
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, FitAccuracy,
+                         ::testing::Values("ViT", "RoBERTa", "BERT", "T5",
+                                           "GPT-2", "LLaMA-2-7B"));
+
+TEST(Fitter, TrainingErrorIsSmall) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(11);
+  const ModelSpec& model = find_model("GPT-2");
+  Profiler profiler(oracle, cluster);
+  const auto fit = profiler.profile_and_fit(model, 16);
+  EXPECT_LT(fit.model.fit_error(), 0.15);
+  EXPECT_GE(fit.model.sample_count(), 7);
+}
+
+TEST(Fitter, ThrowsWithoutSamples) {
+  const PerfModelFitter fitter;
+  EXPECT_THROW(fitter.fit(find_model("BERT"), 0.01, {}), InvariantError);
+}
+
+TEST(Fitter, RequiresThreeOffloadSamplesWhenOffloadPresent) {
+  const PerfModelFitter fitter;
+  const ModelSpec& model = find_model("BERT");
+  PerfSample s;
+  s.plan = make_zero_offload(1);
+  s.global_batch = 32;
+  s.ctx.cpus = 8;
+  s.measured_throughput = 10.0;
+  EXPECT_THROW(fitter.fit(model, 0.01, {s}), InvariantError);
+}
+
+TEST(Fitter, NoOffloadSamplesLeavesOffloadParamsAtDefaults) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(12);
+  const ModelSpec& model = find_model("BERT");
+  std::vector<PerfSample> samples;
+  for (int d : {1, 2, 4, 8}) {
+    for (int a : {1, 2}) {
+      PerfSample s;
+      s.plan = make_dp(d, a);
+      s.global_batch = 32;
+      s.ctx = make_perf_context(cluster, d, 2 * d);
+      s.measured_throughput =
+          oracle.measure_throughput(model, s.plan, 32, s.ctx);
+      samples.push_back(s);
+    }
+  }
+  const PerfModelFitter fitter;
+  const PerfModel fitted =
+      fitter.fit(model, oracle.profiled_fwd_unit_s(model), samples);
+  const FitParams defaults;
+  EXPECT_DOUBLE_EQ(fitted.params().k_opt_off, defaults.k_opt_off);
+  EXPECT_DOUBLE_EQ(fitted.params().k_off, defaults.k_off);
+  EXPECT_DOUBLE_EQ(fitted.params().k_swap, defaults.k_swap);
+  EXPECT_LT(fitted.fit_error(), 0.2);
+}
+
+TEST(Fitter, RecoversBackwardRatioApproximately) {
+  // Fit against a noise-free synthetic oracle with known parameters and
+  // check the dominant parameter (k_bwd) is identified.
+  const ClusterSpec cluster;
+  const ModelSpec& model = find_model("BERT");
+  FitParams truth;
+  truth.k_bwd = 2.7;
+  truth.k_const = 0.02;
+  std::vector<PerfSample> samples;
+  for (int d : {1, 2, 4, 8}) {
+    for (int a : {1, 2}) {
+      PerfSample s;
+      s.plan = make_dp(d, a);
+      s.global_batch = 32;
+      s.ctx = make_perf_context(cluster, d, 2 * d);
+      s.measured_throughput =
+          predict_throughput(model, s.plan, 32, 0.004, truth, s.ctx);
+      samples.push_back(s);
+    }
+  }
+  const PerfModelFitter fitter;
+  const PerfModel fitted = fitter.fit(model, 0.004, samples);
+  EXPECT_NEAR(fitted.params().k_bwd, truth.k_bwd, 0.3);
+  EXPECT_LT(fitted.fit_error(), 0.02);
+}
+
+TEST(PerfModel, BreakdownMatchesPrediction) {
+  const ClusterSpec cluster;
+  const ModelSpec& model = find_model("GPT-2");
+  const PerfModel pm("GPT-2", 0.01, FitParams{});
+  const PerfContext ctx = make_perf_context(cluster, 4, 8);
+  const auto bd = pm.breakdown(model, make_dp(4), 16, ctx);
+  EXPECT_NEAR(pm.predict_throughput(model, make_dp(4), 16, ctx),
+              16.0 / bd.t_iter, 1e-9);
+}
+
+}  // namespace
+}  // namespace rubick

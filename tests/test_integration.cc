@@ -1,0 +1,153 @@
+// End-to-end integration tests: full traces through the simulator under
+// every scheduling policy, checking completion, invariants, determinism and
+// the paper's headline ordering (Rubick ahead of the baselines).
+#include <gtest/gtest.h>
+
+#include "baselines/antman.h"
+#include "baselines/sia.h"
+#include "baselines/synergy.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest() : oracle_(2025), gen_(cluster_, oracle_) {}
+
+  std::vector<JobSpec> trace(int jobs, TraceVariant variant,
+                             std::uint64_t seed = 17) {
+    TraceOptions o;
+    o.seed = seed;
+    o.num_jobs = jobs;
+    o.window_s = hours(2);
+    o.variant = variant;
+    return gen_.generate(o);
+  }
+
+  SimResult run(const std::vector<JobSpec>& jobs, SchedulerPolicy& policy) {
+    Simulator sim(cluster_, oracle_);
+    return sim.run(jobs, policy);
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  TraceGenerator gen_;
+};
+
+TEST_F(IntegrationTest, AllPoliciesCompleteABaseTrace) {
+  const auto jobs = trace(50, TraceVariant::kBase);
+  RubickPolicy rubick;
+  RubickPolicy rubick_e(RubickPolicy::plans_only());
+  RubickPolicy rubick_r(RubickPolicy::resources_only());
+  RubickPolicy rubick_n(RubickPolicy::neither());
+  SiaPolicy sia;
+  SynergyPolicy synergy;
+  for (SchedulerPolicy* policy :
+       std::initializer_list<SchedulerPolicy*>{&rubick, &rubick_e, &rubick_r,
+                                               &rubick_n, &sia, &synergy}) {
+    const SimResult r = run(jobs, *policy);
+    int finished = 0;
+    for (const auto& j : r.jobs) finished += j.finished ? 1 : 0;
+    EXPECT_EQ(finished, static_cast<int>(jobs.size())) << policy->name();
+    EXPECT_GT(r.makespan_s, 0.0) << policy->name();
+  }
+}
+
+TEST_F(IntegrationTest, AntManCompletesAMultiTenantTrace) {
+  const auto jobs = trace(50, TraceVariant::kMultiTenant);
+  AntManPolicy antman({{"tenant-a", 64}});
+  const SimResult r = run(jobs, antman);
+  int finished = 0;
+  for (const auto& j : r.jobs) finished += j.finished ? 1 : 0;
+  EXPECT_EQ(finished, static_cast<int>(jobs.size()));
+
+  RubickConfig config;
+  config.tenant_quota_gpus["tenant-a"] = 64;
+  RubickPolicy rubick(config);
+  const SimResult rr = run(jobs, rubick);
+  finished = 0;
+  for (const auto& j : rr.jobs) finished += j.finished ? 1 : 0;
+  EXPECT_EQ(finished, static_cast<int>(jobs.size()));
+}
+
+TEST_F(IntegrationTest, RubickBeatsBaselinesOnAverageJct) {
+  const auto jobs = trace(80, TraceVariant::kBase, 23);
+  RubickPolicy rubick;
+  SiaPolicy sia;
+  SynergyPolicy synergy;
+  const double rubick_jct = run(jobs, rubick).avg_jct_s();
+  const double sia_jct = run(jobs, sia).avg_jct_s();
+  const double synergy_jct = run(jobs, synergy).avg_jct_s();
+  EXPECT_LT(rubick_jct, sia_jct);
+  EXPECT_LT(rubick_jct, synergy_jct);
+}
+
+TEST_F(IntegrationTest, FullRubickBeatsAblations) {
+  const auto jobs = trace(80, TraceVariant::kBase, 29);
+  RubickPolicy rubick;
+  RubickPolicy rubick_n(RubickPolicy::neither());
+  const double full = run(jobs, rubick).avg_jct_s();
+  const double neither = run(jobs, rubick_n).avg_jct_s();
+  EXPECT_LT(full, neither);
+}
+
+TEST_F(IntegrationTest, SimulationIsDeterministic) {
+  const auto jobs = trace(40, TraceVariant::kBase, 31);
+  RubickPolicy a, b;
+  const SimResult ra = run(jobs, a);
+  const SimResult rb = run(jobs, b);
+  ASSERT_EQ(ra.jobs.size(), rb.jobs.size());
+  for (std::size_t i = 0; i < ra.jobs.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra.jobs[i].jct_s, rb.jobs[i].jct_s) << i;
+  EXPECT_DOUBLE_EQ(ra.makespan_s, rb.makespan_s);
+}
+
+TEST_F(IntegrationTest, SlaHoldsForMostGuaranteedJobs) {
+  // Rubick's SLA: guaranteed jobs should not run slower end-to-end than
+  // they would at their baseline configuration (modulo queueing while the
+  // quota admits them, reconfiguration overheads and model error); check
+  // the overwhelming majority achieve at least ~80% of baseline throughput
+  // while resident.
+  const auto jobs = trace(60, TraceVariant::kBase, 37);
+  RubickPolicy rubick;
+  const SimResult r = run(jobs, rubick);
+  int ok = 0, total = 0;
+  for (const auto& j : r.jobs) {
+    if (!j.finished || !j.spec.guaranteed) continue;
+    if (j.baseline_throughput <= 0.0) continue;
+    ++total;
+    if (j.achieved_throughput >= 0.8 * j.baseline_throughput) ++ok;
+  }
+  ASSERT_GT(total, 30);
+  EXPECT_GE(static_cast<double>(ok) / total, 0.85);
+}
+
+TEST_F(IntegrationTest, ReconfigurationOverheadIsBounded) {
+  // Paper §7.3: total reconfiguration time ~1% of GPU-hours.
+  const auto jobs = trace(60, TraceVariant::kBase, 41);
+  RubickPolicy rubick;
+  const SimResult r = run(jobs, rubick);
+  ASSERT_GT(r.total_gpu_seconds, 0.0);
+  EXPECT_LT(r.reconfig_overhead_gpu_seconds / r.total_gpu_seconds, 0.15);
+}
+
+TEST_F(IntegrationTest, HigherLoadIncreasesJct) {
+  TraceOptions low;
+  low.seed = 43;
+  low.num_jobs = 30;
+  low.window_s = hours(2);
+  TraceOptions high = low;
+  high.load_scale = 3.0;
+  RubickPolicy a, b;
+  Simulator sim(cluster_, oracle_);
+  const double low_jct = sim.run(gen_.generate(low), a).avg_jct_s();
+  const double high_jct = sim.run(gen_.generate(high), b).avg_jct_s();
+  EXPECT_GT(high_jct, low_jct);
+}
+
+}  // namespace
+}  // namespace rubick

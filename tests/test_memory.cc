@@ -1,0 +1,125 @@
+#include "plan/memory_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+namespace {
+
+const MemoryBudget kA800Budget{gigabytes(80), gigabytes(1600)};
+
+TEST(MemoryEstimator, GcReducesActivationMemory) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  EXPECT_LT(est.gpu_bytes(m, make_dp(1, 1, true), 16),
+            est.gpu_bytes(m, make_dp(1), 16));
+}
+
+TEST(MemoryEstimator, GaReducesActivationMemory) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  EXPECT_LT(est.gpu_bytes(m, make_dp(1, 4), 16),
+            est.gpu_bytes(m, make_dp(1), 16));
+}
+
+TEST(MemoryEstimator, ZeroDpShrinksOptimizerStatesWithDpSize) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  const auto at = [&](int d) {
+    return est.gpu_bytes(m, make_zero_dp(d, 2), 16);
+  };
+  EXPECT_GT(at(2), at(4));
+  EXPECT_GT(at(4), at(8));
+}
+
+TEST(MemoryEstimator, ThreeDShardsAllStates) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  const std::uint64_t one = est.gpu_bytes(m, make_3d(1, 8, 4), 16);
+  const std::uint64_t two = est.gpu_bytes(m, make_3d(1, 8, 2), 16);
+  EXPECT_LT(one, two);  // more pipeline stages -> fewer layers per GPU
+}
+
+TEST(MemoryEstimator, OffloadMovesStatesToHost) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  const ExecutionPlan offload = make_zero_offload(1, 16);
+  const ExecutionPlan dp = make_dp(1, 16);
+  EXPECT_LT(est.gpu_bytes(m, offload, 16), est.gpu_bytes(m, dp, 16));
+  EXPECT_GT(est.host_bytes(m, offload), est.host_bytes(m, dp));
+  // Host side holds optimizer states (12P) + gradient copies (2P).
+  EXPECT_GE(est.host_bytes(m, offload),
+            m.optimizer_state_bytes() + m.param_bytes_fp16());
+}
+
+TEST(MemoryEstimator, PaperFeasibilityGates) {
+  MemoryEstimator est;
+  const int b = 16;
+  // LLaMA-2-7B: plain DP OOMs on one 80 GB GPU (16P = 112 GB), only
+  // ZeRO-Offload fits (paper Figs. 3b and 7).
+  const ModelSpec& llama7 = find_model("LLaMA-2-7B");
+  EXPECT_FALSE(est.fits(llama7, make_dp(1, 16), b, kA800Budget));
+  EXPECT_FALSE(est.fits(llama7, make_zero_dp(1, 16), b, kA800Budget));
+  EXPECT_TRUE(est.fits(llama7, make_zero_offload(1, 16, true), b, kA800Budget));
+  // LLaMA-30B: even ZeRO-Offload fails (Table 2 "/"); 3D with enough shards
+  // fits.
+  const ModelSpec& llama30 = find_model("LLaMA-30B");
+  EXPECT_FALSE(est.fits(llama30, make_zero_offload(1, 16), b, kA800Budget));
+  EXPECT_TRUE(est.fits(llama30, make_3d(1, 8, 2, 8, true), b,
+                       MemoryBudget{gigabytes(80), gigabytes(3200)}));
+  // GPT-2 trains with plain DP on a single A800.
+  EXPECT_TRUE(est.fits(find_model("GPT-2"), make_dp(1), b, kA800Budget));
+}
+
+TEST(MemoryEstimator, InfeasibleBatchSplitIsInfeasible) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  const MemoryEstimate e = est.estimate(m, make_dp(3), 16, kA800Budget);
+  EXPECT_FALSE(e.feasible);
+}
+
+TEST(MemoryEstimator, HostMemoryScalesWithWorkers) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("BERT");
+  EXPECT_GT(est.host_bytes(m, make_dp(8)), est.host_bytes(m, make_dp(2)));
+}
+
+TEST(MemoryEstimator, PipelineKeepsInFlightMicroBatches) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  // With m >= p, 1F1B keeps p micro-batches in flight on the first stage,
+  // so doubling pp at fixed micro-batch size does not halve activations.
+  const std::uint64_t p2 = est.gpu_bytes(m, make_3d(1, 1, 2, 8), 16);
+  const std::uint64_t p4 = est.gpu_bytes(m, make_3d(1, 1, 4, 8), 16);
+  EXPECT_GT(p4 * 2, p2);  // sub-linear reduction
+}
+
+// Property: for all zoo models and DP-family plans, the GPU estimate is
+// monotone in the global batch size.
+class BatchMonotone
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(BatchMonotone, GpuBytesNonDecreasingInBatch) {
+  const auto [name, ga] = GetParam();
+  MemoryEstimator est;
+  const ModelSpec& m = find_model(name);
+  const ExecutionPlan plan = make_dp(1, ga);
+  std::uint64_t prev = 0;
+  for (int b : {16, 32, 64}) {
+    if (plan.per_pass_batch(b) == 0) continue;
+    const std::uint64_t cur = est.gpu_bytes(m, plan, b);
+    EXPECT_GE(cur, prev) << name << " b=" << b;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, BatchMonotone,
+    ::testing::Combine(::testing::Values("ViT", "RoBERTa", "BERT", "T5",
+                                         "GPT-2"),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace rubick

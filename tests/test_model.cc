@@ -1,0 +1,76 @@
+#include "model/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace rubick {
+namespace {
+
+TEST(ModelZoo, ContainsAllSevenPaperModels) {
+  EXPECT_EQ(model_zoo().size(), 7u);
+  for (const char* name : {"ViT", "RoBERTa", "BERT", "T5", "GPT-2",
+                           "LLaMA-2-7B", "LLaMA-30B"}) {
+    EXPECT_TRUE(has_model(name)) << name;
+    EXPECT_EQ(find_model(name).name, name);
+  }
+}
+
+TEST(ModelZoo, UnknownModelThrows) {
+  EXPECT_FALSE(has_model("AlexNet"));
+  EXPECT_THROW(find_model("AlexNet"), InvariantError);
+}
+
+TEST(ModelZoo, ParameterCountsMatchTable2) {
+  EXPECT_EQ(find_model("ViT").param_count, 86'000'000ull);
+  EXPECT_EQ(find_model("RoBERTa").param_count, 355'000'000ull);
+  EXPECT_EQ(find_model("BERT").param_count, 336'000'000ull);
+  EXPECT_EQ(find_model("T5").param_count, 1'200'000'000ull);
+  EXPECT_EQ(find_model("GPT-2").param_count, 1'500'000'000ull);
+  EXPECT_EQ(find_model("LLaMA-2-7B").param_count, 7'000'000'000ull);
+  EXPECT_EQ(find_model("LLaMA-30B").param_count, 30'000'000'000ull);
+}
+
+TEST(ModelZoo, SmallModelsDisableModelParallelism) {
+  // The paper disables TP/PP for ViT/RoBERTa/BERT in the traces.
+  EXPECT_FALSE(find_model("ViT").allow_model_parallel);
+  EXPECT_FALSE(find_model("RoBERTa").allow_model_parallel);
+  EXPECT_FALSE(find_model("BERT").allow_model_parallel);
+  EXPECT_TRUE(find_model("GPT-2").allow_model_parallel);
+  EXPECT_TRUE(find_model("LLaMA-30B").allow_model_parallel);
+}
+
+TEST(ModelSpec, StateByteAccounting) {
+  const ModelSpec& m = find_model("GPT-2");
+  EXPECT_EQ(m.param_bytes_fp16(), m.param_count * 2);
+  EXPECT_EQ(m.optimizer_state_bytes(), m.param_count * 12);
+  EXPECT_EQ(m.full_state_bytes(), m.param_count * 16);
+}
+
+TEST(ModelSpec, FlopsScaleWithSeqLenAndParams) {
+  const ModelSpec& small = find_model("ViT");
+  const ModelSpec& large = find_model("LLaMA-2-7B");
+  EXPECT_GT(large.fwd_flops_per_sample(), small.fwd_flops_per_sample());
+  EXPECT_DOUBLE_EQ(small.fwd_flops_per_sample(),
+                   2.0 * 86e6 * small.seq_len);
+}
+
+TEST(ModelSpec, LargeModelClassification) {
+  EXPECT_TRUE(find_model("LLaMA-2-7B").is_large_model());
+  EXPECT_TRUE(find_model("LLaMA-30B").is_large_model());
+  EXPECT_FALSE(find_model("GPT-2").is_large_model());
+}
+
+TEST(ModelSpec, ArchitectureDivisibility) {
+  // Every zoo model must support at least TP in {1} and PP dividing layers.
+  for (const ModelSpec& m : model_zoo()) {
+    EXPECT_GT(m.seq_len, 0) << m.name;
+    EXPECT_GT(m.hidden_size, 0) << m.name;
+    EXPECT_GT(m.num_layers, 0) << m.name;
+    EXPECT_EQ(m.hidden_size % 8, 0) << m.name << " must allow TP up to 8"
+                                    << " (except patch-based ViT)";
+  }
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,158 @@
+// Online model refinement (paper §4.3): live measurements feed back into
+// the PerfModelStore, which refits when prediction error exceeds the
+// threshold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/simulator.h"
+
+namespace rubick {
+namespace {
+
+class OnlineRefinementTest : public ::testing::Test {
+ protected:
+  OnlineRefinementTest() : oracle_(2025) {}
+
+  PerfSample sample_for(const ModelSpec& model, const ExecutionPlan& plan,
+                        int gpus, double measured) {
+    PerfSample s;
+    s.plan = plan;
+    s.global_batch = model.default_global_batch;
+    s.ctx = make_perf_context(cluster_, gpus, 4 * gpus);
+    s.measured_throughput = measured;
+    return s;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+};
+
+TEST_F(OnlineRefinementTest, AccurateObservationsDontRefit) {
+  PerfModelStore store = PerfModelStore::profile_models(
+      oracle_, cluster_, {"BERT"});
+  const ModelSpec& m = find_model("BERT");
+  const std::uint64_t v0 = store.version();
+  // Feed back exactly what the model predicts: no refit.
+  const ExecutionPlan plan = make_dp(4);
+  const PerfContext ctx = make_perf_context(cluster_, 4, 16);
+  const double predicted =
+      store.get("BERT").predict_throughput(m, plan, 32, ctx);
+  EXPECT_FALSE(store.record_observation(
+      "BERT", m, sample_for(m, plan, 4, predicted)));
+  EXPECT_EQ(store.version(), v0);
+  EXPECT_EQ(store.refit_count("BERT"), 0);
+  EXPECT_EQ(store.observation_count("BERT"), 1);
+}
+
+TEST_F(OnlineRefinementTest, LargeErrorTriggersRefitAndBumpsVersion) {
+  PerfModelStore store = PerfModelStore::profile_models(
+      oracle_, cluster_, {"BERT"});
+  const ModelSpec& m = find_model("BERT");
+  const std::uint64_t v0 = store.version();
+  const ExecutionPlan plan = make_dp(4);
+  const PerfContext ctx = make_perf_context(cluster_, 4, 16);
+  const double predicted =
+      store.get("BERT").predict_throughput(m, plan, 32, ctx);
+  // 40% off: must refit.
+  EXPECT_TRUE(store.record_observation(
+      "BERT", m, sample_for(m, plan, 4, predicted * 1.4)));
+  EXPECT_GT(store.version(), v0);
+  EXPECT_EQ(store.refit_count("BERT"), 1);
+}
+
+TEST_F(OnlineRefinementTest, RefitMovesPredictionTowardObservation) {
+  PerfModelStore store = PerfModelStore::profile_models(
+      oracle_, cluster_, {"BERT"});
+  const ModelSpec& m = find_model("BERT");
+  const ExecutionPlan plan = make_dp(8);
+  const PerfContext ctx = make_perf_context(cluster_, 8, 32);
+  const double before =
+      store.get("BERT").predict_throughput(m, plan, 32, ctx);
+  const double target = before * 0.6;  // pretend reality is 40% slower
+  // Feed several consistent observations.
+  for (int i = 0; i < 4; ++i)
+    store.record_observation("BERT", m, sample_for(m, plan, 8, target));
+  const double after =
+      store.get("BERT").predict_throughput(m, plan, 32, ctx);
+  EXPECT_LT(std::abs(after - target), std::abs(before - target));
+}
+
+TEST_F(OnlineRefinementTest, ObservationCapIsEnforced) {
+  PerfModelStore store = PerfModelStore::profile_models(
+      oracle_, cluster_, {"BERT"});
+  const ModelSpec& m = find_model("BERT");
+  const ExecutionPlan plan = make_dp(2);
+  const PerfContext ctx = make_perf_context(cluster_, 2, 8);
+  const double predicted =
+      store.get("BERT").predict_throughput(m, plan, 32, ctx);
+  for (std::size_t i = 0; i < PerfModelStore::kMaxObservations + 10; ++i)
+    store.record_observation("BERT", m, sample_for(m, plan, 2, predicted));
+  EXPECT_EQ(store.observation_count("BERT"),
+            static_cast<int>(PerfModelStore::kMaxObservations));
+}
+
+TEST_F(OnlineRefinementTest, UnknownModelThrows) {
+  PerfModelStore store;
+  const ModelSpec& m = find_model("BERT");
+  EXPECT_THROW(
+      store.record_observation("BERT", m, sample_for(m, make_dp(1), 1, 1.0)),
+      InvariantError);
+}
+
+TEST_F(OnlineRefinementTest, SimulatorFeedsObservationsBack) {
+  // End-to-end: with refinement enabled the run completes and the caller's
+  // store is untouched (the simulator works on a copy).
+  std::vector<JobSpec> jobs;
+  JobSpec spec;
+  spec.id = 0;
+  spec.model_name = "BERT";
+  spec.requested = ResourceVector{4, 16, 0};
+  spec.global_batch = 32;
+  spec.initial_plan = make_dp(4);
+  spec.target_samples = 50000;
+  jobs.push_back(spec);
+
+  std::map<std::string, double> costs;
+  const PerfModelStore store = PerfModelStore::profile_models(
+      oracle_, cluster_, {"BERT"}, 0, &costs);
+  const std::uint64_t v0 = store.version();
+
+  SimOptions opts;
+  opts.online_refinement = true;
+  Simulator sim(cluster_, oracle_, opts);
+  RubickPolicy policy;
+  const SimResult r = sim.run(jobs, policy, store, costs);
+  EXPECT_TRUE(r.jobs[0].finished);
+  EXPECT_EQ(store.version(), v0);  // caller's store untouched
+}
+
+TEST_F(OnlineRefinementTest, DeterministicWithRefinement) {
+  GroundTruthOracle oracle(7);
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.model_name = i % 2 ? "BERT" : "GPT-2";
+    spec.requested = ResourceVector{4, 16, 0};
+    spec.global_batch = i % 2 ? 32 : 16;
+    spec.initial_plan = make_dp(4);
+    spec.submit_time_s = 100.0 * i;
+    spec.target_samples = 30000;
+    jobs.push_back(spec);
+  }
+  Simulator sim(cluster_, oracle);
+  RubickPolicy a, b;
+  const SimResult ra = sim.run(jobs, a);
+  const SimResult rb = sim.run(jobs, b);
+  for (std::size_t i = 0; i < ra.jobs.size(); ++i)
+    EXPECT_DOUBLE_EQ(ra.jobs[i].jct_s, rb.jobs[i].jct_s);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,84 @@
+#include "common/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rubick {
+namespace {
+
+TEST(NelderMead, MinimizesQuadratic) {
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 1.0) * (x[1] + 1.0);
+  };
+  const OptimResult r = nelder_mead(f, {0.0, 0.0}, {-10, -10}, {10, 10});
+  EXPECT_NEAR(r.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+  EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(NelderMead, MinimizesRosenbrockInBox) {
+  auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  OptimOptions opts;
+  opts.max_iterations = 20000;
+  opts.restarts = 12;
+  const OptimResult r = nelder_mead(f, {-1.0, 2.0}, {-5, -5}, {5, 5}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 0.02);
+  EXPECT_NEAR(r.x[1], 1.0, 0.04);
+}
+
+TEST(NelderMead, RespectsBoxWhenOptimumOutside) {
+  // Minimum of (x-10)^2 constrained to [0, 2] is at x = 2.
+  auto f = [](const std::vector<double>& x) {
+    return (x[0] - 10.0) * (x[0] - 10.0);
+  };
+  const OptimResult r = nelder_mead(f, {1.0}, {0.0}, {2.0});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMead, ClampsInitialGuessIntoBox) {
+  auto f = [](const std::vector<double>& x) { return x[0] * x[0]; };
+  const OptimResult r = nelder_mead(f, {100.0}, {-1.0, }, {1.0});
+  EXPECT_GE(r.x[0], -1.0);
+  EXPECT_LE(r.x[0], 1.0);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-4);
+}
+
+TEST(NelderMead, DeterministicForFixedSeed) {
+  auto f = [](const std::vector<double>& x) {
+    return std::sin(x[0]) + x[0] * x[0] * 0.1;
+  };
+  const OptimResult a = nelder_mead(f, {3.0}, {-10}, {10});
+  const OptimResult b = nelder_mead(f, {3.0}, {-10}, {10});
+  EXPECT_DOUBLE_EQ(a.x[0], b.x[0]);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(NelderMead, RejectsBadBounds) {
+  auto f = [](const std::vector<double>& x) { return x[0]; };
+  EXPECT_THROW(nelder_mead(f, {0.0}, {1.0}, {0.0}), InvariantError);
+  EXPECT_THROW(nelder_mead(f, {}, {}, {}), InvariantError);
+}
+
+TEST(NelderMead, RestartsEscapeLocalMinimum) {
+  // Double well with a deep minimum at x = 4 and a shallow one at x = -4;
+  // starting in the shallow basin, restarts should find the deep one.
+  auto f = [](const std::vector<double>& x) {
+    const double a = (x[0] + 4.0);
+    const double b = (x[0] - 4.0);
+    return std::min(a * a + 1.0, b * b);
+  };
+  OptimOptions opts;
+  opts.restarts = 16;
+  const OptimResult r = nelder_mead(f, {-4.0}, {-6}, {6}, opts);
+  EXPECT_NEAR(r.x[0], 4.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rubick

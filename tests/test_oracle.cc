@@ -1,0 +1,101 @@
+#include "perf/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/model_zoo.h"
+
+namespace rubick {
+namespace {
+
+PerfContext ctx_of(int cpus = 8, bool multi = false) {
+  PerfContext ctx;
+  ctx.cpus = cpus;
+  ctx.multi_node = multi;
+  return ctx;
+}
+
+TEST(Oracle, MeasurementIsDeterministicPerConfig) {
+  const GroundTruthOracle oracle(1);
+  const ModelSpec& m = find_model("GPT-2");
+  const double a = oracle.measure_throughput(m, make_dp(4), 16, ctx_of());
+  const double b = oracle.measure_throughput(m, make_dp(4), 16, ctx_of());
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Oracle, DifferentSeedsGiveDifferentTestbeds) {
+  const GroundTruthOracle a(1), b(2);
+  const ModelSpec& m = find_model("GPT-2");
+  EXPECT_NE(a.measure_throughput(m, make_dp(4), 16, ctx_of()),
+            b.measure_throughput(m, make_dp(4), 16, ctx_of()));
+}
+
+TEST(Oracle, NoiseIsSmallAndMultiplicative) {
+  const GroundTruthOracle oracle(3);
+  const ModelSpec& m = find_model("BERT");
+  for (int d : {1, 2, 4, 8}) {
+    const double truth = oracle.true_throughput(m, make_dp(d), 32, ctx_of());
+    const double measured =
+        oracle.measure_throughput(m, make_dp(d), 32, ctx_of());
+    EXPECT_NEAR(measured / truth, 1.0, 0.12) << d;
+  }
+}
+
+TEST(Oracle, TruthVariesAcrossConfigs) {
+  const GroundTruthOracle oracle(4);
+  const ModelSpec& m = find_model("GPT-2");
+  const double dp = oracle.true_throughput(m, make_dp(4), 16, ctx_of());
+  const double offload =
+      oracle.true_throughput(m, make_zero_offload(4), 16, ctx_of());
+  EXPECT_NE(dp, offload);
+}
+
+TEST(Oracle, CpuStarvationSlowsTraining) {
+  // The oracle's hidden input-pipeline term: fewer than 2 CPUs/GPU hurts.
+  const GroundTruthOracle oracle(5);
+  const ModelSpec& m = find_model("BERT");
+  const double starved = oracle.true_throughput(m, make_dp(8), 32, ctx_of(2));
+  const double fed = oracle.true_throughput(m, make_dp(8), 32, ctx_of(16));
+  EXPECT_GT(fed, starved);
+}
+
+TEST(Oracle, ProfiledFwdUnitCloseToTruth) {
+  const GroundTruthOracle oracle(6);
+  for (const ModelSpec& m : model_zoo()) {
+    const auto& truth = oracle.truth_for(m);
+    EXPECT_NEAR(oracle.profiled_fwd_unit_s(m) / truth.fwd_unit_s, 1.0, 0.05)
+        << m.name;
+  }
+}
+
+TEST(Oracle, HiddenParamsWithinDocumentedRanges) {
+  const GroundTruthOracle oracle(7);
+  for (const ModelSpec& m : model_zoo()) {
+    const auto& t = oracle.truth_for(m);
+    EXPECT_GE(t.params.k_bwd, 1.8);
+    EXPECT_LE(t.params.k_bwd, 2.2);
+    EXPECT_GE(t.params.k_sync, 1.0);
+    EXPECT_GT(t.fwd_unit_s, 0.0);
+    EXPECT_GE(t.perturb.dp_congestion, 0.0);
+  }
+}
+
+TEST(Oracle, LargerModelsHaveSlowerForward) {
+  const GroundTruthOracle oracle(8);
+  const double small = oracle.truth_for(find_model("ViT")).fwd_unit_s;
+  const double large = oracle.truth_for(find_model("LLaMA-2-7B")).fwd_unit_s;
+  EXPECT_GT(large, small * 10.0);
+}
+
+TEST(Oracle, MultiNodeNeverFasterThanSingleNodeForDp) {
+  const GroundTruthOracle oracle(9);
+  const ModelSpec& m = find_model("GPT-2");
+  const double local = oracle.true_throughput(m, make_dp(8), 16, ctx_of(16));
+  const double cross =
+      oracle.true_throughput(m, make_dp(8), 16, ctx_of(16, true));
+  EXPECT_LE(cross, local);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,120 @@
+#include "plan/execution_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "model/model_zoo.h"
+
+namespace rubick {
+namespace {
+
+TEST(ExecutionPlan, ConstructorsProduceValidPlans) {
+  EXPECT_TRUE(make_dp(4).structurally_valid());
+  EXPECT_TRUE(make_dp(4, 2).structurally_valid());
+  EXPECT_TRUE(make_zero_dp(8).structurally_valid());
+  EXPECT_TRUE(make_zero_offload(1, 4, true).structurally_valid());
+  EXPECT_TRUE(make_3d(2, 4, 2).structurally_valid());
+}
+
+TEST(ExecutionPlan, GpuCountIsProductOfSizes) {
+  EXPECT_EQ(make_3d(2, 4, 2).num_gpus(), 16);
+  EXPECT_EQ(make_dp(8).num_gpus(), 8);
+}
+
+TEST(ExecutionPlan, ZeroRequiresPureDp) {
+  ExecutionPlan p = make_zero_dp(4);
+  p.tp = 2;
+  p.dp = 2;
+  EXPECT_FALSE(p.structurally_valid());
+}
+
+TEST(ExecutionPlan, PipelineForbidsGradientAccumulation) {
+  ExecutionPlan p = make_3d(1, 1, 4);
+  EXPECT_TRUE(p.structurally_valid());
+  p.ga_steps = 2;
+  EXPECT_FALSE(p.structurally_valid());
+}
+
+TEST(ExecutionPlan, MicroBatchesOnlyWithPipeline) {
+  ExecutionPlan p = make_dp(2);
+  p.micro_batches = 4;
+  EXPECT_FALSE(p.structurally_valid());
+}
+
+TEST(ExecutionPlan, MicroBatchesAtLeastPipelineDepth) {
+  ExecutionPlan p = make_3d(1, 1, 4);
+  p.micro_batches = 2;  // < pp
+  EXPECT_FALSE(p.structurally_valid());
+}
+
+TEST(ExecutionPlan, PerPassBatchDivisibility) {
+  EXPECT_EQ(make_dp(4).per_pass_batch(16), 4);
+  EXPECT_EQ(make_dp(4, 2).per_pass_batch(16), 2);
+  EXPECT_EQ(make_dp(3).per_pass_batch(16), 0);  // not divisible
+  const ExecutionPlan pp = make_3d(2, 1, 2, /*micro_batches=*/4);
+  EXPECT_EQ(pp.per_pass_batch(16), 2);  // 16 / (dp=2 * m=4)
+}
+
+TEST(ExecutionPlan, ValidForChecksHiddenAndLayerDivisibility) {
+  const ModelSpec& gpt2 = find_model("GPT-2");  // h=1600, l=48
+  EXPECT_TRUE(make_3d(1, 4, 2, 4).valid_for(gpt2, 16));
+  // 1600 % 64: TP=64 doesn't divide evenly into attention layout? 1600/64=25
+  ExecutionPlan p = make_3d(1, 1, 5, 5);  // l=48 % 5 != 0
+  EXPECT_FALSE(p.valid_for(gpt2, 25));
+}
+
+TEST(ExecutionPlan, ValidForRejectsModelParallelOnSmallModels) {
+  const ModelSpec& bert = find_model("BERT");
+  EXPECT_FALSE(make_3d(1, 2, 1).valid_for(bert, 32));
+  EXPECT_TRUE(make_dp(2).valid_for(bert, 32));
+}
+
+TEST(ExecutionPlan, DisplayNamesMatchPaperConventions) {
+  EXPECT_EQ(make_dp(1).display_name(), "DP");
+  EXPECT_EQ(make_dp(4).display_name(), "DP(d=4)");
+  EXPECT_EQ(make_dp(4, 2).display_name(), "DP(d=4)+GA");
+  EXPECT_EQ(make_dp(4, 1, true).display_name(), "DP(d=4)+GC");
+  EXPECT_EQ(make_zero_dp(8).display_name(), "ZeRO-DP");
+  EXPECT_EQ(make_zero_offload(1, 2).display_name(), "ZeRO-Offload+GA");
+  EXPECT_EQ(make_3d(2, 4, 2).display_name(), "3D(d=2,t=4,p=2)");
+  EXPECT_EQ(make_3d(2, 4, 1).display_name(), "TP+DP(d=2,t=4)");
+  EXPECT_EQ(make_3d(1, 1, 4).display_name(), "PP(d=1,p=4)");
+}
+
+TEST(ExecutionPlan, EqualityIsStructural) {
+  EXPECT_EQ(make_dp(4), make_dp(4));
+  EXPECT_NE(make_dp(4), make_dp(4, 2));
+  EXPECT_NE(make_zero_dp(4), make_dp(4));
+}
+
+TEST(ExecutionPlan, DefaultMicroBatchesFor3d) {
+  EXPECT_EQ(make_3d(1, 2, 4).micro_batches, 16);  // 4 * pp
+  EXPECT_EQ(make_3d(1, 2, 4, 8).micro_batches, 8);
+}
+
+TEST(ExecutionPlan, InvalidConstructorArgsThrow) {
+  EXPECT_THROW(make_dp(0), InvariantError);
+  EXPECT_THROW(make_3d(1, 1, 4, 2), InvariantError);  // m < pp
+}
+
+// Property sweep: every (d, a) with d*a dividing the batch yields a valid
+// DP plan; others are invalid.
+class DpDivisibility : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DpDivisibility, PerPassBatchConsistent) {
+  const auto [d, a] = GetParam();
+  ExecutionPlan p;
+  p.dp = d;
+  p.ga_steps = a;
+  const int b = 16;
+  const int expect = (b % (d * a) == 0) ? b / (d * a) : 0;
+  EXPECT_EQ(p.per_pass_batch(b), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DpDivisibility,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8, 16),
+                       ::testing::Values(1, 2, 3, 4, 8)));
+
+}  // namespace
+}  // namespace rubick

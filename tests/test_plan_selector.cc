@@ -1,0 +1,103 @@
+#include "core/plan_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+namespace {
+
+PlanConstraints constraints(int gpus, int max_tp = 8) {
+  PlanConstraints pc;
+  pc.num_gpus = gpus;
+  pc.max_tp = max_tp;
+  pc.budget = make_memory_budget(ClusterSpec{}, gpus);
+  return pc;
+}
+
+TEST(FullPlanSelector, MatchesEnumeration) {
+  const FullPlanSelector sel;
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  EXPECT_EQ(sel.candidates(m, 16, constraints(4), est),
+            enumerate_plans(m, 16, constraints(4), est));
+  EXPECT_EQ(sel.cache_key(), "full");
+}
+
+TEST(ScaledDpSelector, ScalesDpSizeAndKeepsFamily) {
+  const ScaledDpSelector sel(make_zero_dp(2, 2, true));
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  const auto plans = sel.candidates(m, 16, constraints(8), est);
+  ASSERT_FALSE(plans.empty());
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.dp, 8);
+    EXPECT_EQ(p.zero, ZeroStage::kZeroDp);
+    EXPECT_TRUE(p.grad_ckpt);
+    EXPECT_TRUE(p.valid_for(m, 16));
+  }
+}
+
+TEST(ScaledDpSelector, AdjustsGaForDivisibility) {
+  const ScaledDpSelector sel(make_dp(2, 8));
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  // At d = 16 with b = 16, only a = 1 divides.
+  const auto plans = sel.candidates(m, 16, constraints(16), est);
+  ASSERT_FALSE(plans.empty());
+  for (const auto& p : plans) EXPECT_EQ(p.ga_steps * p.dp <= 16, true);
+}
+
+TEST(ScaledDpSelector, RespectsShardGranularity) {
+  // A 3D plan with t=4, p=2 can only scale in multiples of 8 GPUs.
+  const ScaledDpSelector sel(make_3d(1, 4, 2, 4));
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  EXPECT_TRUE(sel.candidates(m, 16, constraints(12), est).empty());
+  const auto plans = sel.candidates(m, 16, constraints(16), est);
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.tp, 4);
+    EXPECT_EQ(p.pp, 2);
+    EXPECT_EQ(p.dp, 2);
+  }
+}
+
+TEST(ScaledDpSelector, EmptyWhenTpExceedsNodeShare) {
+  const ScaledDpSelector sel(make_3d(1, 8, 1));
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  EXPECT_TRUE(sel.candidates(m, 16, constraints(8, /*max_tp=*/4), est).empty());
+}
+
+TEST(FixedPlanSelector, OnlyExactPlanAtExactGpuCount) {
+  const ExecutionPlan plan = make_zero_dp(4, 2);
+  const FixedPlanSelector sel(plan);
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  const auto at4 = sel.candidates(m, 16, constraints(4), est);
+  ASSERT_EQ(at4.size(), 1u);
+  EXPECT_EQ(at4[0], plan);
+  EXPECT_TRUE(sel.candidates(m, 16, constraints(8), est).empty());
+}
+
+TEST(FixedPlanSelector, EmptyWhenInfeasible) {
+  // Plain DP for LLaMA-2-7B never fits a single 80 GB GPU.
+  const FixedPlanSelector sel(make_dp(1, 16));
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  EXPECT_TRUE(sel.candidates(m, 16, constraints(1, 1), est).empty());
+}
+
+TEST(Selectors, CacheKeysAreDistinct) {
+  const FullPlanSelector full;
+  const ScaledDpSelector scaled_a(make_dp(2));
+  const ScaledDpSelector scaled_b(make_zero_dp(2));
+  const FixedPlanSelector fixed(make_dp(2));
+  EXPECT_NE(full.cache_key(), scaled_a.cache_key());
+  EXPECT_NE(scaled_a.cache_key(), scaled_b.cache_key());
+  EXPECT_NE(scaled_a.cache_key(), fixed.cache_key());
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,233 @@
+// Multi-round behavioral tests of the policies running inside the real
+// simulator: opportunistic admission growing toward minRes, Sia's
+// statistical-efficiency accounting, AntMan's dynamic best-effort scaling,
+// and the size-dependent reconfiguration cost.
+#include <gtest/gtest.h>
+
+#include "baselines/antman.h"
+#include "baselines/sia.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/simulator.h"
+
+namespace rubick {
+namespace {
+
+JobSpec make_job(int id, const std::string& model, int gpus, double submit,
+                 double target, bool guaranteed = true,
+                 const std::string& tenant = "default") {
+  JobSpec spec;
+  spec.id = id;
+  spec.model_name = model;
+  spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+  spec.global_batch = find_model(model).default_global_batch;
+  spec.initial_plan = make_dp(gpus);
+  spec.submit_time_s = submit;
+  spec.target_samples = target;
+  spec.guaranteed = guaranteed;
+  spec.tenant = tenant;
+  return spec;
+}
+
+class PolicyBehaviorTest : public ::testing::Test {
+ protected:
+  PolicyBehaviorTest() : oracle_(2025) {}
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+};
+
+TEST_F(PolicyBehaviorTest, SiaEmitsEfficiencyBelowOneWhenScalingUp) {
+  PerfModelStore store =
+      PerfModelStore::profile_models(oracle_, cluster_, {"BERT"});
+  MemoryEstimator est;
+  JobSpec spec = make_job(0, "BERT", 2, 0, 1e6);
+  spec.grad_noise_rel = 1.0;
+
+  SchedulerInput in;
+  in.cluster = cluster_;
+  in.models = &store;
+  in.estimator = &est;
+  JobView v;
+  v.spec = &spec;
+  v.plan = spec.initial_plan;
+  v.remaining_samples = 1e6;
+  in.jobs.push_back(v);
+
+  SiaPolicy sia;
+  const auto out = sia.schedule(in);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_GT(out[0].placement.total_gpus(), 2);  // scaled beyond request
+  const double d_ratio = static_cast<double>(out[0].plan.dp) / 2.0;
+  EXPECT_LT(out[0].statistical_efficiency, 1.0);
+  EXPECT_NEAR(out[0].statistical_efficiency, 2.0 / (1.0 + d_ratio), 1e-9);
+}
+
+TEST_F(PolicyBehaviorTest, SiaEfficiencySlowsItsOwnJobs) {
+  // Two identical workloads; the one whose job tolerates batch scaling
+  // badly (low noise scale) finishes later under Sia.
+  for (double noise : {0.2}) {
+    std::vector<JobSpec> tolerant = {make_job(0, "BERT", 2, 0, 3e5)};
+    tolerant[0].grad_noise_rel = 50.0;  // scaling nearly free
+    std::vector<JobSpec> fragile = {make_job(0, "BERT", 2, 0, 3e5)};
+    fragile[0].grad_noise_rel = noise;
+
+    Simulator sim(cluster_, oracle_);
+    SiaPolicy a, b;
+    const double jct_tolerant = sim.run(tolerant, a).jobs[0].jct_s;
+    const double jct_fragile = sim.run(fragile, b).jobs[0].jct_s;
+    EXPECT_GT(jct_fragile, jct_tolerant);
+  }
+}
+
+TEST_F(PolicyBehaviorTest, AntManScalesBestEffortIntoLeftovers) {
+  PerfModelStore store =
+      PerfModelStore::profile_models(oracle_, cluster_, {"BERT", "GPT-2"});
+  MemoryEstimator est;
+  // Guaranteed job occupies 60 of 64 GPUs; a best-effort job requesting 16
+  // must be DP-scaled down into the 4 leftovers.
+  JobSpec guaranteed = make_job(0, "BERT", 32, 0, 1e6, true, "tenant-a");
+  JobSpec be = make_job(1, "GPT-2", 16, 0, 1e6, false, "tenant-b");
+
+  SchedulerInput in;
+  in.cluster = cluster_;
+  in.models = &store;
+  in.estimator = &est;
+  JobView run_view;
+  run_view.spec = &guaranteed;
+  run_view.running = true;
+  for (int n = 0; n < 8; ++n) {
+    if (n < 7) run_view.placement.add({n, 8, 16, 0});
+  }
+  run_view.placement.add({7, 4, 8, 0});  // 60 GPUs total
+  run_view.plan = make_dp(32);           // placeholder fixed plan
+  in.jobs.push_back(run_view);
+  JobView be_view;
+  be_view.spec = &be;
+  be_view.plan = be.initial_plan;
+  in.jobs.push_back(be_view);
+
+  AntManPolicy antman({{"tenant-a", 64}});
+  const auto out = antman.schedule(in);
+  int be_gpus = -1;
+  for (const auto& a : out)
+    if (a.job_id == 1) be_gpus = a.placement.total_gpus();
+  ASSERT_GT(be_gpus, 0) << "best-effort job should run scaled-down";
+  EXPECT_LE(be_gpus, 4);
+  // And its plan is a DP-scaled member of its family.
+  for (const auto& a : out)
+    if (a.job_id == 1) EXPECT_EQ(a.plan.dp * a.plan.tp * a.plan.pp, be_gpus);
+}
+
+TEST_F(PolicyBehaviorTest, OpportunisticAdmissionGrowsTowardMinRes) {
+  // A 16-GPU-request job arrives while a long 60-GPU job holds the cluster
+  // frozen (it reconfigured recently). The new job must start small rather
+  // than queue, then grow once the big job completes.
+  std::vector<JobSpec> jobs;
+  jobs.push_back(make_job(0, "BERT", 32, 0.0, 3.0e6));       // long holder
+  jobs.push_back(make_job(1, "GPT-2", 16, 600.0, 1.5e5));    // newcomer
+  jobs[1].initial_plan = make_dp(16);
+
+  RubickPolicy policy;
+  Simulator sim(cluster_, oracle_);
+  const SimResult r = sim.run(jobs, policy);
+  EXPECT_TRUE(r.jobs[1].finished);
+  // Started promptly (queued less than the big job's full runtime).
+  EXPECT_LT(r.jobs[1].first_start_s - r.jobs[1].spec.submit_time_s, 1200.0)
+      << "opportunistic admission should avoid gang queueing";
+}
+
+TEST_F(PolicyBehaviorTest, StrictAdmissionQueuesInstead) {
+  std::vector<JobSpec> jobs;
+  jobs.push_back(make_job(0, "BERT", 32, 0.0, 3.0e6));
+  jobs.push_back(make_job(1, "GPT-2", 16, 600.0, 1.5e5));
+
+  RubickConfig strict;
+  strict.opportunistic_admission = false;
+  RubickPolicy relaxed_policy, strict_policy(strict);
+  Simulator sim(cluster_, oracle_);
+  const double relaxed_jct = sim.run(jobs, relaxed_policy).jobs[1].jct_s;
+  const double strict_jct = sim.run(jobs, strict_policy).jobs[1].jct_s;
+  EXPECT_LE(relaxed_jct, strict_jct);
+}
+
+TEST_F(PolicyBehaviorTest, SizeDependentPenaltyChargesBigModelsMore) {
+  SimOptions opts;
+  opts.size_dependent_reconfig_cost = true;
+  // launch 30 s + 16 bytes/param / 5 GB/s.
+  const double small_penalty =
+      30.0 + 16.0 * 336e6 / 5e9;  // BERT ~ 31 s
+  const double large_penalty =
+      30.0 + 16.0 * 7e9 / 5e9;  // LLaMA-2-7B ~ 52 s
+  EXPECT_LT(small_penalty, large_penalty);
+
+  // End-to-end: a run with the size-dependent cost enabled completes and
+  // charges non-zero overhead when reconfigurations happen.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i)
+    jobs.push_back(make_job(i, i % 2 ? "BERT" : "GPT-2", 4, 60.0 * i, 4e5));
+  RubickPolicy policy;
+  Simulator sim(cluster_, oracle_, opts);
+  const SimResult r = sim.run(jobs, policy);
+  for (const auto& j : r.jobs) EXPECT_TRUE(j.finished);
+}
+
+TEST_F(PolicyBehaviorTest, StarvedBestEffortForcesEntryPastFrozenJobs) {
+  // A recently-reconfigured (frozen) job hogs the whole cluster. A freshly
+  // queued best-effort job cannot claim anything (frozen victims are off
+  // limits for throughput-motivated shrinking); once its queueing delay
+  // crosses the starvation threshold, the escape hatch raises its minimum
+  // demand and the SLA-priority path shrinks even the frozen hog.
+  PerfModelStore store =
+      PerfModelStore::profile_models(oracle_, cluster_, {"BERT", "GPT-2"});
+  MemoryEstimator est;
+  JobSpec hog = make_job(0, "BERT", 32, 0, 1e7);
+  JobSpec be = make_job(1, "GPT-2", 4, 0, 1e5, /*guaranteed=*/false);
+
+  auto input_with_wait = [&](double waited) {
+    SchedulerInput in;
+    in.now = waited;
+    in.cluster = cluster_;
+    in.models = &store;
+    in.estimator = &est;
+    JobView hog_view;
+    hog_view.spec = &hog;
+    hog_view.running = true;
+    for (int n = 0; n < 8; ++n) hog_view.placement.add({n, 8, 16, 1ull << 30});
+    hog_view.plan = make_3d(16, 2, 2);     // 16*2*2 = 64 GPUs
+    hog_view.total_active_time_s = 100.0;  // recently moved: gate freezes it
+    hog_view.reconfig_count = 2;
+    in.jobs.push_back(hog_view);
+    JobView be_view;
+    be_view.spec = &be;
+    be_view.plan = be.initial_plan;
+    be_view.queued_since = 0.0;
+    in.jobs.push_back(be_view);
+    return in;
+  };
+
+  RubickConfig config;
+  config.starvation_threshold_s = 1800.0;
+
+  {
+    RubickPolicy policy(config);
+    const auto out = policy.schedule(input_with_wait(60.0));  // fresh queue
+    bool be_running = false;
+    for (const auto& a : out)
+      if (a.job_id == 1 && a.placement.total_gpus() > 0) be_running = true;
+    EXPECT_FALSE(be_running) << "frozen hog should block a fresh BE job";
+  }
+  {
+    RubickPolicy policy(config);
+    const auto out = policy.schedule(input_with_wait(3600.0));  // starved
+    bool be_running = false;
+    for (const auto& a : out)
+      if (a.job_id == 1 && a.placement.total_gpus() > 0) be_running = true;
+    EXPECT_TRUE(be_running)
+        << "the starvation hatch should force the BE job in";
+  }
+}
+
+}  // namespace
+}  // namespace rubick

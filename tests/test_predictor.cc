@@ -1,0 +1,158 @@
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+namespace {
+
+class PredictorTest : public ::testing::Test {
+ protected:
+  PredictorTest()
+      : oracle_(2025),
+        store_(PerfModelStore::profile_models(
+            oracle_, cluster_,
+            {"GPT-2", "BERT", "LLaMA-2-7B", "LLaMA-30B"})),
+        predictor_(cluster_, store_, estimator_) {}
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  MemoryEstimator estimator_;
+  PerfModelStore store_;
+  BestPlanPredictor predictor_;
+  FullPlanSelector all_;
+};
+
+TEST_F(PredictorTest, EnvelopeIsMonotoneInGpus) {
+  const ModelSpec& m = find_model("GPT-2");
+  double prev = 0.0;
+  for (int g = 1; g <= 32; ++g) {
+    const double v = predictor_.envelope(m, 16, all_, g, 2 * g);
+    EXPECT_GE(v, prev) << g;
+    prev = v;
+  }
+}
+
+TEST_F(PredictorTest, EnvelopeFlatAcrossInvalidCounts) {
+  // GPT-2 (b=16): no exact plan uses 7 GPUs (7 divides neither batch nor
+  // layer/hidden structure), so the envelope at 7 equals the value at 6.
+  const ModelSpec& m = find_model("GPT-2");
+  const auto exact7 = predictor_.best_canonical(m, 16, all_, 7, 14);
+  EXPECT_FALSE(exact7.feasible);
+  EXPECT_DOUBLE_EQ(predictor_.envelope(m, 16, all_, 7, 14),
+                   predictor_.envelope(m, 16, all_, 6, 14));
+}
+
+TEST_F(PredictorTest, SlopesAreConsistentWithEnvelope) {
+  const ModelSpec& m = find_model("BERT");
+  for (int g : {1, 2, 4, 8}) {
+    const double env_g = predictor_.envelope(m, 32, all_, g, 2 * g);
+    const double env_next = predictor_.envelope(m, 32, all_, g + 1, 2 * g);
+    const double up = predictor_.gpu_slope_up(m, 32, all_, g, 2 * g);
+    // When the very next count improves the envelope, the grid-aware slope
+    // equals the adjacent difference; on flat stretches it averages over
+    // the jump to the next rise and stays non-negative.
+    if (env_next > env_g + 1e-9) EXPECT_NEAR(up, env_next - env_g, 1e-9);
+    EXPECT_GE(up, 0.0);
+    EXPECT_GE(predictor_.gpu_slope_down(m, 32, all_, g, 2 * g), 0.0);
+  }
+}
+
+TEST_F(PredictorTest, SlopesBridgeInvalidCounts) {
+  // Find a flat stretch of GPT-2's curve and check that the slope up from
+  // its start averages the jump to the next rise over the full distance,
+  // and the slope down from the rise point mirrors it.
+  const ModelSpec& m = find_model("GPT-2");
+  int flat_start = 0, rise_at = 0;
+  for (int g = 1; g < 32 && rise_at == 0; ++g) {
+    const double here = predictor_.envelope(m, 16, all_, g, 16);
+    const double next = predictor_.envelope(m, 16, all_, g + 1, 16);
+    if (next == here && flat_start == 0) flat_start = g;
+    if (flat_start != 0 && next > here) rise_at = g + 1;
+  }
+  ASSERT_GT(flat_start, 0) << "expected at least one invalid GPU count";
+  ASSERT_GT(rise_at, flat_start + 1);
+  const double low = predictor_.envelope(m, 16, all_, flat_start, 16);
+  const double high = predictor_.envelope(m, 16, all_, rise_at, 16);
+  const double per_gpu = (high - low) / (rise_at - flat_start);
+  EXPECT_NEAR(predictor_.gpu_slope_up(m, 16, all_, flat_start, 16), per_gpu,
+              1e-9);
+  EXPECT_NEAR(predictor_.gpu_slope_down(m, 16, all_, rise_at, 16), per_gpu,
+              1e-9);
+}
+
+TEST_F(PredictorTest, SlopeAtClusterEdgeIsZero) {
+  const ModelSpec& m = find_model("BERT");
+  EXPECT_DOUBLE_EQ(predictor_.gpu_slope_up(m, 32, all_, 64, 128), 0.0);
+  EXPECT_DOUBLE_EQ(predictor_.gpu_slope_down(m, 32, all_, 0, 1), 0.0);
+}
+
+TEST_F(PredictorTest, CpuSlopePositiveOnlyWhenOffloadWins) {
+  // LLaMA-2-7B on a single GPU can only run ZeRO-Offload -> CPU-sensitive.
+  const ModelSpec& llama = find_model("LLaMA-2-7B");
+  EXPECT_GT(predictor_.cpu_slope_up(llama, 16, all_, 1, 8), 0.0);
+  // BERT at 4 GPUs runs GPU-side plans -> CPU-insensitive in the model.
+  const ModelSpec& bert = find_model("BERT");
+  EXPECT_NEAR(predictor_.cpu_slope_up(bert, 32, all_, 4, 8), 0.0, 1e-9);
+}
+
+TEST_F(PredictorTest, InfeasibleReturnsZero) {
+  const ModelSpec& llama30 = find_model("LLaMA-30B");
+  const auto p = predictor_.best_canonical(llama30, 16, all_, 1, 8);
+  EXPECT_FALSE(p.feasible);
+  EXPECT_DOUBLE_EQ(p.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(predictor_.envelope(llama30, 16, all_, 8, 16), 0.0);
+}
+
+TEST_F(PredictorTest, LargeModelBecomesFeasibleAtScale) {
+  const ModelSpec& llama30 = find_model("LLaMA-30B");
+  EXPECT_GT(predictor_.envelope(llama30, 16, all_, 32, 64), 0.0);
+}
+
+TEST_F(PredictorTest, RankedForPlacementSortedDescending) {
+  const ModelSpec& m = find_model("GPT-2");
+  Placement p;
+  p.add({0, 8, 16, 0});
+  const auto ranked = predictor_.ranked_for_placement(m, 16, all_, p);
+  ASSERT_GT(ranked.size(), 3u);
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_GE(ranked[i - 1].throughput, ranked[i].throughput * (1.0 - 1e-9));
+}
+
+TEST_F(PredictorTest, RankedFiltersTpGroupsSplitAcrossNodes) {
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  Placement split;
+  split.add({0, 5, 10, 0});
+  split.add({1, 3, 6, 0});
+  for (const auto& pred : predictor_.ranked_for_placement(m, 16, all_, split))
+    EXPECT_EQ(pred.plan.tp, 1) << pred.plan.display_name();
+}
+
+TEST_F(PredictorTest, BestPlanMatchesOracleRanking) {
+  // The fitted model should agree with the oracle about which plan family
+  // wins in clear-cut cases (1-GPU LLaMA: offload is the only option).
+  const ModelSpec& llama = find_model("LLaMA-2-7B");
+  const auto best = predictor_.best_canonical(llama, 16, all_, 1, 8);
+  ASSERT_TRUE(best.feasible);
+  EXPECT_TRUE(best.plan.uses_offload());
+}
+
+TEST_F(PredictorTest, CachingIsConsistent) {
+  const ModelSpec& m = find_model("GPT-2");
+  const auto a = predictor_.best_canonical(m, 16, all_, 4, 8);
+  const auto b = predictor_.best_canonical(m, 16, all_, 4, 8);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST_F(PredictorTest, ZeroResourcesInfeasible) {
+  const ModelSpec& m = find_model("GPT-2");
+  EXPECT_FALSE(predictor_.best_canonical(m, 16, all_, 0, 8).feasible);
+  EXPECT_FALSE(predictor_.best_exact(m, 16, all_, 4, 0, 4, false).feasible);
+}
+
+}  // namespace
+}  // namespace rubick

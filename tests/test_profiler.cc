@@ -1,0 +1,95 @@
+#include "perf/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "plan/enumerate.h"
+
+namespace rubick {
+namespace {
+
+TEST(PerfContextHelpers, MultiNodeDetection) {
+  const ClusterSpec cluster;  // 8 GPUs per node
+  EXPECT_FALSE(make_perf_context(cluster, 8, 16).multi_node);
+  EXPECT_TRUE(make_perf_context(cluster, 9, 16).multi_node);
+}
+
+TEST(PerfContextHelpers, PlacementContext) {
+  const ClusterSpec cluster;
+  Placement single;
+  single.add({0, 4, 8, 0});
+  EXPECT_FALSE(make_perf_context(cluster, single).multi_node);
+  EXPECT_EQ(make_perf_context(cluster, single).cpus, 8);
+  Placement multi = single;
+  multi.add({1, 4, 8, 0});
+  EXPECT_TRUE(make_perf_context(cluster, multi).multi_node);
+  EXPECT_EQ(make_perf_context(cluster, multi).cpus, 16);
+}
+
+TEST(PerfContextHelpers, MemoryBudgetScalesWithNodes) {
+  const ClusterSpec cluster;
+  const MemoryBudget one = make_memory_budget(cluster, 8);
+  const MemoryBudget two = make_memory_budget(cluster, 9);
+  EXPECT_EQ(one.gpu_capacity_bytes, cluster.node.gpu_memory_bytes);
+  EXPECT_EQ(two.host_capacity_bytes, 2 * one.host_capacity_bytes);
+}
+
+class SamplingPlan : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SamplingPlan, MeetsPaperRequirements) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const Profiler profiler(oracle, cluster);
+  const ModelSpec& model = find_model(GetParam());
+  const auto samples =
+      profiler.choose_samples(model, model.default_global_batch);
+
+  // At least 7 points (paper: "we require at least seven data points").
+  EXPECT_GE(samples.size(), 7u) << model.name;
+
+  int offload = 0;
+  MemoryEstimator est;
+  for (const auto& s : samples) {
+    EXPECT_TRUE(s.plan.valid_for(model, s.global_batch)) << model.name;
+    if (s.plan.uses_offload()) ++offload;
+  }
+  // Three offload runs whenever offload is feasible at all (paper §4.3).
+  const bool offload_feasible = [&] {
+    PlanConstraints pc;
+    pc.num_gpus = 1;
+    pc.max_tp = 1;
+    pc.budget = make_memory_budget(cluster, 1);
+    for (const auto& p :
+         enumerate_plans(model, model.default_global_batch, pc, est))
+      if (p.uses_offload()) return true;
+    return false;
+  }();
+  if (offload_feasible) EXPECT_GE(offload, 3) << model.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, SamplingPlan,
+                         ::testing::Values("ViT", "RoBERTa", "BERT", "T5",
+                                           "GPT-2", "LLaMA-2-7B",
+                                           "LLaMA-30B"));
+
+TEST(Profiler, ProfilingCostScalesWithSamples) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const Profiler profiler(oracle, cluster);
+  const ModelSpec& model = find_model("BERT");
+  const auto result = profiler.profile_and_fit(model, 32);
+  EXPECT_DOUBLE_EQ(
+      result.profiling_cost_s,
+      Profiler::kSecondsPerSample * static_cast<double>(result.samples.size()));
+}
+
+TEST(Profiler, MeasurementsArePositive) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const Profiler profiler(oracle, cluster);
+  const auto result = profiler.profile_and_fit(find_model("T5"), 16);
+  for (const auto& s : result.samples) EXPECT_GT(s.measured_throughput, 0.0);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,157 @@
+// Property sweeps across the whole model zoo and plan space. These are the
+// "for all" invariants the analytic model, memory estimator and oracle must
+// satisfy regardless of configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/profiler.h"
+#include "plan/enumerate.h"
+
+namespace rubick {
+namespace {
+
+struct SweepCase {
+  const char* model;
+  int gpus;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const ModelSpec& m : model_zoo())
+    for (int g : {1, 2, 4, 8, 16})
+      cases.push_back({m.name.c_str(), g});
+  return cases;
+}
+
+class ZooSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  ClusterSpec cluster_;
+  MemoryEstimator estimator_;
+};
+
+// Every feasible plan yields a positive, finite, self-consistent breakdown.
+TEST_P(ZooSweep, BreakdownIsSelfConsistent) {
+  const auto [name, gpus] = GetParam();
+  const ModelSpec& model = find_model(name);
+  const int batch = model.default_global_batch;
+  PlanConstraints pc;
+  pc.num_gpus = gpus;
+  pc.max_tp = std::min(gpus, cluster_.node.gpus);
+  pc.budget = make_memory_budget(cluster_, gpus);
+  const FitParams params;
+  const PerfContext ctx = make_perf_context(cluster_, gpus, 2 * gpus);
+
+  for (const ExecutionPlan& plan :
+       enumerate_plans(model, batch, pc, estimator_)) {
+    const IterBreakdown bd =
+        iteration_breakdown(model, plan, batch, 0.01, params, ctx);
+    EXPECT_TRUE(std::isfinite(bd.t_iter)) << plan.display_name();
+    EXPECT_GT(bd.t_iter, 0.0) << plan.display_name();
+    EXPECT_GE(bd.t_fwd, 0.0);
+    EXPECT_GE(bd.t_bwd, 0.0);
+    EXPECT_GE(bd.t_comm_dp, 0.0);
+    EXPECT_GE(bd.t_opt, 0.0);
+    // The iteration cannot beat its own computation+communication span.
+    EXPECT_GE(bd.t_iter, bd.t_cc) << plan.display_name();
+    EXPECT_GE(bd.t_cc, bd.t_fwd) << plan.display_name();
+    // Throughput identity.
+    const double thr =
+        predict_throughput(model, plan, batch, 0.01, params, ctx);
+    EXPECT_NEAR(thr, batch / bd.t_iter, 1e-9) << plan.display_name();
+  }
+}
+
+// Every enumerated plan respects both memory budgets by construction.
+TEST_P(ZooSweep, EnumeratedPlansFitTheirBudget) {
+  const auto [name, gpus] = GetParam();
+  const ModelSpec& model = find_model(name);
+  const int batch = model.default_global_batch;
+  PlanConstraints pc;
+  pc.num_gpus = gpus;
+  pc.max_tp = std::min(gpus, cluster_.node.gpus);
+  pc.budget = make_memory_budget(cluster_, gpus);
+  for (const ExecutionPlan& plan :
+       enumerate_plans(model, batch, pc, estimator_)) {
+    EXPECT_LE(estimator_.gpu_bytes(model, plan, batch),
+              pc.budget.gpu_capacity_bytes)
+        << name << " " << plan.display_name();
+    EXPECT_LE(estimator_.host_bytes(model, plan),
+              pc.budget.host_capacity_bytes)
+        << name << " " << plan.display_name();
+  }
+}
+
+// The oracle's structural perturbations and noise never make a plan faster
+// than the unperturbed analytic value by more than the noise bound.
+TEST_P(ZooSweep, OracleNeverBeatsCleanAnalyticBeyondNoise) {
+  const auto [name, gpus] = GetParam();
+  const ModelSpec& model = find_model(name);
+  const int batch = model.default_global_batch;
+  const GroundTruthOracle oracle(2025);
+  const auto& truth = oracle.truth_for(model);
+  PlanConstraints pc;
+  pc.num_gpus = gpus;
+  pc.max_tp = std::min(gpus, cluster_.node.gpus);
+  pc.budget = make_memory_budget(cluster_, gpus);
+  const PerfContext ctx = make_perf_context(cluster_, gpus, 2 * gpus);
+  for (const ExecutionPlan& plan :
+       enumerate_plans(model, batch, pc, estimator_)) {
+    const double clean = predict_throughput(model, plan, batch,
+                                            truth.fwd_unit_s, truth.params,
+                                            ctx);
+    const double measured =
+        oracle.measure_throughput(model, plan, batch, ctx);
+    EXPECT_LE(measured, clean * 1.10) << name << " " << plan.display_name();
+  }
+}
+
+// More GA steps never increase activation memory.
+TEST_P(ZooSweep, GaMonotoneInActivationMemory) {
+  const auto [name, gpus] = GetParam();
+  const ModelSpec& model = find_model(name);
+  const int batch = model.default_global_batch;
+  std::uint64_t prev = std::numeric_limits<std::uint64_t>::max();
+  for (int a : {1, 2, 4}) {
+    ExecutionPlan plan = ExecutionPlan{};
+    plan.dp = gpus;
+    plan.ga_steps = a;
+    if (!plan.valid_for(model, batch)) continue;
+    const std::uint64_t bytes = estimator_.gpu_bytes(model, plan, batch);
+    EXPECT_LE(bytes, prev) << name << " a=" << a;
+    prev = bytes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = info.param.model;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name + "_g" + std::to_string(info.param.gpus);
+    });
+
+// f_overlap algebraic properties swept over a grid of (k, x, y).
+class OverlapSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(OverlapSweep, BoundedScaledAndSymmetric) {
+  const auto [k, x, y] = GetParam();
+  const double v = f_overlap(k, x, y);
+  EXPECT_GE(v, std::max(x, y) - 1e-12);
+  EXPECT_LE(v, x + y + 1e-12);
+  EXPECT_NEAR(f_overlap(k, y, x), v, 1e-12);          // symmetry
+  EXPECT_NEAR(f_overlap(k, 2 * x, 2 * y), 2 * v, 1e-9);  // 1-homogeneity
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OverlapSweep,
+    ::testing::Combine(::testing::Values(1.0, 1.5, 2.0, 4.0, 16.0),
+                       ::testing::Values(0.01, 1.0, 50.0),
+                       ::testing::Values(0.02, 3.0)));
+
+}  // namespace
+}  // namespace rubick

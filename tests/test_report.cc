@@ -1,0 +1,113 @@
+#include "sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+#include "common/units.h"
+#include "core/predictor.h"
+#include "model/model_zoo.h"
+#include "core/rubick_policy.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+SimResult small_run() {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+  TraceOptions opts;
+  opts.seed = 8;
+  opts.num_jobs = 15;
+  opts.window_s = hours(1);
+  RubickPolicy policy;
+  Simulator sim(cluster, oracle);
+  return sim.run(gen.generate(opts), policy);
+}
+
+TEST(Report, CsvHasHeaderAndOneLinePerJob) {
+  const SimResult r = small_run();
+  std::stringstream ss;
+  write_results_csv(ss, r);
+  std::string line;
+  int lines = 0;
+  std::getline(ss, line);
+  EXPECT_NE(line.find("job_id,"), std::string::npos);
+  while (std::getline(ss, line))
+    if (!line.empty()) ++lines;
+  EXPECT_EQ(lines, static_cast<int>(r.jobs.size()));
+}
+
+TEST(Report, SummaryMentionsKeyMetrics) {
+  const SimResult r = small_run();
+  std::stringstream ss;
+  print_summary(ss, "Rubick", r);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("avg JCT"), std::string::npos);
+  EXPECT_NE(out.find("makespan"), std::string::npos);
+  EXPECT_NE(out.find("utilization"), std::string::npos);
+  EXPECT_NE(out.find("Rubick"), std::string::npos);
+}
+
+TEST(Report, FileWriteFailsLoudly) {
+  const SimResult r = small_run();
+  EXPECT_THROW(write_results_csv_file("/nonexistent/dir/out.csv", r),
+               InvariantError);
+}
+
+TEST(Report, JobHistoryRecordsEveryConfiguration) {
+  const SimResult r = small_run();
+  bool any_history = false;
+  for (const auto& j : r.jobs) {
+    if (!j.finished) continue;
+    ASSERT_FALSE(j.history.empty()) << j.spec.id;
+    any_history = true;
+    // Times are non-decreasing and each record is a valid configuration.
+    double prev = -1.0;
+    for (const auto& rec : j.history) {
+      EXPECT_GE(rec.since_s, prev);
+      prev = rec.since_s;
+      EXPECT_GT(rec.gpus, 0);
+      EXPECT_GT(rec.throughput, 0.0);
+      EXPECT_EQ(rec.plan.num_gpus(), rec.gpus);
+    }
+  }
+  EXPECT_TRUE(any_history);
+}
+
+TEST(Report, PrintJobHistoryIsReadable) {
+  const SimResult r = small_run();
+  std::stringstream ss;
+  print_job_history(ss, r.jobs[0]);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("t="), std::string::npos);
+}
+
+TEST(PredictorWarm, WarmingFillsCachesWithoutChangingResults) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  PerfModelStore store =
+      PerfModelStore::profile_models(oracle, cluster, {"GPT-2"});
+  MemoryEstimator est;
+  const ModelSpec& model = find_model("GPT-2");
+  FullPlanSelector sel;
+
+  BestPlanPredictor cold(cluster, store, est);
+  BestPlanPredictor warmed(cluster, store, est);
+  warmed.warm(model, 16, sel, 64);
+  const std::size_t after_warm = warmed.cache_size();
+  EXPECT_GT(after_warm, 64u);
+
+  for (int g : {1, 4, 8, 16, 32}) {
+    EXPECT_DOUBLE_EQ(cold.envelope(model, 16, sel, g, 2 * g),
+                     warmed.envelope(model, 16, sel, g, 2 * g));
+  }
+  // The warmed predictor served those lookups from cache.
+  EXPECT_EQ(warmed.cache_size(), after_warm);
+}
+
+}  // namespace
+}  // namespace rubick

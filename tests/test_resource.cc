@@ -1,0 +1,78 @@
+#include "common/resource.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace rubick {
+namespace {
+
+TEST(ResourceVector, ZeroAndIsZero) {
+  EXPECT_TRUE(ResourceVector::zero().is_zero());
+  EXPECT_FALSE((ResourceVector{1, 0, 0}).is_zero());
+  EXPECT_FALSE((ResourceVector{0, 0, 1}).is_zero());
+}
+
+TEST(ResourceVector, AdditionAndSubtraction) {
+  ResourceVector a{2, 4, gigabytes(10)};
+  const ResourceVector b{1, 2, gigabytes(4)};
+  a += b;
+  EXPECT_EQ(a, (ResourceVector{3, 6, gigabytes(14)}));
+  a -= b;
+  EXPECT_EQ(a, (ResourceVector{2, 4, gigabytes(10)}));
+}
+
+TEST(ResourceVector, SubtractionUnderflowThrows) {
+  ResourceVector a{1, 1, 0};
+  const ResourceVector b{2, 0, 0};
+  EXPECT_THROW(a -= b, InvariantError);
+}
+
+TEST(ResourceVector, FitsWithinIsComponentWise) {
+  const ResourceVector small{1, 8, gigabytes(10)};
+  const ResourceVector big{2, 16, gigabytes(20)};
+  EXPECT_TRUE(small.fits_within(big));
+  EXPECT_FALSE(big.fits_within(small));
+  // Partial order: neither fits within the other.
+  const ResourceVector mixed{4, 4, gigabytes(5)};
+  EXPECT_FALSE(mixed.fits_within(big));
+  EXPECT_FALSE(big.fits_within(mixed));
+}
+
+TEST(ResourceVector, GetByType) {
+  const ResourceVector rv{3, 7, 100};
+  EXPECT_DOUBLE_EQ(rv.get(ResourceType::kGpu), 3.0);
+  EXPECT_DOUBLE_EQ(rv.get(ResourceType::kCpu), 7.0);
+  EXPECT_DOUBLE_EQ(rv.get(ResourceType::kMemory), 100.0);
+}
+
+TEST(ResourceVector, AddByType) {
+  ResourceVector rv;
+  rv.add(ResourceType::kGpu, 2);
+  rv.add(ResourceType::kCpu, 5);
+  rv.add(ResourceType::kMemory, 1000);
+  EXPECT_EQ(rv, (ResourceVector{2, 5, 1000}));
+  rv.add(ResourceType::kGpu, -2);
+  EXPECT_EQ(rv.gpus, 0);
+  EXPECT_THROW(rv.add(ResourceType::kGpu, -1), InvariantError);
+  EXPECT_THROW(rv.add(ResourceType::kMemory, -2000), InvariantError);
+}
+
+TEST(ResourceVector, ToStringMentionsAllComponents) {
+  const std::string s = ResourceVector{1, 2, gigabytes(3)}.to_string();
+  EXPECT_NE(s.find("gpu=1"), std::string::npos);
+  EXPECT_NE(s.find("cpu=2"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(gigabytes(2.0), 2'000'000'000ull);
+  EXPECT_DOUBLE_EQ(to_gigabytes(gigabytes(5.0)), 5.0);
+  EXPECT_DOUBLE_EQ(hours(2.0), 7200.0);
+  EXPECT_DOUBLE_EQ(to_hours(1800.0), 0.5);
+  EXPECT_DOUBLE_EQ(gb_per_s(1.0), 1e9);
+}
+
+}  // namespace
+}  // namespace rubick

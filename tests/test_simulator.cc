@@ -1,0 +1,191 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+namespace {
+
+JobSpec simple_job(int id, const std::string& model, int gpus,
+                   double submit_s, double target_samples,
+                   bool guaranteed = true) {
+  JobSpec spec;
+  spec.id = id;
+  spec.model_name = model;
+  spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+  spec.global_batch = find_model(model).default_global_batch;
+  spec.initial_plan = make_dp(gpus);
+  spec.submit_time_s = submit_s;
+  spec.target_samples = target_samples;
+  spec.guaranteed = guaranteed;
+  return spec;
+}
+
+// A trivial policy: gang-schedule every pending job onto node 0 with its
+// initial plan, FCFS, never touching running jobs.
+class FifoPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "FIFO"; }
+  std::vector<Assignment> schedule(const SchedulerInput& input) override {
+    std::vector<Assignment> out;
+    int used_gpus = 0, used_cpus = 0;
+    for (const auto& v : input.jobs)
+      if (v.running) {
+        out.push_back({v.spec->id, v.placement, v.plan});
+        for (const auto& s : v.placement.slices) {
+          used_gpus += s.gpus;
+          used_cpus += s.cpus;
+        }
+      }
+    for (const auto& v : input.jobs) {
+      if (v.running) continue;
+      const int g = v.spec->requested.gpus;
+      const int c = v.spec->requested.cpus;
+      if (used_gpus + g > input.cluster.node.gpus) continue;
+      Placement p;
+      p.add({0, g, c, 1ull << 30});
+      out.push_back({v.spec->id, p, v.spec->initial_plan});
+      used_gpus += g;
+      used_cpus += c;
+    }
+    return out;
+  }
+};
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() : oracle_(2025) {}
+
+  SimResult run(const std::vector<JobSpec>& jobs, SimOptions opts = {}) {
+    FifoPolicy policy;
+    Simulator sim(cluster_, oracle_, opts);
+    return sim.run(jobs, policy);
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+};
+
+TEST_F(SimulatorTest, SingleJobRunsToCompletion) {
+  const auto jobs = {simple_job(0, "BERT", 2, 0.0, 5000.0)};
+  const SimResult r = run(jobs);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_TRUE(r.jobs[0].finished);
+  EXPECT_GT(r.jobs[0].jct_s, 0.0);
+  EXPECT_GT(r.makespan_s, 0.0);
+}
+
+TEST_F(SimulatorTest, JctMatchesThroughputPlusOverheads) {
+  SimOptions opts;
+  opts.charge_profiling = false;
+  opts.launch_delay_s = 30.0;
+  const double target = 5000.0;
+  const auto jobs = {simple_job(0, "BERT", 2, 0.0, target)};
+  const SimResult r = run(jobs, opts);
+  const ModelSpec& m = find_model("BERT");
+  const PerfContext ctx = make_perf_context(cluster_, 2, 8);
+  const double thr = oracle_.measure_throughput(m, make_dp(2), 32, ctx);
+  EXPECT_NEAR(r.jobs[0].jct_s, 30.0 + target / thr, 1.0);
+}
+
+TEST_F(SimulatorTest, ProfilingGateDelaysFirstJobOfModelType) {
+  SimOptions with;
+  with.charge_profiling = true;
+  SimOptions without;
+  without.charge_profiling = false;
+  const std::vector<JobSpec> jobs = {simple_job(0, "BERT", 2, 0.0, 5000.0)};
+  const double gated = run(jobs, with).jobs[0].jct_s;
+  const double ungated = run(jobs, without).jobs[0].jct_s;
+  EXPECT_GT(gated, ungated + 100.0);  // ~210 s of profiling
+}
+
+TEST_F(SimulatorTest, SecondJobOfSameModelNotGated) {
+  SimOptions opts;  // profiling on
+  const std::vector<JobSpec> jobs = {
+      simple_job(0, "BERT", 2, 0.0, 5000.0),
+      simple_job(1, "BERT", 2, hours(2), 5000.0),
+  };
+  const SimResult r = run(jobs, opts);
+  // Job 1 arrives long after profiling completed: its JCT has no gate.
+  EXPECT_LT(r.jobs[1].jct_s, r.jobs[0].jct_s);
+}
+
+TEST_F(SimulatorTest, QueueingDelaysAreAccounted) {
+  SimOptions opts;
+  opts.charge_profiling = false;
+  // Two 8-GPU jobs on one node: FifoPolicy runs them sequentially.
+  const std::vector<JobSpec> jobs = {
+      simple_job(0, "BERT", 8, 0.0, 50000.0),
+      simple_job(1, "BERT", 8, 0.0, 50000.0),
+  };
+  const SimResult r = run(jobs, opts);
+  ASSERT_TRUE(r.jobs[0].finished && r.jobs[1].finished);
+  EXPECT_GT(r.jobs[1].jct_s, r.jobs[0].jct_s * 1.5);
+}
+
+TEST_F(SimulatorTest, MakespanIsLastFinish) {
+  SimOptions opts;
+  opts.charge_profiling = false;
+  const std::vector<JobSpec> jobs = {
+      simple_job(0, "BERT", 2, 0.0, 5000.0),
+      simple_job(1, "GPT-2", 2, 100.0, 2000.0),
+  };
+  const SimResult r = run(jobs, opts);
+  double last = 0.0;
+  for (const auto& j : r.jobs) last = std::max(last, j.finish_s);
+  EXPECT_DOUBLE_EQ(r.makespan_s, last);
+}
+
+TEST_F(SimulatorTest, DeterministicAcrossRuns) {
+  const std::vector<JobSpec> jobs = {
+      simple_job(0, "BERT", 2, 0.0, 5000.0),
+      simple_job(1, "GPT-2", 4, 50.0, 3000.0),
+  };
+  const SimResult a = run(jobs);
+  const SimResult b = run(jobs);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.jobs[i].jct_s, b.jobs[i].jct_s);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST_F(SimulatorTest, GpuSecondsAccounted) {
+  SimOptions opts;
+  opts.charge_profiling = false;
+  const auto jobs = {simple_job(0, "BERT", 4, 0.0, 5000.0)};
+  const SimResult r = run(jobs, opts);
+  EXPECT_GT(r.jobs[0].gpu_seconds, 0.0);
+  EXPECT_NEAR(r.jobs[0].gpu_seconds, r.jobs[0].total_active_time_s * 4, 1e-6);
+}
+
+TEST_F(SimulatorTest, BaselineThroughputIsOracleMeasurement) {
+  SimOptions opts;
+  opts.charge_profiling = false;
+  const auto jobs = {simple_job(0, "BERT", 2, 0.0, 5000.0)};
+  const SimResult r = run(jobs, opts);
+  const ModelSpec& m = find_model("BERT");
+  const PerfContext ctx = make_perf_context(cluster_, 2, 8);
+  EXPECT_DOUBLE_EQ(r.jobs[0].baseline_throughput,
+                   oracle_.measure_throughput(m, make_dp(2), 32, ctx));
+}
+
+TEST_F(SimulatorTest, RubickPolicyCompletesMixedWorkload) {
+  std::vector<JobSpec> jobs;
+  jobs.push_back(simple_job(0, "BERT", 2, 0.0, 20000.0));
+  jobs.push_back(simple_job(1, "GPT-2", 4, 60.0, 4000.0));
+  JobSpec llama = simple_job(2, "LLaMA-2-7B", 8, 120.0, 500.0);
+  llama.initial_plan = make_zero_dp(8, 2, true);
+  jobs.push_back(llama);
+
+  RubickPolicy policy;
+  Simulator sim(cluster_, oracle_);
+  const SimResult r = sim.run(jobs, policy);
+  for (const auto& j : r.jobs) EXPECT_TRUE(j.finished) << j.spec.id;
+}
+
+}  // namespace
+}  // namespace rubick

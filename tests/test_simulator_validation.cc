@@ -1,0 +1,210 @@
+// Negative-path tests: the simulator must reject invalid policy output
+// loudly (over-committed placements, plan/placement mismatches, split TP
+// groups, OOM plans, duplicate or bogus assignments) instead of silently
+// corrupting the run. Plus a randomized "chaos" policy that stresses the
+// bookkeeping with valid-but-arbitrary decisions across many rounds.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/predictor.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+JobSpec bert_job(int id, int gpus, double target = 5e4) {
+  JobSpec spec;
+  spec.id = id;
+  spec.model_name = "BERT";
+  spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+  spec.global_batch = 32;
+  spec.initial_plan = make_dp(gpus);
+  spec.target_samples = target;
+  return spec;
+}
+
+// A policy that emits whatever assignment the test injects.
+class ScriptedPolicy final : public SchedulerPolicy {
+ public:
+  explicit ScriptedPolicy(std::vector<Assignment> out) : out_(std::move(out)) {}
+  std::string name() const override { return "Scripted"; }
+  std::vector<Assignment> schedule(const SchedulerInput&) override {
+    return out_;
+  }
+
+ private:
+  std::vector<Assignment> out_;
+};
+
+Placement on_node(int node, int gpus, int cpus) {
+  Placement p;
+  p.add({node, gpus, cpus, 1ull << 30});
+  return p;
+}
+
+class SimulatorValidationTest : public ::testing::Test {
+ protected:
+  SimulatorValidationTest() : oracle_(2025) {}
+
+  void expect_rejected(std::vector<Assignment> assignments,
+                       std::vector<JobSpec> jobs) {
+    ScriptedPolicy policy(std::move(assignments));
+    SimOptions opts;
+    opts.charge_profiling = false;
+    Simulator sim(cluster_, oracle_, opts);
+    EXPECT_THROW(sim.run(jobs, policy), InvariantError);
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+};
+
+TEST_F(SimulatorValidationTest, OverCommittedNodeThrows) {
+  expect_rejected({{0, on_node(0, 9, 8), make_dp(8)}}, {bert_job(0, 8)});
+}
+
+TEST_F(SimulatorValidationTest, PlanPlacementMismatchThrows) {
+  expect_rejected({{0, on_node(0, 4, 8), make_dp(8)}}, {bert_job(0, 8)});
+}
+
+TEST_F(SimulatorValidationTest, InvalidPlanThrows) {
+  // d=3 does not divide batch 32.
+  ExecutionPlan bad;
+  bad.dp = 3;
+  expect_rejected({{0, on_node(0, 3, 8), bad}}, {bert_job(0, 8)});
+}
+
+TEST_F(SimulatorValidationTest, SplitTpGroupThrows) {
+  Placement split;
+  split.add({0, 3, 8, 0});
+  split.add({1, 5, 8, 0});
+  JobSpec job = bert_job(0, 8);
+  job.model_name = "LLaMA-2-7B";
+  job.global_batch = 16;
+  job.initial_plan = make_3d(1, 8, 1);
+  expect_rejected({{0, split, make_3d(1, 8, 1)}}, {job});
+}
+
+TEST_F(SimulatorValidationTest, OomPlanThrows) {
+  // Plain DP for LLaMA-2-7B on one GPU: 112 GB of states > 80 GB.
+  JobSpec job = bert_job(0, 1);
+  job.model_name = "LLaMA-2-7B";
+  job.global_batch = 16;
+  job.initial_plan = make_dp(1, 16);
+  expect_rejected({{0, on_node(0, 1, 4), make_dp(1, 16)}}, {job});
+}
+
+TEST_F(SimulatorValidationTest, DuplicateAssignmentThrows) {
+  expect_rejected({{0, on_node(0, 4, 8), make_dp(4)},
+                   {0, on_node(1, 4, 8), make_dp(4)}},
+                  {bert_job(0, 4)});
+}
+
+TEST_F(SimulatorValidationTest, UnknownJobThrows) {
+  expect_rejected({{99, on_node(0, 4, 8), make_dp(4)}}, {bert_job(0, 4)});
+}
+
+TEST_F(SimulatorValidationTest, BadEfficiencyThrows) {
+  Assignment a{0, on_node(0, 4, 8), make_dp(4)};
+  a.statistical_efficiency = 0.0;
+  expect_rejected({a}, {bert_job(0, 4)});
+  a.statistical_efficiency = 1.5;
+  expect_rejected({a}, {bert_job(0, 4)});
+}
+
+// ---------------------------------------------------------------------
+// Chaos stress: random but valid decisions must never corrupt bookkeeping.
+// ---------------------------------------------------------------------
+
+class ChaosPolicy final : public SchedulerPolicy {
+ public:
+  ChaosPolicy(std::uint64_t seed, const ClusterSpec& cluster,
+              const MemoryEstimator& estimator)
+      : rng_(seed), cluster_(cluster), estimator_(&estimator) {}
+
+  std::string name() const override { return "Chaos"; }
+
+  std::vector<Assignment> schedule(const SchedulerInput& input) override {
+    std::vector<Assignment> out;
+    std::vector<int> free_gpus(static_cast<std::size_t>(cluster_.num_nodes),
+                               cluster_.node.gpus);
+    std::vector<int> free_cpus(static_cast<std::size_t>(cluster_.num_nodes),
+                               cluster_.node.cpus);
+    for (const auto& v : input.jobs) {
+      // Re-place every job at a fresh random feasible plan and GPU count
+      // each round: random reconfigurations, preemptions (when no room
+      // remains) and resumes all get exercised. A policy must never leave a
+      // schedulable job pending on an otherwise idle cluster, so "drop"
+      // decisions are expressed as size changes rather than omissions.
+      const ModelSpec& model = find_model(v.spec->model_name);
+      const int draw = static_cast<int>(
+          rng_.uniform_int(1, std::min(8, v.spec->requested.gpus)));
+      // Walk down from the random draw to a size that both fits a node and
+      // admits a feasible plan, so a schedulable job is never skipped.
+      for (int want = draw; want >= 1; --want) {
+        int node = -1;
+        for (int n = 0; n < cluster_.num_nodes; ++n)
+          if (free_gpus[static_cast<std::size_t>(n)] >= want &&
+              free_cpus[static_cast<std::size_t>(n)] >= 2 * want)
+            node = n;
+        if (node < 0) continue;
+        PlanConstraints pc;
+        pc.num_gpus = want;
+        pc.max_tp = want;
+        pc.budget = make_memory_budget(cluster_, want);
+        const auto plans =
+            enumerate_plans(model, v.spec->global_batch, pc, *estimator_);
+        if (plans.empty()) continue;
+        const auto& plan = plans[static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(plans.size()) - 1))];
+        Placement p;
+        p.add({node, want, 2 * want,
+               estimator_->host_bytes(model, plan)});
+        free_gpus[static_cast<std::size_t>(node)] -= want;
+        free_cpus[static_cast<std::size_t>(node)] -= 2 * want;
+        out.push_back(Assignment{v.spec->id, p, plan});
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  ClusterSpec cluster_;
+  const MemoryEstimator* estimator_;
+};
+
+TEST(SimulatorChaos, RandomValidPoliciesNeverCorruptState) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+  MemoryEstimator estimator;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    TraceOptions opts;
+    opts.seed = 20 + seed;
+    opts.num_jobs = 25;
+    opts.window_s = hours(1);
+    // Chaos places at most 8 GPUs on one node; keep every job single-node
+    // schedulable so the policy can always make progress.
+    opts.large_model_fraction = 0.0;
+    const auto jobs = gen.generate(opts);
+    ChaosPolicy policy(seed, cluster, estimator);
+    SimOptions sim_opts;
+    sim_opts.max_sim_time_s = 30.0 * 24 * 3600;
+    Simulator sim(cluster, oracle, sim_opts);
+    const SimResult r = sim.run(jobs, policy);  // must not throw
+    int finished = 0;
+    for (const auto& j : r.jobs) finished += j.finished ? 1 : 0;
+    EXPECT_EQ(finished, static_cast<int>(jobs.size())) << "seed " << seed;
+    EXPECT_LE(r.timeline.average_utilization(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rubick

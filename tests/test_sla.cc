@@ -1,0 +1,127 @@
+// Unit tests of the performance-guarantee SLA machinery in isolation.
+#include "core/sla.h"
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+namespace {
+
+class SlaTest : public ::testing::Test {
+ protected:
+  SlaTest()
+      : oracle_(2025),
+        store_(PerfModelStore::profile_models(
+            oracle_, cluster_, {"BERT", "GPT-2", "T5", "LLaMA-2-7B"})),
+        predictor_(cluster_, store_, estimator_),
+        sla_(predictor_, store_, cluster_) {}
+
+  JobSpec spec_for(const std::string& model, int gpus,
+                   const ExecutionPlan& plan, bool guaranteed = true) {
+    static int next_id = 0;
+    JobSpec spec;
+    spec.id = next_id++;
+    spec.model_name = model;
+    spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+    spec.global_batch = find_model(model).default_global_batch;
+    spec.initial_plan = plan;
+    spec.guaranteed = guaranteed;
+    return spec;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  MemoryEstimator estimator_;
+  PerfModelStore store_;
+  BestPlanPredictor predictor_;
+  SlaCalculator sla_;
+  FullPlanSelector full_;
+};
+
+TEST_F(SlaTest, BaselineMatchesFittedPrediction) {
+  const JobSpec spec = spec_for("BERT", 4, make_dp(4));
+  const ModelSpec& model = find_model("BERT");
+  const PerfContext ctx = make_perf_context(cluster_, 4, 16);
+  EXPECT_DOUBLE_EQ(sla_.baseline_throughput(spec),
+                   store_.get("BERT").predict_throughput(model, make_dp(4),
+                                                         32, ctx));
+}
+
+TEST_F(SlaTest, BaselineIsPositiveFloorForInvalidPlan) {
+  JobSpec spec = spec_for("BERT", 4, make_dp(4));
+  spec.initial_plan.dp = 3;  // 32 % 3 != 0: invalid
+  EXPECT_GT(sla_.baseline_throughput(spec), 0.0);
+  EXPECT_LT(sla_.baseline_throughput(spec), 1e-6);
+}
+
+TEST_F(SlaTest, MinResNeverExceedsRequest) {
+  for (const char* name : {"BERT", "GPT-2", "T5"}) {
+    const ModelSpec& m = find_model(name);
+    for (int g : {1, 2, 4, 8}) {
+      ExecutionPlan plan = make_dp(g);
+      if (!plan.valid_for(m, m.default_global_batch)) continue;
+      const JobSpec spec = spec_for(name, g, plan);
+      const ResourceVector mr = sla_.min_res(spec, full_);
+      EXPECT_LE(mr.gpus, spec.requested.gpus) << name << " g=" << g;
+      EXPECT_LE(mr.cpus, spec.requested.cpus) << name << " g=" << g;
+      EXPECT_GE(mr.gpus, 1);
+    }
+  }
+}
+
+TEST_F(SlaTest, MinResAchievesBaseline) {
+  const JobSpec spec = spec_for("GPT-2", 8, make_zero_offload(8, 4, true));
+  const ResourceVector mr = sla_.min_res(spec, full_);
+  const ModelSpec& model = find_model("GPT-2");
+  const auto best = predictor_.best_canonical(model, 16, full_, mr.gpus,
+                                              std::max(1, mr.cpus));
+  EXPECT_GE(best.throughput, sla_.baseline_throughput(spec) * 0.999);
+}
+
+TEST_F(SlaTest, BadInitialPlanShrinksMinRes) {
+  // ZeRO-Offload on 8 GPUs is far from optimal; a much smaller allocation
+  // with a better plan matches its performance.
+  const JobSpec bad = spec_for("GPT-2", 8, make_zero_offload(8, 4, true));
+  const JobSpec good = spec_for("GPT-2", 8, make_zero_dp(8));
+  EXPECT_LT(sla_.min_res(bad, full_).gpus, 8);
+  EXPECT_EQ(sla_.min_res(good, full_).gpus, 8);  // already the best plan
+}
+
+TEST_F(SlaTest, BestEffortMinResIsZero) {
+  const JobSpec spec = spec_for("BERT", 4, make_dp(4), /*guaranteed=*/false);
+  EXPECT_TRUE(sla_.min_res(spec, full_).is_zero());
+}
+
+TEST_F(SlaTest, FixedResourcesSkipTheSearch) {
+  const JobSpec spec = spec_for("GPT-2", 8, make_zero_offload(8, 4, true));
+  const ResourceVector mr =
+      sla_.min_res(spec, full_, /*fixed_resources=*/true);
+  EXPECT_EQ(mr.gpus, 8);
+  EXPECT_EQ(mr.cpus, 32);
+}
+
+TEST_F(SlaTest, RestrictedSelectorWeakensCompression) {
+  // Rubick-R can only scale the initial family; with a bad offload plan the
+  // scaled family stays slow, so minRes cannot shrink as far as with the
+  // full plan space.
+  const JobSpec spec = spec_for("GPT-2", 8, make_zero_offload(8, 4, true));
+  const ScaledDpSelector scaled(spec.initial_plan);
+  const int full_min = sla_.min_res(spec, full_).gpus;
+  SlaCalculator fresh(predictor_, store_, cluster_);
+  const int scaled_min = fresh.min_res(spec, scaled).gpus;
+  EXPECT_LE(full_min, scaled_min);
+}
+
+TEST_F(SlaTest, CachedAndClearable) {
+  const JobSpec spec = spec_for("BERT", 4, make_dp(4));
+  const ResourceVector a = sla_.min_res(spec, full_);
+  const ResourceVector b = sla_.min_res(spec, full_);
+  EXPECT_EQ(a, b);
+  sla_.clear();
+  EXPECT_EQ(sla_.min_res(spec, full_), a);  // recomputed identically
+}
+
+}  // namespace
+}  // namespace rubick

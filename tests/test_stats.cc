@@ -1,0 +1,90 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace rubick {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), 1.5811, 1e-3);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, PercentileSingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.99), 42.0);
+}
+
+TEST(Stats, PercentileIgnoresInputOrder) {
+  const std::vector<double> a = {5, 1, 9, 3};
+  const std::vector<double> b = {1, 3, 5, 9};
+  EXPECT_DOUBLE_EQ(percentile(a, 0.5), percentile(b, 0.5));
+}
+
+TEST(Stats, RmsleZeroForPerfectPrediction) {
+  const std::vector<double> xs = {1.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(rmsle(xs, xs), 0.0);
+}
+
+TEST(Stats, RmsleScaleInvariantRatio) {
+  // A uniform 2x over-prediction has RMSLE log(2) everywhere.
+  const std::vector<double> actual = {1.0, 5.0, 20.0};
+  const std::vector<double> pred = {2.0, 10.0, 40.0};
+  EXPECT_NEAR(rmsle(pred, actual), std::log(2.0), 1e-12);
+}
+
+TEST(Stats, RmsleRejectsNonPositive) {
+  const std::vector<double> ok = {1.0};
+  const std::vector<double> bad = {0.0};
+  EXPECT_THROW(rmsle(bad, ok), InvariantError);
+  EXPECT_THROW(rmsle(ok, bad), InvariantError);
+}
+
+TEST(Stats, MapeMatchesHandComputation) {
+  const std::vector<double> actual = {10.0, 20.0};
+  const std::vector<double> pred = {11.0, 18.0};
+  EXPECT_NEAR(mape(pred, actual), (0.1 + 0.1) / 2.0, 1e-12);
+}
+
+TEST(Stats, SummaryOfEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs = {4, 1, 3, 2};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);
+}
+
+TEST(Stats, LengthMismatchThrows) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0};
+  EXPECT_THROW(rmsle(a, b), InvariantError);
+  EXPECT_THROW(mape(a, b), InvariantError);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,105 @@
+#include "telemetry/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+TimelineSample sample(double t, int busy, int total, int running = 0,
+                      int pending = 0) {
+  return TimelineSample{t, busy, total, running, pending};
+}
+
+TEST(Timeline, EmptyTimelineReportsZero) {
+  const ClusterTimeline tl;
+  EXPECT_TRUE(tl.empty());
+  EXPECT_DOUBLE_EQ(tl.average_utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(tl.average_queue_length(), 0.0);
+}
+
+TEST(Timeline, TimeWeightedAverageUtilization) {
+  ClusterTimeline tl;
+  tl.record(sample(0, 32, 64));   // 50% for 10 s
+  tl.record(sample(10, 64, 64));  // 100% for 30 s
+  tl.record(sample(40, 0, 64));   // terminal sample (no weight)
+  EXPECT_NEAR(tl.average_utilization(), (0.5 * 10 + 1.0 * 30) / 40.0, 1e-12);
+}
+
+TEST(Timeline, AverageQueueLength) {
+  ClusterTimeline tl;
+  tl.record(sample(0, 0, 64, 0, 4));
+  tl.record(sample(10, 0, 64, 0, 0));
+  tl.record(sample(20, 0, 64, 0, 0));
+  EXPECT_NEAR(tl.average_queue_length(), 2.0, 1e-12);
+}
+
+TEST(Timeline, FullyBusyFraction) {
+  ClusterTimeline tl;
+  tl.record(sample(0, 64, 64));
+  tl.record(sample(30, 63, 64));
+  tl.record(sample(40, 0, 64));
+  EXPECT_NEAR(tl.fully_busy_fraction(), 0.75, 1e-12);
+}
+
+TEST(Timeline, SameTimestampReplaces) {
+  ClusterTimeline tl;
+  tl.record(sample(0, 10, 64));
+  tl.record(sample(0, 20, 64));
+  ASSERT_EQ(tl.size(), 1u);
+  EXPECT_EQ(tl.samples()[0].busy_gpus, 20);
+}
+
+TEST(Timeline, OutOfOrderThrows) {
+  ClusterTimeline tl;
+  tl.record(sample(10, 0, 64));
+  EXPECT_THROW(tl.record(sample(5, 0, 64)), InvariantError);
+}
+
+TEST(Timeline, InvalidSampleThrows) {
+  ClusterTimeline tl;
+  EXPECT_THROW(tl.record(sample(0, 65, 64)), InvariantError);
+  EXPECT_THROW(tl.record(sample(0, -1, 64)), InvariantError);
+  EXPECT_THROW(tl.record(sample(0, 0, 0)), InvariantError);
+}
+
+TEST(Timeline, BucketsCoverSpan) {
+  ClusterTimeline tl;
+  tl.record(sample(0, 0, 64));    // 0% for first half
+  tl.record(sample(50, 64, 64));  // 100% for second half
+  tl.record(sample(100, 0, 64));
+  const auto buckets = tl.utilization_buckets(2);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_NEAR(buckets[0], 0.0, 1e-9);
+  EXPECT_NEAR(buckets[1], 1.0, 1e-9);
+}
+
+TEST(Timeline, SparklineMapsLevels) {
+  EXPECT_EQ(ClusterTimeline::sparkline({0.0, 1.0}), " #");
+  EXPECT_EQ(ClusterTimeline::sparkline({0.5}).size(), 1u);
+}
+
+TEST(Timeline, SimulatorRecordsTimeline) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+  TraceOptions opts;
+  opts.seed = 3;
+  opts.num_jobs = 30;
+  opts.window_s = hours(2);
+  const auto jobs = gen.generate(opts);
+  RubickPolicy policy;
+  Simulator sim(cluster, oracle);
+  const SimResult r = sim.run(jobs, policy);
+  EXPECT_GE(r.timeline.size(), 10u);
+  EXPECT_GT(r.timeline.average_utilization(), 0.0);
+  EXPECT_LE(r.timeline.average_utilization(), 1.0);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,153 @@
+#include "trace/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "plan/enumerate.h"
+
+namespace rubick {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : oracle_(2025), gen_(cluster_, oracle_) {}
+
+  TraceOptions small_opts(TraceVariant variant = TraceVariant::kBase) {
+    TraceOptions o;
+    o.seed = 5;
+    o.num_jobs = 60;
+    o.window_s = hours(2);
+    o.variant = variant;
+    return o;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  TraceGenerator gen_;
+};
+
+TEST_F(TraceTest, DeterministicForSeed) {
+  const auto a = gen_.generate(small_opts());
+  const auto b = gen_.generate(small_opts());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].model_name, b[i].model_name);
+    EXPECT_EQ(a[i].requested, b[i].requested);
+    EXPECT_EQ(a[i].initial_plan, b[i].initial_plan);
+    EXPECT_DOUBLE_EQ(a[i].submit_time_s, b[i].submit_time_s);
+  }
+}
+
+TEST_F(TraceTest, SortedBySubmitTimeWithSequentialIds) {
+  const auto jobs = gen_.generate(small_opts());
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_LE(jobs[i - 1].submit_time_s, jobs[i].submit_time_s);
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+  }
+}
+
+TEST_F(TraceTest, InitialPlansAreFeasible) {
+  MemoryEstimator est;
+  for (const auto& j : gen_.generate(small_opts())) {
+    const ModelSpec& m = find_model(j.model_name);
+    EXPECT_TRUE(j.initial_plan.valid_for(m, j.global_batch)) << j.to_string();
+    EXPECT_EQ(j.initial_plan.num_gpus(), j.requested.gpus) << j.to_string();
+    const MemoryBudget budget =
+        make_memory_budget(cluster_, j.requested.gpus);
+    EXPECT_TRUE(est.fits(m, j.initial_plan, j.global_batch, budget))
+        << j.to_string();
+  }
+}
+
+TEST_F(TraceTest, RequestsWithinClusterBounds) {
+  for (const auto& j : gen_.generate(small_opts())) {
+    EXPECT_GE(j.requested.gpus, 1);
+    EXPECT_LE(j.requested.gpus, cluster_.total_gpus());
+    EXPECT_GT(j.target_samples, 0.0);
+  }
+}
+
+TEST_F(TraceTest, BaseVariantIsSingleTenantGuaranteed) {
+  for (const auto& j : gen_.generate(small_opts()))
+    EXPECT_TRUE(j.guaranteed);
+}
+
+TEST_F(TraceTest, MultiTenantVariantSplitsTenants) {
+  const auto jobs = gen_.generate(small_opts(TraceVariant::kMultiTenant));
+  int tenant_a = 0, tenant_b = 0;
+  for (const auto& j : jobs) {
+    if (j.tenant == "tenant-a") {
+      EXPECT_TRUE(j.guaranteed);
+      ++tenant_a;
+    } else {
+      EXPECT_EQ(j.tenant, "tenant-b");
+      EXPECT_FALSE(j.guaranteed);
+      ++tenant_b;
+    }
+  }
+  EXPECT_GT(tenant_a, 10);
+  EXPECT_GT(tenant_b, 10);
+}
+
+TEST_F(TraceTest, BestPlanVariantNeverWorseOnAverage) {
+  // BP replaces random plans with measured-best plans: mean throughput of
+  // initial configurations must not decrease.
+  TraceOptions base = small_opts();
+  TraceOptions bp = small_opts(TraceVariant::kBestPlan);
+  const auto random_jobs = gen_.generate(base);
+  const auto best_jobs = gen_.generate(bp);
+  ASSERT_EQ(random_jobs.size(), best_jobs.size());
+  // Same seed -> same model/GPU draw sequence, so ratios are comparable
+  // job by job. The BP plan must win (or tie) on average.
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < random_jobs.size(); ++i) {
+    ASSERT_EQ(random_jobs[i].model_name, best_jobs[i].model_name);
+    ASSERT_EQ(random_jobs[i].requested.gpus, best_jobs[i].requested.gpus);
+    const ModelSpec& m = find_model(random_jobs[i].model_name);
+    const PerfContext ctx = make_perf_context(
+        cluster_, random_jobs[i].requested.gpus, random_jobs[i].requested.cpus);
+    const double best = oracle_.measure_throughput(
+        m, best_jobs[i].initial_plan, best_jobs[i].global_batch, ctx);
+    const double random = oracle_.measure_throughput(
+        m, random_jobs[i].initial_plan, random_jobs[i].global_batch, ctx);
+    ratio_sum += random / best;
+  }
+  EXPECT_LE(ratio_sum / static_cast<double>(random_jobs.size()), 1.0 + 1e-9);
+}
+
+TEST_F(TraceTest, LoadScaleChangesJobCount) {
+  TraceOptions o = small_opts();
+  o.load_scale = 2.0;
+  EXPECT_EQ(gen_.generate(o).size(), 120u);
+  o.load_scale = 0.5;
+  EXPECT_EQ(gen_.generate(o).size(), 30u);
+}
+
+TEST_F(TraceTest, LargeModelFractionControlsMix) {
+  TraceOptions none = small_opts();
+  none.num_jobs = 200;
+  none.large_model_fraction = 0.0;
+  for (const auto& j : gen_.generate(none))
+    EXPECT_FALSE(find_model(j.model_name).is_large_model());
+
+  TraceOptions heavy = none;
+  heavy.large_model_fraction = 0.9;
+  int large = 0;
+  const auto jobs = gen_.generate(heavy);
+  for (const auto& j : jobs)
+    if (find_model(j.model_name).is_large_model()) ++large;
+  EXPECT_GT(large, static_cast<int>(jobs.size()) / 2);
+}
+
+TEST_F(TraceTest, MinFeasibleGpusMatchesEstimator) {
+  EXPECT_EQ(min_feasible_gpus(find_model("GPT-2"), 16, cluster_), 1);
+  EXPECT_EQ(min_feasible_gpus(find_model("LLaMA-2-7B"), 16, cluster_), 1);
+  EXPECT_GE(min_feasible_gpus(find_model("LLaMA-30B"), 16, cluster_), 12);
+}
+
+}  // namespace
+}  // namespace rubick

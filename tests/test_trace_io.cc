@@ -1,0 +1,117 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "perf/oracle.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+std::vector<JobSpec> sample_trace(int n = 40) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+  TraceOptions opts;
+  opts.seed = 5;
+  opts.num_jobs = n;
+  opts.window_s = hours(2);
+  opts.variant = TraceVariant::kMultiTenant;  // exercises tenants + BE flags
+  return gen.generate(opts);
+}
+
+TEST(TraceIo, RoundTripIsLossless) {
+  const auto jobs = sample_trace();
+  std::stringstream ss;
+  write_trace_csv(ss, jobs);
+  const auto loaded = read_trace_csv(ss);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, jobs[i].id);
+    EXPECT_EQ(loaded[i].model_name, jobs[i].model_name);
+    EXPECT_DOUBLE_EQ(loaded[i].submit_time_s, jobs[i].submit_time_s);
+    EXPECT_EQ(loaded[i].requested, jobs[i].requested);
+    EXPECT_EQ(loaded[i].global_batch, jobs[i].global_batch);
+    EXPECT_DOUBLE_EQ(loaded[i].target_samples, jobs[i].target_samples);
+    EXPECT_EQ(loaded[i].tenant, jobs[i].tenant);
+    EXPECT_EQ(loaded[i].guaranteed, jobs[i].guaranteed);
+    EXPECT_DOUBLE_EQ(loaded[i].grad_noise_rel, jobs[i].grad_noise_rel);
+    EXPECT_EQ(loaded[i].initial_plan, jobs[i].initial_plan);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_trace_csv(ss, {});
+  EXPECT_TRUE(read_trace_csv(ss).empty());
+}
+
+TEST(TraceIo, MissingHeaderThrows) {
+  std::stringstream ss("not,a,header\n");
+  EXPECT_THROW(read_trace_csv(ss), InvariantError);
+}
+
+TEST(TraceIo, EmptyFileThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(read_trace_csv(ss), InvariantError);
+}
+
+TEST(TraceIo, WrongColumnCountThrows) {
+  std::stringstream out;
+  write_trace_csv(out, {});
+  std::stringstream ss(out.str() + "1,BERT,0\n");
+  EXPECT_THROW(read_trace_csv(ss), InvariantError);
+}
+
+TEST(TraceIo, UnknownModelThrows) {
+  const auto jobs = sample_trace(1);
+  std::stringstream out;
+  write_trace_csv(out, jobs);
+  std::string text = out.str();
+  const auto pos = text.find(jobs[0].model_name);
+  text.replace(pos, jobs[0].model_name.size(), "AlexNet");
+  std::stringstream ss(text);
+  EXPECT_THROW(read_trace_csv(ss), InvariantError);
+}
+
+TEST(TraceIo, InvalidPlanThrows) {
+  auto jobs = sample_trace(1);
+  std::stringstream out;
+  write_trace_csv(out, jobs);
+  // Corrupt the dp field so dp*tp*pp no longer splits the batch evenly.
+  std::string text = out.str();
+  std::stringstream ss(text);
+  std::string header, row;
+  std::getline(ss, header);
+  std::getline(ss, row);
+  auto fields_end = row.rfind(
+      ',' + std::to_string(jobs[0].initial_plan.grad_ckpt ? 1 : 0));
+  (void)fields_end;
+  // Simply rewrite dp to a value that cannot divide any batch we generate.
+  jobs[0].initial_plan.dp = 7;
+  jobs[0].initial_plan.tp = 1;
+  jobs[0].initial_plan.pp = 1;
+  std::stringstream bad;
+  write_trace_csv(bad, jobs);
+  EXPECT_THROW(read_trace_csv(bad), InvariantError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto jobs = sample_trace(10);
+  const std::string path = "/tmp/rubick_trace_io_test.csv";
+  write_trace_csv_file(path, jobs);
+  const auto loaded = read_trace_csv_file(path);
+  EXPECT_EQ(loaded.size(), jobs.size());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_csv_file("/nonexistent/rubick.csv"),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,124 @@
+// ZeRO-3 extension tests: the stage partitions all model states across DP
+// ranks at the cost of per-pass parameter all-gathers.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "plan/enumerate.h"
+
+namespace rubick {
+namespace {
+
+const MemoryBudget kA800{gigabytes(80), gigabytes(1600)};
+
+TEST(Zero3, DisplayAndConstruction) {
+  const ExecutionPlan p = make_zero3(8, 2);
+  EXPECT_EQ(p.zero, ZeroStage::kZero3);
+  EXPECT_EQ(p.display_name(), "ZeRO-3+GA");
+  EXPECT_TRUE(p.structurally_valid());
+}
+
+TEST(Zero3, RequiresPureDp) {
+  ExecutionPlan p = make_zero3(4);
+  p.tp = 2;
+  p.dp = 2;
+  EXPECT_FALSE(p.structurally_valid());
+}
+
+TEST(Zero3, PartitionsAllStates) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  // ZeRO-2 keeps full fp16 weights + gradient working set on every rank;
+  // ZeRO-3 slices those too, so it uses far less GPU memory at the same d.
+  const std::uint64_t z2 = est.gpu_bytes(m, make_zero_dp(8, 2), 16);
+  const std::uint64_t z3 = est.gpu_bytes(m, make_zero3(8, 2), 16);
+  // Activations and framework overhead are shared; the state portion drops
+  // from 2P+2P+12P/d to ~16P/d, roughly 28 GB for 7B at d=8.
+  EXPECT_LT(z3 + gigabytes(25), z2);
+}
+
+TEST(Zero3, EnablesLargeModelsOnPureDp) {
+  // LLaMA-2-7B cannot run ZeRO-2 on a single 80 GB GPU; ZeRO-3 at d=8 fits
+  // comfortably (16P/d = 14 GB of states).
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("LLaMA-2-7B");
+  EXPECT_TRUE(est.fits(m, make_zero3(8, 2), 16, kA800));
+}
+
+TEST(Zero3, MemoryShrinksWithDpSize) {
+  MemoryEstimator est;
+  const ModelSpec& m = find_model("GPT-2");
+  EXPECT_GT(est.gpu_bytes(m, make_zero3(2, 2), 16),
+            est.gpu_bytes(m, make_zero3(8, 2), 16));
+}
+
+TEST(Zero3, AllGatherVolumeMatchesFormula) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams params;
+  PerfContext ctx;
+  ctx.cpus = 16;
+  const auto bd =
+      iteration_breakdown(m, make_zero3(8), 16, 0.01, params, ctx);
+  // a=1: 2 all-gathers of 2P bytes with ring factor (d-1)/d.
+  const double expect = 2.0 * 2.0 * m.param_count * 7.0 / 8.0;
+  EXPECT_NEAR(bd.v_ag_bytes / expect, 1.0, 1e-9);
+  EXPECT_GT(bd.t_comm_ag, 0.0);
+}
+
+TEST(Zero3, SlowerThanZero2AtSameSizeFasterThanNothingForBigModels) {
+  // The all-gather traffic makes ZeRO-3 no faster than ZeRO-2 when both
+  // fit; its value is purely memory reach.
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams params;
+  PerfContext ctx;
+  ctx.cpus = 16;
+  const double z2 = predict_throughput(m, make_zero_dp(8), 16, 0.01, params, ctx);
+  const double z3 = predict_throughput(m, make_zero3(8), 16, 0.01, params, ctx);
+  EXPECT_LT(z3, z2);
+}
+
+TEST(Zero3, NoAllGatherAtDpOne) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams params;
+  PerfContext ctx;
+  ctx.cpus = 4;
+  const auto bd = iteration_breakdown(m, make_zero3(1), 16, 0.01, params, ctx);
+  EXPECT_DOUBLE_EQ(bd.v_ag_bytes, 0.0);
+}
+
+TEST(Zero3, GaMultipliesAllGathers) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams params;
+  PerfContext ctx;
+  ctx.cpus = 16;
+  const auto a1 = iteration_breakdown(m, make_zero3(4, 1), 16, 0.01, params, ctx);
+  const auto a2 = iteration_breakdown(m, make_zero3(4, 2), 16, 0.01, params, ctx);
+  EXPECT_NEAR(a2.v_ag_bytes / a1.v_ag_bytes, 2.0, 1e-9);
+}
+
+TEST(Zero3, AppearsInEnumeration) {
+  MemoryEstimator est;
+  PlanConstraints pc;
+  pc.num_gpus = 8;
+  pc.max_tp = 8;
+  pc.budget = kA800;
+  bool found = false;
+  for (const auto& p :
+       enumerate_plans(find_model("LLaMA-2-7B"), 16, pc, est))
+    if (p.zero == ZeroStage::kZero3) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Zero3, OptimizerPartitionedLikeZero2) {
+  const ModelSpec& m = find_model("GPT-2");
+  const FitParams params;
+  PerfContext ctx;
+  ctx.cpus = 16;
+  const auto z2 = iteration_breakdown(m, make_zero_dp(8), 16, 0.01, params, ctx);
+  const auto z3 = iteration_breakdown(m, make_zero3(8), 16, 0.01, params, ctx);
+  EXPECT_DOUBLE_EQ(z2.t_opt, z3.t_opt);
+}
+
+}  // namespace
+}  // namespace rubick

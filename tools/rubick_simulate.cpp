@@ -1,0 +1,128 @@
+// rubick_simulate — run any (trace, policy) combination on the simulated
+// 64-GPU cluster from the command line.
+//
+//   rubick_simulate --policy=rubick --jobs=406 --window-hours=12 \
+//                   --variant=base --seed=1 [--csv]
+//
+// Policies: rubick, rubick-e, rubick-r, rubick-n, sia, synergy, antman,
+// equal-share. Variants: base, bp, mt. `--csv` prints one machine-readable
+// line per job in addition to the summary.
+#include <iostream>
+#include <memory>
+
+#include "baselines/antman.h"
+#include "baselines/equal_share.h"
+#include "baselines/sia.h"
+#include "baselines/synergy.h"
+#include "baselines/tiresias.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+#include "trace/trace_io.h"
+
+using namespace rubick;
+
+namespace {
+
+std::unique_ptr<SchedulerPolicy> make_policy(const std::string& name,
+                                             bool multi_tenant,
+                                             double gate_threshold,
+                                             bool opportunistic) {
+  std::map<std::string, int> quota;
+  if (multi_tenant) quota["tenant-a"] = 64;
+
+  if (name == "rubick" || name == "rubick-e" || name == "rubick-r" ||
+      name == "rubick-n") {
+    RubickConfig config;
+    if (name == "rubick-e") config = RubickPolicy::plans_only();
+    if (name == "rubick-r") config = RubickPolicy::resources_only();
+    if (name == "rubick-n") config = RubickPolicy::neither();
+    config.tenant_quota_gpus = quota;
+    config.gate_threshold = gate_threshold;
+    config.opportunistic_admission = opportunistic;
+    return std::make_unique<RubickPolicy>(config);
+  }
+  if (name == "sia") return std::make_unique<SiaPolicy>();
+  if (name == "tiresias") return std::make_unique<TiresiasPolicy>();
+  if (name == "synergy") return std::make_unique<SynergyPolicy>();
+  if (name == "antman") return std::make_unique<AntManPolicy>(quota);
+  if (name == "equal-share") return std::make_unique<EqualSharePolicy>();
+  RUBICK_CHECK_MSG(false, "unknown policy '" << name
+                                             << "'; try rubick, rubick-e, "
+                                                "rubick-r, rubick-n, sia, "
+                                                "synergy, antman, tiresias, equal-share");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string policy_name = flags.get_string("policy", "rubick");
+  const int num_jobs = flags.get_int("jobs", 406);
+  const double window_h = flags.get_double("window-hours", 12.0);
+  const std::string variant_name = flags.get_string("variant", "base");
+  const std::uint64_t seed = flags.get_u64("seed", 1);
+  const std::uint64_t oracle_seed = flags.get_u64("oracle-seed", 2025);
+  const double load = flags.get_double("load", 1.0);
+  const double large_frac = flags.get_double("large-fraction", 0.15);
+  const bool csv = flags.get_bool("csv", false);
+  const bool refinement = flags.get_bool("online-refinement", true);
+  const bool size_penalty = flags.get_bool("size-dependent-penalty", false);
+  const double delta = flags.get_double("reconfig-penalty", 78.0);
+  const std::string trace_in = flags.get_string("trace-in", "");
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const int history_id = flags.get_int("job-history", -1);
+  const double gate = flags.get_double("gate-threshold", 0.97);
+  const bool opportunistic = flags.get_bool("opportunistic-admission", true);
+  flags.finish();
+
+  TraceVariant variant = TraceVariant::kBase;
+  if (variant_name == "bp") variant = TraceVariant::kBestPlan;
+  else if (variant_name == "mt") variant = TraceVariant::kMultiTenant;
+  else RUBICK_CHECK_MSG(variant_name == "base",
+                        "unknown variant '" << variant_name << "'");
+
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(oracle_seed);
+  const TraceGenerator gen(cluster, oracle);
+  TraceOptions opts;
+  opts.seed = seed;
+  opts.num_jobs = num_jobs;
+  opts.window_s = hours(window_h);
+  opts.variant = variant;
+  opts.load_scale = load;
+  opts.large_model_fraction = large_frac;
+  const std::vector<JobSpec> jobs =
+      trace_in.empty() ? gen.generate(opts) : read_trace_csv_file(trace_in);
+  if (!trace_out.empty()) write_trace_csv_file(trace_out, jobs);
+
+  SimOptions sim_opts;
+  sim_opts.online_refinement = refinement;
+  sim_opts.size_dependent_reconfig_cost = size_penalty;
+  sim_opts.reconfig_penalty_s = delta;
+  Simulator sim(cluster, oracle, sim_opts);
+  auto policy = make_policy(policy_name,
+                            variant == TraceVariant::kMultiTenant, gate,
+                            opportunistic);
+  const SimResult r = sim.run(jobs, *policy);
+
+  std::cout << "trace=" << variant_name << " jobs=" << jobs.size()
+            << " seed=" << seed << "\n";
+  print_summary(std::cout, policy->name(), r);
+
+  if (csv) {
+    std::cout << "\n";
+    write_results_csv(std::cout, r);
+  }
+  if (history_id >= 0) {
+    std::cout << "\n";
+    for (const auto& j : r.jobs)
+      if (j.spec.id == history_id) print_job_history(std::cout, j);
+  }
+  return 0;
+}

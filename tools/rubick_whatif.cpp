@@ -1,0 +1,88 @@
+// rubick_whatif — the execution planner as a standalone tool: given a model
+// and a resource allocation, print every feasible execution plan ranked by
+// the fitted performance model, with memory footprints and the oracle's
+// measured throughput for comparison.
+//
+//   rubick_whatif --model=LLaMA-2-7B --gpus=8 --cpus=32 [--batch=16]
+//                 [--gpus-per-node=8] [--top=15]
+#include <algorithm>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/perf_store.h"
+
+using namespace rubick;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string model_name = flags.get_string("model", "GPT-2");
+  const int gpus = flags.get_int("gpus", 8);
+  const int cpus = flags.get_int("cpus", 4 * gpus);
+  const int gpus_per_node = flags.get_int("gpus-per-node", 8);
+  const int top = flags.get_int("top", 15);
+  const std::uint64_t oracle_seed = flags.get_u64("oracle-seed", 2025);
+  const ModelSpec& model = find_model(model_name);
+  const int batch = flags.get_int("batch", model.default_global_batch);
+  flags.finish();
+
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(oracle_seed);
+  const Profiler profiler(oracle, cluster);
+  PerfModelStore store;
+  const auto fit = profiler.profile_and_fit(model, batch);
+  store.add(fit.model);
+
+  MemoryEstimator estimator;
+  BestPlanPredictor predictor(cluster, store, estimator);
+  FullPlanSelector all_plans;
+
+  // Build a canonical placement with the requested per-node shape.
+  Placement placement;
+  int remaining_g = gpus, remaining_c = cpus, node = 0;
+  while (remaining_g > 0) {
+    const int g = std::min(remaining_g, gpus_per_node);
+    const int c = std::min(remaining_c, cluster.node.cpus);
+    placement.add({node++, g, c, 0});
+    remaining_g -= g;
+    remaining_c -= c;
+  }
+
+  auto ranked =
+      predictor.ranked_for_placement(model, batch, all_plans, placement);
+  RUBICK_CHECK_MSG(!ranked.empty(), "no feasible plan for "
+                                        << model.to_string() << " on " << gpus
+                                        << " GPUs");
+
+  std::cout << "Feasible execution plans for " << model.to_string() << " on "
+            << gpus << " GPUs / " << cpus << " CPUs (" << placement.num_nodes()
+            << " node(s), b=" << batch << ")\n"
+            << "fitted from " << fit.samples.size()
+            << " profiled runs, RMSLE " << TextTable::fmt(fit.model.fit_error(), 3)
+            << "\n\n";
+
+  TextTable table({"#", "plan", "predicted/s", "measured/s", "GPU mem (GB)",
+                   "host mem (GB)"});
+  const PerfContext ctx = make_perf_context(cluster, placement);
+  int rank = 1;
+  for (const auto& pred : ranked) {
+    if (rank > top) break;
+    const double measured =
+        oracle.measure_throughput(model, pred.plan, batch, ctx);
+    table.add_row(
+        {std::to_string(rank++), pred.plan.display_name(),
+         TextTable::fmt(pred.throughput), TextTable::fmt(measured),
+         TextTable::fmt(
+             to_gigabytes(estimator.gpu_bytes(model, pred.plan, batch)), 1),
+         TextTable::fmt(to_gigabytes(estimator.host_bytes(model, pred.plan)),
+                        1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
