@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_modelmix.dir/bench_fig11_modelmix.cpp.o"
+  "CMakeFiles/bench_fig11_modelmix.dir/bench_fig11_modelmix.cpp.o.d"
+  "bench_fig11_modelmix"
+  "bench_fig11_modelmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_modelmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_reconfig.dir/bench_fig7_reconfig.cpp.o"
+  "CMakeFiles/bench_fig7_reconfig.dir/bench_fig7_reconfig.cpp.o.d"
+  "bench_fig7_reconfig"
+  "bench_fig7_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

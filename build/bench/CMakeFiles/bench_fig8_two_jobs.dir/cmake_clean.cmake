@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_two_jobs.dir/bench_fig8_two_jobs.cpp.o"
+  "CMakeFiles/bench_fig8_two_jobs.dir/bench_fig8_two_jobs.cpp.o.d"
+  "bench_fig8_two_jobs"
+  "bench_fig8_two_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_two_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

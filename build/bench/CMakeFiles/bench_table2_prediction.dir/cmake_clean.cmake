@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_prediction.dir/bench_table2_prediction.cpp.o"
+  "CMakeFiles/bench_table2_prediction.dir/bench_table2_prediction.cpp.o.d"
+  "bench_table2_prediction"
+  "bench_table2_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

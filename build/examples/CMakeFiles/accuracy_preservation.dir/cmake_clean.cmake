@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_preservation.dir/accuracy_preservation.cpp.o"
+  "CMakeFiles/accuracy_preservation.dir/accuracy_preservation.cpp.o.d"
+  "accuracy_preservation"
+  "accuracy_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

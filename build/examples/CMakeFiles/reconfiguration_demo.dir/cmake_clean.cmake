@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration_demo.dir/reconfiguration_demo.cpp.o"
+  "CMakeFiles/reconfiguration_demo.dir/reconfiguration_demo.cpp.o.d"
+  "reconfiguration_demo"
+  "reconfiguration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

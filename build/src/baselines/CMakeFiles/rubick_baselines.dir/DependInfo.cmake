@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/antman.cc" "src/baselines/CMakeFiles/rubick_baselines.dir/antman.cc.o" "gcc" "src/baselines/CMakeFiles/rubick_baselines.dir/antman.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/rubick_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/rubick_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/equal_share.cc" "src/baselines/CMakeFiles/rubick_baselines.dir/equal_share.cc.o" "gcc" "src/baselines/CMakeFiles/rubick_baselines.dir/equal_share.cc.o.d"
+  "/root/repo/src/baselines/sia.cc" "src/baselines/CMakeFiles/rubick_baselines.dir/sia.cc.o" "gcc" "src/baselines/CMakeFiles/rubick_baselines.dir/sia.cc.o.d"
+  "/root/repo/src/baselines/synergy.cc" "src/baselines/CMakeFiles/rubick_baselines.dir/synergy.cc.o" "gcc" "src/baselines/CMakeFiles/rubick_baselines.dir/synergy.cc.o.d"
+  "/root/repo/src/baselines/tiresias.cc" "src/baselines/CMakeFiles/rubick_baselines.dir/tiresias.cc.o" "gcc" "src/baselines/CMakeFiles/rubick_baselines.dir/tiresias.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rubick_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubick_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/rubick_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rubick_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/rubick_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rubick_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rubick_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rubick_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_baselines.dir/antman.cc.o"
+  "CMakeFiles/rubick_baselines.dir/antman.cc.o.d"
+  "CMakeFiles/rubick_baselines.dir/common.cc.o"
+  "CMakeFiles/rubick_baselines.dir/common.cc.o.d"
+  "CMakeFiles/rubick_baselines.dir/equal_share.cc.o"
+  "CMakeFiles/rubick_baselines.dir/equal_share.cc.o.d"
+  "CMakeFiles/rubick_baselines.dir/sia.cc.o"
+  "CMakeFiles/rubick_baselines.dir/sia.cc.o.d"
+  "CMakeFiles/rubick_baselines.dir/synergy.cc.o"
+  "CMakeFiles/rubick_baselines.dir/synergy.cc.o.d"
+  "CMakeFiles/rubick_baselines.dir/tiresias.cc.o"
+  "CMakeFiles/rubick_baselines.dir/tiresias.cc.o.d"
+  "librubick_baselines.a"
+  "librubick_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_cluster.dir/cluster.cc.o"
+  "CMakeFiles/rubick_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/rubick_cluster.dir/placement.cc.o"
+  "CMakeFiles/rubick_cluster.dir/placement.cc.o.d"
+  "librubick_cluster.a"
+  "librubick_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

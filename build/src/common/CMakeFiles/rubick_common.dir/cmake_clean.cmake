@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_common.dir/cli.cc.o"
+  "CMakeFiles/rubick_common.dir/cli.cc.o.d"
+  "CMakeFiles/rubick_common.dir/log.cc.o"
+  "CMakeFiles/rubick_common.dir/log.cc.o.d"
+  "CMakeFiles/rubick_common.dir/optim.cc.o"
+  "CMakeFiles/rubick_common.dir/optim.cc.o.d"
+  "CMakeFiles/rubick_common.dir/resource.cc.o"
+  "CMakeFiles/rubick_common.dir/resource.cc.o.d"
+  "CMakeFiles/rubick_common.dir/rng.cc.o"
+  "CMakeFiles/rubick_common.dir/rng.cc.o.d"
+  "CMakeFiles/rubick_common.dir/stats.cc.o"
+  "CMakeFiles/rubick_common.dir/stats.cc.o.d"
+  "CMakeFiles/rubick_common.dir/table.cc.o"
+  "CMakeFiles/rubick_common.dir/table.cc.o.d"
+  "librubick_common.a"
+  "librubick_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librubick_common.a"
+)

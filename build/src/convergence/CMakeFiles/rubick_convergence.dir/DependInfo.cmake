@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/convergence/dataset.cc" "src/convergence/CMakeFiles/rubick_convergence.dir/dataset.cc.o" "gcc" "src/convergence/CMakeFiles/rubick_convergence.dir/dataset.cc.o.d"
+  "/root/repo/src/convergence/mlp.cc" "src/convergence/CMakeFiles/rubick_convergence.dir/mlp.cc.o" "gcc" "src/convergence/CMakeFiles/rubick_convergence.dir/mlp.cc.o.d"
+  "/root/repo/src/convergence/trainer.cc" "src/convergence/CMakeFiles/rubick_convergence.dir/trainer.cc.o" "gcc" "src/convergence/CMakeFiles/rubick_convergence.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rubick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

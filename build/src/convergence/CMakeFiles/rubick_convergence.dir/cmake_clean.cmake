@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_convergence.dir/dataset.cc.o"
+  "CMakeFiles/rubick_convergence.dir/dataset.cc.o.d"
+  "CMakeFiles/rubick_convergence.dir/mlp.cc.o"
+  "CMakeFiles/rubick_convergence.dir/mlp.cc.o.d"
+  "CMakeFiles/rubick_convergence.dir/trainer.cc.o"
+  "CMakeFiles/rubick_convergence.dir/trainer.cc.o.d"
+  "librubick_convergence.a"
+  "librubick_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

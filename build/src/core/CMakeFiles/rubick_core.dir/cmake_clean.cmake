@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_core.dir/alloc_state.cc.o"
+  "CMakeFiles/rubick_core.dir/alloc_state.cc.o.d"
+  "CMakeFiles/rubick_core.dir/plan_selector.cc.o"
+  "CMakeFiles/rubick_core.dir/plan_selector.cc.o.d"
+  "CMakeFiles/rubick_core.dir/predictor.cc.o"
+  "CMakeFiles/rubick_core.dir/predictor.cc.o.d"
+  "CMakeFiles/rubick_core.dir/rubick_policy.cc.o"
+  "CMakeFiles/rubick_core.dir/rubick_policy.cc.o.d"
+  "CMakeFiles/rubick_core.dir/sla.cc.o"
+  "CMakeFiles/rubick_core.dir/sla.cc.o.d"
+  "librubick_core.a"
+  "librubick_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_model.dir/model_spec.cc.o"
+  "CMakeFiles/rubick_model.dir/model_spec.cc.o.d"
+  "CMakeFiles/rubick_model.dir/model_zoo.cc.o"
+  "CMakeFiles/rubick_model.dir/model_zoo.cc.o.d"
+  "librubick_model.a"
+  "librubick_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/analytic.cc" "src/perf/CMakeFiles/rubick_perf.dir/analytic.cc.o" "gcc" "src/perf/CMakeFiles/rubick_perf.dir/analytic.cc.o.d"
+  "/root/repo/src/perf/fitter.cc" "src/perf/CMakeFiles/rubick_perf.dir/fitter.cc.o" "gcc" "src/perf/CMakeFiles/rubick_perf.dir/fitter.cc.o.d"
+  "/root/repo/src/perf/oracle.cc" "src/perf/CMakeFiles/rubick_perf.dir/oracle.cc.o" "gcc" "src/perf/CMakeFiles/rubick_perf.dir/oracle.cc.o.d"
+  "/root/repo/src/perf/profiler.cc" "src/perf/CMakeFiles/rubick_perf.dir/profiler.cc.o" "gcc" "src/perf/CMakeFiles/rubick_perf.dir/profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/rubick_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rubick_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rubick_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

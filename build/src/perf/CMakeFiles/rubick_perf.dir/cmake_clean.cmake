@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_perf.dir/analytic.cc.o"
+  "CMakeFiles/rubick_perf.dir/analytic.cc.o.d"
+  "CMakeFiles/rubick_perf.dir/fitter.cc.o"
+  "CMakeFiles/rubick_perf.dir/fitter.cc.o.d"
+  "CMakeFiles/rubick_perf.dir/oracle.cc.o"
+  "CMakeFiles/rubick_perf.dir/oracle.cc.o.d"
+  "CMakeFiles/rubick_perf.dir/profiler.cc.o"
+  "CMakeFiles/rubick_perf.dir/profiler.cc.o.d"
+  "librubick_perf.a"
+  "librubick_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

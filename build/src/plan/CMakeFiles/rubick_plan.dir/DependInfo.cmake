@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/enumerate.cc" "src/plan/CMakeFiles/rubick_plan.dir/enumerate.cc.o" "gcc" "src/plan/CMakeFiles/rubick_plan.dir/enumerate.cc.o.d"
+  "/root/repo/src/plan/execution_plan.cc" "src/plan/CMakeFiles/rubick_plan.dir/execution_plan.cc.o" "gcc" "src/plan/CMakeFiles/rubick_plan.dir/execution_plan.cc.o.d"
+  "/root/repo/src/plan/memory_estimator.cc" "src/plan/CMakeFiles/rubick_plan.dir/memory_estimator.cc.o" "gcc" "src/plan/CMakeFiles/rubick_plan.dir/memory_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/rubick_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

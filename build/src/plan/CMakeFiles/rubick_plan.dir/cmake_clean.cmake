@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_plan.dir/enumerate.cc.o"
+  "CMakeFiles/rubick_plan.dir/enumerate.cc.o.d"
+  "CMakeFiles/rubick_plan.dir/execution_plan.cc.o"
+  "CMakeFiles/rubick_plan.dir/execution_plan.cc.o.d"
+  "CMakeFiles/rubick_plan.dir/memory_estimator.cc.o"
+  "CMakeFiles/rubick_plan.dir/memory_estimator.cc.o.d"
+  "librubick_plan.a"
+  "librubick_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_sim.dir/perf_store.cc.o"
+  "CMakeFiles/rubick_sim.dir/perf_store.cc.o.d"
+  "CMakeFiles/rubick_sim.dir/report.cc.o"
+  "CMakeFiles/rubick_sim.dir/report.cc.o.d"
+  "CMakeFiles/rubick_sim.dir/simulator.cc.o"
+  "CMakeFiles/rubick_sim.dir/simulator.cc.o.d"
+  "librubick_sim.a"
+  "librubick_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_telemetry.dir/timeline.cc.o"
+  "CMakeFiles/rubick_telemetry.dir/timeline.cc.o.d"
+  "librubick_telemetry.a"
+  "librubick_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/job.cc" "src/trace/CMakeFiles/rubick_trace.dir/job.cc.o" "gcc" "src/trace/CMakeFiles/rubick_trace.dir/job.cc.o.d"
+  "/root/repo/src/trace/trace_gen.cc" "src/trace/CMakeFiles/rubick_trace.dir/trace_gen.cc.o" "gcc" "src/trace/CMakeFiles/rubick_trace.dir/trace_gen.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/rubick_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/rubick_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/rubick_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rubick_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rubick_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubick_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rubick_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

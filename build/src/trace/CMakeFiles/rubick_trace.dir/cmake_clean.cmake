@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_trace.dir/job.cc.o"
+  "CMakeFiles/rubick_trace.dir/job.cc.o.d"
+  "CMakeFiles/rubick_trace.dir/trace_gen.cc.o"
+  "CMakeFiles/rubick_trace.dir/trace_gen.cc.o.d"
+  "CMakeFiles/rubick_trace.dir/trace_io.cc.o"
+  "CMakeFiles/rubick_trace.dir/trace_io.cc.o.d"
+  "librubick_trace.a"
+  "librubick_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

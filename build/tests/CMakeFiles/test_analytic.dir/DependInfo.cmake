@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/test_analytic.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/test_analytic.dir/test_analytic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rubick_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rubick_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rubick_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/convergence/CMakeFiles/rubick_convergence.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/rubick_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rubick_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/rubick_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/rubick_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rubick_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/rubick_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rubick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_refinement.dir/test_online_refinement.cc.o"
+  "CMakeFiles/test_online_refinement.dir/test_online_refinement.cc.o.d"
+  "test_online_refinement"
+  "test_online_refinement.pdb"
+  "test_online_refinement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

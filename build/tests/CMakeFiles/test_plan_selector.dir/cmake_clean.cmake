@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_selector.dir/test_plan_selector.cc.o"
+  "CMakeFiles/test_plan_selector.dir/test_plan_selector.cc.o.d"
+  "test_plan_selector"
+  "test_plan_selector.pdb"
+  "test_plan_selector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_behaviors.dir/test_policy_behaviors.cc.o"
+  "CMakeFiles/test_policy_behaviors.dir/test_policy_behaviors.cc.o.d"
+  "test_policy_behaviors"
+  "test_policy_behaviors.pdb"
+  "test_policy_behaviors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rubick_policy.dir/test_rubick_policy.cc.o"
+  "CMakeFiles/test_rubick_policy.dir/test_rubick_policy.cc.o.d"
+  "test_rubick_policy"
+  "test_rubick_policy.pdb"
+  "test_rubick_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rubick_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

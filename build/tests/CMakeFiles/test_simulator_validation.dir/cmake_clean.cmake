@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_validation.dir/test_simulator_validation.cc.o"
+  "CMakeFiles/test_simulator_validation.dir/test_simulator_validation.cc.o.d"
+  "test_simulator_validation"
+  "test_simulator_validation.pdb"
+  "test_simulator_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

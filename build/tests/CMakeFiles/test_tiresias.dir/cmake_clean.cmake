@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiresias.dir/test_tiresias.cc.o"
+  "CMakeFiles/test_tiresias.dir/test_tiresias.cc.o.d"
+  "test_tiresias"
+  "test_tiresias.pdb"
+  "test_tiresias[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiresias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero3.dir/test_zero3.cc.o"
+  "CMakeFiles/test_zero3.dir/test_zero3.cc.o.d"
+  "test_zero3"
+  "test_zero3.pdb"
+  "test_zero3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_simulate.dir/rubick_simulate.cpp.o"
+  "CMakeFiles/rubick_simulate.dir/rubick_simulate.cpp.o.d"
+  "rubick_simulate"
+  "rubick_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

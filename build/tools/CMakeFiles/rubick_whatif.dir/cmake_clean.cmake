@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubick_whatif.dir/rubick_whatif.cpp.o"
+  "CMakeFiles/rubick_whatif.dir/rubick_whatif.cpp.o.d"
+  "rubick_whatif"
+  "rubick_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubick_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

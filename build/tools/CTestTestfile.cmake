@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_simulate_smoke "/root/repo/build/tools/rubick_simulate" "--jobs=20" "--window-hours=1" "--seed=3")
+set_tests_properties(tool_simulate_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_simulate_mt_smoke "/root/repo/build/tools/rubick_simulate" "--policy=antman" "--variant=mt" "--jobs=20" "--window-hours=1")
+set_tests_properties(tool_simulate_mt_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_simulate_trace_roundtrip "/root/repo/build/tools/rubick_simulate" "--jobs=10" "--window-hours=1" "--trace-out=/root/repo/build/smoke_trace.csv")
+set_tests_properties(tool_simulate_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_simulate_trace_in "/root/repo/build/tools/rubick_simulate" "--trace-in=/root/repo/build/smoke_trace.csv" "--policy=tiresias")
+set_tests_properties(tool_simulate_trace_in PROPERTIES  DEPENDS "tool_simulate_trace_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_whatif_smoke "/root/repo/build/tools/rubick_whatif" "--model=T5" "--gpus=4" "--cpus=16" "--top=5")
+set_tests_properties(tool_whatif_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
