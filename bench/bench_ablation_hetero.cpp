@@ -40,7 +40,7 @@ void run_cluster(const char* label, const ClusterSpec& cluster,
   auto run = [&](auto make_policy, const char* policy_name) {
     auto policy = make_policy();
     Simulator sim(cluster, oracle);
-    const SimResult r = sim.run(jobs, *policy, store, costs);
+    const SimResult r = sim.run(jobs, *policy, RunContext{&store, &costs});
     table.add_row({label, policy_name,
                    TextTable::fmt(to_hours(r.avg_jct_s())),
                    TextTable::fmt(to_hours(r.jct_summary().p99)),

@@ -156,7 +156,7 @@ int main() {
       so.online_refinement = refinement;
       Simulator sim(cluster, oracle, so);
       RubickPolicy policy;
-      const SimResult r = sim.run(jobs, policy, store, costs);
+      const SimResult r = sim.run(jobs, policy, RunContext{&store, &costs});
       int reconfigs = 0;
       for (const auto& j : r.jobs) reconfigs += j.reconfig_count;
       table.add_row({label, TextTable::fmt(to_hours(r.avg_jct_s())),

@@ -47,7 +47,7 @@ int main() {
                  const SimOptions& sim_opts) {
     Simulator sim(cluster, oracle, sim_opts);
     RubickPolicy policy(config);
-    const SimResult r = sim.run(jobs, policy, store, costs);
+    const SimResult r = sim.run(jobs, policy, RunContext{&store, &costs});
     int reconfigs = 0;
     for (const auto& j : r.jobs) reconfigs += j.reconfig_count;
     table.add_row({label, TextTable::fmt(to_hours(r.avg_jct_s())),

@@ -49,8 +49,8 @@ int main() {
     Simulator sim(cluster, oracle);
     RubickPolicy rubick;
     SynergyPolicy synergy;
-    const SimResult r = sim.run(jobs, rubick, store, costs);
-    const SimResult s = sim.run(jobs, synergy, store, costs);
+    const SimResult r = sim.run(jobs, rubick, RunContext{&store, &costs});
+    const SimResult s = sim.run(jobs, synergy, RunContext{&store, &costs});
 
     table.add_row({TextTable::fmt(load, 1) + "x", std::to_string(jobs.size()),
                    TextTable::fmt(to_hours(r.avg_jct_s())),

@@ -53,8 +53,8 @@ int main() {
       Simulator sim(cluster, oracle);
       RubickPolicy rubick;
       SynergyPolicy synergy;
-      const SimResult r = sim.run(jobs, rubick, store, costs);
-      const SimResult s = sim.run(jobs, synergy, store, costs);
+      const SimResult r = sim.run(jobs, rubick, RunContext{&store, &costs});
+      const SimResult s = sim.run(jobs, synergy, RunContext{&store, &costs});
       rubick_jct += r.avg_jct_s();
       synergy_jct += s.avg_jct_s();
       rubick_mk += r.makespan_s;

@@ -64,7 +64,7 @@ int main() {
     TextTable table({"scheduler", "job", "GPUs", "plan", "speedup"});
     auto evaluate = [&](SchedulerPolicy& policy) {
       SchedulerInput in;
-      in.cluster = cluster;
+      in.cluster = &cluster;
       in.models = &store;
       in.estimator = &estimator;
       for (auto& s : specs) {

@@ -6,6 +6,7 @@
 // per-round latencies in the milliseconds are ample).
 #include <benchmark/benchmark.h>
 
+#include "common/threadpool.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
@@ -94,6 +95,26 @@ void BM_SensitivityCurve(benchmark::State& state) {
 }
 BENCHMARK(BM_SensitivityCurve)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+void BM_WarmParallel(benchmark::State& state) {
+  // Full 64-GPU curve warm-up for a model-parallel LLM across a pool of
+  // Arg(0) threads. Arg(0)=1 is the serial baseline; the acceptance target
+  // is >= 2x at 4+ threads on multi-core hardware.
+  const ModelSpec& model = find_model("LLaMA-2-7B");
+  MemoryEstimator est;
+  FullPlanSelector sel;
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  const PerfModelStore& fitted = store();  // profile outside the timed loop
+  for (auto _ : state) {
+    // Fresh predictor per iteration: measures uncached warm-up end to end.
+    BestPlanPredictor predictor(cluster(), fitted, est);
+    predictor.warm(model, model.default_global_batch, sel, 64,
+                   /*cpus_per_gpu=*/2, &pool);
+    benchmark::DoNotOptimize(predictor.cache_size());
+  }
+}
+BENCHMARK(BM_WarmParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_MemoryEstimate(benchmark::State& state) {
   const ModelSpec& model = find_model("LLaMA-2-7B");
   MemoryEstimator est;
@@ -140,7 +161,7 @@ void BM_ScheduleRound(benchmark::State& state) {
 
   MemoryEstimator est;
   SchedulerInput input;
-  input.cluster = cluster();
+  input.cluster = &cluster();
   input.models = &store();
   input.estimator = &est;
   for (const auto& j : jobs) {

@@ -43,7 +43,7 @@ RunStats run_policy(const ClusterSpec& cluster, const GroundTruthOracle& oracle,
                     const PerfModelStore& store,
                     const std::map<std::string, double>& costs) {
   Simulator sim(cluster, oracle);
-  const SimResult r = sim.run(jobs, policy, store, costs);
+  const SimResult r = sim.run(jobs, policy, RunContext{&store, &costs});
   RunStats stats;
   stats.all = r.jct_summary();
   stats.guaranteed = r.jct_summary_where(true);
@@ -227,9 +227,9 @@ int main() {
     Simulator sim_model(cluster, oracle, model_driven);
     RubickPolicy real_policy, sim_policy;
     const double real_jct =
-        sim.run(base_traces[0], real_policy, store, costs).avg_jct_s();
+        sim.run(base_traces[0], real_policy, RunContext{&store, &costs}).avg_jct_s();
     const double model_jct =
-        sim_model.run(base_traces[0], sim_policy, store, costs).avg_jct_s();
+        sim_model.run(base_traces[0], sim_policy, RunContext{&store, &costs}).avg_jct_s();
     const double drift = std::abs(model_jct - real_jct) / real_jct;
     std::cout << "fidelity: model-driven vs measured-throughput avg JCT "
               << "differs by " << TextTable::fmt(100.0 * drift, 1)

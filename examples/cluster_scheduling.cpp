@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                    "reconfigs"});
   auto run = [&](SchedulerPolicy& policy) {
     std::cout << "running " << policy.name() << "...\n" << std::flush;
-    const SimResult r = sim.run(jobs, policy, store, prof_costs);
+    const SimResult r = sim.run(jobs, policy, RunContext{&store, &prof_costs});
     int reconfigs = 0;
     for (const auto& jr : r.jobs) reconfigs += jr.reconfig_count;
     const Summary s = r.jct_summary();

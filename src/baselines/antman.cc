@@ -30,7 +30,7 @@ std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
     // Rebind (and drop prediction caches) when the store was swapped or a
     // model was refitted online.
     predictor_ = std::make_unique<BestPlanPredictor>(
-        input.cluster, *input.models, *input.estimator);
+        *input.cluster, *input.models, *input.estimator);
     bound_store_ = input.models;
     bound_version_ = input.models->version();
   }
@@ -38,7 +38,7 @@ std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
   std::vector<std::pair<int, Placement>> running;
   for (const auto& v : input.jobs)
     if (v.running) running.emplace_back(v.spec->id, v.placement);
-  AllocState state(input.cluster, running);
+  AllocState state(*input.cluster, running);
 
   std::map<int, ExecutionPlan> chosen;
   for (const auto& v : input.jobs)
@@ -57,11 +57,11 @@ std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
   auto try_place = [&](const JobView& v) {
     const JobSpec& spec = *v.spec;
     const int chunk = std::max(1, spec.initial_plan.tp);
-    if (!pack_job(state, input.cluster, spec.id, spec.requested.gpus,
+    if (!pack_job(state, *input.cluster, spec.id, spec.requested.gpus,
                   cpu_per_gpu(spec), chunk))
       return false;
     if (!commit_job_plan(state, *predictor_, *input.estimator, *input.models,
-                         input.cluster, v, selector_for(spec), chosen)) {
+                         *input.cluster, v, selector_for(spec), chosen)) {
       state.release_job(spec.id);
       chosen.erase(spec.id);
       return false;
@@ -125,10 +125,10 @@ std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
         std::max(1, spec.initial_plan.tp * spec.initial_plan.pp);
     const int chunk = std::max(1, spec.initial_plan.tp);
     for (int g = spec.requested.gpus; g >= shard; g -= shard) {
-      if (!pack_job(state, input.cluster, id, g, cpu_per_gpu(spec), chunk))
+      if (!pack_job(state, *input.cluster, id, g, cpu_per_gpu(spec), chunk))
         continue;
       if (commit_job_plan(state, *predictor_, *input.estimator, *input.models,
-                          input.cluster, v, selector_for(spec), chosen))
+                          *input.cluster, v, selector_for(spec), chosen))
         return true;
       state.release_job(id);
       chosen.erase(id);

@@ -15,21 +15,21 @@ std::vector<Assignment> EqualSharePolicy::schedule(
     // Rebind (and drop prediction caches) when the store was swapped or a
     // model was refitted online.
     predictor_ = std::make_unique<BestPlanPredictor>(
-        input.cluster, *input.models, *input.estimator);
+        *input.cluster, *input.models, *input.estimator);
     bound_store_ = input.models;
     bound_version_ = input.models->version();
   }
 
   // Rebuild the whole allocation from scratch: every job gets an equal GPU
   // share (rounded down to a count it can actually use).
-  AllocState state(input.cluster, {});
+  AllocState state(*input.cluster, {});
   std::map<int, ExecutionPlan> chosen;
 
   const int n = static_cast<int>(input.jobs.size());
   if (n == 0) return {};
-  const int share = std::max(1, input.cluster.total_gpus() / n);
+  const int share = std::max(1, input.cluster->total_gpus() / n);
   const int cpu_share =
-      std::max(2, input.cluster.num_nodes * input.cluster.node.cpus / n /
+      std::max(2, input.cluster->num_nodes * input.cluster->node.cpus / n /
                       std::max(1, share));
 
   for (const auto& v : input.jobs) {
@@ -45,9 +45,9 @@ std::vector<Assignment> EqualSharePolicy::schedule(
                value)
       --g;
     if (value <= 0.0) continue;  // infeasible even at the share
-    if (!pack_job(state, input.cluster, v.spec->id, g, cpu_share, 1)) continue;
+    if (!pack_job(state, *input.cluster, v.spec->id, g, cpu_share, 1)) continue;
     if (!commit_job_plan(state, *predictor_, *input.estimator, *input.models,
-                         input.cluster, v, selector_, chosen)) {
+                         *input.cluster, v, selector_, chosen)) {
       state.release_job(v.spec->id);
       chosen.erase(v.spec->id);
     }

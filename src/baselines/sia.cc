@@ -28,7 +28,7 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
     // Rebind (and drop prediction caches) when the store was swapped or a
     // model was refitted online.
     predictor_ = std::make_unique<BestPlanPredictor>(
-        input.cluster, *input.models, *input.estimator);
+        *input.cluster, *input.models, *input.estimator);
     bound_store_ = input.models;
     bound_version_ = input.models->version();
   }
@@ -61,7 +61,7 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
     if (bit == baseline_cache_.end()) {
       const PerfModel& perf = input.models->get(v.spec->model_name);
       const PerfContext ctx = make_perf_context(
-          input.cluster, v.spec->requested.gpus, v.spec->requested.cpus);
+          *input.cluster, v.spec->requested.gpus, v.spec->requested.cpus);
       double thr = 1e-9;
       if (v.spec->initial_plan.valid_for(*info.model, v.spec->global_batch))
         thr = perf.predict_throughput(*info.model, v.spec->initial_plan,
@@ -73,7 +73,7 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
     infos.push_back(info);
   }
 
-  AllocState state(input.cluster, running);
+  AllocState state(*input.cluster, running);
   std::map<int, ExecutionPlan> chosen;
   for (const auto& info : infos)
     if (info.view->running)
@@ -88,7 +88,7 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
       chosen.erase(info.view->spec->id);
     }
   }
-  for (int n = 0; n < input.cluster.num_nodes; ++n)
+  for (int n = 0; n < input.cluster->num_nodes; ++n)
     free_gpus += state.free_gpus(n);
 
   auto env = [&](const Info& info, int g) {
@@ -167,9 +167,9 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
     int target = info->target;
     const int chunk = std::max(1, info->view->spec->initial_plan.tp);
     while (target >= info->shard && target > 0) {
-      if (pack_job(state, input.cluster, id, target, 2, chunk) &&
+      if (pack_job(state, *input.cluster, id, target, 2, chunk) &&
           commit_job_plan(state, *predictor_, *input.estimator, *input.models,
-                          input.cluster, *info->view, *info->selector,
+                          *input.cluster, *info->view, *info->selector,
                           chosen)) {
         break;
       }

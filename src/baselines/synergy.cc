@@ -24,7 +24,7 @@ std::vector<Assignment> SynergyPolicy::schedule(const SchedulerInput& input) {
     // Rebind (and drop prediction caches) when the store was swapped or a
     // model was refitted online.
     predictor_ = std::make_unique<BestPlanPredictor>(
-        input.cluster, *input.models, *input.estimator);
+        *input.cluster, *input.models, *input.estimator);
     bound_store_ = input.models;
     bound_version_ = input.models->version();
   }
@@ -32,7 +32,7 @@ std::vector<Assignment> SynergyPolicy::schedule(const SchedulerInput& input) {
   std::vector<std::pair<int, Placement>> running;
   for (const auto& v : input.jobs)
     if (v.running) running.emplace_back(v.spec->id, v.placement);
-  AllocState state(input.cluster, running);
+  AllocState state(*input.cluster, running);
 
   std::map<int, ExecutionPlan> chosen;
   for (const auto& v : input.jobs)
@@ -64,14 +64,14 @@ std::vector<Assignment> SynergyPolicy::schedule(const SchedulerInput& input) {
     const int cpu_per_gpu = cpu_sensitive ? 8 : 2;
 
     const auto snap = state.snapshot();
-    bool ok = pack_job(state, input.cluster, id, g, cpu_per_gpu, chunk);
+    bool ok = pack_job(state, *input.cluster, id, g, cpu_per_gpu, chunk);
     if (!ok && cpu_sensitive) {
       // Not enough spare cores for the boosted share: fall back to floor.
-      ok = pack_job(state, input.cluster, id, g, 2, chunk);
+      ok = pack_job(state, *input.cluster, id, g, 2, chunk);
     }
     if (ok)
       ok = commit_job_plan(state, *predictor_, *input.estimator, *input.models,
-                           input.cluster, *v, sel, chosen);
+                           *input.cluster, *v, sel, chosen);
     if (!ok) {
       state.restore(snap);
       chosen.erase(id);

@@ -22,7 +22,7 @@ std::vector<Assignment> TiresiasPolicy::schedule(const SchedulerInput& input) {
   if (bound_store_ != input.models ||
       bound_version_ != input.models->version()) {
     predictor_ = std::make_unique<BestPlanPredictor>(
-        input.cluster, *input.models, *input.estimator);
+        *input.cluster, *input.models, *input.estimator);
     bound_store_ = input.models;
     bound_version_ = input.models->version();
   }
@@ -57,7 +57,7 @@ std::vector<Assignment> TiresiasPolicy::schedule(const SchedulerInput& input) {
 
   // Rebuild the allocation from scratch in priority order (preemptive LAS):
   // each job takes its full request or waits.
-  AllocState state(input.cluster, {});
+  AllocState state(*input.cluster, {});
   std::map<int, ExecutionPlan> chosen;
   for (const JobView* v : order) {
     const JobSpec& spec = *v->spec;
@@ -87,11 +87,11 @@ std::vector<Assignment> TiresiasPolicy::schedule(const SchedulerInput& input) {
         state.release_job(spec.id);
       }
     }
-    if (!pack_job(state, input.cluster, spec.id, spec.requested.gpus,
+    if (!pack_job(state, *input.cluster, spec.id, spec.requested.gpus,
                   cpu_per_gpu, chunk))
       continue;
     if (!commit_job_plan(state, *predictor_, *input.estimator, *input.models,
-                         input.cluster, *v, selector_for(spec), chosen)) {
+                         *input.cluster, *v, selector_for(spec), chosen)) {
       state.release_job(spec.id);
       chosen.erase(spec.id);
     }

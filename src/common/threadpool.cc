@@ -1,0 +1,126 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace rubick {
+
+ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
+  if (size_ <= 1) return;
+  workers_.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (size_ <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  struct Ctx {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> done{0};
+    std::size_t end = 0;
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex err_mu;
+    std::size_t err_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr err;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->next = begin;
+  ctx->end = end;
+  ctx->count = n;
+  ctx->body = &body;
+
+  auto drain = [](const std::shared_ptr<Ctx>& c) {
+    for (;;) {
+      const std::size_t i = c->next.fetch_add(1);
+      if (i >= c->end) break;
+      try {
+        (*c->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(c->err_mu);
+        if (i < c->err_index) {
+          c->err_index = i;
+          c->err = std::current_exception();
+        }
+      }
+      if (c->done.fetch_add(1) + 1 == c->count) {
+        std::lock_guard<std::mutex> lock(c->done_mu);
+        c->done_cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers beyond the calling thread; each exits immediately once the index
+  // range is exhausted, so stragglers scheduled late cost nothing.
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(size_), n) - 1;
+  for (std::size_t h = 0; h < helpers; ++h) enqueue([ctx, drain] { drain(ctx); });
+
+  drain(ctx);  // the caller works too — nested calls cannot deadlock
+
+  {
+    std::unique_lock<std::mutex> lock(ctx->done_mu);
+    ctx->done_cv.wait(lock, [&] { return ctx->done.load() == ctx->count; });
+  }
+  if (ctx->err) std::rethrow_exception(ctx->err);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_size());
+  return pool;
+}
+
+int ThreadPool::default_size() {
+  if (const char* env = std::getenv("RUBICK_THREADS")) {
+    char* tail = nullptr;
+    const long v = std::strtol(env, &tail, 10);
+    if (tail != env && *tail == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace rubick

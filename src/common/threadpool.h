@@ -1,0 +1,87 @@
+// Fixed-size worker pool shared by the curve engine and the sweep runner.
+//
+// Rubick's §5.2 observes that sensitivity curves "can be computed in
+// parallel or even prior to the scheduling, and then cached"; this pool is
+// the substrate for that. Design points:
+//
+//   * A pool of size <= 1 owns no worker threads: submit() and
+//     parallel_for() execute inline, in order, on the calling thread — so
+//     RUBICK_THREADS=1 reproduces single-threaded behavior exactly.
+//   * parallel_for() is cooperative: the calling thread claims indices from
+//     the same atomic counter as the pool workers, so nested parallel_for()
+//     calls (a parallel sweep whose simulator runs a parallel warm()) can
+//     never deadlock — worst case the caller does all the work itself.
+//   * Exceptions thrown by tasks are captured; parallel_for() finishes every
+//     index it can and rethrows the exception of the LOWEST failing index
+//     (deterministic regardless of interleaving). submit() delivers
+//     exceptions through the returned future as usual.
+//
+// The process-wide pool (ThreadPool::global()) is sized from the
+// RUBICK_THREADS environment variable, defaulting to hardware concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rubick {
+
+class ThreadPool {
+ public:
+  // `threads` <= 1 means inline execution (no worker threads).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return size_; }
+
+  // Schedules `fn` and returns a future for its result. Inline pools run it
+  // before returning.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    if (size_ <= 1) {
+      (*task)();
+      return fut;
+    }
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  // Runs body(i) for every i in [begin, end); blocks until all complete.
+  // The caller participates, so this is safe to nest.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  // Process-wide pool, sized by default_size().
+  static ThreadPool& global();
+
+  // RUBICK_THREADS when set to a positive integer, else hardware
+  // concurrency; always >= 1.
+  static int default_size();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace rubick

@@ -1,0 +1,19 @@
+#include "core/curve_key.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace rubick {
+
+std::uint32_t intern_key_string(const std::string& s) {
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::uint32_t> table;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = table.find(s);
+  if (it != table.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(table.size() + 1);
+  table.emplace(s, id);
+  return id;
+}
+
+}  // namespace rubick

@@ -1,0 +1,54 @@
+// Typed memoization key for sensitivity-curve and best-plan caches.
+//
+// The predictor used to build string keys ("GPT-2|16|full|g8c16t8mn0") with
+// an ostringstream per lookup — measurable on the hot path and impossible to
+// shard cleanly. CurveKey replaces the strings with interned integer ids
+// plus the numeric coordinates; PlanSelector::cache_key() survives only as
+// a human-readable debug label. Interning is exact (one id per distinct
+// string, no hash collisions) and thread-safe, so concurrently warming
+// predictors agree on ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rubick {
+
+// Returns the stable id for `s`, assigning the next free id on first sight.
+// Ids start at 1 (0 is reserved as "unset"). Thread-safe.
+std::uint32_t intern_key_string(const std::string& s);
+
+struct CurveKey {
+  std::uint32_t model_id = 0;     // interned ModelSpec::name
+  std::uint32_t selector_id = 0;  // PlanSelector::selector_id()
+  std::int32_t batch = 0;         // global batch
+  std::int32_t gpus = 0;
+  std::int32_t cpus = 0;
+  std::int32_t max_tp = 0;        // -1 for envelope entries
+  bool multi_node = false;
+
+  friend bool operator==(const CurveKey&, const CurveKey&) = default;
+};
+
+}  // namespace rubick
+
+template <>
+struct std::hash<rubick::CurveKey> {
+  std::size_t operator()(const rubick::CurveKey& k) const noexcept {
+    // FNV-1a over the fields; cheap and well-mixed for small structs.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.model_id);
+    mix(k.selector_id);
+    mix(static_cast<std::uint32_t>(k.batch));
+    mix(static_cast<std::uint32_t>(k.gpus));
+    mix(static_cast<std::uint32_t>(k.cpus));
+    mix(static_cast<std::uint32_t>(k.max_tp));
+    mix(k.multi_node ? 1u : 0u);
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -9,9 +9,12 @@
 //                           (Rubick-N, Synergy, AntMan).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/curve_key.h"
 #include "model/model_spec.h"
 #include "plan/enumerate.h"
 #include "plan/execution_plan.h"
@@ -29,8 +32,23 @@ class PlanSelector {
       const PlanConstraints& constraints,
       const MemoryEstimator& estimator) const = 0;
 
-  // Stable key for memoization (distinct selector behaviors must differ).
+  // Human-readable behavior label (distinct selector behaviors must differ).
+  // Used only for logs/diagnostics; memoization keys use selector_id().
   virtual std::string cache_key() const = 0;
+
+  // Stable numeric identity for CurveKey memoization, interned from
+  // cache_key() on first use. Thread-safe; equal labels get equal ids.
+  std::uint32_t selector_id() const {
+    std::uint32_t id = interned_id_.load(std::memory_order_relaxed);
+    if (id == 0) {
+      id = intern_key_string(cache_key());
+      interned_id_.store(id, std::memory_order_relaxed);
+    }
+    return id;
+  }
+
+ private:
+  mutable std::atomic<std::uint32_t> interned_id_{0};
 };
 
 class FullPlanSelector final : public PlanSelector {

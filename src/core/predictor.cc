@@ -1,7 +1,6 @@
 #include "core/predictor.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "common/error.h"
 #include "perf/profiler.h"
@@ -35,13 +34,18 @@ int plan_complexity(const ExecutionPlan& p) {
 
 constexpr double kTieRel = 1e-9;
 
-std::string cache_key(const ModelSpec& model, int batch,
-                      const PlanSelector& selector, int gpus, int cpus,
-                      int max_tp, bool multi_node) {
-  std::ostringstream os;
-  os << model.name << "|" << batch << "|" << selector.cache_key() << "|g"
-     << gpus << "c" << cpus << "t" << max_tp << "mn" << multi_node;
-  return os.str();
+CurveKey make_key(const ModelSpec& model, int batch,
+                  const PlanSelector& selector, int gpus, int cpus,
+                  int max_tp, bool multi_node) {
+  CurveKey k;
+  k.model_id = intern_key_string(model.name);
+  k.selector_id = selector.selector_id();
+  k.batch = batch;
+  k.gpus = gpus;
+  k.cpus = cpus;
+  k.max_tp = max_tp;
+  k.multi_node = multi_node;
+  return k;
 }
 
 }  // namespace
@@ -50,10 +54,9 @@ BestPlanPredictor::Prediction BestPlanPredictor::best_exact(
     const ModelSpec& model, int global_batch, const PlanSelector& selector,
     int gpus, int cpus, int max_tp, bool multi_node) {
   if (gpus <= 0 || cpus <= 0) return {};
-  const std::string key =
-      cache_key(model, global_batch, selector, gpus, cpus, max_tp, multi_node);
-  auto it = exact_cache_.find(key);
-  if (it != exact_cache_.end()) return it->second;
+  const CurveKey key =
+      make_key(model, global_batch, selector, gpus, cpus, max_tp, multi_node);
+  if (Prediction cached; exact_cache_.lookup(key, &cached)) return cached;
 
   const PlanConstraints pc = constraints_for(gpus, max_tp);
   const std::vector<ExecutionPlan> plans =
@@ -76,8 +79,7 @@ BestPlanPredictor::Prediction BestPlanPredictor::best_exact(
       best.plan = plan;
     }
   }
-  exact_cache_.emplace(key, best);
-  return best;
+  return exact_cache_.insert(key, best);
 }
 
 BestPlanPredictor::Prediction BestPlanPredictor::best_canonical(
@@ -132,11 +134,20 @@ BestPlanPredictor::ranked_for_placement(const ModelSpec& model,
 
 void BestPlanPredictor::warm(const ModelSpec& model, int global_batch,
                              const PlanSelector& selector, int max_gpus,
-                             int cpus_per_gpu) {
+                             int cpus_per_gpu, ThreadPool* pool) {
   max_gpus = std::min(max_gpus, cluster_.total_gpus());
-  for (int g = 1; g <= max_gpus; ++g)
-    envelope(model, global_batch, selector, g,
-             std::max(1, cpus_per_gpu * g));
+  if (max_gpus <= 0) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  // Each GPU count gets its own CPU budget, so the envelope chains for
+  // different g are (cache-)independent of each other — an embarrassingly
+  // parallel fan-out. Work grows with g (envelope(g) visits every smaller
+  // count), so the atomic index counter doubles as dynamic load balancing.
+  pool->parallel_for(1, static_cast<std::size_t>(max_gpus) + 1,
+                     [&](std::size_t g) {
+                       const int gi = static_cast<int>(g);
+                       envelope(model, global_batch, selector, gi,
+                                std::max(1, cpus_per_gpu * gi));
+                     });
 }
 
 double BestPlanPredictor::envelope(const ModelSpec& model, int global_batch,
@@ -144,12 +155,9 @@ double BestPlanPredictor::envelope(const ModelSpec& model, int global_batch,
                                    int cpus) {
   if (gpus <= 0 || cpus <= 0) return 0.0;
   gpus = std::min(gpus, cluster_.total_gpus());
-  const std::string key =
-      cache_key(model, global_batch, selector, gpus, cpus, /*max_tp=*/-1,
-                /*multi_node=*/false) +
-      "|env";
-  auto it = envelope_cache_.find(key);
-  if (it != envelope_cache_.end()) return it->second;
+  const CurveKey key = make_key(model, global_batch, selector, gpus, cpus,
+                                /*max_tp=*/-1, /*multi_node=*/false);
+  if (double cached = 0.0; envelope_cache_.lookup(key, &cached)) return cached;
 
   double value = 0.0;
   if (gpus > 1)
@@ -157,8 +165,7 @@ double BestPlanPredictor::envelope(const ModelSpec& model, int global_batch,
   const Prediction p =
       best_canonical(model, global_batch, selector, gpus, cpus);
   value = std::max(value, p.throughput);
-  envelope_cache_.emplace(key, value);
-  return value;
+  return envelope_cache_.insert(key, value);
 }
 
 double BestPlanPredictor::gpu_slope_up(const ModelSpec& model,

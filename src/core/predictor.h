@@ -10,18 +10,72 @@
 // Curves use a canonical placement shape for each GPU count (packed into as
 // few nodes as possible); the final plan for a concrete placement is ranked
 // with the placement's real shape (max TP group, multi-node bandwidth).
+//
+// CONCURRENCY: the predictor is safe to call from multiple threads. Both
+// memo caches are sharded behind per-shard mutexes; values are pure
+// functions of the key and the (immutable) store/estimator/cluster, so
+// racing computations produce identical values and the first writer wins —
+// parallel results are byte-identical to serial ones.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "common/threadpool.h"
+#include "core/curve_key.h"
 #include "core/plan_selector.h"
 #include "sim/perf_store.h"
 
 namespace rubick {
+
+// Mutex-sharded hash map used by the predictor's memo caches. Insertion
+// keeps the first value stored for a key (all racers compute the same
+// value, so which one lands is immaterial).
+template <typename K, typename V>
+class ShardedCache {
+ public:
+  bool lookup(const K& key, V* out) const {
+    const Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  // Returns the value that ended up cached (the first writer's).
+  V insert(const K& key, V value) const {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.emplace(key, std::move(value)).first->second;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<K, V> map;
+  };
+  Shard& shard_for(const K& key) const {
+    return shards_[std::hash<K>{}(key) % kShards];
+  }
+  mutable std::array<Shard, kShards> shards_;
+};
 
 class BestPlanPredictor {
  public:
@@ -68,10 +122,14 @@ class BestPlanPredictor {
   // Precomputes the envelope (and the exact-count entries beneath it) for
   // every GPU count up to `max_gpus` — the paper's §5.2 note that curves
   // "can be computed in parallel or even prior to the scheduling, and then
-  // cached". Scheduling rounds after a warm() are pure cache hits for this
-  // (model, selector, cpus-per-GPU profile).
+  // cached". GPU counts are fanned across `pool` (the process-wide pool
+  // when null); a size-1 pool reproduces the serial order exactly, and the
+  // cached values are identical either way. Scheduling rounds after a
+  // warm() are pure cache hits for this (model, selector, cpus-per-GPU
+  // profile).
   void warm(const ModelSpec& model, int global_batch,
-            const PlanSelector& selector, int max_gpus, int cpus_per_gpu = 2);
+            const PlanSelector& selector, int max_gpus, int cpus_per_gpu = 2,
+            ThreadPool* pool = nullptr);
 
   // Number of memoized entries (diagnostic; used by tests and benches).
   std::size_t cache_size() const {
@@ -86,8 +144,8 @@ class BestPlanPredictor {
   ClusterSpec cluster_;
   const PerfModelStore* store_;
   const MemoryEstimator* estimator_;
-  std::unordered_map<std::string, Prediction> exact_cache_;
-  std::unordered_map<std::string, double> envelope_cache_;
+  ShardedCache<CurveKey, Prediction> exact_cache_;
+  ShardedCache<CurveKey, double> envelope_cache_;
 };
 
 }  // namespace rubick

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "common/threadpool.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
 
@@ -81,54 +82,88 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     // Rebind when the store was swapped or a model was refitted online; all
     // derived predictions (curves, baselines, minRes) go stale with it.
     predictor_ = std::make_unique<BestPlanPredictor>(
-        input.cluster, *input.models, *input.estimator);
+        *input.cluster, *input.models, *input.estimator);
     sla_ = std::make_unique<SlaCalculator>(*predictor_, *input.models,
-                                           input.cluster,
+                                           *input.cluster,
                                            config_.cpu_floor_per_gpu);
     bound_store_ = input.models;
     bound_version_ = input.models->version();
   }
 
   // ---------- Build per-job info. ----------
-  int free_gpus_now = input.cluster.total_gpus();
+  int free_gpus_now = input.cluster->total_gpus();
   for (const auto& v : input.jobs)
     if (v.running) free_gpus_now -= v.placement.total_gpus();
 
+  const int total_gpus = input.cluster->total_gpus();
+
+  // Phase 1 (serial): bind each job to its model and selector. This is the
+  // only part that mutates policy-level state (the per-job selector map).
   std::vector<JobInfo> infos;
   infos.reserve(input.jobs.size());
-  std::vector<std::pair<int, Placement>> running;
   for (const auto& v : input.jobs) {
     JobInfo info;
     info.view = &v;
     info.model = &find_model(v.spec->model_name);
     info.selector = &selector_for(*v.spec);
-    info.baseline = sla_->baseline_throughput(*v.spec);
-    info.min_res = sla_->min_res(*v.spec, *info.selector,
-                                 !config_.reallocate_resources);
-    if (v.running) {
-      // Reconfiguration-penalty gate (paper §5.2): only touch the job if
-      // (T - N*delta)/T stays above the threshold with one more reconfig.
-      // SLA priority overrides the gate: a job still below its minimum
-      // demand (opportunistically admitted) stays eligible to grow — but
-      // only when free GPUs exist, so below-min jobs don't churn victims
-      // every round while the cluster is packed.
-      const double T = v.total_active_time_s;
-      const double nd = (v.reconfig_count + 1) * input.reconfig_penalty_s;
-      const bool below_min_can_grow =
-          v.placement.total_gpus() < info.min_res.gpus && free_gpus_now > 0;
-      info.frozen = (T <= 0.0 || (T - nd) / T < config_.gate_threshold) &&
-                    !below_min_can_grow;
-      running.emplace_back(v.spec->id, v.placement);
-    }
     infos.push_back(info);
   }
 
-  AllocState state(input.cluster, running);
+  // Phase 2 (parallel): build the sensitivity curves for every distinct
+  // (model, batch, selector) combination, then the per-job SLA quantities
+  // (baseline, minRes). Predictor and SLA caches are concurrency-safe and
+  // every value is a deterministic function of its inputs, so this phase is
+  // byte-identical to the serial order; the decision loop below then runs
+  // single-threaded on pure cache hits.
+  {
+    ThreadPool& pool = ThreadPool::global();
+    std::vector<const JobInfo*> combos;
+    for (const auto& info : infos) {
+      bool seen = false;
+      for (const JobInfo* c : combos)
+        seen |= c->model == info.model && c->selector == info.selector &&
+                c->view->spec->global_batch == info.view->spec->global_batch;
+      if (!seen) combos.push_back(&info);
+    }
+    pool.parallel_for(0, combos.size(), [&](std::size_t i) {
+      const JobInfo& c = *combos[i];
+      predictor_->warm(*c.model, c.view->spec->global_batch, *c.selector,
+                       total_gpus, config_.cpu_floor_per_gpu, &pool);
+    });
+    pool.parallel_for(0, infos.size(), [&](std::size_t i) {
+      JobInfo& info = infos[i];
+      info.baseline = sla_->baseline_throughput(*info.view->spec);
+      info.min_res = sla_->min_res(*info.view->spec, *info.selector,
+                                   !config_.reallocate_resources);
+    });
+  }
+
+  // Phase 3 (serial): the reconfiguration-penalty gate and everything after
+  // it — the decision loop stays single-threaded per run (see DESIGN.md
+  // "Threading model").
+  std::vector<std::pair<int, Placement>> running;
+  for (auto& info : infos) {
+    const JobView& v = *info.view;
+    if (!v.running) continue;
+    // Reconfiguration-penalty gate (paper §5.2): only touch the job if
+    // (T - N*delta)/T stays above the threshold with one more reconfig.
+    // SLA priority overrides the gate: a job still below its minimum
+    // demand (opportunistically admitted) stays eligible to grow — but
+    // only when free GPUs exist, so below-min jobs don't churn victims
+    // every round while the cluster is packed.
+    const double T = v.total_active_time_s;
+    const double nd = (v.reconfig_count + 1) * input.reconfig_penalty_s;
+    const bool below_min_can_grow =
+        v.placement.total_gpus() < info.min_res.gpus && free_gpus_now > 0;
+    info.frozen = (T <= 0.0 || (T - nd) / T < config_.gate_threshold) &&
+                  !below_min_can_grow;
+    running.emplace_back(v.spec->id, v.placement);
+  }
+
+  AllocState state(*input.cluster, running);
   std::map<int, ExecutionPlan> chosen_plan;
   for (const auto& info : infos)
     if (info.view->running) chosen_plan[info.view->spec->id] = info.view->plan;
-
-  const int total_gpus = input.cluster.total_gpus();
 
   // ---------- Slope helpers (normalized to per-job baseline speedup). ----
   auto job_id = [](const JobInfo& info) { return info.view->spec->id; };
@@ -317,7 +352,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
 
     if (same_shape) {
       const PerfModel& perf = input.models->get(info.model->name);
-      const PerfContext ctx = make_perf_context(input.cluster, placement);
+      const PerfContext ctx = make_perf_context(*input.cluster, placement);
       const double current_thr = perf.predict_throughput(
           *info.model, info.view->plan, batch(info), ctx);
       if (ranked.front().throughput <
@@ -347,12 +382,12 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     const int cpu_per_gpu =
         std::max(1, (spec.requested.cpus + want_g - 1) / want_g);
 
-    std::vector<int> order(static_cast<std::size_t>(input.cluster.num_nodes));
-    for (int n = 0; n < input.cluster.num_nodes; ++n)
+    std::vector<int> order(static_cast<std::size_t>(input.cluster->num_nodes));
+    for (int n = 0; n < input.cluster->num_nodes; ++n)
       order[static_cast<std::size_t>(n)] = n;
     std::sort(order.begin(), order.end(), [&](int a, int b) {
-      const double sa = input.cluster.speed_of(a);
-      const double sb = input.cluster.speed_of(b);
+      const double sa = input.cluster->speed_of(a);
+      const double sb = input.cluster->speed_of(b);
       if (sa != sb) return sa > sb;
       return state.free_gpus(a) > state.free_gpus(b);
     });
@@ -381,14 +416,14 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     std::vector<int> order;
     for (int n : state.job_nodes(id)) order.push_back(n);
     std::vector<int> rest;
-    for (int n = 0; n < input.cluster.num_nodes; ++n)
+    for (int n = 0; n < input.cluster->num_nodes; ++n)
       if (std::find(order.begin(), order.end(), n) == order.end())
         rest.push_back(n);
     // Prefer faster nodes (heterogeneous pods: a gang job paces at its
     // slowest GPU), then emptier ones.
     std::sort(rest.begin(), rest.end(), [&](int a, int b) {
-      const double sa = input.cluster.speed_of(a);
-      const double sb = input.cluster.speed_of(b);
+      const double sa = input.cluster->speed_of(a);
+      const double sb = input.cluster->speed_of(b);
       if (sa != sb) return sa > sb;
       return state.free_gpus(a) > state.free_gpus(b);
     });

@@ -18,8 +18,11 @@ SlaCalculator::SlaCalculator(BestPlanPredictor& predictor,
       cpu_floor_per_gpu_(cpu_floor_per_gpu) {}
 
 double SlaCalculator::baseline_throughput(const JobSpec& spec) {
-  auto it = baseline_cache_.find(spec.id);
-  if (it != baseline_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = baseline_cache_.find(spec.id);
+    if (it != baseline_cache_.end()) return it->second;
+  }
   const ModelSpec& model = find_model(spec.model_name);
   const PerfModel& perf = store_->get(spec.model_name);
   const PerfContext ctx = make_perf_context(cluster_, spec.requested.gpus,
@@ -28,15 +31,18 @@ double SlaCalculator::baseline_throughput(const JobSpec& spec) {
   if (spec.initial_plan.valid_for(model, spec.global_batch))
     thr = perf.predict_throughput(model, spec.initial_plan, spec.global_batch,
                                   ctx);
-  baseline_cache_.emplace(spec.id, thr);
-  return thr;
+  std::lock_guard<std::mutex> lock(mu_);
+  return baseline_cache_.emplace(spec.id, thr).first->second;
 }
 
 ResourceVector SlaCalculator::min_res(const JobSpec& spec,
                                       const PlanSelector& selector,
                                       bool fixed_resources) {
-  auto it = min_res_cache_.find(spec.id);
-  if (it != min_res_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = min_res_cache_.find(spec.id);
+    if (it != min_res_cache_.end()) return it->second;
+  }
 
   ResourceVector result;
   if (!spec.guaranteed) {
@@ -65,11 +71,12 @@ ResourceVector SlaCalculator::min_res(const JobSpec& spec,
       }
     }
   }
-  min_res_cache_.emplace(spec.id, result);
-  return result;
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_res_cache_.emplace(spec.id, result).first->second;
 }
 
 void SlaCalculator::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   baseline_cache_.clear();
   min_res_cache_.clear();
 }

@@ -16,9 +16,16 @@
 // Values are memoized per job id; call clear() when the fitted-model store
 // changes (online refits). Extracted from RubickPolicy so the SLA logic is
 // unit-testable in isolation (test_sla.cc).
+//
+// CONCURRENCY: baseline_throughput() and min_res() may be called from
+// multiple threads (the policy parallelizes per-job construction). The memo
+// caches sit behind a mutex; values are computed outside the lock — they
+// are deterministic functions of the job spec, so concurrent computations
+// agree and the first writer wins. clear() must not race with queries.
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "core/plan_selector.h"
 #include "core/predictor.h"
@@ -51,6 +58,7 @@ class SlaCalculator {
   const PerfModelStore* store_;
   ClusterSpec cluster_;
   int cpu_floor_per_gpu_;
+  mutable std::mutex mu_;
   std::map<int, double> baseline_cache_;
   std::map<int, ResourceVector> min_res_cache_;
 };

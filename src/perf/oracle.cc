@@ -32,6 +32,7 @@ GroundTruthOracle::GroundTruthOracle(std::uint64_t seed) : seed_(seed) {}
 
 const GroundTruthOracle::Truth& GroundTruthOracle::truth_for(
     const ModelSpec& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(model.name);
   if (it != cache_.end()) return it->second;
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "perf/analytic.h"
@@ -50,6 +51,11 @@ class GroundTruthOracle {
 
  private:
   std::uint64_t seed_;
+  // One oracle is shared by concurrently running simulators (the sweep
+  // runner); the lazily filled truth cache sits behind a mutex. std::map
+  // node references stay valid across later insertions, so returned
+  // Truth& remain safe after the lock is dropped.
+  mutable std::mutex mu_;
   mutable std::map<std::string, Truth> cache_;
 };
 

@@ -34,7 +34,10 @@ struct JobView {
 
 struct SchedulerInput {
   double now = 0.0;
-  ClusterSpec cluster;
+  // Non-null; owned by the caller and unchanged for the whole run. A
+  // pointer (rather than a by-value spec) so building the input every
+  // scheduling round stays allocation-free on the hot path.
+  const ClusterSpec* cluster = nullptr;
   std::vector<JobView> jobs;  // pending + running, profile-ready only
   const PerfModelStore* models = nullptr;
   const MemoryEstimator* estimator = nullptr;

@@ -66,25 +66,27 @@ Simulator::Simulator(const ClusterSpec& cluster,
     : cluster_spec_(cluster), oracle_(&oracle), options_(options) {}
 
 SimResult Simulator::run(const std::vector<JobSpec>& jobs,
-                         SchedulerPolicy& policy) {
-  std::vector<std::string> names;
-  names.reserve(jobs.size());
-  for (const auto& j : jobs) names.push_back(j.model_name);
-  std::map<std::string, double> costs;
-  const PerfModelStore store = PerfModelStore::profile_models(
-      *oracle_, cluster_spec_, names, /*global_batch_hint=*/0, &costs);
-  return run(jobs, policy, store, costs);
-}
-
-SimResult Simulator::run(const std::vector<JobSpec>& jobs,
-                         SchedulerPolicy& policy, const PerfModelStore& store_in,
-                         const std::map<std::string, double>& profiling_cost) {
+                         SchedulerPolicy& policy,
+                         const RunContext& ctx) const {
   RUBICK_CHECK(!jobs.empty());
   MemoryEstimator estimator;
   Cluster cluster(cluster_spec_);
   // Work on a copy so online refinement never mutates the caller's store
-  // (benches share one store across policies).
-  PerfModelStore store = store_in;
+  // (benches share one store across policies and across concurrent runs).
+  PerfModelStore store;
+  std::map<std::string, double> fitted_costs;
+  if (ctx.store != nullptr) {
+    store = *ctx.store;
+  } else {
+    std::vector<std::string> names;
+    names.reserve(jobs.size());
+    for (const auto& j : jobs) names.push_back(j.model_name);
+    store = PerfModelStore::profile_models(
+        *oracle_, cluster_spec_, names, /*global_batch_hint=*/0,
+        &fitted_costs);
+  }
+  const std::map<std::string, double>& profiling_cost =
+      ctx.profiling_cost_s != nullptr ? *ctx.profiling_cost_s : fitted_costs;
 
   // --- Initialize jobs; the first job of each model type waits for the
   // profiling run to finish before it becomes schedulable. ---
@@ -270,7 +272,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
   auto build_input = [&](double now) {
     SchedulerInput input;
     input.now = now;
-    input.cluster = cluster_spec_;
+    input.cluster = &cluster_spec_;
     input.models = &store;
     input.estimator = &estimator;
     input.reconfig_penalty_s = options_.reconfig_penalty_s;

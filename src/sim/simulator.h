@@ -88,20 +88,40 @@ struct SimResult {
   double avg_jct_s() const { return jct_summary().mean; }
 };
 
+// Per-run inputs that are not part of the simulator's fixed configuration.
+// `store` optionally carries a pre-fitted PerfModelStore shared across runs
+// (e.g. one fit reused by every policy of a benchmark); when null the
+// simulator profiles and fits from the oracle itself. `profiling_cost_s`
+// optionally carries the per-model profiling cost charged to the first job
+// of each model type (models missing from it cost the 210 s default).
+struct RunContext {
+  const PerfModelStore* store = nullptr;
+  const std::map<std::string, double>* profiling_cost_s = nullptr;
+};
+
+// CONCURRENCY: run() is const and keeps all mutable state on its stack, so
+// one Simulator instance can execute several runs from different threads at
+// once (the sweep runner does). The policy is per-run mutable state — never
+// share a SchedulerPolicy instance between concurrent runs.
 class Simulator {
  public:
   Simulator(const ClusterSpec& cluster, const GroundTruthOracle& oracle,
             SimOptions options = {});
 
-  // Runs the trace to completion under the policy. The PerfModelStore passed
-  // to the policy is fitted from the oracle for every model type in `jobs`.
-  SimResult run(const std::vector<JobSpec>& jobs, SchedulerPolicy& policy);
+  // Runs the trace to completion under the policy.
+  SimResult run(const std::vector<JobSpec>& jobs, SchedulerPolicy& policy,
+                const RunContext& ctx = {}) const;
 
-  // Variant reusing an externally fitted store (e.g. to share across
-  // policies in a benchmark).
+  // Deprecated shim for the old two-overload API; kept for one release.
+  [[deprecated("use run(jobs, policy, RunContext{&store, &costs})")]]
   SimResult run(const std::vector<JobSpec>& jobs, SchedulerPolicy& policy,
                 const PerfModelStore& store,
-                const std::map<std::string, double>& profiling_cost_s);
+                const std::map<std::string, double>& profiling_cost_s) const {
+    RunContext ctx;
+    ctx.store = &store;
+    ctx.profiling_cost_s = &profiling_cost_s;
+    return run(jobs, policy, ctx);
+  }
 
  private:
   ClusterSpec cluster_spec_;

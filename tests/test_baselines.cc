@@ -34,7 +34,7 @@ class BaselinesTest : public ::testing::Test {
 
   SchedulerInput input_for(const std::vector<JobSpec*>& specs) {
     SchedulerInput in;
-    in.cluster = cluster_;
+    in.cluster = &cluster_;
     in.models = &store_;
     in.estimator = &estimator_;
     for (JobSpec* s : specs) {
@@ -221,7 +221,7 @@ TEST_F(BaselinesTest, EqualShareSplitsEvenly) {
   JobSpec a = make_spec(0, "RoBERTa", 4);
   JobSpec b = make_spec(1, "T5", 4);
   SchedulerInput in;
-  in.cluster = small;
+  in.cluster = &small;
   in.models = &store;
   in.estimator = &estimator_;
   for (JobSpec* s : {&a, &b}) {

@@ -90,7 +90,7 @@ TEST(Heterogeneous, RubickPrefersFastNodes) {
   job.target_samples = 1e6;
 
   SchedulerInput in;
-  in.cluster = spec;
+  in.cluster = &spec;
   in.models = &store;
   in.estimator = &est;
   JobView v;

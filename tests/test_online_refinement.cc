@@ -127,7 +127,7 @@ TEST_F(OnlineRefinementTest, SimulatorFeedsObservationsBack) {
   opts.online_refinement = true;
   Simulator sim(cluster_, oracle_, opts);
   RubickPolicy policy;
-  const SimResult r = sim.run(jobs, policy, store, costs);
+  const SimResult r = sim.run(jobs, policy, RunContext{&store, &costs});
   EXPECT_TRUE(r.jobs[0].finished);
   EXPECT_EQ(store.version(), v0);  // caller's store untouched
 }

@@ -1,0 +1,156 @@
+// Determinism guarantees of the parallel curve engine (ISSUE 1):
+//   * warm() across a multi-thread pool produces byte-identical curves and
+//     best plans to a size-1 (serial) pool;
+//   * concurrent Simulator runs match their sequential counterparts
+//     seed-for-seed.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "baselines/sia.h"
+#include "common/threadpool.h"
+#include "common/units.h"
+#include "core/predictor.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/perf_store.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ParallelDeterminismTest() : oracle_(2025) {}
+
+  const PerfModelStore& store() {
+    if (!store_ready_) {
+      std::vector<std::string> names;
+      for (const auto& m : model_zoo()) names.push_back(m.name);
+      store_ = PerfModelStore::profile_models(oracle_, cluster_, names);
+      store_ready_ = true;
+    }
+    return store_;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  PerfModelStore store_;
+  bool store_ready_ = false;
+};
+
+TEST_F(ParallelDeterminismTest, ParallelWarmMatchesSerialCurves) {
+  MemoryEstimator est;
+  FullPlanSelector sel;
+  ThreadPool serial(1);
+  ThreadPool threaded(4);
+
+  for (const char* name : {"BERT", "GPT-2", "LLaMA-2-7B"}) {
+    const ModelSpec& model = find_model(name);
+    const int batch = model.default_global_batch;
+
+    BestPlanPredictor a(cluster_, store(), est);
+    a.warm(model, batch, sel, cluster_.total_gpus(), 2, &serial);
+    BestPlanPredictor b(cluster_, store(), est);
+    b.warm(model, batch, sel, cluster_.total_gpus(), 2, &threaded);
+
+    EXPECT_EQ(a.cache_size(), b.cache_size()) << name;
+    for (int g = 1; g <= cluster_.total_gpus(); ++g) {
+      const int c = 2 * g;
+      // Envelope values must match exactly (no float-order tolerance):
+      // every cached value is computed by the same serial code path, only
+      // the fan-out differs.
+      EXPECT_EQ(a.envelope(model, batch, sel, g, c),
+                b.envelope(model, batch, sel, g, c))
+          << name << " g=" << g;
+      const auto pa = a.best_canonical(model, batch, sel, g, c);
+      const auto pb = b.best_canonical(model, batch, sel, g, c);
+      EXPECT_EQ(pa.feasible, pb.feasible) << name << " g=" << g;
+      EXPECT_EQ(pa.throughput, pb.throughput) << name << " g=" << g;
+      EXPECT_TRUE(pa.plan == pb.plan) << name << " g=" << g;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ParallelSlopesMatchSerial) {
+  MemoryEstimator est;
+  FullPlanSelector sel;
+  ThreadPool threaded(4);
+  const ModelSpec& model = find_model("T5");
+  const int batch = model.default_global_batch;
+
+  BestPlanPredictor serial_pred(cluster_, store(), est);
+  ThreadPool serial(1);
+  serial_pred.warm(model, batch, sel, cluster_.total_gpus(), 2, &serial);
+  BestPlanPredictor par_pred(cluster_, store(), est);
+  par_pred.warm(model, batch, sel, cluster_.total_gpus(), 2, &threaded);
+
+  for (int g = 1; g <= 16; ++g) {
+    const int c = 2 * g;
+    EXPECT_EQ(serial_pred.gpu_slope_up(model, batch, sel, g, c),
+              par_pred.gpu_slope_up(model, batch, sel, g, c));
+    EXPECT_EQ(serial_pred.gpu_slope_down(model, batch, sel, g, c),
+              par_pred.gpu_slope_down(model, batch, sel, g, c));
+    EXPECT_EQ(serial_pred.cpu_slope_up(model, batch, sel, g, c),
+              par_pred.cpu_slope_up(model, batch, sel, g, c));
+  }
+}
+
+// Two simulator runs with different policies executed CONCURRENTLY (shared
+// oracle, shared pre-fitted store) must reproduce the sequential results
+// seed-for-seed.
+TEST_F(ParallelDeterminismTest, ConcurrentSimulatorRunsMatchSequential) {
+  const TraceGenerator gen(cluster_, oracle_);
+  TraceOptions opts;
+  opts.seed = 7;
+  opts.num_jobs = 10;
+  opts.window_s = hours(1.0);
+  const std::vector<JobSpec> jobs = gen.generate(opts);
+
+  std::map<std::string, double> costs;  // empty: default profiling charge
+  RunContext ctx;
+  ctx.store = &store();
+  ctx.profiling_cost_s = &costs;
+  const Simulator sim(cluster_, oracle_);
+
+  // Sequential reference runs.
+  RubickPolicy rubick_seq;
+  SiaPolicy sia_seq;
+  const SimResult rubick_ref = sim.run(jobs, rubick_seq, ctx);
+  const SimResult sia_ref = sim.run(jobs, sia_seq, ctx);
+
+  // The same two runs, concurrently (fresh policy instances: policies are
+  // single-run state).
+  ThreadPool pool(2);
+  auto fut_rubick = pool.submit([&] {
+    RubickPolicy p;
+    return sim.run(jobs, p, ctx);
+  });
+  auto fut_sia = pool.submit([&] {
+    SiaPolicy p;
+    return sim.run(jobs, p, ctx);
+  });
+  const SimResult rubick_par = fut_rubick.get();
+  const SimResult sia_par = fut_sia.get();
+
+  auto expect_identical = [](const SimResult& x, const SimResult& y) {
+    EXPECT_EQ(x.makespan_s, y.makespan_s);
+    EXPECT_EQ(x.scheduling_rounds, y.scheduling_rounds);
+    EXPECT_EQ(x.online_refits, y.online_refits);
+    ASSERT_EQ(x.jobs.size(), y.jobs.size());
+    for (std::size_t i = 0; i < x.jobs.size(); ++i) {
+      EXPECT_EQ(x.jobs[i].finished, y.jobs[i].finished) << i;
+      EXPECT_EQ(x.jobs[i].jct_s, y.jobs[i].jct_s) << i;
+      EXPECT_EQ(x.jobs[i].reconfig_count, y.jobs[i].reconfig_count) << i;
+      EXPECT_EQ(x.jobs[i].gpu_seconds, y.jobs[i].gpu_seconds) << i;
+    }
+  };
+  expect_identical(rubick_ref, rubick_par);
+  expect_identical(sia_ref, sia_par);
+}
+
+}  // namespace
+}  // namespace rubick

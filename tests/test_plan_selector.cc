@@ -99,5 +99,32 @@ TEST(Selectors, CacheKeysAreDistinct) {
   EXPECT_NE(scaled_a.cache_key(), fixed.cache_key());
 }
 
+TEST(Selectors, SelectorIdsFollowBehavior) {
+  // Distinct behaviors get distinct interned ids; equal behaviors share
+  // one, even across separate instances (ids are interned by label).
+  const FullPlanSelector full_a;
+  const FullPlanSelector full_b;
+  const ScaledDpSelector scaled(make_dp(2));
+  const FixedPlanSelector fixed(make_dp(2));
+  EXPECT_NE(full_a.selector_id(), 0u);
+  EXPECT_EQ(full_a.selector_id(), full_b.selector_id());
+  EXPECT_NE(full_a.selector_id(), scaled.selector_id());
+  EXPECT_NE(scaled.selector_id(), fixed.selector_id());
+  // Stable across repeated calls (memoized).
+  EXPECT_EQ(scaled.selector_id(), scaled.selector_id());
+}
+
+TEST(Selectors, CurveKeyHashAndEquality) {
+  CurveKey a{1, 2, 16, 8, 16, 8, false};
+  CurveKey b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::hash<CurveKey>{}(a), std::hash<CurveKey>{}(b));
+  b.gpus = 9;
+  EXPECT_FALSE(a == b);
+  CurveKey env = a;
+  env.max_tp = -1;  // envelope entries use the -1 sentinel
+  EXPECT_FALSE(a == env);
+}
+
 }  // namespace
 }  // namespace rubick

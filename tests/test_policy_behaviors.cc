@@ -46,7 +46,7 @@ TEST_F(PolicyBehaviorTest, SiaEmitsEfficiencyBelowOneWhenScalingUp) {
   spec.grad_noise_rel = 1.0;
 
   SchedulerInput in;
-  in.cluster = cluster_;
+  in.cluster = &cluster_;
   in.models = &store;
   in.estimator = &est;
   JobView v;
@@ -91,7 +91,7 @@ TEST_F(PolicyBehaviorTest, AntManScalesBestEffortIntoLeftovers) {
   JobSpec be = make_job(1, "GPT-2", 16, 0, 1e6, false, "tenant-b");
 
   SchedulerInput in;
-  in.cluster = cluster_;
+  in.cluster = &cluster_;
   in.models = &store;
   in.estimator = &est;
   JobView run_view;
@@ -188,7 +188,7 @@ TEST_F(PolicyBehaviorTest, StarvedBestEffortForcesEntryPastFrozenJobs) {
   auto input_with_wait = [&](double waited) {
     SchedulerInput in;
     in.now = waited;
-    in.cluster = cluster_;
+    in.cluster = &cluster_;
     in.models = &store;
     in.estimator = &est;
     JobView hog_view;

@@ -34,7 +34,7 @@ class RubickPolicyTest : public ::testing::Test {
                            double now = 0.0) {
     SchedulerInput in;
     in.now = now;
-    in.cluster = cluster_;
+    in.cluster = &cluster_;
     in.models = &store_;
     in.estimator = &estimator_;
     for (JobSpec* s : specs) {

@@ -45,7 +45,7 @@ class FifoPolicy final : public SchedulerPolicy {
       if (v.running) continue;
       const int g = v.spec->requested.gpus;
       const int c = v.spec->requested.cpus;
-      if (used_gpus + g > input.cluster.node.gpus) continue;
+      if (used_gpus + g > input.cluster->node.gpus) continue;
       Placement p;
       p.add({0, g, c, 1ull << 30});
       out.push_back({v.spec->id, p, v.spec->initial_plan});

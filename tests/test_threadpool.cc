@@ -1,0 +1,111 @@
+#include "common/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rubick {
+namespace {
+
+TEST(ThreadPool, SizeOneRunsInlineInSubmissionOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<int> order;
+  // Inline pools execute each task before submit() returns, so the order is
+  // exactly the submission order — today's serial behavior.
+  for (int i = 0; i < 8; ++i) {
+    auto fut = pool.submit([&order, i] { order.push_back(i); });
+    fut.get();
+    ASSERT_EQ(static_cast<int>(order.size()), i + 1);
+  }
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, SizeOneParallelForIsSerialAndStopsAtFirstThrow) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> visited;
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [&](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                          visited.push_back(i);
+                        }),
+      std::runtime_error);
+  // Serial semantics: indices after the throwing one never ran.
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPool, SubmitReturnsValuesThroughFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 32; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("bad"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
+  ThreadPool pool(4);
+  // Every index >= 5 throws its own index; the pool must deterministically
+  // surface index 5 no matter which thread failed first.
+  try {
+    pool.parallel_for(0, 64, [](std::size_t i) {
+      if (i >= 5) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "5");
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, DefaultSizeHonorsEnvVariable) {
+  ASSERT_EQ(setenv("RUBICK_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::default_size(), 3);
+  ASSERT_EQ(setenv("RUBICK_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_size(), 1);  // falls back to hardware
+  ASSERT_EQ(unsetenv("RUBICK_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_size(), 1);
+}
+
+}  // namespace
+}  // namespace rubick

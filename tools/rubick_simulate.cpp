@@ -7,8 +7,20 @@
 // Policies: rubick, rubick-e, rubick-r, rubick-n, sia, synergy, antman,
 // equal-share. Variants: base, bp, mt. `--csv` prints one machine-readable
 // line per job in addition to the summary.
+//
+// Multi-seed sweeps fan independent simulator runs across a thread pool:
+//
+//   rubick_simulate --policy=rubick --seeds=1,2,3,4 --parallel=4
+//
+// Each seed gets its own trace and a fresh policy instance; results print
+// in seed order regardless of completion order, followed by an aggregate
+// line. `--parallel=0` sizes the pool like RUBICK_THREADS (hardware
+// concurrency by default).
+#include <future>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <vector>
 
 #include "baselines/antman.h"
 #include "baselines/equal_share.h"
@@ -18,6 +30,7 @@
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
 #include "sim/report.h"
@@ -58,6 +71,21 @@ std::unique_ptr<SchedulerPolicy> make_policy(const std::string& name,
                                                 "synergy, antman, tiresias, equal-share");
 }
 
+std::vector<std::uint64_t> parse_seed_list(const std::string& csv) {
+  std::vector<std::uint64_t> seeds;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (tok.empty()) continue;
+    RUBICK_CHECK_MSG(tok.find_first_not_of("0123456789") == std::string::npos,
+                     "--seeds expects a comma-separated list of non-negative "
+                     "integers; got '" << tok << "'");
+    seeds.push_back(std::stoull(tok));
+  }
+  RUBICK_CHECK_MSG(!seeds.empty(), "--seeds needs at least one seed");
+  return seeds;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,6 +95,8 @@ int main(int argc, char** argv) {
   const double window_h = flags.get_double("window-hours", 12.0);
   const std::string variant_name = flags.get_string("variant", "base");
   const std::uint64_t seed = flags.get_u64("seed", 1);
+  const std::string seeds_csv = flags.get_string("seeds", "");
+  const int parallel = flags.get_int("parallel", 1);
   const std::uint64_t oracle_seed = flags.get_u64("oracle-seed", 2025);
   const double load = flags.get_double("load", 1.0);
   const double large_frac = flags.get_double("large-fraction", 0.15);
@@ -87,42 +117,82 @@ int main(int argc, char** argv) {
   else RUBICK_CHECK_MSG(variant_name == "base",
                         "unknown variant '" << variant_name << "'");
 
+  const std::vector<std::uint64_t> seeds =
+      seeds_csv.empty() ? std::vector<std::uint64_t>{seed}
+                        : parse_seed_list(seeds_csv);
+
   const ClusterSpec cluster;
   const GroundTruthOracle oracle(oracle_seed);
   const TraceGenerator gen(cluster, oracle);
   TraceOptions opts;
-  opts.seed = seed;
   opts.num_jobs = num_jobs;
   opts.window_s = hours(window_h);
   opts.variant = variant;
   opts.load_scale = load;
   opts.large_model_fraction = large_frac;
-  const std::vector<JobSpec> jobs =
-      trace_in.empty() ? gen.generate(opts) : read_trace_csv_file(trace_in);
-  if (!trace_out.empty()) write_trace_csv_file(trace_out, jobs);
+
+  // One trace per seed, generated up front so every run's input is fixed
+  // before any simulation starts. --trace-in pins the same jobs for every
+  // seed (the sweep then only varies what the seed seeds elsewhere).
+  std::vector<std::vector<JobSpec>> traces;
+  traces.reserve(seeds.size());
+  for (const std::uint64_t s : seeds) {
+    if (trace_in.empty()) {
+      opts.seed = s;
+      traces.push_back(gen.generate(opts));
+    } else {
+      traces.push_back(read_trace_csv_file(trace_in));
+    }
+  }
+  if (!trace_out.empty()) write_trace_csv_file(trace_out, traces.front());
 
   SimOptions sim_opts;
   sim_opts.online_refinement = refinement;
   sim_opts.size_dependent_reconfig_cost = size_penalty;
   sim_opts.reconfig_penalty_s = delta;
-  Simulator sim(cluster, oracle, sim_opts);
-  auto policy = make_policy(policy_name,
-                            variant == TraceVariant::kMultiTenant, gate,
-                            opportunistic);
-  const SimResult r = sim.run(jobs, *policy);
+  const Simulator sim(cluster, oracle, sim_opts);
+  const bool multi_tenant = variant == TraceVariant::kMultiTenant;
 
-  std::cout << "trace=" << variant_name << " jobs=" << jobs.size()
-            << " seed=" << seed << "\n";
-  print_summary(std::cout, policy->name(), r);
-
-  if (csv) {
-    std::cout << "\n";
-    write_results_csv(std::cout, r);
+  // Independent runs fan across the pool: Simulator::run is const and each
+  // run gets a fresh policy instance, so runs share nothing mutable.
+  ThreadPool pool(parallel <= 0 ? ThreadPool::default_size() : parallel);
+  std::vector<std::future<SimResult>> futures;
+  futures.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    futures.push_back(pool.submit([&, i] {
+      auto policy = make_policy(policy_name, multi_tenant, gate, opportunistic);
+      return sim.run(traces[i], *policy);
+    }));
   }
-  if (history_id >= 0) {
-    std::cout << "\n";
-    for (const auto& j : r.jobs)
-      if (j.spec.id == history_id) print_job_history(std::cout, j);
+
+  const std::string policy_display =
+      make_policy(policy_name, multi_tenant, gate, opportunistic)->name();
+  double sum_jct = 0.0, sum_makespan = 0.0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const SimResult r = futures[i].get();  // seed order, not finish order
+    std::cout << "trace=" << variant_name << " jobs=" << traces[i].size()
+              << " seed=" << seeds[i] << "\n";
+    print_summary(std::cout, policy_display, r);
+    sum_jct += r.avg_jct_s();
+    sum_makespan += r.makespan_s;
+
+    if (csv) {
+      std::cout << "\n";
+      write_results_csv(std::cout, r);
+    }
+    if (history_id >= 0) {
+      std::cout << "\n";
+      for (const auto& j : r.jobs)
+        if (j.spec.id == history_id) print_job_history(std::cout, j);
+    }
+    if (i + 1 < seeds.size()) std::cout << "\n";
+  }
+
+  if (seeds.size() > 1) {
+    const double n = static_cast<double>(seeds.size());
+    std::cout << "\nsweep: seeds=" << seeds.size() << " threads="
+              << pool.size() << " mean_avg_jct_s=" << sum_jct / n
+              << " mean_makespan_s=" << sum_makespan / n << "\n";
   }
   return 0;
 }
