@@ -1,0 +1,531 @@
+#include "check/invariant_auditor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+
+namespace {
+
+// Mirrors the simulator's completion slop (simulator.cc finish_completed):
+// float noise on the sample target plus up to 1 ms of progress.
+constexpr double kEps = 1e-6;
+
+double finish_slop(double target_samples, double throughput) {
+  return kEps * target_samples + throughput * 1e-3;
+}
+
+bool legal_transition(SimJobPhase from, SimJobPhase to) {
+  if (from == to) return true;
+  switch (from) {
+    case SimJobPhase::kNotReady:
+      // NotReady -> Running happens when activation and a scheduling round
+      // fall inside the same event-loop iteration (ticks snapshot the
+      // composed result).
+      return to == SimJobPhase::kPending || to == SimJobPhase::kRunning;
+    case SimJobPhase::kPending:
+      return to == SimJobPhase::kRunning;
+    case SimJobPhase::kRunning:
+      // Back-edge: preemption returns a running job to the queue.
+      return to == SimJobPhase::kPending || to == SimJobPhase::kFinished;
+    case SimJobPhase::kFinished:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(Invariant invariant) {
+  switch (invariant) {
+    case Invariant::kResourceConservation:
+      return "resource-conservation";
+    case Invariant::kPlacementValidity:
+      return "placement-validity";
+    case Invariant::kPlanFeasibility:
+      return "plan-feasibility";
+    case Invariant::kPerformanceGuarantee:
+      return "performance-guarantee";
+    case Invariant::kCurveMonotonicity:
+      return "curve-monotonicity";
+    case Invariant::kLifecycle:
+      return "lifecycle";
+  }
+  return "?";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "[audit] " << rubick::to_string(invariant) << " violated at t="
+     << time_s << "s";
+  if (job_id >= 0) os << " job=" << job_id;
+  if (node_id >= 0) os << " node=" << node_id;
+  os << ": " << detail;
+  return os.str();
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  os << "invariant audit: " << total_violations << " violation(s) over "
+     << ticks_observed << " tick(s), " << checks_performed << " check(s)";
+  if (total_violations > 0) {
+    os << " [";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumInvariants; ++i) {
+      if (violation_counts[i] == 0) continue;
+      if (!first) os << ", ";
+      os << to_string(static_cast<Invariant>(i)) << "="
+         << violation_counts[i];
+      first = false;
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+InvariantAuditor::InvariantAuditor(AuditConfig config)
+    : config_(config) {}
+
+void InvariantAuditor::record(Invariant invariant, double time_s, int job_id,
+                              int node_id, std::string detail) {
+  Violation v;
+  v.invariant = invariant;
+  v.time_s = time_s;
+  v.job_id = job_id;
+  v.node_id = node_id;
+  v.detail = std::move(detail);
+
+  ++report_.total_violations;
+  ++report_.violation_counts[static_cast<std::size_t>(invariant)];
+  if (report_.violations.size() < config_.max_recorded_violations)
+    report_.violations.push_back(v);
+
+  switch (config_.on_violation) {
+    case ViolationPolicy::kThrow:
+      throw InvariantError(v.to_string());
+    case ViolationPolicy::kLog:
+      RUBICK_WARN(v.to_string());
+      break;
+    case ViolationPolicy::kCount:
+      break;
+  }
+}
+
+void InvariantAuditor::on_run_begin(const SimRunInfo& info) {
+  run_ = info;
+  report_ = AuditReport{};
+  jobs_.clear();
+  predictor_.reset();
+  sla_.reset();
+  engine_version_ = 0;
+
+  if (config_.check_curves && run_.cluster != nullptr &&
+      run_.store != nullptr && run_.estimator != nullptr &&
+      run_.jobs != nullptr) {
+    std::vector<std::pair<std::string, int>> combos;
+    for (const JobSpec& spec : *run_.jobs) {
+      auto combo = std::make_pair(spec.model_name, spec.global_batch);
+      if (std::find(combos.begin(), combos.end(), combo) == combos.end())
+        combos.push_back(std::move(combo));
+    }
+    const int max_gpus = config_.curve_max_gpus > 0
+                             ? config_.curve_max_gpus
+                             : run_.cluster->total_gpus();
+    const auto violations = audit_curve_monotonicity(
+        *run_.cluster, *run_.store, *run_.estimator, combos, max_gpus,
+        /*cpus_per_gpu=*/2, config_.rel_tolerance);
+    report_.checks_performed += static_cast<long>(combos.size());
+    for (const Violation& v : violations)
+      record(v.invariant, v.time_s, v.job_id, v.node_id, v.detail);
+  }
+}
+
+void InvariantAuditor::on_tick(const SimTick& tick) {
+  ++report_.ticks_observed;
+  if (config_.check_lifecycle) audit_lifecycle(tick);
+  if (config_.check_conservation) audit_conservation(tick);
+  if (config_.check_placement || config_.check_plan_feasibility)
+    audit_structure(tick);
+  if (config_.check_guarantee) audit_guarantee(tick);
+  update_job_state(tick);
+}
+
+void InvariantAuditor::on_run_end(const SimTick& tick) {
+  on_tick(tick);
+  if (!config_.check_lifecycle) return;
+  // The event loop only drains when every job ran to completion (anything
+  // else trips the simulator's own deadlock / time-limit checks first).
+  for (const AuditJobState& js : tick.jobs) {
+    ++report_.checks_performed;
+    if (js.phase != SimJobPhase::kFinished)
+      record(Invariant::kLifecycle, tick.now_s, js.spec->id, -1,
+             std::string("run ended with job in phase ") +
+                 rubick::to_string(js.phase));
+  }
+}
+
+void InvariantAuditor::audit_lifecycle(const SimTick& tick) {
+  for (const AuditJobState& js : tick.jobs) {
+    ++report_.checks_performed;
+    const int id = js.spec->id;
+    const JobAudit& ja = jobs_[id];
+
+    const SimJobPhase prev = ja.seen ? ja.phase : SimJobPhase::kNotReady;
+    if (!legal_transition(prev, js.phase)) {
+      std::ostringstream os;
+      os << "illegal phase transition " << rubick::to_string(prev) << " -> "
+         << rubick::to_string(js.phase);
+      record(Invariant::kLifecycle, tick.now_s, id, -1, os.str());
+    }
+
+    // Progress is cumulative: samples_done never decreases, and freezes
+    // once the job finished.
+    const double back_eps = 1e-9 * (1.0 + ja.samples_done);
+    if (ja.seen && js.samples_done < ja.samples_done - back_eps) {
+      std::ostringstream os;
+      os << "samples_done went backwards: " << ja.samples_done << " -> "
+         << js.samples_done;
+      record(Invariant::kLifecycle, tick.now_s, id, -1, os.str());
+    }
+    if (ja.seen && ja.phase == SimJobPhase::kFinished &&
+        js.samples_done > ja.samples_done + back_eps) {
+      std::ostringstream os;
+      os << "finished job kept accruing samples: " << ja.samples_done
+         << " -> " << js.samples_done;
+      record(Invariant::kLifecycle, tick.now_s, id, -1, os.str());
+    }
+
+    const bool has_placement = js.placement != nullptr &&
+                               !js.placement->empty();
+    if (js.phase == SimJobPhase::kRunning) {
+      if (!has_placement)
+        record(Invariant::kLifecycle, tick.now_s, id, -1,
+               "running job holds no placement");
+      if (js.throughput <= 0.0)
+        record(Invariant::kLifecycle, tick.now_s, id, -1,
+               "running job has non-positive throughput");
+    } else {
+      if (has_placement)
+        record(Invariant::kLifecycle, tick.now_s, id, -1,
+               std::string("non-running job (") + rubick::to_string(js.phase) +
+                   ") still holds a placement");
+      if (js.throughput != 0.0)
+        record(Invariant::kLifecycle, tick.now_s, id, -1,
+               "non-running job reports non-zero throughput");
+    }
+
+    if (js.phase == SimJobPhase::kFinished) {
+      const double slop =
+          finish_slop(js.spec->target_samples, ja.last_throughput);
+      if (js.samples_done + slop < js.spec->target_samples) {
+        std::ostringstream os;
+        os << "job finished " << (js.spec->target_samples - js.samples_done)
+           << " samples short of its target " << js.spec->target_samples;
+        record(Invariant::kLifecycle, tick.now_s, id, -1, os.str());
+      }
+    }
+  }
+}
+
+void InvariantAuditor::audit_conservation(const SimTick& tick) {
+  if (run_.cluster == nullptr) return;
+  const int num_nodes = run_.cluster->num_nodes;
+  std::vector<ResourceVector> used(static_cast<std::size_t>(num_nodes));
+
+  for (const AuditJobState& js : tick.jobs) {
+    if (js.phase != SimJobPhase::kRunning || js.placement == nullptr) continue;
+    for (const NodeSlice& slice : js.placement->slices) {
+      if (slice.node < 0 || slice.node >= num_nodes) continue;  // structure's
+      ResourceVector& u = used[static_cast<std::size_t>(slice.node)];
+      u.gpus += slice.gpus;
+      u.cpus += slice.cpus;
+      u.memory_bytes += slice.host_memory_bytes;
+    }
+  }
+
+  const ResourceVector capacity = {run_.cluster->node.gpus,
+                                   run_.cluster->node.cpus,
+                                   run_.cluster->node.memory_bytes};
+  for (int n = 0; n < num_nodes; ++n) {
+    ++report_.checks_performed;
+    const ResourceVector& u = used[static_cast<std::size_t>(n)];
+    if (!u.fits_within(capacity)) {
+      std::ostringstream os;
+      os << "node over-committed: allocated " << u.to_string()
+         << " exceeds capacity " << capacity.to_string();
+      record(Invariant::kResourceConservation, tick.now_s, -1, n, os.str());
+    }
+    // Cross-check against the live bookkeeping: what running placements
+    // claim plus what the Cluster reports free must equal capacity exactly
+    // (allocations are integral, so no float slack).
+    if (tick.cluster_state == nullptr) continue;
+    const ResourceVector& free = tick.cluster_state->node(n).free;
+    if (u + free != capacity) {
+      std::ostringstream os;
+      os << "bookkeeping mismatch: placements use " << u.to_string()
+         << ", cluster reports " << free.to_string() << " free, capacity "
+         << capacity.to_string();
+      record(Invariant::kResourceConservation, tick.now_s, -1, n, os.str());
+    }
+  }
+}
+
+void InvariantAuditor::audit_structure(const SimTick& tick) {
+  if (run_.cluster == nullptr) return;
+  const int num_nodes = run_.cluster->num_nodes;
+
+  for (const AuditJobState& js : tick.jobs) {
+    if (js.phase != SimJobPhase::kRunning) continue;
+    if (js.placement == nullptr || js.placement->empty() ||
+        js.plan == nullptr)
+      continue;  // lifecycle reports the missing assignment
+    ++report_.checks_performed;
+    const int id = js.spec->id;
+    const Placement& p = *js.placement;
+    const ExecutionPlan& plan = *js.plan;
+
+    if (config_.check_placement) {
+      int prev_node = -1;
+      for (const NodeSlice& slice : p.slices) {
+        if (slice.node < 0 || slice.node >= num_nodes) {
+          std::ostringstream os;
+          os << "slice references node " << slice.node << " outside [0, "
+             << num_nodes << ")";
+          record(Invariant::kPlacementValidity, tick.now_s, id, slice.node,
+                 os.str());
+          continue;
+        }
+        if (slice.node <= prev_node)
+          record(Invariant::kPlacementValidity, tick.now_s, id, slice.node,
+                 "placement slices not in canonical form (sorted, unique "
+                 "per node)");
+        prev_node = slice.node;
+        if (slice.gpus <= 0 || slice.cpus < 0)
+          record(Invariant::kPlacementValidity, tick.now_s, id, slice.node,
+                 "slice holds no GPUs or negative CPUs");
+        if (slice.gpus > run_.cluster->node.gpus ||
+            slice.cpus > run_.cluster->node.cpus ||
+            slice.host_memory_bytes > run_.cluster->node.memory_bytes) {
+          std::ostringstream os;
+          os << "single slice exceeds node capacity: " << p.to_string();
+          record(Invariant::kPlacementValidity, tick.now_s, id, slice.node,
+                 os.str());
+        }
+      }
+
+      const ModelSpec& model = find_model(js.spec->model_name);
+      if (!plan.structurally_valid())
+        record(Invariant::kPlacementValidity, tick.now_s, id, -1,
+               "assigned plan " + plan.display_name() +
+                   " is structurally invalid");
+      else if (!plan.valid_for(model, js.spec->global_batch))
+        record(Invariant::kPlacementValidity, tick.now_s, id, -1,
+               "assigned plan " + plan.display_name() + " is invalid for " +
+                   model.name);
+      if (plan.num_gpus() != p.total_gpus()) {
+        std::ostringstream os;
+        os << "plan " << plan.display_name() << " wants " << plan.num_gpus()
+           << " workers but placement holds " << p.total_gpus() << " GPUs";
+        record(Invariant::kPlacementValidity, tick.now_s, id, -1, os.str());
+      }
+      if (plan.tp > 1) {
+        for (const NodeSlice& slice : p.slices)
+          if (slice.gpus % plan.tp != 0)
+            record(Invariant::kPlacementValidity, tick.now_s, id, slice.node,
+                   "TP group split across nodes: " + p.to_string());
+      }
+    }
+
+    if (config_.check_plan_feasibility && run_.estimator != nullptr) {
+      const ModelSpec& model = find_model(js.spec->model_name);
+      const std::uint64_t gpu_need =
+          run_.estimator->gpu_bytes(model, plan, js.spec->global_batch);
+      if (gpu_need > run_.cluster->node.gpu_memory_bytes) {
+        std::ostringstream os;
+        os << "plan " << plan.display_name() << " needs " << gpu_need
+           << " bytes per GPU, device holds "
+           << run_.cluster->node.gpu_memory_bytes;
+        record(Invariant::kPlanFeasibility, tick.now_s, id, -1, os.str());
+      }
+      const std::uint64_t host_need =
+          run_.estimator->host_bytes(model, plan);
+      const std::uint64_t host_capacity =
+          static_cast<std::uint64_t>(p.num_nodes()) *
+          run_.cluster->node.memory_bytes;
+      if (host_need > host_capacity) {
+        std::ostringstream os;
+        os << "plan " << plan.display_name() << " needs " << host_need
+           << " host bytes, spanned nodes hold " << host_capacity;
+        record(Invariant::kPlanFeasibility, tick.now_s, id, -1, os.str());
+      }
+    }
+  }
+}
+
+void InvariantAuditor::refresh_guarantee_engine() {
+  const std::uint64_t version = run_.store->version();
+  if (predictor_ != nullptr && engine_version_ == version) return;
+  // Mirror RubickPolicy's rebind-on-refit: predictions memoized against an
+  // older fit are stale the moment the store refits.
+  predictor_ = std::make_unique<BestPlanPredictor>(*run_.cluster, *run_.store,
+                                                   *run_.estimator);
+  sla_ = std::make_unique<SlaCalculator>(*predictor_, *run_.store,
+                                         *run_.cluster);
+  engine_version_ = version;
+}
+
+void InvariantAuditor::audit_guarantee(const SimTick& tick) {
+  if (run_.cluster == nullptr || run_.store == nullptr ||
+      run_.estimator == nullptr)
+    return;
+  for (const AuditJobState& js : tick.jobs) {
+    if (js.phase != SimJobPhase::kRunning || !js.spec->guaranteed) continue;
+    if (js.placement == nullptr || js.placement->empty() ||
+        js.plan == nullptr)
+      continue;
+    if (!run_.store->contains(js.spec->model_name)) continue;
+
+    const int id = js.spec->id;
+    JobAudit& ja = jobs_[id];
+    // Audit only when the assignment changed: that is the moment the policy
+    // made (and is accountable for) a decision. Between a mid-run refit and
+    // the next scheduling round a stale-but-previously-legal assignment is
+    // not a violation.
+    const bool changed = ja.phase != SimJobPhase::kRunning ||
+                         !(ja.placement == *js.placement) ||
+                         !(ja.plan == *js.plan);
+    const int gpus = js.placement->total_gpus();
+    const int cpus = js.placement->total_cpus();
+    if (!changed) continue;
+    ++report_.checks_performed;
+    refresh_guarantee_engine();
+
+    // Judge the decision against the store version the policy decided with:
+    // the previous tick's snapshot (see JobAudit). First sight of a job
+    // falls back to current values — a first admission is always ramping,
+    // so the fallback cannot misfire.
+    const double baseline = ja.snap_valid
+                                ? ja.baseline_snap
+                                : sla_->baseline_throughput(*js.spec);
+    const ResourceVector min_res =
+        ja.snap_valid ? ja.min_res_snap : sla_->min_res(*js.spec, selector_);
+
+    const ModelSpec& model = find_model(js.spec->model_name);
+    const PerfContext ctx = make_perf_context(*run_.cluster, *js.placement);
+    const double predicted =
+        run_.store->get(js.spec->model_name)
+            .predict_throughput(model, *js.plan, js.spec->global_batch, ctx);
+
+    const bool below =
+        predicted < baseline * (1.0 - config_.guarantee_rel_tolerance);
+    // A below-baseline assignment is only legal through mechanisms that
+    // either hold the minRes GPU reservation (the allocation whose
+    // canonical best plan matches baseline — realized predictions dip
+    // below when the concrete placement is fragmented or the host-memory
+    // walk settles on a sub-best plan, approximations Algorithm 1's
+    // shape-agnostic curves cannot see), or operate on a job UNDER its
+    // minimum without ever shrinking it: opportunistic admission starts
+    // queued guaranteed jobs small and grows them, an online refit can
+    // raise the minimum mid-flight, and the exact-plan-infeasibility trim
+    // slides a freshly shrunk victim below minRes but always STARTS from a
+    // >= minRes allocation. The floor every sanctioned mechanism respects
+    // (victim selection, flat-curve trim, below-min growth): GPUs are
+    // never taken from a guaranteed job that is already under its minimum.
+    const bool was_below_min = ja.last_gpus < min_res.gpus;
+    if (below && gpus < min_res.gpus && was_below_min &&
+        gpus < ja.last_gpus) {
+      std::ostringstream os;
+      os << "GPUs taken from a guaranteed job already below its minimum: "
+         << "assigned " << js.plan->display_name() << " on " << gpus
+         << " GPU(s)/" << cpus << " CPU(s), was " << ja.last_gpus << "/"
+         << ja.last_cpus << "; predicted " << predicted
+         << " samples/s < baseline " << baseline << ", minRes "
+         << min_res.gpus << " GPU(s) (requested " << js.spec->requested.gpus
+         << " GPUs, plan " << js.spec->initial_plan.display_name() << ")";
+      record(Invariant::kPerformanceGuarantee, tick.now_s, id, -1, os.str());
+    }
+    ja.last_gpus = gpus;
+    ja.last_cpus = cpus;
+  }
+}
+
+void InvariantAuditor::update_job_state(const SimTick& tick) {
+  for (const AuditJobState& js : tick.jobs) {
+    JobAudit& ja = jobs_[js.spec->id];
+    if (ja.seen && ja.phase == SimJobPhase::kRunning &&
+        js.phase != SimJobPhase::kRunning) {
+      // Preempted (or finished): a later resumption ramps up from scratch.
+      ja.last_gpus = 0;
+      ja.last_cpus = 0;
+    }
+    ja.seen = true;
+    ja.phase = js.phase;
+    ja.samples_done = js.samples_done;
+    if (js.phase == SimJobPhase::kRunning) {
+      ja.last_throughput = js.throughput;
+      if (js.placement != nullptr) ja.placement = *js.placement;
+      if (js.plan != nullptr) ja.plan = *js.plan;
+    } else {
+      ja.placement = Placement{};
+    }
+
+    // Capture the SLA quantities under the store version in force NOW: the
+    // next scheduling round decides against exactly this version, so the
+    // next observed assignment change is judged by these values (cache hits
+    // in SlaCalculator except right after a refit).
+    if (config_.check_guarantee && js.spec->guaranteed &&
+        js.phase != SimJobPhase::kFinished && run_.store != nullptr &&
+        run_.estimator != nullptr &&
+        run_.store->contains(js.spec->model_name)) {
+      refresh_guarantee_engine();
+      ja.baseline_snap = sla_->baseline_throughput(*js.spec);
+      ja.min_res_snap = sla_->min_res(*js.spec, selector_);
+      ja.snap_valid = true;
+    }
+  }
+}
+
+std::vector<Violation> audit_curve_monotonicity(
+    const ClusterSpec& cluster, const PerfModelStore& store,
+    const MemoryEstimator& estimator,
+    const std::vector<std::pair<std::string, int>>& model_batches,
+    int max_gpus, int cpus_per_gpu, double rel_tolerance) {
+  std::vector<Violation> out;
+  BestPlanPredictor predictor(cluster, store, estimator);
+  FullPlanSelector selector;
+  for (const auto& [name, batch] : model_batches) {
+    if (!store.contains(name)) continue;
+    const ModelSpec& model = find_model(name);
+    predictor.warm(model, batch, selector, max_gpus, cpus_per_gpu);
+    double best_so_far = 0.0;
+    int best_gpus = 0;
+    for (int g = 1; g <= max_gpus; ++g) {
+      const double v =
+          predictor.envelope(model, batch, selector, g, cpus_per_gpu * g);
+      if (v < best_so_far * (1.0 - rel_tolerance)) {
+        Violation viol;
+        viol.invariant = Invariant::kCurveMonotonicity;
+        std::ostringstream os;
+        os << "sensitivity curve for " << name << " (batch " << batch
+           << ") decreases: envelope(" << g << " GPUs)=" << v
+           << " < envelope(" << best_gpus << " GPUs)=" << best_so_far;
+        viol.detail = os.str();
+        out.push_back(std::move(viol));
+      }
+      if (v > best_so_far) {
+        best_so_far = v;
+        best_gpus = g;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rubick

@@ -1,0 +1,203 @@
+// Scheduler sanitizer: audits the paper-level invariants of a simulation
+// run (Algorithm 1's contract) as it executes.
+//
+// The auditor is a `SimObserver` (sim/audit.h): the simulator publishes a
+// snapshot at every event-loop tick and the auditor re-derives, from first
+// principles, that the run still satisfies:
+//
+//   1. Resource conservation — no node's GPUs/CPUs/host memory are
+//      over-allocated by the union of running placements, and the live
+//      `Cluster` bookkeeping agrees (used + free == capacity).
+//   2. Placement validity — every running job's placement is canonical
+//      (sorted, unique, in-range nodes, within per-node capacity), its plan
+//      is structurally valid for the model/batch, matches the placement's
+//      GPU count, and TP groups never span nodes.
+//   3. Plan feasibility — the assigned plan's estimated per-GPU memory fits
+//      the device, per the same `MemoryEstimator` the scheduler used.
+//   4. Performance guarantee — each guaranteed job's modeled throughput at
+//      its assigned (placement, plan) is at least its original-request
+//      baseline. Below-baseline assignments are sanctioned when produced by
+//      Algorithm 1's own mechanisms: holding at least the minRes
+//      reservation — the allocation whose canonical best plan matches the
+//      baseline — while placement fragmentation or the host-memory plan
+//      walk shave the realized prediction (the paper's curves are
+//      placement-shape-agnostic); and sitting under minRes without having
+//      been shrunk while there (opportunistic admission starts a queued
+//      guaranteed job small and grows it, an online refit can raise a
+//      running job's minimum, and the exact-plan-infeasibility trim slides
+//      a freshly shrunk victim below minRes — but always starting from a
+//      >= minRes allocation). The floor every sanctioned mechanism
+//      respects, and hence the violation class: GPUs taken from a
+//      guaranteed job that was already under its minimum. Evaluated at
+//      every assignment change, with the same fitted store and SLA
+//      machinery the policy decided with.
+//   5. Sensitivity-curve monotonicity — the best-plan envelope is
+//      non-decreasing in resources (a one-time sweep per model at run
+//      start; guards the concurrent predictor caches).
+//   6. Lifecycle legality — job phases follow the state machine
+//      not-ready -> pending -> running -> finished (with running -> pending
+//      preemption), progress never goes backwards, running jobs hold
+//      non-empty placements, finished jobs met their sample target.
+//
+// Violations carry the invariant, tick time, job and node; the response is
+// configurable (throw / log / count). The auditor checks, it never steers:
+// a clean run is byte-identical with or without it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "core/sla.h"
+#include "plan/memory_estimator.h"
+#include "sim/audit.h"
+#include "sim/perf_store.h"
+
+namespace rubick {
+
+enum class Invariant {
+  kResourceConservation = 0,
+  kPlacementValidity,
+  kPlanFeasibility,
+  kPerformanceGuarantee,
+  kCurveMonotonicity,
+  kLifecycle,
+};
+
+inline constexpr std::size_t kNumInvariants = 6;
+
+const char* to_string(Invariant invariant);
+
+// What to do when an invariant is violated.
+enum class ViolationPolicy {
+  kThrow,  // raise InvariantError at the first violation (fail fast)
+  kLog,    // RUBICK_WARN each violation, keep running
+  kCount,  // record silently; caller inspects report()
+};
+
+struct AuditConfig {
+  ViolationPolicy on_violation = ViolationPolicy::kThrow;
+
+  bool check_conservation = true;
+  bool check_placement = true;
+  bool check_plan_feasibility = true;
+  bool check_lifecycle = true;
+  // Algorithm 1's SLA is a promise only Rubick-family policies make;
+  // enable when auditing one (baselines legitimately break it).
+  bool check_guarantee = false;
+  // One-time envelope sweep per (model, batch) at run start. Costs one
+  // predictor warm() per combination — audit-mode only by default.
+  bool check_curves = false;
+
+  // Relative slack on curve-monotonicity comparisons (float noise only).
+  double rel_tolerance = 1e-6;
+  // Relative slack on the performance-guarantee comparison (the policy
+  // itself qualifies minRes at 0.999 x baseline, sla.cc).
+  double guarantee_rel_tolerance = 0.05;
+  // GPU range of the curve sweep; 0 means the cluster's total GPU count.
+  int curve_max_gpus = 0;
+  // Violations kept verbatim in the report; counters stay exact beyond it.
+  std::size_t max_recorded_violations = 256;
+};
+
+// A structured report of one invariant violation.
+struct Violation {
+  Invariant invariant = Invariant::kResourceConservation;
+  double time_s = 0.0;
+  int job_id = -1;   // -1: not job-specific
+  int node_id = -1;  // -1: not node-specific
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+struct AuditReport {
+  std::vector<Violation> violations;  // capped at max_recorded_violations
+  std::array<long, kNumInvariants> violation_counts{};
+  long total_violations = 0;
+  long checks_performed = 0;
+  long ticks_observed = 0;
+
+  bool clean() const { return total_violations == 0; }
+  std::string summary() const;
+};
+
+class InvariantAuditor final : public SimObserver {
+ public:
+  explicit InvariantAuditor(AuditConfig config = {});
+
+  void on_run_begin(const SimRunInfo& info) override;
+  void on_tick(const SimTick& tick) override;
+  void on_run_end(const SimTick& tick) override;
+
+  const AuditReport& report() const { return report_; }
+  const AuditConfig& config() const { return config_; }
+
+ private:
+  // Persistent per-job audit state across ticks.
+  struct JobAudit {
+    bool seen = false;
+    SimJobPhase phase = SimJobPhase::kNotReady;
+    double samples_done = 0.0;
+    double last_throughput = 0.0;
+    // Last audited assignment (valid while the job runs).
+    Placement placement;
+    ExecutionPlan plan;
+    // Guarantee ramp tracking (see header comment, invariant 4).
+    int last_gpus = 0;
+    int last_cpus = 0;
+    // SLA quantities captured at the END of the previous tick. Online
+    // refinement refits the store inside the simulator's assignment
+    // application — after the policy decided, before the tick is observed —
+    // so the previous tick's store version is exactly the one the policy's
+    // scheduling round was computed against. Judging a decision by the
+    // post-refit fit would blame the policy for a promise it never saw.
+    double baseline_snap = -1.0;
+    ResourceVector min_res_snap;
+    bool snap_valid = false;
+  };
+
+  void record(Invariant invariant, double time_s, int job_id, int node_id,
+              std::string detail);
+  void audit_conservation(const SimTick& tick);
+  void audit_structure(const SimTick& tick);
+  void audit_guarantee(const SimTick& tick);
+  void audit_lifecycle(const SimTick& tick);
+  void update_job_state(const SimTick& tick);
+  // (Re)builds the guarantee engine (predictor + SLA calculator) against
+  // the store's current version; mirrors the policy's own rebind on refit.
+  void refresh_guarantee_engine();
+
+  AuditConfig config_;
+  SimRunInfo run_;
+  AuditReport report_;
+  std::map<int, JobAudit> jobs_;
+
+  // Guarantee machinery: the same SLA primitives the policy schedules with,
+  // rebuilt whenever online refinement bumps the store version.
+  FullPlanSelector selector_;
+  std::unique_ptr<BestPlanPredictor> predictor_;
+  std::unique_ptr<SlaCalculator> sla_;
+  std::uint64_t engine_version_ = 0;
+};
+
+// Standalone sensitivity-curve monotonicity sweep: for every
+// (model name, global batch) combination, walks the best-plan envelope from
+// 1 GPU (with `cpus_per_gpu` CPUs each) up to `max_gpus` and reports every
+// point where the predicted best-plan throughput decreases. Used by the
+// auditor's `check_curves` and directly by tests.
+std::vector<Violation> audit_curve_monotonicity(
+    const ClusterSpec& cluster, const PerfModelStore& store,
+    const MemoryEstimator& estimator,
+    const std::vector<std::pair<std::string, int>>& model_batches,
+    int max_gpus, int cpus_per_gpu = 2, double rel_tolerance = 1e-6);
+
+}  // namespace rubick

@@ -9,7 +9,7 @@
 namespace rubick {
 
 void Placement::add(const NodeSlice& slice) {
-  RUBICK_CHECK(slice.gpus >= 0 && slice.cpus >= 0);
+  RUBICK_DCHECK(slice.gpus >= 0 && slice.cpus >= 0);
   auto it = std::find_if(slices.begin(), slices.end(),
                          [&](const NodeSlice& s) { return s.node == slice.node; });
   if (it != slices.end()) {

@@ -3,6 +3,13 @@
 // RUBICK_CHECK is always on (also in release builds): the scheduler is a
 // long-running control-plane component, so violated invariants must fail fast
 // with a diagnosable message instead of silently corrupting allocations.
+// Use it at API boundaries and for anything a caller could get wrong.
+//
+// RUBICK_DCHECK compiles out under NDEBUG. Use it for internal-consistency
+// assertions inside per-tick / per-candidate inner loops, where the check
+// guards against our own bugs rather than bad input and the cost would be
+// paid millions of times per simulated day. The condition must be free of
+// side effects — it is not evaluated in release builds.
 #pragma once
 
 #include <sstream>
@@ -44,3 +51,15 @@ namespace detail {
                                      os_.str());                        \
     }                                                                   \
   } while (0)
+
+#ifdef NDEBUG
+#define RUBICK_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#define RUBICK_DCHECK_MSG(expr, msg) \
+  do {                               \
+  } while (0)
+#else
+#define RUBICK_DCHECK(expr) RUBICK_CHECK(expr)
+#define RUBICK_DCHECK_MSG(expr, msg) RUBICK_CHECK_MSG(expr, msg)
+#endif

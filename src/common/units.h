@@ -2,7 +2,7 @@
 //
 // The whole library uses a single, explicit unit system:
 //   time        : seconds (double)
-//   memory      : bytes (std::uint64_t) — helpers for GiB below
+//   memory      : bytes (std::uint64_t) — helpers for decimal GB below
 //   bandwidth   : bytes per second (double) — helpers for GB/s below
 //   throughput  : training samples per second (double)
 //   parameters  : raw count (std::uint64_t); bytes via element size
@@ -21,8 +21,11 @@ inline constexpr double kGiga = 1e9;
 // The paper reports link speeds in GB/s (decimal).
 constexpr double gb_per_s(double gb) { return gb * kGiga; }
 
-// GPU / host memory sizes are reported in GiB-ish "GB"; we use decimal GB
-// consistently since only ratios matter for feasibility decisions.
+// Memory sizes use decimal gigabytes: gigabytes(n) == n * 1e9 bytes, NOT
+// n * 2^30 (GiB). Hardware specs quote binary GiB, but feasibility
+// decisions here only compare estimates against capacities converted with
+// the same helper, so only ratios matter; decimal keeps the arithmetic
+// exact and round-trippable with to_gigabytes().
 constexpr std::uint64_t gigabytes(double gb) {
   return static_cast<std::uint64_t>(gb * kGiga);
 }

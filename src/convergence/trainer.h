@@ -46,7 +46,10 @@ struct TrainerConfig {
   double adam_beta2 = 0.999;
   double adam_eps = 1e-8;
   std::uint64_t seed = 1;  // controls init AND data order
-  std::vector<TrainPhase> phases = {{0, 1, 1}};
+  // One default phase: the whole run at dp=1, ga=1. Count-constructed
+  // rather than brace-initialized — GCC 12's maybe-uninitialized analysis
+  // misfires on the initializer_list temporary when this NSDMI is inlined.
+  std::vector<TrainPhase> phases = std::vector<TrainPhase>(1);
   int record_every = 50;  // loss-curve sampling interval
 };
 

@@ -72,7 +72,7 @@ std::vector<int> AllocState::job_nodes(int job) const {
 }
 
 void AllocState::take_gpus(int job, int node, int count) {
-  RUBICK_CHECK(count >= 0);
+  RUBICK_DCHECK(count >= 0);
   auto& f = free_[static_cast<std::size_t>(node)];
   RUBICK_CHECK_MSG(f.gpus >= count, "node " << node << " lacks free GPUs");
   f.gpus -= count;
@@ -82,7 +82,7 @@ void AllocState::take_gpus(int job, int node, int count) {
 }
 
 void AllocState::take_cpus(int job, int node, int count) {
-  RUBICK_CHECK(count >= 0);
+  RUBICK_DCHECK(count >= 0);
   auto& f = free_[static_cast<std::size_t>(node)];
   RUBICK_CHECK_MSG(f.cpus >= count, "node " << node << " lacks free CPUs");
   f.cpus -= count;
@@ -92,7 +92,7 @@ void AllocState::take_cpus(int job, int node, int count) {
 }
 
 void AllocState::give_back_gpus(int job, int node, int count) {
-  RUBICK_CHECK(count >= 0);
+  RUBICK_DCHECK(count >= 0);
   auto& slice = slices_of(job)[node];
   RUBICK_CHECK_MSG(slice.gpus >= count, "job holds fewer GPUs than returned");
   slice.node = node;
@@ -101,7 +101,7 @@ void AllocState::give_back_gpus(int job, int node, int count) {
 }
 
 void AllocState::give_back_cpus(int job, int node, int count) {
-  RUBICK_CHECK(count >= 0);
+  RUBICK_DCHECK(count >= 0);
   auto& slice = slices_of(job)[node];
   RUBICK_CHECK_MSG(slice.cpus >= count, "job holds fewer CPUs than returned");
   slice.node = node;

@@ -28,9 +28,9 @@ IterBreakdown iteration_breakdown(const ModelSpec& model,
                    "iteration_breakdown on infeasible plan "
                        << plan.display_name() << " for " << model.name
                        << " b=" << global_batch);
-  RUBICK_CHECK(fwd_unit_s > 0.0);
-  RUBICK_CHECK(ctx.cpus >= 1);
-  RUBICK_CHECK_MSG(ctx.gpu_speed > 0.0, "gpu_speed must be positive");
+  RUBICK_DCHECK(fwd_unit_s > 0.0);
+  RUBICK_DCHECK(ctx.cpus >= 1);
+  RUBICK_DCHECK_MSG(ctx.gpu_speed > 0.0, "gpu_speed must be positive");
   // Heterogeneity: every GPU-side compute term paces at the slowest GPU.
   fwd_unit_s /= ctx.gpu_speed;
 

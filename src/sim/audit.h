@@ -1,0 +1,89 @@
+// Simulation observation hook.
+//
+// `SimObserver` is the seam through which external subsystems watch a
+// simulation run without the simulator depending on them: the simulator
+// publishes a snapshot of its job/cluster state at every event-loop tick,
+// and the observer (typically the `InvariantAuditor` in src/check) inspects
+// it. The simulator never reads anything back — observers cannot steer a
+// run, only witness it.
+//
+// LIFETIME: every pointer inside `SimRunInfo`, `SimTick` and `AuditJobState`
+// refers to state owned by the running simulator (or the caller's trace) and
+// is valid only for the duration of the callback. Observers that need data
+// across ticks must copy it.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "sim/perf_store.h"
+#include "trace/job.h"
+
+namespace rubick {
+
+// Lifecycle phases of a simulated job. Legal transitions form a line with
+// one back-edge: kNotReady -> kPending -> kRunning -> kFinished, plus
+// kRunning -> kPending (preemption). Everything else is a bug.
+enum class SimJobPhase { kNotReady, kPending, kRunning, kFinished };
+
+inline const char* to_string(SimJobPhase phase) {
+  switch (phase) {
+    case SimJobPhase::kNotReady:
+      return "not-ready";
+    case SimJobPhase::kPending:
+      return "pending";
+    case SimJobPhase::kRunning:
+      return "running";
+    case SimJobPhase::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+// One job's externally visible state at a tick.
+struct AuditJobState {
+  const JobSpec* spec = nullptr;
+  SimJobPhase phase = SimJobPhase::kNotReady;
+  const Placement* placement = nullptr;  // empty unless kRunning
+  const ExecutionPlan* plan = nullptr;   // last assigned plan
+  double samples_done = 0.0;
+  // Effective progress rate (oracle or fitted throughput x statistical
+  // efficiency); 0 unless kRunning.
+  double throughput = 0.0;
+};
+
+// Run-constant context, published once before the event loop starts.
+struct SimRunInfo {
+  const ClusterSpec* cluster = nullptr;
+  // The run's working perf-model store. Online refinement refits it during
+  // the run, so predictions drawn from it may change between ticks;
+  // `store->version()` detects that.
+  const PerfModelStore* store = nullptr;
+  const MemoryEstimator* estimator = nullptr;
+  const std::vector<JobSpec>* jobs = nullptr;
+};
+
+// Snapshot of one event-loop iteration, taken after any scheduling round at
+// that instant has been applied.
+struct SimTick {
+  double now_s = 0.0;
+  bool scheduled = false;  // a policy round ran at this event
+  std::vector<AuditJobState> jobs;
+  // Live allocation bookkeeping (per-node free resources).
+  const Cluster* cluster_state = nullptr;
+};
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void on_run_begin(const SimRunInfo& info) = 0;
+  virtual void on_tick(const SimTick& tick) = 0;
+  // Final snapshot after the event loop drained; `tick.scheduled` is false.
+  virtual void on_run_end(const SimTick& tick) = 0;
+};
+
+}  // namespace rubick

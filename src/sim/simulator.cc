@@ -30,12 +30,12 @@ Summary SimResult::jct_summary_where(bool guaranteed) const {
 
 namespace {
 
-enum class State { kNotReady, kPending, kRunning, kFinished };
+using State = SimJobPhase;
 
 struct SimJob {
   JobSpec spec;
   State state = State::kNotReady;
-  double ready_time = 0.0;  // submit + profiling gate
+  double ready_time_s = 0.0;  // submit + profiling gate
 
   Placement placement;
   ExecutionPlan plan;
@@ -45,7 +45,7 @@ struct SimJob {
   double last_advance = 0.0;
   double queued_since = 0.0;
   double first_start = -1.0;
-  double finish_time = -1.0;
+  double finish_time_s = -1.0;
   int reconfig_count = 0;
   double total_active = 0.0;
   double gpu_seconds = 0.0;
@@ -110,12 +110,42 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
         ready = std::max(ready, it->second);
       }
     }
-    sj.ready_time = ready;
+    sj.ready_time_s = ready;
     sim_jobs.push_back(std::move(sj));
   }
 
   SimResult result;
   result.jobs.resize(sim_jobs.size());
+
+  if (ctx.observer != nullptr) {
+    SimRunInfo info;
+    info.cluster = &cluster_spec_;
+    info.store = &store;
+    info.estimator = &estimator;
+    info.jobs = &jobs;
+    ctx.observer->on_run_begin(info);
+  }
+
+  // Snapshot for SimObserver hooks; pointers borrow simulator stack state
+  // and are valid only inside the callback (see sim/audit.h).
+  auto make_tick = [&](double now, bool scheduled) {
+    SimTick tick;
+    tick.now_s = now;
+    tick.scheduled = scheduled;
+    tick.cluster_state = &cluster;
+    tick.jobs.reserve(sim_jobs.size());
+    for (const auto& sj : sim_jobs) {
+      AuditJobState a;
+      a.spec = &sj.spec;
+      a.phase = sj.state;
+      a.placement = &sj.placement;
+      a.plan = &sj.plan;
+      a.samples_done = sj.samples_done;
+      a.throughput = sj.state == State::kRunning ? sj.throughput : 0.0;
+      tick.jobs.push_back(a);
+    }
+    return tick;
+  };
 
   auto advance_to = [&](double now) {
     for (auto& sj : sim_jobs) {
@@ -141,7 +171,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       cluster.release(sj.placement);
       sj.placement = Placement{};
       sj.state = State::kFinished;
-      sj.finish_time = now;
+      sj.finish_time_s = now;
       any = true;
     }
     return any;
@@ -150,7 +180,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
   auto activate_ready = [&](double now) {
     bool any = false;
     for (auto& sj : sim_jobs) {
-      if (sj.state == State::kNotReady && sj.ready_time <= now + kEps) {
+      if (sj.state == State::kNotReady && sj.ready_time_s <= now + kEps) {
         sj.state = State::kPending;
         sj.queued_since = now;
         any = true;
@@ -293,11 +323,11 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     return input;
   };
 
-  auto next_event_time = [&](double now) {
+  auto next_event_time_s = [&](double now) {
     double next = std::numeric_limits<double>::infinity();
     for (const auto& sj : sim_jobs) {
       if (sj.state == State::kNotReady) {
-        next = std::min(next, sj.ready_time);
+        next = std::min(next, sj.ready_time_s);
       } else if (sj.state == State::kRunning) {
         const double start = std::max(now, sj.pause_until);
         next = std::min(next, start + sj.remaining() / sj.throughput);
@@ -313,12 +343,14 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     const bool completed = finish_completed(now);
     const bool arrived = activate_ready(now);
 
+    bool scheduled = false;
     if (completed || arrived || result.scheduling_rounds == 0) {
       const SchedulerInput input = build_input(now);
       if (!input.jobs.empty()) {
         const std::vector<Assignment> assignments = policy.schedule(input);
         apply_assignments(assignments, now);
         ++result.scheduling_rounds;
+        scheduled = true;
       }
       TimelineSample sample;
       sample.time_s = now;
@@ -334,7 +366,9 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       result.timeline.record(sample);
     }
 
-    const double next = next_event_time(now);
+    if (ctx.observer != nullptr) ctx.observer->on_tick(make_tick(now, scheduled));
+
+    const double next = next_event_time_s(now);
     if (!std::isfinite(next)) {
       // No running jobs and no future arrivals: everything must be done.
       std::string pending_desc;
@@ -351,6 +385,9 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     now = std::max(now, next);
   }
 
+  if (ctx.observer != nullptr)
+    ctx.observer->on_run_end(make_tick(now, /*scheduled=*/false));
+
   // --- Collect results. ---
   double makespan = 0.0;
   for (std::size_t i = 0; i < sim_jobs.size(); ++i) {
@@ -360,8 +397,8 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     jr.finished = sj.state == State::kFinished;
     jr.history = sj.history;
     jr.first_start_s = sj.first_start;
-    jr.finish_s = sj.finish_time;
-    jr.jct_s = jr.finished ? sj.finish_time - sj.spec.submit_time_s : 0.0;
+    jr.finish_s = sj.finish_time_s;
+    jr.jct_s = jr.finished ? sj.finish_time_s - sj.spec.submit_time_s : 0.0;
     jr.reconfig_count = sj.reconfig_count;
     jr.total_active_time_s = sj.total_active;
     jr.gpu_seconds = sj.gpu_seconds;
@@ -374,10 +411,10 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       jr.baseline_throughput = oracle_->measure_throughput(
           model, sj.spec.initial_plan, sj.spec.global_batch, base_ctx);
     }
-    if (jr.finished && sj.finish_time > sj.first_start)
+    if (jr.finished && sj.finish_time_s > sj.first_start)
       jr.achieved_throughput =
-          sj.spec.target_samples / (sj.finish_time - sj.first_start);
-    makespan = std::max(makespan, sj.finish_time);
+          sj.spec.target_samples / (sj.finish_time_s - sj.first_start);
+    makespan = std::max(makespan, sj.finish_time_s);
   }
   result.makespan_s = makespan;
   return result;

@@ -14,6 +14,7 @@
 #include "cluster/cluster.h"
 #include "common/stats.h"
 #include "perf/oracle.h"
+#include "sim/audit.h"
 #include "sim/perf_store.h"
 #include "sim/scheduler.h"
 #include "telemetry/timeline.h"
@@ -94,9 +95,12 @@ struct SimResult {
 // simulator profiles and fits from the oracle itself. `profiling_cost_s`
 // optionally carries the per-model profiling cost charged to the first job
 // of each model type (models missing from it cost the 210 s default).
+// `observer` optionally watches the run tick by tick (see sim/audit.h);
+// the InvariantAuditor in src/check plugs in here.
 struct RunContext {
   const PerfModelStore* store = nullptr;
   const std::map<std::string, double>* profiling_cost_s = nullptr;
+  SimObserver* observer = nullptr;
 };
 
 // CONCURRENCY: run() is const and keeps all mutable state on its stack, so
@@ -111,17 +115,6 @@ class Simulator {
   // Runs the trace to completion under the policy.
   SimResult run(const std::vector<JobSpec>& jobs, SchedulerPolicy& policy,
                 const RunContext& ctx = {}) const;
-
-  // Deprecated shim for the old two-overload API; kept for one release.
-  [[deprecated("use run(jobs, policy, RunContext{&store, &costs})")]]
-  SimResult run(const std::vector<JobSpec>& jobs, SchedulerPolicy& policy,
-                const PerfModelStore& store,
-                const std::map<std::string, double>& profiling_cost_s) const {
-    RunContext ctx;
-    ctx.store = &store;
-    ctx.profiling_cost_s = &profiling_cost_s;
-    return run(jobs, policy, ctx);
-  }
 
  private:
   ClusterSpec cluster_spec_;

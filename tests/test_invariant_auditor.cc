@@ -1,0 +1,315 @@
+// Mutation tests for the scheduler sanitizer (src/check): feed the auditor
+// deliberately corrupted tick snapshots — states the simulator's own input
+// validation would never let a policy produce — and assert each mutation
+// trips exactly its targeted invariant. Plus the positive direction: a real
+// end-to-end Rubick run under the auditor reports zero violations.
+#include "check/invariant_auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "core/sla.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+JobSpec bert_job(int id, int gpus, bool guaranteed = false) {
+  JobSpec spec;
+  spec.id = id;
+  spec.model_name = "BERT";
+  spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+  spec.global_batch = 32;
+  spec.initial_plan = make_dp(gpus);
+  spec.target_samples = 5e4;
+  spec.guaranteed = guaranteed;
+  return spec;
+}
+
+Placement on_node(int node, int gpus, int cpus) {
+  Placement p;
+  p.add({node, gpus, cpus, 0});
+  return p;
+}
+
+AuditJobState running(const JobSpec& spec, const Placement& placement,
+                      const ExecutionPlan& plan, double samples = 100.0,
+                      double throughput = 50.0) {
+  AuditJobState js;
+  js.spec = &spec;
+  js.phase = SimJobPhase::kRunning;
+  js.placement = &placement;
+  js.plan = &plan;
+  js.samples_done = samples;
+  js.throughput = throughput;
+  return js;
+}
+
+// Drives the auditor directly with hand-built snapshots, bypassing the
+// simulator (whose own assignment validation rejects most corruptions
+// before an observer would see them).
+class AuditorMutationTest : public ::testing::Test {
+ protected:
+  AuditorMutationTest() {
+    info_.cluster = &cluster_;
+    info_.estimator = &estimator_;
+    info_.jobs = &specs_;
+  }
+
+  std::unique_ptr<InvariantAuditor> counting_auditor(
+      AuditConfig config = {}) {
+    config.on_violation = ViolationPolicy::kCount;
+    auto auditor = std::make_unique<InvariantAuditor>(config);
+    auditor->on_run_begin(info_);
+    return auditor;
+  }
+
+  SimTick tick_at(double t, std::vector<AuditJobState> jobs) {
+    SimTick tick;
+    tick.now_s = t;
+    tick.jobs = std::move(jobs);
+    return tick;
+  }
+
+  long count(const InvariantAuditor& auditor, Invariant invariant) {
+    return auditor.report()
+        .violation_counts[static_cast<std::size_t>(invariant)];
+  }
+
+  ClusterSpec cluster_;
+  MemoryEstimator estimator_;
+  std::vector<JobSpec> specs_;
+  SimRunInfo info_;
+};
+
+TEST_F(AuditorMutationTest, CleanTickReportsNothing) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+  EXPECT_TRUE(auditor->report().clean()) << auditor->report().summary();
+  EXPECT_GT(auditor->report().checks_performed, 0);
+}
+
+TEST_F(AuditorMutationTest, OverCommittedNodeTripsConservation) {
+  // Two jobs both holding all 8 GPUs of node 0: each slice is individually
+  // within capacity (so placement validity stays quiet) but their union
+  // over-commits the node.
+  specs_ = {bert_job(0, 8), bert_job(1, 8)};
+  auto auditor = counting_auditor();
+  const Placement p0 = on_node(0, 8, 8);
+  const Placement p1 = on_node(0, 8, 8);
+  const ExecutionPlan plan = make_dp(8);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p0, plan),
+                                 running(specs_[1], p1, plan)}));
+  EXPECT_EQ(count(*auditor, Invariant::kResourceConservation), 1);
+  EXPECT_EQ(auditor->report().total_violations, 1);
+  EXPECT_EQ(auditor->report().violations[0].node_id, 0);
+}
+
+TEST_F(AuditorMutationTest, PlanPlacementMismatchTripsPlacementValidity) {
+  // 8-worker plan on a 4-GPU placement.
+  specs_ = {bert_job(0, 8)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(8);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+  EXPECT_EQ(count(*auditor, Invariant::kPlacementValidity), 1);
+  EXPECT_EQ(auditor->report().total_violations, 1);
+}
+
+TEST_F(AuditorMutationTest, SplitTpGroupTripsPlacementValidity) {
+  specs_ = {bert_job(0, 8)};
+  specs_[0].model_name = "LLaMA-2-7B";
+  specs_[0].global_batch = 16;
+  auto auditor = counting_auditor();
+  Placement split;
+  split.add({0, 3, 8, 0});
+  split.add({1, 5, 8, 0});
+  const ExecutionPlan plan = make_3d(1, 8, 1);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], split, plan)}));
+  EXPECT_GE(count(*auditor, Invariant::kPlacementValidity), 1);
+  EXPECT_EQ(auditor->report().total_violations,
+            count(*auditor, Invariant::kPlacementValidity));
+}
+
+TEST_F(AuditorMutationTest, OomPlanTripsPlanFeasibility) {
+  // Plain DP for LLaMA-2-7B on one GPU: ~112 GB of states > 80 GB device.
+  specs_ = {bert_job(0, 1)};
+  specs_[0].model_name = "LLaMA-2-7B";
+  specs_[0].global_batch = 16;
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 1, 4);
+  const ExecutionPlan plan = make_dp(1, 16);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+  EXPECT_EQ(count(*auditor, Invariant::kPlanFeasibility), 1);
+  EXPECT_EQ(auditor->report().total_violations, 1);
+}
+
+TEST_F(AuditorMutationTest, IllegalPhaseTransitionTripsLifecycle) {
+  specs_ = {bert_job(0, 4)};
+  specs_[0].target_samples = 200.0;
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan, 150.0)}));
+  AuditJobState done;
+  done.spec = &specs_[0];
+  done.phase = SimJobPhase::kFinished;
+  done.samples_done = 200.0;
+  auditor->on_tick(tick_at(20.0, {done}));
+  ASSERT_TRUE(auditor->report().clean()) << auditor->report().summary();
+
+  // Finished -> Running: resurrection is never legal.
+  auditor->on_tick(tick_at(30.0, {running(specs_[0], p, plan, 200.0)}));
+  EXPECT_EQ(count(*auditor, Invariant::kLifecycle), 1);
+  EXPECT_EQ(auditor->report().total_violations, 1);
+}
+
+TEST_F(AuditorMutationTest, BackwardsProgressTripsLifecycle) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan, 500.0)}));
+  auditor->on_tick(tick_at(20.0, {running(specs_[0], p, plan, 400.0)}));
+  EXPECT_EQ(count(*auditor, Invariant::kLifecycle), 1);
+}
+
+TEST_F(AuditorMutationTest, ThrowPolicyFailsFast) {
+  specs_ = {bert_job(0, 8), bert_job(1, 8)};
+  AuditConfig config;
+  config.on_violation = ViolationPolicy::kThrow;
+  InvariantAuditor auditor(config);
+  auditor.on_run_begin(info_);
+  const Placement p = on_node(0, 8, 8);
+  const ExecutionPlan plan = make_dp(8);
+  EXPECT_THROW(auditor.on_tick(tick_at(10.0, {running(specs_[0], p, plan),
+                                              running(specs_[1], p, plan)})),
+               InvariantError);
+}
+
+// ---------------------------------------------------------------------
+// Performance guarantee: needs a fitted store for baselines / minRes.
+// ---------------------------------------------------------------------
+
+class AuditorGuaranteeTest : public AuditorMutationTest {
+ protected:
+  AuditorGuaranteeTest()
+      : oracle_(2025),
+        store_(PerfModelStore::profile_models(oracle_, cluster_, {"BERT"})) {
+    info_.store = &store_;
+  }
+
+  // Picks shrink sizes strictly below the job's minRes reservation; BERT
+  // scales well so minRes for an 8-GPU request is (nearly) the full 8.
+  ResourceVector min_res_of(const JobSpec& spec) {
+    BestPlanPredictor predictor(cluster_, store_, estimator_);
+    SlaCalculator sla(predictor, store_, cluster_);
+    FullPlanSelector selector;
+    return sla.min_res(spec, selector);
+  }
+
+  GroundTruthOracle oracle_;
+  PerfModelStore store_;
+};
+
+TEST_F(AuditorGuaranteeTest, ShrinkingBelowMinTripsGuarantee) {
+  specs_ = {bert_job(0, 8, /*guaranteed=*/true)};
+  const ResourceVector min_res = min_res_of(specs_[0]);
+  ASSERT_GE(min_res.gpus, 3) << "fixture assumes a multi-GPU reservation";
+  const int g1 = min_res.gpus > 4 ? 4 : 2;  // below minRes, legal (ramping)
+  const int g2 = g1 / 2;                    // shrunk while below: the bug
+
+  AuditConfig config;
+  config.check_guarantee = true;
+  auto auditor = counting_auditor(config);
+
+  const Placement p1 = on_node(0, g1, 2 * g1);
+  const ExecutionPlan plan1 = make_dp(g1);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p1, plan1)}));
+  ASSERT_TRUE(auditor->report().clean()) << auditor->report().summary();
+
+  const Placement p2 = on_node(0, g2, 2 * g2);
+  const ExecutionPlan plan2 = make_dp(g2);
+  auditor->on_tick(tick_at(20.0, {running(specs_[0], p2, plan2)}));
+  EXPECT_EQ(count(*auditor, Invariant::kPerformanceGuarantee), 1);
+  EXPECT_EQ(auditor->report().total_violations, 1);
+  EXPECT_EQ(auditor->report().violations[0].job_id, 0);
+}
+
+TEST_F(AuditorGuaranteeTest, ShrinkFromAboveMinIsSanctioned) {
+  // The exact-plan-infeasibility trim legally slides a victim below minRes
+  // when the shrink STARTS at or above the reservation; only re-shrinking
+  // an already-under-minimum job is a violation.
+  specs_ = {bert_job(0, 8, /*guaranteed=*/true)};
+  const ResourceVector min_res = min_res_of(specs_[0]);
+  ASSERT_GE(min_res.gpus, 3);
+
+  AuditConfig config;
+  config.check_guarantee = true;
+  auto auditor = counting_auditor(config);
+
+  const Placement p1 = on_node(0, 8, 16);
+  const ExecutionPlan plan1 = make_dp(8);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p1, plan1)}));
+
+  const Placement p2 = on_node(0, 2, 4);
+  const ExecutionPlan plan2 = make_dp(2);
+  auditor->on_tick(tick_at(20.0, {running(specs_[0], p2, plan2)}));
+  EXPECT_TRUE(auditor->report().clean()) << auditor->report().summary();
+}
+
+TEST_F(AuditorGuaranteeTest, FittedCurvesAreMonotone) {
+  const auto violations = audit_curve_monotonicity(
+      cluster_, store_, estimator_, {{"BERT", 32}}, /*max_gpus=*/16);
+  EXPECT_TRUE(violations.empty());
+}
+
+// ---------------------------------------------------------------------
+// Positive direction: a genuine Rubick run is violation-free end to end.
+// ---------------------------------------------------------------------
+
+TEST(AuditorEndToEnd, RubickRunIsClean) {
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+  TraceOptions opts;
+  opts.seed = 11;
+  opts.num_jobs = 12;
+  opts.window_s = hours(1);
+  const auto jobs = gen.generate(opts);
+
+  AuditConfig config;
+  config.on_violation = ViolationPolicy::kCount;
+  config.check_guarantee = true;
+  config.check_curves = true;
+  config.curve_max_gpus = 16;
+  InvariantAuditor auditor(config);
+
+  RubickPolicy policy;
+  Simulator sim(cluster, oracle);
+  RunContext ctx;
+  ctx.observer = &auditor;
+  const SimResult result = sim.run(jobs, policy, ctx);
+
+  EXPECT_TRUE(auditor.report().clean()) << auditor.report().summary();
+  EXPECT_GT(auditor.report().ticks_observed, 0);
+  EXPECT_GT(auditor.report().checks_performed, 0);
+  int finished = 0;
+  for (const auto& j : result.jobs) finished += j.finished ? 1 : 0;
+  EXPECT_EQ(finished, static_cast<int>(jobs.size()));
+}
+
+}  // namespace
+}  // namespace rubick

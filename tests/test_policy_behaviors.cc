@@ -116,8 +116,11 @@ TEST_F(PolicyBehaviorTest, AntManScalesBestEffortIntoLeftovers) {
   ASSERT_GT(be_gpus, 0) << "best-effort job should run scaled-down";
   EXPECT_LE(be_gpus, 4);
   // And its plan is a DP-scaled member of its family.
-  for (const auto& a : out)
-    if (a.job_id == 1) EXPECT_EQ(a.plan.dp * a.plan.tp * a.plan.pp, be_gpus);
+  for (const auto& a : out) {
+    if (a.job_id == 1) {
+      EXPECT_EQ(a.plan.dp * a.plan.tp * a.plan.pp, be_gpus);
+    }
+  }
 }
 
 TEST_F(PolicyBehaviorTest, OpportunisticAdmissionGrowsTowardMinRes) {

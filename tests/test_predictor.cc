@@ -55,7 +55,9 @@ TEST_F(PredictorTest, SlopesAreConsistentWithEnvelope) {
     // When the very next count improves the envelope, the grid-aware slope
     // equals the adjacent difference; on flat stretches it averages over
     // the jump to the next rise and stays non-negative.
-    if (env_next > env_g + 1e-9) EXPECT_NEAR(up, env_next - env_g, 1e-9);
+    if (env_next > env_g + 1e-9) {
+      EXPECT_NEAR(up, env_next - env_g, 1e-9);
+    }
     EXPECT_GE(up, 0.0);
     EXPECT_GE(predictor_.gpu_slope_down(m, 32, all_, g, 2 * g), 0.0);
   }

@@ -64,7 +64,9 @@ TEST_P(SamplingPlan, MeetsPaperRequirements) {
       if (p.uses_offload()) return true;
     return false;
   }();
-  if (offload_feasible) EXPECT_GE(offload, 3) << model.name;
+  if (offload_feasible) {
+    EXPECT_GE(offload, 3) << model.name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Zoo, SamplingPlan,

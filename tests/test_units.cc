@@ -1,0 +1,47 @@
+// Pins the unit-conversion contract of common/units.h: decimal (SI)
+// gigabytes and GB/s, seconds-based time helpers. These values feed every
+// memory-feasibility comparison and trace timestamp, so a silent switch to
+// binary GiB (or vice versa) must fail loudly here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace rubick {
+namespace {
+
+TEST(Units, GigabytesAreDecimal) {
+  // 1 GB == 1e9 bytes exactly — not 2^30 (GiB).
+  EXPECT_EQ(gigabytes(1.0), std::uint64_t{1'000'000'000});
+  EXPECT_NE(gigabytes(1.0), std::uint64_t{1} << 30);
+  EXPECT_EQ(gigabytes(40.0), std::uint64_t{40'000'000'000});
+  EXPECT_EQ(gigabytes(0.5), std::uint64_t{500'000'000});
+  EXPECT_EQ(gigabytes(0.0), std::uint64_t{0});
+}
+
+TEST(Units, GigabytesRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_gigabytes(gigabytes(16.0)), 16.0);
+  EXPECT_DOUBLE_EQ(to_gigabytes(gigabytes(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(to_gigabytes(std::uint64_t{2'500'000'000}), 2.5);
+}
+
+TEST(Units, BandwidthIsDecimalBytesPerSecond) {
+  EXPECT_DOUBLE_EQ(gb_per_s(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(gb_per_s(25.0), 25e9);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(hours(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(minutes(1.5), 90.0);
+  EXPECT_DOUBLE_EQ(to_hours(7200.0), 2.0);
+  EXPECT_DOUBLE_EQ(to_hours(hours(3.25)), 3.25);
+}
+
+TEST(Units, MixedPrecisionBytesPerParam) {
+  EXPECT_EQ(kBytesPerParamFp16, 2u);
+  EXPECT_EQ(kBytesPerParamFp32, 4u);
+}
+
+}  // namespace
+}  // namespace rubick

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Convention linter for the Rubick library sources (src/).
+
+Enforces the project-wide contracts that the compiler cannot:
+
+  1. Unit suffixes (common/units.h): identifiers holding a time, memory or
+     bandwidth quantity carry an explicit unit suffix (`_s`, `_bytes`,
+     `_bps`, or a documented coarser unit such as `_hours`/`_gb`).
+  2. Determinism: no `std::rand`, `std::random_device`, `std::mt19937` or
+     wall-clock reads — all randomness flows through common/rng.h (seeded,
+     reproducible) and all time is simulated seconds.
+  3. Logging discipline: library code never writes to stdout/stderr
+     directly (`std::cout`, `printf`, ...); everything goes through
+     common/log.h so embedders control the sink. (Tools and tests are
+     exempt; so is the log sink itself.)
+
+Zero third-party dependencies; pure stdlib. Exit code 0 when clean, 1 when
+any finding is reported. Run directly or via `ctest -R convention_lint`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# (path suffix, rule) pairs exempt from a rule. The log sink is the one
+# place allowed to touch stderr.
+ALLOWLIST = {
+    ("src/common/log.cc", "io"),
+}
+
+# Comment-stripped lines are matched against these.
+DETERMINISM_PATTERNS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::mt19937"), "std::mt19937"),
+    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock\b"),
+     "wall-clock read"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"), "time(NULL)"),
+]
+
+IO_PATTERNS = [
+    (re.compile(r"\bstd::cout\b|\bstd::cerr\b|\bstd::clog\b"),
+     "direct std stream"),
+    (re.compile(r"\b(?:std::)?f?printf\s*\("), "printf-family call"),
+    (re.compile(r"\bputs\s*\("), "puts"),
+]
+
+# A declared identifier whose stem names a unit-bearing quantity must spell
+# the unit. Matches declarations / members / parameters, i.e. an identifier
+# immediately preceded by a type-ish token and not already suffixed.
+UNIT_STEMS = {
+    "time": ("_s", "_hours", "_ms"),
+    "duration": ("_s",),
+    "delay": ("_s",),
+    "latency": ("_s",),
+    "timeout": ("_s",),
+    "interval": ("_s",),
+    "bandwidth": ("_bps",),
+    "memory": ("_bytes", "_gb"),
+}
+# Words containing a stem that do not denote a quantity of that unit.
+UNIT_WORD_ALLOW = {
+    "timeline", "runtime", "lifetime", "timestamp", "times", "timed",
+    "memory_estimator", "memory_budget", "memoryestimator",
+    "in_memory", "memory_aware",
+}
+
+DECL_RE = re.compile(
+    r"\b(?:double|float|int|long|std::uint64_t|uint64_t|std::int64_t|"
+    r"int64_t|std::size_t|size_t|auto)\s+(?:[*&]\s*)?([a-z][a-z0-9_]*)\s*"
+    r"(?:=|;|,|\)|\{)")
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals and line comments before pattern matching."""
+    line = STRING_RE.sub('""', line)
+    return LINE_COMMENT_RE.sub("", line)
+
+
+def check_units(path: pathlib.Path, lineno: int, code: str, findings: list):
+    for match in DECL_RE.finditer(code):
+        name = match.group(1)
+        if name in UNIT_WORD_ALLOW:
+            continue
+        # `auto commit_plan_memory = [&](...)`: a lambda names an action,
+        # not a quantity.
+        if re.match(r"\s*=\s*\[", code[match.end(1):]):
+            continue
+        for stem, suffixes in UNIT_STEMS.items():
+            if stem not in name:
+                continue
+            # The stem must terminate the conceptual name: `queue_time` and
+            # `timeout` count, `timeline`/`multi_timer` do not.
+            if not (name == stem or name.endswith(stem)):
+                continue
+            if name.endswith(suffixes):
+                continue
+            findings.append(
+                (path, lineno,
+                 f"identifier '{name}' holds a {stem} quantity but lacks a "
+                 f"unit suffix ({' or '.join(suffixes)}); see common/units.h"))
+            break
+
+
+def lint_file(path: pathlib.Path, rel: str, findings: list) -> None:
+    in_block_comment = False
+    for lineno, raw in enumerate(
+            path.read_text(encoding="utf-8", errors="replace").splitlines(),
+            start=1):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0 and "*/" not in line[start:]:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_noise(line)
+        if not code.strip():
+            continue
+
+        for pattern, what in DETERMINISM_PATTERNS:
+            if pattern.search(code):
+                findings.append(
+                    (path, lineno,
+                     f"nondeterminism: {what} — use common/rng.h / simulated "
+                     "time instead"))
+        if (rel, "io") not in ALLOWLIST:
+            for pattern, what in IO_PATTERNS:
+                if pattern.search(code):
+                    findings.append(
+                        (path, lineno,
+                         f"library I/O: {what} — route output through "
+                         "common/log.h"))
+        check_units(path, lineno, code, findings)
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="*", default=["src"],
+                        help="directories to lint (default: src)")
+    args = parser.parse_args(argv)
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    findings: list = []
+    scanned = 0
+    for root in args.roots:
+        base = (repo / root) if not pathlib.Path(root).is_absolute() \
+            else pathlib.Path(root)
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in {".h", ".cc", ".cpp", ".hpp"}:
+                continue
+            scanned += 1
+            rel = path.relative_to(repo).as_posix()
+            lint_file(path, rel, findings)
+
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message}")
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"convention lint: {scanned} file(s) scanned, {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

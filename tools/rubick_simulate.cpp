@@ -1,12 +1,20 @@
 // rubick_simulate — run any (trace, policy) combination on the simulated
 // 64-GPU cluster from the command line.
 //
-//   rubick_simulate --policy=rubick --jobs=406 --window-hours=12 \
+//   rubick_simulate --policy=rubick --jobs=406 --window-hours=12
 //                   --variant=base --seed=1 [--csv]
 //
 // Policies: rubick, rubick-e, rubick-r, rubick-n, sia, synergy, antman,
 // equal-share. Variants: base, bp, mt. `--csv` prints one machine-readable
 // line per job in addition to the summary.
+//
+// `--audit` (default on in Debug builds) attaches the InvariantAuditor from
+// src/check to every run: scheduling decisions and simulation ticks are
+// checked against the paper-level invariants (resource conservation,
+// placement validity, plan feasibility, the performance guarantee for
+// Rubick-family policies, curve monotonicity, lifecycle legality).
+// `--audit-policy` picks the reaction: `count` (default; summary line +
+// exit 1 on violations), `log`, or `throw` (fail fast).
 //
 // Multi-seed sweeps fan independent simulator runs across a thread pool:
 //
@@ -23,6 +31,7 @@
 #include <vector>
 
 #include "baselines/antman.h"
+#include "check/invariant_auditor.h"
 #include "baselines/equal_share.h"
 #include "baselines/sia.h"
 #include "baselines/synergy.h"
@@ -109,7 +118,21 @@ int main(int argc, char** argv) {
   const int history_id = flags.get_int("job-history", -1);
   const double gate = flags.get_double("gate-threshold", 0.97);
   const bool opportunistic = flags.get_bool("opportunistic-admission", true);
+#ifndef NDEBUG
+  const bool audit_default = true;  // on by default in Debug builds
+#else
+  const bool audit_default = false;
+#endif
+  const bool audit = flags.get_bool("audit", audit_default);
+  const std::string audit_policy = flags.get_string("audit-policy", "count");
   flags.finish();
+
+  ViolationPolicy on_violation = ViolationPolicy::kCount;
+  if (audit_policy == "throw") on_violation = ViolationPolicy::kThrow;
+  else if (audit_policy == "log") on_violation = ViolationPolicy::kLog;
+  else RUBICK_CHECK_MSG(audit_policy == "count",
+                        "unknown --audit-policy '" << audit_policy
+                                                   << "'; try throw, log, count");
 
   TraceVariant variant = TraceVariant::kBase;
   if (variant_name == "bp") variant = TraceVariant::kBestPlan;
@@ -153,26 +176,59 @@ int main(int argc, char** argv) {
   const Simulator sim(cluster, oracle, sim_opts);
   const bool multi_tenant = variant == TraceVariant::kMultiTenant;
 
+  // The performance guarantee and curve sweeps are promises only the
+  // Rubick-family policies make; structural invariants apply to every
+  // policy.
+  const bool rubick_family = policy_name.rfind("rubick", 0) == 0;
+  AuditConfig audit_config;
+  audit_config.on_violation = on_violation;
+  audit_config.check_guarantee = rubick_family;
+  audit_config.check_curves = rubick_family;
+
+  struct RunOutput {
+    SimResult result;
+    AuditReport audit;
+  };
+
   // Independent runs fan across the pool: Simulator::run is const and each
-  // run gets a fresh policy instance, so runs share nothing mutable.
+  // run gets a fresh policy instance (and its own auditor), so runs share
+  // nothing mutable.
   ThreadPool pool(parallel <= 0 ? ThreadPool::default_size() : parallel);
-  std::vector<std::future<SimResult>> futures;
+  std::vector<std::future<RunOutput>> futures;
   futures.reserve(seeds.size());
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     futures.push_back(pool.submit([&, i] {
       auto policy = make_policy(policy_name, multi_tenant, gate, opportunistic);
-      return sim.run(traces[i], *policy);
+      RunOutput out;
+      if (audit) {
+        InvariantAuditor auditor(audit_config);
+        RunContext ctx;
+        ctx.observer = &auditor;
+        out.result = sim.run(traces[i], *policy, ctx);
+        out.audit = auditor.report();
+      } else {
+        out.result = sim.run(traces[i], *policy);
+      }
+      return out;
     }));
   }
 
   const std::string policy_display =
       make_policy(policy_name, multi_tenant, gate, opportunistic)->name();
   double sum_jct = 0.0, sum_makespan = 0.0;
+  long total_violations = 0;
   for (std::size_t i = 0; i < seeds.size(); ++i) {
-    const SimResult r = futures[i].get();  // seed order, not finish order
+    const RunOutput out = futures[i].get();  // seed order, not finish order
+    const SimResult& r = out.result;
     std::cout << "trace=" << variant_name << " jobs=" << traces[i].size()
               << " seed=" << seeds[i] << "\n";
     print_summary(std::cout, policy_display, r);
+    if (audit) {
+      std::cout << out.audit.summary() << "\n";
+      for (const Violation& v : out.audit.violations)
+        std::cout << "  " << v.to_string() << "\n";
+      total_violations += out.audit.total_violations;
+    }
     sum_jct += r.avg_jct_s();
     sum_makespan += r.makespan_s;
 
@@ -194,5 +250,5 @@ int main(int argc, char** argv) {
               << pool.size() << " mean_avg_jct_s=" << sum_jct / n
               << " mean_makespan_s=" << sum_makespan / n << "\n";
   }
-  return 0;
+  return total_violations > 0 ? 1 : 0;
 }
