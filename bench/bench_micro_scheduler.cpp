@@ -104,13 +104,23 @@ void BM_WarmParallel(benchmark::State& state) {
   FullPlanSelector sel;
   ThreadPool pool(static_cast<int>(state.range(0)));
   const PerfModelStore& fitted = store();  // profile outside the timed loop
+  CacheStats cache;
   for (auto _ : state) {
     // Fresh predictor per iteration: measures uncached warm-up end to end.
     BestPlanPredictor predictor(cluster(), fitted, est);
     predictor.warm(model, model.default_global_batch, sel, 64,
                    /*cpus_per_gpu=*/2, &pool);
     benchmark::DoNotOptimize(predictor.cache_size());
+    cache += predictor.cache_stats();
   }
+  const ThreadPoolStats pool_stats = pool.stats();
+  state.counters["cache_inserts"] = benchmark::Counter(
+      static_cast<double>(cache.inserts), benchmark::Counter::kAvgIterations);
+  state.counters["pool_tasks"] = benchmark::Counter(
+      static_cast<double>(pool_stats.tasks_executed),
+      benchmark::Counter::kAvgIterations);
+  state.counters["pool_busy_s"] = benchmark::Counter(
+      pool_stats.busy_s, benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_WarmParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
@@ -172,12 +182,19 @@ void BM_ScheduleRound(benchmark::State& state) {
     v.queued_since = j.submit_time_s;
     input.jobs.push_back(v);
   }
+  CacheStats cache;
   for (auto _ : state) {
     // Fresh policy per iteration: measures a cold scheduling round
     // (including curve construction) over `num_jobs` queued jobs.
     RubickPolicy policy;
     benchmark::DoNotOptimize(policy.schedule(input));
+    cache += policy.cache_stats();
   }
+  state.counters["cache_hits"] = benchmark::Counter(
+      static_cast<double>(cache.hits), benchmark::Counter::kAvgIterations);
+  state.counters["cache_misses"] = benchmark::Counter(
+      static_cast<double>(cache.misses), benchmark::Counter::kAvgIterations);
+  state.counters["cache_hit_rate"] = benchmark::Counter(cache.hit_rate());
 }
 BENCHMARK(BM_ScheduleRound)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);

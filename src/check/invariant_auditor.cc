@@ -9,6 +9,7 @@
 #include "core/predictor.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
+#include "telemetry/metrics.h"
 
 namespace rubick {
 
@@ -159,7 +160,18 @@ void InvariantAuditor::on_tick(const SimTick& tick) {
 
 void InvariantAuditor::on_run_end(const SimTick& tick) {
   on_tick(tick);
-  if (!config_.check_lifecycle) return;
+  const auto push_gauges = [this] {
+    RUBICK_GAUGE_SET("audit.checks_performed",
+                     static_cast<double>(report_.checks_performed));
+    RUBICK_GAUGE_SET("audit.ticks_observed",
+                     static_cast<double>(report_.ticks_observed));
+    RUBICK_GAUGE_SET("audit.total_violations",
+                     static_cast<double>(report_.total_violations));
+  };
+  if (!config_.check_lifecycle) {
+    push_gauges();
+    return;
+  }
   // The event loop only drains when every job ran to completion (anything
   // else trips the simulator's own deadlock / time-limit checks first).
   for (const AuditJobState& js : tick.jobs) {
@@ -169,6 +181,7 @@ void InvariantAuditor::on_run_end(const SimTick& tick) {
              std::string("run ended with job in phase ") +
                  rubick::to_string(js.phase));
   }
+  push_gauges();
 }
 
 void InvariantAuditor::audit_lifecycle(const SimTick& tick) {

@@ -1,0 +1,69 @@
+// Tiny JSON emission helpers shared by the structured-log format, the
+// metrics/trace exporters and the telemetry observer. Writing only — the
+// repo never parses JSON (the Python validator in tools/ does that).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace rubick {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not
+// included). Control characters become \u00XX.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  static const char* kHex = "0123456789abcdef";
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[c >> 4];
+          out += kHex[c & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+// Renders a double as a JSON number. JSON has no NaN/Inf; they degrade to
+// null, which every consumer treats as "absent".
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+// `"key":` fragment.
+inline std::string json_key(const std::string& key) {
+  return "\"" + json_escape(key) + "\":";
+}
+
+inline std::string json_str(const std::string& value) {
+  return "\"" + json_escape(value) + "\"";
+}
+
+}  // namespace rubick

@@ -1,12 +1,19 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+
+#include "common/jsonx.h"
 
 namespace rubick {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
+// NaN means "no simulation has published a clock yet" — the annotation is
+// omitted rather than printed as 0.
+std::atomic<double> g_sim_time_s{std::nan("")};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,6 +28,20 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+const char* level_name_lower(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -31,10 +52,43 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-namespace detail {
-void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+void set_log_format(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
 }
+
+LogFormat log_format() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+void set_log_sim_time_s(double now_s) {
+  g_sim_time_s.store(now_s >= 0.0 ? now_s : std::nan(""),
+                     std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::string format_log_line(LogLevel level, const std::string& msg) {
+  if (log_format() == LogFormat::kText)
+    return "[" + std::string(level_name(level)) + "] " + msg;
+  std::string out = "{\"level\":\"";
+  out += level_name_lower(level);
+  out += "\"";
+  const double sim_t_s = g_sim_time_s.load(std::memory_order_relaxed);
+  if (std::isfinite(sim_t_s)) {
+    out += ",\"sim_t_s\":";
+    out += json_number(sim_t_s);
+  }
+  out += ",\"msg\":";
+  out += json_str(msg);
+  out += "}";
+  return out;
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  const std::string line = format_log_line(level, msg);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace detail
 
 }  // namespace rubick

@@ -2,6 +2,14 @@
 //
 // The simulator and scheduler emit structured progress lines; benchmarks run
 // with logging at kWarn to keep their stdout machine-readable.
+//
+// Two output formats share one sink (stderr):
+//   kText (default)  [INFO] message
+//   kJson            {"level":"info","sim_t_s":123.4,"msg":"message"}
+// The JSON form is one object per line so CI and tools can grep structured
+// logs. `sim_t_s` carries monotonic simulated time when a simulation has
+// published it via set_log_sim_time_s(); it is an annotation only (the last
+// writer wins across concurrent runs) and is omitted until first published.
 #pragma once
 
 #include <sstream>
@@ -10,12 +18,23 @@
 namespace rubick {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogFormat { kText = 0, kJson = 1 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+// Publishes the current simulated time for log annotation (kJson adds it as
+// `sim_t_s`). Negative or NaN clears the annotation.
+void set_log_sim_time_s(double now_s);
+
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);
+// Renders one log line in the active format, without the trailing newline.
+// Split out from the sink so tests can pin the format exactly.
+std::string format_log_line(LogLevel level, const std::string& msg);
 }  // namespace detail
 
 }  // namespace rubick

@@ -5,6 +5,8 @@
 #include <limits>
 #include <string>
 
+#include "common/wallclock.h"
+
 namespace rubick {
 
 ThreadPool::ThreadPool(int threads) : size_(std::max(1, threads)) {
@@ -27,6 +29,12 @@ void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    const auto depth = static_cast<std::uint64_t>(queue_.size());
+    std::uint64_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !peak_queue_depth_.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
   }
   cv_.notify_one();
 }
@@ -41,7 +49,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const std::uint64_t begin_ns = monotonic_ns();
     task();
+    busy_ns_.fetch_add(monotonic_ns() - begin_ns, std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -49,6 +60,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
+  indices_processed_.fetch_add(n, std::memory_order_relaxed);
   if (size_ <= 1 || n == 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
@@ -105,6 +118,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     ctx->done_cv.wait(lock, [&] { return ctx->done.load() == ctx->count; });
   }
   if (ctx->err) std::rethrow_exception(ctx->err);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats out;
+  out.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  out.parallel_for_calls =
+      parallel_for_calls_.load(std::memory_order_relaxed);
+  out.indices_processed =
+      indices_processed_.load(std::memory_order_relaxed);
+  out.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  out.busy_s =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return out;
 }
 
 ThreadPool& ThreadPool::global() {

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -33,6 +34,16 @@
 #include <vector>
 
 namespace rubick {
+
+// Lifetime occupancy tallies for a pool (telemetry; see stats()). All
+// counters are cumulative since construction.
+struct ThreadPoolStats {
+  std::uint64_t tasks_executed = 0;     // submit() tasks + helper drains
+  std::uint64_t parallel_for_calls = 0;
+  std::uint64_t indices_processed = 0;  // parallel_for indices, all threads
+  std::uint64_t peak_queue_depth = 0;
+  double busy_s = 0.0;  // worker-thread time spent inside tasks
+};
 
 class ThreadPool {
  public:
@@ -53,6 +64,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     if (size_ <= 1) {
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       (*task)();
       return fut;
     }
@@ -72,6 +84,10 @@ class ThreadPool {
   // concurrency; always >= 1.
   static int default_size();
 
+  // Cumulative occupancy snapshot. Always maintained (the tallies are
+  // relaxed atomic increments on chunky operations, far below noise).
+  ThreadPoolStats stats() const;
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();
@@ -82,6 +98,12 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> indices_processed_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 }  // namespace rubick

@@ -1,0 +1,16 @@
+#include "common/wallclock.h"
+
+#include <chrono>
+
+namespace rubick {
+
+std::uint64_t monotonic_ns() {
+  // Sole wall-clock read in src/ (allowlisted in tools/lint_conventions.py):
+  // telemetry-only, see header.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace rubick

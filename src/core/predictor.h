@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,9 +35,31 @@
 
 namespace rubick {
 
+// Hit/miss/insert tallies for a sharded cache (telemetry; aggregated across
+// shards by ShardedCache::stats()).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+
+  CacheStats& operator+=(const CacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    inserts += o.inserts;
+    return *this;
+  }
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
 // Mutex-sharded hash map used by the predictor's memo caches. Insertion
 // keeps the first value stored for a key (all racers compute the same
-// value, so which one lands is immaterial).
+// value, so which one lands is immaterial). Each shard counts its
+// hits/misses/inserts under the mutex it already holds, so the accounting
+// adds no synchronization of its own.
 template <typename K, typename V>
 class ShardedCache {
  public:
@@ -44,7 +67,11 @@ class ShardedCache {
     const Shard& s = shard_for(key);
     std::lock_guard<std::mutex> lock(s.mu);
     auto it = s.map.find(key);
-    if (it == s.map.end()) return false;
+    if (it == s.map.end()) {
+      ++s.stats.misses;
+      return false;
+    }
+    ++s.stats.hits;
     *out = it->second;
     return true;
   }
@@ -53,7 +80,9 @@ class ShardedCache {
   V insert(const K& key, V value) const {
     Shard& s = shard_for(key);
     std::lock_guard<std::mutex> lock(s.mu);
-    return s.map.emplace(key, std::move(value)).first->second;
+    auto [it, inserted] = s.map.emplace(key, std::move(value));
+    if (inserted) ++s.stats.inserts;
+    return it->second;
   }
 
   std::size_t size() const {
@@ -65,11 +94,21 @@ class ShardedCache {
     return n;
   }
 
+  CacheStats stats() const {
+    CacheStats total;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      total += s.stats;
+    }
+    return total;
+  }
+
  private:
   static constexpr std::size_t kShards = 16;
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<K, V> map;
+    mutable CacheStats stats;
   };
   Shard& shard_for(const K& key) const {
     return shards_[std::hash<K>{}(key) % kShards];
@@ -134,6 +173,13 @@ class BestPlanPredictor {
   // Number of memoized entries (diagnostic; used by tests and benches).
   std::size_t cache_size() const {
     return exact_cache_.size() + envelope_cache_.size();
+  }
+
+  // Aggregated hit/miss/insert tallies across both memo caches.
+  CacheStats cache_stats() const {
+    CacheStats total = exact_cache_.stats();
+    total += envelope_cache_.stats();
+    return total;
   }
 
   const ClusterSpec& cluster() const { return cluster_; }

@@ -8,6 +8,8 @@
 #include "common/threadpool.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace rubick {
 
@@ -77,6 +79,9 @@ struct RubickPolicy::JobInfo {
 
 std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   RUBICK_CHECK(input.models != nullptr && input.estimator != nullptr);
+  RUBICK_TRACE_SPAN("scheduler", "RubickPolicy::schedule");
+  RUBICK_SCOPED_LATENCY_S("scheduler.decision_latency_s");
+  RUBICK_COUNTER_ADD("scheduler.rounds", 1);
   if (bound_store_ != input.models ||
       bound_version_ != input.models->version()) {
     // Rebind when the store was swapped or a model was refitted online; all
@@ -101,12 +106,15 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   // only part that mutates policy-level state (the per-job selector map).
   std::vector<JobInfo> infos;
   infos.reserve(input.jobs.size());
-  for (const auto& v : input.jobs) {
-    JobInfo info;
-    info.view = &v;
-    info.model = &find_model(v.spec->model_name);
-    info.selector = &selector_for(*v.spec);
-    infos.push_back(info);
+  {
+    RUBICK_TRACE_SPAN("scheduler", "phase:bind");
+    for (const auto& v : input.jobs) {
+      JobInfo info;
+      info.view = &v;
+      info.model = &find_model(v.spec->model_name);
+      info.selector = &selector_for(*v.spec);
+      infos.push_back(info);
+    }
   }
 
   // Phase 2 (parallel): build the sensitivity curves for every distinct
@@ -116,6 +124,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   // byte-identical to the serial order; the decision loop below then runs
   // single-threaded on pure cache hits.
   {
+    RUBICK_TRACE_SPAN("scheduler", "phase:curves");
     ThreadPool& pool = ThreadPool::global();
     std::vector<const JobInfo*> combos;
     for (const auto& info : infos) {
@@ -141,6 +150,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   // Phase 3 (serial): the reconfiguration-penalty gate and everything after
   // it — the decision loop stays single-threaded per run (see DESIGN.md
   // "Threading model").
+  RUBICK_TRACE_SPAN("scheduler", "phase:decide");  // to end of round
   std::vector<std::pair<int, Placement>> running;
   for (auto& info : infos) {
     const JobView& v = *info.view;
@@ -158,6 +168,12 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     info.frozen = (T <= 0.0 || (T - nd) / T < config_.gate_threshold) &&
                   !below_min_can_grow;
     running.emplace_back(v.spec->id, v.placement);
+  }
+  if (telemetry_enabled()) {
+    int frozen_jobs = 0;
+    for (const auto& info : infos) frozen_jobs += info.frozen ? 1 : 0;
+    RUBICK_GAUGE_SET("scheduler.frozen_jobs",
+                     static_cast<double>(frozen_jobs));
   }
 
   AllocState state(*input.cluster, running);
@@ -281,10 +297,12 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   auto shrink_victim_gpu = [&](JobInfo& victim, int node) {
     const int id = job_id(victim);
     state.give_back_gpus(id, node, 1);
+    RUBICK_COUNTER_ADD("scheduler.gpu_shrinks", 1);
     if (state.job_gpus(id) == 0) {
       // Shrunk to zero: preemption (best-effort only, checked above).
       state.release_job(id);
       chosen_plan.erase(id);
+      RUBICK_COUNTER_ADD("scheduler.preemptions", 1);
     } else if (state.job_gpus_on(id, node) == 0 &&
                state.job_cpus_on(id, node) > 0) {
       // No GPUs left on this node: its CPUs there are useless, free them.
@@ -577,7 +595,10 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
         const ResourceVector saved = info->min_res;
         info->min_res =
             ResourceVector{g, std::max(1, config_.cpu_floor_per_gpu * g), 0};
-        if (schedule_job(*info)) quota_used[tenant] += need;
+        if (schedule_job(*info)) {
+          quota_used[tenant] += need;
+          RUBICK_COUNTER_ADD("scheduler.opportunistic_admissions", 1);
+        }
         info->min_res = saved;
       }
     }
@@ -646,6 +667,17 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     }
     placement = state.placement_of(id);  // memory may have moved
     out.push_back(Assignment{id, placement, plan_it->second});
+  }
+  RUBICK_COUNTER_ADD("scheduler.assignments",
+                     static_cast<std::uint64_t>(out.size()));
+  if (telemetry_enabled()) {
+    const CacheStats cs = cache_stats();
+    RUBICK_GAUGE_SET("predictor.cache_hits", static_cast<double>(cs.hits));
+    RUBICK_GAUGE_SET("predictor.cache_misses",
+                     static_cast<double>(cs.misses));
+    RUBICK_GAUGE_SET("predictor.cache_inserts",
+                     static_cast<double>(cs.inserts));
+    RUBICK_GAUGE_SET("predictor.cache_hit_rate", cs.hit_rate());
   }
   return out;
 }

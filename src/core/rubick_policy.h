@@ -76,6 +76,12 @@ class RubickPolicy final : public SchedulerPolicy {
   static RubickConfig resources_only();  // Rubick-R
   static RubickConfig neither();         // Rubick-N
 
+  // Aggregated predictor memo-cache tallies (zeros before the first round;
+  // reset when the fitted-model store changes and the predictor rebinds).
+  CacheStats cache_stats() const {
+    return predictor_ != nullptr ? predictor_->cache_stats() : CacheStats{};
+  }
+
  private:
   struct JobInfo;
 

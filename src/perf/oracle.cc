@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "telemetry/metrics.h"
 
 namespace rubick {
 
@@ -78,9 +79,11 @@ double GroundTruthOracle::measure_throughput(const ModelSpec& model,
                                              const PerfContext& ctx) const {
   const Truth& t = truth_for(model);
   const double truth = true_throughput(model, plan, global_batch, ctx);
+  RUBICK_COUNTER_ADD("oracle.measurements", 1);
   // Deterministic per-configuration noise: a fixed testbed re-measures the
   // same configuration to (nearly) the same value.
   Rng noise(hash_seed(config_key(model, plan, global_batch, ctx), seed_));
+  RUBICK_COUNTER_ADD("oracle.noise_draws", 1);
   return truth * noise.lognormal(0.0, t.noise_sigma);
 }
 

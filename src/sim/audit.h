@@ -86,4 +86,28 @@ class SimObserver {
   virtual void on_run_end(const SimTick& tick) = 0;
 };
 
+// Fans one observer slot out to several observers (e.g. the invariant
+// auditor and the telemetry observer on the same run). Callbacks are
+// forwarded in registration order; does not own the observers.
+class SimObserverList final : public SimObserver {
+ public:
+  void add(SimObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  bool empty() const { return observers_.empty(); }
+
+  void on_run_begin(const SimRunInfo& info) override {
+    for (SimObserver* o : observers_) o->on_run_begin(info);
+  }
+  void on_tick(const SimTick& tick) override {
+    for (SimObserver* o : observers_) o->on_tick(tick);
+  }
+  void on_run_end(const SimTick& tick) override {
+    for (SimObserver* o : observers_) o->on_run_end(tick);
+  }
+
+ private:
+  std::vector<SimObserver*> observers_;
+};
+
 }  // namespace rubick

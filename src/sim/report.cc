@@ -32,7 +32,8 @@ void write_results_csv_file(const std::string& path,
 }
 
 void print_summary(std::ostream& os, const std::string& policy_name,
-                   const SimResult& result) {
+                   const SimResult& result,
+                   const SchedulerInternals* internals) {
   const Summary s = result.jct_summary();
   int reconfigs = 0, finished = 0;
   for (const auto& j : result.jobs) {
@@ -59,6 +60,28 @@ void print_summary(std::ostream& os, const std::string& policy_name,
        << "avg queue    "
        << TextTable::fmt(result.timeline.average_queue_length(), 1)
        << " jobs\n";
+  }
+  if (internals != nullptr) {
+    const std::uint64_t lookups =
+        internals->cache_hits + internals->cache_misses;
+    if (lookups > 0) {
+      os << "pred cache   " << internals->cache_hits << "/" << lookups
+         << " hits ("
+         << TextTable::fmt(100.0 * static_cast<double>(internals->cache_hits) /
+                               static_cast<double>(lookups),
+                           1)
+         << "%), " << internals->cache_inserts << " inserts\n";
+    }
+    print_pool_stats(os, *internals);
+  }
+}
+
+void print_pool_stats(std::ostream& os, const SchedulerInternals& internals) {
+  if (internals.pool_tasks > 0 || internals.pool_parallel_for_calls > 0) {
+    os << "thread pool  " << internals.pool_threads << " threads, "
+       << internals.pool_tasks << " tasks, "
+       << internals.pool_parallel_for_calls << " parallel_for, busy "
+       << TextTable::fmt(internals.pool_busy_s, 2) << " s\n";
   }
 }
 

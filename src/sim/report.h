@@ -3,6 +3,7 @@
 // SimResult is rendered identically everywhere.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -16,10 +17,32 @@ namespace rubick {
 void write_results_csv(std::ostream& os, const SimResult& result);
 void write_results_csv_file(const std::string& path, const SimResult& result);
 
+// Scheduler-internal statistics surfaced next to the run summary:
+// predictor memo-cache behaviour and thread-pool occupancy (PR-1's
+// parallel curve engine). Fill from RubickPolicy::cache_stats() and
+// ThreadPool::stats(); fields left at zero are omitted from the output.
+struct SchedulerInternals {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t pool_parallel_for_calls = 0;
+  double pool_busy_s = 0.0;
+  int pool_threads = 0;
+};
+
 // Human-readable run summary: JCT percentiles, makespan, reconfiguration
-// and refit counts, average utilization with a sparkline.
+// and refit counts, average utilization with a sparkline. When `internals`
+// is non-null, appends predictor cache hit rates and pool occupancy.
 void print_summary(std::ostream& os, const std::string& policy_name,
-                   const SimResult& result);
+                   const SimResult& result,
+                   const SchedulerInternals* internals = nullptr);
+
+// Just the "thread pool" occupancy line (no-op when the pool fields are
+// zero). The global pool's statistics are process-cumulative, so a
+// multi-seed sweep prints this once at the end rather than per seed block —
+// per-seed output stays byte-identical to running each seed alone.
+void print_pool_stats(std::ostream& os, const SchedulerInternals& internals);
 
 // The reconfiguration timeline of one job: each configuration it ran with
 // (time, GPUs, plan, measured rate). For policy debugging.

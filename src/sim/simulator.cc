@@ -9,6 +9,7 @@
 #include "common/log.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
+#include "telemetry/metrics.h"
 
 namespace rubick {
 
@@ -339,9 +340,15 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
   // --- Main loop. ---
   double now = 0.0;
   while (true) {
+    // Stamp log lines with simulated time (JSON log mode). Last-writer-wins
+    // across concurrent runs — good enough for the single traced run.
+    set_log_sim_time_s(now);
     advance_to(now);
     const bool completed = finish_completed(now);
     const bool arrived = activate_ready(now);
+    RUBICK_COUNTER_ADD("sim.ticks", 1);
+    if (completed) RUBICK_COUNTER_ADD("sim.completion_events", 1);
+    if (arrived) RUBICK_COUNTER_ADD("sim.arrival_events", 1);
 
     bool scheduled = false;
     if (completed || arrived || result.scheduling_rounds == 0) {
@@ -351,6 +358,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
         apply_assignments(assignments, now);
         ++result.scheduling_rounds;
         scheduled = true;
+        RUBICK_COUNTER_ADD("sim.sched_rounds", 1);
       }
       TimelineSample sample;
       sample.time_s = now;
@@ -387,6 +395,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
 
   if (ctx.observer != nullptr)
     ctx.observer->on_run_end(make_tick(now, /*scheduled=*/false));
+  set_log_sim_time_s(-1.0);  // leave the run's time out of later log lines
 
   // --- Collect results. ---
   double makespan = 0.0;

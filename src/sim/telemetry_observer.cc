@@ -1,0 +1,197 @@
+#include "sim/telemetry_observer.h"
+
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/jsonx.h"
+#include "telemetry/trace.h"
+
+namespace rubick {
+
+namespace {
+
+std::string run_label(const ExecutionPlan& plan, const Placement& placement) {
+  std::ostringstream label;
+  label << plan.display_name() << " x" << placement.total_gpus() << "g";
+  if (placement.multi_node()) label << "/" << placement.num_nodes() << "n";
+  return label.str();
+}
+
+}  // namespace
+
+TelemetryObserver::TelemetryObserver(TraceRecorder* recorder)
+    : recorder_(recorder != nullptr ? recorder : &TraceRecorder::global()) {}
+
+void TelemetryObserver::add_event(double t_s, const std::string& type,
+                                  const std::string& fields_json) {
+  std::ostringstream line;
+  line << "{\"type\": " << json_str(type) << ", \"t_s\": " << json_number(t_s);
+  if (!fields_json.empty()) line << ", " << fields_json;
+  line << "}";
+  events_.push_back(line.str());
+}
+
+void TelemetryObserver::on_run_begin(const SimRunInfo& info) {
+  begun_ = true;
+  total_gpus_ = info.cluster != nullptr ? info.cluster->total_gpus() : 0;
+  recorder_->set_process_name(kTraceSimPid, "simulation");
+  recorder_->set_process_name(kTraceSchedulerPid, "scheduler");
+  if (info.jobs != nullptr) {
+    for (const JobSpec& spec : *info.jobs) {
+      JobState& st = jobs_[spec.id];
+      st.model_name = spec.model_name;
+      st.guaranteed = spec.guaranteed;
+      std::ostringstream track;
+      track << "job " << spec.id << " " << spec.model_name
+            << (spec.guaranteed ? "" : " (BE)");
+      recorder_->set_thread_name(kTraceSimPid, spec.id, track.str());
+    }
+  }
+  std::ostringstream fields;
+  fields << "\"jobs\": " << jobs_.size() << ", \"total_gpus\": "
+         << total_gpus_;
+  add_event(0.0, "run_begin", fields.str());
+}
+
+void TelemetryObserver::open_span(int job_id, JobState& st, bool running,
+                                  std::string label, double now_s) {
+  st.span_open = true;
+  st.running = running;
+  st.label = std::move(label);
+  st.span_begin_s = now_s;
+  (void)job_id;
+}
+
+void TelemetryObserver::close_span(int job_id, JobState& st, double end_s) {
+  if (!st.span_open) return;
+  st.span_open = false;
+  // Zero-length spans (opened and closed at the same event time) are real —
+  // e.g. a job scheduled and immediately reconfigured within one tick — but
+  // render as nothing; skip them to keep the trace tidy.
+  if (end_s > st.span_begin_s) {
+    std::ostringstream args;
+    args << "{\"job\": " << job_id << ", \"kind\": "
+         << (st.running ? "\"run\"" : "\"queued\"") << "}";
+    recorder_->add_complete_sim(st.label, st.running ? "job" : "wait",
+                                st.span_begin_s, end_s, job_id, args.str());
+    spans_.push_back({job_id, st.running, st.label, st.span_begin_s, end_s});
+  }
+}
+
+void TelemetryObserver::observe_tick(const SimTick& tick, bool final_tick) {
+  const double now_s = tick.now_s;
+  int pending = 0;
+  for (const AuditJobState& job : tick.jobs) {
+    if (job.spec == nullptr) continue;
+    const int id = job.spec->id;
+    JobState& st = jobs_[id];
+    const SimJobPhase prev = st.phase;
+    const SimJobPhase cur = job.phase;
+    if (cur == SimJobPhase::kPending) ++pending;
+
+    switch (cur) {
+      case SimJobPhase::kNotReady:
+        break;
+      case SimJobPhase::kPending:
+        if (prev != SimJobPhase::kPending) {
+          close_span(id, st, now_s);
+          open_span(id, st, /*running=*/false, "queued", now_s);
+          add_event(now_s, "phase",
+                    "\"job\": " + std::to_string(id) + ", \"phase\": " +
+                        std::string(prev == SimJobPhase::kRunning
+                                        ? "\"preempted\""
+                                        : "\"pending\""));
+        }
+        break;
+      case SimJobPhase::kRunning: {
+        const bool was_running = prev == SimJobPhase::kRunning;
+        const bool have_config =
+            job.placement != nullptr && job.plan != nullptr;
+        const bool config_changed =
+            have_config && (!was_running || !(st.placement == *job.placement) ||
+                            !(st.plan == *job.plan));
+        if (config_changed) {
+          close_span(id, st, now_s);
+          if (have_config) {
+            st.placement = *job.placement;
+            st.plan = *job.plan;
+          }
+          open_span(id, st, /*running=*/true,
+                    run_label(st.plan, st.placement), now_s);
+          if (was_running) {
+            ++st.reconfig_count;
+            add_event(now_s, "reconfig",
+                      "\"job\": " + std::to_string(id) + ", \"to\": " +
+                          json_str(st.label) + ", \"count\": " +
+                          std::to_string(st.reconfig_count));
+          } else {
+            add_event(now_s, "phase",
+                      "\"job\": " + std::to_string(id) +
+                          ", \"phase\": \"running\", \"config\": " +
+                          json_str(st.label));
+          }
+        }
+        break;
+      }
+      case SimJobPhase::kFinished:
+        if (prev != SimJobPhase::kFinished) {
+          close_span(id, st, now_s);
+          add_event(now_s, "phase",
+                    "\"job\": " + std::to_string(id) +
+                        ", \"phase\": \"finished\", \"reconfigs\": " +
+                        std::to_string(st.reconfig_count));
+        }
+        break;
+    }
+    st.phase = cur;
+  }
+
+  if (final_tick) {
+    for (auto& [id, st] : jobs_) close_span(id, st, now_s);
+  }
+
+  // Cluster-level counter tracks, emitted only on change.
+  int busy_gpus = 0;
+  if (tick.cluster_state != nullptr) {
+    busy_gpus = total_gpus_ - tick.cluster_state->free_total().gpus;
+  }
+  if (busy_gpus != last_busy_gpus_) {
+    recorder_->add_counter_sim("busy_gpus", now_s, 0,
+                               "{\"gpus\": " + std::to_string(busy_gpus) +
+                                   "}");
+    last_busy_gpus_ = busy_gpus;
+  }
+  if (pending != last_pending_) {
+    recorder_->add_counter_sim("pending_jobs", now_s, 0,
+                               "{\"jobs\": " + std::to_string(pending) + "}");
+    last_pending_ = pending;
+  }
+}
+
+void TelemetryObserver::on_tick(const SimTick& tick) {
+  if (tick.scheduled) {
+    ++sched_rounds_;
+    add_event(tick.now_s, "sched_round",
+              "\"round\": " + std::to_string(sched_rounds_));
+  }
+  observe_tick(tick, /*final_tick=*/false);
+}
+
+void TelemetryObserver::on_run_end(const SimTick& tick) {
+  observe_tick(tick, /*final_tick=*/true);
+  std::uint64_t reconfigs = 0;
+  for (const auto& [id, st] : jobs_) {
+    reconfigs += static_cast<std::uint64_t>(st.reconfig_count);
+  }
+  add_event(tick.now_s, "run_end",
+            "\"sched_rounds\": " + std::to_string(sched_rounds_) +
+                ", \"reconfigs\": " + std::to_string(reconfigs) +
+                ", \"spans\": " + std::to_string(spans_.size()));
+}
+
+void TelemetryObserver::write_events_jsonl(std::ostream& os) const {
+  for (const std::string& line : events_) os << line << "\n";
+}
+
+}  // namespace rubick

@@ -1,0 +1,96 @@
+// TelemetryObserver: turns one simulation run into structured telemetry.
+//
+// Attached on the SimObserver seam (it witnesses, never steers), it copies
+// the per-tick job snapshots into:
+//
+//   * Perfetto tracks — one track per simulated job in the "simulation"
+//     trace process (pid kTraceSimPid, tid = job id): a span per contiguous
+//     configuration the job ran under (labelled with its execution plan and
+//     GPU count), "queued" spans while it waits, and cluster-level counter
+//     tracks (busy GPUs, pending jobs). A new run span opens exactly when
+//     the simulator (re)starts the job — i.e. per AssignmentRecord in the
+//     job's history — so the trace is a faithful rendering of the
+//     reconfiguration history.
+//   * A JSONL event stream (`--events-out`): run_begin / phase / reconfig /
+//     sched_round / run_end records, each stamped with simulated seconds.
+//
+// The observer copies everything it needs during callbacks (SimObserver
+// pointers die when the callback returns) and is single-run, single-thread:
+// attach a fresh instance per traced run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "plan/execution_plan.h"
+#include "sim/audit.h"
+
+namespace rubick {
+
+class TraceRecorder;
+
+// One closed span on a job's track (test seam; mirrors what was emitted to
+// the trace recorder).
+struct JobSpanRecord {
+  int job_id = 0;
+  bool running = false;  // false = queued span
+  std::string label;     // plan/gpus for run spans, "queued" otherwise
+  double begin_s = 0.0;
+  double end_s = 0.0;
+};
+
+class TelemetryObserver final : public SimObserver {
+ public:
+  // Records into `recorder` (defaults to the process-global one). The
+  // recorder must outlive the observer; pass a local instance in tests.
+  explicit TelemetryObserver(TraceRecorder* recorder = nullptr);
+
+  void on_run_begin(const SimRunInfo& info) override;
+  void on_tick(const SimTick& tick) override;
+  void on_run_end(const SimTick& tick) override;
+
+  // Closed job spans in emission order (available after on_run_end).
+  const std::vector<JobSpanRecord>& job_spans() const { return spans_; }
+
+  // One JSON object per line; see file comment for the event types.
+  void write_events_jsonl(std::ostream& os) const;
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  struct JobState {
+    SimJobPhase phase = SimJobPhase::kNotReady;
+    Placement placement;
+    ExecutionPlan plan;
+    std::string model_name;
+    bool guaranteed = true;
+    // Open span, if any (`running` says which kind).
+    bool span_open = false;
+    bool running = false;
+    std::string label;
+    double span_begin_s = 0.0;
+    int reconfig_count = 0;
+  };
+
+  void open_span(int job_id, JobState& st, bool running, std::string label,
+                 double now_s);
+  void close_span(int job_id, JobState& st, double end_s);
+  void observe_tick(const SimTick& tick, bool final_tick);
+  void add_event(double t_s, const std::string& type,
+                 const std::string& fields_json);
+
+  TraceRecorder* recorder_;
+  std::map<int, JobState> jobs_;
+  std::vector<JobSpanRecord> spans_;
+  std::vector<std::string> events_;  // pre-rendered JSONL lines
+  int total_gpus_ = 0;
+  int last_busy_gpus_ = -1;
+  int last_pending_ = -1;
+  std::uint64_t sched_rounds_ = 0;
+  bool begun_ = false;
+};
+
+}  // namespace rubick

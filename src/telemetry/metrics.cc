@@ -1,0 +1,156 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/jsonx.h"
+#include "common/wallclock.h"
+
+namespace rubick {
+
+namespace telemetry_detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace telemetry_detail
+
+void set_telemetry_enabled(bool on) {
+  telemetry_detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  RUBICK_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be ascending");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> latency_bounds_s() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0 + 1e-9; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(3.0 * decade);
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: handles cached at macro sites must stay valid
+  // through static destruction of other objects.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second->value() : 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second->value() : 0.0;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    " << json_str(name) << ": "
+       << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    " << json_str(name) << ": "
+       << json_number(g->value());
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    " << json_str(name) << ": {"
+       << "\"count\": " << h->count() << ", \"sum\": "
+       << json_number(h->sum()) << ", \"buckets\": [";
+    const std::vector<std::uint64_t> counts = h->bucket_counts();
+    const std::vector<double>& bounds = h->bounds();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "{\"le\": "
+         << (i < bounds.size() ? json_number(bounds[i]) : "\"+inf\"")
+         << ", \"count\": " << counts[i] << "}";
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+ScopedLatencyTimer::ScopedLatencyTimer(Histogram* hist) : hist_(hist) {
+  if (hist_ != nullptr) begin_ns_ = monotonic_ns();
+}
+
+ScopedLatencyTimer::~ScopedLatencyTimer() {
+  if (hist_ != nullptr)
+    hist_->observe(static_cast<double>(monotonic_ns() - begin_ns_) * 1e-9);
+}
+
+}  // namespace rubick

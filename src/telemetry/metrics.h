@@ -1,0 +1,221 @@
+// MetricsRegistry: process-wide counters, gauges and fixed-bucket
+// histograms for the scheduler's internals (decision latency, cache
+// hit/miss, pool occupancy, oracle evaluations, simulator events).
+//
+// Design points (DESIGN.md §8):
+//
+//   * Hot-path cheap. Every instrumentation macro starts with one relaxed
+//     atomic load of the master switch; telemetry off (the default) costs
+//     that load and a predicted-not-taken branch — nothing else runs, no
+//     clock is read, no handle is resolved. Defining
+//     RUBICK_TELEMETRY_DISABLED at compile time erases the macros entirely.
+//   * Handles are stable. counter()/gauge()/histogram() return references
+//     that live as long as the registry; macro call sites resolve their
+//     handle once (function-local static) and then touch a single atomic.
+//   * Values are exact. Counters and histogram bucket counts are
+//     fetch_add'd, so hammering one counter from N threads loses nothing
+//     (pinned by tests/test_metrics.cc).
+//   * reset_values() zeroes every metric but never deallocates — cached
+//     handles stay valid across runs and tests.
+//
+// The registry renders as JSON (`--metrics-out`); the catalogue of metric
+// names lives in DESIGN.md §8.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rubick {
+
+namespace telemetry_detail {
+// Master switch storage; use telemetry_enabled()/set_telemetry_enabled().
+extern std::atomic<bool> g_enabled;
+}  // namespace telemetry_detail
+
+// True when instrumentation macros record. Off by default; the CLI enables
+// it when any telemetry output is requested.
+inline bool telemetry_enabled() {
+  return telemetry_detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_telemetry_enabled(bool on);
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if larger (peak tracking).
+  void max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds; an
+// implicit +inf bucket catches the rest. Observation cost is a binary
+// search over a handful of doubles plus three relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; last is the +inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Default latency buckets: 1 us .. 10 s, one decade per pair (1x / 3x).
+std::vector<double> latency_bounds_s();
+
+class MetricsRegistry {
+ public:
+  // Process-wide instance used by the instrumentation macros. Never
+  // destroyed, never shrunk — handles are stable for the process lifetime.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // `bounds` applies on first registration; later calls with the same name
+  // return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Zeroes every metric value; registered handles stay valid.
+  void reset_values();
+
+  // Point-in-time reads for tests and reporting (0 when unregistered).
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  std::size_t size() const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{"count":n,
+  //  "sum":s,"buckets":[{"le":b,"count":c},...,{ "le":"+inf",...}]}}}
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// RAII wall-clock latency probe: observes seconds-into-histogram on scope
+// exit. Reads the clock only when armed (telemetry enabled at entry).
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist);
+  ~ScopedLatencyTimer();
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;  // null when disarmed
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace rubick
+
+// ---- Instrumentation macros ------------------------------------------------
+// Each site resolves its metric handle once (block-scoped static) and only
+// when telemetry is enabled; the disabled path is a relaxed load + branch.
+// RUBICK_TELEMETRY_DISABLED compiles all of them to nothing.
+#ifdef RUBICK_TELEMETRY_DISABLED
+
+#define RUBICK_COUNTER_ADD(name, n) \
+  do {                              \
+  } while (0)
+#define RUBICK_GAUGE_SET(name, v) \
+  do {                            \
+  } while (0)
+#define RUBICK_HISTOGRAM_OBSERVE(name, bounds, v) \
+  do {                                            \
+  } while (0)
+#define RUBICK_SCOPED_LATENCY_S(name) \
+  do {                                \
+  } while (0)
+
+#else
+
+#define RUBICK_COUNTER_ADD(name, n)                            \
+  do {                                                         \
+    if (::rubick::telemetry_enabled()) {                       \
+      static ::rubick::Counter& rubick_metric_ =               \
+          ::rubick::MetricsRegistry::global().counter(name);   \
+      rubick_metric_.add(n);                                   \
+    }                                                          \
+  } while (0)
+
+#define RUBICK_GAUGE_SET(name, v)                              \
+  do {                                                         \
+    if (::rubick::telemetry_enabled()) {                       \
+      static ::rubick::Gauge& rubick_metric_ =                 \
+          ::rubick::MetricsRegistry::global().gauge(name);     \
+      rubick_metric_.set(v);                                   \
+    }                                                          \
+  } while (0)
+
+#define RUBICK_HISTOGRAM_OBSERVE(name, bounds, v)                    \
+  do {                                                               \
+    if (::rubick::telemetry_enabled()) {                             \
+      static ::rubick::Histogram& rubick_metric_ =                   \
+          ::rubick::MetricsRegistry::global().histogram(name,        \
+                                                        (bounds));   \
+      rubick_metric_.observe(v);                                     \
+    }                                                                \
+  } while (0)
+
+// Times the enclosing scope into a latency histogram (seconds). NOT inside
+// do{}while — the RAII object must live to the end of the caller's scope.
+#define RUBICK_SCOPED_LATENCY_S(name)                                      \
+  ::rubick::ScopedLatencyTimer rubick_latency_timer_##__LINE__(            \
+      ::rubick::telemetry_enabled()                                        \
+          ? &::rubick::MetricsRegistry::global().histogram(               \
+                name, ::rubick::latency_bounds_s())                        \
+          : nullptr)
+
+#endif  // RUBICK_TELEMETRY_DISABLED

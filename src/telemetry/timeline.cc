@@ -52,34 +52,70 @@ double ClusterTimeline::fully_busy_fraction() const {
   });
 }
 
+double ClusterTimeline::utilization_at(double time_s) const {
+  // Step function: each sample holds until the next. Before the first
+  // sample nothing has been recorded yet -> 0.
+  const TimelineSample* last = nullptr;
+  for (const TimelineSample& s : samples_) {
+    if (s.time_s > time_s) break;
+    last = &s;
+  }
+  if (last == nullptr) return 0.0;
+  return static_cast<double>(last->busy_gpus) / last->total_gpus;
+}
+
 std::vector<double> ClusterTimeline::utilization_buckets(int buckets) const {
   RUBICK_CHECK(buckets > 0);
   std::vector<double> out(static_cast<std::size_t>(buckets), 0.0);
-  if (samples_.size() < 2) return out;
+  if (samples_.empty()) return out;
+
   const double t0 = samples_.front().time_s;
   const double t1 = samples_.back().time_s;
-  if (t1 <= t0) return out;
-  const double width = (t1 - t0) / buckets;
+  if (samples_.size() == 1 || t1 <= t0) {
+    // Degenerate span (one sample, or several at the same instant): the
+    // step function is a single constant level; every bucket shows it.
+    const double util = static_cast<double>(samples_.back().busy_gpus) /
+                        samples_.back().total_gpus;
+    std::fill(out.begin(), out.end(), util);
+    return out;
+  }
 
-  std::vector<double> covered(static_cast<std::size_t>(buckets), 0.0);
+  // Exact per-bucket integration of the step function: each inter-sample
+  // segment contributes its overlap with every bucket it touches. The walk
+  // is monotone in both segments and buckets (no epsilon stepping).
+  const auto n = static_cast<std::size_t>(buckets);
+  const double width = (t1 - t0) / buckets;
+  std::vector<double> covered(n, 0.0);
   for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
     const double util =
         static_cast<double>(samples_[i].busy_gpus) / samples_[i].total_gpus;
-    double begin = samples_[i].time_s;
-    const double end = samples_[i + 1].time_s;
-    while (begin < end) {
-      const auto b = std::min<std::size_t>(
-          static_cast<std::size_t>((begin - t0) / width),
-          static_cast<std::size_t>(buckets - 1));
-      const double bucket_end = t0 + (static_cast<double>(b) + 1.0) * width;
-      const double chunk = std::min(end, bucket_end) - begin;
-      out[b] += util * chunk;
-      covered[b] += chunk;
-      begin += chunk > 0.0 ? chunk : width * 1e-9;
+    const double seg_begin = samples_[i].time_s;
+    const double seg_end = samples_[i + 1].time_s;
+    if (seg_end <= seg_begin) continue;  // coincident events
+    auto b = std::min<std::size_t>(
+        static_cast<std::size_t>((seg_begin - t0) / width), n - 1);
+    for (; b < n; ++b) {
+      const double bucket_begin = t0 + static_cast<double>(b) * width;
+      const double bucket_end = b + 1 == n ? t1 : bucket_begin + width;
+      const double overlap = std::min(seg_end, bucket_end) -
+                             std::max(seg_begin, bucket_begin);
+      if (overlap > 0.0) {
+        out[b] += util * overlap;
+        covered[b] += overlap;
+      }
+      if (bucket_end >= seg_end) break;
     }
   }
-  for (std::size_t b = 0; b < out.size(); ++b)
-    out[b] = covered[b] > 0.0 ? out[b] / covered[b] : 0.0;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (covered[b] > 0.0) {
+      out[b] /= covered[b];
+    } else {
+      // A bucket narrower than float resolution can end up uncovered;
+      // fall back to the step-function value at its midpoint instead of
+      // reporting a spurious idle hole.
+      out[b] = utilization_at(t0 + (static_cast<double>(b) + 0.5) * width);
+    }
+  }
   return out;
 }
 
@@ -88,6 +124,7 @@ std::string ClusterTimeline::sparkline(const std::vector<double>& buckets) {
   std::string out;
   out.reserve(buckets.size());
   for (double u : buckets) {
+    if (!std::isfinite(u)) u = 0.0;
     const int level = std::clamp(static_cast<int>(std::lround(u * 7.0)), 0, 7);
     out.push_back(kLevels[level]);
   }

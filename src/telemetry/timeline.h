@@ -40,8 +40,13 @@ class ClusterTimeline {
   // Fraction of the recorded span with every GPU busy.
   double fully_busy_fraction() const;
 
+  // Step-function utilization at an instant (0 before the first sample).
+  double utilization_at(double time_s) const;
+
   // Down-samples the step function into `buckets` equal time slices of mean
-  // utilization — printable as a coarse utilization curve.
+  // utilization — printable as a coarse utilization curve. An empty
+  // timeline yields all zeros; a zero-length span (single sample, or all
+  // samples coincident) repeats that constant level in every bucket.
   std::vector<double> utilization_buckets(int buckets) const;
 
   // Renders `buckets` as a one-line ASCII sparkline (0-100% -> ' ' .. '#').

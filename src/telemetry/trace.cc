@@ -1,0 +1,192 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "common/jsonx.h"
+#include "common/wallclock.h"
+
+namespace rubick {
+
+TraceRecorder::TraceRecorder() : epoch_ns_(monotonic_ns()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  // Leaked on purpose, same rationale as MetricsRegistry::global():
+  // thread-local buffer pointers and in-flight spans must outlive any
+  // static destruction order.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return monotonic_ns() - epoch_ns_;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  // One registration per (thread, recorder). The thread_local caches the
+  // global recorder's buffer only; a non-global recorder (tests) registers
+  // on every call — fine, tests are tiny.
+  thread_local ThreadBuffer* cached = nullptr;
+  thread_local TraceRecorder* cached_owner = nullptr;
+  if (cached != nullptr && cached_owner == this) return *cached;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer& buf = *buffers_.back();
+  buf.tid = next_tid_++;
+  if (this == &global()) {
+    cached = &buf;
+    cached_owner = this;
+  }
+  return buf;
+}
+
+int TraceRecorder::current_tid() { return local_buffer().tid; }
+
+void TraceRecorder::add(TraceEvent event) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(std::move(event));
+}
+
+void TraceRecorder::add_complete_wall(const char* cat, const std::string& name,
+                                      std::uint64_t begin_ns,
+                                      std::uint64_t end_ns,
+                                      std::string args_json) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts_us = static_cast<double>(begin_ns) * 1e-3;
+  ev.dur_us = static_cast<double>(end_ns - begin_ns) * 1e-3;
+  ev.pid = kTraceSchedulerPid;
+  ev.tid = current_tid();
+  ev.args_json = std::move(args_json);
+  add(std::move(ev));
+}
+
+void TraceRecorder::add_complete_sim(const std::string& name, const char* cat,
+                                     double begin_s, double end_s, int tid,
+                                     std::string args_json) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  // Simulated seconds rendered as trace microseconds; only relative
+  // extents matter inside the sim process.
+  ev.ts_us = begin_s * 1e6;
+  ev.dur_us = (end_s - begin_s) * 1e6;
+  ev.pid = kTraceSimPid;
+  ev.tid = tid;
+  ev.args_json = std::move(args_json);
+  add(std::move(ev));
+}
+
+void TraceRecorder::add_counter_sim(const std::string& name, double t_s,
+                                    int tid, std::string args_json) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = "sim";
+  ev.ph = 'C';
+  ev.ts_us = t_s * 1e6;
+  ev.pid = kTraceSimPid;
+  ev.tid = tid;
+  ev.args_json = std::move(args_json);
+  add(std::move(ev));
+}
+
+void TraceRecorder::set_process_name(int pid, const std::string& name) {
+  TraceEvent ev;
+  ev.name = "process_name";
+  ev.ph = 'M';
+  ev.pid = pid;
+  ev.tid = 0;
+  ev.args_json = "{\"name\": " + json_str(name) + "}";
+  add(std::move(ev));
+}
+
+void TraceRecorder::set_thread_name(int pid, int tid,
+                                    const std::string& name) {
+  TraceEvent ev;
+  ev.name = "thread_name";
+  ev.ph = 'M';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args_json = "{\"name\": " + json_str(name) + "}";
+  add(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  // Metadata first (viewers apply names before events), then by time.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if ((a.ph == 'M') != (b.ph == 'M')) return a.ph == 'M';
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    os << (first ? "\n" : ",\n") << " {\"name\": " << json_str(ev.name)
+       << ", \"ph\": \"" << ev.ph << "\"";
+    if (!ev.cat.empty()) os << ", \"cat\": " << json_str(ev.cat);
+    os << ", \"ts\": " << json_number(ev.ts_us);
+    if (ev.ph == 'X') os << ", \"dur\": " << json_number(ev.dur_us);
+    os << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid;
+    if (!ev.args_json.empty()) os << ", \"args\": " << ev.args_json;
+    os << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+TraceSpan::TraceSpan(const char* cat, std::string name) {
+  TraceRecorder& rec = TraceRecorder::global();
+  if (!rec.enabled()) return;
+  armed_ = true;
+  cat_ = cat;
+  name_ = std::move(name);
+  begin_ns_ = rec.now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.add_complete_wall(cat_, name_, begin_ns_, rec.now_ns());
+}
+
+}  // namespace rubick

@@ -1,0 +1,140 @@
+// Tracing spans with Chrome trace-event export (Perfetto-loadable).
+//
+// Two time domains share one trace file, kept apart as two "processes":
+//
+//   pid 1 ("scheduler")  — wall-clock spans recorded by RUBICK_TRACE_SPAN
+//                          around real computation (scheduling rounds,
+//                          curve warm-up). One track per OS thread.
+//   pid 2 ("simulation") — simulated-time spans built by the
+//                          TelemetryObserver (sim/telemetry_observer.h):
+//                          one track per simulated job showing its
+//                          queued/run/reconfig phases, plus cluster-level
+//                          counter tracks. `ts` is simulated seconds
+//                          rendered as microseconds.
+//
+// Recording is lock-light: each OS thread owns a buffer (registered once,
+// guarded by a rarely-contended per-buffer mutex so export can run while
+// threads still record); a disabled recorder costs one relaxed atomic load
+// per macro. The export is the standard JSON object form
+// {"traceEvents":[...]} understood by Perfetto and chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rubick {
+
+// Trace-event "processes" (time domains — see file comment).
+inline constexpr int kTraceSchedulerPid = 1;
+inline constexpr int kTraceSimPid = 2;
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';      // X complete, i instant, C counter, M metadata
+  double ts_us = 0.0;
+  double dur_us = 0.0;  // 'X' only
+  int pid = kTraceSchedulerPid;
+  int tid = 0;
+  // Raw JSON object for "args" (including braces), empty for none.
+  std::string args_json;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  // Process-wide recorder used by RUBICK_TRACE_SPAN and the CLI exporters.
+  static TraceRecorder& global();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on);
+
+  // Appends one event to the calling thread's buffer (any ph).
+  void add(TraceEvent event);
+
+  // Convenience wrappers -----------------------------------------------
+  // Wall-clock complete event on the calling thread's scheduler track.
+  void add_complete_wall(const char* cat, const std::string& name,
+                         std::uint64_t begin_ns, std::uint64_t end_ns,
+                         std::string args_json = {});
+  // Simulated-time complete event on a named sim track (tid = job id).
+  void add_complete_sim(const std::string& name, const char* cat,
+                        double begin_s, double end_s, int tid,
+                        std::string args_json = {});
+  void add_counter_sim(const std::string& name, double t_s, int tid,
+                       std::string args_json);
+  // Metadata: names a process or thread track in the viewer.
+  void set_process_name(int pid, const std::string& name);
+  void set_thread_name(int pid, int tid, const std::string& name);
+
+  // Nanoseconds since the recorder's epoch (its construction).
+  std::uint64_t now_ns() const;
+  // Stable per-OS-thread track id within the scheduler process.
+  int current_tid();
+
+  // Merged copy of every buffer, ts-sorted. Safe while recording.
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t event_count() const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"}
+  void write_chrome_trace(std::ostream& os) const;
+
+  // Drops all recorded events (buffers stay registered).
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    int tid = 0;
+  };
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_ = 0;
+  mutable std::mutex mu_;  // guards buffers_ registration and next_tid_
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  int next_tid_ = 1;
+};
+
+// RAII span: records a wall-clock complete event on the calling thread's
+// track from construction to destruction. Disarmed (zero work beyond one
+// relaxed load) when the recorder is off at entry.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name)
+      : TraceSpan(cat, std::string(name)) {}
+  TraceSpan(const char* cat, std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_ = false;
+  const char* cat_ = "";
+  std::string name_;
+  std::uint64_t begin_ns_ = 0;
+};
+
+}  // namespace rubick
+
+#ifdef RUBICK_TELEMETRY_DISABLED
+#define RUBICK_TRACE_SPAN(cat, name) \
+  do {                               \
+  } while (0)
+#else
+#define RUBICK_TRACE_SPAN_CONCAT2(a, b) a##b
+#define RUBICK_TRACE_SPAN_CONCAT(a, b) RUBICK_TRACE_SPAN_CONCAT2(a, b)
+// Scoped: the span covers the rest of the enclosing block.
+#define RUBICK_TRACE_SPAN(cat, name)                                 \
+  ::rubick::TraceSpan RUBICK_TRACE_SPAN_CONCAT(rubick_trace_span_,   \
+                                               __LINE__)(cat, name)
+#endif

@@ -1,0 +1,184 @@
+// MetricsRegistry: exactness under concurrency, disabled-path no-ops,
+// histogram bucketing, JSON export — plus the JSON log format that shares
+// the observability layer (DESIGN.md §8).
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+
+namespace rubick {
+namespace {
+
+// Every test leaves the global switch off, the way it started.
+class TelemetryGuard {
+ public:
+  ~TelemetryGuard() { set_telemetry_enabled(false); }
+};
+
+TEST(Metrics, CounterExactUnderConcurrency) {
+  TelemetryGuard guard;
+  set_telemetry_enabled(true);
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.hammered");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, HistogramExactUnderConcurrency) {
+  TelemetryGuard guard;
+  set_telemetry_enabled(true);
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.lat", {1.0, 2.0, 3.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.observe(static_cast<double>(i % 4) + 0.5);  // 0.5,1.5,2.5,3.5
+    });
+  for (auto& t : threads) t.join();
+  const std::uint64_t per_bucket =
+      static_cast<std::uint64_t>(kThreads) * kPerThread / 4;
+  EXPECT_EQ(h.count(), per_bucket * 4);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + +inf
+  for (const std::uint64_t n : counts) EXPECT_EQ(n, per_bucket);
+  EXPECT_NEAR(h.sum(), static_cast<double>(per_bucket) * (0.5 + 1.5 + 2.5 + 3.5),
+              1e-6);
+}
+
+TEST(Metrics, HistogramBucketBoundariesInclusive) {
+  Histogram h({1.0, 10.0});
+  h.observe(1.0);   // le 1.0 (inclusive upper bound)
+  h.observe(1.001); // le 10.0
+  h.observe(11.0);  // +inf
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(Metrics, GaugeSetAddMax) {
+  Gauge g;
+  g.set(2.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.max(2.0);  // lower: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, MacrosAreNoOpsWhenDisabled) {
+  TelemetryGuard guard;
+  set_telemetry_enabled(false);
+  const std::size_t before = MetricsRegistry::global().size();
+  RUBICK_COUNTER_ADD("test.disabled_counter", 5);
+  RUBICK_GAUGE_SET("test.disabled_gauge", 1.0);
+  RUBICK_HISTOGRAM_OBSERVE("test.disabled_hist", latency_bounds_s(), 0.1);
+  // Nothing registered, nothing counted.
+  EXPECT_EQ(MetricsRegistry::global().size(), before);
+  EXPECT_EQ(MetricsRegistry::global().counter_value("test.disabled_counter"),
+            0u);
+}
+
+TEST(Metrics, MacrosRecordWhenEnabled) {
+  TelemetryGuard guard;
+  set_telemetry_enabled(true);
+  MetricsRegistry::global().reset_values();
+  RUBICK_COUNTER_ADD("test.macro_counter", 2);
+  RUBICK_COUNTER_ADD("test.macro_counter", 3);
+  RUBICK_GAUGE_SET("test.macro_gauge", 4.25);
+  EXPECT_EQ(MetricsRegistry::global().counter_value("test.macro_counter"), 5u);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge_value("test.macro_gauge"),
+                   4.25);
+}
+
+TEST(Metrics, ResetValuesKeepsHandles) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.reset");
+  c.add(10);
+  registry.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // handle still valid and registered
+  EXPECT_EQ(registry.counter_value("test.reset"), 1u);
+}
+
+TEST(Metrics, ScopedLatencyTimerObservesOnce) {
+  Histogram h(latency_bounds_s());
+  { ScopedLatencyTimer timer(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  { ScopedLatencyTimer disarmed(nullptr); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Metrics, WriteJsonIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.level").set(0.5);
+  registry.histogram("c.lat", {1.0}).observe(0.2);
+  std::ostringstream os;
+  registry.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"b.level\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+inf\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness proxy; the Python
+  // validator in tools/validate_telemetry.py does the full parse).
+  long depth = 0;
+  for (const char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(LogFormat, TextIsDefaultShape) {
+  set_log_format(LogFormat::kText);
+  EXPECT_EQ(detail::format_log_line(LogLevel::kInfo, "hello"),
+            "[INFO] hello");
+}
+
+TEST(LogFormat, JsonLineWithAndWithoutSimTime) {
+  set_log_format(LogFormat::kJson);
+  set_log_sim_time_s(-1.0);  // cleared
+  EXPECT_EQ(detail::format_log_line(LogLevel::kWarn, "plain"),
+            "{\"level\":\"warn\",\"msg\":\"plain\"}");
+  set_log_sim_time_s(12.5);
+  EXPECT_EQ(detail::format_log_line(LogLevel::kError, "timed"),
+            "{\"level\":\"error\",\"sim_t_s\":12.5,\"msg\":\"timed\"}");
+  set_log_sim_time_s(-1.0);
+  set_log_format(LogFormat::kText);
+}
+
+TEST(LogFormat, JsonEscapesMessage) {
+  set_log_format(LogFormat::kJson);
+  set_log_sim_time_s(-1.0);
+  const std::string line =
+      detail::format_log_line(LogLevel::kInfo, "quote \" slash \\ nl \n");
+  EXPECT_NE(line.find("\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\\\"), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one physical line
+  set_log_format(LogFormat::kText);
+}
+
+}  // namespace
+}  // namespace rubick

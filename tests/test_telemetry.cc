@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "common/error.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
@@ -82,6 +85,65 @@ TEST(Timeline, BucketsCoverSpan) {
 TEST(Timeline, SparklineMapsLevels) {
   EXPECT_EQ(ClusterTimeline::sparkline({0.0, 1.0}), " #");
   EXPECT_EQ(ClusterTimeline::sparkline({0.5}).size(), 1u);
+}
+
+TEST(Timeline, EmptyBucketsAreZero) {
+  const ClusterTimeline tl;
+  const auto buckets = tl.utilization_buckets(4);
+  ASSERT_EQ(buckets.size(), 4u);
+  for (const double b : buckets) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(Timeline, SingleSampleFillsAllBuckets) {
+  ClusterTimeline tl;
+  tl.record(sample(5, 32, 64));
+  const auto buckets = tl.utilization_buckets(3);
+  ASSERT_EQ(buckets.size(), 3u);
+  for (const double b : buckets) EXPECT_NEAR(b, 0.5, 1e-12);
+}
+
+TEST(Timeline, MoreBucketsThanSamples) {
+  ClusterTimeline tl;
+  tl.record(sample(0, 0, 64));    // 0% over [0, 50)
+  tl.record(sample(50, 64, 64));  // 100% over [50, 100)
+  tl.record(sample(100, 0, 64));
+  const auto buckets = tl.utilization_buckets(8);
+  ASSERT_EQ(buckets.size(), 8u);
+  // Each 12.5 s bucket lies entirely inside one segment.
+  for (int b = 0; b < 4; ++b) EXPECT_NEAR(buckets[b], 0.0, 1e-9) << b;
+  for (int b = 4; b < 8; ++b) EXPECT_NEAR(buckets[b], 1.0, 1e-9) << b;
+}
+
+TEST(Timeline, BucketStraddlingSegmentsIntegratesExactly) {
+  ClusterTimeline tl;
+  tl.record(sample(0, 0, 64));    // 0% over [0, 30)
+  tl.record(sample(30, 64, 64));  // 100% over [30, 90)
+  tl.record(sample(90, 0, 64));
+  const auto buckets = tl.utilization_buckets(2);  // [0,45) and [45,90)
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_NEAR(buckets[0], 15.0 / 45.0, 1e-9);  // 30 s idle + 15 s busy
+  EXPECT_NEAR(buckets[1], 1.0, 1e-9);
+}
+
+TEST(Timeline, UtilizationAtIsAStepFunction) {
+  ClusterTimeline tl;
+  tl.record(sample(10, 16, 64));
+  tl.record(sample(20, 64, 64));
+  EXPECT_DOUBLE_EQ(tl.utilization_at(5), 0.0);     // before first sample
+  EXPECT_DOUBLE_EQ(tl.utilization_at(10), 0.25);   // at the sample
+  EXPECT_DOUBLE_EQ(tl.utilization_at(15), 0.25);   // held until the next
+  EXPECT_DOUBLE_EQ(tl.utilization_at(20), 1.0);
+  EXPECT_DOUBLE_EQ(tl.utilization_at(1000), 1.0);  // last value persists
+}
+
+TEST(Timeline, SparklineGuardsNonFiniteLevels) {
+  const std::string s = ClusterTimeline::sparkline(
+      {std::numeric_limits<double>::quiet_NaN(),
+       std::numeric_limits<double>::infinity(), 1.0});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], ' ');  // non-finite clamps to the empty level
+  EXPECT_EQ(s[1], ' ');
+  EXPECT_EQ(s[2], '#');
 }
 
 TEST(Timeline, SimulatorRecordsTimeline) {

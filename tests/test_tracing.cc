@@ -1,0 +1,211 @@
+// TraceRecorder/TraceSpan: Chrome trace-event structure and span nesting;
+// TelemetryObserver: per-job tracks must mirror the simulator's recorded
+// reconfiguration history, and coexist with the auditor on the observer
+// seam.
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "check/invariant_auditor.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "sim/simulator.h"
+#include "sim/telemetry_observer.h"
+#include "telemetry/metrics.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+// Restores the global recorder to its disabled, empty state.
+class RecorderGuard {
+ public:
+  ~RecorderGuard() {
+    TraceRecorder::global().set_enabled(false);
+    TraceRecorder::global().clear();
+  }
+};
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  RecorderGuard guard;
+  TraceRecorder::global().set_enabled(false);
+  TraceRecorder::global().clear();
+  { RUBICK_TRACE_SPAN("test", "ignored"); }
+  EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
+}
+
+TEST(TraceRecorder, SpanNestingIsContained) {
+  RecorderGuard guard;
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+  {
+    RUBICK_TRACE_SPAN("test", "outer");
+    RUBICK_TRACE_SPAN("test", "inner");
+  }
+  rec.set_enabled(false);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const auto outer = std::find_if(events.begin(), events.end(),
+                                  [](const TraceEvent& e) {
+                                    return e.name == "outer";
+                                  });
+  const auto inner = std::find_if(events.begin(), events.end(),
+                                  [](const TraceEvent& e) {
+                                    return e.name == "inner";
+                                  });
+  ASSERT_NE(outer, events.end());
+  ASSERT_NE(inner, events.end());
+  EXPECT_EQ(outer->ph, 'X');
+  EXPECT_EQ(outer->tid, inner->tid);
+  // The inner span begins no earlier and ends no later than the outer.
+  EXPECT_GE(inner->ts_us, outer->ts_us);
+  EXPECT_LE(inner->ts_us + inner->dur_us, outer->ts_us + outer->dur_us);
+}
+
+TEST(TraceRecorder, ChromeTraceJsonShape) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.set_process_name(kTraceSimPid, "simulation");
+  rec.add_complete_sim("DP x4g", "job", 1.0, 5.0, 7, "{\"job\": 7}");
+  rec.add_counter_sim("busy_gpus", 1.0, 0, "{\"gpus\": 4}");
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 7"), std::string::npos);
+  // Sim seconds render as microseconds: 1 s -> ts 1e6, 4 s -> dur 4e6.
+  EXPECT_NE(json.find("\"ts\": 1000000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 4000000"), std::string::npos);
+  long depth = 0;
+  for (const char ch : json) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceRecorder, SnapshotPutsMetadataFirstThenTimeOrder) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.add_complete_sim("late", "job", 10.0, 11.0, 1);
+  rec.add_complete_sim("early", "job", 2.0, 3.0, 1);
+  rec.set_thread_name(kTraceSimPid, 1, "job 1");
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ph, 'M');
+  EXPECT_EQ(events[1].name, "early");
+  EXPECT_EQ(events[2].name, "late");
+}
+
+class ObserverFixture : public ::testing::Test {
+ protected:
+  SimResult run_with_observer(TelemetryObserver* telemetry,
+                              InvariantAuditor* auditor) {
+    const ClusterSpec cluster;
+    const GroundTruthOracle oracle(2025);
+    const TraceGenerator gen(cluster, oracle);
+    TraceOptions opts;
+    opts.seed = 3;
+    opts.num_jobs = 12;
+    opts.window_s = hours(1);
+    const auto jobs = gen.generate(opts);
+    RubickPolicy policy;
+    const Simulator sim(cluster, oracle);
+    SimObserverList observers;
+    observers.add(auditor);
+    observers.add(telemetry);
+    RunContext ctx;
+    ctx.observer = &observers;
+    return sim.run(jobs, policy, ctx);
+  }
+};
+
+TEST_F(ObserverFixture, JobTracksMatchReconfigurationHistory) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  TelemetryObserver observer(&recorder);
+  const SimResult result = run_with_observer(&observer, nullptr);
+
+  for (const JobResult& job : result.jobs) {
+    if (!job.finished) continue;
+    std::vector<const JobSpanRecord*> run_spans;
+    for (const JobSpanRecord& span : observer.job_spans())
+      if (span.job_id == job.spec.id && span.running)
+        run_spans.push_back(&span);
+    // One run span per recorded assignment: the observer witnesses exactly
+    // the simulator's (re)starts, nothing more, nothing less.
+    ASSERT_EQ(run_spans.size(), job.history.size())
+        << "job " << job.spec.id;
+    for (std::size_t i = 0; i < run_spans.size(); ++i) {
+      EXPECT_NEAR(run_spans[i]->begin_s, job.history[i].since_s, 1e-9)
+          << "job " << job.spec.id << " span " << i;
+      EXPECT_NE(
+          run_spans[i]->label.find(job.history[i].plan.display_name()),
+          std::string::npos)
+          << "job " << job.spec.id << " span " << i;
+      // Spans on one track never overlap.
+      if (i > 0) {
+        EXPECT_LE(run_spans[i - 1]->end_s, run_spans[i]->begin_s + 1e-9);
+      }
+    }
+    EXPECT_NEAR(run_spans.back()->end_s, job.finish_s, 1e-9);
+  }
+  EXPECT_GT(observer.event_count(), 0u);
+}
+
+TEST_F(ObserverFixture, CoexistsWithAuditorOnObserverSeam) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  TelemetryObserver observer(&recorder);
+  InvariantAuditor auditor;  // default: throw on violation
+  const SimResult result = run_with_observer(&observer, &auditor);
+  EXPECT_TRUE(auditor.report().clean());
+  EXPECT_GT(auditor.report().ticks_observed, 0);
+  EXPECT_FALSE(observer.job_spans().empty());
+  EXPECT_EQ(result.jobs.size(), 12u);
+}
+
+TEST_F(ObserverFixture, EventsJsonlIsParseableShape) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  TelemetryObserver observer(&recorder);
+  run_with_observer(&observer, nullptr);
+  std::ostringstream os;
+  observer.write_events_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  double last_t_s = -1.0;
+  bool saw_run_begin = false, saw_run_end = false;
+  while (std::getline(is, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"type\": "), std::string::npos);
+    EXPECT_NE(line.find("\"t_s\": "), std::string::npos);
+    // Events are emitted in non-decreasing simulated time.
+    const auto pos = line.find("\"t_s\": ") + 7;
+    const double t_s = std::stod(line.substr(pos));
+    EXPECT_GE(t_s, last_t_s);
+    last_t_s = t_s;
+    saw_run_begin |= line.find("\"run_begin\"") != std::string::npos;
+    saw_run_end |= line.find("\"run_end\"") != std::string::npos;
+  }
+  EXPECT_EQ(lines, observer.event_count());
+  EXPECT_TRUE(saw_run_begin);
+  EXPECT_TRUE(saw_run_end);
+}
+
+}  // namespace
+}  // namespace rubick

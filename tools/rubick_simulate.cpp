@@ -24,6 +24,17 @@
 // in seed order regardless of completion order, followed by an aggregate
 // line. `--parallel=0` sizes the pool like RUBICK_THREADS (hardware
 // concurrency by default).
+//
+// Telemetry (DESIGN.md §8): `--metrics-out=m.json` dumps the metrics
+// registry, `--trace-out=trace.json` writes a Chrome trace-event file
+// (open at ui.perfetto.dev) with scheduler wall-clock spans and one track
+// per simulated job, `--events-out=events.jsonl` streams structured run
+// events. Any of the three switches telemetry on; the job-level tracks
+// and events come from the FIRST seed's run (scheduler spans cover every
+// run). `--log-json` switches the stderr log to JSON lines stamped with
+// simulated time. `--save-trace=jobs.csv` writes the generated job trace
+// itself (CSV, reloadable with --trace-in).
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -41,9 +52,13 @@
 #include "common/table.h"
 #include "common/threadpool.h"
 #include "common/units.h"
+#include "common/log.h"
 #include "core/rubick_policy.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
+#include "sim/telemetry_observer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "trace/trace_gen.h"
 #include "trace/trace_io.h"
 
@@ -114,7 +129,11 @@ int main(int argc, char** argv) {
   const bool size_penalty = flags.get_bool("size-dependent-penalty", false);
   const double delta = flags.get_double("reconfig-penalty", 78.0);
   const std::string trace_in = flags.get_string("trace-in", "");
+  const std::string save_trace = flags.get_string("save-trace", "");
+  const std::string metrics_out = flags.get_string("metrics-out", "");
   const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string events_out = flags.get_string("events-out", "");
+  const bool log_json = flags.get_bool("log-json", false);
   const int history_id = flags.get_int("job-history", -1);
   const double gate = flags.get_double("gate-threshold", 0.97);
   const bool opportunistic = flags.get_bool("opportunistic-admission", true);
@@ -126,6 +145,14 @@ int main(int argc, char** argv) {
   const bool audit = flags.get_bool("audit", audit_default);
   const std::string audit_policy = flags.get_string("audit-policy", "count");
   flags.finish();
+
+  if (log_json) set_log_format(LogFormat::kJson);
+  const bool telemetry =
+      !metrics_out.empty() || !trace_out.empty() || !events_out.empty();
+  if (telemetry) {
+    set_telemetry_enabled(true);
+    TraceRecorder::global().set_enabled(true);
+  }
 
   ViolationPolicy on_violation = ViolationPolicy::kCount;
   if (audit_policy == "throw") on_violation = ViolationPolicy::kThrow;
@@ -167,7 +194,7 @@ int main(int argc, char** argv) {
       traces.push_back(read_trace_csv_file(trace_in));
     }
   }
-  if (!trace_out.empty()) write_trace_csv_file(trace_out, traces.front());
+  if (!save_trace.empty()) write_trace_csv_file(save_trace, traces.front());
 
   SimOptions sim_opts;
   sim_opts.online_refinement = refinement;
@@ -188,7 +215,13 @@ int main(int argc, char** argv) {
   struct RunOutput {
     SimResult result;
     AuditReport audit;
+    CacheStats cache;
   };
+
+  // The telemetry observer follows the first seed's run only (one trace
+  // track set per file); it coexists with the auditor through a
+  // SimObserverList on the same seam.
+  TelemetryObserver telemetry_observer;
 
   // Independent runs fan across the pool: Simulator::run is const and each
   // run gets a fresh policy instance (and its own auditor), so runs share
@@ -200,15 +233,20 @@ int main(int argc, char** argv) {
     futures.push_back(pool.submit([&, i] {
       auto policy = make_policy(policy_name, multi_tenant, gate, opportunistic);
       RunOutput out;
-      if (audit) {
-        InvariantAuditor auditor(audit_config);
+      SimObserverList observers;
+      InvariantAuditor auditor(audit_config);
+      if (audit) observers.add(&auditor);
+      if (telemetry && i == 0) observers.add(&telemetry_observer);
+      if (!observers.empty()) {
         RunContext ctx;
-        ctx.observer = &auditor;
+        ctx.observer = &observers;
         out.result = sim.run(traces[i], *policy, ctx);
-        out.audit = auditor.report();
+        if (audit) out.audit = auditor.report();
       } else {
         out.result = sim.run(traces[i], *policy);
       }
+      if (const auto* rp = dynamic_cast<const RubickPolicy*>(policy.get()))
+        out.cache = rp->cache_stats();
       return out;
     }));
   }
@@ -222,7 +260,15 @@ int main(int argc, char** argv) {
     const SimResult& r = out.result;
     std::cout << "trace=" << variant_name << " jobs=" << traces[i].size()
               << " seed=" << seeds[i] << "\n";
-    print_summary(std::cout, policy_display, r);
+    // PR-1 scheduler internals print with every summary — no --metrics-out
+    // needed. Only the per-run predictor-cache numbers go in the seed
+    // block (deterministic per run); the global pool's stats are
+    // process-cumulative and print once at the end.
+    SchedulerInternals internals;
+    internals.cache_hits = out.cache.hits;
+    internals.cache_misses = out.cache.misses;
+    internals.cache_inserts = out.cache.inserts;
+    print_summary(std::cout, policy_display, r, &internals);
     if (audit) {
       std::cout << out.audit.summary() << "\n";
       for (const Violation& v : out.audit.violations)
@@ -249,6 +295,33 @@ int main(int argc, char** argv) {
     std::cout << "\nsweep: seeds=" << seeds.size() << " threads="
               << pool.size() << " mean_avg_jct_s=" << sum_jct / n
               << " mean_makespan_s=" << sum_makespan / n << "\n";
+  }
+
+  {
+    // Curve-engine pool occupancy, whole process (all seeds).
+    const ThreadPoolStats pool_stats = ThreadPool::global().stats();
+    SchedulerInternals pool_internals;
+    pool_internals.pool_tasks = pool_stats.tasks_executed;
+    pool_internals.pool_parallel_for_calls = pool_stats.parallel_for_calls;
+    pool_internals.pool_busy_s = pool_stats.busy_s;
+    pool_internals.pool_threads = ThreadPool::global().size();
+    print_pool_stats(std::cout, pool_internals);
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    RUBICK_CHECK_MSG(os.good(), "cannot open " << metrics_out);
+    MetricsRegistry::global().write_json(os);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    RUBICK_CHECK_MSG(os.good(), "cannot open " << trace_out);
+    TraceRecorder::global().write_chrome_trace(os);
+  }
+  if (!events_out.empty()) {
+    std::ofstream os(events_out);
+    RUBICK_CHECK_MSG(os.good(), "cannot open " << events_out);
+    telemetry_observer.write_events_jsonl(os);
   }
   return total_violations > 0 ? 1 : 0;
 }

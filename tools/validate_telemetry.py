@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts written by rubick_simulate.
+
+Checks three outputs (each optional; pass the ones you have):
+
+  --metrics FILE   JSON from --metrics-out: counters/gauges/histograms maps,
+                   histogram bucket counts summing to the histogram count,
+                   terminal "+inf" bucket.
+  --trace FILE     Chrome trace-event JSON from --trace-out: every event has
+                   name/ph/pid/tid, complete ('X') events carry ts and a
+                   non-negative dur, and the 'X' spans on each (pid, tid)
+                   track nest properly (no partial overlap). Optional
+                   thresholds: --min-decision-spans N requires at least N
+                   scheduler decision spans, --min-job-tracks N requires at
+                   least N per-job tracks in the simulation process.
+  --events FILE    JSONL from --events-out: one JSON object per line, each
+                   with "type" and "t_s", times non-decreasing.
+
+Exits 0 when everything passes, 1 with one line per failure otherwise.
+Used by ctest (telemetry_validate) and the CI telemetry smoke job.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEDULER_PID = 1
+SIM_PID = 2
+DECISION_SPAN_NAME = "RubickPolicy::schedule"
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def validate_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}: not valid JSON: {exc}")
+            return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing object section {section!r}")
+    for name, value in doc.get("counters", {}).items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} is not a non-negative integer")
+    for name, value in doc.get("gauges", {}).items():
+        if not isinstance(value, (int, float)) and value is not None:
+            fail(f"{path}: gauge {name!r} is not numeric")
+    for name, hist in doc.get("histograms", {}).items():
+        if not isinstance(hist, dict):
+            fail(f"{path}: histogram {name!r} is not an object")
+            continue
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, list) or not buckets:
+            fail(f"{path}: histogram {name!r} has no buckets")
+            continue
+        if buckets[-1].get("le") != "+inf":
+            fail(f"{path}: histogram {name!r} last bucket is not '+inf'")
+        total = sum(b.get("count", 0) for b in buckets)
+        if total != hist.get("count"):
+            fail(
+                f"{path}: histogram {name!r} bucket counts sum to {total}, "
+                f"count says {hist.get('count')}"
+            )
+
+
+def check_nesting(path, track, spans):
+    """'X' spans on one track must nest like a call stack: a span starting
+    inside another must also end inside it."""
+    spans = sorted(spans, key=lambda s: (s[0], -s[1]))
+    stack = []  # end timestamps of open spans
+    for begin, dur, name in spans:
+        end = begin + dur
+        while stack and begin >= stack[-1] - 1e-9:
+            stack.pop()
+        if stack and end > stack[-1] + 1e-9:
+            fail(
+                f"{path}: track {track} span {name!r} "
+                f"[{begin}, {end}] partially overlaps an enclosing span "
+                f"ending at {stack[-1]}"
+            )
+            return
+        stack.append(end)
+
+
+def validate_trace(path, min_decision_spans, min_job_tracks):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}: not valid JSON: {exc}")
+            return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: missing traceEvents array")
+        return
+    tracks = {}
+    decision_spans = 0
+    job_tracks = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: traceEvents[{i}] is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: traceEvents[{i}] missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "C", "i"):
+            fail(f"{path}: traceEvents[{i}] unknown ph {ph!r}")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)):
+                fail(f"{path}: traceEvents[{i}] 'X' without numeric ts")
+                continue
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{path}: traceEvents[{i}] 'X' with bad dur {dur!r}")
+                continue
+            key = (ev.get("pid"), ev.get("tid"))
+            tracks.setdefault(key, []).append((ts, dur, ev.get("name")))
+            if (
+                ev.get("pid") == SCHEDULER_PID
+                and ev.get("name") == DECISION_SPAN_NAME
+            ):
+                decision_spans += 1
+            if ev.get("pid") == SIM_PID:
+                job_tracks.add(ev.get("tid"))
+    for track, spans in sorted(tracks.items()):
+        check_nesting(path, track, spans)
+    if decision_spans < min_decision_spans:
+        fail(
+            f"{path}: {decision_spans} scheduler decision spans, "
+            f"expected >= {min_decision_spans}"
+        )
+    if len(job_tracks) < min_job_tracks:
+        fail(
+            f"{path}: {len(job_tracks)} per-job tracks in the simulation "
+            f"process, expected >= {min_job_tracks}"
+        )
+
+
+def validate_events(path):
+    last_t_s = float("-inf")
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                fail(f"{path}:{lineno}: blank line")
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"{path}:{lineno}: not valid JSON: {exc}")
+                continue
+            if not isinstance(ev.get("type"), str):
+                fail(f"{path}:{lineno}: missing string 'type'")
+            t_s = ev.get("t_s")
+            if not isinstance(t_s, (int, float)):
+                fail(f"{path}:{lineno}: missing numeric 't_s'")
+                continue
+            if t_s < last_t_s:
+                fail(
+                    f"{path}:{lineno}: t_s {t_s} goes backwards "
+                    f"(previous {last_t_s})"
+                )
+            last_t_s = t_s
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", help="metrics JSON (--metrics-out)")
+    parser.add_argument("--trace", help="Chrome trace JSON (--trace-out)")
+    parser.add_argument("--events", help="run events JSONL (--events-out)")
+    parser.add_argument("--min-decision-spans", type=int, default=0)
+    parser.add_argument("--min-job-tracks", type=int, default=0)
+    args = parser.parse_args()
+    if not (args.metrics or args.trace or args.events):
+        parser.error("nothing to validate: pass --metrics/--trace/--events")
+
+    if args.metrics:
+        validate_metrics(args.metrics)
+    if args.trace:
+        validate_trace(args.trace, args.min_decision_spans, args.min_job_tracks)
+    if args.events:
+        validate_events(args.events)
+
+    if errors:
+        for msg in errors:
+            print(f"validate_telemetry: {msg}", file=sys.stderr)
+        print(f"validate_telemetry: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("validate_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
