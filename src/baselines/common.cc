@@ -65,23 +65,23 @@ bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
     return true;
   }();
 
-  auto ranked =
+  const auto ranked =
       predictor.ranked_for_placement(model, batch, selector, placement);
-  if (ranked.empty()) return false;
+  if (ranked->empty()) return false;
 
   if (same_shape) {
     const PerfModel& perf = store.get(model.name);
     const PerfContext ctx = make_perf_context(cluster, placement);
     const double current =
         perf.predict_throughput(model, view.plan, batch, ctx);
-    if (ranked.front().throughput < switch_gain * current) {
+    if (ranked->front().throughput < switch_gain * current) {
       chosen[id] = view.plan;
       return true;
     }
   }
 
   state.release_memory(id);
-  for (const auto& pred : ranked) {
+  for (const auto& pred : *ranked) {
     if (state.alloc_memory(id, model, pred.plan, batch, estimator)) {
       chosen[id] = pred.plan;
       return true;

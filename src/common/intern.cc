@@ -1,4 +1,4 @@
-#include "core/curve_key.h"
+#include "common/intern.h"
 
 #include <mutex>
 #include <unordered_map>
@@ -13,6 +13,15 @@ std::uint32_t intern_key_string(const std::string& s) {
   if (it != table.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(table.size() + 1);
   table.emplace(s, id);
+  return id;
+}
+
+std::uint32_t intern_key_string_cached(const std::string& s) {
+  thread_local std::unordered_map<std::string, std::uint32_t> memo;
+  auto it = memo.find(s);
+  if (it != memo.end()) return it->second;
+  const std::uint32_t id = intern_key_string(s);
+  memo.emplace(s, id);
   return id;
 }
 

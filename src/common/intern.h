@@ -1,0 +1,29 @@
+// Exact string interning for cache keys.
+//
+// intern_key_string() assigns one stable numeric id per distinct string
+// (ids start at 1; 0 is reserved as "unset") behind a process-wide table.
+// It is exact — no hash collisions can alias two labels — and thread-safe,
+// so concurrently warming predictors agree on ids.
+//
+// intern_key_string_cached() is the hot-path variant: it memoizes the
+// global table's answer in a thread-local map, so steady-state lookups
+// (e.g. the per-query model-name interning in BestPlanPredictor) touch no
+// shared mutex at all. Both functions return identical ids for identical
+// strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rubick {
+
+// Returns the stable id for `s`, assigning the next free id on first sight.
+// Thread-safe (global table behind a mutex).
+std::uint32_t intern_key_string(const std::string& s);
+
+// Same ids as intern_key_string(), served from a thread-local memo after
+// the first sight per thread. Use on hot paths that re-intern the same few
+// strings (model names, selector labels) millions of times.
+std::uint32_t intern_key_string_cached(const std::string& s);
+
+}  // namespace rubick

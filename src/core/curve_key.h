@@ -4,20 +4,18 @@
 // an ostringstream per lookup — measurable on the hot path and impossible to
 // shard cleanly. CurveKey replaces the strings with interned integer ids
 // plus the numeric coordinates; PlanSelector::cache_key() survives only as
-// a human-readable debug label. Interning is exact (one id per distinct
-// string, no hash collisions) and thread-safe, so concurrently warming
-// predictors agree on ids.
+// a human-readable debug label. Interning lives in common/intern.h (the
+// plan-set cache shares the same id space); it is exact (one id per
+// distinct string, no hash collisions) and thread-safe, so concurrently
+// warming predictors agree on ids.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <string>
+
+#include "common/intern.h"
 
 namespace rubick {
-
-// Returns the stable id for `s`, assigning the next free id on first sight.
-// Ids start at 1 (0 is reserved as "unset"). Thread-safe.
-std::uint32_t intern_key_string(const std::string& s);
 
 struct CurveKey {
   std::uint32_t model_id = 0;     // interned ModelSpec::name

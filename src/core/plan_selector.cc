@@ -4,11 +4,29 @@
 
 namespace rubick {
 
+PlanSpan PlanSelector::candidates_view(const ModelSpec& model,
+                                       int global_batch,
+                                       const PlanConstraints& constraints,
+                                       const MemoryEstimator& estimator) const {
+  return PlanSetCache::global().memoized(
+      selector_id(), model, global_batch, constraints, estimator, [&] {
+        return candidates(model, global_batch, constraints, estimator);
+      });
+}
+
 std::vector<ExecutionPlan> FullPlanSelector::candidates(
     const ModelSpec& model, int global_batch,
     const PlanConstraints& constraints,
     const MemoryEstimator& estimator) const {
   return enumerate_plans(model, global_batch, constraints, estimator);
+}
+
+PlanSpan FullPlanSelector::candidates_view(
+    const ModelSpec& model, int global_batch,
+    const PlanConstraints& constraints,
+    const MemoryEstimator& estimator) const {
+  return PlanSetCache::global().full_feasible(model, global_batch, constraints,
+                                              estimator);
 }
 
 std::vector<ExecutionPlan> ScaledDpSelector::candidates(
@@ -42,9 +60,14 @@ std::vector<ExecutionPlan> ScaledDpSelector::candidates(
 }
 
 std::string ScaledDpSelector::cache_key() const {
+  // Encodes every field of the initial plan that candidates() reads —
+  // display_name() alone elides micro_batches and the exact GA count, which
+  // would alias distinct behaviors in the memoized plan cache.
   std::ostringstream os;
   os << "scaled-dp:" << initial_.display_name() << ":t" << initial_.tp << "p"
-     << initial_.pp;
+     << initial_.pp << "a" << initial_.ga_steps << "m"
+     << initial_.micro_batches << "z" << static_cast<int>(initial_.zero)
+     << (initial_.grad_ckpt ? "gc" : "");
   return os.str();
 }
 
@@ -64,7 +87,10 @@ std::vector<ExecutionPlan> FixedPlanSelector::candidates(
 
 std::string FixedPlanSelector::cache_key() const {
   std::ostringstream os;
-  os << "fixed:" << plan_.display_name() << ":g" << plan_.num_gpus();
+  os << "fixed:" << plan_.display_name() << ":g" << plan_.num_gpus() << "d"
+     << plan_.dp << "t" << plan_.tp << "p" << plan_.pp << "a" << plan_.ga_steps
+     << "m" << plan_.micro_batches << "z" << static_cast<int>(plan_.zero)
+     << (plan_.grad_ckpt ? "gc" : "");
   return os.str();
 }
 

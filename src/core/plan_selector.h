@@ -18,6 +18,7 @@
 #include "model/model_spec.h"
 #include "plan/enumerate.h"
 #include "plan/execution_plan.h"
+#include "plan/plan_cache.h"
 
 namespace rubick {
 
@@ -31,6 +32,15 @@ class PlanSelector {
       const ModelSpec& model, int global_batch,
       const PlanConstraints& constraints,
       const MemoryEstimator& estimator) const = 0;
+
+  // Cached view of candidates(): identical contents and order, backed by
+  // the process-wide PlanSetCache arena, so steady-state queries allocate
+  // nothing. The base implementation memoizes candidates() under
+  // selector_id(); FullPlanSelector overrides it to share enumerated lists
+  // across budget classes via budget-monotonic filtering.
+  virtual PlanSpan candidates_view(const ModelSpec& model, int global_batch,
+                                   const PlanConstraints& constraints,
+                                   const MemoryEstimator& estimator) const;
 
   // Human-readable behavior label (distinct selector behaviors must differ).
   // Used only for logs/diagnostics; memoization keys use selector_id().
@@ -57,6 +67,9 @@ class FullPlanSelector final : public PlanSelector {
       const ModelSpec& model, int global_batch,
       const PlanConstraints& constraints,
       const MemoryEstimator& estimator) const override;
+  PlanSpan candidates_view(const ModelSpec& model, int global_batch,
+                           const PlanConstraints& constraints,
+                           const MemoryEstimator& estimator) const override;
   std::string cache_key() const override { return "full"; }
 };
 

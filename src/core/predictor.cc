@@ -1,9 +1,12 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/error.h"
 #include "perf/profiler.h"
+#include "telemetry/metrics.h"
 
 namespace rubick {
 
@@ -34,11 +37,17 @@ int plan_complexity(const ExecutionPlan& p) {
 
 constexpr double kTieRel = 1e-9;
 
+// Sentinel max_tp values distinguishing the derived caches that reuse
+// CurveKey as their key type (exact-plan keys always carry max_tp >= 1,
+// envelope keys -1).
+constexpr int kWidthsKey = -2;
+constexpr int kSummaryKey = -3;
+
 CurveKey make_key(const ModelSpec& model, int batch,
                   const PlanSelector& selector, int gpus, int cpus,
                   int max_tp, bool multi_node) {
   CurveKey k;
-  k.model_id = intern_key_string(model.name);
+  k.model_id = intern_key_string_cached(model.name);
   k.selector_id = selector.selector_id();
   k.batch = batch;
   k.gpus = gpus;
@@ -50,6 +59,21 @@ CurveKey make_key(const ModelSpec& model, int batch,
 
 }  // namespace
 
+std::size_t BestPlanPredictor::RankedKeyHash::operator()(
+    const RankedKey& k) const noexcept {
+  std::uint64_t h = std::hash<CurveKey>{}(k.base);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const NodeSlice& s : k.slices) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.node)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.gpus)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.cpus)));
+  }
+  return static_cast<std::size_t>(h);
+}
+
 BestPlanPredictor::Prediction BestPlanPredictor::best_exact(
     const ModelSpec& model, int global_batch, const PlanSelector& selector,
     int gpus, int cpus, int max_tp, bool multi_node) {
@@ -59,13 +83,18 @@ BestPlanPredictor::Prediction BestPlanPredictor::best_exact(
   if (Prediction cached; exact_cache_.lookup(key, &cached)) return cached;
 
   const PlanConstraints pc = constraints_for(gpus, max_tp);
-  const std::vector<ExecutionPlan> plans =
-      selector.candidates(model, global_batch, pc, *estimator_);
+  const PlanSpan plans =
+      selector.candidates_view(model, global_batch, pc, *estimator_);
+  Prediction best;
+  // No candidate plan at this exact count: skip the perf-context and
+  // fitted-model work entirely; the result is the default (infeasible,
+  // zero-throughput) prediction either way.
+  if (plans.empty()) return exact_cache_.insert(key, best);
+
   PerfContext ctx = make_perf_context(cluster_, gpus, cpus);
   ctx.multi_node = multi_node;
   const PerfModel& perf = store_->get(model.name);
 
-  Prediction best;
   for (const auto& plan : plans) {
     const double thr =
         perf.predict_throughput(model, plan, global_batch, ctx);
@@ -90,24 +119,38 @@ BestPlanPredictor::Prediction BestPlanPredictor::best_canonical(
   return best_exact(model, global_batch, selector, gpus, cpus, max_tp, multi);
 }
 
-std::vector<BestPlanPredictor::Prediction>
+std::shared_ptr<const std::vector<BestPlanPredictor::Prediction>>
 BestPlanPredictor::ranked_for_placement(const ModelSpec& model,
                                         int global_batch,
                                         const PlanSelector& selector,
                                         const Placement& placement) {
-  std::vector<Prediction> out;
   const int gpus = placement.total_gpus();
   const int cpus = placement.total_cpus();
-  if (gpus <= 0 || cpus <= 0) return out;
+  const int max_tp = std::max(1, placement.min_slice_gpus());
+  // Static so callers may deref a temporary return value safely: every
+  // pointer this function hands out stays alive for the process (cached
+  // entries are never evicted).
+  static const auto kNoPlans = std::make_shared<const std::vector<Prediction>>();
+  if (gpus <= 0 || cpus <= 0) return kNoPlans;
 
-  const PlanConstraints pc =
-      constraints_for(gpus, std::max(1, placement.min_slice_gpus()));
-  const std::vector<ExecutionPlan> plans =
-      selector.candidates(model, global_batch, pc, *estimator_);
+  RankedKey key;
+  key.base = make_key(model, global_batch, selector, gpus, cpus, max_tp,
+                      placement.multi_node());
+  key.slices.reserve(placement.slices.size());
+  for (const auto& s : placement.slices)
+    key.slices.push_back(NodeSlice{s.node, s.gpus, s.cpus, 0});
+  if (std::shared_ptr<const std::vector<Prediction>> cached;
+      ranked_cache_.lookup(key, &cached))
+    return cached;
+
+  const PlanConstraints pc = constraints_for(gpus, max_tp);
+  const PlanSpan plans =
+      selector.candidates_view(model, global_batch, pc, *estimator_);
   const PerfContext ctx = make_perf_context(cluster_, placement);
   const PerfModel& perf = store_->get(model.name);
 
-  out.reserve(plans.size());
+  auto out = std::make_shared<std::vector<Prediction>>();
+  out->reserve(plans.size());
   for (const auto& plan : plans) {
     // A TP group must sit inside one node: every slice must hold whole
     // groups (checked again by the simulator).
@@ -121,15 +164,71 @@ BestPlanPredictor::ranked_for_placement(const ModelSpec& model,
     p.feasible = true;
     p.plan = plan;
     p.throughput = perf.predict_throughput(model, plan, global_batch, ctx);
-    out.push_back(p);
+    out->push_back(p);
   }
-  std::sort(out.begin(), out.end(),
+  std::sort(out->begin(), out->end(),
             [](const Prediction& a, const Prediction& b) {
               if (a.throughput > b.throughput * (1.0 + kTieRel)) return true;
               if (b.throughput > a.throughput * (1.0 + kTieRel)) return false;
               return plan_complexity(a.plan) < plan_complexity(b.plan);
             });
-  return out;
+  return ranked_cache_.insert(
+      key, std::shared_ptr<const std::vector<Prediction>>(std::move(out)));
+}
+
+std::shared_ptr<const std::vector<int>> BestPlanPredictor::feasible_widths(
+    const ModelSpec& model, int global_batch, const PlanSelector& selector) {
+  const CurveKey key = make_key(model, global_batch, selector, /*gpus=*/0,
+                                /*cpus=*/0, kWidthsKey, /*multi_node=*/false);
+  if (std::shared_ptr<const std::vector<int>> cached;
+      widths_cache_.lookup(key, &cached))
+    return cached;
+
+  // Candidate sets ignore the CPU count, so feasibility-by-width is a
+  // property of the combo alone; one pass over the cluster range (served by
+  // the plan cache) classifies every GPU count for all future chains.
+  auto widths = std::make_shared<std::vector<int>>();
+  const int total = cluster_.total_gpus();
+  for (int g = 1; g <= total; ++g) {
+    const PlanConstraints pc =
+        constraints_for(g, std::min(g, cluster_.node.gpus));
+    if (!selector.candidates_view(model, global_batch, pc, *estimator_)
+             .empty())
+      widths->push_back(g);
+  }
+  return widths_cache_.insert(
+      key, std::shared_ptr<const std::vector<int>>(std::move(widths)));
+}
+
+BestPlanPredictor::CurveSummary BestPlanPredictor::curve_summary(
+    const ModelSpec& model, int global_batch, const PlanSelector& selector,
+    int cpu_floor_per_gpu, int max_gpus) {
+  max_gpus = std::min(max_gpus, cluster_.total_gpus());
+  if (max_gpus <= 0) return {};
+  const CurveKey key = make_key(model, global_batch, selector, max_gpus,
+                                cpu_floor_per_gpu, kSummaryKey,
+                                /*multi_node=*/false);
+  if (CurveSummary cached; summary_cache_.lookup(key, &cached)) return cached;
+
+  // The saturation scan must replicate the policy's progressive
+  // tie-tolerance walk exactly (the running maximum updates only on a
+  // relative improvement > 1e-9, so the landmark is path-dependent and
+  // cannot be bisected) — but over memoized envelope values it is one
+  // cheap pass per combo instead of one per job per round.
+  CurveSummary s;
+  int best_g = 1;
+  double best_v = 0.0;
+  for (int g = 1; g <= max_gpus; ++g) {
+    const int c = std::max(1, cpu_floor_per_gpu * g);
+    const double v = envelope(model, global_batch, selector, g, c);
+    if (s.min_feasible_gpus == 0 && v > 0.0) s.min_feasible_gpus = g;
+    if (v > best_v * (1.0 + 1e-9)) {
+      best_v = v;
+      best_g = g;
+    }
+  }
+  s.max_useful_gpus = best_v > 0.0 ? best_g : 0;
+  return summary_cache_.insert(key, s);
 }
 
 void BestPlanPredictor::warm(const ModelSpec& model, int global_batch,
@@ -138,6 +237,9 @@ void BestPlanPredictor::warm(const ModelSpec& model, int global_batch,
   max_gpus = std::min(max_gpus, cluster_.total_gpus());
   if (max_gpus <= 0) return;
   if (pool == nullptr) pool = &ThreadPool::global();
+  // Classify feasible widths once up front so the chains below only touch
+  // the analytic model where the curve can actually move.
+  feasible_widths(model, global_batch, selector);
   // Each GPU count gets its own CPU budget, so the envelope chains for
   // different g are (cache-)independent of each other — an embarrassingly
   // parallel fan-out. Work grows with g (envelope(g) visits every smaller
@@ -148,6 +250,9 @@ void BestPlanPredictor::warm(const ModelSpec& model, int global_batch,
                        envelope(model, global_batch, selector, gi,
                                 std::max(1, cpus_per_gpu * gi));
                      });
+  // Pre-fill the curve landmarks over the just-warmed diagonal so the
+  // decision loop's summary queries are pure cache hits.
+  curve_summary(model, global_batch, selector, cpus_per_gpu, max_gpus);
 }
 
 double BestPlanPredictor::envelope(const ModelSpec& model, int global_batch,
@@ -159,13 +264,48 @@ double BestPlanPredictor::envelope(const ModelSpec& model, int global_batch,
                                 /*max_tp=*/-1, /*multi_node=*/false);
   if (double cached = 0.0; envelope_cache_.lookup(key, &cached)) return cached;
 
+  // Iterative chain fill, equivalent to the recursion
+  //   env(g, c) = max(env(g-1, c), best_canonical(g, c))
+  // but evaluating best_canonical only at feasible widths: at every other
+  // count the candidate set is empty, best_canonical contributes a zero
+  // throughput, and the max simply carries env(g-1, c) forward. Locating
+  // the feasible counts is a binary search into the combo's sorted width
+  // set, so saturated/flat tails cost one cache insert per point and zero
+  // analytic-model evaluations.
+  int start = gpus - 1;
   double value = 0.0;
-  if (gpus > 1)
-    value = envelope(model, global_batch, selector, gpus - 1, cpus);
-  const Prediction p =
-      best_canonical(model, global_batch, selector, gpus, cpus);
-  value = std::max(value, p.throughput);
-  return envelope_cache_.insert(key, value);
+  {
+    CurveKey probe = key;
+    for (; start >= 1; --start) {
+      probe.gpus = start;
+      if (envelope_cache_.lookup(probe, &value)) break;
+    }
+    if (start < 1) {
+      start = 0;
+      value = 0.0;
+    }
+  }
+
+  const std::shared_ptr<const std::vector<int>> widths =
+      feasible_widths(model, global_batch, selector);
+  auto next_w = std::upper_bound(widths->begin(), widths->end(), start);
+  std::uint64_t evals_saved = 0;
+  CurveKey put = key;
+  for (int g = start + 1; g <= gpus; ++g) {
+    if (next_w != widths->end() && *next_w == g) {
+      const Prediction p =
+          best_canonical(model, global_batch, selector, g, cpus);
+      value = std::max(value, p.throughput);
+      ++next_w;
+    } else {
+      ++evals_saved;
+    }
+    put.gpus = g;
+    value = envelope_cache_.insert(put, value);
+  }
+  if (evals_saved > 0)
+    RUBICK_COUNTER_ADD("predictor.curve_evals_saved", evals_saved);
+  return value;
 }
 
 double BestPlanPredictor::gpu_slope_up(const ModelSpec& model,

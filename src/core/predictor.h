@@ -21,6 +21,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -60,7 +61,7 @@ struct CacheStats {
 // value, so which one lands is immaterial). Each shard counts its
 // hits/misses/inserts under the mutex it already holds, so the accounting
 // adds no synchronization of its own.
-template <typename K, typename V>
+template <typename K, typename V, typename Hash = std::hash<K>>
 class ShardedCache {
  public:
   bool lookup(const K& key, V* out) const {
@@ -107,11 +108,11 @@ class ShardedCache {
   static constexpr std::size_t kShards = 16;
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<K, V> map;
+    std::unordered_map<K, V, Hash> map;
     mutable CacheStats stats;
   };
   Shard& shard_for(const K& key) const {
-    return shards_[std::hash<K>{}(key) % kShards];
+    return shards_[Hash{}(key) % kShards];
   }
   mutable std::array<Shard, kShards> shards_;
 };
@@ -138,15 +139,32 @@ class BestPlanPredictor {
 
   // All feasible plans for a concrete placement, best first. The caller
   // walks this list until host-memory allocation succeeds (paper Alg. 1
-  // lines 19-23).
-  std::vector<Prediction> ranked_for_placement(const ModelSpec& model,
-                                               int global_batch,
-                                               const PlanSelector& selector,
-                                               const Placement& placement);
+  // lines 19-23). Memoized per (curve key, placement shape): the commit
+  // loop of a scheduling round asks for the same placement repeatedly
+  // (emptiness probe, then the ranked walk), so repeats are shared-pointer
+  // copies of one immutable list. Slice host-memory reservations are NOT
+  // part of the key — ranking reads only the (node, gpus, cpus) shape.
+  std::shared_ptr<const std::vector<Prediction>> ranked_for_placement(
+      const ModelSpec& model, int global_batch, const PlanSelector& selector,
+      const Placement& placement);
 
   // Sensitivity-curve value: max over g' <= gpus of best_canonical.
   double envelope(const ModelSpec& model, int global_batch,
                   const PlanSelector& selector, int gpus, int cpus);
+
+  // Landmark points of the canonical GPU curve (CPUs at `cpu_floor_per_gpu`
+  // per GPU, the same diagonal warm() fills): the smallest feasible GPU
+  // count and the saturation point (smallest count reaching the curve's
+  // maximum, with the policy's progressive 1e-9 tie tolerance). Memoized
+  // per (model, batch, selector, floor, max_gpus) — one scan over cached
+  // envelope values per combo instead of one per job per round.
+  struct CurveSummary {
+    int min_feasible_gpus = 0;  // 0: no feasible plan at any count
+    int max_useful_gpus = 0;    // 0: curve identically zero
+  };
+  CurveSummary curve_summary(const ModelSpec& model, int global_batch,
+                             const PlanSelector& selector,
+                             int cpu_floor_per_gpu, int max_gpus);
 
   // Finite-difference slopes of the curve at (gpus, cpus).
   double gpu_slope_up(const ModelSpec& model, int global_batch,
@@ -172,13 +190,18 @@ class BestPlanPredictor {
 
   // Number of memoized entries (diagnostic; used by tests and benches).
   std::size_t cache_size() const {
-    return exact_cache_.size() + envelope_cache_.size();
+    return exact_cache_.size() + envelope_cache_.size() +
+           ranked_cache_.size() + widths_cache_.size() +
+           summary_cache_.size();
   }
 
-  // Aggregated hit/miss/insert tallies across both memo caches.
+  // Aggregated hit/miss/insert tallies across all memo caches.
   CacheStats cache_stats() const {
     CacheStats total = exact_cache_.stats();
     total += envelope_cache_.stats();
+    total += ranked_cache_.stats();
+    total += widths_cache_.stats();
+    total += summary_cache_.stats();
     return total;
   }
 
@@ -187,11 +210,41 @@ class BestPlanPredictor {
  private:
   PlanConstraints constraints_for(int gpus, int max_tp) const;
 
+  // Sorted GPU counts (over the full cluster range, canonical constraints)
+  // at which the selector has at least one candidate plan. Candidate sets
+  // do not depend on the CPU count, so one width set serves every envelope
+  // chain of the combo: chains evaluate the analytic model only at these
+  // counts and copy the running maximum across the flat stretches between
+  // them (exactly what the recursion computed — infeasible counts
+  // contribute a zero throughput to the max).
+  std::shared_ptr<const std::vector<int>> feasible_widths(
+      const ModelSpec& model, int global_batch, const PlanSelector& selector);
+
+  // ranked_for_placement() memo key: curve coordinates plus the exact
+  // placement shape (host-memory reservations zeroed — ranking ignores
+  // them). Full slice equality, not a fingerprint, so collisions cannot
+  // alias two placements.
+  struct RankedKey {
+    CurveKey base;
+    std::vector<NodeSlice> slices;
+
+    friend bool operator==(const RankedKey&, const RankedKey&) = default;
+  };
+  struct RankedKeyHash {
+    std::size_t operator()(const RankedKey& k) const noexcept;
+  };
+
   ClusterSpec cluster_;
   const PerfModelStore* store_;
   const MemoryEstimator* estimator_;
   ShardedCache<CurveKey, Prediction> exact_cache_;
   ShardedCache<CurveKey, double> envelope_cache_;
+  ShardedCache<RankedKey, std::shared_ptr<const std::vector<Prediction>>,
+               RankedKeyHash>
+      ranked_cache_;
+  ShardedCache<CurveKey, std::shared_ptr<const std::vector<int>>>
+      widths_cache_;
+  ShardedCache<CurveKey, CurveSummary> summary_cache_;
 };
 
 }  // namespace rubick

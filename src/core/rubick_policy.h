@@ -61,6 +61,14 @@ struct RubickConfig {
   // Required predicted gain before switching the plan of a job whose
   // placement did not change (avoids reconfiguration thrash).
   double plan_switch_gain = 1.05;
+
+  // Round-level incremental fast path: when a round's decision-relevant
+  // inputs (job set, placements, plans, model-store version, gate/starvation
+  // predicates — see DESIGN.md §9) hash to the same digest as the previous
+  // round, replay the previous assignments instead of re-running the curve
+  // and decision phases. Decisions are byte-identical either way; disable
+  // only to measure the slow path.
+  bool enable_fast_path = true;
 };
 
 class RubickPolicy final : public SchedulerPolicy {
@@ -82,6 +90,12 @@ class RubickPolicy final : public SchedulerPolicy {
     return predictor_ != nullptr ? predictor_->cache_stats() : CacheStats{};
   }
 
+  // Rounds served by replaying the previous round's assignments (digest
+  // unchanged). Invalidated automatically by job arrivals/departures,
+  // placement or plan changes, model-store refits, and gate/starvation
+  // predicate flips.
+  std::uint64_t fast_path_rounds() const { return fast_path_rounds_; }
+
  private:
   struct JobInfo;
 
@@ -97,6 +111,12 @@ class RubickPolicy final : public SchedulerPolicy {
 
   FullPlanSelector full_selector_;
   std::map<int, std::unique_ptr<PlanSelector>> job_selectors_;
+
+  // Round-digest fast path (config_.enable_fast_path).
+  std::uint64_t last_digest_ = 0;
+  bool has_last_round_ = false;
+  std::vector<Assignment> last_assignments_;
+  std::uint64_t fast_path_rounds_ = 0;
 };
 
 }  // namespace rubick

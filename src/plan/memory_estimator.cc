@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -93,6 +94,28 @@ std::uint64_t MemoryEstimator::host_bytes(const ModelSpec& model,
     bytes += model.optimizer_state_bytes() + model.param_bytes_fp16();
   }
   return bytes;
+}
+
+std::uint64_t MemoryEstimator::fingerprint() const {
+  // FNV-1a over the coefficient values (doubles by bit pattern).
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_double = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(coeff_.framework_overhead_bytes);
+  mix_double(coeff_.act_bytes_per_token_hidden);
+  mix_double(coeff_.ckpt_bytes_per_token_hidden);
+  mix(coeff_.offload_bucket_bytes);
+  mix_double(coeff_.state_fragmentation);
+  mix(coeff_.host_overhead_per_worker_bytes);
+  return h;
 }
 
 MemoryEstimate MemoryEstimator::estimate(const ModelSpec& model,

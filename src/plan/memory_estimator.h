@@ -83,6 +83,12 @@ class MemoryEstimator {
 
   const Coefficients& coefficients() const { return coeff_; }
 
+  // Value fingerprint of the coefficient set. Two estimators with equal
+  // coefficients produce identical demands for every (model, plan, batch),
+  // so the fingerprint is a sound sharing key for memory-demand caches
+  // (PlanSetCache keys measured candidate sets by it).
+  std::uint64_t fingerprint() const;
+
  private:
   std::uint64_t activation_bytes(const ModelSpec& model,
                                  const ExecutionPlan& plan,

@@ -1,0 +1,238 @@
+#include "plan/plan_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/intern.h"
+
+namespace rubick {
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+}  // namespace
+
+std::size_t PlanSetCache::GroupKeyHash::operator()(
+    const GroupKey& k) const noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  fnv_mix(h, k.model_fp);
+  fnv_mix(h, k.est_fp);
+  fnv_mix(h, k.space_id);
+  fnv_mix(h, static_cast<std::uint32_t>(k.batch));
+  fnv_mix(h, static_cast<std::uint32_t>(k.gpus));
+  fnv_mix(h, static_cast<std::uint32_t>(k.max_tp));
+  fnv_mix(h, k.allow_mp ? 1u : 0u);
+  return static_cast<std::size_t>(h);
+}
+
+std::uint64_t PlanSetCache::model_fingerprint(const ModelSpec& model) {
+  // Interned name id plus every structural field the enumerator or the
+  // memory estimator reads, so two distinct specs sharing a name (tests
+  // build ad-hoc models) never alias.
+  std::uint64_t h = 1469598103934665603ull;
+  fnv_mix(h, intern_key_string_cached(model.name));
+  fnv_mix(h, model.param_count);
+  fnv_mix(h, static_cast<std::uint32_t>(model.seq_len));
+  fnv_mix(h, static_cast<std::uint32_t>(model.hidden_size));
+  fnv_mix(h, static_cast<std::uint32_t>(model.num_layers));
+  fnv_mix(h, model.allow_model_parallel ? 1u : 0u);
+  return h;
+}
+
+PlanSetCache::Shard& PlanSetCache::shard_for(const GroupKey& key) const {
+  return shards_[GroupKeyHash{}(key) % kShards];
+}
+
+PlanSetCache& PlanSetCache::global() {
+  // Leaked on purpose: spans handed out must outlive every static consumer
+  // regardless of destruction order.
+  static PlanSetCache* cache = new PlanSetCache();
+  return *cache;
+}
+
+PlanSpan PlanSetCache::full_feasible(const ModelSpec& model, int global_batch,
+                                     const PlanConstraints& constraints,
+                                     const MemoryEstimator& estimator) {
+  GroupKey key;
+  key.model_fp = model_fingerprint(model);
+  key.est_fp = estimator.fingerprint();
+  key.space_id = 0;
+  key.batch = global_batch;
+  key.gpus = constraints.num_gpus;
+  key.max_tp = constraints.max_tp;
+  key.allow_mp = constraints.allow_model_parallel;
+  const std::uint64_t gpu_cap = constraints.budget.gpu_capacity_bytes;
+  const std::uint64_t host_cap = constraints.budget.host_capacity_bytes;
+
+  Shard& shard = shard_for(key);
+
+  // Fast path: the budget class is already filtered.
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.groups.find(key);
+    if (it != shard.groups.end()) {
+      for (const Variant& v : it->second.variants) {
+        if (v.gpu_cap == gpu_cap && v.host_cap == host_cap) {
+          ++shard.stats.hits;
+          return PlanSpan{v.plans->data(), v.plans->size()};
+        }
+      }
+    }
+  }
+
+  // Miss. Enumerate + measure outside the lock if the group itself is new
+  // (racers compute identical lists; the first insert wins).
+  std::vector<ExecutionPlan> all;
+  std::vector<PlanDemand> demands;
+  bool computed_all = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.groups.find(key);
+    if (it == shard.groups.end() || it->second.all == nullptr)
+      computed_all = true;  // decided under the lock, computed outside
+  }
+  if (computed_all) {
+    all = enumerate_candidate_plans(model, global_batch, constraints);
+    demands.reserve(all.size());
+    for (const ExecutionPlan& plan : all)
+      demands.push_back(PlanDemand{
+          estimator.gpu_bytes(model, plan, global_batch),
+          estimator.host_bytes(model, plan)});
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Group& group = shard.groups[key];
+  if (group.all == nullptr) {
+    if (!computed_all) {
+      // Another thread erased... cannot happen (no eviction); but if we
+      // skipped computing because the group existed, `all` is already
+      // present — nothing to do.
+    } else {
+      shard.plan_arena.push_back(std::move(all));
+      shard.demand_arena.push_back(std::move(demands));
+      group.all = &shard.plan_arena.back();
+      group.all_demands = &shard.demand_arena.back();
+      ++shard.stats.enumerations;
+    }
+  }
+  // Re-check the budget class (a racer may have filtered it meanwhile).
+  for (const Variant& v : group.variants) {
+    if (v.gpu_cap == gpu_cap && v.host_cap == host_cap) {
+      ++shard.stats.hits;
+      return PlanSpan{v.plans->data(), v.plans->size()};
+    }
+  }
+  ++shard.stats.misses;
+
+  // Budget-monotonic pruning: filter from the smallest cached list whose
+  // budget dominates this one — plans it already rejected cannot become
+  // feasible at a smaller budget.
+  const std::vector<ExecutionPlan>* source = group.all;
+  const std::vector<PlanDemand>* source_demands = group.all_demands;
+  std::size_t best_size = std::numeric_limits<std::size_t>::max();
+  for (const Variant& v : group.variants) {
+    if (v.demands == nullptr) continue;
+    if (v.gpu_cap >= gpu_cap && v.host_cap >= host_cap &&
+        v.plans->size() < best_size) {
+      source = v.plans;
+      source_demands = v.demands;
+      best_size = v.plans->size();
+    }
+  }
+  if (source != group.all) ++shard.stats.budget_pruned;
+
+  std::vector<ExecutionPlan> filtered;
+  std::vector<PlanDemand> filtered_demands;
+  for (std::size_t i = 0; i < source->size(); ++i) {
+    const PlanDemand& d = (*source_demands)[i];
+    if (d.gpu_bytes <= gpu_cap && d.host_bytes <= host_cap) {
+      filtered.push_back((*source)[i]);
+      filtered_demands.push_back(d);
+    }
+  }
+  shard.plan_arena.push_back(std::move(filtered));
+  shard.demand_arena.push_back(std::move(filtered_demands));
+  Variant variant;
+  variant.gpu_cap = gpu_cap;
+  variant.host_cap = host_cap;
+  variant.plans = &shard.plan_arena.back();
+  variant.demands = &shard.demand_arena.back();
+  group.variants.push_back(variant);
+  return PlanSpan{variant.plans->data(), variant.plans->size()};
+}
+
+PlanSpan PlanSetCache::memoized(
+    std::uint32_t space_id, const ModelSpec& model, int global_batch,
+    const PlanConstraints& constraints, const MemoryEstimator& estimator,
+    const std::function<std::vector<ExecutionPlan>()>& compute) {
+  GroupKey key;
+  key.model_fp = model_fingerprint(model);
+  key.est_fp = estimator.fingerprint();
+  key.space_id = space_id;
+  key.batch = global_batch;
+  key.gpus = constraints.num_gpus;
+  key.max_tp = constraints.max_tp;
+  key.allow_mp = constraints.allow_model_parallel;
+  const std::uint64_t gpu_cap = constraints.budget.gpu_capacity_bytes;
+  const std::uint64_t host_cap = constraints.budget.host_capacity_bytes;
+
+  Shard& shard = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.groups.find(key);
+    if (it != shard.groups.end()) {
+      for (const Variant& v : it->second.variants) {
+        if (v.gpu_cap == gpu_cap && v.host_cap == host_cap) {
+          ++shard.stats.hits;
+          return PlanSpan{v.plans->data(), v.plans->size()};
+        }
+      }
+    }
+  }
+
+  std::vector<ExecutionPlan> plans = compute();  // outside the lock
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Group& group = shard.groups[key];
+  for (const Variant& v : group.variants) {
+    if (v.gpu_cap == gpu_cap && v.host_cap == host_cap) {
+      ++shard.stats.hits;
+      return PlanSpan{v.plans->data(), v.plans->size()};
+    }
+  }
+  ++shard.stats.misses;
+  shard.plan_arena.push_back(std::move(plans));
+  Variant variant;
+  variant.gpu_cap = gpu_cap;
+  variant.host_cap = host_cap;
+  variant.plans = &shard.plan_arena.back();
+  group.variants.push_back(variant);
+  return PlanSpan{variant.plans->data(), variant.plans->size()};
+}
+
+PlanCacheStats PlanSetCache::stats() const {
+  PlanCacheStats total;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.hits += s.stats.hits;
+    total.misses += s.stats.misses;
+    total.enumerations += s.stats.enumerations;
+    total.budget_pruned += s.stats.budget_pruned;
+  }
+  return total;
+}
+
+std::size_t PlanSetCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.plan_arena.size();
+  }
+  return n;
+}
+
+}  // namespace rubick

@@ -1,0 +1,168 @@
+// PlanSetCache: process-wide arena cache of enumerated candidate plan sets.
+//
+// The scheduling hot path asks "which plans may this job run with exactly g
+// GPUs?" thousands of times per round — once per (GPU count, CPU count)
+// coordinate of every sensitivity-curve chain. The answer depends only on
+// (model, global batch, g, max TP, model-parallel gate, estimator
+// coefficients, memory-budget class) — NOT on the CPU count — yet the
+// enumerator used to re-walk the plan space and re-run the memory estimator
+// per query, heap-allocating a fresh vector every time.
+//
+// PlanSetCache computes each candidate set once and stores it in contiguous
+// arena storage for the life of the process; queries return a PlanSpan (a
+// non-owning pointer+length view), so steady-state lookups allocate
+// nothing. Three levels share the work:
+//
+//   1. enumerated   — all structurally valid, batch-divisible plans for a
+//                     (model, batch, gpus, max_tp, allow_mp) key;
+//   2. measured     — per-plan GPU/host memory demands for an estimator
+//                     coefficient fingerprint (demands are independent of
+//                     the budget, so they are computed once and compared
+//                     against any budget later);
+//   3. filtered     — the memory-feasible subset for a concrete budget
+//                     class (gpu/host capacity pair). Feasibility is
+//                     monotone in the budget: a plan infeasible at budget B
+//                     is infeasible at any budget component-wise <= B, so a
+//                     new budget class filters from the smallest already-
+//                     cached superset list instead of the full set.
+//
+// Restricted plan spaces (the ablation selectors) reuse the same arena via
+// memoized(): an opaque compute callback keyed by the selector's interned
+// id runs at most once per key.
+//
+// CONCURRENCY: shard-locked like the predictor's memo caches. Values are
+// deterministic functions of the key, racers compute identical lists and
+// the first writer wins; spans stay valid forever (arena storage is never
+// moved or freed). The cache is process-wide by design — candidate sets
+// are pure functions of model structure, so sharing across predictors,
+// policies and simulator runs is sound and is what makes repeated
+// scheduling rounds allocation-free.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "model/model_spec.h"
+#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+
+namespace rubick {
+
+// Non-owning view over an immutable cached candidate list. Order matches
+// enumerate_plans() exactly (DP-family first, then 3D combinations).
+struct PlanSpan {
+  const ExecutionPlan* data = nullptr;
+  std::size_t count = 0;
+
+  const ExecutionPlan* begin() const { return data; }
+  const ExecutionPlan* end() const { return data + count; }
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  const ExecutionPlan& operator[](std::size_t i) const { return data[i]; }
+};
+
+// Per-plan memory demand, budget-independent (level 2).
+struct PlanDemand {
+  std::uint64_t gpu_bytes = 0;   // per worst GPU
+  std::uint64_t host_bytes = 0;  // across all workers
+};
+
+// Cumulative tallies (telemetry; surfaced by bench_micro_scheduler and the
+// policy's round-end gauges).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;            // feasible-set lookups served cached
+  std::uint64_t misses = 0;          // feasible-set lookups that computed
+  std::uint64_t enumerations = 0;    // level-1 plan-space walks
+  std::uint64_t budget_pruned = 0;   // filters seeded from a superset list
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+class PlanSetCache {
+ public:
+  // Process-wide instance (never destroyed; spans it returns stay valid for
+  // the life of the process).
+  static PlanSetCache& global();
+
+  PlanSetCache() = default;
+  PlanSetCache(const PlanSetCache&) = delete;
+  PlanSetCache& operator=(const PlanSetCache&) = delete;
+
+  // Memory-feasible candidate set for the FULL plan space under
+  // `constraints` — identical in content and order to
+  // enumerate_plans(model, global_batch, constraints, estimator).
+  PlanSpan full_feasible(const ModelSpec& model, int global_batch,
+                         const PlanConstraints& constraints,
+                         const MemoryEstimator& estimator);
+
+  // Memoized pass-through for restricted plan spaces (ablation selectors).
+  // `space_id` is the selector's interned identity; `compute` must be a
+  // deterministic function of the other key fields and runs at most once
+  // per distinct key (first writer wins under races).
+  PlanSpan memoized(std::uint32_t space_id, const ModelSpec& model,
+                    int global_batch, const PlanConstraints& constraints,
+                    const MemoryEstimator& estimator,
+                    const std::function<std::vector<ExecutionPlan>()>& compute);
+
+  PlanCacheStats stats() const;
+  // Number of cached candidate lists across all levels (diagnostic).
+  std::size_t size() const;
+
+ private:
+  // Identity of a (plan space, model, batch, gpus, max_tp, mp-gate,
+  // estimator) group; budget classes hang off the group as variants.
+  struct GroupKey {
+    std::uint64_t model_fp = 0;  // name id + structural fields
+    std::uint64_t est_fp = 0;    // MemoryEstimator::fingerprint()
+    std::uint32_t space_id = 0;  // 0 = full enumeration
+    std::int32_t batch = 0;
+    std::int32_t gpus = 0;
+    std::int32_t max_tp = 0;
+    bool allow_mp = false;
+
+    friend bool operator==(const GroupKey&, const GroupKey&) = default;
+  };
+  struct GroupKeyHash {
+    std::size_t operator()(const GroupKey& k) const noexcept;
+  };
+
+  struct Variant {
+    std::uint64_t gpu_cap = 0;
+    std::uint64_t host_cap = 0;
+    const std::vector<ExecutionPlan>* plans = nullptr;
+    const std::vector<PlanDemand>* demands = nullptr;  // nullptr: memoized()
+  };
+  struct Group {
+    // Level 1+2 (full space only): every valid plan with its demands.
+    const std::vector<ExecutionPlan>* all = nullptr;
+    const std::vector<PlanDemand>* all_demands = nullptr;
+    // Level 3: one entry per budget class seen (usually exactly one).
+    std::vector<Variant> variants;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<GroupKey, Group, GroupKeyHash> groups;
+    std::deque<std::vector<ExecutionPlan>> plan_arena;
+    std::deque<std::vector<PlanDemand>> demand_arena;
+    mutable PlanCacheStats stats;
+  };
+
+  static std::uint64_t model_fingerprint(const ModelSpec& model);
+  Shard& shard_for(const GroupKey& key) const;
+
+  static constexpr std::size_t kShards = 16;
+  mutable std::array<Shard, kShards> shards_;
+};
+
+}  // namespace rubick

@@ -1,0 +1,359 @@
+// Scheduling-round fast-path guarantees (DESIGN.md §9):
+//
+//   1. The cached / flat-filled predictor paths (warm(), feasible-width
+//      envelope fill, ranked-list memo) return values byte-identical to a
+//      fresh predictor evaluating the analytic model directly, in any query
+//      order.
+//   2. The round-digest fast path replays a round only when the decision
+//      would be byte-identical, and invalidates on every decision-relevant
+//      mutation: job arrival, job departure, model-store refit.
+#include <algorithm>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "perf/profiler.h"
+
+namespace rubick {
+namespace {
+
+class FastPathTest : public ::testing::Test {
+ protected:
+  FastPathTest()
+      : oracle_(2025),
+        store_(PerfModelStore::profile_models(
+            oracle_, cluster_, {"GPT-2", "BERT", "LLaMA-2-7B"})) {}
+
+  JobSpec make_spec(int id, const std::string& model, int gpus,
+                    bool guaranteed = true) {
+    JobSpec spec;
+    spec.id = id;
+    spec.model_name = model;
+    spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+    spec.global_batch = find_model(model).default_global_batch;
+    spec.initial_plan = make_dp(gpus);
+    spec.target_samples = 1e6;
+    spec.guaranteed = guaranteed;
+    spec.tenant = "t";
+    return spec;
+  }
+
+  SchedulerInput input_for(const std::deque<JobSpec>& specs,
+                           double now = 0.0) const {
+    SchedulerInput in;
+    in.now = now;
+    in.cluster = &cluster_;
+    in.models = &store_;
+    in.estimator = &estimator_;
+    for (const JobSpec& s : specs) {
+      JobView v;
+      v.spec = &s;
+      v.running = false;
+      v.plan = s.initial_plan;
+      v.remaining_samples = s.target_samples;
+      v.queued_since = s.submit_time_s;
+      in.jobs.push_back(v);
+    }
+    return in;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  MemoryEstimator estimator_;
+  PerfModelStore store_;
+};
+
+void expect_assignments_equal(const std::vector<Assignment>& a,
+                              const std::vector<Assignment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_id, b[i].job_id) << i;
+    EXPECT_EQ(a[i].plan, b[i].plan) << i;
+    ASSERT_EQ(a[i].placement.slices.size(), b[i].placement.slices.size()) << i;
+    for (std::size_t s = 0; s < a[i].placement.slices.size(); ++s) {
+      const NodeSlice& x = a[i].placement.slices[s];
+      const NodeSlice& y = b[i].placement.slices[s];
+      EXPECT_EQ(x.node, y.node);
+      EXPECT_EQ(x.gpus, y.gpus);
+      EXPECT_EQ(x.cpus, y.cpus);
+      EXPECT_EQ(x.host_memory_bytes, y.host_memory_bytes);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// Predictor equivalence
+// -------------------------------------------------------------------------
+
+TEST_F(FastPathTest, EnvelopeMatchesBruteForceMaxOverExactCounts) {
+  // envelope(g, c) is defined as max over g' <= g of best_canonical(g', c).
+  // The feasible-width fill skips the analytic model on flat stretches; the
+  // brute-force maximum evaluates every count. They must agree exactly.
+  BestPlanPredictor predictor(cluster_, store_, estimator_);
+  FullPlanSelector all;
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> pick_gpus(1, 64);
+  for (const char* name : {"GPT-2", "BERT", "LLaMA-2-7B"}) {
+    const ModelSpec& m = find_model(name);
+    const int batch = m.default_global_batch;
+    for (int trial = 0; trial < 8; ++trial) {
+      const int g = pick_gpus(rng);
+      const int c = std::uniform_int_distribution<int>(1, 2 * g)(rng);
+      double brute = 0.0;
+      for (int gg = 1; gg <= g; ++gg)
+        brute = std::max(
+            brute, predictor.best_canonical(m, batch, all, gg, c).throughput);
+      EXPECT_DOUBLE_EQ(predictor.envelope(m, batch, all, g, c), brute)
+          << name << " g=" << g << " c=" << c;
+    }
+  }
+}
+
+TEST_F(FastPathTest, WarmedPredictorMatchesFreshPredictor) {
+  // A predictor warmed through the parallel flat-fill path and a fresh
+  // predictor answering cold queries in randomized order must return
+  // byte-identical predictions everywhere.
+  BestPlanPredictor warmed(cluster_, store_, estimator_);
+  BestPlanPredictor fresh(cluster_, store_, estimator_);
+  FullPlanSelector all;
+  for (const char* name : {"GPT-2", "BERT", "LLaMA-2-7B"})
+    warmed.warm(find_model(name), find_model(name).default_global_batch, all,
+                64, 2);
+
+  struct Query {
+    const ModelSpec* model;
+    int gpus, cpus, max_tp;
+    bool multi_node;
+  };
+  std::vector<Query> queries;
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> pick_gpus(1, 64);
+  const int tps[] = {1, 2, 4, 8};
+  for (const char* name : {"GPT-2", "BERT", "LLaMA-2-7B"})
+    for (int trial = 0; trial < 12; ++trial) {
+      const int g = pick_gpus(rng);
+      queries.push_back({&find_model(name), g,
+                         std::uniform_int_distribution<int>(1, 3 * g)(rng),
+                         tps[std::uniform_int_distribution<int>(0, 3)(rng)],
+                         std::bernoulli_distribution(0.5)(rng)});
+    }
+  std::shuffle(queries.begin(), queries.end(), rng);
+  for (const Query& q : queries) {
+    const int batch = q.model->default_global_batch;
+    EXPECT_DOUBLE_EQ(warmed.envelope(*q.model, batch, all, q.gpus, q.cpus),
+                     fresh.envelope(*q.model, batch, all, q.gpus, q.cpus));
+    const auto a = warmed.best_canonical(*q.model, batch, all, q.gpus, q.cpus);
+    const auto b = fresh.best_canonical(*q.model, batch, all, q.gpus, q.cpus);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+    if (a.feasible) {
+      EXPECT_EQ(a.plan, b.plan);
+    }
+    const auto ea = warmed.best_exact(*q.model, batch, all, q.gpus, q.cpus,
+                                      q.max_tp, q.multi_node);
+    const auto eb = fresh.best_exact(*q.model, batch, all, q.gpus, q.cpus,
+                                     q.max_tp, q.multi_node);
+    EXPECT_EQ(ea.feasible, eb.feasible);
+    EXPECT_DOUBLE_EQ(ea.throughput, eb.throughput);
+    if (ea.feasible) {
+      EXPECT_EQ(ea.plan, eb.plan);
+    }
+  }
+}
+
+TEST_F(FastPathTest, RankedForPlacementMatchesFreshPredictor) {
+  BestPlanPredictor warmed(cluster_, store_, estimator_);
+  BestPlanPredictor fresh(cluster_, store_, estimator_);
+  FullPlanSelector all;
+  std::mt19937 rng(13);
+  for (const char* name : {"GPT-2", "BERT", "LLaMA-2-7B"}) {
+    const ModelSpec& m = find_model(name);
+    const int batch = m.default_global_batch;
+    warmed.warm(m, batch, all, 64, 2);
+    for (int trial = 0; trial < 6; ++trial) {
+      Placement p;
+      const int nodes = std::uniform_int_distribution<int>(1, 2)(rng);
+      for (int n = 0; n < nodes; ++n) {
+        const int g = std::uniform_int_distribution<int>(1, 8)(rng);
+        const int c = std::uniform_int_distribution<int>(g, 12 * g)(rng);
+        p.add({n, g, c, 0});
+      }
+      const auto a = warmed.ranked_for_placement(m, batch, all, p);
+      const auto b = fresh.ranked_for_placement(m, batch, all, p);
+      ASSERT_EQ(a->size(), b->size()) << name << " trial " << trial;
+      for (std::size_t i = 0; i < a->size(); ++i) {
+        EXPECT_DOUBLE_EQ((*a)[i].throughput, (*b)[i].throughput);
+        EXPECT_EQ((*a)[i].plan, (*b)[i].plan);
+      }
+      // Repeat lookups share one memoized list.
+      EXPECT_EQ(a.get(), warmed.ranked_for_placement(m, batch, all, p).get());
+    }
+  }
+}
+
+TEST_F(FastPathTest, CurveSummaryMatchesProgressiveScan) {
+  // curve_summary memoizes the policy's progressive scans; replicate them
+  // on a second predictor with raw envelope calls and compare.
+  BestPlanPredictor summarized(cluster_, store_, estimator_);
+  BestPlanPredictor scanned(cluster_, store_, estimator_);
+  FullPlanSelector all;
+  const int total_gpus = cluster_.num_nodes * cluster_.node.gpus;
+  const int floor = 2;
+  for (const char* name : {"GPT-2", "BERT", "LLaMA-2-7B"}) {
+    const ModelSpec& m = find_model(name);
+    const int batch = m.default_global_batch;
+    const auto summary =
+        summarized.curve_summary(m, batch, all, floor, total_gpus);
+
+    int min_feasible = 0;
+    for (int g = 1; g <= total_gpus; ++g)
+      if (scanned.envelope(m, batch, all, g, floor * g) > 0.0) {
+        min_feasible = g;
+        break;
+      }
+    int best_g = 0;
+    double best_v = 0.0;
+    for (int g = 1; g <= total_gpus; ++g) {
+      const double v = scanned.envelope(m, batch, all, g, floor * g);
+      if (v > best_v * (1.0 + 1e-9)) {
+        best_v = v;
+        best_g = g;
+      }
+    }
+    EXPECT_EQ(summary.min_feasible_gpus, min_feasible) << name;
+    EXPECT_EQ(summary.max_useful_gpus, best_v > 0.0 ? best_g : 0) << name;
+  }
+}
+
+// -------------------------------------------------------------------------
+// Round-digest fast path
+// -------------------------------------------------------------------------
+
+TEST_F(FastPathTest, ReplaysIdenticalRoundAndMatchesSlowPath) {
+  std::deque<JobSpec> specs;
+  specs.push_back(make_spec(0, "BERT", 4));
+  specs.push_back(make_spec(1, "GPT-2", 2));
+
+  RubickPolicy fast;
+  RubickConfig off;
+  off.enable_fast_path = false;
+  RubickPolicy slow(off);
+
+  const SchedulerInput in = input_for(specs);
+  const auto first = fast.schedule(in);
+  expect_assignments_equal(first, slow.schedule(in));
+  EXPECT_EQ(fast.fast_path_rounds(), 0u);
+
+  for (int round = 1; round <= 3; ++round) {
+    const auto replay = fast.schedule(in);
+    expect_assignments_equal(first, replay);
+    expect_assignments_equal(replay, slow.schedule(in));
+    EXPECT_EQ(fast.fast_path_rounds(), static_cast<std::uint64_t>(round));
+  }
+  EXPECT_EQ(slow.fast_path_rounds(), 0u);
+}
+
+TEST_F(FastPathTest, ClockAdvanceAloneStillReplays) {
+  // `now` reaches decisions only through the reconfiguration gate and the
+  // starvation predicate; with guaranteed queued jobs neither applies, so a
+  // clock tick with an otherwise identical round replays.
+  std::deque<JobSpec> specs;
+  specs.push_back(make_spec(0, "BERT", 4));
+  RubickPolicy policy;
+  const auto first = policy.schedule(input_for(specs, 0.0));
+  const auto later = policy.schedule(input_for(specs, 100.0));
+  expect_assignments_equal(first, later);
+  EXPECT_EQ(policy.fast_path_rounds(), 1u);
+}
+
+TEST_F(FastPathTest, InvalidatesOnJobArrival) {
+  std::deque<JobSpec> specs;
+  specs.push_back(make_spec(0, "BERT", 4));
+  RubickPolicy policy;
+  policy.schedule(input_for(specs));
+  policy.schedule(input_for(specs));
+  ASSERT_EQ(policy.fast_path_rounds(), 1u);
+
+  specs.push_back(make_spec(1, "GPT-2", 2));
+  RubickConfig off;
+  off.enable_fast_path = false;
+  RubickPolicy slow(off);
+  slow.schedule(input_for(specs));  // fresh policy, same mutated round
+  const auto out = policy.schedule(input_for(specs));
+  EXPECT_EQ(policy.fast_path_rounds(), 1u);  // no replay across the mutation
+  expect_assignments_equal(out, slow.schedule(input_for(specs)));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(FastPathTest, InvalidatesOnJobDeparture) {
+  std::deque<JobSpec> specs;
+  specs.push_back(make_spec(0, "BERT", 4));
+  specs.push_back(make_spec(1, "GPT-2", 2));
+  RubickPolicy policy;
+  policy.schedule(input_for(specs));
+  policy.schedule(input_for(specs));
+  ASSERT_EQ(policy.fast_path_rounds(), 1u);
+
+  specs.pop_back();
+  const auto out = policy.schedule(input_for(specs));
+  EXPECT_EQ(policy.fast_path_rounds(), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].job_id, 0);
+}
+
+TEST_F(FastPathTest, InvalidatesOnModelStoreRefit) {
+  std::deque<JobSpec> specs;
+  specs.push_back(make_spec(0, "BERT", 4));
+  RubickPolicy policy;
+  policy.schedule(input_for(specs));
+  policy.schedule(input_for(specs));
+  ASSERT_EQ(policy.fast_path_rounds(), 1u);
+
+  // Re-adding a fitted model bumps the store version — the same signal an
+  // online refit emits. The next round must take the slow path even though
+  // the refitted coefficients happen to be identical.
+  const std::uint64_t before = store_.version();
+  store_.add(store_.get("BERT"));
+  ASSERT_GT(store_.version(), before);
+  const auto out = policy.schedule(input_for(specs));
+  EXPECT_EQ(policy.fast_path_rounds(), 1u);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(FastPathTest, MatchesSlowPathAcrossMutationSequence) {
+  // Drive both policies through the same arrival/replay/departure/refit
+  // sequence; their decisions must be identical at every round.
+  RubickPolicy fast;
+  RubickConfig off;
+  off.enable_fast_path = false;
+  RubickPolicy slow(off);
+
+  std::deque<JobSpec> specs;
+  const auto step = [&](double now) {
+    const auto a = fast.schedule(input_for(specs, now));
+    const auto b = slow.schedule(input_for(specs, now));
+    expect_assignments_equal(a, b);
+  };
+
+  specs.push_back(make_spec(0, "BERT", 4));
+  step(0.0);
+  specs.push_back(make_spec(1, "GPT-2", 2));
+  step(10.0);
+  step(20.0);  // replay round for the fast policy
+  specs.push_back(make_spec(2, "LLaMA-2-7B", 8));
+  step(30.0);
+  specs.pop_front();  // departure
+  step(40.0);
+  store_.add(store_.get("GPT-2"));  // refit
+  step(50.0);
+  EXPECT_GE(fast.fast_path_rounds(), 1u);
+  EXPECT_EQ(slow.fast_path_rounds(), 0u);
+}
+
+}  // namespace
+}  // namespace rubick

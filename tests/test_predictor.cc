@@ -118,7 +118,7 @@ TEST_F(PredictorTest, RankedForPlacementSortedDescending) {
   const ModelSpec& m = find_model("GPT-2");
   Placement p;
   p.add({0, 8, 16, 0});
-  const auto ranked = predictor_.ranked_for_placement(m, 16, all_, p);
+  const auto& ranked = *predictor_.ranked_for_placement(m, 16, all_, p);
   ASSERT_GT(ranked.size(), 3u);
   for (std::size_t i = 1; i < ranked.size(); ++i)
     EXPECT_GE(ranked[i - 1].throughput, ranked[i].throughput * (1.0 - 1e-9));
@@ -129,7 +129,7 @@ TEST_F(PredictorTest, RankedFiltersTpGroupsSplitAcrossNodes) {
   Placement split;
   split.add({0, 5, 10, 0});
   split.add({1, 3, 6, 0});
-  for (const auto& pred : predictor_.ranked_for_placement(m, 16, all_, split))
+  for (const auto& pred : *predictor_.ranked_for_placement(m, 16, all_, split))
     EXPECT_EQ(pred.plan.tp, 1) << pred.plan.display_name();
 }
 

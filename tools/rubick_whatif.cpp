@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
     remaining_c -= c;
   }
 
-  auto ranked =
-      predictor.ranked_for_placement(model, batch, all_plans, placement);
+  const auto& ranked =
+      *predictor.ranked_for_placement(model, batch, all_plans, placement);
   RUBICK_CHECK_MSG(!ranked.empty(), "no feasible plan for "
                                         << model.to_string() << " on " << gpus
                                         << " GPUs");
