@@ -7,12 +7,10 @@
 // homogeneous cluster of equal aggregate capacity (6 reference nodes).
 #include <iostream>
 
-#include "baselines/sia.h"
-#include "baselines/synergy.h"
+#include "baselines/policy_factory.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
-#include "core/rubick_policy.h"
 #include "model/model_zoo.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
@@ -37,20 +35,17 @@ void run_cluster(const char* label, const ClusterSpec& cluster,
   const PerfModelStore store =
       PerfModelStore::profile_models(oracle, cluster, names, 0, &costs);
 
-  auto run = [&](auto make_policy, const char* policy_name) {
-    auto policy = make_policy();
+  for (const char* policy_name : {"rubick", "sia", "synergy"}) {
+    auto policy = PolicyFactory::global().create(policy_name);
     Simulator sim(cluster, oracle);
     const SimResult r = sim.run(jobs, *policy, RunContext{&store, &costs});
-    table.add_row({label, policy_name,
+    table.add_row({label, policy->name(),
                    TextTable::fmt(to_hours(r.avg_jct_s())),
                    TextTable::fmt(to_hours(r.jct_summary().p99)),
                    TextTable::fmt(to_hours(r.makespan_s)),
                    TextTable::fmt(100.0 * r.timeline.average_utilization(),
                                   0) + "%"});
-  };
-  run([] { return std::make_unique<RubickPolicy>(); }, "Rubick");
-  run([] { return std::make_unique<SiaPolicy>(); }, "Sia");
-  run([] { return std::make_unique<SynergyPolicy>(); }, "Synergy");
+  }
 }
 
 }  // namespace

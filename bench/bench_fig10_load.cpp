@@ -8,13 +8,12 @@
 #include <string>
 #include <vector>
 
-#include "baselines/synergy.h"
+#include "baselines/policy_factory.h"
 #include "model/model_zoo.h"
 #include "common/cli.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
-#include "core/rubick_policy.h"
 #include "plan/plan_cache.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
@@ -115,10 +114,10 @@ int main(int argc, char** argv) {
     const auto jobs = gen.generate(opts);
 
     Simulator sim(cluster, oracle);
-    RubickPolicy rubick;
-    SynergyPolicy synergy;
-    const SimResult r = sim.run(jobs, rubick, RunContext{&store, &costs});
-    const SimResult s = sim.run(jobs, synergy, RunContext{&store, &costs});
+    const auto rubick = PolicyFactory::global().create("rubick");
+    const auto synergy = PolicyFactory::global().create("synergy");
+    const SimResult r = sim.run(jobs, *rubick, RunContext{&store, &costs});
+    const SimResult s = sim.run(jobs, *synergy, RunContext{&store, &costs});
 
     table.add_row({TextTable::fmt(load, 1) + "x", std::to_string(jobs.size()),
                    TextTable::fmt(to_hours(r.avg_jct_s())),

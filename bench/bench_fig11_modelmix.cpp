@@ -5,12 +5,11 @@
 // JCT gain 2.6x -> 3.4x).
 #include <iostream>
 
-#include "baselines/synergy.h"
+#include "baselines/policy_factory.h"
 #include "model/model_zoo.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
-#include "core/rubick_policy.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
 
@@ -51,10 +50,10 @@ int main() {
       const auto jobs = gen.generate(opts);
 
       Simulator sim(cluster, oracle);
-      RubickPolicy rubick;
-      SynergyPolicy synergy;
-      const SimResult r = sim.run(jobs, rubick, RunContext{&store, &costs});
-      const SimResult s = sim.run(jobs, synergy, RunContext{&store, &costs});
+      const auto rubick = PolicyFactory::global().create("rubick");
+      const auto synergy = PolicyFactory::global().create("synergy");
+      const SimResult r = sim.run(jobs, *rubick, RunContext{&store, &costs});
+      const SimResult s = sim.run(jobs, *synergy, RunContext{&store, &costs});
       rubick_jct += r.avg_jct_s();
       synergy_jct += s.avg_jct_s();
       rubick_mk += r.makespan_s;

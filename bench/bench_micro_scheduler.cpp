@@ -250,7 +250,7 @@ BENCHMARK(BM_ScheduleRoundSteady)
 
 // ---------------------------------------------------------------------------
 // BENCH_sched.json: decision-latency percentiles + cache counters, written
-// when --sched_json=PATH is passed (see README "Benchmarks"). The pre-PR
+// when --sched-json=PATH is passed (see README "Benchmarks"). The pre-PR
 // baseline constants let CI flag regressions without rebuilding the old
 // tree.
 // ---------------------------------------------------------------------------
@@ -387,14 +387,21 @@ int write_sched_json(const std::string& path) {
 }  // namespace rubick
 
 int main(int argc, char** argv) {
-  // Strip --sched_json=PATH before google-benchmark sees the args. Combine
-  // with --benchmark_filter=NONE to emit only the JSON report.
+  // Strip --sched-json=PATH before google-benchmark sees the args (the
+  // snake_case spelling is a deprecated alias, matching common/cli).
+  // Combine with --benchmark_filter=NONE to emit only the JSON report.
   std::string sched_json;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    constexpr const char* kFlag = "--sched_json=";
+    constexpr const char* kFlag = "--sched-json=";
+    constexpr const char* kDeprecated = "--sched_json=";
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       sched_json = argv[i] + std::strlen(kFlag);
+    } else if (std::strncmp(argv[i], kDeprecated, std::strlen(kDeprecated)) ==
+               0) {
+      std::cerr << "warning: flag --sched_json is deprecated; use "
+                   "--sched-json\n";
+      sched_json = argv[i] + std::strlen(kDeprecated);
     } else {
       argv[out++] = argv[i];
     }

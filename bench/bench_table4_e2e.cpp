@@ -15,10 +15,7 @@
 #include <functional>
 #include <memory>
 
-#include "baselines/antman.h"
-#include "baselines/sia.h"
-#include "baselines/tiresias.h"
-#include "baselines/synergy.h"
+#include "baselines/policy_factory.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
@@ -132,21 +129,17 @@ int main() {
   TextTable table({"Trace", "Scheduler", "Avg JCT (h)", "P99 JCT (h)",
                    "Makespan (h)", "#reconfigs"});
   std::map<std::string, RunStats> base_results;
-  using PolicyFactory = std::function<std::unique_ptr<SchedulerPolicy>()>;
-  const std::vector<std::pair<std::string, PolicyFactory>> all_factories = {
-      {"Rubick", [] { return std::make_unique<RubickPolicy>(); }},
-      {"Sia", [] { return std::make_unique<SiaPolicy>(); }},
-      {"Synergy", [] { return std::make_unique<SynergyPolicy>(); }},
-      {"Rubick-E",
-       [] { return std::make_unique<RubickPolicy>(RubickPolicy::plans_only()); }},
-      {"Rubick-R",
-       [] {
-         return std::make_unique<RubickPolicy>(RubickPolicy::resources_only());
-       }},
-      {"Rubick-N",
-       [] { return std::make_unique<RubickPolicy>(RubickPolicy::neither()); }},
+  // (table label, PolicyFactory name) — construction itself goes through
+  // the shared registry, same as the CLI tools.
+  const std::vector<std::pair<std::string, std::string>> all_policies = {
+      {"Rubick", "rubick"},
+      {"Sia", "sia"},
+      {"Synergy", "synergy"},
+      {"Rubick-E", "rubick-e"},
+      {"Rubick-R", "rubick-r"},
+      {"Rubick-N", "rubick-n"},
       // Extra baseline beyond the paper's Table 4: classic LAS scheduling.
-      {"Tiresias*", [] { return std::make_unique<TiresiasPolicy>(); }},
+      {"Tiresias*", "tiresias"},
   };
 
   auto run_block = [&](const char* trace_name,
@@ -154,8 +147,9 @@ int main() {
                        std::size_t num_policies) {
     double rubick_jct = 0.0, rubick_p99 = 0.0, rubick_mk = 0.0;
     for (std::size_t i = 0; i < num_policies; ++i) {
-      const auto& [name, factory] = all_factories[i];
-      const RunStats s = run_mean(traces, factory);
+      const auto& [name, factory_name] = all_policies[i];
+      const RunStats s = run_mean(
+          traces, [&] { return PolicyFactory::global().create(factory_name); });
       if (std::string(trace_name) == "Base") base_results[name] = s;
       if (i == 0) {
         rubick_jct = to_hours(s.all.mean);
@@ -169,7 +163,7 @@ int main() {
                      std::to_string(s.reconfigs)});
     }
   };
-  run_block("Base", base_traces, all_factories.size());
+  run_block("Base", base_traces, all_policies.size());
   run_block("BP", bp_traces, 3);
   table.print(std::cout);
 
@@ -178,14 +172,13 @@ int main() {
                "guaranteed; Tenant-B: best-effort) ---\n";
   TextTable mt({"Scheduler", "Class", "Avg JCT (h)", "P99 JCT (h)",
                 "Makespan (h)"});
-  RubickConfig rubick_mt_config;
-  rubick_mt_config.tenant_quota_gpus["tenant-a"] = 64;
+  PolicyParams mt_params;
+  mt_params.tenant_quota_gpus["tenant-a"] = 64;
   const RunStats rs = run_mean(mt_traces, [&] {
-    return std::make_unique<RubickPolicy>(rubick_mt_config);
+    return PolicyFactory::global().create("rubick", mt_params);
   });
-  const RunStats as = run_mean(mt_traces, [] {
-    return std::make_unique<AntManPolicy>(
-        std::map<std::string, int>{{"tenant-a", 64}});
+  const RunStats as = run_mean(mt_traces, [&] {
+    return PolicyFactory::global().create("antman", mt_params);
   });
   auto add_class = [&](const char* sched, const char* cls, const Summary& s,
                        const Summary& ref, double mk, double ref_mk) {

@@ -38,7 +38,7 @@ std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
   std::vector<std::pair<int, Placement>> running;
   for (const auto& v : input.jobs)
     if (v.running) running.emplace_back(v.spec->id, v.placement);
-  AllocState state(*input.cluster, running);
+  AllocState state(*input.cluster, running, input.down_nodes);
 
   std::map<int, ExecutionPlan> chosen;
   for (const auto& v : input.jobs)
@@ -156,7 +156,7 @@ std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
     }
   }
 
-  return emit_assignments(state, input.jobs, chosen);
+  return emit_assignments(state, input, chosen);
 }
 
 }  // namespace rubick

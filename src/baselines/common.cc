@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
+#include "sim/fault_tolerance.h"
 
 namespace rubick {
 
@@ -91,10 +92,10 @@ bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
 }
 
 std::vector<Assignment> emit_assignments(
-    const AllocState& state, const std::vector<JobView>& jobs,
+    const AllocState& state, const SchedulerInput& input,
     const std::map<int, ExecutionPlan>& chosen) {
   std::vector<Assignment> out;
-  for (const auto& v : jobs) {
+  for (const auto& v : input.jobs) {
     const int id = v.spec->id;
     const Placement placement = state.placement_of(id);
     if (placement.total_gpus() <= 0) continue;
@@ -103,6 +104,7 @@ std::vector<Assignment> emit_assignments(
                      "job " << id << " has an allocation but no plan");
     out.push_back(Assignment{id, placement, it->second});
   }
+  apply_fault_tolerance(input, out);
   return out;
 }
 

@@ -30,9 +30,12 @@ bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
                      std::map<int, ExecutionPlan>& chosen,
                      double switch_gain = 1.05);
 
-// Emits assignments for every job holding GPUs in `state`.
+// Emits assignments for every job holding GPUs in `state`, then pipes them
+// through the shared fault-tolerance post-pass (sim/fault_tolerance.h) so
+// every baseline honors retry backoff, degradation pinning and the
+// down-node guard — a no-op for fault-free inputs.
 std::vector<Assignment> emit_assignments(
-    const AllocState& state, const std::vector<JobView>& jobs,
+    const AllocState& state, const SchedulerInput& input,
     const std::map<int, ExecutionPlan>& chosen);
 
 }  // namespace rubick

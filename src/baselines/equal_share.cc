@@ -22,7 +22,7 @@ std::vector<Assignment> EqualSharePolicy::schedule(
 
   // Rebuild the whole allocation from scratch: every job gets an equal GPU
   // share (rounded down to a count it can actually use).
-  AllocState state(*input.cluster, {});
+  AllocState state(*input.cluster, {}, input.down_nodes);
   std::map<int, ExecutionPlan> chosen;
 
   const int n = static_cast<int>(input.jobs.size());
@@ -53,7 +53,7 @@ std::vector<Assignment> EqualSharePolicy::schedule(
     }
   }
 
-  return emit_assignments(state, input.jobs, chosen);
+  return emit_assignments(state, input, chosen);
 }
 
 }  // namespace rubick

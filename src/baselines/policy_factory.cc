@@ -1,0 +1,86 @@
+#include "baselines/policy_factory.h"
+
+#include "baselines/antman.h"
+#include "baselines/equal_share.h"
+#include "baselines/sia.h"
+#include "baselines/synergy.h"
+#include "baselines/tiresias.h"
+#include "common/error.h"
+#include "core/rubick_policy.h"
+
+namespace rubick {
+
+namespace {
+
+std::unique_ptr<SchedulerPolicy> make_rubick(const std::string& variant,
+                                             const PolicyParams& params) {
+  RubickConfig config;
+  if (variant == "rubick-e") config = RubickPolicy::plans_only();
+  if (variant == "rubick-r") config = RubickPolicy::resources_only();
+  if (variant == "rubick-n") config = RubickPolicy::neither();
+  config.tenant_quota_gpus = params.tenant_quota_gpus;
+  config.gate_threshold = params.gate_threshold;
+  config.opportunistic_admission = params.opportunistic_admission;
+  return std::make_unique<RubickPolicy>(config);
+}
+
+}  // namespace
+
+PolicyFactory::PolicyFactory() {
+  for (const char* variant : {"rubick", "rubick-e", "rubick-r", "rubick-n"}) {
+    builders_[variant] = [variant](const PolicyParams& params) {
+      return make_rubick(variant, params);
+    };
+  }
+  builders_["sia"] = [](const PolicyParams& params) {
+    return std::make_unique<SiaPolicy>(params.gate_threshold);
+  };
+  builders_["synergy"] = [](const PolicyParams&) {
+    return std::make_unique<SynergyPolicy>();
+  };
+  builders_["antman"] = [](const PolicyParams& params) {
+    return std::make_unique<AntManPolicy>(params.tenant_quota_gpus);
+  };
+  builders_["tiresias"] = [](const PolicyParams&) {
+    return std::make_unique<TiresiasPolicy>();
+  };
+  builders_["equal-share"] = [](const PolicyParams&) {
+    return std::make_unique<EqualSharePolicy>();
+  };
+}
+
+const PolicyFactory& PolicyFactory::global() {
+  static const PolicyFactory factory;
+  return factory;
+}
+
+std::unique_ptr<SchedulerPolicy> PolicyFactory::create(
+    const std::string& name, const PolicyParams& params) const {
+  auto it = builders_.find(name);
+  if (it == builders_.end()) {
+    std::string known_names;
+    for (const std::string& n : names())
+      known_names += (known_names.empty() ? "" : ", ") + n;
+    RUBICK_CHECK_MSG(false, "unknown policy '" << name << "'; one of: "
+                                               << known_names);
+  }
+  return it->second(params);
+}
+
+bool PolicyFactory::known(const std::string& name) const {
+  return builders_.count(name) > 0;
+}
+
+std::vector<std::string> PolicyFactory::names() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+bool PolicyFactory::rubick_family(const std::string& name) {
+  return name == "rubick" || name == "rubick-e" || name == "rubick-r" ||
+         name == "rubick-n";
+}
+
+}  // namespace rubick

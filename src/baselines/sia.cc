@@ -73,7 +73,7 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
     infos.push_back(info);
   }
 
-  AllocState state(*input.cluster, running);
+  AllocState state(*input.cluster, running, input.down_nodes);
   std::map<int, ExecutionPlan> chosen;
   for (const auto& info : infos)
     if (info.view->running)
@@ -180,7 +180,7 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
     }
   }
 
-  std::vector<Assignment> out = emit_assignments(state, input.jobs, chosen);
+  std::vector<Assignment> out = emit_assignments(state, input, chosen);
   for (auto& a : out) {
     for (const auto& info : infos) {
       if (info.view->spec->id != a.job_id) continue;

@@ -57,7 +57,7 @@ std::vector<Assignment> TiresiasPolicy::schedule(const SchedulerInput& input) {
 
   // Rebuild the allocation from scratch in priority order (preemptive LAS):
   // each job takes its full request or waits.
-  AllocState state(*input.cluster, {});
+  AllocState state(*input.cluster, {}, input.down_nodes);
   std::map<int, ExecutionPlan> chosen;
   for (const JobView* v : order) {
     const JobSpec& spec = *v->spec;
@@ -97,7 +97,7 @@ std::vector<Assignment> TiresiasPolicy::schedule(const SchedulerInput& input) {
     }
   }
 
-  return emit_assignments(state, input.jobs, chosen);
+  return emit_assignments(state, input, chosen);
 }
 
 }  // namespace rubick

@@ -58,6 +58,10 @@ const char* to_string(Invariant invariant) {
       return "curve-monotonicity";
     case Invariant::kLifecycle:
       return "lifecycle";
+    case Invariant::kNodeAvailability:
+      return "node-availability";
+    case Invariant::kFailureRecovery:
+      return "failure-recovery";
   }
   return "?";
 }
@@ -155,7 +159,91 @@ void InvariantAuditor::on_tick(const SimTick& tick) {
   if (config_.check_placement || config_.check_plan_feasibility)
     audit_structure(tick);
   if (config_.check_guarantee) audit_guarantee(tick);
+  if (config_.check_node_availability) audit_node_availability(tick);
+  if (config_.check_failure_recovery) audit_failure_recovery(tick);
   update_job_state(tick);
+}
+
+void InvariantAuditor::on_fault(const SimFaultNotice& notice) {
+  if (!config_.check_failure_recovery) return;
+  if (notice.kind != SimFaultNotice::Kind::kReconfigFailure) return;
+  PendingRecovery pending;
+  pending.job_id = notice.job_id;
+  pending.notice_time_s = notice.now_s;
+  if (notice.prior_placement != nullptr) {
+    pending.prior_placement = *notice.prior_placement;  // copy: tick-scoped
+    pending.has_prior = true;
+  }
+  if (notice.prior_plan != nullptr) pending.prior_plan = *notice.prior_plan;
+  pending_recoveries_.push_back(std::move(pending));
+}
+
+void InvariantAuditor::audit_node_availability(const SimTick& tick) {
+  if (tick.down_nodes == nullptr) return;
+  for (const AuditJobState& job : tick.jobs) {
+    if (job.phase != SimJobPhase::kRunning || job.placement == nullptr)
+      continue;
+    ++report_.checks_performed;
+    for (const NodeSlice& slice : job.placement->slices) {
+      const std::size_t n = static_cast<std::size_t>(slice.node);
+      if (n < tick.down_nodes->size() && (*tick.down_nodes)[n] != 0) {
+        record(Invariant::kNodeAvailability, tick.now_s, job.spec->id,
+               slice.node,
+               "running job holds " + std::to_string(slice.gpus) +
+                   " GPU(s) on down node " + std::to_string(slice.node));
+      }
+    }
+  }
+}
+
+void InvariantAuditor::audit_failure_recovery(const SimTick& tick) {
+  if (pending_recoveries_.empty()) return;
+  for (const PendingRecovery& pending : pending_recoveries_) {
+    ++report_.checks_performed;
+    const AuditJobState* job = nullptr;
+    for (const AuditJobState& j : tick.jobs) {
+      if (j.spec != nullptr && j.spec->id == pending.job_id) {
+        job = &j;
+        break;
+      }
+    }
+    if (job == nullptr) {
+      record(Invariant::kFailureRecovery, tick.now_s, pending.job_id, -1,
+             "job vanished from the run after a reconfiguration failure");
+      continue;
+    }
+    if (job->phase == SimJobPhase::kPending) {
+      // Valid outcome A: attempt rolled back, allocation released.
+      if (job->placement != nullptr && !job->placement->empty()) {
+        record(Invariant::kFailureRecovery, tick.now_s, pending.job_id, -1,
+               "job is pending after a failed reconfiguration but still "
+               "holds " +
+                   job->placement->to_string());
+      }
+      continue;
+    }
+    if (job->phase == SimJobPhase::kRunning) {
+      // Valid outcome B: pre-attempt configuration restored verbatim.
+      const bool placement_ok =
+          pending.has_prior && job->placement != nullptr &&
+          *job->placement == pending.prior_placement &&
+          !pending.prior_placement.empty();
+      const bool plan_ok = job->plan != nullptr &&
+                           *job->plan == pending.prior_plan;
+      if (!placement_ok || !plan_ok) {
+        record(Invariant::kFailureRecovery, tick.now_s, pending.job_id, -1,
+               "job runs a configuration that is neither released nor the "
+               "pre-attempt one after a failed reconfiguration");
+      }
+      continue;
+    }
+    // kNotReady cannot follow a reconfiguration attempt; kFinished without
+    // a restart means the failed attempt was counted as progress.
+    record(Invariant::kFailureRecovery, tick.now_s, pending.job_id, -1,
+           std::string("illegal phase '") + rubick::to_string(job->phase) +
+               "' right after a failed reconfiguration");
+  }
+  pending_recoveries_.clear();
 }
 
 void InvariantAuditor::on_run_end(const SimTick& tick) {

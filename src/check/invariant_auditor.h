@@ -38,6 +38,14 @@
 //      not-ready -> pending -> running -> finished (with running -> pending
 //      preemption), progress never goes backwards, running jobs hold
 //      non-empty placements, finished jobs met their sample target.
+//   7. Node availability — under fault injection, no running job holds a
+//      slice on a node the tick reports as down (assignments must never
+//      land on, or survive, a crashed node).
+//   8. Failure recovery — after a reconfiguration-failure notice, the
+//      affected job is back in a valid state by the next tick: pending with
+//      its pre-attempt allocation released, or running with exactly the
+//      pre-attempt placement and plan restored (never a half-applied
+//      configuration).
 //
 // Violations carry the invariant, tick time, job and node; the response is
 // configurable (throw / log / count). The auditor checks, it never steers:
@@ -70,9 +78,11 @@ enum class Invariant {
   kPerformanceGuarantee,
   kCurveMonotonicity,
   kLifecycle,
+  kNodeAvailability,
+  kFailureRecovery,
 };
 
-inline constexpr std::size_t kNumInvariants = 6;
+inline constexpr std::size_t kNumInvariants = 8;
 
 const char* to_string(Invariant invariant);
 
@@ -93,6 +103,10 @@ struct AuditConfig {
   // Algorithm 1's SLA is a promise only Rubick-family policies make;
   // enable when auditing one (baselines legitimately break it).
   bool check_guarantee = false;
+  // Fault-injection invariants (7 and 8). On by default: both are no-ops
+  // unless the run actually reports down nodes / fault notices.
+  bool check_node_availability = true;
+  bool check_failure_recovery = true;
   // One-time envelope sweep per (model, batch) at run start. Costs one
   // predictor warm() per combination — audit-mode only by default.
   bool check_curves = false;
@@ -137,6 +151,7 @@ class InvariantAuditor final : public SimObserver {
   void on_run_begin(const SimRunInfo& info) override;
   void on_tick(const SimTick& tick) override;
   void on_run_end(const SimTick& tick) override;
+  void on_fault(const SimFaultNotice& notice) override;
 
   const AuditReport& report() const { return report_; }
   const AuditConfig& config() const { return config_; }
@@ -165,12 +180,25 @@ class InvariantAuditor final : public SimObserver {
     bool snap_valid = false;
   };
 
+  // A reconfiguration-failure notice pending verification at the next tick
+  // (invariant 8): the job must be pending with nothing allocated, or
+  // running with exactly this placement/plan.
+  struct PendingRecovery {
+    int job_id = -1;
+    double notice_time_s = 0.0;
+    Placement prior_placement;
+    ExecutionPlan prior_plan;
+    bool has_prior = false;
+  };
+
   void record(Invariant invariant, double time_s, int job_id, int node_id,
               std::string detail);
   void audit_conservation(const SimTick& tick);
   void audit_structure(const SimTick& tick);
   void audit_guarantee(const SimTick& tick);
   void audit_lifecycle(const SimTick& tick);
+  void audit_node_availability(const SimTick& tick);
+  void audit_failure_recovery(const SimTick& tick);
   void update_job_state(const SimTick& tick);
   // (Re)builds the guarantee engine (predictor + SLA calculator) against
   // the store's current version; mirrors the policy's own rebind on refit.
@@ -180,6 +208,7 @@ class InvariantAuditor final : public SimObserver {
   SimRunInfo run_;
   AuditReport report_;
   std::map<int, JobAudit> jobs_;
+  std::vector<PendingRecovery> pending_recoveries_;
 
   // Guarantee machinery: the same SLA primitives the policy schedules with,
   // rebuilt whenever online refinement bumps the store version.

@@ -4,8 +4,23 @@
 #include <cstdlib>
 
 #include "common/error.h"
+#include "common/log.h"
 
 namespace rubick {
+
+namespace {
+
+// Canonical flag spelling is kebab-case; a snake_case spelling is accepted
+// with a deprecation warning so existing scripts keep working one release.
+std::string normalize_flag_name(const std::string& name) {
+  if (name.find('_') == std::string::npos) return name;
+  std::string kebab = name;
+  std::replace(kebab.begin(), kebab.end(), '_', '-');
+  RUBICK_WARN("flag --" << name << " is deprecated; use --" << kebab);
+  return kebab;
+}
+
+}  // namespace
 
 CliFlags::CliFlags(int argc, char** argv) {
   RUBICK_CHECK(argc >= 1);
@@ -17,13 +32,14 @@ CliFlags::CliFlags(int argc, char** argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      values_[normalize_flag_name(arg.substr(0, eq))] = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
-    } else if (arg.rfind("no-", 0) == 0) {
-      values_[arg.substr(3)] = "false";
+      const std::string key = normalize_flag_name(arg);
+      values_[key] = argv[++i];
+    } else if (arg.rfind("no-", 0) == 0 || arg.rfind("no_", 0) == 0) {
+      values_[normalize_flag_name(arg.substr(3))] = "false";
     } else {
-      values_[arg] = "true";
+      values_[normalize_flag_name(arg)] = "true";
     }
   }
 }

@@ -3,6 +3,11 @@
 // Supports `--key=value` and `--key value` forms plus boolean switches
 // (`--flag` / `--no-flag`). Unknown flags raise an error listing the flags
 // that were registered, so typos fail loudly.
+//
+// Flag names are kebab-case (`--sched-json`). snake_case spellings
+// (`--sched_json`) are accepted as deprecated aliases: they parse to the
+// kebab-case flag and emit a deprecation warning. Registering a snake_case
+// flag name in code is a convention-lint error (tools/lint_conventions.py).
 #pragma once
 
 #include <cstdint>

@@ -7,14 +7,25 @@
 namespace rubick {
 
 AllocState::AllocState(const ClusterSpec& spec,
-                       const std::vector<std::pair<int, Placement>>& running)
+                       const std::vector<std::pair<int, Placement>>& running,
+                       const std::vector<char>* down_nodes)
     : spec_(spec) {
   free_.resize(static_cast<std::size_t>(spec.num_nodes));
-  for (auto& f : free_)
-    f = ResourceVector{spec.node.gpus, spec.node.cpus, spec.node.memory_bytes};
+  for (std::size_t n = 0; n < free_.size(); ++n) {
+    const bool down = down_nodes != nullptr && (*down_nodes)[n] != 0;
+    free_[n] = down ? ResourceVector{0, 0, 0}
+                    : ResourceVector{spec.node.gpus, spec.node.cpus,
+                                     spec.node.memory_bytes};
+  }
   for (const auto& [job, placement] : running) {
     for (const auto& s : placement.slices) {
       RUBICK_CHECK(s.node >= 0 && s.node < spec.num_nodes);
+      RUBICK_CHECK_MSG(down_nodes == nullptr ||
+                           (*down_nodes)[static_cast<std::size_t>(s.node)] == 0,
+                       "running job " << job << " registered on down node "
+                                      << s.node
+                                      << "; the simulator must evict before "
+                                         "scheduling");
       free_[static_cast<std::size_t>(s.node)] -=
           ResourceVector{s.gpus, s.cpus, s.host_memory_bytes};
       jobs_[job][s.node] = s;

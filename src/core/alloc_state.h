@@ -18,9 +18,15 @@ namespace rubick {
 class AllocState {
  public:
   // Starts from an empty cluster, then registers the given running jobs'
-  // placements (including their host memory).
+  // placements (including their host memory). `down_nodes` (nonzero byte =
+  // node down; see SchedulerInput::down_nodes) zeroes the free resources of
+  // down nodes so every packing decision drawn from this state avoids them
+  // — the one choke point that makes all policies fault-aware. Running
+  // placements must not touch a down node (the simulator evicts them before
+  // any scheduling round).
   AllocState(const ClusterSpec& spec,
-             const std::vector<std::pair<int, Placement>>& running);
+             const std::vector<std::pair<int, Placement>>& running,
+             const std::vector<char>* down_nodes = nullptr);
 
   int num_nodes() const { return static_cast<int>(free_.size()); }
   int free_gpus(int node) const;

@@ -11,6 +11,7 @@
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
 #include "plan/plan_cache.h"
+#include "sim/fault_tolerance.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -184,7 +185,20 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
           d.mix_bool(input.now - v.queued_since <
                      config_.starvation_threshold_s);
       }
+      // Fault-tolerance inputs: the shared post-pass
+      // (sim/fault_tolerance.h) is a pure function of these, so hashing
+      // them keeps fast-path replay exact under fault injection. The
+      // backoff gate is hashed as its predicate, not as raw times.
+      d.mix_int(v.reconfig_failures);
+      d.mix_bool(input.now < v.retry_not_before_s);
+      d.mix_bool(v.degraded);
+      d.mix_bool(v.has_last_good);
+      if (v.has_last_good) d.mix_plan(v.last_good_plan);
     }
+    // Down-node bitmap: any node flipping up/down must invalidate the
+    // replayed round.
+    if (input.down_nodes != nullptr)
+      for (char down : *input.down_nodes) d.mix_bool(down != 0);
     return d.h;
   }();
   if (config_.enable_fast_path && has_last_round_ && digest == last_digest_) {
@@ -274,7 +288,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
                      static_cast<double>(frozen_jobs));
   }
 
-  AllocState state(*input.cluster, running);
+  AllocState state(*input.cluster, running, input.down_nodes);
   std::map<int, ExecutionPlan> chosen_plan;
   for (const auto& info : infos)
     if (info.view->running) chosen_plan[info.view->spec->id] = info.view->plan;
@@ -634,6 +648,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   auto schedule_job = [&](JobInfo& info) -> bool {
     const auto snap = state.snapshot();
     const auto plans_snap = chosen_plan;
+    const int entry_gpus = state.job_gpus(job_id(info));
     bool ok = config_.reallocate_resources ? grow_allocation(info)
                                            : gang_place(info);
     RUBICK_DEBUG("schedule_job " << job_id(info) << " grow/gang="
@@ -643,6 +658,15 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     if (ok) ok = commit_plan_memory(info);
     RUBICK_DEBUG("schedule_job " << job_id(info) << " after commit=" << ok
                                  << " g=" << state.job_gpus(job_id(info)));
+    // A running guaranteed job at or under its minimum may only ramp up:
+    // the exact-plan trim in commit_plan_memory can walk a grown-but-
+    // awkward placement (free capacity reshaped by a node fault) far below
+    // the entry count, and Algorithm 1 sanctions under-min states only
+    // while growing toward minRes. Keep the old allocation instead.
+    if (ok && info.view->running && info.view->spec->guaranteed &&
+        entry_gpus <= info.min_res.gpus &&
+        state.job_gpus(job_id(info)) < entry_gpus)
+      ok = false;
     if (!ok) {
       state.restore(snap);
       chosen_plan = plans_snap;
@@ -758,6 +782,10 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     placement = state.placement_of(id);  // memory may have moved
     out.push_back(Assignment{id, placement, plan_it->second});
   }
+  // Fault-tolerance post-pass (no-op on fault-free inputs). Runs before
+  // the fast-path cache fill so a replayed round returns the post-passed
+  // assignments; the digest hashes everything this pass reads.
+  apply_fault_tolerance(input, out);
   RUBICK_COUNTER_ADD("scheduler.assignments",
                      static_cast<std::uint64_t>(out.size()));
   if (telemetry_enabled()) {

@@ -1,0 +1,179 @@
+#include "failure/fault_plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace rubick {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kNodeRecover:
+      return "node-recover";
+    case FaultKind::kGpuTransient:
+      return "gpu-transient";
+    case FaultKind::kStragglerBegin:
+      return "straggler-begin";
+    case FaultKind::kStragglerEnd:
+      return "straggler-end";
+  }
+  return "?";
+}
+
+void FaultPlanOptions::validate() const {
+  RUBICK_CHECK_MSG(horizon_s > 0.0,
+                   "FaultPlanOptions.horizon_s must be > 0 (got "
+                       << horizon_s << "); faults need a window to land in");
+  RUBICK_CHECK_MSG(node_mtbf_hours >= 0.0 && gpu_transient_mtbf_hours >= 0.0 &&
+                       straggler_mtbf_hours >= 0.0,
+                   "MTBF knobs are hours between failures; negative values "
+                   "are meaningless (use 0 to disable a fault class)");
+  RUBICK_CHECK_MSG(node_outage_mean_s > 0.0,
+                   "FaultPlanOptions.node_outage_mean_s must be > 0 (got "
+                       << node_outage_mean_s
+                       << "); a crash needs a positive outage length");
+  RUBICK_CHECK_MSG(straggler_mean_duration_s > 0.0,
+                   "FaultPlanOptions.straggler_mean_duration_s must be > 0 "
+                   "(got " << straggler_mean_duration_s << ")");
+  RUBICK_CHECK_MSG(
+      straggler_severity > 0.0 && straggler_severity <= 1.0,
+      "FaultPlanOptions.straggler_severity is a throughput multiplier and "
+      "must lie in (0, 1]; got "
+          << straggler_severity
+          << " (0 would stall jobs forever, > 1 is a speedup, not a fault)");
+  RUBICK_CHECK_MSG(
+      reconfig_failure_prob >= 0.0 && reconfig_failure_prob <= 1.0,
+      "FaultPlanOptions.reconfig_failure_prob is a probability in [0, 1]; "
+      "got " << reconfig_failure_prob);
+}
+
+namespace {
+
+// Deterministic tie-break so equal-time events sort identically everywhere.
+bool event_less(const FaultEvent& a, const FaultEvent& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.node != b.node) return a.node < b.node;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+double rate_per_s(double mtbf_hours) { return 1.0 / (mtbf_hours * 3600.0); }
+
+}  // namespace
+
+FaultPlan FaultPlan::generate(std::uint64_t seed,
+                              const FaultPlanOptions& options,
+                              const ClusterSpec& cluster) {
+  options.validate();
+  FaultPlan plan;
+  plan.seed_ = seed;
+  plan.reconfig_failure_prob_ = options.reconfig_failure_prob;
+
+  Rng root(seed);
+  for (int n = 0; n < cluster.num_nodes; ++n) {
+    const std::string tag = "node-" + std::to_string(n);
+    Rng node_rng = root.fork(tag);
+
+    if (options.node_mtbf_hours > 0.0) {
+      Rng rng = node_rng.fork("crash");
+      const double rate = rate_per_s(options.node_mtbf_hours);
+      double t = rng.exponential(rate);
+      while (t < options.horizon_s) {
+        const double outage_s =
+            rng.exponential(1.0 / options.node_outage_mean_s);
+        plan.events_.push_back(
+            {t, FaultKind::kNodeCrash, n, outage_s, 1.0});
+        // Recovery is emitted even past the horizon: a crashed node must
+        // always come back, or a short trace strands its jobs forever.
+        plan.events_.push_back(
+            {t + outage_s, FaultKind::kNodeRecover, n, 0.0, 1.0});
+        // The next crash clock starts ticking only after recovery.
+        t += outage_s + rng.exponential(rate);
+      }
+    }
+
+    if (options.gpu_transient_mtbf_hours > 0.0) {
+      Rng rng = node_rng.fork("gpu");
+      const double rate = rate_per_s(options.gpu_transient_mtbf_hours);
+      double t = rng.exponential(rate);
+      while (t < options.horizon_s) {
+        plan.events_.push_back({t, FaultKind::kGpuTransient, n, 0.0, 1.0});
+        t += rng.exponential(rate);
+      }
+    }
+
+    if (options.straggler_mtbf_hours > 0.0) {
+      Rng rng = node_rng.fork("straggler");
+      const double rate = rate_per_s(options.straggler_mtbf_hours);
+      double t = rng.exponential(rate);
+      while (t < options.horizon_s) {
+        const double episode_s =
+            rng.exponential(1.0 / options.straggler_mean_duration_s);
+        plan.events_.push_back({t, FaultKind::kStragglerBegin, n, episode_s,
+                                options.straggler_severity});
+        plan.events_.push_back(
+            {t + episode_s, FaultKind::kStragglerEnd, n, 0.0, 1.0});
+        t += episode_s + rng.exponential(rate);
+      }
+    }
+  }
+
+  std::sort(plan.events_.begin(), plan.events_.end(), event_less);
+  return plan;
+}
+
+FaultPlan FaultPlan::from_events(std::uint64_t seed,
+                                 std::vector<FaultEvent> events,
+                                 double reconfig_failure_prob) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  plan.reconfig_failure_prob_ = reconfig_failure_prob;
+  plan.events_ = std::move(events);
+  std::sort(plan.events_.begin(), plan.events_.end(), event_less);
+  return plan;
+}
+
+bool FaultPlan::reconfig_attempt_fails(int job_id, int attempt) const {
+  if (reconfig_failure_prob_ <= 0.0) return false;
+  if (reconfig_failure_prob_ >= 1.0) return true;
+  // splitmix64 over (seed, job, attempt): one draw per attempt, independent
+  // of scheduling order and thread count.
+  std::uint64_t state = seed_ ^
+                        (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(
+                                                     job_id + 1)) ^
+                        (0xBF58476D1CE4E5B9ull *
+                         static_cast<std::uint64_t>(attempt + 1));
+  const std::uint64_t draw = splitmix64(state);
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return u < reconfig_failure_prob_;
+}
+
+std::uint64_t FaultPlan::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ seed_;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix_double(reconfig_failure_prob_);
+  for (const FaultEvent& e : events_) {
+    mix_double(e.time_s);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(e.node));
+    mix_double(e.duration_s);
+    mix_double(e.severity);
+  }
+  return h;
+}
+
+}  // namespace rubick

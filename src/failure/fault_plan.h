@@ -1,0 +1,103 @@
+// Seeded fault injection (ISSUE 6).
+//
+// A `FaultPlan` is a deterministic, per-seed schedule of cluster faults:
+// node crashes with later recoveries, transient GPU failures that evict the
+// jobs touching a node without taking it down, straggler episodes that scale
+// a node's effective throughput, and reconfiguration failures (an attempted
+// shrink / expand / plan switch aborts after paying its latency). The plan
+// is generated once, up front, from `common/rng` — same seed, same cluster,
+// same options ⇒ bit-identical schedule on every platform and thread count.
+//
+// The plan itself is pure data: the `Simulator` consumes it through
+// `RunContext::fault_plan` and delivers each event into the event loop; the
+// plan never mutates during a run, so one instance can be shared by
+// concurrent runs (the sweep runner does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace rubick {
+
+enum class FaultKind {
+  kNodeCrash,      // node goes down; running jobs there are evicted
+  kNodeRecover,    // node returns to service
+  kGpuTransient,   // ECC-style blip: jobs on the node restart, node stays up
+  kStragglerBegin, // node throughput scaled by `severity` until the end event
+  kStragglerEnd,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  double time_s = 0.0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  int node = 0;
+  // kNodeCrash: outage length (the matching kNodeRecover is emitted
+  // separately at time_s + duration_s). kStragglerBegin: episode length.
+  double duration_s = 0.0;
+  // kStragglerBegin only: multiplier applied to the node's throughput,
+  // in (0, 1].
+  double severity = 1.0;
+};
+
+// Generation knobs. Mean-time-between-failure knobs are per *node* — an
+// 8-node cluster with node_mtbf_hours=24 sees on average 8 crashes per
+// simulated day. All processes are independent Poisson arrivals.
+struct FaultPlanOptions {
+  double horizon_s = 24.0 * 3600.0;        // generate events in [0, horizon)
+  double node_mtbf_hours = 16.0;           // 0 disables node crashes
+  double node_outage_mean_s = 600.0;       // mean crash-to-recover gap
+  double gpu_transient_mtbf_hours = 12.0;  // 0 disables transient faults
+  double straggler_mtbf_hours = 8.0;       // 0 disables straggler episodes
+  double straggler_mean_duration_s = 900.0;
+  double straggler_severity = 0.5;         // throughput multiplier, (0, 1]
+  // Probability that any single warm reconfiguration attempt fails after
+  // paying its latency. Applied i.i.d. per (job, attempt) via a hash of the
+  // plan seed, so it is independent of scheduling order.
+  double reconfig_failure_prob = 0.0;
+
+  // Throws InvariantError with an actionable message on nonsense values.
+  void validate() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Builds the deterministic schedule for `cluster` from `seed`.
+  static FaultPlan generate(std::uint64_t seed, const FaultPlanOptions& options,
+                            const ClusterSpec& cluster);
+
+  // Test / replay constructor: adopt an explicit event list (sorted by
+  // time_s; validated by RunContext::validate()).
+  static FaultPlan from_events(std::uint64_t seed,
+                               std::vector<FaultEvent> events,
+                               double reconfig_failure_prob = 0.0);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const {
+    return events_.empty() && reconfig_failure_prob_ <= 0.0;
+  }
+  std::uint64_t seed() const { return seed_; }
+  double reconfig_failure_prob() const { return reconfig_failure_prob_; }
+
+  // Deterministic per-(job, attempt) coin flip for reconfiguration failure.
+  // Independent of the order the scheduler visits jobs in, so parallel and
+  // serial scheduling rounds observe the same outcomes.
+  bool reconfig_attempt_fails(int job_id, int attempt) const;
+
+  // Order-sensitive FNV-1a digest of the whole schedule; two plans with the
+  // same digest inject the same faults. Used by determinism tests.
+  std::uint64_t digest() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  double reconfig_failure_prob_ = 0.0;
+  std::vector<FaultEvent> events_;  // sorted by time_s
+};
+
+}  // namespace rubick

@@ -74,7 +74,52 @@ struct SimTick {
   std::vector<AuditJobState> jobs;
   // Live allocation bookkeeping (per-node free resources).
   const Cluster* cluster_state = nullptr;
+  // Per-node availability under fault injection: nonzero byte = node is
+  // down. Null when the run has no fault plan (all nodes up).
+  const std::vector<char>* down_nodes = nullptr;
 };
+
+// A fault the simulator applied, announced to observers the moment it takes
+// effect (before the scheduling round it triggers). Mirrors `FaultKind` in
+// src/failure plus the injection-site-only reconfiguration failure; kept as
+// its own enum so sim/audit.h does not depend on the failure library.
+struct SimFaultNotice {
+  enum class Kind {
+    kNodeCrash,
+    kNodeRecover,
+    kGpuTransient,
+    kStragglerBegin,
+    kStragglerEnd,
+    kReconfigFailure,
+  };
+  double now_s = 0.0;
+  Kind kind = Kind::kNodeCrash;
+  int node = -1;            // -1 for kReconfigFailure
+  int job_id = -1;          // kReconfigFailure: the job whose attempt failed
+  double severity = 1.0;    // kStragglerBegin: throughput multiplier
+  // kReconfigFailure: the job's allocation before the failed attempt. Both
+  // empty/default when the job was pending (nothing to restore).
+  const Placement* prior_placement = nullptr;
+  const ExecutionPlan* prior_plan = nullptr;
+};
+
+inline const char* to_string(SimFaultNotice::Kind kind) {
+  switch (kind) {
+    case SimFaultNotice::Kind::kNodeCrash:
+      return "node-crash";
+    case SimFaultNotice::Kind::kNodeRecover:
+      return "node-recover";
+    case SimFaultNotice::Kind::kGpuTransient:
+      return "gpu-transient";
+    case SimFaultNotice::Kind::kStragglerBegin:
+      return "straggler-begin";
+    case SimFaultNotice::Kind::kStragglerEnd:
+      return "straggler-end";
+    case SimFaultNotice::Kind::kReconfigFailure:
+      return "reconfig-failure";
+  }
+  return "?";
+}
 
 class SimObserver {
  public:
@@ -84,6 +129,10 @@ class SimObserver {
   virtual void on_tick(const SimTick& tick) = 0;
   // Final snapshot after the event loop drained; `tick.scheduled` is false.
   virtual void on_run_end(const SimTick& tick) = 0;
+  // Fault injection (ISSUE 6). Default no-op so pre-existing observers
+  // compile unchanged; the tick following the notice carries the resulting
+  // job/cluster state.
+  virtual void on_fault(const SimFaultNotice& notice) { (void)notice; }
 };
 
 // Fans one observer slot out to several observers (e.g. the invariant
@@ -104,6 +153,9 @@ class SimObserverList final : public SimObserver {
   }
   void on_run_end(const SimTick& tick) override {
     for (SimObserver* o : observers_) o->on_run_end(tick);
+  }
+  void on_fault(const SimFaultNotice& notice) override {
+    for (SimObserver* o : observers_) o->on_fault(notice);
   }
 
  private:

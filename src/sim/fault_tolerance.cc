@@ -1,0 +1,90 @@
+#include "sim/fault_tolerance.h"
+
+#include <algorithm>
+
+#include "telemetry/metrics.h"
+
+namespace rubick {
+
+bool has_fault_state(const SchedulerInput& input) {
+  if (input.any_node_down()) return true;
+  for (const JobView& v : input.jobs)
+    if (v.reconfig_failures > 0 || v.degraded ||
+        v.retry_not_before_s > input.now)
+      return true;
+  return false;
+}
+
+namespace {
+
+bool touches_down_node(const SchedulerInput& input, const Placement& p) {
+  for (const auto& slice : p.slices)
+    if (input.node_down(slice.node)) return true;
+  return false;
+}
+
+// A degraded job may only run its last-known-good plan; substituting it into
+// a fresh placement is legal only when the shapes line up (same GPU count,
+// TP groups not split across nodes).
+bool plan_fits_placement(const ExecutionPlan& plan, const Placement& p) {
+  if (plan.num_gpus() != p.total_gpus()) return false;
+  if (plan.tp > 1) {
+    for (const auto& slice : p.slices)
+      if (slice.gpus % plan.tp != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void apply_fault_tolerance(const SchedulerInput& input,
+                           std::vector<Assignment>& assignments) {
+  if (!has_fault_state(input)) return;
+
+  long degraded = 0;
+  long retries = 0;
+  auto dropped = [&](Assignment& a) {
+    const JobView* view = nullptr;
+    for (const JobView& v : input.jobs) {
+      if (v.spec->id == a.job_id) {
+        view = &v;
+        break;
+      }
+    }
+    if (view == nullptr) return false;  // simulator rejects unknown ids
+    if (view->degraded) ++degraded;
+    if (a.placement.empty()) return false;  // explicit "stay queued"
+
+    // Down-node guard: never emit an assignment touching a down node.
+    if (touches_down_node(input, a.placement)) return true;
+
+    // Backoff gate: a queued job waits out its retry delay. (A running job
+    // is never in backoff — failure requeues it first.)
+    if (!view->running && input.now < view->retry_not_before_s) return true;
+
+    if (view->degraded) {
+      // Placements are left untouched (rewriting one could double-book
+      // space the policy already handed to another job); only the plan is
+      // pinned. An in-place plan switch collapses to "keep as-is" (a free
+      // round); a move keeps the proven plan when the new placement can
+      // host it.
+      if (view->running && a.placement == view->placement) {
+        a.plan = view->plan;
+      } else if (view->has_last_good &&
+                 plan_fits_placement(view->last_good_plan, a.placement)) {
+        a.plan = view->last_good_plan;
+      }
+    }
+    if (!view->running && view->reconfig_failures > 0) ++retries;
+    return false;
+  };
+
+  assignments.erase(
+      std::remove_if(assignments.begin(), assignments.end(), dropped),
+      assignments.end());
+
+  if (retries > 0) RUBICK_COUNTER_ADD("scheduler.retries", retries);
+  RUBICK_GAUGE_SET("scheduler.degraded_jobs", static_cast<double>(degraded));
+}
+
+}  // namespace rubick

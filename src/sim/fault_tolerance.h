@@ -1,0 +1,35 @@
+// Shared fault-tolerance post-pass for scheduling policies (ISSUE 6).
+//
+// Every policy (Rubick and the baselines) runs its normal round first and
+// then pipes the result through `apply_fault_tolerance`, which enforces the
+// recovery protocol uniformly:
+//
+//   * backoff — a queued job whose last reconfiguration attempt failed is
+//     not restarted before its capped-exponential backoff expires;
+//   * degradation — a job past the retry budget is pinned to its
+//     last-known-good execution plan instead of thrashing through new ones
+//     (a running degraded job keeps its current configuration verbatim);
+//   * down-node guard — any assignment touching a down node is dropped
+//     (defense in depth: AllocState already hides down nodes from packing).
+//
+// The pass is a pure function of (input, assignments): same inputs, same
+// output, regardless of thread count — which is what lets Rubick's
+// round-digest fast path replay a post-passed result safely.
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace rubick {
+
+// True when `input` carries any fault state a policy must react to. When
+// false the post-pass is a guaranteed no-op (zero-overhead-when-off).
+bool has_fault_state(const SchedulerInput& input);
+
+// Rewrites `assignments` in place per the protocol above. Also maintains
+// the scheduler.retries counter and scheduler.degraded_jobs gauge.
+void apply_fault_tolerance(const SchedulerInput& input,
+                           std::vector<Assignment>& assignments);
+
+}  // namespace rubick

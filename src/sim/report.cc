@@ -51,6 +51,16 @@ void print_summary(std::ostream& os, const std::string& policy_name,
      << "reconfigs    " << reconfigs << "\n"
      << "refits       " << result.online_refits << "\n"
      << "sched rounds " << result.scheduling_rounds << "\n";
+  // Printed only when fault injection actually fired, so fault-free runs
+  // keep their pre-ISSUE-6 output byte for byte.
+  if (result.any_faults()) {
+    os << "faults       " << result.fault_node_crashes << " crash, "
+       << result.fault_gpu_transients << " transient, "
+       << result.fault_straggler_episodes << " straggler, "
+       << result.fault_reconfig_failures << " reconfig-fail\n"
+       << "recovery     " << result.crash_restarts << " restarts, "
+       << result.degraded_jobs << " degraded\n";
+  }
   if (!result.timeline.empty()) {
     os << "utilization  "
        << TextTable::fmt(100.0 * result.timeline.average_utilization(), 0)

@@ -30,6 +30,15 @@ struct JobView {
   double queued_since = 0.0;        // last time the job entered the queue
   double total_active_time_s = 0.0;  // T in the reconfiguration-penalty gate
   int reconfig_count = 0;            // N in the gate
+
+  // --- Fault-tolerance state (ISSUE 6); all defaults = fault-free run. ---
+  int reconfig_failures = 0;     // consecutive failed reconfiguration attempts
+  double retry_not_before_s = 0.0;  // backoff gate; no new start before this
+  // After max_reconfig_retries consecutive failures the job is pinned to its
+  // last-known-good configuration instead of thrashing through new plans.
+  bool degraded = false;
+  bool has_last_good = false;    // last_good_plan below is meaningful
+  ExecutionPlan last_good_plan;  // plan of the last successful start
 };
 
 struct SchedulerInput {
@@ -42,6 +51,21 @@ struct SchedulerInput {
   const PerfModelStore* models = nullptr;
   const MemoryEstimator* estimator = nullptr;
   double reconfig_penalty_s = 78.0;  // delta in the gate
+  // Per-node availability under fault injection: nonzero byte = node down.
+  // Null (every node up) for fault-free runs. Policies must not place work
+  // on a down node; AllocState zeroes their free resources when handed this.
+  const std::vector<char>* down_nodes = nullptr;
+
+  bool node_down(int node) const {
+    return down_nodes != nullptr &&
+           (*down_nodes)[static_cast<std::size_t>(node)] != 0;
+  }
+  bool any_node_down() const {
+    if (down_nodes == nullptr) return false;
+    for (char d : *down_nodes)
+      if (d != 0) return true;
+    return false;
+  }
 };
 
 struct Assignment {

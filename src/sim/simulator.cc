@@ -29,6 +29,65 @@ Summary SimResult::jct_summary_where(bool guaranteed) const {
   return summarize(jcts);
 }
 
+void SimulationOptions::validate() const {
+  RUBICK_CHECK_MSG(sim.reconfig_penalty_s >= 0.0 && sim.launch_delay_s >= 0.0,
+                   "SimulationOptions: reconfig_penalty_s and launch_delay_s "
+                   "are latencies in seconds and cannot be negative");
+  RUBICK_CHECK_MSG(sim.checkpoint_bw_bps > 0.0,
+                   "SimulationOptions: checkpoint_bw_bps must be > 0 (got "
+                       << sim.checkpoint_bw_bps
+                       << "); size-dependent reconfiguration cost divides "
+                          "by it");
+  RUBICK_CHECK_MSG(sim.max_sim_time_s > 0.0,
+                   "SimulationOptions: max_sim_time_s must be > 0");
+  RUBICK_CHECK_MSG(failure.max_reconfig_retries >= 0,
+                   "FailurePolicyOptions: max_reconfig_retries must be >= 0 "
+                   "(0 degrades a job on its first failed reconfiguration)");
+  RUBICK_CHECK_MSG(
+      failure.retry_backoff_base_s > 0.0 &&
+          failure.retry_backoff_cap_s >= failure.retry_backoff_base_s,
+      "FailurePolicyOptions: retry backoff needs base > 0 and cap >= base; "
+      "got base=" << failure.retry_backoff_base_s
+                  << " cap=" << failure.retry_backoff_cap_s);
+  RUBICK_CHECK_MSG(failure.crash_restore_cost_s >= 0.0,
+                   "FailurePolicyOptions: crash_restore_cost_s is a latency "
+                   "in seconds and cannot be negative");
+}
+
+void RunContext::validate(const ClusterSpec& cluster) const {
+  if (options != nullptr) options->validate();
+  if (fault_plan == nullptr) return;
+  const double prob = fault_plan->reconfig_failure_prob();
+  RUBICK_CHECK_MSG(prob >= 0.0 && prob <= 1.0,
+                   "FaultPlan: reconfig_failure_prob is a probability in "
+                   "[0, 1]; got " << prob);
+  double prev_s = 0.0;
+  for (const FaultEvent& e : fault_plan->events()) {
+    RUBICK_CHECK_MSG(e.time_s >= 0.0 && e.time_s >= prev_s,
+                     "FaultPlan: events must be sorted by nonnegative time "
+                     "(event at t=" << e.time_s << " after t=" << prev_s
+                                    << "); build plans via "
+                                       "FaultPlan::generate/from_events");
+    prev_s = e.time_s;
+    RUBICK_CHECK_MSG(e.node >= 0 && e.node < cluster.num_nodes,
+                     "FaultPlan: event " << to_string(e.kind) << " names node "
+                                         << e.node << " but the cluster has "
+                                         << cluster.num_nodes
+                                         << " nodes (0.."
+                                         << cluster.num_nodes - 1 << ")");
+    RUBICK_CHECK_MSG(e.duration_s >= 0.0,
+                     "FaultPlan: negative duration on " << to_string(e.kind)
+                                                        << " at t="
+                                                        << e.time_s);
+    if (e.kind == FaultKind::kStragglerBegin) {
+      RUBICK_CHECK_MSG(e.severity > 0.0 && e.severity <= 1.0,
+                       "FaultPlan: straggler severity is a throughput "
+                       "multiplier in (0, 1]; got "
+                           << e.severity << " at t=" << e.time_s);
+    }
+  }
+}
+
 namespace {
 
 using State = SimJobPhase;
@@ -53,6 +112,19 @@ struct SimJob {
   bool ever_ran = false;
   std::vector<AssignmentRecord> history;
 
+  // --- Fault-tolerance state (ISSUE 6); untouched in fault-free runs. ---
+  double base_throughput = 0.0;  // pre-straggler rate of the current config
+  int reconfig_attempts = 0;     // warm starts attempted (for the fault coin)
+  int consecutive_failures = 0;  // resets on a successful warm start
+  int total_reconfig_failures = 0;
+  int crash_restarts = 0;
+  double retry_not_before_s = 0.0;
+  bool retry_wake_pending = false;  // a backoff expiry still needs a round
+  double pending_restore_cost_s = 0.0;  // checkpoint restore owed at restart
+  bool degraded = false;
+  bool has_last_good = false;
+  ExecutionPlan last_good_plan;
+
   double remaining() const {
     return std::max(0.0, spec.target_samples - samples_done);
   }
@@ -70,6 +142,18 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
                          SchedulerPolicy& policy,
                          const RunContext& ctx) const {
   RUBICK_CHECK(!jobs.empty());
+  ctx.validate(cluster_spec_);
+  // `ctx.options` (the unified SimulationOptions bundle) overrides the
+  // constructor-time knobs when present.
+  const SimOptions& opts = ctx.options != nullptr ? ctx.options->sim : options_;
+  const FailurePolicyOptions failure_opts =
+      ctx.options != nullptr ? ctx.options->failure : FailurePolicyOptions{};
+  // An empty plan (no events, zero reconfig-failure probability) is treated
+  // exactly like no plan: every fault branch below is behind this pointer,
+  // so fault-free runs take the pre-ISSUE-6 code path unchanged.
+  const FaultPlan* faults =
+      ctx.fault_plan != nullptr && !ctx.fault_plan->empty() ? ctx.fault_plan
+                                                            : nullptr;
   MemoryEstimator estimator;
   Cluster cluster(cluster_spec_);
   // Work on a copy so online refinement never mutates the caller's store
@@ -99,7 +183,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     sj.spec = spec;
     sj.plan = spec.initial_plan;
     double ready = spec.submit_time_s;
-    if (options_.charge_profiling) {
+    if (opts.charge_profiling) {
       auto it = model_ready.find(spec.model_name);
       if (it == model_ready.end()) {
         auto cost_it = profiling_cost.find(spec.model_name);
@@ -118,6 +202,13 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
   SimResult result;
   result.jobs.resize(sim_jobs.size());
 
+  // --- Fault-injection state (inert when `faults` is null). ---
+  std::vector<char> node_down(
+      static_cast<std::size_t>(cluster_spec_.num_nodes), 0);
+  std::vector<double> straggler_factor(
+      static_cast<std::size_t>(cluster_spec_.num_nodes), 1.0);
+  std::size_t next_fault = 0;  // cursor into faults->events()
+
   if (ctx.observer != nullptr) {
     SimRunInfo info;
     info.cluster = &cluster_spec_;
@@ -134,6 +225,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     tick.now_s = now;
     tick.scheduled = scheduled;
     tick.cluster_state = &cluster;
+    tick.down_nodes = faults != nullptr ? &node_down : nullptr;
     tick.jobs.reserve(sim_jobs.size());
     for (const auto& sj : sim_jobs) {
       AuditJobState a;
@@ -186,6 +278,101 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
         sj.queued_since = now;
         any = true;
       }
+    }
+    return any;
+  };
+
+  auto notify_fault = [&](const SimFaultNotice& notice) {
+    if (ctx.observer != nullptr) ctx.observer->on_fault(notice);
+  };
+
+  // A gang-synchronous job runs at its slowest node's pace, so a straggler
+  // episode on any node of the placement scales the whole job.
+  auto placement_speed_factor = [&](const Placement& p) {
+    double factor = 1.0;
+    for (const auto& slice : p.slices)
+      factor = std::min(
+          factor, straggler_factor[static_cast<std::size_t>(slice.node)]);
+    return factor;
+  };
+
+  // Evicts every running job with a slice on `node`: resources released,
+  // progress kept (it was advanced to `now` already), checkpoint-restore
+  // cost owed at the next start. The caller schedules a round right after.
+  auto evict_jobs_on_node = [&](int node, double now) {
+    for (auto& sj : sim_jobs) {
+      if (sj.state != State::kRunning) continue;
+      bool touches = false;
+      for (const auto& slice : sj.placement.slices)
+        if (slice.node == node) touches = true;
+      if (!touches) continue;
+      cluster.release(sj.placement);
+      sj.placement = Placement{};
+      sj.state = State::kPending;
+      sj.queued_since = now;
+      sj.throughput = 0.0;
+      ++sj.crash_restarts;
+      ++result.crash_restarts;
+      sj.pending_restore_cost_s = failure_opts.crash_restore_cost_s;
+    }
+  };
+
+  // Applies every fault event due at or before `now`; returns true when at
+  // least one fired (which forces a scheduling round).
+  auto apply_faults_due = [&](double now) {
+    if (faults == nullptr) return false;
+    bool any = false;
+    const std::vector<FaultEvent>& events = faults->events();
+    while (next_fault < events.size() &&
+           events[next_fault].time_s <= now + kEps) {
+      const FaultEvent& e = events[next_fault++];
+      const std::size_t n = static_cast<std::size_t>(e.node);
+      any = true;
+      SimFaultNotice notice;
+      notice.now_s = now;
+      notice.node = e.node;
+      notice.severity = e.severity;
+      switch (e.kind) {
+        case FaultKind::kNodeCrash:
+          node_down[n] = 1;
+          evict_jobs_on_node(e.node, now);
+          ++result.fault_node_crashes;
+          RUBICK_COUNTER_ADD("failures.node_crash", 1);
+          notice.kind = SimFaultNotice::Kind::kNodeCrash;
+          break;
+        case FaultKind::kNodeRecover:
+          node_down[n] = 0;
+          notice.kind = SimFaultNotice::Kind::kNodeRecover;
+          break;
+        case FaultKind::kGpuTransient:
+          // The node stays schedulable; only the jobs on it restart.
+          evict_jobs_on_node(e.node, now);
+          ++result.fault_gpu_transients;
+          RUBICK_COUNTER_ADD("failures.gpu_transient", 1);
+          notice.kind = SimFaultNotice::Kind::kGpuTransient;
+          break;
+        case FaultKind::kStragglerBegin:
+          straggler_factor[n] = e.severity;
+          ++result.fault_straggler_episodes;
+          RUBICK_COUNTER_ADD("failures.straggler", 1);
+          notice.kind = SimFaultNotice::Kind::kStragglerBegin;
+          break;
+        case FaultKind::kStragglerEnd:
+          straggler_factor[n] = 1.0;
+          notice.kind = SimFaultNotice::Kind::kStragglerEnd;
+          break;
+      }
+      // Straggler transitions rescale every affected running job (progress
+      // up to `now` was already integrated at the old rate).
+      if (e.kind == FaultKind::kStragglerBegin ||
+          e.kind == FaultKind::kStragglerEnd) {
+        for (auto& sj : sim_jobs) {
+          if (sj.state != State::kRunning) continue;
+          sj.throughput =
+              sj.base_throughput * placement_speed_factor(sj.placement);
+        }
+      }
+      notify_fault(notice);
     }
     return any;
   };
@@ -249,14 +436,55 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
                        "plan " << a.plan.display_name() << " OOMs on "
                                << model.name);
 
-      cluster.allocate(a.placement);  // throws if over-committed
       const bool was_warm = sj.ever_ran;
-      double warm_penalty = options_.reconfig_penalty_s;
-      if (options_.size_dependent_reconfig_cost)
-        warm_penalty = options_.launch_delay_s +
+      double warm_penalty = opts.reconfig_penalty_s;
+      if (opts.size_dependent_reconfig_cost)
+        warm_penalty = opts.launch_delay_s +
                        static_cast<double>(model.full_state_bytes()) /
-                           options_.checkpoint_bw_bps;
-      const double penalty = was_warm ? warm_penalty : options_.launch_delay_s;
+                           opts.checkpoint_bw_bps;
+      double penalty = was_warm ? warm_penalty : opts.launch_delay_s;
+
+      // Reconfiguration-failure injection (ISSUE 6): a warm attempt may
+      // abort after paying its latency. The job's pre-attempt allocation
+      // was already released in phase 1, so it simply stays pending and
+      // retries after capped exponential backoff. Degraded jobs re-run
+      // their proven configuration and are exempt — that is what makes
+      // degradation a guarantee of forward progress.
+      if (faults != nullptr && was_warm && !sj.degraded) {
+        const int attempt = sj.reconfig_attempts++;
+        if (faults->reconfig_attempt_fails(sj.spec.id, attempt)) {
+          ++sj.consecutive_failures;
+          ++sj.total_reconfig_failures;
+          ++result.fault_reconfig_failures;
+          RUBICK_COUNTER_ADD("failures.reconfig", 1);
+          double backoff_s = failure_opts.retry_backoff_base_s;
+          for (int i = 1; i < sj.consecutive_failures &&
+                          backoff_s < failure_opts.retry_backoff_cap_s;
+               ++i)
+            backoff_s *= 2.0;
+          backoff_s = std::min(backoff_s, failure_opts.retry_backoff_cap_s);
+          sj.retry_not_before_s = now + penalty + backoff_s;
+          sj.retry_wake_pending = true;
+          sj.queued_since = now;
+          if (sj.consecutive_failures >= failure_opts.max_reconfig_retries)
+            sj.degraded = true;
+          SimFaultNotice notice;
+          notice.now_s = now;
+          notice.kind = SimFaultNotice::Kind::kReconfigFailure;
+          notice.job_id = sj.spec.id;
+          notice.prior_placement = &sj.placement;  // released: empty
+          notice.prior_plan = &sj.plan;
+          notify_fault(notice);
+          continue;
+        }
+        sj.consecutive_failures = 0;
+      }
+
+      cluster.allocate(a.placement);  // throws if over-committed
+      // Checkpoint restore owed from a crash / transient eviction is paid
+      // on top of the start latency (zero in fault-free runs).
+      penalty += sj.pending_restore_cost_s;
+      sj.pending_restore_cost_s = 0.0;
       if (was_warm) ++sj.reconfig_count;
       sj.placement = a.placement;
       sj.plan = a.plan;
@@ -274,13 +502,13 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
 
       const PerfContext ctx = make_perf_context(cluster_spec_, a.placement);
       const double measured =
-          options_.advance_with_fitted_model
+          opts.advance_with_fitted_model
               ? store.get(sj.spec.model_name)
                     .predict_throughput(model, sj.plan, sj.spec.global_batch,
                                         ctx)
               : oracle_->measure_throughput(model, sj.plan,
                                             sj.spec.global_batch, ctx);
-      if (options_.online_refinement && !options_.advance_with_fitted_model) {
+      if (opts.online_refinement && !opts.advance_with_fitted_model) {
         PerfSample obs;
         obs.plan = sj.plan;
         obs.global_batch = sj.spec.global_batch;
@@ -294,6 +522,18 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
                        "statistical efficiency must be in (0, 1]");
       sj.throughput = measured * a.statistical_efficiency;
       RUBICK_CHECK(sj.throughput > 0.0);
+      sj.base_throughput = sj.throughput;
+      if (faults != nullptr) {
+        // Successful start: this configuration is the new last-known-good,
+        // any backoff gate is cleared, and straggler episodes on the
+        // placement's nodes scale the effective rate.
+        sj.has_last_good = true;
+        sj.last_good_plan = a.plan;
+        sj.retry_not_before_s = 0.0;
+        sj.retry_wake_pending = false;
+        sj.throughput =
+            sj.base_throughput * placement_speed_factor(a.placement);
+      }
       sj.history.push_back(AssignmentRecord{now, a.placement.total_gpus(),
                                             a.placement.total_cpus(), a.plan,
                                             sj.throughput});
@@ -306,7 +546,8 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     input.cluster = &cluster_spec_;
     input.models = &store;
     input.estimator = &estimator;
-    input.reconfig_penalty_s = options_.reconfig_penalty_s;
+    input.reconfig_penalty_s = opts.reconfig_penalty_s;
+    input.down_nodes = faults != nullptr ? &node_down : nullptr;
     for (const auto& sj : sim_jobs) {
       if (sj.state != State::kPending && sj.state != State::kRunning) continue;
       JobView v;
@@ -319,6 +560,11 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       v.queued_since = sj.queued_since;
       v.total_active_time_s = sj.total_active;
       v.reconfig_count = sj.reconfig_count;
+      v.reconfig_failures = sj.consecutive_failures;
+      v.retry_not_before_s = sj.retry_not_before_s;
+      v.degraded = sj.degraded;
+      v.has_last_good = sj.has_last_good;
+      if (sj.has_last_good) v.last_good_plan = sj.last_good_plan;
       input.jobs.push_back(std::move(v));
     }
     return input;
@@ -332,7 +578,20 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       } else if (sj.state == State::kRunning) {
         const double start = std::max(now, sj.pause_until);
         next = std::min(next, start + sj.remaining() / sj.throughput);
+      } else if (sj.state == State::kPending && sj.retry_wake_pending &&
+                 sj.retry_not_before_s > now) {
+        // Backoff expiry wakes the loop for a retry round.
+        next = std::min(next, sj.retry_not_before_s);
       }
+    }
+    if (faults != nullptr && next_fault < faults->events().size()) {
+      // Leftover fault events matter only while some job could still be
+      // affected; once everything finished the run is over.
+      bool all_finished = true;
+      for (const auto& sj : sim_jobs)
+        if (sj.state != State::kFinished) all_finished = false;
+      if (!all_finished)
+        next = std::min(next, faults->events()[next_fault].time_s);
     }
     return next;
   };
@@ -345,13 +604,34 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     set_log_sim_time_s(now);
     advance_to(now);
     const bool completed = finish_completed(now);
+    const bool faulted = apply_faults_due(now);
+    // Fault application mutates job and cluster state ahead of the
+    // scheduling round; show observers that intermediate state. The
+    // auditor needs it to tell a crash-evicted job's fresh re-admission
+    // (legal ramp-up from pending) apart from an in-round shrink of a
+    // running job (a guarantee violation).
+    if (faulted && ctx.observer != nullptr)
+      ctx.observer->on_tick(make_tick(now, /*scheduled=*/false));
     const bool arrived = activate_ready(now);
+    // A retry becomes due when a failed job's backoff gate expires; that
+    // must trigger a round or the job would wait for an unrelated event.
+    bool retry_due = false;
+    if (faults != nullptr) {
+      for (auto& sj : sim_jobs) {
+        if (sj.state == State::kPending && sj.retry_wake_pending &&
+            sj.retry_not_before_s <= now + kEps) {
+          sj.retry_wake_pending = false;
+          retry_due = true;
+        }
+      }
+    }
     RUBICK_COUNTER_ADD("sim.ticks", 1);
     if (completed) RUBICK_COUNTER_ADD("sim.completion_events", 1);
     if (arrived) RUBICK_COUNTER_ADD("sim.arrival_events", 1);
 
     bool scheduled = false;
-    if (completed || arrived || result.scheduling_rounds == 0) {
+    if (completed || arrived || faulted || retry_due ||
+        result.scheduling_rounds == 0) {
       const SchedulerInput input = build_input(now);
       if (!input.jobs.empty()) {
         const std::vector<Assignment> assignments = policy.schedule(input);
@@ -388,7 +668,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
                            << now << ":" << pending_desc);
       break;
     }
-    RUBICK_CHECK_MSG(next <= options_.max_sim_time_s,
+    RUBICK_CHECK_MSG(next <= opts.max_sim_time_s,
                      "simulation exceeded max_sim_time");
     now = std::max(now, next);
   }
@@ -411,6 +691,10 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     jr.reconfig_count = sj.reconfig_count;
     jr.total_active_time_s = sj.total_active;
     jr.gpu_seconds = sj.gpu_seconds;
+    jr.crash_restarts = sj.crash_restarts;
+    jr.reconfig_failures = sj.total_reconfig_failures;
+    jr.degraded = sj.degraded;
+    if (sj.degraded) ++result.degraded_jobs;
     result.total_gpu_seconds += sj.gpu_seconds;
 
     const ModelSpec& model = find_model(sj.spec.model_name);

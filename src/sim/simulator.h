@@ -13,6 +13,7 @@
 
 #include "cluster/cluster.h"
 #include "common/stats.h"
+#include "failure/fault_plan.h"
 #include "perf/oracle.h"
 #include "sim/audit.h"
 #include "sim/perf_store.h"
@@ -45,6 +46,31 @@ struct SimOptions {
   double max_sim_time_s = 60.0 * 24.0 * 3600.0;  // runaway guard
 };
 
+// How the simulator (and through it, every policy) reacts to injected
+// faults. Irrelevant — and unread — when the run carries no fault plan.
+struct FailurePolicyOptions {
+  // A job whose reconfiguration attempt failed retries with capped
+  // exponential backoff: attempt k waits base * 2^(k-1), clamped to cap.
+  int max_reconfig_retries = 4;      // consecutive failures before degrading
+  double retry_backoff_base_s = 30.0;
+  double retry_backoff_cap_s = 480.0;
+  // Extra restart latency charged when a job is evicted by a node crash or
+  // GPU fault (checkpoint restore from the last good snapshot); matches the
+  // paper's delta by default.
+  double crash_restore_cost_s = 78.0;
+};
+
+// The one bundle of simulation knobs (ISSUE 6): core event-loop options
+// plus failure handling. `RunContext::options` points at one of these
+// instead of Simulator::run growing positional parameters.
+struct SimulationOptions {
+  SimOptions sim;
+  FailurePolicyOptions failure;
+
+  // Throws InvariantError with an actionable message on nonsense values.
+  void validate() const;
+};
+
 // One (re)configuration a job ran with: from `since_s` until the next
 // entry (or completion), on `gpus` GPUs with `plan`.
 struct AssignmentRecord {
@@ -58,6 +84,10 @@ struct AssignmentRecord {
 struct JobResult {
   JobSpec spec;
   bool finished = false;
+  // --- Fault accounting (all zero in fault-free runs). ---
+  int crash_restarts = 0;      // evictions by node crash / GPU transient
+  int reconfig_failures = 0;   // failed reconfiguration attempts, total
+  bool degraded = false;       // ended the run pinned to last-known-good
   // Every configuration the job ran with, in order (first entry is the
   // initial launch; later entries are reconfigurations / resumptions).
   std::vector<AssignmentRecord> history;
@@ -81,8 +111,21 @@ struct SimResult {
   double reconfig_overhead_gpu_seconds = 0.0;
   double total_gpu_seconds = 0.0;
   int online_refits = 0;  // performance-model refits triggered by live data
+  // --- Fault accounting (all zero in fault-free runs). ---
+  int fault_node_crashes = 0;
+  int fault_gpu_transients = 0;
+  int fault_straggler_episodes = 0;
+  int fault_reconfig_failures = 0;  // injected reconfiguration aborts
+  int crash_restarts = 0;           // job evictions caused by node faults
+  int degraded_jobs = 0;            // jobs that ended the run degraded
   // Utilization / queue time series sampled at every scheduling event.
   ClusterTimeline timeline;
+
+  bool any_faults() const {
+    return fault_node_crashes + fault_gpu_transients +
+               fault_straggler_episodes + fault_reconfig_failures >
+           0;
+  }
 
   Summary jct_summary() const;
   Summary jct_summary_where(bool guaranteed) const;  // filter by class
@@ -96,11 +139,23 @@ struct SimResult {
 // optionally carries the per-model profiling cost charged to the first job
 // of each model type (models missing from it cost the 210 s default).
 // `observer` optionally watches the run tick by tick (see sim/audit.h);
-// the InvariantAuditor in src/check plugs in here.
+// the InvariantAuditor in src/check plugs in here. `options`, when set,
+// overrides the Simulator's constructor-time SimOptions and supplies the
+// failure-handling knobs; `fault_plan`, when set and non-empty, injects its
+// fault schedule into the run. Both are validated by `validate()` before
+// the event loop starts.
 struct RunContext {
   const PerfModelStore* store = nullptr;
   const std::map<std::string, double>* profiling_cost_s = nullptr;
   SimObserver* observer = nullptr;
+  const SimulationOptions* options = nullptr;
+  const FaultPlan* fault_plan = nullptr;
+
+  // Checks the context against `cluster` (fault events must name real
+  // nodes, knobs must be sane). Throws InvariantError with a message that
+  // says which knob is wrong and what a legal value looks like. run() calls
+  // this itself; it is public so tools can validate flags up front.
+  void validate(const ClusterSpec& cluster) const;
 };
 
 // CONCURRENCY: run() is const and keeps all mutable state on its stack, so

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/jsonx.h"
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace rubick {
@@ -17,6 +18,9 @@ std::string run_label(const ExecutionPlan& plan, const Placement& placement) {
   if (placement.multi_node()) label << "/" << placement.num_nodes() << "n";
   return label.str();
 }
+
+// Fault episodes render on per-node tracks well above any job id.
+constexpr int kFaultTidBase = 1000000;
 
 }  // namespace
 
@@ -52,6 +56,63 @@ void TelemetryObserver::on_run_begin(const SimRunInfo& info) {
   fields << "\"jobs\": " << jobs_.size() << ", \"total_gpus\": "
          << total_gpus_;
   add_event(0.0, "run_begin", fields.str());
+}
+
+void TelemetryObserver::on_fault(const SimFaultNotice& notice) {
+  ++fault_count_;
+  RUBICK_COUNTER_ADD("telemetry.fault_events", 1);
+  std::ostringstream fields;
+  fields << "\"kind\": " << json_str(to_string(notice.kind));
+  if (notice.node >= 0) fields << ", \"node\": " << notice.node;
+  if (notice.job_id >= 0) fields << ", \"job\": " << notice.job_id;
+  if (notice.kind == SimFaultNotice::Kind::kStragglerBegin)
+    fields << ", \"severity\": " << json_number(notice.severity);
+  add_event(notice.now_s, "fault", fields.str());
+
+  const int tid = kFaultTidBase + notice.node;
+  switch (notice.kind) {
+    case SimFaultNotice::Kind::kNodeCrash:
+      recorder_->set_thread_name(kTraceSimPid, tid,
+                                 "node " + std::to_string(notice.node) +
+                                     " faults");
+      open_outages_[notice.node] = notice.now_s;
+      break;
+    case SimFaultNotice::Kind::kNodeRecover: {
+      auto it = open_outages_.find(notice.node);
+      if (it != open_outages_.end()) {
+        recorder_->add_complete_sim("outage", "fault", it->second,
+                                    notice.now_s, tid);
+        open_outages_.erase(it);
+      }
+      break;
+    }
+    case SimFaultNotice::Kind::kStragglerBegin:
+      recorder_->set_thread_name(kTraceSimPid, tid,
+                                 "node " + std::to_string(notice.node) +
+                                     " faults");
+      open_stragglers_[notice.node] = notice.now_s;
+      break;
+    case SimFaultNotice::Kind::kStragglerEnd: {
+      auto it = open_stragglers_.find(notice.node);
+      if (it != open_stragglers_.end()) {
+        recorder_->add_complete_sim("straggler", "fault", it->second,
+                                    notice.now_s, tid);
+        open_stragglers_.erase(it);
+      }
+      break;
+    }
+    case SimFaultNotice::Kind::kGpuTransient:
+      recorder_->set_thread_name(kTraceSimPid, tid,
+                                 "node " + std::to_string(notice.node) +
+                                     " faults");
+      // Zero-duration blip: render as a thin span so it is visible.
+      recorder_->add_complete_sim("gpu-transient", "fault", notice.now_s,
+                                  notice.now_s, tid);
+      break;
+    case SimFaultNotice::Kind::kReconfigFailure:
+      // Job-scoped, no node track; the JSONL event carries the job id.
+      break;
+  }
 }
 
 void TelemetryObserver::open_span(int job_id, JobState& st, bool running,
@@ -180,14 +241,25 @@ void TelemetryObserver::on_tick(const SimTick& tick) {
 
 void TelemetryObserver::on_run_end(const SimTick& tick) {
   observe_tick(tick, /*final_tick=*/true);
+  // Episodes still open when the run drains get closed at the final tick.
+  for (const auto& [node, begin_s] : open_outages_)
+    recorder_->add_complete_sim("outage", "fault", begin_s, tick.now_s,
+                                kFaultTidBase + node);
+  open_outages_.clear();
+  for (const auto& [node, begin_s] : open_stragglers_)
+    recorder_->add_complete_sim("straggler", "fault", begin_s, tick.now_s,
+                                kFaultTidBase + node);
+  open_stragglers_.clear();
   std::uint64_t reconfigs = 0;
   for (const auto& [id, st] : jobs_) {
     reconfigs += static_cast<std::uint64_t>(st.reconfig_count);
   }
-  add_event(tick.now_s, "run_end",
-            "\"sched_rounds\": " + std::to_string(sched_rounds_) +
-                ", \"reconfigs\": " + std::to_string(reconfigs) +
-                ", \"spans\": " + std::to_string(spans_.size()));
+  std::string fields = "\"sched_rounds\": " + std::to_string(sched_rounds_) +
+                       ", \"reconfigs\": " + std::to_string(reconfigs) +
+                       ", \"spans\": " + std::to_string(spans_.size());
+  if (fault_count_ > 0)
+    fields += ", \"faults\": " + std::to_string(fault_count_);
+  add_event(tick.now_s, "run_end", fields);
 }
 
 void TelemetryObserver::write_events_jsonl(std::ostream& os) const {

@@ -52,6 +52,9 @@ class TelemetryObserver final : public SimObserver {
   void on_run_begin(const SimRunInfo& info) override;
   void on_tick(const SimTick& tick) override;
   void on_run_end(const SimTick& tick) override;
+  // Fault episodes (ISSUE 6): a `fault` JSONL event per notice, plus
+  // outage / straggler spans on per-node fault tracks in the trace.
+  void on_fault(const SimFaultNotice& notice) override;
 
   // Closed job spans in emission order (available after on_run_end).
   const std::vector<JobSpanRecord>& job_spans() const { return spans_; }
@@ -84,6 +87,10 @@ class TelemetryObserver final : public SimObserver {
 
   TraceRecorder* recorder_;
   std::map<int, JobState> jobs_;
+  // Open fault episodes keyed by node (begin time in simulated seconds).
+  std::map<int, double> open_outages_;
+  std::map<int, double> open_stragglers_;
+  int fault_count_ = 0;
   std::vector<JobSpanRecord> spans_;
   std::vector<std::string> events_;  // pre-rendered JSONL lines
   int total_gpus_ = 0;

@@ -68,5 +68,23 @@ TEST(Cli, DoubleParsing) {
   flags.finish();
 }
 
+TEST(Cli, SnakeCaseAliasParsesToKebabFlag) {
+  // Deprecated snake_case spellings land on the canonical kebab-case flag
+  // in every syntactic form, including boolean negation.
+  CliFlags flags = parse({"--sched_json=out.json", "--window_hours", "4",
+                          "--no_online_refinement"});
+  EXPECT_EQ(flags.get_string("sched-json", ""), "out.json");
+  EXPECT_DOUBLE_EQ(flags.get_double("window-hours", 0.0), 4.0);
+  EXPECT_FALSE(flags.get_bool("online-refinement", true));
+  flags.finish();
+}
+
+TEST(Cli, SnakeCaseAliasOnlyNormalizesTheKey) {
+  // Underscores inside VALUES must survive (paths, model names).
+  CliFlags flags = parse({"--trace_in=my_jobs_v2.csv"});
+  EXPECT_EQ(flags.get_string("trace-in", ""), "my_jobs_v2.csv");
+  flags.finish();
+}
+
 }  // namespace
 }  // namespace rubick

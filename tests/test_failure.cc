@@ -1,0 +1,389 @@
+// Fault-tolerant reconfiguration engine (ISSUE 6): the FaultPlan generator
+// (determinism, pairing, validation), the per-(job, attempt) reconfiguration
+// coin, the simulator's crash / straggler / reconfig-failure handling under
+// the throw-audit, the zero-overhead-when-off contract, and the
+// PolicyFactory registry.
+#include "failure/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/policy_factory.h"
+#include "check/invariant_auditor.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "model/model_zoo.h"
+#include "sim/simulator.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan generation.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  const ClusterSpec cluster;
+  const FaultPlanOptions options;
+  const FaultPlan a = FaultPlan::generate(5, options, cluster);
+  const FaultPlan b = FaultPlan::generate(5, options, cluster);
+  EXPECT_EQ(a.digest(), b.digest());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  EXPECT_FALSE(a.empty());
+
+  const FaultPlan c = FaultPlan::generate(6, options, cluster);
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(FaultPlan, EventsSortedAndEpisodesPaired) {
+  const ClusterSpec cluster;
+  FaultPlanOptions options;
+  options.horizon_s = hours(48);  // enough arrivals to make pairing visible
+  const FaultPlan plan = FaultPlan::generate(11, options, cluster);
+
+  double prev_s = 0.0;
+  std::map<FaultKind, int> kinds;
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.time_s, prev_s);
+    prev_s = e.time_s;
+    EXPECT_GE(e.node, 0);
+    EXPECT_LT(e.node, cluster.num_nodes);
+    ++kinds[e.kind];
+  }
+  // Every outage and straggler episode carries its closing event (emitted
+  // even when it lands past the horizon, so no node stays down forever).
+  EXPECT_GT(kinds[FaultKind::kNodeCrash], 0);
+  EXPECT_EQ(kinds[FaultKind::kNodeCrash], kinds[FaultKind::kNodeRecover]);
+  EXPECT_EQ(kinds[FaultKind::kStragglerBegin],
+            kinds[FaultKind::kStragglerEnd]);
+}
+
+TEST(FaultPlan, ZeroRatesDisableFaultClasses) {
+  const ClusterSpec cluster;
+  FaultPlanOptions options;
+  options.node_mtbf_hours = 0.0;
+  options.gpu_transient_mtbf_hours = 0.0;
+  options.straggler_mtbf_hours = 0.0;
+  const FaultPlan plan = FaultPlan::generate(3, options, cluster);
+  EXPECT_TRUE(plan.events().empty());
+  EXPECT_TRUE(plan.empty());  // no events, no reconfig failures
+}
+
+TEST(FaultPlan, OptionsValidateRejectsNonsense) {
+  FaultPlanOptions bad;
+  bad.straggler_severity = 0.0;
+  EXPECT_THROW(bad.validate(), InvariantError);
+  bad = FaultPlanOptions{};
+  bad.node_mtbf_hours = -1.0;
+  EXPECT_THROW(bad.validate(), InvariantError);
+  bad = FaultPlanOptions{};
+  bad.reconfig_failure_prob = 1.5;
+  EXPECT_THROW(bad.validate(), InvariantError);
+  EXPECT_NO_THROW(FaultPlanOptions{}.validate());
+}
+
+TEST(FaultPlan, ReconfigCoinDeterministicAndUnbiased) {
+  const FaultPlan never = FaultPlan::from_events(9, {}, 0.0);
+  const FaultPlan always = FaultPlan::from_events(9, {}, 1.0);
+  const FaultPlan half = FaultPlan::from_events(9, {}, 0.5);
+  EXPECT_TRUE(never.empty());
+  EXPECT_FALSE(always.empty());
+
+  int fails = 0;
+  const int kJobs = 50, kAttempts = 40;
+  for (int job = 0; job < kJobs; ++job) {
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      EXPECT_FALSE(never.reconfig_attempt_fails(job, attempt));
+      EXPECT_TRUE(always.reconfig_attempt_fails(job, attempt));
+      if (half.reconfig_attempt_fails(job, attempt)) ++fails;
+      // Same plan, same (job, attempt) => same outcome, every time.
+      EXPECT_EQ(half.reconfig_attempt_fails(job, attempt),
+                half.reconfig_attempt_fails(job, attempt));
+    }
+  }
+  const double rate = static_cast<double>(fails) / (kJobs * kAttempts);
+  EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(FaultPlan, DigestCoversEventsAndProbability) {
+  std::vector<FaultEvent> events;
+  FaultEvent e;
+  e.time_s = 100.0;
+  e.kind = FaultKind::kNodeCrash;
+  e.node = 2;
+  e.duration_s = 60.0;
+  events.push_back(e);
+  const FaultPlan a = FaultPlan::from_events(1, events, 0.0);
+  events[0].node = 3;
+  const FaultPlan b = FaultPlan::from_events(1, events, 0.0);
+  const FaultPlan c = FaultPlan::from_events(1, {}, 0.0);
+  const FaultPlan d = FaultPlan::from_events(1, {}, 0.25);
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_NE(c.digest(), d.digest());
+}
+
+// ---------------------------------------------------------------------------
+// RunContext / SimulationOptions validation.
+// ---------------------------------------------------------------------------
+
+TEST(RunContextValidation, RejectsOutOfRangeNodeAndBadKnobs) {
+  const ClusterSpec cluster;
+  FaultEvent e;
+  e.time_s = 10.0;
+  e.kind = FaultKind::kNodeCrash;
+  e.node = cluster.num_nodes;  // one past the end
+  const FaultPlan plan = FaultPlan::from_events(1, {e}, 0.0);
+  RunContext ctx;
+  ctx.fault_plan = &plan;
+  EXPECT_THROW(ctx.validate(cluster), InvariantError);
+
+  SimulationOptions options;
+  options.failure.retry_backoff_cap_s = 1.0;  // cap < base
+  RunContext ctx2;
+  ctx2.options = &options;
+  EXPECT_THROW(ctx2.validate(cluster), InvariantError);
+
+  EXPECT_NO_THROW(RunContext{}.validate(cluster));
+}
+
+// ---------------------------------------------------------------------------
+// Simulator behaviour under injected faults.
+// ---------------------------------------------------------------------------
+
+class FailureSimTest : public ::testing::Test {
+ protected:
+  FailureSimTest() : oracle_(2025) {}
+
+  std::vector<JobSpec> trace(int num_jobs, double window_h,
+                             std::uint64_t seed = 7) {
+    const TraceGenerator gen(cluster_, oracle_);
+    TraceOptions opts;
+    opts.seed = seed;
+    opts.num_jobs = num_jobs;
+    opts.window_s = hours(window_h);
+    return gen.generate(opts);
+  }
+
+  // Runs Rubick over the trace with the auditor in throw mode: any
+  // violation of the eight invariants fails the test at the site.
+  SimResult run_audited(const std::vector<JobSpec>& jobs,
+                        const RunContext& base_ctx,
+                        AuditReport* report_out = nullptr) {
+    AuditConfig config;
+    config.on_violation = ViolationPolicy::kThrow;
+    config.check_guarantee = true;  // Rubick makes the Algorithm-1 promise
+    InvariantAuditor auditor(config);
+    RunContext ctx = base_ctx;
+    ctx.observer = &auditor;
+    RubickPolicy policy;
+    const Simulator sim(cluster_, oracle_);
+    const SimResult result = sim.run(jobs, policy, ctx);
+    if (report_out != nullptr) *report_out = auditor.report();
+    return result;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+};
+
+TEST_F(FailureSimTest, FaultFreeRunIsByteIdenticalWithOptionsAttached) {
+  // Attaching SimulationOptions (and no fault plan) must not change a
+  // single decision: the fault machinery is pay-for-use.
+  const std::vector<JobSpec> jobs = trace(10, 1.0);
+  const Simulator sim(cluster_, oracle_);
+
+  RubickPolicy plain_policy;
+  const SimResult plain = sim.run(jobs, plain_policy);
+
+  SimulationOptions options;  // defaults == Simulator's constructor options
+  RunContext ctx;
+  ctx.options = &options;
+  RubickPolicy optioned_policy;
+  const SimResult optioned = sim.run(jobs, optioned_policy, ctx);
+
+  ASSERT_EQ(plain.jobs.size(), optioned.jobs.size());
+  EXPECT_EQ(plain.makespan_s, optioned.makespan_s);
+  EXPECT_EQ(plain.scheduling_rounds, optioned.scheduling_rounds);
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    EXPECT_EQ(plain.jobs[i].jct_s, optioned.jobs[i].jct_s) << i;
+    EXPECT_EQ(plain.jobs[i].reconfig_count, optioned.jobs[i].reconfig_count)
+        << i;
+  }
+  EXPECT_FALSE(plain.any_faults());
+  EXPECT_FALSE(optioned.any_faults());
+}
+
+TEST_F(FailureSimTest, NodeCrashEvictsChargesRestoreAndRecovers) {
+  const std::vector<JobSpec> jobs = trace(8, 0.5);
+
+  // Take down every node at t=1500 for 10 minutes: whatever is running
+  // then is evicted, and nothing can be placed until recovery.
+  std::vector<FaultEvent> events;
+  for (int n = 0; n < cluster_.num_nodes; ++n) {
+    FaultEvent crash;
+    crash.time_s = 1500.0;
+    crash.kind = FaultKind::kNodeCrash;
+    crash.node = n;
+    crash.duration_s = 600.0;
+    events.push_back(crash);
+    FaultEvent recover = crash;
+    recover.time_s = 2100.0;
+    recover.kind = FaultKind::kNodeRecover;
+    events.push_back(recover);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& x, const FaultEvent& y) {
+              return x.time_s < y.time_s;
+            });
+  const FaultPlan plan = FaultPlan::from_events(1, events, 0.0);
+  RunContext ctx;
+  ctx.fault_plan = &plan;
+
+  AuditReport report;
+  const SimResult r = run_audited(jobs, ctx, &report);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_EQ(r.fault_node_crashes, cluster_.num_nodes);
+  EXPECT_GE(r.crash_restarts, 1);  // someone was running at t=1500
+  for (const JobResult& j : r.jobs) EXPECT_TRUE(j.finished) << j.spec.id;
+  // The restarted jobs carry their eviction count into the results.
+  int restarts = 0;
+  for (const JobResult& j : r.jobs) restarts += j.crash_restarts;
+  EXPECT_EQ(restarts, r.crash_restarts);
+}
+
+TEST_F(FailureSimTest, StragglerEpisodeSlowsAffectedJobs) {
+  // One job, whole cluster straggling at half speed from t=0 forever: the
+  // run must take measurably longer than the fault-free one.
+  const std::vector<JobSpec> jobs = trace(1, 0.1);
+  std::vector<FaultEvent> events;
+  for (int n = 0; n < cluster_.num_nodes; ++n) {
+    FaultEvent slow;
+    slow.time_s = 0.0;
+    slow.kind = FaultKind::kStragglerBegin;
+    slow.node = n;
+    slow.duration_s = hours(100);
+    slow.severity = 0.5;
+    events.push_back(slow);
+    FaultEvent end = slow;
+    end.time_s = hours(100);
+    end.kind = FaultKind::kStragglerEnd;
+    events.push_back(end);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& x, const FaultEvent& y) {
+              return x.time_s < y.time_s;
+            });
+  const FaultPlan plan = FaultPlan::from_events(1, events, 0.0);
+  RunContext ctx;
+  ctx.fault_plan = &plan;
+
+  const SimResult slow = run_audited(jobs, ctx);
+  const SimResult fast = run_audited(jobs, RunContext{});
+  ASSERT_TRUE(slow.jobs[0].finished);
+  ASSERT_TRUE(fast.jobs[0].finished);
+  EXPECT_GT(slow.jobs[0].jct_s, 1.3 * fast.jobs[0].jct_s);
+  EXPECT_EQ(slow.fault_straggler_episodes, cluster_.num_nodes);
+}
+
+TEST_F(FailureSimTest, ReconfigFailuresRetryThenDegradeAndStillFinish) {
+  // Every warm reconfiguration attempt fails (prob = 1): jobs the policy
+  // tries to reconfigure burn their retries, degrade to last-known-good,
+  // and still run to completion — forward progress is guaranteed because
+  // degraded jobs are exempt from injection.
+  const std::vector<JobSpec> jobs = trace(16, 1.0);
+  const FaultPlan plan = FaultPlan::from_events(2, {}, 1.0);
+
+  SimulationOptions options;
+  options.failure.max_reconfig_retries = 2;
+  options.failure.retry_backoff_base_s = 10.0;
+  options.failure.retry_backoff_cap_s = 40.0;
+  RunContext ctx;
+  ctx.fault_plan = &plan;
+  ctx.options = &options;
+
+  AuditReport report;
+  const SimResult r = run_audited(jobs, ctx, &report);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  for (const JobResult& j : r.jobs) EXPECT_TRUE(j.finished) << j.spec.id;
+  ASSERT_GT(r.fault_reconfig_failures, 0);  // Rubick does reconfigure here
+  EXPECT_GE(r.degraded_jobs, 1);
+  int failures = 0;
+  for (const JobResult& j : r.jobs) failures += j.reconfig_failures;
+  EXPECT_EQ(failures, r.fault_reconfig_failures);
+}
+
+TEST_F(FailureSimTest, SameFaultPlanSameSeedReproducesExactly) {
+  const std::vector<JobSpec> jobs = trace(10, 0.5);
+  const FaultPlanOptions options;
+  const FaultPlan plan = FaultPlan::generate(13, options, cluster_);
+  RunContext ctx;
+  ctx.fault_plan = &plan;
+
+  const SimResult a = run_audited(jobs, ctx);
+  const SimResult b = run_audited(jobs, ctx);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.fault_node_crashes, b.fault_node_crashes);
+  EXPECT_EQ(a.fault_reconfig_failures, b.fault_reconfig_failures);
+  EXPECT_EQ(a.crash_restarts, b.crash_restarts);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i)
+    EXPECT_EQ(a.jobs[i].jct_s, b.jobs[i].jct_s) << i;
+}
+
+// ---------------------------------------------------------------------------
+// PolicyFactory.
+// ---------------------------------------------------------------------------
+
+TEST(PolicyFactoryTest, RegistersEveryPolicy) {
+  const PolicyFactory& factory = PolicyFactory::global();
+  const std::vector<std::string> expected = {
+      "antman",   "equal-share", "rubick",   "rubick-e", "rubick-n",
+      "rubick-r", "sia",         "synergy",  "tiresias"};
+  EXPECT_EQ(factory.names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(factory.known(name)) << name;
+    EXPECT_NE(factory.create(name), nullptr) << name;
+  }
+  EXPECT_FALSE(factory.known("fifo"));
+}
+
+TEST(PolicyFactoryTest, UnknownNameThrowsListingValidOnes) {
+  try {
+    PolicyFactory::global().create("rubik");  // typo
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rubik"), std::string::npos);
+    EXPECT_NE(what.find("rubick-e"), std::string::npos);  // lists valid names
+  }
+}
+
+TEST(PolicyFactoryTest, ParamsReachThePolicies) {
+  PolicyParams params;
+  params.tenant_quota_gpus["tenant-a"] = 64;
+  params.gate_threshold = 0.9;
+  params.opportunistic_admission = false;
+  const auto rubick = PolicyFactory::global().create("rubick", params);
+  EXPECT_EQ(rubick->name(), RubickPolicy().name());
+  const auto antman = PolicyFactory::global().create("antman", params);
+  EXPECT_EQ(antman->name(), "AntMan");
+}
+
+TEST(PolicyFactoryTest, RubickFamilyCoversExactlyTheGuaranteeMakers) {
+  EXPECT_TRUE(PolicyFactory::rubick_family("rubick"));
+  EXPECT_TRUE(PolicyFactory::rubick_family("rubick-e"));
+  EXPECT_TRUE(PolicyFactory::rubick_family("rubick-r"));
+  EXPECT_TRUE(PolicyFactory::rubick_family("rubick-n"));
+  EXPECT_FALSE(PolicyFactory::rubick_family("sia"));
+  EXPECT_FALSE(PolicyFactory::rubick_family("antman"));
+}
+
+}  // namespace
+}  // namespace rubick

@@ -200,6 +200,154 @@ TEST_F(AuditorMutationTest, ThrowPolicyFailsFast) {
 }
 
 // ---------------------------------------------------------------------
+// Fault-injection invariants (7: node availability, 8: failure recovery).
+// ---------------------------------------------------------------------
+
+TEST_F(AuditorMutationTest, RunningJobOnDownNodeTripsNodeAvailability) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  std::vector<char> down(static_cast<std::size_t>(cluster_.num_nodes), 0);
+
+  SimTick ok_tick = tick_at(10.0, {running(specs_[0], p, plan)});
+  ok_tick.down_nodes = &down;  // all nodes up: clean
+  auditor->on_tick(ok_tick);
+  ASSERT_TRUE(auditor->report().clean()) << auditor->report().summary();
+
+  // Node 0 goes down but the job's slice there survives the tick: the
+  // eviction the simulator must perform did not happen.
+  down[0] = 1;
+  SimTick bad_tick = tick_at(20.0, {running(specs_[0], p, plan, 200.0)});
+  bad_tick.down_nodes = &down;
+  auditor->on_tick(bad_tick);
+  EXPECT_EQ(count(*auditor, Invariant::kNodeAvailability), 1);
+  EXPECT_EQ(auditor->report().violations[0].node_id, 0);
+}
+
+TEST_F(AuditorMutationTest, DownNodeWithoutResidentJobsIsClean) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(1, 4, 8);  // resident on a healthy node
+  const ExecutionPlan plan = make_dp(4);
+  std::vector<char> down(static_cast<std::size_t>(cluster_.num_nodes), 0);
+  down[0] = 1;
+  SimTick tick = tick_at(10.0, {running(specs_[0], p, plan)});
+  tick.down_nodes = &down;
+  auditor->on_tick(tick);
+  EXPECT_TRUE(auditor->report().clean()) << auditor->report().summary();
+}
+
+TEST_F(AuditorMutationTest, ReconfigFailureRollbackToPendingIsClean) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+
+  SimFaultNotice notice;
+  notice.now_s = 20.0;
+  notice.kind = SimFaultNotice::Kind::kReconfigFailure;
+  notice.job_id = 0;  // no prior: phase 1 already released the allocation
+  auditor->on_fault(notice);
+
+  AuditJobState pending;
+  pending.spec = &specs_[0];
+  pending.phase = SimJobPhase::kPending;
+  pending.samples_done = 100.0;  // progress survives the rollback
+  auditor->on_tick(tick_at(20.0, {pending}));
+  EXPECT_TRUE(auditor->report().clean()) << auditor->report().summary();
+}
+
+TEST_F(AuditorMutationTest, ReconfigFailureExactRestoreIsClean) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+
+  SimFaultNotice notice;
+  notice.now_s = 20.0;
+  notice.kind = SimFaultNotice::Kind::kReconfigFailure;
+  notice.job_id = 0;
+  notice.prior_placement = &p;
+  notice.prior_plan = &plan;
+  auditor->on_fault(notice);
+
+  // Running with exactly the pre-attempt configuration: valid outcome B.
+  auditor->on_tick(tick_at(20.0, {running(specs_[0], p, plan, 150.0)}));
+  EXPECT_TRUE(auditor->report().clean()) << auditor->report().summary();
+}
+
+TEST_F(AuditorMutationTest, PendingJobHoldingAllocationTripsRecovery) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+
+  SimFaultNotice notice;
+  notice.now_s = 20.0;
+  notice.kind = SimFaultNotice::Kind::kReconfigFailure;
+  notice.job_id = 0;
+  auditor->on_fault(notice);
+
+  // Rolled back to pending but the allocation was never released.
+  AuditJobState pending;
+  pending.spec = &specs_[0];
+  pending.phase = SimJobPhase::kPending;
+  pending.placement = &p;
+  pending.samples_done = 100.0;
+  auditor->on_tick(tick_at(20.0, {pending}));
+  EXPECT_EQ(count(*auditor, Invariant::kFailureRecovery), 1);
+}
+
+TEST_F(AuditorMutationTest, HalfAppliedConfigurationTripsRecovery) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+
+  SimFaultNotice notice;
+  notice.now_s = 20.0;
+  notice.kind = SimFaultNotice::Kind::kReconfigFailure;
+  notice.job_id = 0;
+  notice.prior_placement = &p;
+  notice.prior_plan = &plan;
+  auditor->on_fault(notice);
+
+  // Still running, but with the configuration the failed attempt was
+  // supposed to install — neither released nor restored.
+  const Placement half = on_node(0, 2, 4);
+  const ExecutionPlan half_plan = make_dp(2);
+  auditor->on_tick(tick_at(20.0, {running(specs_[0], half, half_plan, 150.0)}));
+  EXPECT_EQ(count(*auditor, Invariant::kFailureRecovery), 1);
+
+  // The notice is consumed by its follow-up tick: later ticks in the same
+  // (now restored) configuration are not re-flagged.
+  auditor->on_tick(tick_at(30.0, {running(specs_[0], half, half_plan, 200.0)}));
+  EXPECT_EQ(count(*auditor, Invariant::kFailureRecovery), 1);
+}
+
+TEST_F(AuditorMutationTest, VanishedJobAfterReconfigFailureTripsRecovery) {
+  specs_ = {bert_job(0, 4)};
+  auto auditor = counting_auditor();
+  const Placement p = on_node(0, 4, 8);
+  const ExecutionPlan plan = make_dp(4);
+  auditor->on_tick(tick_at(10.0, {running(specs_[0], p, plan)}));
+
+  SimFaultNotice notice;
+  notice.now_s = 20.0;
+  notice.kind = SimFaultNotice::Kind::kReconfigFailure;
+  notice.job_id = 0;
+  auditor->on_fault(notice);
+
+  auditor->on_tick(tick_at(20.0, {}));  // the job is simply gone
+  EXPECT_EQ(count(*auditor, Invariant::kFailureRecovery), 1);
+}
+
+// ---------------------------------------------------------------------
 // Performance guarantee: needs a fitted store for baselines / minRes.
 // ---------------------------------------------------------------------
 

@@ -13,6 +13,7 @@
 #include "common/units.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
+#include "failure/fault_plan.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
 #include "sim/perf_store.h"
@@ -150,6 +151,69 @@ TEST_F(ParallelDeterminismTest, ConcurrentSimulatorRunsMatchSequential) {
   };
   expect_identical(rubick_ref, rubick_par);
   expect_identical(sia_ref, sia_par);
+}
+
+// Fault injection must not cost determinism: one shared FaultPlan driving
+// two concurrent Rubick runs reproduces the sequential run exactly,
+// including every fault tally (the plan is immutable and the reconfig coin
+// is a pure hash, so thread count cannot reorder outcomes).
+TEST_F(ParallelDeterminismTest, ConcurrentFaultedRunsMatchSequential) {
+  const TraceGenerator gen(cluster_, oracle_);
+  TraceOptions opts;
+  opts.seed = 7;
+  opts.num_jobs = 10;
+  opts.window_s = hours(1.0);
+  const std::vector<JobSpec> jobs = gen.generate(opts);
+
+  FaultPlanOptions fault_opts;
+  fault_opts.reconfig_failure_prob = 0.2;
+  const FaultPlan plan = FaultPlan::generate(13, fault_opts, cluster_);
+  ASSERT_FALSE(plan.empty());
+  SimulationOptions options;
+  options.failure.max_reconfig_retries = 2;
+
+  std::map<std::string, double> costs;
+  RunContext ctx;
+  ctx.store = &store();
+  ctx.profiling_cost_s = &costs;
+  ctx.options = &options;
+  ctx.fault_plan = &plan;
+  const Simulator sim(cluster_, oracle_);
+
+  RubickPolicy seq;
+  const SimResult ref = sim.run(jobs, seq, ctx);
+
+  ThreadPool pool(2);
+  auto fut_a = pool.submit([&] {
+    RubickPolicy p;
+    return sim.run(jobs, p, ctx);
+  });
+  auto fut_b = pool.submit([&] {
+    RubickPolicy p;
+    return sim.run(jobs, p, ctx);
+  });
+  const SimResult par_a = fut_a.get();
+  const SimResult par_b = fut_b.get();
+
+  for (const SimResult* par : {&par_a, &par_b}) {
+    EXPECT_EQ(ref.makespan_s, par->makespan_s);
+    EXPECT_EQ(ref.scheduling_rounds, par->scheduling_rounds);
+    EXPECT_EQ(ref.fault_node_crashes, par->fault_node_crashes);
+    EXPECT_EQ(ref.fault_gpu_transients, par->fault_gpu_transients);
+    EXPECT_EQ(ref.fault_straggler_episodes, par->fault_straggler_episodes);
+    EXPECT_EQ(ref.fault_reconfig_failures, par->fault_reconfig_failures);
+    EXPECT_EQ(ref.crash_restarts, par->crash_restarts);
+    EXPECT_EQ(ref.degraded_jobs, par->degraded_jobs);
+    ASSERT_EQ(ref.jobs.size(), par->jobs.size());
+    for (std::size_t i = 0; i < ref.jobs.size(); ++i) {
+      EXPECT_EQ(ref.jobs[i].finished, par->jobs[i].finished) << i;
+      EXPECT_EQ(ref.jobs[i].jct_s, par->jobs[i].jct_s) << i;
+      EXPECT_EQ(ref.jobs[i].crash_restarts, par->jobs[i].crash_restarts) << i;
+      EXPECT_EQ(ref.jobs[i].reconfig_failures, par->jobs[i].reconfig_failures)
+          << i;
+      EXPECT_EQ(ref.jobs[i].degraded, par->jobs[i].degraded) << i;
+    }
+  }
 }
 
 }  // namespace

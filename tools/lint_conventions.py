@@ -13,6 +13,12 @@ Enforces the project-wide contracts that the compiler cannot:
      directly (`std::cout`, `printf`, ...); everything goes through
      common/log.h so embedders control the sink. (Tools and tests are
      exempt; so is the log sink itself.)
+  4. CLI flag spelling: flag names registered through common/cli are
+     kebab-case (`--sched-json`, not `--sched_json`). The parser maps a
+     user-typed snake_case spelling onto the kebab-case flag (deprecated
+     alias), so a snake_case *registration* would be unreachable. Unlike
+     rules 1-3 this rule also covers tools/ and bench/, where the flags
+     live.
 
 Zero third-party dependencies; pure stdlib. Exit code 0 when clean, 1 when
 any finding is reported. Run directly or via `ctest -R convention_lint`.
@@ -50,6 +56,11 @@ IO_PATTERNS = [
     (re.compile(r"\b(?:std::)?f?printf\s*\("), "printf-family call"),
     (re.compile(r"\bputs\s*\("), "puts"),
 ]
+
+# A CliFlags getter registering a flag whose name contains an underscore.
+# Matched against comment-stripped lines WITH string literals intact.
+CLI_FLAG_RE = re.compile(
+    r'\.get_(?:string|int|double|u64|bool)\s*\(\s*"([^"]*_[^"]*)"')
 
 # A declared identifier whose stem names a unit-bearing quantity must spell
 # the unit. Matches declarations / members / parameters, i.e. an identifier
@@ -127,6 +138,19 @@ def lint_file(path: pathlib.Path, rel: str, findings: list) -> None:
         if start >= 0 and "*/" not in line[start:]:
             in_block_comment = True
             line = line[:start]
+        if (rel, "cli") not in ALLOWLIST:
+            for match in CLI_FLAG_RE.finditer(LINE_COMMENT_RE.sub("", line)):
+                kebab = match.group(1).replace("_", "-")
+                findings.append(
+                    (path, lineno,
+                     f"snake_case CLI flag '--{match.group(1)}': register "
+                     f"the kebab-case name '--{kebab}' (common/cli already "
+                     "accepts the snake spelling as a deprecated alias)"))
+
+        # Rules 1-3 cover library sources only; tools, benches and tests
+        # are free to print and to read the wall clock.
+        if not rel.startswith("src/"):
+            continue
         code = strip_noise(line)
         if not code.strip():
             continue
@@ -150,8 +174,8 @@ def lint_file(path: pathlib.Path, rel: str, findings: list) -> None:
 
 def main(argv: list) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("roots", nargs="*", default=["src"],
-                        help="directories to lint (default: src)")
+    parser.add_argument("roots", nargs="*", default=["src", "tools", "bench"],
+                        help="directories to lint (default: src tools bench)")
     args = parser.parse_args(argv)
 
     repo = pathlib.Path(__file__).resolve().parent.parent

@@ -34,6 +34,16 @@
 // run). `--log-json` switches the stderr log to JSON lines stamped with
 // simulated time. `--save-trace=jobs.csv` writes the generated job trace
 // itself (CSV, reloadable with --trace-in).
+//
+// Chaos runs (DESIGN.md §10): `--fault-seed=N` injects a deterministic
+// fault schedule — node crashes with recoveries, transient GPU failures,
+// straggler episodes, and (with `--reconfig-failure-prob`) aborted
+// reconfiguration attempts. The same fault plan is shared by every seed of
+// a sweep so policies face identical weather. Combine with `--audit
+// --audit-policy=throw` to fail fast on any recovery-protocol violation:
+//
+//   rubick_simulate --policy=rubick --jobs=200 --fault-seed=13
+//                   --reconfig-failure-prob=0.1 --audit --audit-policy=throw
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -41,12 +51,8 @@
 #include <sstream>
 #include <vector>
 
-#include "baselines/antman.h"
+#include "baselines/policy_factory.h"
 #include "check/invariant_auditor.h"
-#include "baselines/equal_share.h"
-#include "baselines/sia.h"
-#include "baselines/synergy.h"
-#include "baselines/tiresias.h"
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/table.h"
@@ -54,6 +60,7 @@
 #include "common/units.h"
 #include "common/log.h"
 #include "core/rubick_policy.h"
+#include "failure/fault_plan.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
 #include "sim/telemetry_observer.h"
@@ -65,35 +72,6 @@
 using namespace rubick;
 
 namespace {
-
-std::unique_ptr<SchedulerPolicy> make_policy(const std::string& name,
-                                             bool multi_tenant,
-                                             double gate_threshold,
-                                             bool opportunistic) {
-  std::map<std::string, int> quota;
-  if (multi_tenant) quota["tenant-a"] = 64;
-
-  if (name == "rubick" || name == "rubick-e" || name == "rubick-r" ||
-      name == "rubick-n") {
-    RubickConfig config;
-    if (name == "rubick-e") config = RubickPolicy::plans_only();
-    if (name == "rubick-r") config = RubickPolicy::resources_only();
-    if (name == "rubick-n") config = RubickPolicy::neither();
-    config.tenant_quota_gpus = quota;
-    config.gate_threshold = gate_threshold;
-    config.opportunistic_admission = opportunistic;
-    return std::make_unique<RubickPolicy>(config);
-  }
-  if (name == "sia") return std::make_unique<SiaPolicy>();
-  if (name == "tiresias") return std::make_unique<TiresiasPolicy>();
-  if (name == "synergy") return std::make_unique<SynergyPolicy>();
-  if (name == "antman") return std::make_unique<AntManPolicy>(quota);
-  if (name == "equal-share") return std::make_unique<EqualSharePolicy>();
-  RUBICK_CHECK_MSG(false, "unknown policy '" << name
-                                             << "'; try rubick, rubick-e, "
-                                                "rubick-r, rubick-n, sia, "
-                                                "synergy, antman, tiresias, equal-share");
-}
 
 std::vector<std::uint64_t> parse_seed_list(const std::string& csv) {
   std::vector<std::uint64_t> seeds;
@@ -137,6 +115,34 @@ int main(int argc, char** argv) {
   const int history_id = flags.get_int("job-history", -1);
   const double gate = flags.get_double("gate-threshold", 0.97);
   const bool opportunistic = flags.get_bool("opportunistic-admission", true);
+  // Fault injection: absent --fault-seed means no injection at all (the
+  // run is byte-identical to a build without the failure engine).
+  const std::string fault_seed_str = flags.get_string("fault-seed", "");
+  FaultPlanOptions fault_opts;
+  fault_opts.horizon_s = hours(flags.get_double("fault-horizon-hours", 24.0));
+  fault_opts.node_mtbf_hours =
+      flags.get_double("node-mtbf-hours", fault_opts.node_mtbf_hours);
+  fault_opts.node_outage_mean_s =
+      flags.get_double("node-outage-s", fault_opts.node_outage_mean_s);
+  fault_opts.gpu_transient_mtbf_hours = flags.get_double(
+      "gpu-transient-mtbf-hours", fault_opts.gpu_transient_mtbf_hours);
+  fault_opts.straggler_mtbf_hours =
+      flags.get_double("straggler-mtbf-hours", fault_opts.straggler_mtbf_hours);
+  fault_opts.straggler_mean_duration_s = flags.get_double(
+      "straggler-duration-s", fault_opts.straggler_mean_duration_s);
+  fault_opts.straggler_severity =
+      flags.get_double("straggler-severity", fault_opts.straggler_severity);
+  fault_opts.reconfig_failure_prob = flags.get_double(
+      "reconfig-failure-prob", fault_opts.reconfig_failure_prob);
+  FailurePolicyOptions failure_opts;
+  failure_opts.max_reconfig_retries =
+      flags.get_int("max-reconfig-retries", failure_opts.max_reconfig_retries);
+  failure_opts.retry_backoff_base_s = flags.get_double(
+      "retry-backoff-s", failure_opts.retry_backoff_base_s);
+  failure_opts.retry_backoff_cap_s = flags.get_double(
+      "retry-backoff-cap-s", failure_opts.retry_backoff_cap_s);
+  failure_opts.crash_restore_cost_s = flags.get_double(
+      "crash-restore-s", failure_opts.crash_restore_cost_s);
 #ifndef NDEBUG
   const bool audit_default = true;  // on by default in Debug builds
 #else
@@ -196,17 +202,36 @@ int main(int argc, char** argv) {
   }
   if (!save_trace.empty()) write_trace_csv_file(save_trace, traces.front());
 
-  SimOptions sim_opts;
-  sim_opts.online_refinement = refinement;
-  sim_opts.size_dependent_reconfig_cost = size_penalty;
-  sim_opts.reconfig_penalty_s = delta;
-  const Simulator sim(cluster, oracle, sim_opts);
+  SimulationOptions sim_options;
+  sim_options.sim.online_refinement = refinement;
+  sim_options.sim.size_dependent_reconfig_cost = size_penalty;
+  sim_options.sim.reconfig_penalty_s = delta;
+  sim_options.failure = failure_opts;
+  const Simulator sim(cluster, oracle, sim_options.sim);
   const bool multi_tenant = variant == TraceVariant::kMultiTenant;
+
+  // One fault plan shared by every seed of the sweep: the weather is part
+  // of the experiment, not of the per-seed randomness.
+  FaultPlan fault_plan;
+  if (!fault_seed_str.empty()) {
+    RUBICK_CHECK_MSG(
+        fault_seed_str.find_first_not_of("0123456789") == std::string::npos,
+        "--fault-seed expects a non-negative integer; got '" << fault_seed_str
+                                                             << "'");
+    fault_plan =
+        FaultPlan::generate(std::stoull(fault_seed_str), fault_opts, cluster);
+  }
+
+  PolicyParams policy_params;
+  if (multi_tenant) policy_params.tenant_quota_gpus["tenant-a"] = 64;
+  policy_params.gate_threshold = gate;
+  policy_params.opportunistic_admission = opportunistic;
+  const PolicyFactory& factory = PolicyFactory::global();
 
   // The performance guarantee and curve sweeps are promises only the
   // Rubick-family policies make; structural invariants apply to every
   // policy.
-  const bool rubick_family = policy_name.rfind("rubick", 0) == 0;
+  const bool rubick_family = PolicyFactory::rubick_family(policy_name);
   AuditConfig audit_config;
   audit_config.on_violation = on_violation;
   audit_config.check_guarantee = rubick_family;
@@ -223,6 +248,18 @@ int main(int argc, char** argv) {
   // SimObserverList on the same seam.
   TelemetryObserver telemetry_observer;
 
+  // Creating the display policy first also validates the name (and the
+  // fault-plan / option flags via RunContext::validate) before any worker
+  // starts.
+  const std::string policy_display =
+      factory.create(policy_name, policy_params)->name();
+  {
+    RunContext probe;
+    probe.options = &sim_options;
+    if (!fault_plan.empty()) probe.fault_plan = &fault_plan;
+    probe.validate(cluster);
+  }
+
   // Independent runs fan across the pool: Simulator::run is const and each
   // run gets a fresh policy instance (and its own auditor), so runs share
   // nothing mutable.
@@ -231,28 +268,24 @@ int main(int argc, char** argv) {
   futures.reserve(seeds.size());
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     futures.push_back(pool.submit([&, i] {
-      auto policy = make_policy(policy_name, multi_tenant, gate, opportunistic);
+      auto policy = factory.create(policy_name, policy_params);
       RunOutput out;
       SimObserverList observers;
       InvariantAuditor auditor(audit_config);
       if (audit) observers.add(&auditor);
       if (telemetry && i == 0) observers.add(&telemetry_observer);
-      if (!observers.empty()) {
-        RunContext ctx;
-        ctx.observer = &observers;
-        out.result = sim.run(traces[i], *policy, ctx);
-        if (audit) out.audit = auditor.report();
-      } else {
-        out.result = sim.run(traces[i], *policy);
-      }
+      RunContext ctx;
+      ctx.options = &sim_options;
+      if (!fault_plan.empty()) ctx.fault_plan = &fault_plan;
+      if (!observers.empty()) ctx.observer = &observers;
+      out.result = sim.run(traces[i], *policy, ctx);
+      if (audit) out.audit = auditor.report();
       if (const auto* rp = dynamic_cast<const RubickPolicy*>(policy.get()))
         out.cache = rp->cache_stats();
       return out;
     }));
   }
 
-  const std::string policy_display =
-      make_policy(policy_name, multi_tenant, gate, opportunistic)->name();
   double sum_jct = 0.0, sum_makespan = 0.0;
   long total_violations = 0;
   for (std::size_t i = 0; i < seeds.size(); ++i) {
