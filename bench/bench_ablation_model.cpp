@@ -12,12 +12,20 @@
 #include <set>
 #include <iostream>
 
+#include "cluster/cluster.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "perf/profiler.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
 

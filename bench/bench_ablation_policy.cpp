@@ -11,11 +11,13 @@
 //     model (16 bytes/param over a 5 GB/s checkpoint store).
 #include <iostream>
 
+#include "cluster/cluster.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
-#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
 

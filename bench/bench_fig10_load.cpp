@@ -9,11 +9,14 @@
 #include <vector>
 
 #include "baselines/policy_factory.h"
-#include "model/model_zoo.h"
+#include "cluster/cluster.h"
 #include "common/cli.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "plan/plan_cache.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"

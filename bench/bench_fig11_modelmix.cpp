@@ -6,10 +6,13 @@
 #include <iostream>
 
 #include "baselines/policy_factory.h"
-#include "model/model_zoo.h"
+#include "cluster/cluster.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
 

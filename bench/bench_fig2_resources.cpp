@@ -11,12 +11,16 @@
 #include <iostream>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/table.h"
-#include "core/plan_selector.h"
+#include "common/units.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
 #include "perf/oracle.h"
 #include "perf/profiler.h"
-#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 using namespace rubick;
 

@@ -8,14 +8,23 @@
 #include <map>
 
 #include "baselines/equal_share.h"
+#include "cluster/cluster.h"
 #include "common/log.h"
+#include "common/resource.h"
 #include "common/table.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "perf/profiler.h"
-#include "sim/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "trace/job.h"
 
 using namespace rubick;
 

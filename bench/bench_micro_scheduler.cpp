@@ -16,16 +16,25 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/threadpool.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
 #include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "perf/profiler.h"
+#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 #include "plan/plan_cache.h"
-#include "sim/perf_store.h"
 #include "telemetry/metrics.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 
 namespace rubick {

@@ -9,11 +9,17 @@
 #include <iostream>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/table.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
 #include "perf/oracle.h"
 #include "perf/profiler.h"
 #include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 using namespace rubick;
 

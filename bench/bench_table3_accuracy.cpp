@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "convergence/dataset.h"
 #include "convergence/trainer.h"
 
 using namespace rubick;

@@ -16,12 +16,18 @@
 #include <memory>
 
 #include "baselines/policy_factory.h"
+#include "cluster/cluster.h"
 #include "common/log.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
 #include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "sim/simulator.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 
 using namespace rubick;

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "convergence/dataset.h"
 #include "convergence/trainer.h"
 
 using namespace rubick;

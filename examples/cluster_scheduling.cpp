@@ -1,3 +1,10 @@
+
+#include "cluster/cluster.h"
+#include "common/stats.h"
+#include "core/scheduler.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "trace/job.h"
 // Cluster scheduling end-to-end: generate a Philly-like trace, run it
 // through Rubick and the baselines on the simulated 64-GPU cluster, and
 // compare JCT / makespan (a miniature of the paper's Table 4).
@@ -7,7 +14,6 @@
 #include <iostream>
 #include <memory>
 
-#include "baselines/antman.h"
 #include "baselines/sia.h"
 #include "baselines/synergy.h"
 #include "baselines/tiresias.h"

@@ -9,9 +9,13 @@
 #include <iostream>
 
 #include "baselines/antman.h"
+#include "cluster/cluster.h"
+#include "common/stats.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "perf/oracle.h"
 #include "sim/simulator.h"
 #include "telemetry/timeline.h"
 #include "trace/trace_gen.h"

@@ -6,12 +6,17 @@
 //   ./build/examples/reconfiguration_demo
 #include <iostream>
 
+#include "cluster/cluster.h"
 #include "common/table.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "perf/profiler.h"
-#include "sim/perf_store.h"
+#include "plan/memory_estimator.h"
 
 using namespace rubick;
 

@@ -1,9 +1,14 @@
 #include "baselines/antman.h"
+#include "baselines/common.h"
+#include "cluster/placement.h"
+#include "core/alloc_state.h"
+#include "core/predictor.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
 
 #include <algorithm>
 
 #include "common/error.h"
-#include "model/model_zoo.h"
 
 namespace rubick {
 

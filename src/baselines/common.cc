@@ -1,11 +1,20 @@
 #include "baselines/common.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "core/plan_selector.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 #include <algorithm>
 
 #include "common/error.h"
+#include "core/fault_tolerance.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
-#include "sim/fault_tolerance.h"
 
 namespace rubick {
 

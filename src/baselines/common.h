@@ -6,9 +6,14 @@
 
 #include <map>
 
+#include "cluster/cluster.h"
 #include "core/alloc_state.h"
+#include "core/plan_selector.h"
 #include "core/predictor.h"
-#include "sim/scheduler.h"
+#include "core/scheduler.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 namespace rubick {
 
@@ -31,7 +36,7 @@ bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
                      double switch_gain = 1.05);
 
 // Emits assignments for every job holding GPUs in `state`, then pipes them
-// through the shared fault-tolerance post-pass (sim/fault_tolerance.h) so
+// through the shared fault-tolerance post-pass (core/fault_tolerance.h) so
 // every baseline honors retry backoff, degradation pinning and the
 // down-node guard — a no-op for fault-free inputs.
 std::vector<Assignment> emit_assignments(

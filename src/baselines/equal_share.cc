@@ -1,4 +1,9 @@
 #include "baselines/equal_share.h"
+#include "baselines/common.h"
+#include "core/alloc_state.h"
+#include "core/predictor.h"
+#include "model/model_spec.h"
+#include "plan/execution_plan.h"
 
 #include <algorithm>
 

@@ -4,11 +4,13 @@
 // policy (sensitivity-aware vs. egalitarian allocation).
 #pragma once
 
+#include "core/predictor.h"
+#include "perf/perf_store.h"
+
 #include <memory>
 
-#include "baselines/common.h"
 #include "core/plan_selector.h"
-#include "sim/scheduler.h"
+#include "core/scheduler.h"
 
 namespace rubick {
 

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/scheduler.h"
+#include "core/scheduler.h"
 
 namespace rubick {
 

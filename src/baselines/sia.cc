@@ -1,4 +1,13 @@
 #include "baselines/sia.h"
+#include "baselines/common.h"
+#include "cluster/placement.h"
+#include "core/alloc_state.h"
+#include "core/predictor.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
 
 #include <algorithm>
 

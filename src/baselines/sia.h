@@ -9,12 +9,15 @@
 //   * ignores multi-resource allocation beyond GPUs (CPUs pinned at 2/GPU).
 #pragma once
 
+#include "core/predictor.h"
+#include "perf/perf_store.h"
+#include "trace/job.h"
+
 #include <map>
 #include <memory>
 
-#include "baselines/common.h"
 #include "core/plan_selector.h"
-#include "sim/scheduler.h"
+#include "core/scheduler.h"
 
 namespace rubick {
 

@@ -1,4 +1,11 @@
 #include "baselines/synergy.h"
+#include "baselines/common.h"
+#include "cluster/placement.h"
+#include "core/alloc_state.h"
+#include "core/predictor.h"
+#include "model/model_spec.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
 
 #include <algorithm>
 

@@ -1,4 +1,9 @@
 #include "baselines/tiresias.h"
+#include "baselines/common.h"
+#include "core/alloc_state.h"
+#include "core/predictor.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
 
 #include <algorithm>
 

@@ -12,12 +12,15 @@
 // FCFS inside each.
 #pragma once
 
+#include "core/predictor.h"
+#include "perf/perf_store.h"
+#include "trace/job.h"
+
 #include <map>
 #include <memory>
 
-#include "baselines/common.h"
 #include "core/plan_selector.h"
-#include "sim/scheduler.h"
+#include "core/scheduler.h"
 
 namespace rubick {
 

@@ -1,4 +1,10 @@
 #include "check/invariant_auditor.h"
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
 
 #include <algorithm>
 #include <sstream>

@@ -1,7 +1,7 @@
 // Scheduler sanitizer: audits the paper-level invariants of a simulation
 // run (Algorithm 1's contract) as it executes.
 //
-// The auditor is a `SimObserver` (sim/audit.h): the simulator publishes a
+// The auditor is a `SimObserver` (core/audit.h): the simulator publishes a
 // snapshot at every event-loop tick and the auditor re-derives, from first
 // principles, that the run still satisfies:
 //
@@ -62,12 +62,15 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "core/audit.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/sla.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
 #include "plan/memory_estimator.h"
-#include "sim/audit.h"
-#include "sim/perf_store.h"
 
 namespace rubick {
 

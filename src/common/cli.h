@@ -7,7 +7,7 @@
 // Flag names are kebab-case (`--sched-json`). snake_case spellings
 // (`--sched_json`) are accepted as deprecated aliases: they parse to the
 // kebab-case flag and emit a deprecation warning. Registering a snake_case
-// flag name in code is a convention-lint error (tools/lint_conventions.py).
+// flag name in code is a cli-flags staticcheck error (tools/staticcheck).
 #pragma once
 
 #include <cstdint>

@@ -86,6 +86,8 @@ std::string format_log_line(LogLevel level, const std::string& msg) {
 
 void log_line(LogLevel level, const std::string& msg) {
   const std::string line = format_log_line(level, msg);
+  // staticcheck:allow(logging) -- this IS the log sink: the one place in
+  // src/ allowed to touch stderr; embedders swap it via set_log_handler.
   std::fprintf(stderr, "%s\n", line.c_str());
 }
 

@@ -7,10 +7,10 @@
 // paper uses (as few as 7 points).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
-#include "common/rng.h"
 
 namespace rubick {
 

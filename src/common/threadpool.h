@@ -94,10 +94,10 @@ class ThreadPool {
 
   int size_ = 1;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
   std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ = false;  // guarded by mu_
 
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> parallel_for_calls_{0};

@@ -5,8 +5,9 @@
 namespace rubick {
 
 std::uint64_t monotonic_ns() {
-  // Sole wall-clock read in src/ (allowlisted in tools/lint_conventions.py):
-  // telemetry-only, see header.
+  // staticcheck:allow(determinism) -- sole wall-clock read in src/:
+  // telemetry-only (span timestamps); nothing read from it may steer
+  // scheduling or simulation, see header.
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())

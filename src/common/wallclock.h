@@ -1,11 +1,11 @@
 // Monotonic wall-clock access for telemetry.
 //
-// The determinism contract (tools/lint_conventions.py) bans wall-clock
-// reads in library code: simulated time is the only time that may steer
-// behaviour. Observability is the one sanctioned exception — measuring how
-// long a scheduling round takes, or stamping a tracing span — and this
-// header is its single entry point. Nothing read from this clock may feed
-// back into a scheduling or simulation decision.
+// The determinism contract (tools/staticcheck, determinism rule) bans
+// wall-clock reads in library code: simulated time is the only time that
+// may steer behaviour. Observability is the one sanctioned exception —
+// measuring how long a scheduling round takes, or stamping a tracing span —
+// and this header is its single entry point. Nothing read from this clock
+// may feed back into a scheduling or simulation decision.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,8 @@
 #include "core/alloc_state.h"
 
+#include "common/resource.h"
+#include "plan/execution_plan.h"
+
 #include <algorithm>
 
 #include "common/error.h"

@@ -10,7 +10,9 @@
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "common/resource.h"
 #include "model/model_spec.h"
+#include "plan/execution_plan.h"
 #include "plan/memory_estimator.h"
 
 namespace rubick {

@@ -17,9 +17,9 @@
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "perf/perf_store.h"
 #include "plan/execution_plan.h"
 #include "plan/memory_estimator.h"
-#include "sim/perf_store.h"
 #include "trace/job.h"
 
 namespace rubick {
@@ -82,7 +82,7 @@ struct SimTick {
 // A fault the simulator applied, announced to observers the moment it takes
 // effect (before the scheduling round it triggers). Mirrors `FaultKind` in
 // src/failure plus the injection-site-only reconfiguration failure; kept as
-// its own enum so sim/audit.h does not depend on the failure library.
+// its own enum so core/audit.h does not depend on the failure library.
 struct SimFaultNotice {
   enum class Kind {
     kNodeCrash,

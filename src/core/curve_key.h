@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <functional>
 
-#include "common/intern.h"
 
 namespace rubick {
 

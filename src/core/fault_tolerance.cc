@@ -1,4 +1,7 @@
-#include "sim/fault_tolerance.h"
+#include "core/fault_tolerance.h"
+
+#include "cluster/placement.h"
+#include "plan/execution_plan.h"
 
 #include <algorithm>
 

@@ -19,7 +19,7 @@
 
 #include <vector>
 
-#include "sim/scheduler.h"
+#include "core/scheduler.h"
 
 namespace rubick {
 

@@ -1,4 +1,5 @@
 #include "core/plan_selector.h"
+#include "plan/memory_estimator.h"
 
 #include <sstream>
 

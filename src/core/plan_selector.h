@@ -9,12 +9,14 @@
 //                           (Rubick-N, Synergy, AntMan).
 #pragma once
 
+#include "common/intern.h"
+#include "plan/memory_estimator.h"
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "core/curve_key.h"
 #include "model/model_spec.h"
 #include "plan/enumerate.h"
 #include "plan/execution_plan.h"

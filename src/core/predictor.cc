@@ -1,10 +1,18 @@
 #include "core/predictor.h"
 
+#include "common/intern.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "plan/plan_cache.h"
+
 #include <algorithm>
 #include <memory>
 #include <utility>
 
-#include "common/error.h"
 #include "perf/profiler.h"
 #include "telemetry/metrics.h"
 

@@ -32,7 +32,11 @@
 #include "common/threadpool.h"
 #include "core/curve_key.h"
 #include "core/plan_selector.h"
-#include "sim/perf_store.h"
+#include "model/model_spec.h"
+#include "perf/perf_store.h"
+#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 namespace rubick {
 

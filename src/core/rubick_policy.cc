@@ -1,5 +1,13 @@
 #include "core/rubick_policy.h"
 
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
+
 #include <algorithm>
 #include <cstring>
 #include <limits>
@@ -8,10 +16,11 @@
 #include "common/intern.h"
 #include "common/log.h"
 #include "common/threadpool.h"
+#include "core/alloc_state.h"
+#include "core/fault_tolerance.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
 #include "plan/plan_cache.h"
-#include "sim/fault_tolerance.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -186,7 +195,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
                      config_.starvation_threshold_s);
       }
       // Fault-tolerance inputs: the shared post-pass
-      // (sim/fault_tolerance.h) is a pure function of these, so hashing
+      // (core/fault_tolerance.h) is a pure function of these, so hashing
       // them keeps fast-path replay exact under fault injection. The
       // backoff gate is hashed as its predicate, not as raw times.
       d.mix_int(v.reconfig_failures);

@@ -20,15 +20,17 @@
 //   Rubick-N  : neither (placement policy only)
 #pragma once
 
+#include "perf/perf_store.h"
+#include "trace/job.h"
+
 #include <map>
 #include <memory>
 #include <string>
 
-#include "core/alloc_state.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
+#include "core/scheduler.h"
 #include "core/sla.h"
-#include "sim/scheduler.h"
 
 namespace rubick {
 

@@ -13,9 +13,9 @@
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "perf/perf_store.h"
 #include "plan/execution_plan.h"
 #include "plan/memory_estimator.h"
-#include "sim/perf_store.h"
 #include "trace/job.h"
 
 namespace rubick {

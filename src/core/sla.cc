@@ -1,8 +1,14 @@
 #include "core/sla.h"
 
+#include "cluster/cluster.h"
+#include "common/resource.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "perf/perf_store.h"
+
 #include <algorithm>
 
-#include "common/error.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
 

@@ -27,8 +27,11 @@
 #include <map>
 #include <mutex>
 
+#include "cluster/cluster.h"
+#include "common/resource.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
+#include "perf/perf_store.h"
 #include "trace/job.h"
 
 namespace rubick {

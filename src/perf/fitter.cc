@@ -1,10 +1,11 @@
 #include "perf/fitter.h"
 
+#include "model/model_spec.h"
+
 #include <cmath>
 
 #include "common/error.h"
 #include "common/optim.h"
-#include "common/stats.h"
 
 namespace rubick {
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "model/model_spec.h"
 #include "perf/analytic.h"
 #include "plan/execution_plan.h"
 

@@ -1,9 +1,10 @@
 #include "perf/oracle.h"
 
+#include "model/model_spec.h"
+
 #include <cmath>
 #include <sstream>
 
-#include "common/error.h"
 #include "common/rng.h"
 #include "telemetry/metrics.h"
 

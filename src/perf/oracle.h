@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "model/model_spec.h"
 #include "perf/analytic.h"
 #include "plan/execution_plan.h"
 
@@ -56,7 +57,7 @@ class GroundTruthOracle {
   // node references stay valid across later insertions, so returned
   // Truth& remain safe after the lock is dropped.
   mutable std::mutex mu_;
-  mutable std::map<std::string, Truth> cache_;
+  mutable std::map<std::string, Truth> cache_;  // guarded by mu_
 };
 
 }  // namespace rubick

@@ -1,4 +1,9 @@
-#include "sim/perf_store.h"
+#include "perf/perf_store.h"
+
+#include "cluster/cluster.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/profiler.h"
 
 #include <cmath>
 #include <set>

@@ -20,9 +20,10 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
+#include "model/model_spec.h"
 #include "perf/fitter.h"
 #include "perf/oracle.h"
-#include "perf/profiler.h"
 
 namespace rubick {
 

@@ -1,5 +1,11 @@
 #include "perf/profiler.h"
 
+#include "model/model_spec.h"
+#include "plan/enumerate.h"
+#include "perf/analytic.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+
 #include <algorithm>
 #include <set>
 #include <tuple>

@@ -12,9 +12,11 @@
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
 #include "perf/fitter.h"
 #include "perf/oracle.h"
-#include "plan/enumerate.h"
+#include "plan/memory_estimator.h"
 
 namespace rubick {
 

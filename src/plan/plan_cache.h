@@ -152,10 +152,10 @@ class PlanSetCache {
   };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<GroupKey, Group, GroupKeyHash> groups;
-    std::deque<std::vector<ExecutionPlan>> plan_arena;
-    std::deque<std::vector<PlanDemand>> demand_arena;
-    mutable PlanCacheStats stats;
+    std::unordered_map<GroupKey, Group, GroupKeyHash> groups;  // guarded by mu
+    std::deque<std::vector<ExecutionPlan>> plan_arena;         // guarded by mu
+    std::deque<std::vector<PlanDemand>> demand_arena;          // guarded by mu
+    mutable PlanCacheStats stats;                              // guarded by mu
   };
 
   static std::uint64_t model_fingerprint(const ModelSpec& model);

@@ -1,5 +1,8 @@
 #include "sim/report.h"
 
+#include "common/stats.h"
+#include "telemetry/timeline.h"
+
 #include <fstream>
 #include <ostream>
 

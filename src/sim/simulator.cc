@@ -1,5 +1,12 @@
 #include "sim/simulator.h"
 
+#include "cluster/placement.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -219,7 +226,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
   }
 
   // Snapshot for SimObserver hooks; pointers borrow simulator stack state
-  // and are valid only inside the callback (see sim/audit.h).
+  // and are valid only inside the callback (see core/audit.h).
   auto make_tick = [&](double now, bool scheduled) {
     SimTick tick;
     tick.now_s = now;

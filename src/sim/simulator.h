@@ -13,11 +13,12 @@
 
 #include "cluster/cluster.h"
 #include "common/stats.h"
+#include "core/audit.h"
+#include "core/scheduler.h"
 #include "failure/fault_plan.h"
 #include "perf/oracle.h"
-#include "sim/audit.h"
-#include "sim/perf_store.h"
-#include "sim/scheduler.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
 #include "telemetry/timeline.h"
 #include "trace/job.h"
 
@@ -138,7 +139,7 @@ struct SimResult {
 // simulator profiles and fits from the oracle itself. `profiling_cost_s`
 // optionally carries the per-model profiling cost charged to the first job
 // of each model type (models missing from it cost the 210 s default).
-// `observer` optionally watches the run tick by tick (see sim/audit.h);
+// `observer` optionally watches the run tick by tick (see core/audit.h);
 // the InvariantAuditor in src/check plugs in here. `options`, when set,
 // overrides the Simulator's constructor-time SimOptions and supplies the
 // failure-handling knobs; `fault_plan`, when set and non-empty, injects its

@@ -1,4 +1,5 @@
 #include "sim/telemetry_observer.h"
+#include "trace/job.h"
 
 #include <ostream>
 #include <sstream>

@@ -26,8 +26,8 @@
 #include <vector>
 
 #include "cluster/placement.h"
+#include "core/audit.h"
 #include "plan/execution_plan.h"
-#include "sim/audit.h"
 
 namespace rubick {
 

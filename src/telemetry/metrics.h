@@ -139,9 +139,9 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;    // guarded by mu_
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;        // guarded by mu_
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;  // guarded by mu_
 };
 
 // RAII wall-clock latency probe: observes seconds-into-histogram on scope

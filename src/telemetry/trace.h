@@ -93,7 +93,7 @@ class TraceRecorder {
  private:
   struct ThreadBuffer {
     mutable std::mutex mu;
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events;  // guarded by mu
     int tid = 0;
   };
   ThreadBuffer& local_buffer();

@@ -1,5 +1,7 @@
 #include "trace/job.h"
 
+#include "plan/memory_estimator.h"
+
 #include <sstream>
 
 #include "cluster/cluster.h"

@@ -1,5 +1,10 @@
 #include "trace/trace_gen.h"
 
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -96,7 +101,7 @@ std::vector<JobSpec> TraceGenerator::generate(const TraceOptions& opts) const {
     // overload.
     double duration_s =
         std::clamp(rng.lognormal(std::log(900.0), 1.2), 240.0, 2.0 * 3600.0);
-    const double gpu_hours = gpus * duration_s;
+    const double gpu_time_s = gpus * duration_s;
 
     const std::vector<int>& counts = feasible_gpus(model, job.global_batch);
     if (std::find(counts.begin(), counts.end(), gpus) == counts.end()) {
@@ -105,7 +110,7 @@ std::vector<JobSpec> TraceGenerator::generate(const TraceOptions& opts) const {
       for (int c : counts)
         if (c <= gpus) snapped = c;
       gpus = snapped;
-      duration_s = gpu_hours / gpus;  // keep the job's GPU-hours unchanged
+      duration_s = gpu_time_s / gpus;  // keep the job's GPU-time unchanged
     }
     job.requested.gpus = gpus;
     job.requested.cpus = 4 * gpus;

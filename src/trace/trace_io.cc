@@ -1,5 +1,7 @@
 #include "trace/trace_io.h"
 
+#include "plan/execution_plan.h"
+
 #include <fstream>
 #include <sstream>
 

@@ -1,0 +1,9 @@
+#include <random>
+
+namespace fx {
+int bad_pragma() {
+  // staticcheck:allow(determinism)
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}
+}  // namespace fx

@@ -1,0 +1,5 @@
+#include <iostream>
+
+namespace fx {
+void bad_print() { std::cout << "hello\n"; }
+}  // namespace fx

@@ -1,0 +1,8 @@
+#include <random>
+
+namespace fx {
+int bad_random() {
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}
+}  // namespace fx

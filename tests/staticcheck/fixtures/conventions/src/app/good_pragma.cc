@@ -1,0 +1,9 @@
+#include <random>
+
+namespace fx {
+int good_pragma() {
+  // staticcheck:allow(determinism) -- fixture: documents the pragma escape
+  std::mt19937 gen(7);
+  return static_cast<int>(gen());
+}
+}  // namespace fx

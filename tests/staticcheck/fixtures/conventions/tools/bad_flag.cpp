@@ -1,0 +1,6 @@
+namespace fx {
+struct CliFlags {
+  int get_int(const char* name, int def) { (void)name; return def; }
+};
+int bad_flag(CliFlags& flags) { return flags.get_int("max_retries", 3); }
+}  // namespace fx

@@ -1,0 +1,6 @@
+namespace fx {
+struct CliFlags2 {
+  int get_int(const char* name, int def) { (void)name; return def; }
+};
+int good_flag(CliFlags2& flags) { return flags.get_int("max-retries", 3); }
+}  // namespace fx

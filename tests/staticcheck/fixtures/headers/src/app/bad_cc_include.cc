@@ -1,0 +1,1 @@
+#include "app/good_use.cc"

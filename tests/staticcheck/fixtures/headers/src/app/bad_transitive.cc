@@ -1,0 +1,5 @@
+#include "app/deep.h"
+
+namespace fx {
+int bad_transitive() { return Deep{}.w.v + Widget{}.v; }
+}  // namespace fx

@@ -1,0 +1,6 @@
+#include "app/guarded.h"
+#include "app/widget.h"
+
+namespace fx {
+int bad_unused() { return Widget{}.v; }
+}  // namespace fx

@@ -1,0 +1,5 @@
+#pragma once
+#include "app/widget.h"
+namespace fx {
+struct Deep { Widget w; };
+}  // namespace fx

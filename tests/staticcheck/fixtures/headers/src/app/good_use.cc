@@ -1,0 +1,6 @@
+#include "app/deep.h"
+#include "app/widget.h"
+
+namespace fx {
+int good_use() { return Deep{}.w.v + Widget{}.v; }
+}  // namespace fx

@@ -1,0 +1,4 @@
+#pragma once
+namespace fx {
+struct Guarded { int v = 0; };
+}  // namespace fx

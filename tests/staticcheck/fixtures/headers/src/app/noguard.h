@@ -1,0 +1,3 @@
+namespace fx {
+struct NoGuard { int v = 0; };
+}  // namespace fx

@@ -1,0 +1,4 @@
+#pragma once
+namespace fx {
+struct Base { int v = 0; };
+}  // namespace fx

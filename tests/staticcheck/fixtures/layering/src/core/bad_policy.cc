@@ -1,0 +1,7 @@
+#include "core/policy.h"
+
+#include "sim/engine.h"
+
+namespace fx {
+int bad_uses_engine() { return Engine{}.b.v + Policy{}.b.v; }
+}  // namespace fx

@@ -1,0 +1,5 @@
+#pragma once
+#include "common/base.h"
+namespace fx {
+struct Engine { Base b; };
+}  // namespace fx

@@ -1,0 +1,7 @@
+#include "sim/engine.h"
+
+#include "common/base.h"
+
+namespace fx {
+int good_uses_base() { return Engine{}.b.v + Base{}.v; }
+}  // namespace fx

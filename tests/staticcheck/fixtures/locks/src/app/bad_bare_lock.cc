@@ -1,0 +1,8 @@
+#include "app/counter.h"
+
+namespace fx {
+void Counter::bump() {
+  mu_.lock();
+  mu_.unlock();
+}
+}  // namespace fx

@@ -1,0 +1,5 @@
+#include "app/counter.h"
+
+namespace fx {
+std::uint64_t Counter::read() const { return value_; }
+}  // namespace fx

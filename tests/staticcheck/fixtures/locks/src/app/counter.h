@@ -1,0 +1,15 @@
+#pragma once
+#include <cstdint>
+#include <mutex>
+
+namespace fx {
+class Counter {
+ public:
+  void bump();
+  std::uint64_t read() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t value_ = 0;  // guarded by mu_
+};
+}  // namespace fx

@@ -1,0 +1,13 @@
+#include "app/counter.h"
+
+namespace fx {
+void Counter::bump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++value_;
+}
+
+std::uint64_t Counter::read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+}  // namespace fx

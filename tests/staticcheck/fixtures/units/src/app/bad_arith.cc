@@ -1,0 +1,5 @@
+namespace fx {
+double bad_arith(double cap_gb, double used_bytes) {
+  return used_bytes + cap_gb;
+}
+}  // namespace fx

@@ -1,0 +1,5 @@
+#include "app/timeconv.h"
+
+namespace fx {
+void bad_call(double window_hours) { run_window(window_hours, 3); }
+}  // namespace fx

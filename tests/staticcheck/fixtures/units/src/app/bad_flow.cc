@@ -1,0 +1,10 @@
+#include "app/timeconv.h"
+
+namespace fx {
+double bad_assign(double deadline_hours) {
+  double deadline_s = 0.0;
+  deadline_s = deadline_hours;
+  run_window(deadline_s, 1);
+  return deadline_s;
+}
+}  // namespace fx

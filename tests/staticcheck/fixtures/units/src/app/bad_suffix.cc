@@ -1,0 +1,6 @@
+namespace fx {
+double bad_suffix() {
+  double queue_delay = 1.5;
+  return queue_delay;
+}
+}  // namespace fx

@@ -1,0 +1,11 @@
+#include "app/timeconv.h"
+
+namespace fx {
+double good_flow(double deadline_hours, double cap_gb, double used_bytes) {
+  double deadline_s = hours(deadline_hours);
+  run_window(deadline_s, 2);
+  const double cap_bytes = cap_gb * 1e9;
+  const double headroom_bytes = cap_bytes - used_bytes;
+  return headroom_bytes > 0.0 ? deadline_s : 0.0;
+}
+}  // namespace fx

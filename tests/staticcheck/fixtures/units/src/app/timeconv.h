@@ -1,0 +1,5 @@
+#pragma once
+namespace fx {
+constexpr double hours(double h) { return h * 3600.0; }
+void run_window(double window_s, int jobs);
+}  // namespace fx

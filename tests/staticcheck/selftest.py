@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Self-test for rubick_staticcheck (ctest -R staticcheck_selftest).
+
+Pytest-free stdlib runner over the fixture corpus in
+tests/staticcheck/fixtures/: every `bad_*` fixture file must trip exactly
+the rule(s) listed for it below, every other fixture file must come back
+clean, and two mutation tests prove the layering pass actually reads both
+the tree and layers.toml:
+
+  * a seeded `core -> sim` include against the REAL layers.toml is
+    rejected;
+  * deleting a declared edge from a copy of the real layers.toml makes the
+    (clean) real tree fail the layering pass.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+FIXTURES = REPO / "tests" / "staticcheck" / "fixtures"
+sys.path.insert(0, str(REPO / "tools" / "staticcheck"))
+
+import model  # noqa: E402
+import pass_conventions  # noqa: E402
+import pass_headers  # noqa: E402
+import pass_layering  # noqa: E402
+import pass_locks  # noqa: E402
+import pass_units  # noqa: E402
+
+# fixture dir -> (roots, {rel path -> set of rules it must trip}).
+# Fixture files not listed must be clean.
+EXPECTATIONS = {
+    "layering": (["src"], {
+        "src/core/bad_policy.cc": {"layering"},
+    }),
+    "headers": (["src"], {
+        "src/app/noguard.h": {"header-guard"},
+        "src/app/bad_cc_include.cc": {"header-include-cc"},
+        "src/app/bad_unused.cc": {"unused-include"},
+        "src/app/bad_transitive.cc": {"missing-include"},
+    }),
+    "units": (["src"], {
+        "src/app/bad_flow.cc": {"units-flow"},
+        "src/app/bad_arith.cc": {"units-flow"},
+        "src/app/bad_call.cc": {"units-flow"},
+        "src/app/bad_suffix.cc": {"units-suffix"},
+    }),
+    "conventions": (["src", "tools"], {
+        "src/app/bad_random.cc": {"determinism"},
+        "src/app/bad_print.cc": {"logging"},
+        # An undocumented pragma is itself a finding AND does not suppress.
+        "src/app/bad_pragma.cc": {"pragma-syntax", "determinism"},
+        "tools/bad_flag.cpp": {"cli-flags"},
+    }),
+    "locks": (["src"], {
+        "src/app/bad_bare_lock.cc": {"lock-guard"},
+        "src/app/bad_unguarded.cc": {"guarded-by"},
+    }),
+}
+
+failures: list = []
+
+
+def check(cond: bool, what: str) -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {what}")
+    if not cond:
+        failures.append(what)
+
+
+def run_passes(repo: pathlib.Path, roots, layers: pathlib.Path | None):
+    project = model.Project(repo, roots, compile_commands=None, exclude=())
+    findings = []
+    for sf in project.files.values():
+        findings.extend(sf.pragma_findings)
+    if layers is not None:
+        findings.extend(
+            pass_layering.run(project, pass_layering.LayerConfig(layers)))
+    findings.extend(pass_headers.run(project))
+    findings.extend(pass_units.run(project))
+    findings.extend(pass_conventions.run(project))
+    findings.extend(pass_locks.run(project))
+    return findings
+
+
+def fixture_tests() -> None:
+    for name, (roots, expected) in sorted(EXPECTATIONS.items()):
+        print(f"fixture: {name}")
+        fixture = FIXTURES / name
+        layers = fixture / "layers.toml"
+        findings = run_passes(fixture, roots,
+                              layers if layers.exists() else None)
+        tripped: dict = {}
+        for f in findings:
+            tripped.setdefault(f.rel, set()).add(f.rule)
+        for rel, rules in sorted(expected.items()):
+            check(tripped.get(rel) == rules,
+                  f"{rel} trips exactly {sorted(rules)} "
+                  f"(got {sorted(tripped.get(rel, set()))})")
+        for rel in sorted(set(tripped) - set(expected)):
+            check(False, f"{rel} expected clean but tripped "
+                         f"{sorted(tripped[rel])}")
+
+
+def mutation_seeded_core_to_sim() -> None:
+    """A core -> sim include must be rejected under the REAL layers.toml."""
+    print("mutation: seeded core -> sim include (real layers.toml)")
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "src" / "core").mkdir(parents=True)
+        (root / "src" / "sim").mkdir(parents=True)
+        (root / "src" / "sim" / "simulator.h").write_text(
+            "#pragma once\nnamespace fx { struct Simulator { int v; }; }\n")
+        (root / "src" / "core" / "seeded.cc").write_text(
+            '#include "sim/simulator.h"\n'
+            "namespace fx { int f() { return Simulator{0}.v; } }\n")
+        findings = run_passes(root, ["src"],
+                              REPO / "tools" / "staticcheck" / "layers.toml")
+        hits = [f for f in findings
+                if f.rule == "layering" and f.rel == "src/core/seeded.cc"]
+        check(len(hits) == 1, "seeded core -> sim include is rejected")
+        check(not hits or "core" in hits[0].message
+              and "sim" in hits[0].message,
+              "finding names both modules")
+
+
+def mutation_edited_layers_toml() -> None:
+    """Deleting a declared edge must surface violations on the real tree."""
+    print("mutation: declared edge removed from layers.toml copy")
+    real = (REPO / "tools" / "staticcheck" / "layers.toml").read_text()
+    victim = ('[[edge]]\nfrom = "core"\nto = "perf"\n')
+    check(victim in real, "layers.toml declares the core -> perf edge")
+    mutated_text = real.replace(victim, (
+        '[[edge]]\nfrom = "core"\nto = "core"\n'))
+    with tempfile.TemporaryDirectory() as tmp:
+        mutated = pathlib.Path(tmp) / "layers.toml"
+        mutated.write_text(mutated_text)
+        project = model.Project(REPO, ["src"], compile_commands=None)
+        config = pass_layering.LayerConfig(mutated)
+        findings = pass_layering.run(project, config)
+        hits = [f for f in findings if "core" in f.message
+                and "perf" in f.message]
+        check(len(hits) > 0,
+              f"real tree now fails layering ({len(hits)} core->perf "
+              "include(s) caught)")
+        # And the untouched config stays clean, so the failure is caused by
+        # the mutation alone.
+        clean = pass_layering.run(project, pass_layering.LayerConfig(
+            REPO / "tools" / "staticcheck" / "layers.toml"))
+        check(not clean, "unmutated layers.toml keeps the tree clean")
+
+
+def main() -> int:
+    fixture_tests()
+    mutation_seeded_core_to_sim()
+    mutation_edited_layers_toml()
+    total = len(failures)
+    print(f"staticcheck_selftest: {'PASS' if total == 0 else 'FAIL'} "
+          f"({total} failure(s))")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,9 @@
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
 #include "core/alloc_state.h"
+#include "model/model_spec.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 #include <gtest/gtest.h>
 

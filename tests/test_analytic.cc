@@ -1,4 +1,6 @@
+#include "model/model_spec.h"
 #include "perf/analytic.h"
+#include "plan/execution_plan.h"
 
 #include <gtest/gtest.h>
 

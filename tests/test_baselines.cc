@@ -4,8 +4,15 @@
 #include "baselines/equal_share.h"
 #include "baselines/sia.h"
 #include "baselines/synergy.h"
+#include "cluster/cluster.h"
+#include "common/resource.h"
+#include "core/scheduler.h"
 #include "model/model_zoo.h"
-#include "perf/profiler.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "trace/job.h"
 
 namespace rubick {
 namespace {

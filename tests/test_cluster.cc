@@ -1,4 +1,5 @@
 #include "cluster/cluster.h"
+#include "cluster/placement.h"
 
 #include <gtest/gtest.h>
 

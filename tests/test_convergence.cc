@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "convergence/dataset.h"
+#include "convergence/mlp.h"
 #include "convergence/trainer.h"
 
 namespace rubick {

@@ -1,4 +1,7 @@
+#include "model/model_spec.h"
 #include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 #include <gtest/gtest.h>
 

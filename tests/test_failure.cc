@@ -3,7 +3,10 @@
 // coin, the simulator's crash / straggler / reconfig-failure handling under
 // the throw-audit, the zero-overhead-when-off contract, and the
 // PolicyFactory registry.
+#include "cluster/cluster.h"
 #include "failure/fault_plan.h"
+#include "perf/oracle.h"
+#include "trace/job.h"
 
 #include <gtest/gtest.h>
 
@@ -17,7 +20,6 @@
 #include "common/error.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
-#include "model/model_zoo.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
 

@@ -14,10 +14,20 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
-#include "perf/profiler.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "trace/job.h"
 
 namespace rubick {
 namespace {

@@ -1,4 +1,9 @@
+#include "cluster/cluster.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
 #include "perf/fitter.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 #include <gtest/gtest.h>
 

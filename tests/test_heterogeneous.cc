@@ -3,12 +3,23 @@
 // paper as the context Rubick complements.)
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
 #include "common/error.h"
+#include "common/resource.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "perf/profiler.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 #include "sim/simulator.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 
 namespace rubick {

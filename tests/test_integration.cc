@@ -6,9 +6,13 @@
 #include "baselines/antman.h"
 #include "baselines/sia.h"
 #include "baselines/synergy.h"
+#include "cluster/cluster.h"
 #include "common/units.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "perf/oracle.h"
 #include "sim/simulator.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 
 namespace rubick {

@@ -4,6 +4,17 @@
 // trips exactly its targeted invariant. Plus the positive direction: a real
 // end-to-end Rubick run under the auditor reports zero violations.
 #include "check/invariant_auditor.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "core/audit.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "trace/job.h"
 
 #include <gtest/gtest.h>
 
@@ -14,8 +25,6 @@
 #include "common/units.h"
 #include "core/rubick_policy.h"
 #include "core/sla.h"
-#include "model/model_zoo.h"
-#include "perf/profiler.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
 

@@ -1,3 +1,5 @@
+#include "model/model_spec.h"
+#include "plan/execution_plan.h"
 #include "plan/memory_estimator.h"
 
 #include <gtest/gtest.h>

@@ -1,3 +1,4 @@
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
 
 #include <gtest/gtest.h>

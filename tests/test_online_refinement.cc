@@ -5,7 +5,16 @@
 
 #include <cmath>
 
+#include "cluster/cluster.h"
 #include "common/error.h"
+#include "common/resource.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/fitter.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
 
 #include "core/rubick_policy.h"
 #include "model/model_zoo.h"

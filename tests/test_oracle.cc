@@ -1,4 +1,7 @@
+#include "model/model_spec.h"
+#include "perf/analytic.h"
 #include "perf/oracle.h"
+#include "plan/execution_plan.h"
 
 #include <gtest/gtest.h>
 

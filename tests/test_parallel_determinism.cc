@@ -9,15 +9,20 @@
 #include <vector>
 
 #include "baselines/sia.h"
+#include "cluster/cluster.h"
 #include "common/threadpool.h"
 #include "common/units.h"
+#include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
 #include "failure/fault_plan.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
-#include "perf/profiler.h"
-#include "sim/perf_store.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/memory_estimator.h"
 #include "sim/simulator.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 
 namespace rubick {

@@ -1,3 +1,4 @@
+#include "model/model_spec.h"
 #include "plan/execution_plan.h"
 
 #include <gtest/gtest.h>

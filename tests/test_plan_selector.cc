@@ -1,4 +1,10 @@
+#include "cluster/cluster.h"
+#include "core/curve_key.h"
 #include "core/plan_selector.h"
+#include "model/model_spec.h"
+#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 #include <gtest/gtest.h>
 

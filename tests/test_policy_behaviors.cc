@@ -6,11 +6,17 @@
 
 #include "baselines/antman.h"
 #include "baselines/sia.h"
-#include "common/units.h"
+#include "cluster/cluster.h"
+#include "common/resource.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
 #include "model/model_zoo.h"
-#include "perf/profiler.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 #include "sim/simulator.h"
+#include "trace/job.h"
 
 namespace rubick {
 namespace {

@@ -1,10 +1,15 @@
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "core/plan_selector.h"
 #include "core/predictor.h"
+#include "model/model_spec.h"
+#include "perf/perf_store.h"
+#include "plan/memory_estimator.h"
 
 #include <gtest/gtest.h>
 
 #include "model/model_zoo.h"
 #include "perf/oracle.h"
-#include "perf/profiler.h"
 
 namespace rubick {
 namespace {

@@ -1,4 +1,9 @@
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "model/model_spec.h"
+#include "perf/oracle.h"
 #include "perf/profiler.h"
+#include "plan/memory_estimator.h"
 
 #include <gtest/gtest.h>
 

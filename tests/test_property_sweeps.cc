@@ -5,10 +5,15 @@
 
 #include <cmath>
 
+#include "cluster/cluster.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
 #include "perf/oracle.h"
 #include "perf/profiler.h"
 #include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 namespace rubick {
 namespace {

@@ -1,4 +1,11 @@
+#include "cluster/cluster.h"
+#include "core/plan_selector.h"
+#include "model/model_spec.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/memory_estimator.h"
 #include "sim/report.h"
+#include "sim/simulator.h"
 
 #include <gtest/gtest.h>
 
@@ -8,8 +15,8 @@
 
 #include "common/units.h"
 #include "core/predictor.h"
-#include "model/model_zoo.h"
 #include "core/rubick_policy.h"
+#include "model/model_zoo.h"
 #include "trace/trace_gen.h"
 
 namespace rubick {

@@ -1,9 +1,17 @@
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/resource.h"
 #include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "trace/job.h"
 
 #include <gtest/gtest.h>
 
 #include "model/model_zoo.h"
-#include "perf/profiler.h"
 
 namespace rubick {
 namespace {

@@ -1,4 +1,13 @@
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "core/scheduler.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/oracle.h"
+#include "plan/execution_plan.h"
 #include "sim/simulator.h"
+#include "trace/job.h"
 
 #include <gtest/gtest.h>
 

@@ -5,13 +5,22 @@
 // bookkeeping with valid-but-arbitrary decisions across many rounds.
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
 #include "common/error.h"
+#include "common/resource.h"
 #include "common/rng.h"
 #include "common/units.h"
-#include "core/predictor.h"
+#include "core/scheduler.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/oracle.h"
 #include "perf/profiler.h"
+#include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 #include "sim/simulator.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 
 namespace rubick {

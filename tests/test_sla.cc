@@ -1,5 +1,16 @@
 // Unit tests of the performance-guarantee SLA machinery in isolation.
+#include "cluster/cluster.h"
+#include "common/resource.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
 #include "core/sla.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "trace/job.h"
 
 #include <gtest/gtest.h>
 

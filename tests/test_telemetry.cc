@@ -1,3 +1,5 @@
+#include "cluster/cluster.h"
+#include "perf/oracle.h"
 #include "telemetry/timeline.h"
 
 #include <gtest/gtest.h>

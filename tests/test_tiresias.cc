@@ -1,10 +1,14 @@
 #include "baselines/tiresias.h"
+#include "cluster/cluster.h"
+#include "common/resource.h"
+#include "perf/oracle.h"
+#include "plan/execution_plan.h"
+#include "trace/job.h"
 
 #include <gtest/gtest.h>
 
 #include "common/units.h"
 #include "model/model_zoo.h"
-#include "perf/profiler.h"
 #include "sim/simulator.h"
 #include "trace/trace_gen.h"
 

@@ -1,3 +1,9 @@
+#include "cluster/cluster.h"
+#include "model/model_spec.h"
+#include "perf/analytic.h"
+#include "perf/oracle.h"
+#include "plan/memory_estimator.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 
 #include <gtest/gtest.h>
@@ -7,7 +13,6 @@
 #include "common/units.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
-#include "plan/enumerate.h"
 
 namespace rubick {
 namespace {

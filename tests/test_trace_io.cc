@@ -1,3 +1,5 @@
+#include "cluster/cluster.h"
+#include "trace/job.h"
 #include "trace/trace_io.h"
 
 #include <gtest/gtest.h>

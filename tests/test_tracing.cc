@@ -2,6 +2,9 @@
 // TelemetryObserver: per-job tracks must mirror the simulator's recorded
 // reconfiguration history, and coexist with the auditor on the observer
 // seam.
+#include "cluster/cluster.h"
+#include "core/audit.h"
+#include "perf/oracle.h"
 #include "telemetry/trace.h"
 
 #include <gtest/gtest.h>

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "common/units.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
 #include "perf/analytic.h"
 #include "plan/enumerate.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
 
 namespace rubick {
 namespace {

@@ -53,19 +53,23 @@
 
 #include "baselines/policy_factory.h"
 #include "check/invariant_auditor.h"
+#include "cluster/cluster.h"
 #include "common/cli.h"
 #include "common/error.h"
-#include "common/table.h"
+#include "common/log.h"
 #include "common/threadpool.h"
 #include "common/units.h"
-#include "common/log.h"
+#include "core/audit.h"
+#include "core/predictor.h"
 #include "core/rubick_policy.h"
 #include "failure/fault_plan.h"
+#include "perf/oracle.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
 #include "sim/telemetry_observer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
+#include "trace/job.h"
 #include "trace/trace_gen.h"
 #include "trace/trace_io.h"
 

@@ -8,15 +8,21 @@
 #include <algorithm>
 #include <iostream>
 
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
+#include "model/model_spec.h"
 #include "model/model_zoo.h"
+#include "perf/analytic.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
 #include "perf/profiler.h"
-#include "sim/perf_store.h"
+#include "plan/memory_estimator.h"
 
 using namespace rubick;
 

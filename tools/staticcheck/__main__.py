@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""rubick_staticcheck — compile-commands-driven static analysis for Rubick.
+
+Five passes over the tree (see DESIGN.md §11):
+
+  layering     module DAG from tools/staticcheck/layers.toml
+  headers      include guards, no-.cc-includes, IWYU-lite unused/missing
+  units        suffix conventions + unit-flow (assignment/arith/call-site)
+  conventions  determinism, logging discipline, CLI flag spelling
+  locks        scoped-guard-only mutexes, `guarded by` annotations
+
+Run from the repo root (or pass --repo):
+
+  python3 tools/staticcheck [src tools bench ...] \
+      [-p build/compile_commands.json] [--json report.json]
+
+Exit code 0 when clean, 1 when any finding is reported, 2 on usage errors.
+Suppressions use in-source pragmas, never path allowlists:
+
+  // staticcheck:allow(<rule>[,<rule>...]) -- <reason>        one line
+  // staticcheck:allow-file(<rule>) -- <reason>               whole file
+
+The NOLINT budget (clang-tidy suppressions tree-wide) is enforced here too
+so one tool owns every suppression count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+import model
+import pass_conventions
+import pass_headers
+import pass_layering
+import pass_locks
+import pass_units
+import report
+
+PASSES = ("layering", "headers", "units", "conventions", "locks")
+DEFAULT_NOLINT_BUDGET = 10
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rubick_staticcheck",
+        description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="*",
+                        default=["src", "tools", "bench", "tests",
+                                 "examples"],
+                        help="directories to analyze (default: src tools "
+                             "bench tests examples)")
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve()
+                        .parent.parent.parent,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("-p", "--compile-commands", type=pathlib.Path,
+                        default=None,
+                        help="compile_commands.json (default: "
+                             "<repo>/build/compile_commands.json when "
+                             "present; the tool degrades gracefully "
+                             "without it)")
+    parser.add_argument("--layers", type=pathlib.Path, default=None,
+                        help="layer DAG (default: layers.toml next to this "
+                             "tool)")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="write a machine-readable JSON report here")
+    parser.add_argument("--passes", default=",".join(PASSES),
+                        help="comma-separated subset of passes to run "
+                             f"(default: all of {','.join(PASSES)})")
+    parser.add_argument("--nolint-budget", type=int,
+                        default=DEFAULT_NOLINT_BUDGET,
+                        help="max NOLINT sites tree-wide (default: "
+                             f"{DEFAULT_NOLINT_BUDGET})")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(model.RULES):
+            print(rule)
+        return 0
+
+    selected = [p.strip() for p in args.passes.split(",") if p.strip()]
+    unknown = set(selected) - set(PASSES)
+    if unknown:
+        print(f"unknown pass(es): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    repo = args.repo.resolve()
+    compile_commands = args.compile_commands
+    if compile_commands is None:
+        default_cc = repo / "build" / "compile_commands.json"
+        compile_commands = default_cc if default_cc.exists() else None
+
+    project = model.Project(repo, args.roots,
+                            compile_commands=compile_commands)
+    layers_path = args.layers or \
+        pathlib.Path(__file__).resolve().parent / "layers.toml"
+
+    findings = []
+    for sf in project.files.values():
+        findings.extend(sf.pragma_findings)
+    if "layering" in selected:
+        config = pass_layering.LayerConfig(layers_path)
+        findings.extend(pass_layering.run(project, config))
+    if "headers" in selected:
+        findings.extend(pass_headers.run(project))
+    if "units" in selected:
+        findings.extend(pass_units.run(project))
+    if "conventions" in selected:
+        findings.extend(pass_conventions.run(project))
+    if "locks" in selected:
+        findings.extend(pass_locks.run(project))
+
+    nolint, nolint_sites = _count_nolint(project)
+    if nolint > args.nolint_budget:
+        findings.append(model.Finding(
+            "nolint-budget", "(tree)", 0,
+            f"{nolint} NOLINT site(s) exceed the tree-wide budget of "
+            f"{args.nolint_budget}: " + ", ".join(nolint_sites[:20])))
+
+    pragmas = []
+    suppressed = 0
+    for rel in sorted(project.files):
+        sf = project.files[rel]
+        for line, rules in sf.pragma_sites:
+            suppressed += 1
+            pragmas.append({"file": rel, "line": line,
+                            "rules": sorted(rules)})
+
+    findings = report.dedupe(findings)
+    stats = {"files": len(project.files), "suppressed": suppressed,
+             "nolint": nolint, "nolint_budget": args.nolint_budget,
+             "pragmas": pragmas}
+    print(report.render_text(findings, stats))
+    if args.json:
+        report.write_json(args.json, findings, stats)
+    return 1 if findings else 0
+
+
+def _count_nolint(project):
+    count = 0
+    sites = []
+    pat = re.compile(r"\bNOLINT(NEXTLINE|BEGIN|END)?\b")
+    for rel in sorted(project.files):
+        sf = project.files[rel]
+        for i, comment in enumerate(sf.comment_lines, start=1):
+            m = pat.search(comment)
+            if m is None:
+                continue
+            if m.group(1) == "END":
+                continue  # the BEGIN of the pair was already counted
+            count += 1
+            sites.append(f"{rel}:{i}")
+    return count, sites
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Verifies every public header under src/ compiles standalone.
+
+A header that compiles only after its includers happen to pull in the right
+dependencies has a missing direct include the IWYU-lite pass may not see
+(std headers, templates). This check is the ground truth: each header is
+compiled alone (`-fsyntax-only`) in a TU of its own.
+
+Usage: python3 tools/staticcheck/check_headers_standalone.py \
+           [--repo DIR] [-p build/compile_commands.json] [--jobs N]
+
+Exit 0 when every header compiles, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+
+def compiler_and_flags(repo: pathlib.Path,
+                       compile_commands: pathlib.Path | None):
+    compiler = None
+    std = "-std=c++20"
+    includes = [f"-I{repo / 'src'}"]
+    if compile_commands and compile_commands.exists():
+        try:
+            entries = json.loads(compile_commands.read_text())
+        except (OSError, ValueError):
+            entries = []
+        for entry in entries:
+            argv = entry.get("arguments") or \
+                shlex.split(entry.get("command", ""))
+            if not argv:
+                continue
+            compiler = compiler or argv[0]
+            for arg in argv:
+                if arg.startswith("-std="):
+                    std = arg
+            break
+    if compiler is None:
+        compiler = os.environ.get("CXX", "c++")
+    return compiler, [std] + includes
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve()
+                        .parent.parent.parent)
+    parser.add_argument("-p", "--compile-commands", type=pathlib.Path,
+                        default=None)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = parser.parse_args(argv)
+    repo = args.repo.resolve()
+    compile_commands = args.compile_commands or \
+        repo / "build" / "compile_commands.json"
+    compiler, flags = compiler_and_flags(repo, compile_commands)
+
+    headers = sorted((repo / "src").rglob("*.h"))
+    failures = []
+
+    def check(header: pathlib.Path):
+        rel = header.relative_to(repo / "src").as_posix()
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cc", delete=False) as tu:
+            tu.write(f'#include "{rel}"\n')
+            tu_path = tu.name
+        try:
+            proc = subprocess.run(
+                [compiler, "-fsyntax-only", *flags, tu_path],
+                capture_output=True, text=True)
+            return rel, proc.returncode, proc.stderr
+        finally:
+            os.unlink(tu_path)
+
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for rel, code, err in pool.map(check, headers):
+            if code != 0:
+                failures.append(rel)
+                first = "\n".join(err.splitlines()[:6])
+                print(f"FAIL {rel}\n{first}", file=sys.stderr)
+
+    print(f"headers-standalone: {len(headers)} header(s), "
+          f"{len(failures)} failure(s) [{compiler}]")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,557 @@
+"""Source model for rubick_staticcheck.
+
+Loads the tree (optionally guided by compile_commands.json) into a
+`Project`: per-file lexed views (code with comments/strings blanked,
+comment text preserved separately), the include graph, the module mapping,
+suppression pragmas, and the symbol/signature indexes the passes consume.
+
+Zero third-party dependencies; pure stdlib.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+HEADER_SUFFIXES = {".h", ".hpp"}
+
+# Rule identifiers known to the framework; pragmas naming anything else are
+# themselves findings (pragma-syntax).
+RULES = {
+    "layering",
+    "header-guard",
+    "header-include-cc",
+    "unused-include",
+    "missing-include",
+    "units-suffix",
+    "units-flow",
+    "determinism",
+    "logging",
+    "cli-flags",
+    "lock-guard",
+    "guarded-by",
+    "nolint-budget",
+    "pragma-syntax",
+}
+
+# `// staticcheck:allow(rule[,rule...]) -- reason` suppresses the named
+# rules on the pragma's own line, or on the next line when the pragma is the
+# only thing on its line.  `allow-file` scopes the suppression to the whole
+# file. The ` -- reason` is mandatory: an undocumented suppression is a
+# finding.
+PRAGMA_RE = re.compile(
+    r"//\s*staticcheck:(allow(?:-file)?)\(([^)]*)\)(\s*--\s*(\S.*))?")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^">]+)[">]')
+
+
+@dataclasses.dataclass
+class Finding:
+    rule: str
+    rel: str
+    line: int
+    message: str
+
+    def key(self) -> Tuple[str, str, int, str]:
+        return (self.rule, self.rel, self.line, self.message)
+
+
+@dataclasses.dataclass
+class Include:
+    line: int
+    target: str          # as written, e.g. "core/scheduler.h" or "vector"
+    system: bool         # <...> include
+    resolved: Optional[str] = None  # project-relative path when resolved
+
+
+class SourceFile:
+    def __init__(self, repo: pathlib.Path, path: pathlib.Path):
+        self.path = path
+        self.rel = path.relative_to(repo).as_posix()
+        self.module = module_of(self.rel)
+        self.is_header = path.suffix in HEADER_SUFFIXES
+        text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = text.splitlines()
+        self.code_lines, self.comment_lines = lex(text)
+        self.code = "\n".join(self.code_lines)
+        # Includes are read from the raw lines: the lexer blanks string
+        # literal contents, which would erase quoted include targets.
+        self.includes: List[Include] = []
+        for i, line in enumerate(self.raw_lines, start=1):
+            m = INCLUDE_RE.match(line)
+            if m:
+                self.includes.append(
+                    Include(line=i, target=m.group(2),
+                            system=m.group(1) == "<"))
+        # line -> set of allowed rules; 0 keys the file-scope pragmas.
+        self.allow: Dict[int, Set[str]] = {}
+        self.pragma_findings: List[Finding] = []
+        # One entry per pragma comment (for reporting), regardless of how
+        # many lines the pragma ends up covering.
+        self.pragma_sites: List[Tuple[int, Set[str]]] = []
+        self._collect_pragmas()
+
+    def _collect_pragmas(self) -> None:
+        for i, comment in enumerate(self.comment_lines, start=1):
+            m = PRAGMA_RE.search(comment)
+            if not m:
+                if "staticcheck:" in comment:
+                    self.pragma_findings.append(Finding(
+                        "pragma-syntax", self.rel, i,
+                        "malformed staticcheck pragma; expected "
+                        "`// staticcheck:allow(<rule>) -- reason`"))
+                continue
+            kind, rules_text, reason = m.group(1), m.group(2), m.group(4)
+            rules = {r.strip() for r in rules_text.split(",") if r.strip()}
+            unknown = rules - RULES
+            if unknown:
+                self.pragma_findings.append(Finding(
+                    "pragma-syntax", self.rel, i,
+                    f"pragma names unknown rule(s): {', '.join(sorted(unknown))}"))
+                rules -= unknown
+            if not reason:
+                self.pragma_findings.append(Finding(
+                    "pragma-syntax", self.rel, i,
+                    "pragma lacks a `-- reason`; every suppression must "
+                    "say why"))
+                continue
+            self.pragma_sites.append((i, set(rules)))
+            if kind == "allow-file":
+                self.allow.setdefault(0, set()).update(rules)
+                continue
+            # A trailing pragma covers its own line; a pragma alone on its
+            # line (possibly followed by more comment lines) covers the
+            # next statement — every line through the one that closes it
+            # with `;` or `{`, so multi-line expressions stay covered.
+            if self.code_lines[i - 1].strip():
+                self.allow.setdefault(i, set()).update(rules)
+                continue
+            target = i + 1
+            while target <= len(self.code_lines) and \
+                    not self.code_lines[target - 1].strip():
+                target += 1
+            end = target
+            while end <= len(self.code_lines):
+                self.allow.setdefault(end, set()).update(rules)
+                if re.search(r"[;{]\s*$", self.code_lines[end - 1]):
+                    break
+                end += 1
+
+    def allows(self, rule: str, line: int) -> bool:
+        if rule in self.allow.get(0, ()):
+            return True
+        return rule in self.allow.get(line, ())
+
+
+def lex(text: str) -> Tuple[List[str], List[str]]:
+    """Splits `text` into (code_lines, comment_lines).
+
+    Code lines have comments removed and string/char literal *contents*
+    blanked (quotes kept, so `"a_b"` cannot look like an identifier but a
+    lexed line still scans as a string position). Comment lines carry only
+    the comment text, blank elsewhere. Raw strings, escapes and multi-line
+    block comments are handled; both views preserve line structure.
+    """
+    code: List[str] = []
+    comment: List[str] = []
+    cur_code: List[str] = []
+    cur_comment: List[str] = []
+    i, n = 0, len(text)
+    state = "code"          # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+
+    def newline() -> None:
+        code.append("".join(cur_code))
+        comment.append("".join(cur_comment))
+        cur_code.clear()
+        cur_comment.clear()
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            if state == "line_comment":
+                state = "code"
+            newline()
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                cur_comment.append("//")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s]*)\(', text[i:])
+                if m:
+                    state = "raw"
+                    raw_delim = ")" + m.group(1) + '"'
+                    cur_code.append('""')
+                    i += m.end()
+                    continue
+            if c == '"':
+                state = "string"
+                cur_code.append('"')
+                i += 1
+                continue
+            if c == "'":
+                # Digit separators (1'000'000) are not char literals.
+                prev = text[i - 1] if i else ""
+                if prev.isdigit() and (nxt.isdigit() or nxt in "abcdefABCDEF"):
+                    i += 1
+                    continue
+                state = "char"
+                cur_code.append("'")
+                i += 1
+                continue
+            cur_code.append(c)
+            i += 1
+            continue
+        if state == "line_comment":
+            cur_comment.append(c)
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            cur_comment.append(c)
+            i += 1
+            continue
+        if state == "string":
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                cur_code.append('"')
+                state = "code"
+            i += 1
+            continue
+        if state == "char":
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                cur_code.append("'")
+                state = "code"
+            i += 1
+            continue
+        if state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                i += len(raw_delim)
+                continue
+            i += 1
+            continue
+    newline()
+    return code, comment
+
+
+def module_of(rel: str) -> str:
+    """Maps a repo-relative path onto its layering module name."""
+    parts = rel.split("/")
+    if parts[0] == "src" and len(parts) > 1:
+        return parts[1]
+    return parts[0]  # tools, bench, tests, examples
+
+
+# ---------------------------------------------------------------------------
+# Symbol / signature extraction (regex-level, tuned for this codebase's
+# Google-ish style; see DESIGN.md §11 for the accepted imprecision).
+# ---------------------------------------------------------------------------
+
+TYPE_DEF_RE = re.compile(
+    r"\b(?:class|struct|union)\s+([A-Z]\w*)\s*(?:final\s*)?[:{]")
+ENUM_DEF_RE = re.compile(r"\benum\s+(?:class\s+|struct\s+)?([A-Z]\w*)\s*[:{]")
+FWD_DECL_RE = re.compile(r"\b(?:class|struct)\s+([A-Z]\w*)\s*;")
+USING_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=")
+TYPEDEF_RE = re.compile(r"\btypedef\b[^;]*?\b([A-Za-z_]\w*)\s*;")
+MACRO_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_]\w*)")
+CONST_RE = re.compile(
+    r"\b(?:inline\s+)?constexpr\s+[\w:<>]+\s+(k[A-Z]\w*)\b")
+# A namespace-scope function definition/declaration: return type then name
+# then '('. Excludes control keywords and member-qualified definitions.
+FUNC_RE = re.compile(
+    r"^[A-Za-z_][\w:<>,&*\s]*?[\s&*]([a-z_]\w*)\s*\($")
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
+    "delete", "throw", "do", "else", "case", "default", "operator",
+    "static_assert", "alignof", "decltype", "co_await", "co_return",
+}
+
+
+def brace_depths(code_lines: Sequence[str]) -> List[int]:
+    """Brace depth at the *start* of each line, namespaces not counted."""
+    depths: List[int] = []
+    depth = 0
+    ns_stack: List[int] = []  # depths opened by a namespace
+    pending_ns = False
+    for line in code_lines:
+        depths.append(depth - len(ns_stack))
+        if re.search(r"\bnamespace\b[^;{]*$", line) or \
+                re.search(r"\bnamespace\b[^;{]*\{", line):
+            pending_ns = True
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                if pending_ns:
+                    ns_stack.append(depth)
+                    pending_ns = False
+            elif ch == "}":
+                if ns_stack and ns_stack[-1] == depth:
+                    ns_stack.pop()
+                depth -= 1
+    return depths
+
+
+class HeaderSymbols:
+    """Names a header provides (used for IWYU-lite use/provide matching)."""
+
+    def __init__(self, sf: SourceFile):
+        self.types: Set[str] = set()      # classes/structs/enums defined
+        self.fwd: Set[str] = set()        # forward declarations only
+        self.funcs: Set[str] = set()      # free functions
+        self.macros: Set[str] = set()
+        self.aliases: Set[str] = set()
+        self.consts: Set[str] = set()
+        depths = brace_depths(sf.code_lines)
+        # Logical lines: a declaration may wrap, so a line with unbalanced
+        # parentheses is joined with its continuations (bounded) before the
+        # function-signature patterns run.
+        joined: List[Tuple[int, str]] = []
+        i = 0
+        lines = sf.code_lines
+        while i < len(lines):
+            line = lines[i]
+            lineno = i + 1
+            balance = line.count("(") - line.count(")")
+            steps = 0
+            while balance > 0 and steps < 6 and i + 1 < len(lines):
+                i += 1
+                steps += 1
+                line = line.rstrip() + " " + lines[i].strip()
+                balance = line.count("(") - line.count(")")
+            joined.append((lineno, line))
+            i += 1
+        for lineno, line in joined:
+            depth = depths[lineno - 1]
+            for m in MACRO_RE.finditer(line):
+                self.macros.add(m.group(1))
+            if depth > 1:
+                continue  # inside a function/class body two levels deep
+            for m in TYPE_DEF_RE.finditer(line):
+                self.types.add(m.group(1))
+            for m in ENUM_DEF_RE.finditer(line):
+                self.types.add(m.group(1))
+            for m in FWD_DECL_RE.finditer(line):
+                self.fwd.add(m.group(1))
+            if depth > 0:
+                continue
+            for m in USING_RE.finditer(line):
+                self.aliases.add(m.group(1))
+            for m in TYPEDEF_RE.finditer(line):
+                self.aliases.add(m.group(1))
+            for m in CONST_RE.finditer(line):
+                self.consts.add(m.group(1))
+        # Free functions: namespace-scope `name(` preceded by a type token.
+        for lineno, line in joined:
+            if depths[lineno - 1] != 0:
+                continue
+            for m in re.finditer(r"([A-Za-z_][\w:]*)\s*\(", line):
+                name = m.group(1).split("::")[-1]
+                if name in KEYWORDS or not name[0].islower():
+                    continue
+                head = line[: m.start()].strip()
+                # Needs something type-ish before the name on the same line.
+                if not head or head.endswith(("return", "=", ",", "(", "&&",
+                                              "||", "!")):
+                    continue
+                if re.search(r"[\w:>&*\]]\s*$", head):
+                    self.funcs.add(name)
+
+    def provided(self) -> Set[str]:
+        return (self.types | self.funcs | self.macros | self.aliases
+                | self.consts)
+
+    def declared_names(self) -> Set[str]:
+        return self.provided() | self.fwd
+
+
+# Function signature index for the units-flow pass: name -> list of
+# parameter-name tuples (one per distinct signature).
+SIG_RE = re.compile(
+    r"(?:^|[\s:~*&])([A-Za-z_]\w*)\s*\(([^()]*)\)\s*(?:const\s*)?"
+    r"(?:noexcept\s*)?(?:override\s*)?[;{]")
+
+
+def extract_signatures(sf: SourceFile) -> Dict[str, List[List[str]]]:
+    sigs: Dict[str, List[List[str]]] = {}
+    # Join wrapped parameter lists: collapse the file, then scan.
+    flat = re.sub(r"\s+", " ", sf.code)
+    for m in SIG_RE.finditer(flat):
+        name, params = m.group(1), m.group(2).strip()
+        if name in KEYWORDS:
+            continue
+        names: List[str] = []
+        if params and params != "void":
+            ok = True
+            for piece in split_top_level(params):
+                piece = piece.split("=")[0].strip()
+                pm = re.search(r"([A-Za-z_]\w*)\s*(?:\[\s*\])?$", piece)
+                if not pm or pm.group(1) in {"const", "int", "double",
+                                             "float", "bool", "auto"}:
+                    ok = False
+                    break
+                names.append(pm.group(1))
+            if not ok:
+                continue
+        sigs.setdefault(name, []).append(names)
+    return sigs
+
+
+def split_top_level(text: str) -> List[str]:
+    """Splits on commas not nested in (), <>, [] or {}."""
+    out: List[str] = []
+    depth = 0
+    cur: List[str] = []
+    for ch in text:
+        if ch in "(<[{":
+            depth += 1
+        elif ch in ")>]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        out.append("".join(cur))
+    return [p.strip() for p in out if p.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Project
+# ---------------------------------------------------------------------------
+
+class Project:
+    def __init__(self, repo: pathlib.Path, roots: Sequence[str],
+                 compile_commands: Optional[pathlib.Path] = None,
+                 exclude: Sequence[str] = ("tests/staticcheck/fixtures",)):
+        self.repo = repo
+        self.files: Dict[str, SourceFile] = {}
+        self.include_dirs: List[pathlib.Path] = []
+        self.tus: List[str] = []
+        if compile_commands and compile_commands.exists():
+            self._load_compile_commands(compile_commands)
+        if not self.include_dirs:
+            self.include_dirs = [repo / "src", repo]
+        for root in roots:
+            base = repo / root
+            if not base.exists():
+                continue
+            for path in sorted(base.rglob("*")):
+                rel = path.relative_to(repo).as_posix()
+                if path.suffix not in SOURCE_SUFFIXES:
+                    continue
+                if any(rel.startswith(e) for e in exclude):
+                    continue
+                self.files[rel] = SourceFile(repo, path)
+        self._resolve_includes()
+        self.symbols: Dict[str, HeaderSymbols] = {
+            rel: HeaderSymbols(sf) for rel, sf in self.files.items()}
+        self.signatures: Dict[str, List[List[str]]] = {}
+        for sf in self.files.values():
+            for name, sigs in extract_signatures(sf).items():
+                self.signatures.setdefault(name, []).extend(sigs)
+
+    def _load_compile_commands(self, path: pathlib.Path) -> None:
+        try:
+            entries = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return
+        dirs: List[pathlib.Path] = []
+        for entry in entries:
+            cmd = entry.get("command") or " ".join(entry.get("arguments", []))
+            src = pathlib.Path(entry.get("directory", ".")) / entry["file"]
+            try:
+                self.tus.append(src.resolve().relative_to(
+                    self.repo.resolve()).as_posix())
+            except ValueError:
+                pass
+            for m in re.finditer(r"-I\s*(\S+)", cmd):
+                d = pathlib.Path(m.group(1))
+                if not d.is_absolute():
+                    d = pathlib.Path(entry.get("directory", ".")) / d
+                if d not in dirs and d.is_dir():
+                    dirs.append(d)
+        repo_res = self.repo.resolve()
+        self.include_dirs = [d for d in dirs
+                             if repo_res in d.resolve().parents
+                             or d.resolve() == repo_res]
+        if self.repo not in self.include_dirs:
+            self.include_dirs.append(self.repo)
+
+    def _resolve_includes(self) -> None:
+        for sf in self.files.values():
+            for inc in sf.includes:
+                if inc.system:
+                    continue
+                for base in [sf.path.parent] + self.include_dirs:
+                    cand = base / inc.target
+                    if cand.exists():
+                        try:
+                            inc.resolved = cand.resolve().relative_to(
+                                self.repo.resolve()).as_posix()
+                        except ValueError:
+                            inc.resolved = None
+                        break
+
+    def header_pair(self, sf: SourceFile) -> Optional[str]:
+        """The .h rel-path paired with a .cc file, if present."""
+        if sf.is_header:
+            return None
+        for suffix in HEADER_SUFFIXES:
+            cand = sf.rel[: sf.rel.rfind(".")] + suffix
+            if cand in self.files:
+                return cand
+        return None
+
+    def transitive_includes(self, rel: str) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [rel]
+        while stack:
+            cur = stack.pop()
+            sf = self.files.get(cur)
+            if sf is None:
+                continue
+            for inc in sf.includes:
+                if inc.resolved and inc.resolved not in seen:
+                    seen.add(inc.resolved)
+                    stack.append(inc.resolved)
+        return seen
+
+    def transitive_includers(self, rel: str) -> Set[str]:
+        """Files that reach `rel` through their include chains."""
+        direct: Dict[str, Set[str]] = {}
+        for f, sf in self.files.items():
+            for inc in sf.includes:
+                if inc.resolved:
+                    direct.setdefault(inc.resolved, set()).add(f)
+        seen: Set[str] = set()
+        stack = [rel]
+        while stack:
+            cur = stack.pop()
+            for parent in direct.get(cur, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return seen

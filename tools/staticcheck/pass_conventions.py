@@ -1,0 +1,81 @@
+"""Determinism, logging and CLI-spelling pass.
+
+Migrates rules 2-4 of the old tools/lint_conventions.py into the framework.
+Hardcoded path allowlists are gone: the exempt sites (the log sink, the
+telemetry wall clock) carry `// staticcheck:allow(...) -- reason` pragmas
+in-source instead.
+
+Findings:
+  determinism — std::rand, std::random_device, std::mt19937, wall-clock
+                reads, time(NULL) in library code (src/). All randomness
+                flows through common/rng.h; all time is simulated seconds.
+  logging     — direct stdout/stderr writes in library code (src/);
+                everything goes through common/log.h.
+  cli-flags   — a snake_case flag registration through common/cli (the
+                parser maps user-typed snake_case onto kebab-case flags, so
+                a snake_case registration would be unreachable). Covers
+                src/, tools/ and bench/.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from model import Finding, Project
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "std::rand/srand"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::mt19937"), "std::mt19937"),
+    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock\b"),
+     "wall-clock read"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"), "time(NULL)"),
+]
+
+IO_PATTERNS = [
+    (re.compile(r"\bstd::cout\b|\bstd::cerr\b|\bstd::clog\b"),
+     "direct std stream"),
+    (re.compile(r"\b(?:std::)?f?printf\s*\("), "printf-family call"),
+    (re.compile(r"\bputs\s*\("), "puts"),
+]
+
+# Matched against raw lines (string literals intact) with comments removed.
+CLI_FLAG_RE = re.compile(
+    r'\.get_(?:string|int|double|u64|bool)\s*\(\s*"([^"]*_[^"]*)"')
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for rel, sf in sorted(project.files.items()):
+        library = rel.startswith("src/")
+        for i, code in enumerate(sf.code_lines, start=1):
+            if not code.strip():
+                continue
+            raw = LINE_COMMENT_RE.sub("", sf.raw_lines[i - 1]) \
+                if i <= len(sf.raw_lines) else ""
+            for m in CLI_FLAG_RE.finditer(raw):
+                if sf.allows("cli-flags", i):
+                    continue
+                kebab = m.group(1).replace("_", "-")
+                findings.append(Finding(
+                    "cli-flags", rel, i,
+                    f"snake_case CLI flag '--{m.group(1)}': register the "
+                    f"kebab-case name '--{kebab}' (common/cli already "
+                    "accepts the snake spelling as a deprecated alias)"))
+            if not library:
+                continue
+            for pattern, what in DETERMINISM_PATTERNS:
+                if pattern.search(code) and not sf.allows("determinism", i):
+                    findings.append(Finding(
+                        "determinism", rel, i,
+                        f"nondeterminism: {what} — use common/rng.h / "
+                        "simulated time instead"))
+            for pattern, what in IO_PATTERNS:
+                if pattern.search(code) and not sf.allows("logging", i):
+                    findings.append(Finding(
+                        "logging", rel, i,
+                        f"library I/O: {what} — route output through "
+                        "common/log.h"))
+    return findings

@@ -1,0 +1,132 @@
+"""Header-hygiene pass (IWYU-lite).
+
+Findings:
+  header-guard      — a header without `#pragma once` (or an #ifndef guard).
+  header-include-cc — an #include naming a .cc/.cpp file.
+  unused-include    — a direct project include none of whose provided
+                      symbols appear in the including file.
+  missing-include   — a symbol whose unique home header is only reachable
+                      transitively; the file should include it directly.
+
+The use/provide matching is name-based (see model.HeaderSymbols), so two
+escape hatches exist: `// staticcheck:allow(unused-include) -- reason` on
+the include line for deliberate re-exports, and forward declarations, which
+count as providing the name in the declaring file.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set
+
+from model import Finding, Project, SourceFile
+
+WORD_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    words_cache: Dict[str, Set[str]] = {}
+
+    def words_of(rel: str) -> Set[str]:
+        if rel not in words_cache:
+            sf = project.files[rel]
+            # Skip the file's own include lines so `#include "x/y.h"`
+            # doesn't read as a use of the identifier `y`.
+            body = "\n".join(
+                line for i, line in enumerate(sf.code_lines, start=1)
+                if not any(inc.line == i for inc in sf.includes))
+            words_cache[rel] = set(WORD_RE.findall(body))
+        return words_cache[rel]
+
+    # Unique home header for each defined symbol (for missing-include).
+    home: Dict[str, Optional[str]] = {}
+    for rel, syms in project.symbols.items():
+        if not project.files[rel].is_header:
+            continue
+        for name in syms.provided():
+            home[name] = None if name in home else rel
+
+    for rel, sf in sorted(project.files.items()):
+        if sf.is_header:
+            if not _has_guard(sf):
+                findings.append(Finding(
+                    "header-guard", rel, 1,
+                    "header lacks an include guard; add `#pragma once`"))
+        pair = project.header_pair(sf)
+        used = words_of(rel)
+        direct: Set[str] = set()
+        for inc in sf.includes:
+            if inc.system:
+                continue
+            if inc.target.endswith((".cc", ".cpp")):
+                findings.append(Finding(
+                    "header-include-cc", rel, inc.line,
+                    f"#include of an implementation file '{inc.target}'"))
+                continue
+            if inc.resolved is None or inc.resolved not in project.files:
+                continue
+            direct.add(inc.resolved)
+            if inc.resolved == pair:
+                continue  # a .cc always keeps its own header
+            provided = project.symbols[inc.resolved].provided()
+            if provided and not (provided & used):
+                if sf.allows("unused-include", inc.line):
+                    continue
+                findings.append(Finding(
+                    "unused-include", rel, inc.line,
+                    f"unused include '{inc.target}': nothing it provides "
+                    "is referenced here"))
+
+        # missing-include: a used symbol with a unique home header that is
+        # reachable only transitively.
+        if pair:
+            direct = direct | {pair} | {
+                inc.resolved for inc in project.files[pair].includes
+                if inc.resolved}
+        reachable = project.transitive_includes(rel)
+        self_names = project.symbols[rel].declared_names()
+        reported: Set[str] = set()
+        for name in sorted(used):
+            h = home.get(name)
+            if h is None or h == rel or h in direct or h in reported:
+                continue
+            if name in self_names:
+                continue
+            if h not in reachable:
+                continue  # not visible at all: a plain name collision
+            if sf.allows("missing-include", 1):
+                continue
+            reported.add(h)
+            line = _first_use_line(sf, name)
+            if sf.allows("missing-include", line):
+                continue
+            findings.append(Finding(
+                "missing-include", rel, line,
+                f"uses '{name}' from '{h}' but includes it only "
+                "transitively; include it directly"))
+    return findings
+
+
+def _has_guard(sf: SourceFile) -> bool:
+    saw_ifndef = False
+    for line in sf.code_lines[:60]:
+        stripped = line.strip()
+        if stripped.startswith("#pragma once"):
+            return True
+        if stripped.startswith("#ifndef"):
+            saw_ifndef = True
+        if saw_ifndef and stripped.startswith("#define"):
+            return True
+    return False
+
+
+def _first_use_line(sf: SourceFile, name: str) -> int:
+    pat = re.compile(r"\b%s\b" % re.escape(name))
+    include_lines = {inc.line for inc in sf.includes}
+    for i, line in enumerate(sf.code_lines, start=1):
+        if i in include_lines:
+            continue
+        if pat.search(line):
+            return i
+    return 1

@@ -1,0 +1,133 @@
+"""Layering pass: enforce the declared module DAG (layers.toml).
+
+Findings:
+  layering — an #include crossing modules along an edge that is neither
+             implied by the layer order (strictly downward) nor declared in
+             layers.toml; also raised when the declared DAG itself is
+             malformed (unknown module, non-downward order violation at
+             validation time) or the actual include graph has a cycle.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tomllib
+from typing import Dict, List, Set, Tuple
+
+from model import Finding, Project
+
+
+class LayerConfig:
+    def __init__(self, path: pathlib.Path):
+        data = tomllib.loads(path.read_text())
+        self.order: List[List[str]] = data["layers"]["order"]
+        self.layer_of: Dict[str, int] = {}
+        for i, layer in enumerate(self.order):
+            for module in layer:
+                self.layer_of[module] = i
+        self.allowed: Dict[Tuple[str, str], str] = {}
+        for edge in data.get("edge", []):
+            self.allowed[(edge["from"], edge["to"])] = edge.get("reason", "")
+
+    def validate(self) -> List[str]:
+        """Sanity-checks the declared DAG itself."""
+        errors = []
+        for (src, dst), reason in self.allowed.items():
+            if src not in self.layer_of:
+                errors.append(f"declared edge from unknown module '{src}'")
+            if dst not in self.layer_of:
+                errors.append(f"declared edge to unknown module '{dst}'")
+            if not reason.strip():
+                errors.append(f"declared edge {src}->{dst} lacks a reason")
+        if len(self.order) and self.layer_of:
+            top = len(self.order) - 1
+            for module in self.order[top]:
+                for (src, dst) in self.allowed:
+                    if dst == module:
+                        errors.append(
+                            f"declared edge {src}->{dst} points into the "
+                            "leaf layer; nothing may depend on it")
+        return errors
+
+
+def run(project: Project, config: LayerConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    for error in config.validate():
+        findings.append(Finding("layering", "tools/staticcheck/layers.toml",
+                                1, error))
+
+    edges: Dict[Tuple[str, str], List[Tuple[str, int, str]]] = {}
+    for sf in project.files.values():
+        for inc in sf.includes:
+            if inc.resolved is None:
+                continue
+            target_mod = project.files[inc.resolved].module \
+                if inc.resolved in project.files else None
+            if target_mod is None or target_mod == sf.module:
+                continue
+            edges.setdefault((sf.module, target_mod), []).append(
+                (sf.rel, inc.line, inc.target))
+
+    for (src, dst), sites in sorted(edges.items()):
+        if src not in config.layer_of:
+            for rel, line, target in sites:
+                findings.append(Finding(
+                    "layering", rel, line,
+                    f"module '{src}' is not declared in layers.toml"))
+            continue
+        if dst not in config.layer_of:
+            for rel, line, target in sites:
+                findings.append(Finding(
+                    "layering", rel, line,
+                    f"include of '{target}': module '{dst}' is not declared "
+                    "in layers.toml"))
+            continue
+        if config.layer_of[dst] < config.layer_of[src]:
+            continue  # strictly downward: always legal
+        if (src, dst) in config.allowed:
+            continue
+        direction = "sideways" if \
+            config.layer_of[dst] == config.layer_of[src] else "up"
+        for rel, line, target in sites:
+            if project.files[rel].allows("layering", line):
+                continue
+            findings.append(Finding(
+                "layering", rel, line,
+                f"illegal {direction} include '{target}': {src} "
+                f"(layer {config.layer_of[src]}) -> {dst} "
+                f"(layer {config.layer_of[dst]}) is not in the declared DAG "
+                "(tools/staticcheck/layers.toml)"))
+
+    findings.extend(_cycle_findings(edges))
+    return findings
+
+
+def _cycle_findings(edges) -> List[Finding]:
+    graph: Dict[str, Set[str]] = {}
+    for (src, dst) in edges:
+        graph.setdefault(src, set()).add(dst)
+        graph.setdefault(dst, set())
+    color: Dict[str, int] = {}
+    stack: List[str] = []
+    cycle: List[str] = []
+
+    def dfs(node: str) -> bool:
+        color[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if color.get(nxt, 0) == 1:
+                cycle.extend(stack[stack.index(nxt):] + [nxt])
+                return True
+            if color.get(nxt, 0) == 0 and dfs(nxt):
+                return True
+        stack.pop()
+        color[node] = 2
+        return False
+
+    for node in sorted(graph):
+        if color.get(node, 0) == 0 and dfs(node):
+            return [Finding(
+                "layering", "tools/staticcheck/layers.toml", 1,
+                "module include graph has a cycle: "
+                + " -> ".join(cycle))]
+    return []

@@ -1,0 +1,133 @@
+"""Lock-discipline pass.
+
+Findings:
+  lock-guard — a bare `.lock()` / `.unlock()` / `.try_lock()` on a declared
+               std::mutex (any flavor). Mutexes are acquired through scoped
+               guards (std::lock_guard / unique_lock / scoped_lock /
+               shared_lock) so no exit path can leak a held lock.
+  guarded-by — a field annotated `// guarded by <mutex>` is referenced in a
+               file that never acquires that mutex. Granularity is the
+               translation unit: a TU that acquires the mutex anywhere is
+               trusted for all its touches (the auditor cannot see
+               call-graph paths, and reviews happen per-TU anyway).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, NamedTuple, Set
+
+from model import Finding, Project
+
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:mutable\s+)?(?:static\s+)?std::(?:recursive_|shared_|timed_|"
+    r"recursive_timed_)?mutex\s+([A-Za-z_]\w*)\s*[;={]")
+
+BARE_LOCK_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*"
+                          r"(lock|unlock|try_lock)\s*\(")
+
+GUARD_TYPES = r"(?:std::\s*)?(?:lock_guard|unique_lock|scoped_lock|shared_lock)"
+
+GUARDED_BY_RE = re.compile(r"//.*guarded\s+by\s+([A-Za-z_][\w.]*)")
+
+FIELD_DECL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:=[^=][^;]*)?;")
+
+
+class GuardedField(NamedTuple):
+    field: str
+    mutex: str
+    decl_rel: str
+    decl_line: int
+
+
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    mutexes: Set[str] = set()
+    for sf in project.files.values():
+        for line in sf.code_lines:
+            for m in MUTEX_DECL_RE.finditer(line):
+                mutexes.add(m.group(1))
+
+    for rel, sf in sorted(project.files.items()):
+        for i, code in enumerate(sf.code_lines, start=1):
+            for m in BARE_LOCK_RE.finditer(code):
+                name, method = m.group(1), m.group(2)
+                if name not in mutexes:
+                    continue
+                if sf.allows("lock-guard", i):
+                    continue
+                findings.append(Finding(
+                    "lock-guard", rel, i,
+                    f"bare {name}.{method}(): acquire std::mutex members "
+                    "through a scoped guard (std::lock_guard / "
+                    "std::unique_lock / std::scoped_lock)"))
+
+    findings.extend(_check_guarded_by(project))
+    return findings
+
+
+def _collect_guarded_fields(project: Project) -> List[GuardedField]:
+    fields: List[GuardedField] = []
+    for rel, sf in project.files.items():
+        for i, comment in enumerate(sf.comment_lines, start=1):
+            m = GUARDED_BY_RE.search(comment)
+            if not m:
+                continue
+            mutex = m.group(1).split(".")[-1]
+            # The annotated declaration is on the same line, or the next
+            # declaration line when the comment stands alone.
+            for j in (i, i + 1, i + 2):
+                if j > len(sf.code_lines):
+                    break
+                code = sf.code_lines[j - 1]
+                dm = FIELD_DECL_RE.search(code)
+                if dm and not code.strip().startswith("//"):
+                    fields.append(GuardedField(dm.group(1), mutex, rel, j))
+                    break
+    return fields
+
+
+def _acquires(code: str, mutex: str) -> bool:
+    pat = re.compile(
+        GUARD_TYPES + r"\s*(?:<[^>]*>)?\s*[A-Za-z_]\w*\s*[({][^()]*\b"
+        + re.escape(mutex) + r"\b")
+    return bool(pat.search(code))
+
+
+def _check_guarded_by(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    fields = _collect_guarded_fields(project)
+    for gf in fields:
+        scope = project.transitive_includers(gf.decl_rel) | {gf.decl_rel}
+        # A touch is the field name not followed by `(` (that is a method
+        # call on a same-named accessor). Fields without the trailing-
+        # underscore member convention additionally need qualified access
+        # (`x.field` / `x->field`): a bare occurrence is more likely an
+        # unrelated local.
+        if gf.field.endswith("_"):
+            pat = re.compile(r"\b%s\b(?!\s*\()" % re.escape(gf.field))
+        else:
+            pat = re.compile(r"(?:\.|->)\s*%s\b(?!\s*\()"
+                             % re.escape(gf.field))
+        for rel in sorted(scope):
+            sf = project.files.get(rel)
+            if sf is None:
+                continue
+            acquires = _acquires(sf.code, gf.mutex)
+            for i, code in enumerate(sf.code_lines, start=1):
+                if rel == gf.decl_rel and abs(i - gf.decl_line) <= 1:
+                    continue  # the declaration itself
+                if not pat.search(code):
+                    continue
+                if acquires:
+                    break  # the TU holds the lock somewhere: trusted
+                if sf.allows("guarded-by", i):
+                    continue
+                findings.append(Finding(
+                    "guarded-by", rel, i,
+                    f"'{gf.field}' is documented `guarded by {gf.mutex}` "
+                    f"({gf.decl_rel}:{gf.decl_line}) but this TU never "
+                    f"acquires {gf.mutex}"))
+                break  # one finding per file keeps reports readable
+    return findings

@@ -1,0 +1,181 @@
+"""Units pass: suffix conventions plus unit-flow checking.
+
+Findings:
+  units-suffix — an identifier holding a time/memory/bandwidth quantity
+                 without a unit suffix (the old convention-linter rule 1).
+  units-flow   — arithmetic, comparison, assignment, or a call argument
+                 that mixes units without an explicit conversion:
+                 `x_s = y_hours`, `a_bytes + b_gb`, `f(x_hours)` where the
+                 parameter is `window_s`. Multiplication/division are
+                 exempt (they legitimately change units).
+
+Conversions go through common/units.h (`hours()`, `to_hours()`,
+`gigabytes()`, ...); a suffixed name immediately followed by `(` is a call,
+not a quantity, so conversion helpers never trip the pass.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from model import Finding, Project
+
+# suffix -> (dimension, canonical description)
+UNITS: Dict[str, str] = {
+    "_s": "time", "_ms": "time", "_us": "time", "_ns": "time",
+    "_hours": "time", "_minutes": "time",
+    "_bytes": "memory", "_gb": "memory", "_mb": "memory", "_kb": "memory",
+    "_bps": "bandwidth", "_gbps": "bandwidth",
+}
+SUFFIX_ALT = "|".join(s[1:] for s in UNITS)
+# A unit-suffixed value: identifier or member chain ending in a suffix.
+QTY_RE = r"(?:[A-Za-z_]\w*(?:\.|->))*[A-Za-z_]\w*_(?:%s)\b" % SUFFIX_ALT
+
+# qty OP qty for unit-sensitive operators. `*` and `/` excluded.
+FLOW_RE = re.compile(
+    r"(?P<lhs>%s)\s*(?P<op>\+(?!\+)|-(?![->])|<=|>=|==|!=|<(?!<)|>(?!>)|"
+    r"\+=|-=|=(?![=]))\s*(?P<rhs>%s)(?!\s*\()" % (QTY_RE, QTY_RE))
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+# Old rule 1: declared identifiers whose stem names a quantity must carry a
+# suffix.
+UNIT_STEMS = {
+    "time": ("_s", "_hours", "_ms"),
+    "duration": ("_s",),
+    "delay": ("_s",),
+    "latency": ("_s",),
+    "timeout": ("_s",),
+    "interval": ("_s",),
+    "bandwidth": ("_bps",),
+    "memory": ("_bytes", "_gb"),
+}
+UNIT_WORD_ALLOW = {
+    "timeline", "runtime", "lifetime", "timestamp", "times", "timed",
+    "memory_estimator", "memory_budget", "memoryestimator",
+    "in_memory", "memory_aware",
+}
+DECL_RE = re.compile(
+    r"\b(?:double|float|int|long|std::uint64_t|uint64_t|std::int64_t|"
+    r"int64_t|std::size_t|size_t|auto)\s+(?:[*&]\s*)?([a-z][a-z0-9_]*)\s*"
+    r"(?:=|;|,|\)|\{)")
+
+
+def suffix_of(name: str) -> Optional[str]:
+    base = name.rsplit(".", 1)[-1].rsplit("->", 1)[-1]
+    m = re.search(r"_(%s)$" % SUFFIX_ALT, base)
+    return "_" + m.group(1) if m else None
+
+
+def run(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for rel, sf in sorted(project.files.items()):
+        for i, line in enumerate(sf.code_lines, start=1):
+            code = line
+            if not code.strip():
+                continue
+            _check_flow(rel, sf, i, code, findings)
+            _check_calls(project, rel, sf, i, code, findings)
+            if rel.startswith("src/"):
+                _check_decl_suffix(rel, sf, i, code, findings)
+    return findings
+
+
+def _check_flow(rel, sf, lineno, code, findings) -> None:
+    for m in FLOW_RE.finditer(code):
+        lhs, rhs, op = m.group("lhs"), m.group("rhs"), m.group("op")
+        ls, rs = suffix_of(lhs), suffix_of(rhs)
+        if ls is None or rs is None or ls == rs:
+            continue
+        # A multiplied/divided operand is a computed value with different
+        # units (`begin_s * 1e6` is microseconds): conversion, not mixing.
+        if re.match(r"\s*[*/]", code[m.end():]):
+            continue
+        if re.search(r"[*/]\s*$", code[: m.start()]):
+            continue
+        if sf.allows("units-flow", lineno):
+            continue
+        ldim, rdim = UNITS[ls], UNITS[rs]
+        if ldim == rdim:
+            what = f"mixes {ldim} units {ls} and {rs}"
+        else:
+            what = f"mixes dimensions ({ldim} {ls} vs {rdim} {rs})"
+        findings.append(Finding(
+            "units-flow", rel, lineno,
+            f"`{lhs} {op} {rhs}` {what}; convert explicitly via "
+            "common/units.h"))
+
+
+def _check_calls(project, rel, sf, lineno, code, findings) -> None:
+    for m in CALL_RE.finditer(code):
+        fn = m.group(1)
+        sigs = project.signatures.get(fn)
+        if not sigs:
+            continue
+        args = _call_args(code, m.end() - 1)
+        if args is None:
+            continue
+        for pos, arg in enumerate(args):
+            arg = arg.strip()
+            if not re.fullmatch(QTY_RE, arg):
+                continue
+            asuf = suffix_of(arg)
+            if asuf is None:
+                continue
+            # The parameter suffix must be consistent across every known
+            # signature of this name at this position, else skip.
+            psufs = set()
+            for sig in sigs:
+                if pos < len(sig):
+                    psufs.add(suffix_of(sig[pos]))
+            if len(psufs) != 1:
+                continue
+            psuf = psufs.pop()
+            if psuf is None or psuf == asuf:
+                continue
+            if sf.allows("units-flow", lineno):
+                continue
+            pname = next(sig[pos] for sig in sigs if pos < len(sig))
+            findings.append(Finding(
+                "units-flow", rel, lineno,
+                f"passing `{arg}` ({asuf}) to parameter `{pname}` ({psuf}) "
+                f"of {fn}(); convert explicitly via common/units.h"))
+
+
+def _call_args(code: str, open_paren: int) -> Optional[List[str]]:
+    depth = 0
+    for j in range(open_paren, len(code)):
+        ch = code[j]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                inner = code[open_paren + 1:j]
+                from model import split_top_level
+                return split_top_level(inner)
+    return None  # spans lines; skip
+
+
+def _check_decl_suffix(rel, sf, lineno, code, findings) -> None:
+    for match in DECL_RE.finditer(code):
+        name = match.group(1)
+        if name in UNIT_WORD_ALLOW:
+            continue
+        if re.match(r"\s*=\s*\[", code[match.end(1):]):
+            continue  # lambda: names an action, not a quantity
+        for stem, suffixes in UNIT_STEMS.items():
+            if stem not in name:
+                continue
+            if not (name == stem or name.endswith(stem)):
+                continue
+            if name.endswith(suffixes):
+                continue
+            if sf.allows("units-suffix", lineno):
+                break
+            findings.append(Finding(
+                "units-suffix", rel, lineno,
+                f"identifier '{name}' holds a {stem} quantity but lacks a "
+                f"unit suffix ({' or '.join(suffixes)}); see common/units.h"))
+            break

@@ -1,0 +1,68 @@
+"""Text and JSON reporting for rubick_staticcheck."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence
+
+from model import Finding
+
+SCHEMA_VERSION = 1
+
+
+def dedupe(findings: Sequence[Finding]) -> List[Finding]:
+    seen = set()
+    out: List[Finding] = []
+    for f in findings:
+        if f.key() in seen:
+            continue
+        seen.add(f.key())
+        out.append(f)
+    return sorted(out, key=lambda f: (f.rel, f.line, f.rule))
+
+
+def render_text(findings: Sequence[Finding], stats: Dict) -> str:
+    lines = [f"{f.rel}:{f.line}: [{f.rule}] {f.message}" for f in findings]
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{r}={n}" for r, n in sorted(by_rule.items())) \
+        or "clean"
+    lines.append(
+        f"rubick_staticcheck: {stats.get('files', 0)} file(s), "
+        f"{len(findings)} finding(s) ({summary}); "
+        f"{stats.get('suppressed', 0)} pragma-suppressed site(s), "
+        f"{stats.get('nolint', 0)}/{stats.get('nolint_budget', 0)} "
+        "NOLINT budget used")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], stats: Dict) -> Dict:
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "rubick_staticcheck",
+        "summary": {
+            "files_scanned": stats.get("files", 0),
+            "findings": len(findings),
+            "by_rule": by_rule,
+            "suppressed_sites": stats.get("suppressed", 0),
+            "nolint_used": stats.get("nolint", 0),
+            "nolint_budget": stats.get("nolint_budget", 0),
+        },
+        "pragmas": stats.get("pragmas", []),
+        "findings": [
+            {"rule": f.rule, "file": f.rel, "line": f.line,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+
+
+def write_json(path: pathlib.Path, findings: Sequence[Finding],
+               stats: Dict) -> None:
+    path.write_text(json.dumps(render_json(findings, stats), indent=2)
+                    + "\n")
