@@ -161,7 +161,7 @@ std::vector<Assignment> AntManPolicy::schedule(const SchedulerInput& input) {
     }
   }
 
-  return emit_assignments(state, input, chosen);
+  return emit_assignments(state, input, chosen, provenance(), name());
 }
 
 }  // namespace rubick

@@ -10,6 +10,9 @@
 #include "plan/memory_estimator.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "core/fault_tolerance.h"
@@ -102,7 +105,8 @@ bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
 
 std::vector<Assignment> emit_assignments(
     const AllocState& state, const SchedulerInput& input,
-    const std::map<int, ExecutionPlan>& chosen) {
+    const std::map<int, ExecutionPlan>& chosen,
+    ProvenanceRecorder* provenance, const std::string& policy_name) {
   std::vector<Assignment> out;
   for (const auto& v : input.jobs) {
     const int id = v.spec->id;
@@ -113,7 +117,63 @@ std::vector<Assignment> emit_assignments(
                      "job " << id << " has an allocation but no plan");
     out.push_back(Assignment{id, placement, it->second});
   }
+  ProvenanceRecorder* const prov =
+      kProvenanceCompiledIn ? provenance : nullptr;
+  std::vector<int> pre_pass_ids;
+  if (prov != nullptr) {
+    pre_pass_ids.reserve(out.size());
+    for (const Assignment& a : out) pre_pass_ids.push_back(a.job_id);
+  }
   apply_fault_tolerance(input, out);
+  if (prov != nullptr) {
+    std::map<int, const Assignment*> granted;
+    for (const Assignment& a : out) granted[a.job_id] = &a;
+    RoundRecord round;
+    round.now_s = input.now;
+    round.policy = policy_name;
+    round.decisions.reserve(input.jobs.size());
+    for (const auto& v : input.jobs) {
+      DecisionRecord r;
+      r.job_id = v.spec->id;
+      r.prev_gpus = v.running ? v.placement.total_gpus() : 0;
+      if (v.running) {
+        r.has_prev_plan = true;
+        r.prev_plan = v.plan;
+      }
+      const auto it = granted.find(r.job_id);
+      const Assignment* a = it == granted.end() ? nullptr : it->second;
+      if (a != nullptr) {
+        r.gpus = a->placement.total_gpus();
+        r.cpus = a->placement.total_cpus();
+        r.nodes = static_cast<int>(a->placement.slices.size());
+        r.has_plan = true;
+        r.plan = a->plan;
+        if (r.prev_gpus == 0) {
+          r.kind = DecisionKind::kAdmit;
+        } else if (r.gpus > r.prev_gpus) {
+          r.kind = DecisionKind::kGrow;
+        } else if (r.gpus < r.prev_gpus) {
+          r.kind = DecisionKind::kShrink;
+        } else if (!(a->plan == v.plan)) {
+          r.kind = DecisionKind::kReplan;
+        } else {
+          r.kind = DecisionKind::kKeep;
+        }
+      } else {
+        r.kind = v.running ? DecisionKind::kPreempt : DecisionKind::kQueue;
+      }
+      r.gates.backoff_gated = !v.running && input.now < v.retry_not_before_s;
+      r.gates.degraded = v.degraded;
+      r.gates.reconfig_failures = v.reconfig_failures;
+      r.gates.retry_not_before_s = v.retry_not_before_s;
+      r.gates.fault_dropped =
+          a == nullptr && std::find(pre_pass_ids.begin(), pre_pass_ids.end(),
+                                    r.job_id) != pre_pass_ids.end();
+      r.sla.guaranteed = v.spec->guaranteed;
+      round.decisions.push_back(std::move(r));
+    }
+    prov->record(std::move(round));
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 
 #include "cluster/cluster.h"
 #include "core/alloc_state.h"
@@ -14,6 +15,7 @@
 #include "perf/perf_store.h"
 #include "plan/execution_plan.h"
 #include "plan/memory_estimator.h"
+#include "provenance/provenance.h"
 
 namespace rubick {
 
@@ -39,8 +41,15 @@ bool commit_job_plan(AllocState& state, BestPlanPredictor& predictor,
 // through the shared fault-tolerance post-pass (core/fault_tolerance.h) so
 // every baseline honors retry backoff, degradation pinning and the
 // down-node guard — a no-op for fault-free inputs.
+//
+// When `provenance` is non-null one RoundRecord is appended describing the
+// round: per-job decision kinds, allocation deltas, SLA and fault-gating
+// facts (baselines carry no curve evidence or trade chains — those are
+// Rubick-specific). Pass the policy's name() so the log is self-describing.
 std::vector<Assignment> emit_assignments(
     const AllocState& state, const SchedulerInput& input,
-    const std::map<int, ExecutionPlan>& chosen);
+    const std::map<int, ExecutionPlan>& chosen,
+    ProvenanceRecorder* provenance = nullptr,
+    const std::string& policy_name = {});
 
 }  // namespace rubick

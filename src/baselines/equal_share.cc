@@ -58,7 +58,7 @@ std::vector<Assignment> EqualSharePolicy::schedule(
     }
   }
 
-  return emit_assignments(state, input, chosen);
+  return emit_assignments(state, input, chosen, provenance(), name());
 }
 
 }  // namespace rubick

@@ -189,7 +189,8 @@ std::vector<Assignment> SiaPolicy::schedule(const SchedulerInput& input) {
     }
   }
 
-  std::vector<Assignment> out = emit_assignments(state, input, chosen);
+  std::vector<Assignment> out =
+      emit_assignments(state, input, chosen, provenance(), name());
   for (auto& a : out) {
     for (const auto& info : infos) {
       if (info.view->spec->id != a.job_id) continue;

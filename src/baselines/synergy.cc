@@ -86,7 +86,7 @@ std::vector<Assignment> SynergyPolicy::schedule(const SchedulerInput& input) {
     }
   }
 
-  return emit_assignments(state, input, chosen);
+  return emit_assignments(state, input, chosen, provenance(), name());
 }
 
 }  // namespace rubick

@@ -102,7 +102,7 @@ std::vector<Assignment> TiresiasPolicy::schedule(const SchedulerInput& input) {
     }
   }
 
-  return emit_assignments(state, input, chosen);
+  return emit_assignments(state, input, chosen, provenance(), name());
 }
 
 }  // namespace rubick

@@ -1,0 +1,218 @@
+#include "common/jsonp.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace rubick {
+namespace {
+
+// Cursor over the input; all parse_* helpers advance `pos` past what they
+// consumed and return false after recording the first error.
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text.compare(pos, len, word) != 0) return fail("bad literal");
+    pos += len;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("truncated escape");
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad hex digit in \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed for this repo's artifacts; pass them through raw).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(double* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected number");
+    const std::string token = text.substr(start, pos - start);
+    char* end = nullptr;
+    *out = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos = start;
+      return fail("malformed number");
+    }
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case '{': {
+        out->kind = JsonValue::Kind::kObject;
+        ++pos;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          JsonValue member;
+          if (!parse_value(&member)) return false;
+          out->object.emplace(std::move(key), std::move(member));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          return consume('}');
+        }
+      }
+      case '[': {
+        out->kind = JsonValue::Kind::kArray;
+        ++pos;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        while (true) {
+          JsonValue element;
+          if (!parse_value(&element)) return false;
+          out->array.push_back(std::move(element));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          return consume(']');
+        }
+      }
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->string_value);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        return literal("true", 4);
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        return literal("false", 5);
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return literal("null", 4);
+      default:
+        out->kind = JsonValue::Kind::kNumber;
+        return parse_number(&out->number_value);
+    }
+  }
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser{text};
+  *out = JsonValue{};
+  const bool ok = parser.parse_value(out);
+  if (ok) {
+    parser.skip_ws();
+    if (parser.pos != text.size()) {
+      parser.fail("trailing garbage after document");
+      if (error != nullptr) *error = parser.error;
+      return false;
+    }
+    return true;
+  }
+  if (error != nullptr) *error = parser.error;
+  return false;
+}
+
+}  // namespace rubick

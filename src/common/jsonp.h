@@ -1,0 +1,60 @@
+// Minimal JSON parsing for tools that read back the repo's own artifacts
+// (the decision-provenance log, primarily). Counterpart of jsonx.h, which
+// only writes. This is a strict, allocation-happy recursive-descent parser
+// for trusted inputs — it favors clear error messages over speed, and it is
+// NOT a general-purpose validator (no depth limits beyond recursion, no
+// streaming). Numbers are doubles; 64-bit identifiers that must not lose
+// precision are therefore serialized as strings by the writers (see
+// provenance/decision_log.h, which renders digests as "0x..." hex).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rubick {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Object member lookup; null when absent or not an object.
+  const JsonValue* get(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  // Typed accessors with defaults (wrong-typed values yield the default, so
+  // readers degrade gracefully on schema drift).
+  double as_double(double def = 0.0) const {
+    return kind == Kind::kNumber ? number_value : def;
+  }
+  int as_int(int def = 0) const {
+    return kind == Kind::kNumber ? static_cast<int>(number_value) : def;
+  }
+  bool as_bool(bool def = false) const {
+    return kind == Kind::kBool ? bool_value : def;
+  }
+  const std::string& as_string(const std::string& def = {}) const {
+    return kind == Kind::kString ? string_value : def;
+  }
+};
+
+// Parses exactly one JSON document from `text` (trailing whitespace
+// allowed). Returns false and fills `*error` with a byte-offset message on
+// malformed input; `*out` is unspecified then.
+bool parse_json(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace rubick

@@ -1,6 +1,7 @@
 // Tiny JSON emission helpers shared by the structured-log format, the
-// metrics/trace exporters and the telemetry observer. Writing only — the
-// repo never parses JSON (the Python validator in tools/ does that).
+// metrics/trace exporters and the telemetry/provenance observers. Writing
+// only — reading back repo-written artifacts (the decision log consumed by
+// rubick_explain) goes through common/jsonp.h instead.
 #pragma once
 
 #include <cmath>

@@ -211,6 +211,15 @@ class BestPlanPredictor {
 
   const ClusterSpec& cluster() const { return cluster_; }
 
+  // Public view of the selector's candidate GPU widths (the counts at which
+  // at least one plan exists — see feasible_widths below). Read by the
+  // decision-provenance layer as curve evidence; shares the widths memo
+  // cache with the envelope chains.
+  std::shared_ptr<const std::vector<int>> candidate_widths(
+      const ModelSpec& model, int global_batch, const PlanSelector& selector) {
+    return feasible_widths(model, global_batch, selector);
+  }
+
  private:
   PlanConstraints constraints_for(int gpus, int max_tp) const;
 

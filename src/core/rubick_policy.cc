@@ -61,6 +61,16 @@ struct RoundDigest {
     mix_bool(p.grad_ckpt);
   }
 };
+
+// Perfetto flow start: a wall-clock anchor inside the phase:decide span,
+// carrying the decision-record seq as the flow id. The matching flow end is
+// emitted on the simulated-time track by the ProvenanceObserver when it
+// drains the round (DESIGN.md §12).
+void record_decision_flow(std::uint64_t seq) {
+  TraceRecorder& rec = TraceRecorder::global();
+  if (!rec.enabled()) return;
+  rec.add_flow_start_wall("scheduler", "decision", rec.now_ns(), seq);
+}
 }  // namespace
 
 RubickPolicy::RubickPolicy(RubickConfig config) : config_(std::move(config)) {}
@@ -117,6 +127,10 @@ struct RubickPolicy::JobInfo {
   double baseline = 1.0;
   ResourceVector min_res;
   bool frozen = false;
+  // Provenance-only flags (recorded into GateFacts; never read back by the
+  // decision logic).
+  bool starved = false;        // starvation force-schedule fired this round
+  bool opportunistic = false;  // admitted below minRes this round
 };
 
 std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
@@ -210,9 +224,27 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
       for (char down : *input.down_nodes) d.mix_bool(down != 0);
     return d.h;
   }();
+  // Provenance hook: null unless a recorder is attached (and compiled out
+  // entirely under RUBICK_PROVENANCE_DISABLED); every record site below is
+  // behind this one pointer test.
+  ProvenanceRecorder* const prov =
+      kProvenanceCompiledIn ? provenance() : nullptr;
+
   if (config_.enable_fast_path && has_last_round_ && digest == last_digest_) {
     RUBICK_COUNTER_ADD("scheduler.fast_path_rounds", 1);
     ++fast_path_rounds_;
+    if (prov != nullptr) {
+      // Replay: re-emit the cached slow-path decisions verbatim, marked as
+      // a fast-path round with the matched digest.
+      RoundRecord round;
+      round.now_s = input.now;
+      round.policy = name();
+      round.digest = digest;
+      round.fast_path = true;
+      round.decisions = last_decisions_;
+      round.trades = last_trades_;
+      record_decision_flow(prov->record(std::move(round)));
+    }
     return last_assignments_;
   }
 
@@ -299,6 +331,10 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
 
   AllocState state(*input.cluster, running, input.down_nodes);
   std::map<int, ExecutionPlan> chosen_plan;
+  // Provenance: the Algorithm-1 trades committed this round (stays empty
+  // with no recorder attached). schedule_job() truncates back to its entry
+  // mark when an attempt rolls back, so only surviving trades are logged.
+  std::vector<TradeEvent> trades;
   for (const auto& info : infos)
     if (info.view->running) chosen_plan[info.view->spec->id] = info.view->plan;
 
@@ -407,8 +443,23 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     return best;
   };
 
-  auto shrink_victim_gpu = [&](JobInfo& victim, int node) {
+  auto shrink_victim_gpu = [&](JobInfo& claimant, JobInfo& victim, int node,
+                               bool forced) {
     const int id = job_id(victim);
+    std::size_t trade_index = trades.size();
+    if (prov != nullptr) {
+      TradeEvent t;
+      t.gpu = true;
+      t.claimant_id = job_id(claimant);
+      t.victim_id = id;
+      t.node = node;
+      t.claimant_slope = gpu_up(claimant);
+      t.victim_slope = gpu_down(victim);
+      t.victim_before = state.job_gpus(id);
+      t.victim_min = victim.min_res.gpus;
+      t.forced = forced;
+      trades.push_back(t);
+    }
     state.give_back_gpus(id, node, 1);
     RUBICK_COUNTER_ADD("scheduler.gpu_shrinks", 1);
     if (state.job_gpus(id) == 0) {
@@ -420,6 +471,11 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
                state.job_cpus_on(id, node) > 0) {
       // No GPUs left on this node: its CPUs there are useless, free them.
       state.give_back_cpus(id, node, state.job_cpus_on(id, node));
+    }
+    if (prov != nullptr) {
+      TradeEvent& t = trades[trade_index];
+      t.victim_after = state.job_gpus(id);
+      t.preempted_victim = t.victim_after == 0;
     }
   };
 
@@ -571,7 +627,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
         JobInfo* victim = gpu_victim(n, id, below_min);
         if (victim == nullptr) break;
         if (below_min || gpu_up(info) > gpu_down(*victim) + kSlopeEps) {
-          shrink_victim_gpu(*victim, n);
+          shrink_victim_gpu(info, *victim, n, below_min);
           state.take_gpus(id, n, 1);
         } else {
           break;
@@ -591,6 +647,23 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
         JobInfo* victim = cpu_victim(n, id, below_floor);
         if (victim == nullptr) break;
         if (below_floor || cpu_up(info) > cpu_down(*victim) + kSlopeEps) {
+          if (prov != nullptr) {
+            const int vid = job_id(*victim);
+            TradeEvent t;
+            t.gpu = false;
+            t.claimant_id = id;
+            t.victim_id = vid;
+            t.node = n;
+            t.claimant_slope = cpu_up(info);
+            t.victim_slope = cpu_down(*victim);
+            t.victim_before = state.job_cpus(vid);
+            t.victim_after = t.victim_before - 1;
+            t.victim_min =
+                std::max(victim->min_res.cpus,
+                         config_.cpu_floor_per_gpu * state.job_gpus(vid));
+            t.forced = below_floor;
+            trades.push_back(t);
+          }
           state.give_back_cpus(job_id(*victim), n, 1);
           state.take_cpus(id, n, 1);
         } else {
@@ -657,6 +730,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   auto schedule_job = [&](JobInfo& info) -> bool {
     const auto snap = state.snapshot();
     const auto plans_snap = chosen_plan;
+    const std::size_t trades_mark = trades.size();
     const int entry_gpus = state.job_gpus(job_id(info));
     bool ok = config_.reallocate_resources ? grow_allocation(info)
                                            : gang_place(info);
@@ -679,6 +753,8 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     if (!ok) {
       state.restore(snap);
       chosen_plan = plans_snap;
+      // Rolled-back attempts must not leave phantom trades in the log.
+      trades.resize(trades_mark);
     }
     return ok;
   };
@@ -720,6 +796,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
             ResourceVector{g, std::max(1, config_.cpu_floor_per_gpu * g), 0};
         if (schedule_job(*info)) {
           quota_used[tenant] += need;
+          info->opportunistic = true;
           RUBICK_COUNTER_ADD("scheduler.opportunistic_admissions", 1);
         }
         info->min_res = saved;
@@ -734,6 +811,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
       continue;
     const int g = min_feasible_gpus_for(info);
     if (g <= 0) continue;
+    info.starved = true;  // the starvation override fired (provenance)
     const ResourceVector saved = info.min_res;
     info.min_res =
         ResourceVector{g, std::max(1, config_.cpu_floor_per_gpu * g), 0};
@@ -794,6 +872,11 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   // Fault-tolerance post-pass (no-op on fault-free inputs). Runs before
   // the fast-path cache fill so a replayed round returns the post-passed
   // assignments; the digest hashes everything this pass reads.
+  std::vector<int> pre_pass_ids;
+  if (prov != nullptr) {
+    pre_pass_ids.reserve(out.size());
+    for (const Assignment& a : out) pre_pass_ids.push_back(a.job_id);
+  }
   apply_fault_tolerance(input, out);
   RUBICK_COUNTER_ADD("scheduler.assignments",
                      static_cast<std::uint64_t>(out.size()));
@@ -811,6 +894,114 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     RUBICK_GAUGE_SET("plan_cache.enumerations",
                      static_cast<double>(ps.enumerations));
     RUBICK_GAUGE_SET("plan_cache.hit_rate", ps.hit_rate());
+  }
+  if (prov != nullptr) {
+    // Build the per-job decision records against the POST-pass assignment
+    // set, so the log reflects exactly what was emitted; grants removed by
+    // apply_fault_tolerance show up as queue/preempt with fault_dropped.
+    std::map<int, const Assignment*> granted;
+    for (const Assignment& a : out) granted[a.job_id] = &a;
+    std::vector<DecisionRecord> decisions;
+    decisions.reserve(infos.size());
+    for (const auto& info : infos) {
+      const JobView& v = *info.view;
+      DecisionRecord r;
+      r.job_id = v.spec->id;
+      r.prev_gpus = v.running ? v.placement.total_gpus() : 0;
+      if (v.running) {
+        r.has_prev_plan = true;
+        r.prev_plan = v.plan;
+      }
+      const auto it = granted.find(r.job_id);
+      const Assignment* a = it == granted.end() ? nullptr : it->second;
+      if (a != nullptr) {
+        r.gpus = a->placement.total_gpus();
+        r.cpus = a->placement.total_cpus();
+        r.nodes = static_cast<int>(a->placement.slices.size());
+        r.has_plan = true;
+        r.plan = a->plan;
+        if (r.prev_gpus == 0) {
+          r.kind = DecisionKind::kAdmit;
+        } else if (r.gpus > r.prev_gpus) {
+          r.kind = DecisionKind::kGrow;
+        } else if (r.gpus < r.prev_gpus) {
+          r.kind = DecisionKind::kShrink;
+        } else if (!(a->plan == v.plan)) {
+          r.kind = DecisionKind::kReplan;
+        } else {
+          r.kind = DecisionKind::kKeep;
+        }
+      } else {
+        r.kind = v.running ? DecisionKind::kPreempt : DecisionKind::kQueue;
+      }
+      r.gates.frozen = info.frozen;
+      r.gates.starvation_forced = info.starved;
+      r.gates.opportunistic = info.opportunistic;
+      r.gates.backoff_gated = !v.running && input.now < v.retry_not_before_s;
+      r.gates.degraded = v.degraded;
+      r.gates.reconfig_failures = v.reconfig_failures;
+      r.gates.retry_not_before_s = v.retry_not_before_s;
+      r.gates.fault_dropped =
+          a == nullptr && std::find(pre_pass_ids.begin(), pre_pass_ids.end(),
+                                    r.job_id) != pre_pass_ids.end();
+      r.sla.guaranteed = v.spec->guaranteed;
+      r.sla.baseline_throughput = info.baseline;
+      r.sla.min_gpus = info.min_res.gpus;
+      r.sla.min_cpus = info.min_res.cpus;
+      // Sensitivity-curve evidence. The candidate set is summarized by its
+      // landmark widths (minimum feasible, chosen and its candidate
+      // neighbors, previous, saturation); candidate_width_count records how
+      // many widths were actually in play. All envelope reads are warm
+      // cache hits on the (w, floor*w) diagonal phase 2 filled.
+      const auto summary =
+          predictor_->curve_summary(*info.model, batch(info), *info.selector,
+                                    config_.cpu_floor_per_gpu, total_gpus);
+      const auto widths =
+          predictor_->candidate_widths(*info.model, batch(info),
+                                       *info.selector);
+      r.curve.curve_key = v.spec->model_name + "|" +
+                          std::to_string(v.spec->global_batch) + "|" +
+                          info.selector->cache_key();
+      r.curve.min_feasible_gpus = summary.min_feasible_gpus;
+      r.curve.max_useful_gpus = summary.max_useful_gpus;
+      int below = 0;
+      int above = 0;
+      for (const int w : *widths) {
+        if (w > total_gpus) break;
+        ++r.curve.candidate_width_count;
+        if (r.gpus > 0 && w < r.gpus) below = w;
+        if (r.gpus > 0 && w > r.gpus && above == 0) above = w;
+      }
+      std::vector<int> salient = {summary.min_feasible_gpus, below, r.gpus,
+                                  above, r.prev_gpus,
+                                  summary.max_useful_gpus};
+      std::sort(salient.begin(), salient.end());
+      salient.erase(std::unique(salient.begin(), salient.end()),
+                    salient.end());
+      for (const int w : salient) {
+        if (w <= 0 || w > total_gpus) continue;
+        r.curve.widths.push_back(w);
+        r.curve.width_throughput.push_back(predictor_->envelope(
+            *info.model, batch(info), *info.selector, w,
+            std::max(1, config_.cpu_floor_per_gpu * w)));
+      }
+      if (r.gpus > 0) {
+        r.curve.chosen_throughput =
+            predictor_->envelope(*info.model, batch(info), *info.selector,
+                                 r.gpus, std::max(1, r.cpus));
+      }
+      decisions.push_back(std::move(r));
+    }
+    RoundRecord round;
+    round.now_s = input.now;
+    round.policy = name();
+    round.digest = digest;
+    round.fast_path = false;
+    round.decisions = decisions;
+    round.trades = trades;
+    last_decisions_ = std::move(decisions);
+    last_trades_ = std::move(trades);
+    record_decision_flow(prov->record(std::move(round)));
   }
   if (config_.enable_fast_path) {
     last_digest_ = digest;

@@ -31,6 +31,7 @@
 #include "core/predictor.h"
 #include "core/scheduler.h"
 #include "core/sla.h"
+#include "provenance/provenance.h"
 
 namespace rubick {
 
@@ -119,6 +120,15 @@ class RubickPolicy final : public SchedulerPolicy {
   bool has_last_round_ = false;
   std::vector<Assignment> last_assignments_;
   std::uint64_t fast_path_rounds_ = 0;
+
+  // Provenance cache for fast-path replay: the decisions and trades of the
+  // last slow round (filled only while a recorder is attached — see
+  // SchedulerPolicy::set_provenance). A digest match re-emits these
+  // verbatim, marked fast_path=true, so replayed rounds serialize
+  // byte-identically to the round they replay. Attach the recorder before
+  // the first schedule() call.
+  std::vector<DecisionRecord> last_decisions_;
+  std::vector<TradeEvent> last_trades_;
 };
 
 }  // namespace rubick

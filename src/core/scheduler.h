@@ -80,6 +80,8 @@ struct Assignment {
   double statistical_efficiency = 1.0;
 };
 
+class ProvenanceRecorder;
+
 // LIFETIME: a policy instance serves exactly one workload (one simulator
 // run). Implementations memoize per-job state (minimum demands, baselines,
 // plan selectors) keyed by job id, so reusing an instance across traces
@@ -90,6 +92,19 @@ class SchedulerPolicy {
   virtual ~SchedulerPolicy() = default;
   virtual std::string name() const = 0;
   virtual std::vector<Assignment> schedule(const SchedulerInput& input) = 0;
+
+  // Decision-provenance hook (DESIGN.md §12). When a recorder is attached,
+  // each schedule() call appends one RoundRecord describing what was decided
+  // and why; null (the default) disables recording, and every record site in
+  // the policies is a single pointer test, so an unattached policy pays
+  // nothing. The recorder must outlive the policy's last schedule() call.
+  void set_provenance(ProvenanceRecorder* recorder) {
+    provenance_ = recorder;
+  }
+  ProvenanceRecorder* provenance() const { return provenance_; }
+
+ private:
+  ProvenanceRecorder* provenance_ = nullptr;
 };
 
 }  // namespace rubick

@@ -1,0 +1,471 @@
+#include "provenance/decision_log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/jsonp.h"
+#include "common/jsonx.h"
+#include "plan/execution_plan.h"
+
+namespace rubick {
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out = "0x";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(v >> shift) & 0xF]);
+  }
+  return out;
+}
+
+std::uint64_t parse_hex_u64(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 16);
+}
+
+std::string plan_to_json(const ExecutionPlan& plan) {
+  std::ostringstream os;
+  os << '{' << json_key("dp") << plan.dp << ',' << json_key("tp") << plan.tp
+     << ',' << json_key("pp") << plan.pp << ',' << json_key("ga")
+     << plan.ga_steps << ',' << json_key("mb") << plan.micro_batches << ','
+     << json_key("zero") << static_cast<int>(plan.zero) << ','
+     << json_key("gc") << (plan.grad_ckpt ? "true" : "false") << ','
+     << json_key("name") << json_str(plan.display_name()) << '}';
+  return os.str();
+}
+
+template <typename T>
+std::string array_to_json(const std::vector<T>& values) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    if constexpr (std::is_same_v<T, double>) {
+      os << json_number(values[i]);
+    } else {
+      os << values[i];
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string curve_to_json(const CurveEvidence& curve) {
+  std::ostringstream os;
+  os << '{' << json_key("key") << json_str(curve.curve_key) << ','
+     << json_key("min_feasible") << curve.min_feasible_gpus << ','
+     << json_key("max_useful") << curve.max_useful_gpus << ','
+     << json_key("candidates") << curve.candidate_width_count << ','
+     << json_key("widths") << array_to_json(curve.widths) << ','
+     << json_key("throughput") << array_to_json(curve.width_throughput)
+     << ',' << json_key("chosen_throughput")
+     << json_number(curve.chosen_throughput) << '}';
+  return os.str();
+}
+
+std::string sla_to_json(const SlaSnapshot& sla) {
+  std::ostringstream os;
+  os << '{' << json_key("guaranteed") << (sla.guaranteed ? "true" : "false")
+     << ',' << json_key("baseline") << json_number(sla.baseline_throughput)
+     << ',' << json_key("min_gpus") << sla.min_gpus << ','
+     << json_key("min_cpus") << sla.min_cpus << '}';
+  return os.str();
+}
+
+std::string gates_to_json(const GateFacts& gates) {
+  const auto flag = [](bool b) { return b ? "true" : "false"; };
+  std::ostringstream os;
+  os << '{' << json_key("frozen") << flag(gates.frozen) << ','
+     << json_key("starved") << flag(gates.starvation_forced) << ','
+     << json_key("opportunistic") << flag(gates.opportunistic) << ','
+     << json_key("backoff") << flag(gates.backoff_gated) << ','
+     << json_key("degraded") << flag(gates.degraded) << ','
+     << json_key("fault_dropped") << flag(gates.fault_dropped) << ','
+     << json_key("reconfig_failures") << gates.reconfig_failures << ','
+     << json_key("retry_not_before_s")
+     << json_number(gates.retry_not_before_s) << '}';
+  return os.str();
+}
+
+ExecutionPlan plan_from_json(const JsonValue& v) {
+  ExecutionPlan plan;
+  if (const JsonValue* f = v.get("dp")) plan.dp = f->as_int(1);
+  if (const JsonValue* f = v.get("tp")) plan.tp = f->as_int(1);
+  if (const JsonValue* f = v.get("pp")) plan.pp = f->as_int(1);
+  if (const JsonValue* f = v.get("ga")) plan.ga_steps = f->as_int(1);
+  if (const JsonValue* f = v.get("mb")) plan.micro_batches = f->as_int(1);
+  if (const JsonValue* f = v.get("zero")) {
+    plan.zero = static_cast<ZeroStage>(f->as_int(0));
+  }
+  if (const JsonValue* f = v.get("gc")) plan.grad_ckpt = f->as_bool(false);
+  return plan;
+}
+
+CurveEvidence curve_from_json(const JsonValue& v) {
+  CurveEvidence curve;
+  if (const JsonValue* f = v.get("key")) curve.curve_key = f->as_string();
+  if (const JsonValue* f = v.get("min_feasible")) {
+    curve.min_feasible_gpus = f->as_int();
+  }
+  if (const JsonValue* f = v.get("max_useful")) {
+    curve.max_useful_gpus = f->as_int();
+  }
+  if (const JsonValue* f = v.get("candidates")) {
+    curve.candidate_width_count = f->as_int();
+  }
+  if (const JsonValue* f = v.get("widths"); f != nullptr && f->is_array()) {
+    for (const JsonValue& w : f->array) curve.widths.push_back(w.as_int());
+  }
+  if (const JsonValue* f = v.get("throughput");
+      f != nullptr && f->is_array()) {
+    for (const JsonValue& t : f->array) {
+      curve.width_throughput.push_back(t.as_double());
+    }
+  }
+  if (const JsonValue* f = v.get("chosen_throughput")) {
+    curve.chosen_throughput = f->as_double();
+  }
+  return curve;
+}
+
+DecisionRecord decision_from_json(const JsonValue& v) {
+  DecisionRecord r;
+  const JsonValue* job = v.get("job");
+  RUBICK_CHECK_MSG(job != nullptr, "decision record without \"job\"");
+  r.job_id = job->as_int();
+  if (const JsonValue* f = v.get("kind")) {
+    RUBICK_CHECK_MSG(decision_kind_from_string(f->as_string(), &r.kind),
+                     "unknown decision kind '" << f->as_string() << "'");
+  }
+  if (const JsonValue* f = v.get("prev_gpus")) r.prev_gpus = f->as_int();
+  if (const JsonValue* f = v.get("gpus")) r.gpus = f->as_int();
+  if (const JsonValue* f = v.get("cpus")) r.cpus = f->as_int();
+  if (const JsonValue* f = v.get("nodes")) r.nodes = f->as_int();
+  if (const JsonValue* f = v.get("prev_plan")) {
+    r.has_prev_plan = true;
+    r.prev_plan = plan_from_json(*f);
+  }
+  if (const JsonValue* f = v.get("plan")) {
+    r.has_plan = true;
+    r.plan = plan_from_json(*f);
+  }
+  if (const JsonValue* f = v.get("curve")) r.curve = curve_from_json(*f);
+  if (const JsonValue* f = v.get("sla")) {
+    if (const JsonValue* g = f->get("guaranteed")) {
+      r.sla.guaranteed = g->as_bool();
+    }
+    if (const JsonValue* g = f->get("baseline")) {
+      r.sla.baseline_throughput = g->as_double();
+    }
+    if (const JsonValue* g = f->get("min_gpus")) r.sla.min_gpus = g->as_int();
+    if (const JsonValue* g = f->get("min_cpus")) r.sla.min_cpus = g->as_int();
+  }
+  if (const JsonValue* f = v.get("gates")) {
+    if (const JsonValue* g = f->get("frozen")) r.gates.frozen = g->as_bool();
+    if (const JsonValue* g = f->get("starved")) {
+      r.gates.starvation_forced = g->as_bool();
+    }
+    if (const JsonValue* g = f->get("opportunistic")) {
+      r.gates.opportunistic = g->as_bool();
+    }
+    if (const JsonValue* g = f->get("backoff")) {
+      r.gates.backoff_gated = g->as_bool();
+    }
+    if (const JsonValue* g = f->get("degraded")) {
+      r.gates.degraded = g->as_bool();
+    }
+    if (const JsonValue* g = f->get("fault_dropped")) {
+      r.gates.fault_dropped = g->as_bool();
+    }
+    if (const JsonValue* g = f->get("reconfig_failures")) {
+      r.gates.reconfig_failures = g->as_int();
+    }
+    if (const JsonValue* g = f->get("retry_not_before_s")) {
+      r.gates.retry_not_before_s = g->as_double();
+    }
+  }
+  return r;
+}
+
+TradeEvent trade_from_json(const JsonValue& v) {
+  TradeEvent t;
+  if (const JsonValue* f = v.get("res")) t.gpu = f->as_string() != "cpu";
+  if (const JsonValue* f = v.get("claimant")) t.claimant_id = f->as_int();
+  if (const JsonValue* f = v.get("victim")) t.victim_id = f->as_int();
+  if (const JsonValue* f = v.get("node")) t.node = f->as_int();
+  if (const JsonValue* f = v.get("claimant_slope")) {
+    t.claimant_slope = f->as_double();
+  }
+  if (const JsonValue* f = v.get("victim_slope")) {
+    t.victim_slope = f->as_double();
+  }
+  if (const JsonValue* f = v.get("victim_before")) {
+    t.victim_before = f->as_int();
+  }
+  if (const JsonValue* f = v.get("victim_after")) t.victim_after = f->as_int();
+  if (const JsonValue* f = v.get("victim_min")) t.victim_min = f->as_int();
+  if (const JsonValue* f = v.get("forced")) t.forced = f->as_bool();
+  if (const JsonValue* f = v.get("preempted")) {
+    t.preempted_victim = f->as_bool();
+  }
+  return t;
+}
+
+RoundRecord round_from_json(const JsonValue& v) {
+  RoundRecord round;
+  if (const JsonValue* f = v.get("seq")) {
+    round.seq = static_cast<std::uint64_t>(f->as_double());
+  }
+  if (const JsonValue* f = v.get("t_s")) round.now_s = f->as_double();
+  if (const JsonValue* f = v.get("policy")) round.policy = f->as_string();
+  if (const JsonValue* f = v.get("digest")) {
+    round.digest = parse_hex_u64(f->as_string("0x0"));
+  }
+  if (const JsonValue* f = v.get("fast_path")) {
+    round.fast_path = f->as_bool();
+  }
+  if (const JsonValue* f = v.get("jobs"); f != nullptr && f->is_array()) {
+    round.decisions.reserve(f->array.size());
+    for (const JsonValue& d : f->array) {
+      round.decisions.push_back(decision_from_json(d));
+    }
+  }
+  if (const JsonValue* f = v.get("trades"); f != nullptr && f->is_array()) {
+    round.trades.reserve(f->array.size());
+    for (const JsonValue& t : f->array) {
+      round.trades.push_back(trade_from_json(t));
+    }
+  }
+  return round;
+}
+
+}  // namespace
+
+std::string decision_record_to_json(const DecisionRecord& record) {
+  std::ostringstream os;
+  os << '{' << json_key("job") << record.job_id << ',' << json_key("kind")
+     << json_str(to_string(record.kind)) << ',' << json_key("prev_gpus")
+     << record.prev_gpus << ',' << json_key("gpus") << record.gpus << ','
+     << json_key("cpus") << record.cpus << ',' << json_key("nodes")
+     << record.nodes;
+  if (record.has_prev_plan) {
+    os << ',' << json_key("prev_plan") << plan_to_json(record.prev_plan);
+  }
+  if (record.has_plan) {
+    os << ',' << json_key("plan") << plan_to_json(record.plan);
+  }
+  if (!record.curve.curve_key.empty()) {
+    os << ',' << json_key("curve") << curve_to_json(record.curve);
+  }
+  os << ',' << json_key("sla") << sla_to_json(record.sla) << ','
+     << json_key("gates") << gates_to_json(record.gates) << '}';
+  return os.str();
+}
+
+std::string trade_event_to_json(const TradeEvent& trade) {
+  std::ostringstream os;
+  os << '{' << json_key("res") << json_str(trade.gpu ? "gpu" : "cpu") << ','
+     << json_key("claimant") << trade.claimant_id << ',' << json_key("victim")
+     << trade.victim_id << ',' << json_key("node") << trade.node << ','
+     << json_key("claimant_slope") << json_number(trade.claimant_slope)
+     << ',' << json_key("victim_slope") << json_number(trade.victim_slope)
+     << ',' << json_key("victim_before") << trade.victim_before << ','
+     << json_key("victim_after") << trade.victim_after << ','
+     << json_key("victim_min") << trade.victim_min << ',' << json_key("forced")
+     << (trade.forced ? "true" : "false") << ',' << json_key("preempted")
+     << (trade.preempted_victim ? "true" : "false") << '}';
+  return os.str();
+}
+
+std::string round_to_json(const RoundRecord& round) {
+  std::ostringstream os;
+  os << '{' << json_key("type") << json_str("round") << ',' << json_key("seq")
+     << round.seq << ',' << json_key("t_s") << json_number(round.now_s) << ','
+     << json_key("policy") << json_str(round.policy) << ','
+     << json_key("digest") << json_str(hex_u64(round.digest)) << ','
+     << json_key("fast_path") << (round.fast_path ? "true" : "false") << ','
+     << json_key("jobs") << '[';
+  for (std::size_t i = 0; i < round.decisions.size(); ++i) {
+    if (i != 0) os << ',';
+    os << decision_record_to_json(round.decisions[i]);
+  }
+  os << ']' << ',' << json_key("trades") << '[';
+  for (std::size_t i = 0; i < round.trades.size(); ++i) {
+    if (i != 0) os << ',';
+    os << trade_event_to_json(round.trades[i]);
+  }
+  os << ']' << '}';
+  return os.str();
+}
+
+DecisionLog read_decision_log(std::istream& is) {
+  DecisionLog log;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue doc;
+    std::string error;
+    RUBICK_CHECK_MSG(parse_json(line, &doc, &error),
+                     "decision log line " << line_no << ": " << error);
+    const JsonValue* type = doc.get("type");
+    RUBICK_CHECK_MSG(type != nullptr,
+                     "decision log line " << line_no << ": missing \"type\"");
+    const std::string& kind = type->as_string();
+    if (kind == "header") {
+      if (const JsonValue* f = doc.get("schema_version")) {
+        log.schema_version = f->as_int();
+      }
+      if (const JsonValue* f = doc.get("policy")) log.policy = f->as_string();
+    } else if (kind == "round") {
+      log.rounds.push_back(round_from_json(doc));
+    } else if (kind == "fault") {
+      FaultLogRecord fault;
+      if (const JsonValue* f = doc.get("t_s")) fault.t_s = f->as_double();
+      if (const JsonValue* f = doc.get("kind")) fault.kind = f->as_string();
+      if (const JsonValue* f = doc.get("node")) fault.node = f->as_int(-1);
+      if (const JsonValue* f = doc.get("job")) fault.job_id = f->as_int(-1);
+      log.faults.push_back(fault);
+    }
+    // Unknown types (run_end included) are tolerated for forward
+    // compatibility; run_end carries only totals derivable from rounds.
+  }
+  return log;
+}
+
+DecisionLog read_decision_log_file(const std::string& path) {
+  std::ifstream is(path);
+  RUBICK_CHECK_MSG(is.good(), "cannot open decision log '" << path << "'");
+  return read_decision_log(is);
+}
+
+const DecisionRecord* find_decision(const RoundRecord& round, int job_id) {
+  for (const DecisionRecord& r : round.decisions) {
+    if (r.job_id == job_id) return &r;
+  }
+  return nullptr;
+}
+
+const RoundRecord* last_round_with_job(const DecisionLog& log, int job_id,
+                                       double at_s) {
+  const RoundRecord* best = nullptr;
+  for (const RoundRecord& round : log.rounds) {
+    if (round.now_s > at_s) break;
+    if (find_decision(round, job_id) != nullptr) best = &round;
+  }
+  return best;
+}
+
+JobChange last_allocation_change(const DecisionLog& log, int job_id,
+                                 double at_s) {
+  JobChange best;
+  for (const RoundRecord& round : log.rounds) {
+    if (round.now_s > at_s) break;
+    const DecisionRecord* r = find_decision(round, job_id);
+    if (r == nullptr) continue;
+    if (r->kind == DecisionKind::kKeep || r->kind == DecisionKind::kQueue) {
+      continue;
+    }
+    best.round = &round;
+    best.record = r;
+  }
+  return best;
+}
+
+std::vector<JobChange> shrink_events(const DecisionLog& log, int job_id) {
+  std::vector<JobChange> out;
+  for (const RoundRecord& round : log.rounds) {
+    for (const DecisionRecord& r : round.decisions) {
+      if (job_id >= 0 && r.job_id != job_id) continue;
+      if (r.kind == DecisionKind::kShrink ||
+          r.kind == DecisionKind::kPreempt) {
+        out.push_back(JobChange{&round, &r});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<const TradeEvent*> trades_for(const RoundRecord& round,
+                                          int job_id) {
+  std::vector<const TradeEvent*> out;
+  for (const TradeEvent& t : round.trades) {
+    if (t.claimant_id == job_id || t.victim_id == job_id) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const FaultLogRecord*> faults_between(const DecisionLog& log,
+                                                  double after_s,
+                                                  double until_s) {
+  std::vector<const FaultLogRecord*> out;
+  for (const FaultLogRecord& f : log.faults) {
+    if (f.t_s > after_s && f.t_s <= until_s) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<std::string> diff_logs(const DecisionLog& a,
+                                   const DecisionLog& b) {
+  std::vector<std::string> out;
+  const std::size_t n = std::min(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const RoundRecord& ra = a.rounds[i];
+    const RoundRecord& rb = b.rounds[i];
+    std::ostringstream os;
+    // seq, fast_path and digest are intentionally not compared: a fast-path
+    // run and a slow-path run of the same workload should diff clean, and
+    // the digest hashes run-local state (the perf-store address) so it is
+    // only meaningful within one run.
+    if (ra.now_s != rb.now_s) {
+      os << "round " << i << ": t_s " << ra.now_s << " vs " << rb.now_s;
+    } else {
+      std::string da;
+      std::string db;
+      for (const DecisionRecord& r : ra.decisions) {
+        da += decision_record_to_json(r);
+      }
+      for (const TradeEvent& t : ra.trades) da += trade_event_to_json(t);
+      for (const DecisionRecord& r : rb.decisions) {
+        db += decision_record_to_json(r);
+      }
+      for (const TradeEvent& t : rb.trades) db += trade_event_to_json(t);
+      if (da != db) {
+        os << "round " << i << " (t=" << ra.now_s << "s): decisions differ";
+        for (const DecisionRecord& r : ra.decisions) {
+          const DecisionRecord* other = find_decision(rb, r.job_id);
+          if (other == nullptr) {
+            os << "; job " << r.job_id << " only in A";
+          } else if (decision_record_to_json(r) !=
+                     decision_record_to_json(*other)) {
+            os << "; job " << r.job_id << ": " << to_string(r.kind) << "/"
+               << r.gpus << "g vs " << to_string(other->kind) << "/"
+               << other->gpus << "g";
+          }
+        }
+        for (const DecisionRecord& r : rb.decisions) {
+          if (find_decision(ra, r.job_id) == nullptr) {
+            os << "; job " << r.job_id << " only in B";
+          }
+        }
+      }
+    }
+    if (!os.str().empty()) out.push_back(os.str());
+  }
+  if (a.rounds.size() != b.rounds.size()) {
+    std::ostringstream os;
+    os << "round count " << a.rounds.size() << " vs " << b.rounds.size();
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+}  // namespace rubick

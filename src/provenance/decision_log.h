@@ -1,0 +1,98 @@
+// Decision-log serialization and why-queries.
+//
+// The on-disk format is JSONL: one self-describing object per line, typed
+// by a "type" field — "header" (schema version, policy), "round" (one
+// RoundRecord), "fault" (a SimFaultNotice witnessed between rounds) and
+// "run_end" (footer with totals). Rendering is deterministic (fixed key
+// order, fixed number formatting), which is what lets the tests compare
+// fast-path and slow-path rounds byte-for-byte. 64-bit digests are
+// rendered as "0x..." hex strings so readers never round them through a
+// double (see common/jsonp.h).
+//
+// The query helpers below back both tools/rubick_explain.cpp and the unit
+// tests, so the CLI stays a thin formatter over tested logic.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "provenance/provenance.h"
+
+namespace rubick {
+
+// --- writing -------------------------------------------------------------
+
+std::string decision_record_to_json(const DecisionRecord& record);
+std::string trade_event_to_json(const TradeEvent& trade);
+// {"type":"round",...} — one line, no trailing newline.
+std::string round_to_json(const RoundRecord& round);
+
+// --- reading -------------------------------------------------------------
+
+// A fault line as it appears in the log (written by ProvenanceObserver
+// from SimFaultNotice; kept as strings/ids so the log is policy-agnostic).
+struct FaultLogRecord {
+  double t_s = 0.0;
+  std::string kind;
+  int node = -1;    // -1 when the fault is not node-scoped
+  int job_id = -1;  // -1 when the fault is not job-scoped
+};
+
+struct DecisionLog {
+  int schema_version = 0;
+  std::string policy;
+  std::vector<RoundRecord> rounds;  // ascending seq
+  std::vector<FaultLogRecord> faults;  // ascending t_s
+};
+
+// Parses a decision log. Unknown line types are skipped (forward
+// compatibility); malformed JSON or a bad round schema throws
+// InvariantError naming the line number.
+DecisionLog read_decision_log(std::istream& is);
+DecisionLog read_decision_log_file(const std::string& path);
+
+// --- why-queries ---------------------------------------------------------
+
+// The decision for `job` in `round`, or null.
+const DecisionRecord* find_decision(const RoundRecord& round, int job_id);
+
+// Most recent round at or before `at_s` that carries a decision for `job`;
+// null when the job never appears. at_s = +inf means "end of log".
+const RoundRecord* last_round_with_job(const DecisionLog& log, int job_id,
+                                       double at_s);
+
+struct JobChange {
+  const RoundRecord* round = nullptr;
+  const DecisionRecord* record = nullptr;
+};
+
+// Most recent round at or before `at_s` in which `job`'s allocation
+// actually changed (kind other than kKeep/kQueue). Null members when the
+// job's allocation never changed in the window.
+JobChange last_allocation_change(const DecisionLog& log, int job_id,
+                                 double at_s);
+
+// Every (round, record) where a job shrank or was preempted, in log order.
+// job_id -1 = all jobs.
+std::vector<JobChange> shrink_events(const DecisionLog& log, int job_id);
+
+// Trades in `round` involving `job` (as claimant or victim).
+std::vector<const TradeEvent*> trades_for(const RoundRecord& round,
+                                          int job_id);
+
+// Faults in (after_s, until_s] — the evidence window between the previous
+// round and the round where an allocation changed.
+std::vector<const FaultLogRecord*> faults_between(const DecisionLog& log,
+                                                  double after_s,
+                                                  double until_s);
+
+// One line per differing round position: round-time, decision, or trade
+// mismatches between two logs (e.g. two seeds, or fast-path vs slow-path).
+// seq, fast_path and digest are ignored — the digest hashes run-local state
+// (including the perf-store address), so it is never comparable across runs.
+// Empty when the logs describe identical decision sequences.
+std::vector<std::string> diff_logs(const DecisionLog& a,
+                                   const DecisionLog& b);
+
+}  // namespace rubick

@@ -1,0 +1,35 @@
+#include "provenance/provenance.h"
+
+#include <string>
+
+namespace rubick {
+
+const char* to_string(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kQueue: return "queue";
+    case DecisionKind::kAdmit: return "admit";
+    case DecisionKind::kKeep: return "keep";
+    case DecisionKind::kGrow: return "grow";
+    case DecisionKind::kShrink: return "shrink";
+    case DecisionKind::kPreempt: return "preempt";
+    case DecisionKind::kReplan: return "replan";
+  }
+  return "unknown";
+}
+
+bool decision_kind_from_string(const std::string& text, DecisionKind* out) {
+  static constexpr DecisionKind kAll[] = {
+      DecisionKind::kQueue, DecisionKind::kAdmit,   DecisionKind::kKeep,
+      DecisionKind::kGrow,  DecisionKind::kShrink,  DecisionKind::kPreempt,
+      DecisionKind::kReplan,
+  };
+  for (const DecisionKind kind : kAll) {
+    if (text == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rubick

@@ -1,0 +1,165 @@
+// Decision provenance: structured "why" records for every scheduling round.
+//
+// The scheduler policies (RubickPolicy directly, the baselines through
+// baselines/common.cc's emit_assignments hook) append one RoundRecord per
+// schedule() call to an attached ProvenanceRecorder. Each record carries,
+// per job, the chosen plan and width, the sensitivity-curve evidence behind
+// that choice, the Algorithm-1 trades that funded it, and the gating facts
+// (SLA snapshot, starvation/backoff predicates, fault-tolerance state).
+// Fast-path replay rounds re-emit the cached slow-path decisions verbatim,
+// marked fast_path=true with the matched digest, so a replayed round is
+// byte-identical to the round it replays (tests/test_provenance.cc pins
+// this).
+//
+// Overhead contract (DESIGN.md §12): with no recorder attached every record
+// site is a single pointer test; with RUBICK_PROVENANCE_DISABLED defined the
+// sites are compiled away entirely via kProvenanceCompiledIn, mirroring the
+// metrics-macro contract in telemetry/metrics.h.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/execution_plan.h"
+
+namespace rubick {
+
+#ifdef RUBICK_PROVENANCE_DISABLED
+inline constexpr bool kProvenanceCompiledIn = false;
+#else
+inline constexpr bool kProvenanceCompiledIn = true;
+#endif
+
+// What happened to a job's allocation this round, judged against the
+// previous round (prev_gpus). kReplan = same width, different plan.
+enum class DecisionKind {
+  kQueue,    // waiting; no allocation this round (and none before)
+  kAdmit,    // first allocation (or re-admission after eviction)
+  kKeep,     // same width, same plan
+  kGrow,     // width increased
+  kShrink,   // width decreased but still running
+  kPreempt,  // was running, lost its allocation entirely
+  kReplan,   // same width, plan changed
+};
+
+const char* to_string(DecisionKind kind);
+bool decision_kind_from_string(const std::string& text, DecisionKind* out);
+
+// Sensitivity-curve evidence behind a width choice. The candidate set is
+// summarized by its landmarks (min feasible, max useful, the chosen width
+// and its candidate neighbors, the previous width) rather than dumped in
+// full; candidate_width_count records how many widths were actually
+// considered (see DESIGN.md §12).
+struct CurveEvidence {
+  std::string curve_key;  // "model|global_batch|selector"
+  int min_feasible_gpus = 0;
+  int max_useful_gpus = 0;
+  int candidate_width_count = 0;
+  std::vector<int> widths;               // sampled widths, ascending
+  std::vector<double> width_throughput;  // envelope samples/s at widths
+  double chosen_throughput = 0.0;        // at the granted (gpus, cpus)
+};
+
+// The SLA inputs the policy judged the job against this round.
+struct SlaSnapshot {
+  bool guaranteed = false;
+  double baseline_throughput = 0.0;  // samples/s owed to a guaranteed job
+  int min_gpus = 0;                  // minRes width (0 = none/unknown)
+  int min_cpus = 0;
+};
+
+// Boolean predicates and fault-tolerance state that gated the decision.
+struct GateFacts {
+  bool frozen = false;             // reconfiguration-penalty gate held width
+  bool starvation_forced = false;  // best-effort starvation override fired
+  bool opportunistic = false;      // admitted below minRes on spare capacity
+  bool backoff_gated = false;      // reconfig-retry backoff blocked placement
+  bool degraded = false;           // pinned to last-known-good plan
+  bool fault_dropped = false;      // apply_fault_tolerance removed the grant
+  int reconfig_failures = 0;
+  double retry_not_before_s = 0.0;
+};
+
+struct DecisionRecord {
+  int job_id = 0;
+  DecisionKind kind = DecisionKind::kQueue;
+  int prev_gpus = 0;  // width at the start of the round (0 = not running)
+  int gpus = 0;
+  int cpus = 0;
+  int nodes = 0;
+  bool has_prev_plan = false;
+  bool has_plan = false;
+  ExecutionPlan prev_plan;
+  ExecutionPlan plan;
+  CurveEvidence curve;
+  SlaSnapshot sla;
+  GateFacts gates;
+};
+
+// One Algorithm-1 trade: `claimant` took one unit from `victim` on `node`.
+// Guarantee slack before/after is (victim_before - victim_min) and
+// (victim_after - victim_min) in the traded resource's units.
+struct TradeEvent {
+  bool gpu = true;  // false = a CPU unit moved
+  int claimant_id = 0;
+  int victim_id = 0;
+  int node = 0;
+  double claimant_slope = 0.0;  // claimant's normalized gain per unit
+  double victim_slope = 0.0;    // victim's normalized loss per unit
+  int victim_before = 0;        // victim's units before the trade
+  int victim_after = 0;
+  int victim_min = 0;    // victim's guaranteed floor in those units
+  bool forced = false;   // claimant was below its floor (SLA override)
+  bool preempted_victim = false;  // the trade shrank the victim to zero
+};
+
+struct RoundRecord {
+  std::uint64_t seq = 0;  // assigned by ProvenanceRecorder::record()
+  double now_s = 0.0;
+  std::string policy;
+  std::uint64_t digest = 0;  // round digest (0 for policies without one)
+  bool fast_path = false;    // replayed from the digest cache
+  std::vector<DecisionRecord> decisions;  // input job order
+  std::vector<TradeEvent> trades;         // chronological
+};
+
+// Collects RoundRecords across a run. Thread-safe: concurrent policies may
+// share one recorder (the sim harness attaches it to seed 0 only, but the
+// tests exercise concurrent runs). The sequence number doubles as the
+// Perfetto flow-event id linking the record to its phase:decide span.
+class ProvenanceRecorder {
+ public:
+  // Stamps the round with the next sequence number and stores it; returns
+  // the assigned seq.
+  std::uint64_t record(RoundRecord round) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    round.seq = next_seq_++;
+    const std::uint64_t seq = round.seq;
+    rounds_.push_back(std::move(round));
+    return seq;
+  }
+
+  // Drains and returns the rounds recorded since the last take (observer
+  // pull model; called from SimObserver ticks).
+  std::vector<RoundRecord> take_rounds() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RoundRecord> out;
+    out.swap(rounds_);
+    return out;
+  }
+
+  std::uint64_t rounds_recorded() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_ - 1;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RoundRecord> rounds_;  // guarded by mu_
+  std::uint64_t next_seq_ = 1;       // guarded by mu_
+};
+
+}  // namespace rubick

@@ -1,0 +1,87 @@
+#include "sim/provenance_observer.h"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/jsonx.h"
+#include "provenance/decision_log.h"
+#include "telemetry/trace.h"
+
+namespace rubick {
+namespace {
+
+// Flow ends render on one dedicated sim-time track, far above job ids and
+// the telemetry observer's per-node fault tracks (kFaultTidBase = 1e6).
+constexpr int kDecisionTid = 2000000;
+
+}  // namespace
+
+ProvenanceObserver::ProvenanceObserver(ProvenanceRecorder* recorder,
+                                       std::string policy_name,
+                                       TraceRecorder* trace)
+    : recorder_(recorder), policy_name_(std::move(policy_name)),
+      trace_(trace) {}
+
+void ProvenanceObserver::on_run_begin(const SimRunInfo& info) {
+  std::ostringstream os;
+  os << '{' << json_key("type") << json_str("header") << ','
+     << json_key("schema_version") << 1 << ',' << json_key("policy")
+     << json_str(policy_name_) << ',' << json_key("jobs")
+     << (info.jobs != nullptr ? info.jobs->size() : 0) << '}';
+  lines_.push_back(os.str());
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->set_thread_name(kTraceSimPid, kDecisionTid, "decisions");
+  }
+}
+
+void ProvenanceObserver::drain_rounds() {
+  for (RoundRecord& round : recorder_->take_rounds()) {
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->add_flow_end_sim("scheduler", "decision", round.now_s,
+                               kDecisionTid, round.seq);
+    }
+    lines_.push_back(round_to_json(round));
+    ++emitted_rounds_;
+  }
+}
+
+void ProvenanceObserver::on_tick(const SimTick& tick) {
+  (void)tick;  // rounds carry their own timestamps
+  drain_rounds();
+}
+
+void ProvenanceObserver::on_fault(const SimFaultNotice& notice) {
+  // Rounds already recorded happened before this fault took effect; flush
+  // them first so the log stays chronological.
+  drain_rounds();
+  std::ostringstream os;
+  os << '{' << json_key("type") << json_str("fault") << ',' << json_key("t_s")
+     << json_number(notice.now_s) << ',' << json_key("kind")
+     << json_str(to_string(notice.kind)) << ',' << json_key("node")
+     << notice.node << ',' << json_key("job") << notice.job_id;
+  if (notice.kind == SimFaultNotice::Kind::kStragglerBegin) {
+    os << ',' << json_key("severity") << json_number(notice.severity);
+  }
+  os << '}';
+  lines_.push_back(os.str());
+  ++fault_lines_;
+}
+
+void ProvenanceObserver::on_run_end(const SimTick& tick) {
+  drain_rounds();
+  std::ostringstream os;
+  os << '{' << json_key("type") << json_str("run_end") << ','
+     << json_key("t_s") << json_number(tick.now_s) << ','
+     << json_key("rounds") << emitted_rounds_ << ',' << json_key("faults")
+     << fault_lines_ << '}';
+  lines_.push_back(os.str());
+}
+
+void ProvenanceObserver::write_jsonl(std::ostream& os) const {
+  for (const std::string& line : lines_) os << line << '\n';
+}
+
+}  // namespace rubick

@@ -1,0 +1,59 @@
+// SimObserver that streams decision-provenance records to a JSONL log.
+//
+// Sits on the same observer seam as the TelemetryObserver: the policy
+// appends RoundRecords to a ProvenanceRecorder during schedule(), and this
+// observer drains them at every simulator tick into pre-rendered JSONL
+// lines (header / round / fault / run_end — see provenance/decision_log.h
+// for the schema). Fault notices are interleaved at their simulated time,
+// so a round that reacts to a fault sits right after the fault line that
+// explains it.
+//
+// When a TraceRecorder is supplied (and enabled), each drained round also
+// emits a flow-end event on the simulated-time "decisions" track with the
+// round's seq as the flow id — the other half of the flow-start the policy
+// records inside its phase:decide span, which is what links a Perfetto
+// decision span to the simulated round it produced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/audit.h"
+#include "provenance/provenance.h"
+
+namespace rubick {
+
+class TraceRecorder;
+
+class ProvenanceObserver final : public SimObserver {
+ public:
+  // `recorder` must be the one attached to the run's policy and must
+  // outlive this observer. `trace` may be null (no flow events).
+  ProvenanceObserver(ProvenanceRecorder* recorder, std::string policy_name,
+                     TraceRecorder* trace = nullptr);
+
+  void on_run_begin(const SimRunInfo& info) override;
+  void on_tick(const SimTick& tick) override;
+  void on_run_end(const SimTick& tick) override;
+  void on_fault(const SimFaultNotice& notice) override;
+
+  // One JSONL line per element, written in arrival order.
+  void write_jsonl(std::ostream& os) const;
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::uint64_t rounds_emitted() const { return emitted_rounds_; }
+
+ private:
+  void drain_rounds();
+
+  ProvenanceRecorder* recorder_;
+  std::string policy_name_;
+  TraceRecorder* trace_;
+  std::vector<std::string> lines_;
+  std::uint64_t emitted_rounds_ = 0;
+  std::size_t fault_lines_ = 0;
+};
+
+}  // namespace rubick

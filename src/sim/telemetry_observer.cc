@@ -21,7 +21,11 @@ std::string run_label(const ExecutionPlan& plan, const Placement& placement) {
 }
 
 // Fault episodes render on per-node tracks well above any job id.
+// Stragglers get their own track range: a straggler episode can span a
+// node outage (begin before the crash, end after the recovery), and two
+// partially-overlapping 'X' spans on one track break Chrome-trace nesting.
 constexpr int kFaultTidBase = 1000000;
+constexpr int kStragglerTidBase = 1500000;
 
 }  // namespace
 
@@ -88,16 +92,17 @@ void TelemetryObserver::on_fault(const SimFaultNotice& notice) {
       break;
     }
     case SimFaultNotice::Kind::kStragglerBegin:
-      recorder_->set_thread_name(kTraceSimPid, tid,
+      recorder_->set_thread_name(kTraceSimPid, kStragglerTidBase + notice.node,
                                  "node " + std::to_string(notice.node) +
-                                     " faults");
+                                     " stragglers");
       open_stragglers_[notice.node] = notice.now_s;
       break;
     case SimFaultNotice::Kind::kStragglerEnd: {
       auto it = open_stragglers_.find(notice.node);
       if (it != open_stragglers_.end()) {
         recorder_->add_complete_sim("straggler", "fault", it->second,
-                                    notice.now_s, tid);
+                                    notice.now_s,
+                                    kStragglerTidBase + notice.node);
         open_stragglers_.erase(it);
       }
       break;
@@ -249,7 +254,7 @@ void TelemetryObserver::on_run_end(const SimTick& tick) {
   open_outages_.clear();
   for (const auto& [node, begin_s] : open_stragglers_)
     recorder_->add_complete_sim("straggler", "fault", begin_s, tick.now_s,
-                                kFaultTidBase + node);
+                                kStragglerTidBase + node);
   open_stragglers_.clear();
   std::uint64_t reconfigs = 0;
   for (const auto& [id, st] : jobs_) {

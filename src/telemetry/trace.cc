@@ -99,6 +99,35 @@ void TraceRecorder::add_counter_sim(const std::string& name, double t_s,
   add(std::move(ev));
 }
 
+void TraceRecorder::add_flow_start_wall(const char* cat,
+                                        const std::string& name,
+                                        std::uint64_t at_ns,
+                                        std::uint64_t flow_id) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 's';
+  ev.ts_us = static_cast<double>(at_ns) * 1e-3;
+  ev.pid = kTraceSchedulerPid;
+  ev.tid = current_tid();
+  ev.flow_id = flow_id;
+  add(std::move(ev));
+}
+
+void TraceRecorder::add_flow_end_sim(const char* cat, const std::string& name,
+                                     double t_s, int tid,
+                                     std::uint64_t flow_id) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'f';
+  ev.ts_us = t_s * 1e6;
+  ev.pid = kTraceSimPid;
+  ev.tid = tid;
+  ev.flow_id = flow_id;
+  add(std::move(ev));
+}
+
 void TraceRecorder::set_process_name(int pid, const std::string& name) {
   TraceEvent ev;
   ev.name = "process_name";
@@ -159,6 +188,11 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     os << ", \"ts\": " << json_number(ev.ts_us);
     if (ev.ph == 'X') os << ", \"dur\": " << json_number(ev.dur_us);
     os << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid;
+    if (ev.ph == 's' || ev.ph == 't' || ev.ph == 'f') {
+      os << ", \"id\": " << ev.flow_id;
+      // Bind the flow end to the enclosing slice rather than the next one.
+      if (ev.ph == 'f') os << ", \"bp\": \"e\"";
+    }
     if (!ev.args_json.empty()) os << ", \"args\": " << ev.args_json;
     os << "}";
     first = false;

@@ -36,11 +36,16 @@ inline constexpr int kTraceSimPid = 2;
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char ph = 'X';      // X complete, i instant, C counter, M metadata
+  // X complete, i instant, C counter, M metadata, s/t/f flow start/step/end
+  char ph = 'X';
   double ts_us = 0.0;
   double dur_us = 0.0;  // 'X' only
   int pid = kTraceSchedulerPid;
   int tid = 0;
+  // Flow-event binding id ('s'/'t'/'f' only). The provenance layer uses the
+  // decision-record sequence number, linking a scheduler-side span to the
+  // simulated round it decided (DESIGN.md §12).
+  std::uint64_t flow_id = 0;
   // Raw JSON object for "args" (including braces), empty for none.
   std::string args_json;
 };
@@ -71,6 +76,13 @@ class TraceRecorder {
                         std::string args_json = {});
   void add_counter_sim(const std::string& name, double t_s, int tid,
                        std::string args_json);
+  // Flow events: a named arrow from a wall-clock point on the calling
+  // thread's scheduler track ('s') to a simulated-time point ('f') with the
+  // same flow id. Perfetto draws the link across the two processes.
+  void add_flow_start_wall(const char* cat, const std::string& name,
+                           std::uint64_t at_ns, std::uint64_t flow_id);
+  void add_flow_end_sim(const char* cat, const std::string& name, double t_s,
+                        int tid, std::uint64_t flow_id);
   // Metadata: names a process or thread track in the viewer.
   void set_process_name(int pid, const std::string& name);
   void set_thread_name(int pid, int tid, const std::string& name);

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Merge per-bench --sched-json outputs into one repo-root BENCH_sched.json.
+
+Each benchmark binary (bench_micro_scheduler, bench_fig10_load, ...) writes
+its own single-document report when run with --sched-json=FILE. This tool
+merges any number of those documents into one trajectory-friendly file:
+
+  {
+    "schema_version": 1,
+    "git_sha": "<rev-parse HEAD, or 'unknown' outside a checkout>",
+    "benches": {
+      "<bench name>": {
+        "latency": {          # normalized cold/steady percentiles, seconds
+          "<label>": {"mean_s": ..., "p50_s": ..., "p90_s": ..., "p99_s": ...}
+        },
+        "counters": {...},    # verbatim from the bench document
+        "raw": {...}          # the full original document
+      }
+    }
+  }
+
+Labels are "cold[@jobs]" / "steady_fast_path[@jobs]" / ... for the
+microbenchmark's per-job-count rounds and "decision_latency" for histogram
+reports. Duplicate bench names fail loudly (a merge must not silently drop
+a run). Used by the CI bench-smoke job, which uploads the merged file.
+
+Usage: bench_report.py --out BENCH_sched.json FILE [FILE ...]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def git_sha():
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def pick_percentiles(obj):
+    """Normalizes one latency summary to mean/p50/p90/p99 keys (seconds).
+
+    Accepts both the microbenchmark's {mean_s,p50_s,p90_s,p99_s} summaries
+    and the histogram report's {mean_s,p50_le_s,p90_le_s,p99_le_s}.
+    """
+    out = {}
+    for key in ("mean_s", "p50_s", "p90_s", "p99_s"):
+        if key in obj:
+            out[key] = obj[key]
+        elif key.replace("_s", "_le_s") in obj:
+            out[key] = obj[key.replace("_s", "_le_s")]
+    return out
+
+
+def normalize(doc):
+    latency = {}
+    for round_doc in doc.get("rounds", []):
+        suffix = f"@{round_doc['jobs']}" if "jobs" in round_doc else ""
+        for label, summary in round_doc.items():
+            if isinstance(summary, dict) and "p50_s" in summary:
+                latency[f"{label}{suffix}"] = pick_percentiles(summary)
+    for label in ("decision_latency_s",):
+        if isinstance(doc.get(label), dict):
+            latency["decision_latency"] = pick_percentiles(doc[label])
+    return {
+        "latency": latency,
+        "counters": doc.get("counters", {}),
+        "raw": doc,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, help="merged output path")
+    parser.add_argument("inputs", nargs="+", help="per-bench --sched-json files")
+    args = parser.parse_args()
+
+    benches = {}
+    for path in args.inputs:
+        with open(path, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as exc:
+                print(f"bench_report: {path}: not valid JSON: {exc}",
+                      file=sys.stderr)
+                return 1
+        name = doc.get("bench")
+        if not isinstance(name, str) or not name:
+            print(f"bench_report: {path}: missing 'bench' name",
+                  file=sys.stderr)
+            return 1
+        if name in benches:
+            print(f"bench_report: duplicate bench {name!r} (from {path})",
+                  file=sys.stderr)
+            return 1
+        benches[name] = normalize(doc)
+
+    merged = {
+        "schema_version": 1,
+        "git_sha": git_sha(),
+        "benches": benches,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_report: wrote {args.out} ({len(benches)} bench(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,524 @@
+// rubick_explain: answer "why did the scheduler do that?" from a decision
+// log written by `rubick_simulate --decisions-out=FILE`.
+//
+// Usage:
+//   rubick_explain <command> [args] --log=FILE [options]
+//
+// Commands:
+//   summary                    totals: rounds, decisions by kind, trades,
+//                              faults, fast-path share
+//   why-job <J> [--at=T]       the decision for job J at time T (default:
+//                              end of log) with its curve evidence, SLA and
+//                              gate facts, plus the trade or fault behind
+//                              the job's most recent allocation change
+//   why-shrink [<J>]           every shrink/preemption (of job J, or all
+//                              jobs), each with the trades and faults that
+//                              explain it
+//   trade-chain [--round=SEQ | --at=T]
+//                              the Algorithm-1 trade chain of one round
+//                              (default: the latest round that traded)
+//   timeline <J>               every allocation change of job J in order,
+//                              interleaved with the faults that hit it
+//   diff <OTHER_LOG>           compare two logs round-by-round (exit 2 on
+//                              divergence)
+//
+// Options:
+//   --log=FILE        decision log (required)
+//   --trace-csv=FILE  job trace CSV; adds model/tenant names to output
+//   --at=T            reference time in seconds (default: end of log)
+//
+// The heavy lifting (parsing, queries) lives in provenance/decision_log.h
+// so it stays unit-tested; this tool is the formatter.
+#include <cstddef>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "plan/execution_plan.h"
+#include "provenance/decision_log.h"
+#include "provenance/provenance.h"
+#include "trace/job.h"
+#include "trace/trace_io.h"
+
+namespace rubick {
+namespace {
+
+constexpr double kEndOfLog = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------- argv ----
+
+// CliFlags rejects positional arguments, and this tool is built around a
+// positional subcommand — so it parses argv by hand: `--key=value`,
+// `--key value`, everything else positional.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool has(const std::string& key) const { return flags.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    if (it == flags.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    RUBICK_CHECK_MSG(end != nullptr && *end == '\0',
+                     "--" << key << " expects a number, got '" << it->second
+                          << "'");
+    return v;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      args.positional.push_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.flags[arg.substr(2)] = argv[++i];
+    } else {
+      args.flags[arg.substr(2)] = "true";  // bare boolean flag
+    }
+  }
+  return args;
+}
+
+int parse_job_id(const std::string& text) {
+  char* end = nullptr;
+  const long id = std::strtol(text.c_str(), &end, 10);
+  RUBICK_CHECK_MSG(end != nullptr && *end == '\0' && !text.empty(),
+                   "expected a job id, got '" << text << "'");
+  return static_cast<int>(id);
+}
+
+// ---------------------------------------------------------- formatting ----
+
+std::string fmt_time(double t_s) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << "t=" << t_s << "s";
+  return os.str();
+}
+
+std::string fmt_rate(double samples_per_s) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << samples_per_s << " samples/s";
+  return os.str();
+}
+
+// "job 17" or "job 17 (GPT-2, tenant-a)" when a trace CSV was supplied.
+class JobNames {
+ public:
+  void load(const std::string& trace_csv) {
+    for (const JobSpec& job : read_trace_csv_file(trace_csv)) {
+      specs_[job.id] = job;
+    }
+  }
+  std::string describe(int job_id) const {
+    std::ostringstream os;
+    os << "job " << job_id;
+    const auto it = specs_.find(job_id);
+    if (it != specs_.end()) {
+      os << " (" << it->second.model_name << ", " << it->second.tenant
+         << (it->second.guaranteed ? ", guaranteed" : ", best-effort") << ")";
+    }
+    return os.str();
+  }
+
+ private:
+  std::map<int, JobSpec> specs_;
+};
+
+std::string describe_alloc(const DecisionRecord& r) {
+  std::ostringstream os;
+  if (r.gpus == 0) {
+    os << "no allocation";
+    return os.str();
+  }
+  os << r.gpus << " GPU" << (r.gpus == 1 ? "" : "s") << " / " << r.cpus
+     << " CPU" << (r.cpus == 1 ? "" : "s") << " on " << r.nodes << " node"
+     << (r.nodes == 1 ? "" : "s");
+  if (r.has_plan) os << ", plan " << r.plan.display_name();
+  return os.str();
+}
+
+void print_curve(const CurveEvidence& curve, int indent) {
+  const std::string pad(indent, ' ');
+  if (curve.curve_key.empty()) {
+    std::cout << pad << "curve evidence: none recorded (baseline policy or "
+                        "queued job)\n";
+    return;
+  }
+  std::cout << pad << "curve " << curve.curve_key << ": feasible widths ["
+            << curve.min_feasible_gpus << ", " << curve.max_useful_gpus
+            << "], " << curve.candidate_width_count
+            << " candidates considered\n";
+  for (std::size_t i = 0; i < curve.widths.size(); ++i) {
+    std::cout << pad << "  width " << curve.widths[i] << " -> "
+              << fmt_rate(curve.width_throughput[i]) << "\n";
+  }
+  if (curve.chosen_throughput > 0.0) {
+    std::cout << pad << "  chosen width delivers "
+              << fmt_rate(curve.chosen_throughput) << "\n";
+  }
+}
+
+void print_gates(const DecisionRecord& r, int indent) {
+  const std::string pad(indent, ' ');
+  std::vector<std::string> facts;
+  if (r.gates.frozen) {
+    // A frozen job can still be shrunk by a forced below-minRes claimant
+    // (Algorithm 1's SLA override); say so instead of claiming the gate
+    // held when it visibly didn't.
+    facts.push_back(r.kind == DecisionKind::kShrink ||
+                            r.kind == DecisionKind::kPreempt
+                        ? "reconfig-penalty gate held this job, but a forced "
+                          "below-minRes claimant overrode it"
+                        : "reconfig-penalty gate held the width");
+  }
+  if (r.gates.starvation_forced)
+    facts.push_back("starvation override forced scheduling");
+  if (r.gates.opportunistic)
+    facts.push_back("opportunistic admission below minRes");
+  if (r.gates.backoff_gated) {
+    std::ostringstream os;
+    os << "reconfig-retry backoff active (retry not before "
+       << fmt_time(r.gates.retry_not_before_s) << ")";
+    facts.push_back(os.str());
+  }
+  if (r.gates.degraded)
+    facts.push_back("degraded: pinned to last-known-good plan");
+  if (r.gates.fault_dropped)
+    facts.push_back("fault tolerance dropped this round's grant");
+  if (r.gates.reconfig_failures > 0) {
+    std::ostringstream os;
+    os << r.gates.reconfig_failures << " reconfiguration failure"
+       << (r.gates.reconfig_failures == 1 ? "" : "s") << " so far";
+    facts.push_back(os.str());
+  }
+  if (facts.empty()) {
+    std::cout << pad << "gates: none active\n";
+    return;
+  }
+  std::cout << pad << "gates:\n";
+  for (const std::string& f : facts) std::cout << pad << "  - " << f << "\n";
+}
+
+void print_sla(const DecisionRecord& r, int indent) {
+  const std::string pad(indent, ' ');
+  std::cout << pad << "sla: "
+            << (r.sla.guaranteed ? "guaranteed" : "best-effort");
+  if (r.sla.guaranteed) {
+    std::cout << ", owed " << fmt_rate(r.sla.baseline_throughput)
+              << ", minRes " << r.sla.min_gpus << " GPUs / " << r.sla.min_cpus
+              << " CPUs";
+  }
+  std::cout << "\n";
+}
+
+void print_trade(const TradeEvent& t, const JobNames& names, int indent) {
+  const std::string pad(indent, ' ');
+  std::cout << pad << "- " << names.describe(t.claimant_id) << " took 1 "
+            << (t.gpu ? "GPU" : "CPU") << " from "
+            << names.describe(t.victim_id) << " on node " << t.node << ": "
+            << "victim " << t.victim_before << " -> " << t.victim_after
+            << " (floor " << t.victim_min << "), slopes claimant "
+            << fmt_rate(t.claimant_slope) << " vs victim "
+            << fmt_rate(t.victim_slope);
+  if (t.forced) std::cout << " [forced: claimant below its floor]";
+  if (t.preempted_victim) std::cout << " [victim preempted]";
+  std::cout << "\n";
+}
+
+void print_faults(const std::vector<const FaultLogRecord*>& faults,
+                  int indent) {
+  const std::string pad(indent, ' ');
+  for (const FaultLogRecord* f : faults) {
+    std::cout << pad << "- " << fmt_time(f->t_s) << " fault '" << f->kind
+              << "'";
+    if (f->node >= 0) std::cout << " on node " << f->node;
+    if (f->job_id >= 0) std::cout << " hitting job " << f->job_id;
+    std::cout << "\n";
+  }
+}
+
+// The evidence window behind a change in `round`: everything after the
+// previous round the job appeared in.
+double window_start(const DecisionLog& log, const RoundRecord* round,
+                    int job_id) {
+  double start = -kEndOfLog;
+  for (const RoundRecord& r : log.rounds) {
+    if (&r == round) break;
+    if (find_decision(r, job_id) != nullptr) start = r.now_s;
+  }
+  return start;
+}
+
+// Explains one allocation change: the trades that funded/robbed it and the
+// faults in the window leading up to it.
+void explain_change(const DecisionLog& log, const JobChange& change,
+                    int job_id, const JobNames& names, int indent) {
+  const std::string pad(indent, ' ');
+  const double start = window_start(log, change.round, job_id);
+  const std::vector<const TradeEvent*> trades =
+      trades_for(*change.round, job_id);
+  const std::vector<const FaultLogRecord*> faults =
+      faults_between(log, start, change.round->now_s);
+  if (!trades.empty()) {
+    std::cout << pad << "trades in that round involving this job:\n";
+    for (const TradeEvent* t : trades) print_trade(*t, names, indent + 2);
+  }
+  if (!faults.empty()) {
+    std::cout << pad << "faults since the previous round ("
+              << fmt_time(start) << "):\n";
+    print_faults(faults, indent + 2);
+  }
+  if (trades.empty() && faults.empty()) {
+    std::cout << pad << "no trades or faults involved: the policy re-planned "
+                        "from its sensitivity curves alone\n";
+  }
+}
+
+// ---------------------------------------------------------- subcommands ----
+
+int cmd_summary(const DecisionLog& log) {
+  std::map<std::string, int> by_kind;
+  std::size_t trades = 0;
+  std::size_t fast = 0;
+  for (const RoundRecord& r : log.rounds) {
+    trades += r.trades.size();
+    if (r.fast_path) ++fast;
+    for (const DecisionRecord& d : r.decisions) ++by_kind[to_string(d.kind)];
+  }
+  std::cout << "policy " << log.policy << " (schema v" << log.schema_version
+            << "): " << log.rounds.size() << " rounds (" << fast
+            << " fast-path replays), " << trades << " trades, "
+            << log.faults.size() << " faults\n";
+  for (const auto& [kind, count] : by_kind) {
+    std::cout << "  " << kind << ": " << count << "\n";
+  }
+  return 0;
+}
+
+int cmd_why_job(const DecisionLog& log, int job_id, double at_s,
+                const JobNames& names) {
+  const RoundRecord* round = last_round_with_job(log, job_id, at_s);
+  if (round == nullptr) {
+    std::cout << "job " << job_id << " never appears in the log";
+    if (at_s != kEndOfLog) std::cout << " at or before " << fmt_time(at_s);
+    std::cout << "\n";
+    return 1;
+  }
+  const DecisionRecord* rec = find_decision(*round, job_id);
+  std::cout << names.describe(job_id) << " at " << fmt_time(round->now_s)
+            << " (round " << round->seq << (round->fast_path
+            ? ", fast-path replay" : "") << "):\n";
+  std::cout << "  decision: " << to_string(rec->kind) << " -> "
+            << describe_alloc(*rec) << "\n";
+  if (rec->prev_gpus > 0 && rec->has_prev_plan) {
+    std::cout << "  previously: " << rec->prev_gpus << " GPUs, plan "
+              << rec->prev_plan.display_name() << "\n";
+  }
+  print_curve(rec->curve, 2);
+  print_sla(*rec, 2);
+  print_gates(*rec, 2);
+
+  const JobChange change = last_allocation_change(log, job_id, at_s);
+  if (change.round == nullptr) {
+    std::cout << "  allocation never changed in the queried window\n";
+    return 0;
+  }
+  std::cout << "  most recent allocation change: "
+            << to_string(change.record->kind) << " at "
+            << fmt_time(change.round->now_s) << " (round " << change.round->seq
+            << "), " << change.record->prev_gpus << " -> "
+            << change.record->gpus << " GPUs\n";
+  explain_change(log, change, job_id, names, 2);
+  return 0;
+}
+
+int cmd_why_shrink(const DecisionLog& log, int job_id, const JobNames& names) {
+  const std::vector<JobChange> events = shrink_events(log, job_id);
+  if (events.empty()) {
+    std::cout << "no shrinks or preemptions"
+              << (job_id >= 0 ? " for job " + std::to_string(job_id) : "")
+              << " in the log\n";
+    return 0;
+  }
+  std::cout << events.size() << " shrink/preemption event"
+            << (events.size() == 1 ? "" : "s") << ":\n";
+  for (const JobChange& e : events) {
+    std::cout << "\n" << names.describe(e.record->job_id) << " at "
+              << fmt_time(e.round->now_s) << " (round " << e.round->seq
+              << "): " << to_string(e.record->kind) << " "
+              << e.record->prev_gpus << " -> " << e.record->gpus << " GPUs\n";
+    print_gates(*e.record, 2);
+    explain_change(log, e, e.record->job_id, names, 2);
+  }
+  return 0;
+}
+
+int cmd_trade_chain(const DecisionLog& log, const Args& args,
+                    const JobNames& names) {
+  const RoundRecord* round = nullptr;
+  if (args.has("round")) {
+    const double want = args.get_double("round", 0);
+    for (const RoundRecord& r : log.rounds) {
+      if (static_cast<double>(r.seq) == want) round = &r;
+    }
+    RUBICK_CHECK_MSG(round != nullptr,
+                     "no round with seq " << args.get("round", ""));
+  } else if (args.has("at")) {
+    const double at_s = args.get_double("at", 0);
+    for (const RoundRecord& r : log.rounds) {
+      if (r.now_s <= at_s && !r.trades.empty()) round = &r;
+    }
+  } else {
+    for (const RoundRecord& r : log.rounds) {
+      if (!r.trades.empty()) round = &r;  // latest round that traded
+    }
+  }
+  if (round == nullptr) {
+    std::cout << "no round with trades found\n";
+    return 0;
+  }
+  if (round->trades.empty()) {
+    std::cout << "round " << round->seq << " at " << fmt_time(round->now_s)
+              << " traded nothing\n";
+    return 0;
+  }
+  std::cout << "round " << round->seq << " at " << fmt_time(round->now_s)
+            << ": " << round->trades.size() << " trade"
+            << (round->trades.size() == 1 ? "" : "s") << "\n";
+  for (const TradeEvent& t : round->trades) print_trade(t, names, 2);
+  return 0;
+}
+
+int cmd_timeline(const DecisionLog& log, int job_id, const JobNames& names) {
+  std::cout << "timeline for " << names.describe(job_id) << ":\n";
+  // Merge allocation changes and job/any faults in time order. Rounds and
+  // faults are each already sorted, so a two-pointer walk suffices.
+  std::size_t fi = 0;
+  bool any = false;
+  bool was_queued = false;
+  for (const RoundRecord& r : log.rounds) {
+    const DecisionRecord* rec = find_decision(r, job_id);
+    if (rec == nullptr) continue;
+    while (fi < log.faults.size() && log.faults[fi].t_s <= r.now_s) {
+      const FaultLogRecord& f = log.faults[fi++];
+      if (f.job_id == job_id) {
+        std::cout << "  " << fmt_time(f.t_s) << "  fault '" << f.kind
+                  << "'\n";
+        any = true;
+      }
+    }
+    // Only changes: skip steady-state keeps and all-but-the-first of a
+    // consecutive run of queue records.
+    const bool queued = rec->kind == DecisionKind::kQueue;
+    const bool skip = rec->kind == DecisionKind::kKeep ||
+                      (queued && was_queued);
+    was_queued = queued;
+    if (skip) continue;
+    std::cout << "  " << fmt_time(r.now_s) << "  " << to_string(rec->kind)
+              << ": " << describe_alloc(*rec);
+    if (rec->prev_gpus != rec->gpus) {
+      std::cout << " (was " << rec->prev_gpus << " GPUs)";
+    }
+    std::cout << "\n";
+    any = true;
+  }
+  if (!any) std::cout << "  (job never appears)\n";
+  return 0;
+}
+
+int cmd_diff(const DecisionLog& a, const DecisionLog& b) {
+  const std::vector<std::string> diffs = diff_logs(a, b);
+  if (diffs.empty()) {
+    std::cout << "logs agree: " << a.rounds.size()
+              << " rounds, identical decisions\n";
+    return 0;
+  }
+  std::cout << diffs.size() << " difference" << (diffs.size() == 1 ? "" : "s")
+            << ":\n";
+  for (const std::string& d : diffs) std::cout << "  " << d << "\n";
+  return 2;
+}
+
+int usage() {
+  std::cerr
+      << "usage: rubick_explain <command> [args] --log=FILE [options]\n"
+         "commands: summary | why-job <J> [--at=T] | why-shrink [<J>]\n"
+         "          | trade-chain [--round=SEQ|--at=T] | timeline <J>\n"
+         "          | diff <OTHER_LOG>\n"
+         "options: --log=FILE (required), --trace-csv=FILE, --at=T\n";
+  return 64;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.positional.empty()) return usage();
+  const std::string& command = args.positional[0];
+
+  const std::string log_path = args.get("log", "");
+  if (log_path.empty()) {
+    std::cerr << "rubick_explain: --log=FILE is required\n";
+    return 64;
+  }
+  const DecisionLog log = read_decision_log_file(log_path);
+
+  JobNames names;
+  const std::string trace_csv = args.get("trace-csv", "");
+  if (!trace_csv.empty()) names.load(trace_csv);
+
+  const double at_s = args.get_double("at", kEndOfLog);
+
+  if (command == "summary") return cmd_summary(log);
+  if (command == "why-job") {
+    if (args.positional.size() != 2) return usage();
+    return cmd_why_job(log, parse_job_id(args.positional[1]), at_s, names);
+  }
+  if (command == "why-shrink") {
+    const int job_id =
+        args.positional.size() > 1 ? parse_job_id(args.positional[1]) : -1;
+    return cmd_why_shrink(log, job_id, names);
+  }
+  if (command == "trade-chain") return cmd_trade_chain(log, args, names);
+  if (command == "timeline") {
+    if (args.positional.size() != 2) return usage();
+    return cmd_timeline(log, parse_job_id(args.positional[1]), names);
+  }
+  if (command == "diff") {
+    if (args.positional.size() != 2) return usage();
+    return cmd_diff(log, read_decision_log_file(args.positional[1]));
+  }
+  std::cerr << "rubick_explain: unknown command '" << command << "'\n";
+  return usage();
+}
+
+}  // namespace
+}  // namespace rubick
+
+int main(int argc, char** argv) {
+  try {
+    return rubick::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "rubick_explain: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -44,6 +44,13 @@
 //
 //   rubick_simulate --policy=rubick --jobs=200 --fault-seed=13
 //                   --reconfig-failure-prob=0.1 --audit --audit-policy=throw
+//
+// Decision provenance (DESIGN.md §12): `--decisions-out=d.jsonl` attaches a
+// ProvenanceRecorder to the FIRST seed's policy and streams one structured
+// "why" record per scheduling round (chosen plans, curve evidence, trade
+// chains, gating facts, fault evidence) to a JSONL log; inspect it with
+// tools/rubick_explain. Combined with --trace-out, Perfetto flow arrows
+// link each decision span to the simulated round it produced.
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -64,6 +71,8 @@
 #include "core/rubick_policy.h"
 #include "failure/fault_plan.h"
 #include "perf/oracle.h"
+#include "provenance/provenance.h"
+#include "sim/provenance_observer.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
 #include "sim/telemetry_observer.h"
@@ -115,6 +124,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = flags.get_string("metrics-out", "");
   const std::string trace_out = flags.get_string("trace-out", "");
   const std::string events_out = flags.get_string("events-out", "");
+  const std::string decisions_out = flags.get_string("decisions-out", "");
   const bool log_json = flags.get_bool("log-json", false);
   const int history_id = flags.get_int("job-history", -1);
   const double gate = flags.get_double("gate-threshold", 0.97);
@@ -257,6 +267,13 @@ int main(int argc, char** argv) {
   // starts.
   const std::string policy_display =
       factory.create(policy_name, policy_params)->name();
+
+  // Decision provenance follows the first seed's run, like the telemetry
+  // observer: the recorder hangs off that run's policy, the observer drains
+  // it into JSONL lines at every simulator tick.
+  ProvenanceRecorder decisions_recorder;
+  ProvenanceObserver decisions_observer(&decisions_recorder, policy_display,
+                                        &TraceRecorder::global());
   {
     RunContext probe;
     probe.options = &sim_options;
@@ -278,6 +295,10 @@ int main(int argc, char** argv) {
       InvariantAuditor auditor(audit_config);
       if (audit) observers.add(&auditor);
       if (telemetry && i == 0) observers.add(&telemetry_observer);
+      if (!decisions_out.empty() && i == 0) {
+        observers.add(&decisions_observer);
+        policy->set_provenance(&decisions_recorder);
+      }
       RunContext ctx;
       ctx.options = &sim_options;
       if (!fault_plan.empty()) ctx.fault_plan = &fault_plan;
@@ -359,6 +380,11 @@ int main(int argc, char** argv) {
     std::ofstream os(events_out);
     RUBICK_CHECK_MSG(os.good(), "cannot open " << events_out);
     telemetry_observer.write_events_jsonl(os);
+  }
+  if (!decisions_out.empty()) {
+    std::ofstream os(decisions_out);
+    RUBICK_CHECK_MSG(os.good(), "cannot open " << decisions_out);
+    decisions_observer.write_jsonl(os);
   }
   return total_violations > 0 ? 1 : 0;
 }

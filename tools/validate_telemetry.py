@@ -15,6 +15,14 @@ Checks three outputs (each optional; pass the ones you have):
                    least N per-job tracks in the simulation process.
   --events FILE    JSONL from --events-out: one JSON object per line, each
                    with "type" and "t_s", times non-decreasing.
+  --decisions FILE decision-log JSONL from --decisions-out: a header line
+                   with a schema_version, round seqs strictly increasing,
+                   round times non-decreasing, job ids unique per round,
+                   trades referencing jobs present in their round, known
+                   decision kinds, digests rendered as "0x..." strings.
+                   When --trace is also given, every round seq must appear
+                   as a flow id in the trace (the Perfetto link between a
+                   decision span and the round it produced).
 
 Exits 0 when everything passes, 1 with one line per failure otherwise.
 Used by ctest (telemetry_validate) and the CI telemetry smoke job.
@@ -27,6 +35,9 @@ import sys
 SCHEDULER_PID = 1
 SIM_PID = 2
 DECISION_SPAN_NAME = "RubickPolicy::schedule"
+DECISION_KINDS = {
+    "queue", "admit", "keep", "grow", "shrink", "preempt", "replan",
+}
 
 errors = []
 
@@ -69,6 +80,14 @@ def validate_metrics(path):
             )
 
 
+def eps(value):
+    """Comparison slack for timestamps: ts values are serialized with 15
+    significant digits, so two renderings of the same boundary can differ
+    by ~1e-15 of their magnitude. Scale the tolerance accordingly (with a
+    floor for small values)."""
+    return max(1e-9, 1e-12 * abs(value))
+
+
 def check_nesting(path, track, spans):
     """'X' spans on one track must nest like a call stack: a span starting
     inside another must also end inside it."""
@@ -76,9 +95,9 @@ def check_nesting(path, track, spans):
     stack = []  # end timestamps of open spans
     for begin, dur, name in spans:
         end = begin + dur
-        while stack and begin >= stack[-1] - 1e-9:
+        while stack and begin >= stack[-1] - eps(stack[-1]):
             stack.pop()
-        if stack and end > stack[-1] + 1e-9:
+        if stack and end > stack[-1] + eps(stack[-1]):
             fail(
                 f"{path}: track {track} span {name!r} "
                 f"[{begin}, {end}] partially overlaps an enclosing span "
@@ -102,6 +121,7 @@ def validate_trace(path, min_decision_spans, min_job_tracks):
     tracks = {}
     decision_spans = 0
     job_tracks = set()
+    flow_ids = set()
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: traceEvents[{i}] is not an object")
@@ -110,8 +130,16 @@ def validate_trace(path, min_decision_spans, min_job_tracks):
             if key not in ev:
                 fail(f"{path}: traceEvents[{i}] missing {key!r}")
         ph = ev.get("ph")
-        if ph not in ("X", "M", "C", "i"):
+        if ph not in ("X", "M", "C", "i", "s", "t", "f"):
             fail(f"{path}: traceEvents[{i}] unknown ph {ph!r}")
+        if ph in ("s", "t", "f"):
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, int):
+                fail(f"{path}: traceEvents[{i}] flow event without int 'id'")
+                continue
+            if ph == "f" and ev.get("bp") != "e":
+                fail(f"{path}: traceEvents[{i}] flow end without 'bp':'e'")
+            flow_ids.add(flow_id)
         if ph == "X":
             ts, dur = ev.get("ts"), ev.get("dur")
             if not isinstance(ts, (int, float)):
@@ -141,6 +169,7 @@ def validate_trace(path, min_decision_spans, min_job_tracks):
             f"{path}: {len(job_tracks)} per-job tracks in the simulation "
             f"process, expected >= {min_job_tracks}"
         )
+    return flow_ids
 
 
 def validate_events(path):
@@ -170,23 +199,115 @@ def validate_events(path):
             last_t_s = t_s
 
 
+def validate_decisions(path, trace_flow_ids):
+    """Structural checks on the decision log written by --decisions-out."""
+    header_seen = False
+    last_seq = 0
+    last_t_s = float("-inf")
+    round_seqs = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                fail(f"{path}:{lineno}: blank line")
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                fail(f"{path}:{lineno}: not valid JSON: {exc}")
+                continue
+            rtype = rec.get("type")
+            if lineno == 1:
+                if rtype != "header":
+                    fail(f"{path}:1: first line is not a header record")
+                elif not isinstance(rec.get("schema_version"), int):
+                    fail(f"{path}:1: header without integer schema_version")
+                else:
+                    header_seen = True
+                continue
+            if rtype == "fault":
+                t_s = rec.get("t_s")
+                if not isinstance(t_s, (int, float)):
+                    fail(f"{path}:{lineno}: fault without numeric 't_s'")
+                continue
+            if rtype != "round":
+                continue  # run_end and future record types
+            seq = rec.get("seq")
+            if not isinstance(seq, int) or seq <= last_seq:
+                fail(
+                    f"{path}:{lineno}: round seq {seq!r} not strictly "
+                    f"increasing (previous {last_seq})"
+                )
+            else:
+                last_seq = seq
+                round_seqs.append(seq)
+            t_s = rec.get("t_s")
+            if not isinstance(t_s, (int, float)):
+                fail(f"{path}:{lineno}: round without numeric 't_s'")
+            elif t_s < last_t_s:
+                fail(
+                    f"{path}:{lineno}: round t_s {t_s} goes backwards "
+                    f"(previous {last_t_s})"
+                )
+            else:
+                last_t_s = t_s
+            digest = rec.get("digest")
+            if not (isinstance(digest, str) and digest.startswith("0x")):
+                fail(f"{path}:{lineno}: digest {digest!r} is not a hex string")
+            job_ids = set()
+            for d in rec.get("jobs", []):
+                job = d.get("job")
+                if job in job_ids:
+                    fail(f"{path}:{lineno}: duplicate decision for job {job}")
+                job_ids.add(job)
+                if d.get("kind") not in DECISION_KINDS:
+                    fail(
+                        f"{path}:{lineno}: job {job} has unknown kind "
+                        f"{d.get('kind')!r}"
+                    )
+            for t in rec.get("trades", []):
+                for side in ("claimant", "victim"):
+                    if t.get(side) not in job_ids:
+                        fail(
+                            f"{path}:{lineno}: trade {side} {t.get(side)!r} "
+                            f"is not a job decided in this round"
+                        )
+    if not header_seen:
+        fail(f"{path}: no header record")
+    if trace_flow_ids is not None:
+        missing = [s for s in round_seqs if s not in trace_flow_ids]
+        if missing:
+            fail(
+                f"{path}: {len(missing)} round seq(s) have no matching flow "
+                f"id in the trace (first: {missing[0]})"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--metrics", help="metrics JSON (--metrics-out)")
     parser.add_argument("--trace", help="Chrome trace JSON (--trace-out)")
     parser.add_argument("--events", help="run events JSONL (--events-out)")
+    parser.add_argument("--decisions", help="decision JSONL (--decisions-out)")
     parser.add_argument("--min-decision-spans", type=int, default=0)
     parser.add_argument("--min-job-tracks", type=int, default=0)
     args = parser.parse_args()
-    if not (args.metrics or args.trace or args.events):
-        parser.error("nothing to validate: pass --metrics/--trace/--events")
+    if not (args.metrics or args.trace or args.events or args.decisions):
+        parser.error(
+            "nothing to validate: pass --metrics/--trace/--events/--decisions"
+        )
 
+    flow_ids = None
     if args.metrics:
         validate_metrics(args.metrics)
     if args.trace:
-        validate_trace(args.trace, args.min_decision_spans, args.min_job_tracks)
+        flow_ids = validate_trace(
+            args.trace, args.min_decision_spans, args.min_job_tracks
+        )
     if args.events:
         validate_events(args.events)
+    if args.decisions:
+        validate_decisions(args.decisions, flow_ids)
 
     if errors:
         for msg in errors:
