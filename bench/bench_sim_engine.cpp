@@ -1,0 +1,284 @@
+// Event-engine scaling sweep (ISSUE 9, DESIGN.md §13): wall-clock of the
+// indexed event engine vs the legacy full-fleet scan loop on synthetic
+// traces of 500 / 2000 / 8000 jobs, fault-free and (at 2000 jobs) under
+// injected faults. The policy is a deliberately cheap FCFS gang scheduler,
+// so the measured subject is the simulator's event loop, not plan search:
+// the legacy loop is O(fleet) bookkeeping per tick (O(n²) per run), the
+// engine O(affected jobs + log n). Both engines must agree bit-for-bit on
+// every run (checked here on makespan/rounds; the full differential lives
+// in tests/test_sim_engine.cc).
+//
+// `--sched-json=PATH` writes the machine-readable report merged into
+// BENCH_sched.json by tools/bench_report.py; CI gates on the faulted
+// 2000-job speedup staying within 20% of the recorded baseline and on the
+// fitted growth exponent of the indexed curve staying sub-quadratic.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/cli.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/scheduler.h"
+#include "failure/fault_plan.h"
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "trace/job.h"
+#include "trace/trace_gen.h"
+
+using namespace rubick;
+
+namespace {
+
+// FCFS gang scheduling with node-level packing: keep every running job
+// exactly as is, then admit pending jobs in input order onto whatever
+// nodes still have room (splitting across nodes in TP-group multiples).
+// No reconfiguration, no plan search — a few microseconds per round, so
+// simulator bookkeeping dominates the wall clock by construction. Honors
+// `down_nodes` so faulted runs stay legal.
+class FcfsGangPolicy final : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "fcfs-gang"; }
+
+  std::vector<Assignment> schedule(const SchedulerInput& input) override {
+    const int num_nodes = input.cluster->num_nodes;
+    free_gpus_.assign(static_cast<std::size_t>(num_nodes),
+                      input.cluster->node.gpus);
+    free_cpus_.assign(static_cast<std::size_t>(num_nodes),
+                      input.cluster->node.cpus);
+    if (input.down_nodes != nullptr) {
+      for (int n = 0; n < num_nodes; ++n)
+        if ((*input.down_nodes)[static_cast<std::size_t>(n)]) {
+          free_gpus_[static_cast<std::size_t>(n)] = 0;
+          free_cpus_[static_cast<std::size_t>(n)] = 0;
+        }
+    }
+
+    std::vector<Assignment> out;
+    out.reserve(input.jobs.size());
+    for (const JobView& v : input.jobs) {
+      if (!v.running) continue;
+      out.push_back({v.spec->id, v.placement, v.plan});
+      for (const auto& s : v.placement.slices) {
+        free_gpus_[static_cast<std::size_t>(s.node)] -= s.gpus;
+        free_cpus_[static_cast<std::size_t>(s.node)] -= s.cpus;
+      }
+    }
+    for (const JobView& v : input.jobs) {
+      if (v.running) continue;
+      const int want_gpus = v.spec->requested.gpus;
+      const int cpus_per_gpu =
+          want_gpus > 0 ? v.spec->requested.cpus / want_gpus : 0;
+      const int tp = v.plan.tp > 0 ? v.plan.tp : 1;
+      // Feasibility first, in pure arithmetic over the free arrays:
+      // Placement::add re-sorts its slices on every insert, so only build
+      // one for jobs that actually fit (a saturated cluster rejects most
+      // pending jobs most rounds).
+      int left = want_gpus;
+      for (int n = 0; n < num_nodes && left > 0; ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        // Chunks must keep TP groups on one node.
+        int take = std::min(left, free_gpus_[ni]);
+        take -= take % tp;
+        if (take <= 0 || take * cpus_per_gpu > free_cpus_[ni]) continue;
+        left -= take;
+      }
+      if (left > 0) continue;  // not placeable this round; stays pending
+      Placement p;
+      left = want_gpus;
+      for (int n = 0; n < num_nodes && left > 0; ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        int take = std::min(left, free_gpus_[ni]);
+        take -= take % tp;
+        const int cpus = take * cpus_per_gpu;
+        if (take <= 0 || cpus > free_cpus_[ni]) continue;
+        p.add({n, take, cpus, gigabytes(1)});
+        free_gpus_[ni] -= take;
+        free_cpus_[ni] -= cpus;
+        left -= take;
+      }
+      out.push_back({v.spec->id, p, v.plan});
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> free_gpus_;  // reused across rounds
+  std::vector<int> free_cpus_;
+};
+
+struct Measurement {
+  int jobs = 0;
+  bool faulted = false;
+  double indexed_s = 0.0;
+  double legacy_s = 0.0;
+  double speedup = 0.0;
+};
+
+// Faulted-2000 speedup measured on the CI reference machine when this
+// bench was introduced; the bench-smoke job fails if the measured value
+// drops below 80% of this (see .github/workflows/ci.yml). Re-record when
+// the engine legitimately changes shape.
+constexpr double kRecordedSpeedup2000Faulted = 6.25;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string sched_json = flags.get_string("sched-json", "");
+  flags.finish();
+  if (!sched_json.empty()) {
+    set_telemetry_enabled(true);
+    MetricsRegistry::global().reset_values();
+  }
+  set_log_level(LogLevel::kError);
+
+  const ClusterSpec cluster;
+  const GroundTruthOracle oracle(2025);
+  const TraceGenerator gen(cluster, oracle);
+
+  // Fit the performance models once; every run shares the store so neither
+  // engine pays profiling inside the timed region.
+  std::map<std::string, double> costs;
+  std::vector<std::string> names;
+  for (const auto& m : model_zoo()) names.push_back(m.name);
+  const PerfModelStore store =
+      PerfModelStore::profile_models(oracle, cluster, names, 0, &costs);
+
+  std::cout << "=== Event-engine scaling: indexed vs legacy-scan ===\n\n";
+  TextTable table(
+      {"jobs", "faults", "indexed (s)", "legacy (s)", "speedup"});
+
+  auto timed_run = [&](const std::vector<JobSpec>& jobs, SimEngine engine,
+                       const FaultPlan* plan, SimResult* result_out) {
+    SimulationOptions options;
+    options.sim.engine = engine;
+    // The measured subject is the event loop: online refits (Nelder-Mead
+    // over the observation set) would otherwise dominate the wall clock
+    // with work both engines share identically.
+    options.sim.online_refinement = false;
+    RunContext ctx;
+    ctx.store = &store;
+    ctx.profiling_cost_s = &costs;
+    ctx.options = &options;
+    ctx.fault_plan = plan;
+    FcfsGangPolicy policy;
+    const Simulator sim(cluster, oracle);
+    const auto t0 = std::chrono::steady_clock::now();
+    SimResult result = sim.run(jobs, policy, ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (result_out != nullptr) *result_out = std::move(result);
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  auto measure = [&](int num_jobs, const FaultPlan* plan) {
+    TraceOptions opts;
+    opts.seed = 7;
+    opts.num_jobs = num_jobs;
+    // ~10 jobs/hour keeps the run arrival-limited: the FCFS gang policy
+    // drains this cluster at ~13 jobs/h (head-of-line blocking wastes some
+    // capacity), so ~0.8 utilization bounds the concurrently active set as
+    // the fleet grows. What then scales with `num_jobs` is exactly the
+    // per-tick bookkeeping under test — O(fleet) scans in the legacy loop
+    // vs O(affected + log n) in the engine — not the shared O(queue)
+    // scheduling work of an ever-deepening backlog.
+    opts.window_s = hours(static_cast<double>(num_jobs) / 10.0);
+    const std::vector<JobSpec> jobs = gen.generate(opts);
+
+    Measurement m;
+    m.jobs = num_jobs;
+    m.faulted = plan != nullptr;
+    SimResult indexed;
+    SimResult legacy;
+    m.indexed_s = timed_run(jobs, SimEngine::kIndexed, plan, &indexed);
+    m.legacy_s = timed_run(jobs, SimEngine::kLegacyScan, plan, &legacy);
+    m.speedup = m.indexed_s > 0.0 ? m.legacy_s / m.indexed_s : 0.0;
+
+    // Byte-identity spot check (the exhaustive comparison is a tier-1
+    // test); a divergence here means the bench numbers are meaningless.
+    if (indexed.makespan_s != legacy.makespan_s ||
+        indexed.scheduling_rounds != legacy.scheduling_rounds) {
+      std::cerr << "FATAL: engines diverge at " << num_jobs << " jobs\n";
+      std::exit(1);
+    }
+
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", m.indexed_s);
+    const std::string idx_s = buf;
+    std::snprintf(buf, sizeof buf, "%.3f", m.legacy_s);
+    const std::string leg_s = buf;
+    std::snprintf(buf, sizeof buf, "%.1fx", m.speedup);
+    table.add_row({std::to_string(num_jobs), plan ? "yes" : "no", idx_s,
+                   leg_s, buf});
+    return m;
+  };
+
+  std::vector<Measurement> runs;
+  for (const int n : {500, 2000, 8000}) runs.push_back(measure(n, nullptr));
+
+  // Faulted 2000-job run: crashes, transients, stragglers and a 10% warm
+  // reconfiguration failure rate — the accept gate of ISSUE 9.
+  FaultPlanOptions fault_opts;
+  fault_opts.horizon_s = hours(30.0);
+  fault_opts.reconfig_failure_prob = 0.1;
+  const FaultPlan plan = FaultPlan::generate(11, fault_opts, cluster);
+  const Measurement faulted = measure(2000, &plan);
+
+  table.print(std::cout);
+
+  // Fitted growth exponent of the indexed curve: time ~ jobs^e between the
+  // smallest and largest size. The legacy loop sits near e=2; the engine
+  // target is near-linear (sub-quadratic is the CI gate).
+  const double exponent =
+      std::log(runs.back().indexed_s / runs.front().indexed_s) /
+      std::log(static_cast<double>(runs.back().jobs) /
+               static_cast<double>(runs.front().jobs));
+  std::cout << "\nindexed growth exponent (500 -> 8000): ";
+  std::cout.precision(3);
+  std::cout << exponent << " (1 = linear, 2 = quadratic)\n";
+  std::cout << "faulted 2000-job speedup: " << faulted.speedup
+            << "x (recorded baseline " << kRecordedSpeedup2000Faulted
+            << "x)\n";
+
+  if (!sched_json.empty()) {
+    std::ofstream os(sched_json);
+    if (!os) {
+      std::cerr << "cannot open " << sched_json << " for writing\n";
+      return 1;
+    }
+    os.precision(9);
+    MetricsRegistry& reg = MetricsRegistry::global();
+    os << "{\"bench\":\"bench_sim_engine\",\"unit\":\"seconds\",\"sizes\":[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"jobs\":" << runs[i].jobs
+         << ",\"indexed_s\":" << runs[i].indexed_s
+         << ",\"legacy_s\":" << runs[i].legacy_s
+         << ",\"speedup\":" << runs[i].speedup << "}";
+    }
+    os << "],\"growth_exponent\":" << exponent;
+    os << ",\"faulted_2000\":{\"indexed_s\":" << faulted.indexed_s
+       << ",\"legacy_s\":" << faulted.legacy_s
+       << ",\"speedup\":" << faulted.speedup
+       << ",\"recorded_baseline_speedup\":" << kRecordedSpeedup2000Faulted
+       << "}";
+    os << ",\"counters\":{\"heap_pops\":" << reg.counter_value("sim.heap_pops")
+       << ",\"stale_events\":" << reg.counter_value("sim.stale_events")
+       << ",\"index_updates\":" << reg.counter_value("sim.index_updates")
+       << ",\"ticks\":" << reg.counter_value("sim.ticks") << "}}\n";
+    std::cout << "\nwrote " << sched_json << "\n";
+  }
+  return 0;
+}

@@ -12,8 +12,11 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 // NaN means "no simulation has published a clock yet" — the annotation is
-// omitted rather than printed as 0.
-std::atomic<double> g_sim_time_s{std::nan("")};
+// omitted rather than printed as 0. Thread-local so parallel seed sweeps
+// (each run on its own thread) stamp their own log lines with their own
+// clock instead of racing last-writer-wins on one global; a thread that
+// never ran a simulation keeps the annotation off.
+thread_local double g_sim_time_s = std::nan("");
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -61,8 +64,7 @@ LogFormat log_format() {
 }
 
 void set_log_sim_time_s(double now_s) {
-  g_sim_time_s.store(now_s >= 0.0 ? now_s : std::nan(""),
-                     std::memory_order_relaxed);
+  g_sim_time_s = now_s >= 0.0 ? now_s : std::nan("");
 }
 
 namespace detail {
@@ -73,7 +75,7 @@ std::string format_log_line(LogLevel level, const std::string& msg) {
   std::string out = "{\"level\":\"";
   out += level_name_lower(level);
   out += "\"";
-  const double sim_t_s = g_sim_time_s.load(std::memory_order_relaxed);
+  const double sim_t_s = g_sim_time_s;
   if (std::isfinite(sim_t_s)) {
     out += ",\"sim_t_s\":";
     out += json_number(sim_t_s);

@@ -8,8 +8,9 @@
 //   kJson            {"level":"info","sim_t_s":123.4,"msg":"message"}
 // The JSON form is one object per line so CI and tools can grep structured
 // logs. `sim_t_s` carries monotonic simulated time when a simulation has
-// published it via set_log_sim_time_s(); it is an annotation only (the last
-// writer wins across concurrent runs) and is omitted until first published.
+// published it via set_log_sim_time_s(); the stamp is thread-local, so
+// parallel seed sweeps each annotate their own lines with their own clock
+// (a thread that never published one omits the annotation entirely).
 #pragma once
 
 #include <sstream>
@@ -26,8 +27,9 @@ LogLevel log_level();
 void set_log_format(LogFormat format);
 LogFormat log_format();
 
-// Publishes the current simulated time for log annotation (kJson adds it as
-// `sim_t_s`). Negative or NaN clears the annotation.
+// Publishes the calling thread's current simulated time for log annotation
+// (kJson adds it as `sim_t_s`). Negative or NaN clears the annotation.
+// Thread-local: lines logged from other threads are unaffected.
 void set_log_sim_time_s(double now_s);
 
 namespace detail {

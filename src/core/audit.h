@@ -67,7 +67,10 @@ struct SimRunInfo {
 };
 
 // Snapshot of one event-loop iteration, taken after any scheduling round at
-// that instant has been applied.
+// that instant has been applied. The simulator reuses one SimTick buffer
+// tick to tick (DESIGN.md §13.3) and its pointers borrow simulator stack
+// state, so the snapshot is valid only inside the observer callback —
+// observers that keep data must copy it.
 struct SimTick {
   double now_s = 0.0;
   bool scheduled = false;  // a policy round ran at this event

@@ -41,6 +41,11 @@ struct JobView {
   ExecutionPlan last_good_plan;  // plan of the last successful start
 };
 
+// One scheduling round's view of the world. The simulator reuses a single
+// SchedulerInput across rounds (DESIGN.md §13.3): `jobs` slots are
+// reassigned field-by-field every round, so the vector and everything it
+// points to are valid only for the duration of the `schedule()` call — a
+// policy that wants to keep job state across rounds must copy it out.
 struct SchedulerInput {
   double now = 0.0;
   // Non-null; owned by the caller and unchanged for the whole run. A

@@ -3,8 +3,9 @@
 #include "model/model_spec.h"
 
 #include <cmath>
-#include <sstream>
+#include <cstdio>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "telemetry/metrics.h"
 
@@ -19,13 +20,23 @@ constexpr double kPeakFlops = 312e12;
 
 std::string config_key(const ModelSpec& model, const ExecutionPlan& plan,
                        int global_batch, const PerfContext& ctx) {
-  std::ostringstream os;
-  os << model.name << "|d" << plan.dp << "t" << plan.tp << "p" << plan.pp
-     << "a" << plan.ga_steps << "m" << plan.micro_batches << "z"
-     << static_cast<int>(plan.zero) << "gc" << plan.grad_ckpt << "|b"
-     << global_batch << "|c" << ctx.cpus << "|mn" << ctx.multi_node << "|s"
-     << ctx.gpu_speed;
-  return os.str();
+  // Hot path: every measurement hashes this key, and simulated runs
+  // re-measure on each job (re)start. One snprintf instead of an
+  // ostringstream; "%g" renders doubles exactly like the ostream default
+  // (defaultfloat, precision 6), so noise seeds — and with them the golden
+  // traces — are unchanged.
+  char buf[160];
+  const int n = std::snprintf(
+      buf, sizeof buf, "|d%dt%dp%da%dm%dz%dgc%d|b%d|c%d|mn%d|s%g", plan.dp,
+      plan.tp, plan.pp, plan.ga_steps, plan.micro_batches,
+      static_cast<int>(plan.zero), plan.grad_ckpt ? 1 : 0, global_batch,
+      ctx.cpus, ctx.multi_node ? 1 : 0, ctx.gpu_speed);
+  RUBICK_CHECK(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  std::string key;
+  key.reserve(model.name.size() + static_cast<std::size_t>(n));
+  key += model.name;
+  key.append(buf, static_cast<std::size_t>(n));
+  return key;
 }
 
 }  // namespace
@@ -78,8 +89,12 @@ double GroundTruthOracle::measure_throughput(const ModelSpec& model,
                                              const ExecutionPlan& plan,
                                              int global_batch,
                                              const PerfContext& ctx) const {
+  // Inline true_throughput's body so the truth table is looked up (and its
+  // mutex taken) once per measurement, not twice.
   const Truth& t = truth_for(model);
-  const double truth = true_throughput(model, plan, global_batch, ctx);
+  const double truth = predict_throughput(model, plan, global_batch,
+                                          t.fwd_unit_s, t.params, ctx,
+                                          t.perturb);
   RUBICK_COUNTER_ADD("oracle.measurements", 1);
   // Deterministic per-configuration noise: a fixed testbed re-measures the
   // same configuration to (nearly) the same value.

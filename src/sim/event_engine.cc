@@ -1,0 +1,89 @@
+#include "sim/event_engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "telemetry/metrics.h"
+
+namespace rubick {
+
+bool EventQueue::before(const SimEvent& a, const SimEvent& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.job != b.job) return a.job < b.job;
+  if (a.version != b.version) return a.version < b.version;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+void EventQueue::push(const SimEvent& event) {
+  heap_.push_back(event);
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::pop() {
+  RUBICK_DCHECK(!heap_.empty());
+  RUBICK_COUNTER_ADD("sim.heap_pops", 1);
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::sift_up(std::size_t at) {
+  while (at > 0) {
+    const std::size_t parent = (at - 1) / 2;
+    if (!before(heap_[at], heap_[parent])) return;
+    std::swap(heap_[at], heap_[parent]);
+    at = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t at) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t best = at;
+    const std::size_t left = 2 * at + 1;
+    const std::size_t right = 2 * at + 2;
+    if (left < n && before(heap_[left], heap_[best])) best = left;
+    if (right < n && before(heap_[right], heap_[best])) best = right;
+    if (best == at) return;
+    std::swap(heap_[at], heap_[best]);
+    at = best;
+  }
+}
+
+bool SortedJobIndex::insert(int job) {
+  const auto it = std::lower_bound(items_.begin(), items_.end(), job);
+  if (it != items_.end() && *it == job) return false;
+  items_.insert(it, job);
+  RUBICK_COUNTER_ADD("sim.index_updates", 1);
+  return true;
+}
+
+bool SortedJobIndex::erase(int job) {
+  const auto it = std::lower_bound(items_.begin(), items_.end(), job);
+  if (it == items_.end() || *it != job) return false;
+  items_.erase(it);
+  RUBICK_COUNTER_ADD("sim.index_updates", 1);
+  return true;
+}
+
+bool SortedJobIndex::contains(int job) const {
+  return std::binary_search(items_.begin(), items_.end(), job);
+}
+
+void NodeJobIndex::reset(int num_nodes) {
+  per_node_.assign(static_cast<std::size_t>(num_nodes), SortedJobIndex{});
+}
+
+void NodeJobIndex::add(int node, int job) {
+  per_node_[static_cast<std::size_t>(node)].insert(job);
+}
+
+void NodeJobIndex::remove(int node, int job) {
+  per_node_[static_cast<std::size_t>(node)].erase(job);
+}
+
+const std::vector<int>& NodeJobIndex::jobs_on(int node) const {
+  return per_node_[static_cast<std::size_t>(node)].items();
+}
+
+}  // namespace rubick

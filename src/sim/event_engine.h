@@ -1,0 +1,109 @@
+// Indexed event engine for the discrete-event simulator (DESIGN.md §13).
+//
+// The pre-PR event loop recomputed "what happens next" by scanning the whole
+// job fleet at every tick — O(total jobs) bookkeeping per event, O(n²) per
+// run. The pieces in this header make each tick touch only the jobs it
+// affects:
+//
+//   * `EventQueue` — a versioned lazy-deletion min-heap of typed events.
+//     Entries are never removed in place; instead the owner bumps the
+//     job's version counter (invalidation) and pushes a fresh entry. On
+//     pop, an entry whose version no longer matches the owner's counter is
+//     stale and dropped. Pop order is deterministic: ascending
+//     (time_s, job, version, kind) — no pointer or insertion-order ties.
+//   * `SortedJobIndex` — an ascending set of job indices kept in a flat
+//     vector, so iterating "all running jobs" visits them in exactly the
+//     stable job-index order the legacy full-fleet scan used (the tie-break
+//     contract for simultaneous events).
+//   * `NodeJobIndex` — node → running jobs with a slice on that node, so a
+//     node crash (or straggler transition) touches only the jobs actually
+//     placed there instead of re-scanning the fleet.
+//
+// The structures are pure bookkeeping over job *indices* (positions in the
+// run's job array, not JobSpec ids): they never read simulator state, which
+// is what keeps them unit-testable and the byte-identity argument local to
+// src/sim/simulator.cc (see the engine-vs-legacy differential test in
+// tests/test_sim_engine.cc).
+//
+// Telemetry: `EventQueue::pop` counts `sim.heap_pops` and the index
+// mutators count `sim.index_updates`; stale drops are counted by the caller
+// (`sim.stale_events`) because only the owner knows an entry's liveness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rubick {
+
+enum class SimEventKind : std::uint8_t {
+  kCompletion = 0,     // a running job is predicted to reach its target
+  kBackoffExpiry = 1,  // a failed reconfiguration's retry gate opens
+};
+
+struct SimEvent {
+  double time_s = 0.0;
+  int job = 0;  // index into the run's job array (NOT the JobSpec id)
+  std::uint64_t version = 0;
+  SimEventKind kind = SimEventKind::kCompletion;
+};
+
+// Binary min-heap over SimEvent with deterministic ordering. Invalidation
+// is the owner's job (version counters); the queue itself only orders.
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const SimEvent& top() const { return heap_.front(); }
+
+  void push(const SimEvent& event);
+  void pop();
+  void clear() { heap_.clear(); }
+
+ private:
+  // True when `a` fires strictly before `b` (total order, no ties).
+  static bool before(const SimEvent& a, const SimEvent& b);
+
+  void sift_up(std::size_t at);
+  void sift_down(std::size_t at);
+
+  std::vector<SimEvent> heap_;
+};
+
+// Ascending set of job indices in a flat vector. Insert/erase are
+// O(size) (memmove), iteration is cache-linear and in stable job-index
+// order. Sized for "jobs concurrently running/active", not the fleet.
+class SortedJobIndex {
+ public:
+  // Both return false when the operation was a no-op (already present /
+  // absent), so callers can keep derived counters exact.
+  bool insert(int job);
+  bool erase(int job);
+  bool contains(int job) const;
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  const std::vector<int>& items() const { return items_; }
+  void clear() { items_.clear(); }
+
+ private:
+  std::vector<int> items_;
+};
+
+// node id -> running jobs with at least one placement slice on that node.
+// A job placed across k nodes appears in k per-node sets exactly once each
+// (multi-slice-per-node placements deduplicate).
+class NodeJobIndex {
+ public:
+  explicit NodeJobIndex(int num_nodes = 0) { reset(num_nodes); }
+
+  void reset(int num_nodes);
+  void add(int node, int job);
+  void remove(int node, int job);
+  const std::vector<int>& jobs_on(int node) const;
+
+ private:
+  std::vector<SortedJobIndex> per_node_;
+};
+
+}  // namespace rubick

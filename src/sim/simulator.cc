@@ -6,11 +6,14 @@
 #include "perf/fitter.h"
 #include "plan/execution_plan.h"
 #include "plan/memory_estimator.h"
+#include "sim/event_engine.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
-#include <set>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -139,6 +142,16 @@ struct SimJob {
 
 constexpr double kEps = 1e-6;
 
+// Completion-heap drift window (DESIGN.md §13.2). A heap entry's key is the
+// exact completion estimate at its last (re)push; the legacy loop instead
+// recomputes `max(now, pause) + remaining/throughput` every iteration, and
+// the two drift apart by accumulated float rounding (bounded well below a
+// millisecond over any realistic run — the key is refreshed on every
+// examination). To return the bit-exact legacy minimum, the engine pops and
+// exactly recomputes every live entry within this window of the best
+// candidate before answering; entries further out cannot possibly win.
+constexpr double kCompletionSlackS = 1.0;
+
 }  // namespace
 
 Simulator::Simulator(const ClusterSpec& cluster,
@@ -161,6 +174,11 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
   const FaultPlan* faults =
       ctx.fault_plan != nullptr && !ctx.fault_plan->empty() ? ctx.fault_plan
                                                             : nullptr;
+  // Event-engine selection (DESIGN.md §13): `indexed` switches the
+  // *iteration strategy* — which jobs each step visits and how the next
+  // event time is found — never the per-job mutation math, which both
+  // engines share below. That split is what makes the two byte-identical.
+  const bool indexed = opts.engine == SimEngine::kIndexed;
   MemoryEstimator estimator;
   Cluster cluster(cluster_spec_);
   // Work on a copy so online refinement never mutates the caller's store
@@ -205,6 +223,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     sj.ready_time_s = ready;
     sim_jobs.push_back(std::move(sj));
   }
+  const int num_jobs_total = static_cast<int>(sim_jobs.size());
 
   SimResult result;
   result.jobs.resize(sim_jobs.size());
@@ -216,6 +235,68 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       static_cast<std::size_t>(cluster_spec_.num_nodes), 1.0);
   std::size_t next_fault = 0;  // cursor into faults->events()
 
+  // --- Indexed-engine state (empty and untouched under kLegacyScan). ---
+  // Invariants while `indexed`:
+  //   running_idx = { j : state == kRunning }, ascending
+  //   active_idx  = { j : state == kPending or kRunning }, ascending
+  //   node_idx[n] = { j running with a slice on node n }, ascending
+  //   busy_gpus_now = sum of placement GPUs over running_idx
+  //   finished_count = |{ j : state == kFinished }|
+  //   every running job has exactly one live completion entry (version
+  //   match); every pending job with retry_wake_pending has exactly one
+  //   live backoff entry. Stale entries are dropped lazily on pop.
+  EventQueue completions;
+  EventQueue backoffs;
+  std::vector<std::uint64_t> completion_version(sim_jobs.size(), 0);
+  std::vector<std::uint64_t> retry_version(sim_jobs.size(), 0);
+  SortedJobIndex running_idx;
+  SortedJobIndex active_idx;
+  NodeJobIndex node_idx(cluster_spec_.num_nodes);
+  std::vector<int> arrival_order;  // pre-sorted arrival cursor
+  std::size_t arrival_cursor = 0;
+  int finished_count = 0;
+  int busy_gpus_now = 0;
+  std::vector<int> scratch_jobs;         // reused snapshot of an index
+  std::vector<SimEvent> scratch_events;  // completion-query survivors
+  if (indexed) {
+    arrival_order.resize(sim_jobs.size());
+    for (std::size_t i = 0; i < arrival_order.size(); ++i)
+      arrival_order[i] = static_cast<int>(i);
+    std::sort(arrival_order.begin(), arrival_order.end(),
+              [&](int a, int b) {
+                const double ra = sim_jobs[static_cast<std::size_t>(a)]
+                                      .ready_time_s;
+                const double rb = sim_jobs[static_cast<std::size_t>(b)]
+                                      .ready_time_s;
+                if (ra != rb) return ra < rb;
+                return a < b;  // stable job-index tie-break
+              });
+  }
+
+  // JobSpec id -> array index, for O(1) assignment application. First
+  // occurrence wins, matching the legacy linear search on duplicate ids.
+  std::unordered_map<int, std::size_t> job_index_by_id;
+  job_index_by_id.reserve(sim_jobs.size());
+  for (std::size_t i = 0; i < sim_jobs.size(); ++i)
+    job_index_by_id.emplace(sim_jobs[i].spec.id, i);
+  std::unordered_map<int, const Assignment*> assignment_by_id;  // per round
+
+  // Snapshot arenas (DESIGN.md §13.4): the SchedulerInput handed to the
+  // policy and the SimTick handed to observers are rebuilt into these
+  // persistent buffers every round instead of reallocating — JobView slots
+  // (and the Placement vectors inside them) keep their capacity across
+  // rounds. Every field of every slot is reassigned on fill, so the
+  // contents are indistinguishable from a freshly built snapshot.
+  SchedulerInput input_buf;
+  input_buf.cluster = &cluster_spec_;
+  input_buf.models = &store;
+  input_buf.estimator = &estimator;
+  input_buf.reconfig_penalty_s = opts.reconfig_penalty_s;
+  input_buf.down_nodes = faults != nullptr ? &node_down : nullptr;
+  SimTick tick_buf;
+  tick_buf.cluster_state = &cluster;
+  tick_buf.down_nodes = faults != nullptr ? &node_down : nullptr;
+
   if (ctx.observer != nullptr) {
     SimRunInfo info;
     info.cluster = &cluster_spec_;
@@ -225,65 +306,127 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     ctx.observer->on_run_begin(info);
   }
 
-  // Snapshot for SimObserver hooks; pointers borrow simulator stack state
-  // and are valid only inside the callback (see core/audit.h).
-  auto make_tick = [&](double now, bool scheduled) {
-    SimTick tick;
-    tick.now_s = now;
-    tick.scheduled = scheduled;
-    tick.cluster_state = &cluster;
-    tick.down_nodes = faults != nullptr ? &node_down : nullptr;
-    tick.jobs.reserve(sim_jobs.size());
-    for (const auto& sj : sim_jobs) {
-      AuditJobState a;
-      a.spec = &sj.spec;
-      a.phase = sj.state;
-      a.placement = &sj.placement;
-      a.plan = &sj.plan;
-      a.samples_done = sj.samples_done;
-      a.throughput = sj.state == State::kRunning ? sj.throughput : 0.0;
-      tick.jobs.push_back(a);
-    }
-    return tick;
+  // --- Engine bookkeeping helpers (no-ops under kLegacyScan). ---
+
+  // Exactly the expression the legacy scan evaluates per running job; the
+  // indexed engine calls it when (re)keying a heap entry and when resolving
+  // the candidates inside the drift window, so both engines compare the
+  // same doubles.
+  auto exact_completion_s = [&](const SimJob& sj, double now) {
+    const double start = std::max(now, sj.pause_until);
+    return start + sj.remaining() / sj.throughput;
+  };
+
+  auto push_completion = [&](int j, double now) {
+    SimEvent e;
+    e.job = j;
+    e.kind = SimEventKind::kCompletion;
+    e.version = ++completion_version[static_cast<std::size_t>(j)];
+    e.time_s = exact_completion_s(sim_jobs[static_cast<std::size_t>(j)], now);
+    completions.push(e);
+  };
+
+  // Job entered kRunning: placement, throughput and pause_until are final.
+  auto index_start = [&](int j, double now) {
+    const SimJob& sj = sim_jobs[static_cast<std::size_t>(j)];
+    running_idx.insert(j);
+    for (const auto& slice : sj.placement.slices) node_idx.add(slice.node, j);
+    busy_gpus_now += sj.placement.total_gpus();
+    push_completion(j, now);
+  };
+
+  // Job is leaving kRunning (finish / eviction / preemptive release); its
+  // placement is still attached — must run before the placement is cleared.
+  auto index_stop = [&](int j) {
+    const SimJob& sj = sim_jobs[static_cast<std::size_t>(j)];
+    running_idx.erase(j);
+    for (const auto& slice : sj.placement.slices)
+      node_idx.remove(slice.node, j);
+    busy_gpus_now -= sj.placement.total_gpus();
+    ++completion_version[static_cast<std::size_t>(j)];  // entry goes stale
+  };
+
+  // --- Per-job mutation bodies, shared verbatim by both engines. ---
+
+  auto advance_job = [&](SimJob& sj, double now) {
+    const double from = std::max(sj.last_advance, sj.pause_until);
+    const double active = std::max(0.0, now - from);
+    sj.samples_done += sj.throughput * active;
+    sj.total_active += active;
+    sj.gpu_seconds += active * sj.placement.total_gpus();
+    sj.last_advance = now;
   };
 
   auto advance_to = [&](double now) {
-    for (auto& sj : sim_jobs) {
-      if (sj.state != State::kRunning) continue;
-      const double from = std::max(sj.last_advance, sj.pause_until);
-      const double active = std::max(0.0, now - from);
-      sj.samples_done += sj.throughput * active;
-      sj.total_active += active;
-      sj.gpu_seconds += active * sj.placement.total_gpus();
-      sj.last_advance = now;
+    if (indexed) {
+      for (const int j : running_idx.items())
+        advance_job(sim_jobs[static_cast<std::size_t>(j)], now);
+    } else {
+      for (auto& sj : sim_jobs)
+        if (sj.state == State::kRunning) advance_job(sj, now);
+    }
+  };
+
+  // Complete when the shortfall is within float slop or under 1 ms of
+  // additional progress (avoids degenerate micro-steps in the event loop).
+  auto job_completed = [&](const SimJob& sj) {
+    const double slop = kEps * sj.spec.target_samples + sj.throughput * 1e-3;
+    return sj.samples_done + slop >= sj.spec.target_samples;
+  };
+
+  auto finish_job = [&](int j, double now) {
+    SimJob& sj = sim_jobs[static_cast<std::size_t>(j)];
+    if (indexed) index_stop(j);
+    cluster.release(sj.placement);
+    sj.placement = Placement{};
+    sj.state = State::kFinished;
+    sj.finish_time_s = now;
+    if (indexed) {
+      active_idx.erase(j);
+      ++finished_count;
     }
   };
 
   auto finish_completed = [&](double now) {
     bool any = false;
-    for (auto& sj : sim_jobs) {
-      if (sj.state != State::kRunning) continue;
-      // Complete when the shortfall is within float slop or under 1 ms of
-      // additional progress (avoids degenerate micro-steps in the event loop).
-      const double slop =
-          kEps * sj.spec.target_samples + sj.throughput * 1e-3;
-      if (sj.samples_done + slop < sj.spec.target_samples) continue;
-      cluster.release(sj.placement);
-      sj.placement = Placement{};
-      sj.state = State::kFinished;
-      sj.finish_time_s = now;
-      any = true;
+    if (indexed) {
+      scratch_jobs = running_idx.items();  // finishing mutates the index
+      for (const int j : scratch_jobs) {
+        if (!job_completed(sim_jobs[static_cast<std::size_t>(j)])) continue;
+        finish_job(j, now);
+        any = true;
+      }
+    } else {
+      for (std::size_t i = 0; i < sim_jobs.size(); ++i) {
+        if (sim_jobs[i].state != State::kRunning) continue;
+        if (!job_completed(sim_jobs[i])) continue;
+        finish_job(static_cast<int>(i), now);
+        any = true;
+      }
     }
     return any;
   };
 
   auto activate_ready = [&](double now) {
     bool any = false;
-    for (auto& sj : sim_jobs) {
-      if (sj.state == State::kNotReady && sj.ready_time_s <= now + kEps) {
+    if (indexed) {
+      while (arrival_cursor < arrival_order.size()) {
+        const int j = arrival_order[arrival_cursor];
+        SimJob& sj = sim_jobs[static_cast<std::size_t>(j)];
+        if (sj.ready_time_s > now + kEps) break;
+        ++arrival_cursor;
         sj.state = State::kPending;
         sj.queued_since = now;
+        active_idx.insert(j);
         any = true;
+      }
+    } else {
+      for (auto& sj : sim_jobs) {
+        if (sj.state == State::kNotReady && sj.ready_time_s <= now + kEps) {
+          sj.state = State::kPending;
+          sj.queued_since = now;
+          any = true;
+        }
       }
     }
     return any;
@@ -303,24 +446,39 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     return factor;
   };
 
-  // Evicts every running job with a slice on `node`: resources released,
-  // progress kept (it was advanced to `now` already), checkpoint-restore
-  // cost owed at the next start. The caller schedules a round right after.
+  // Evicts a running job: resources released, progress kept (it was
+  // advanced to `now` already), checkpoint-restore cost owed at the next
+  // start. The caller schedules a round right after.
+  auto evict_job = [&](int j, double now) {
+    SimJob& sj = sim_jobs[static_cast<std::size_t>(j)];
+    if (indexed) index_stop(j);
+    cluster.release(sj.placement);
+    sj.placement = Placement{};
+    sj.state = State::kPending;
+    sj.queued_since = now;
+    sj.throughput = 0.0;
+    ++sj.crash_restarts;
+    ++result.crash_restarts;
+    sj.pending_restore_cost_s = failure_opts.crash_restore_cost_s;
+  };
+
   auto evict_jobs_on_node = [&](int node, double now) {
-    for (auto& sj : sim_jobs) {
+    if (indexed) {
+      scratch_jobs = node_idx.jobs_on(node);  // eviction mutates the index
+      for (const int j : scratch_jobs) evict_job(j, now);
+      return;
+    }
+    for (std::size_t i = 0; i < sim_jobs.size(); ++i) {
+      SimJob& sj = sim_jobs[i];
       if (sj.state != State::kRunning) continue;
       bool touches = false;
       for (const auto& slice : sj.placement.slices)
-        if (slice.node == node) touches = true;
+        if (slice.node == node) {
+          touches = true;
+          break;
+        }
       if (!touches) continue;
-      cluster.release(sj.placement);
-      sj.placement = Placement{};
-      sj.state = State::kPending;
-      sj.queued_since = now;
-      sj.throughput = 0.0;
-      ++sj.crash_restarts;
-      ++result.crash_restarts;
-      sj.pending_restore_cost_s = failure_opts.crash_restore_cost_s;
+      evict_job(static_cast<int>(i), now);
     }
   };
 
@@ -370,13 +528,27 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
           break;
       }
       // Straggler transitions rescale every affected running job (progress
-      // up to `now` was already integrated at the old rate).
+      // up to `now` was already integrated at the old rate). Only jobs with
+      // a slice on the transitioning node can change rate; the legacy scan
+      // recomputes the same product for every other running job and writes
+      // back the value it already holds.
       if (e.kind == FaultKind::kStragglerBegin ||
           e.kind == FaultKind::kStragglerEnd) {
-        for (auto& sj : sim_jobs) {
-          if (sj.state != State::kRunning) continue;
-          sj.throughput =
-              sj.base_throughput * placement_speed_factor(sj.placement);
+        if (indexed) {
+          for (const int j : node_idx.jobs_on(e.node)) {
+            SimJob& sj = sim_jobs[static_cast<std::size_t>(j)];
+            sj.throughput =
+                sj.base_throughput * placement_speed_factor(sj.placement);
+            // Mid-flight re-rating: the old completion entry is stale from
+            // this instant; re-key at the new rate.
+            push_completion(j, now);
+          }
+        } else {
+          for (auto& sj : sim_jobs) {
+            if (sj.state != State::kRunning) continue;
+            sj.throughput =
+                sj.base_throughput * placement_speed_factor(sj.placement);
+          }
         }
       }
       notify_fault(notice);
@@ -386,36 +558,44 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
 
   auto apply_assignments = [&](const std::vector<Assignment>& assignments,
                                double now) {
-    std::set<int> assigned_ids;
+    assignment_by_id.clear();
     for (const auto& a : assignments) {
-      RUBICK_CHECK_MSG(assigned_ids.insert(a.job_id).second,
+      RUBICK_CHECK_MSG(assignment_by_id.emplace(a.job_id, &a).second,
                        "duplicate assignment for job " << a.job_id);
     }
 
     // Phase 1: release every running job whose assignment changes or
     // disappears, so phase 2 allocates against up-to-date free resources.
-    for (auto& sj : sim_jobs) {
-      if (sj.state != State::kRunning) continue;
-      const auto it = std::find_if(
-          assignments.begin(), assignments.end(),
-          [&](const Assignment& a) { return a.job_id == sj.spec.id; });
-      const bool keep = it != assignments.end() && !it->placement.empty() &&
-                        it->placement == sj.placement && it->plan == sj.plan;
-      if (keep) continue;
+    auto release_if_changed = [&](int j) {
+      SimJob& sj = sim_jobs[static_cast<std::size_t>(j)];
+      const auto it = assignment_by_id.find(sj.spec.id);
+      const Assignment* a = it == assignment_by_id.end() ? nullptr : it->second;
+      const bool keep = a != nullptr && !a->placement.empty() &&
+                        a->placement == sj.placement && a->plan == sj.plan;
+      if (keep) return;
+      if (indexed) index_stop(j);
       cluster.release(sj.placement);
       sj.placement = Placement{};
       sj.state = State::kPending;
       sj.queued_since = now;
+    };
+    if (indexed) {
+      scratch_jobs = running_idx.items();  // releasing mutates the index
+      for (const int j : scratch_jobs) release_if_changed(j);
+    } else {
+      for (std::size_t i = 0; i < sim_jobs.size(); ++i)
+        if (sim_jobs[i].state == State::kRunning)
+          release_if_changed(static_cast<int>(i));
     }
 
     // Phase 2: start / restart jobs per the new assignments.
     for (const auto& a : assignments) {
       if (a.placement.empty()) continue;  // leave pending
-      auto it = std::find_if(
-          sim_jobs.begin(), sim_jobs.end(),
-          [&](const SimJob& sj) { return sj.spec.id == a.job_id; });
-      RUBICK_CHECK_MSG(it != sim_jobs.end(), "assignment for unknown job");
-      SimJob& sj = *it;
+      const auto idx_it = job_index_by_id.find(a.job_id);
+      RUBICK_CHECK_MSG(idx_it != job_index_by_id.end(),
+                       "assignment for unknown job");
+      const std::size_t ji = idx_it->second;
+      SimJob& sj = sim_jobs[ji];
       RUBICK_CHECK_MSG(sj.state != State::kNotReady,
                        "assignment for job " << a.job_id
                                              << " before profiling finished");
@@ -473,6 +653,16 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
           sj.retry_not_before_s = now + penalty + backoff_s;
           sj.retry_wake_pending = true;
           sj.queued_since = now;
+          if (indexed) {
+            // One live backoff entry per armed retry gate; any earlier
+            // entry for this job goes stale with the version bump.
+            SimEvent e;
+            e.job = static_cast<int>(ji);
+            e.kind = SimEventKind::kBackoffExpiry;
+            e.version = ++retry_version[ji];
+            e.time_s = sj.retry_not_before_s;
+            backoffs.push(e);
+          }
           if (sj.consecutive_failures >= failure_opts.max_reconfig_retries)
             sj.degraded = true;
           SimFaultNotice notice;
@@ -507,19 +697,20 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
         result.reconfig_overhead_gpu_seconds +=
             penalty * sj.placement.total_gpus();
 
-      const PerfContext ctx = make_perf_context(cluster_spec_, a.placement);
+      const PerfContext perf_ctx = make_perf_context(cluster_spec_,
+                                                     a.placement);
       const double measured =
           opts.advance_with_fitted_model
               ? store.get(sj.spec.model_name)
                     .predict_throughput(model, sj.plan, sj.spec.global_batch,
-                                        ctx)
+                                        perf_ctx)
               : oracle_->measure_throughput(model, sj.plan,
-                                            sj.spec.global_batch, ctx);
+                                            sj.spec.global_batch, perf_ctx);
       if (opts.online_refinement && !opts.advance_with_fitted_model) {
         PerfSample obs;
         obs.plan = sj.plan;
         obs.global_batch = sj.spec.global_batch;
-        obs.ctx = ctx;
+        obs.ctx = perf_ctx;
         obs.measured_throughput = measured;
         if (store.record_observation(sj.spec.model_name, model, obs))
           ++result.online_refits;
@@ -538,53 +729,136 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
         sj.last_good_plan = a.plan;
         sj.retry_not_before_s = 0.0;
         sj.retry_wake_pending = false;
+        if (indexed) ++retry_version[ji];  // any armed backoff entry: stale
         sj.throughput =
             sj.base_throughput * placement_speed_factor(a.placement);
       }
       sj.history.push_back(AssignmentRecord{now, a.placement.total_gpus(),
                                             a.placement.total_cpus(), a.plan,
                                             sj.throughput});
+      if (indexed) index_start(static_cast<int>(ji), now);
     }
   };
 
-  auto build_input = [&](double now) {
-    SchedulerInput input;
-    input.now = now;
-    input.cluster = &cluster_spec_;
-    input.models = &store;
-    input.estimator = &estimator;
-    input.reconfig_penalty_s = opts.reconfig_penalty_s;
-    input.down_nodes = faults != nullptr ? &node_down : nullptr;
-    for (const auto& sj : sim_jobs) {
-      if (sj.state != State::kPending && sj.state != State::kRunning) continue;
-      JobView v;
-      v.spec = &sj.spec;
-      v.running = sj.state == State::kRunning;
-      v.placement = sj.placement;
-      v.plan = sj.plan;
-      v.samples_done = sj.samples_done;
-      v.remaining_samples = sj.remaining();
-      v.queued_since = sj.queued_since;
-      v.total_active_time_s = sj.total_active;
-      v.reconfig_count = sj.reconfig_count;
-      v.reconfig_failures = sj.consecutive_failures;
-      v.retry_not_before_s = sj.retry_not_before_s;
-      v.degraded = sj.degraded;
-      v.has_last_good = sj.has_last_good;
-      if (sj.has_last_good) v.last_good_plan = sj.last_good_plan;
-      input.jobs.push_back(std::move(v));
+  auto fill_job_view = [](JobView& v, const SimJob& sj) {
+    v.spec = &sj.spec;
+    v.running = sj.state == State::kRunning;
+    v.placement = sj.placement;
+    v.plan = sj.plan;
+    v.samples_done = sj.samples_done;
+    v.remaining_samples = sj.remaining();
+    v.queued_since = sj.queued_since;
+    v.total_active_time_s = sj.total_active;
+    v.reconfig_count = sj.reconfig_count;
+    v.reconfig_failures = sj.consecutive_failures;
+    v.retry_not_before_s = sj.retry_not_before_s;
+    v.degraded = sj.degraded;
+    v.has_last_good = sj.has_last_good;
+    // Slots are reused across rounds, so the no-last-good case must
+    // actively reset the plan to its default-constructed value.
+    v.last_good_plan = sj.has_last_good ? sj.last_good_plan : ExecutionPlan{};
+  };
+
+  auto build_input = [&](double now) -> const SchedulerInput& {
+    input_buf.now = now;
+    std::size_t count = 0;
+    auto emit = [&](const SimJob& sj) {
+      if (count == input_buf.jobs.size()) input_buf.jobs.emplace_back();
+      fill_job_view(input_buf.jobs[count], sj);
+      ++count;
+    };
+    if (indexed) {
+      for (const int j : active_idx.items())
+        emit(sim_jobs[static_cast<std::size_t>(j)]);
+    } else {
+      for (const auto& sj : sim_jobs) {
+        if (sj.state != State::kPending && sj.state != State::kRunning)
+          continue;
+        emit(sj);
+      }
     }
-    return input;
+    input_buf.jobs.resize(count);
+    return input_buf;
+  };
+
+  // Snapshot for SimObserver hooks; pointers borrow simulator stack state
+  // and are valid only inside the callback (see core/audit.h). The buffer
+  // is reused tick to tick — observers that keep data must copy it, which
+  // the lifetime contract has required since PR 2.
+  auto make_tick = [&](double now, bool scheduled) -> const SimTick& {
+    tick_buf.now_s = now;
+    tick_buf.scheduled = scheduled;
+    tick_buf.jobs.clear();
+    tick_buf.jobs.reserve(sim_jobs.size());
+    for (const auto& sj : sim_jobs) {
+      AuditJobState a;
+      a.spec = &sj.spec;
+      a.phase = sj.state;
+      a.placement = &sj.placement;
+      a.plan = &sj.plan;
+      a.samples_done = sj.samples_done;
+      a.throughput = sj.state == State::kRunning ? sj.throughput : 0.0;
+      tick_buf.jobs.push_back(a);
+    }
+    return tick_buf;
+  };
+
+  // Exact minimum over the live completion entries: pop every candidate
+  // whose pushed key falls within the drift window of the best exact value
+  // seen so far, recompute it with the legacy expression, and re-push the
+  // survivors re-keyed at their exact value (resetting their drift). Any
+  // entry left in the heap is provably later than the returned minimum.
+  auto next_completion_time_s = [&](double now) {
+    double best = std::numeric_limits<double>::infinity();
+    scratch_events.clear();
+    while (!completions.empty()) {
+      const SimEvent top = completions.top();
+      if (top.version !=
+          completion_version[static_cast<std::size_t>(top.job)]) {
+        completions.pop();
+        RUBICK_COUNTER_ADD("sim.stale_events", 1);
+        continue;
+      }
+      if (std::isfinite(best) && top.time_s > best + kCompletionSlackS) break;
+      completions.pop();
+      SimEvent refreshed = top;
+      refreshed.time_s = exact_completion_s(
+          sim_jobs[static_cast<std::size_t>(top.job)], now);
+      best = std::min(best, refreshed.time_s);
+      scratch_events.push_back(refreshed);
+    }
+    for (const SimEvent& e : scratch_events) completions.push(e);
+    return best;
   };
 
   auto next_event_time_s = [&](double now) {
+    if (indexed) {
+      double next = std::numeric_limits<double>::infinity();
+      if (arrival_cursor < arrival_order.size())
+        next = std::min(
+            next, sim_jobs[static_cast<std::size_t>(
+                               arrival_order[arrival_cursor])].ready_time_s);
+      next = std::min(next, next_completion_time_s(now));
+      while (!backoffs.empty() &&
+             backoffs.top().version !=
+                 retry_version[static_cast<std::size_t>(backoffs.top().job)]) {
+        backoffs.pop();
+        RUBICK_COUNTER_ADD("sim.stale_events", 1);
+      }
+      // Live entries past this tick's due-processing are strictly in the
+      // future, mirroring the legacy `retry_not_before_s > now` filter.
+      if (!backoffs.empty()) next = std::min(next, backoffs.top().time_s);
+      if (faults != nullptr && next_fault < faults->events().size() &&
+          finished_count < num_jobs_total)
+        next = std::min(next, faults->events()[next_fault].time_s);
+      return next;
+    }
     double next = std::numeric_limits<double>::infinity();
     for (const auto& sj : sim_jobs) {
       if (sj.state == State::kNotReady) {
         next = std::min(next, sj.ready_time_s);
       } else if (sj.state == State::kRunning) {
-        const double start = std::max(now, sj.pause_until);
-        next = std::min(next, start + sj.remaining() / sj.throughput);
+        next = std::min(next, exact_completion_s(sj, now));
       } else if (sj.state == State::kPending && sj.retry_wake_pending &&
                  sj.retry_not_before_s > now) {
         // Backoff expiry wakes the loop for a retry round.
@@ -596,7 +870,10 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       // affected; once everything finished the run is over.
       bool all_finished = true;
       for (const auto& sj : sim_jobs)
-        if (sj.state != State::kFinished) all_finished = false;
+        if (sj.state != State::kFinished) {
+          all_finished = false;
+          break;
+        }
       if (!all_finished)
         next = std::min(next, faults->events()[next_fault].time_s);
     }
@@ -606,8 +883,8 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
   // --- Main loop. ---
   double now = 0.0;
   while (true) {
-    // Stamp log lines with simulated time (JSON log mode). Last-writer-wins
-    // across concurrent runs — good enough for the single traced run.
+    // Stamp log lines with simulated time (JSON log mode). The stamp is
+    // thread-local, so concurrent seed-sweep runs never cross-stamp.
     set_log_sim_time_s(now);
     advance_to(now);
     const bool completed = finish_completed(now);
@@ -624,11 +901,29 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     // must trigger a round or the job would wait for an unrelated event.
     bool retry_due = false;
     if (faults != nullptr) {
-      for (auto& sj : sim_jobs) {
-        if (sj.state == State::kPending && sj.retry_wake_pending &&
-            sj.retry_not_before_s <= now + kEps) {
+      if (indexed) {
+        while (!backoffs.empty() && backoffs.top().time_s <= now + kEps) {
+          const SimEvent e = backoffs.top();
+          backoffs.pop();
+          if (e.version != retry_version[static_cast<std::size_t>(e.job)]) {
+            RUBICK_COUNTER_ADD("sim.stale_events", 1);
+            continue;
+          }
+          SimJob& sj = sim_jobs[static_cast<std::size_t>(e.job)];
+          RUBICK_DCHECK_MSG(
+              sj.state == State::kPending && sj.retry_wake_pending,
+              "live backoff entry for a job without an armed retry gate");
           sj.retry_wake_pending = false;
+          ++retry_version[static_cast<std::size_t>(e.job)];
           retry_due = true;
+        }
+      } else {
+        for (auto& sj : sim_jobs) {
+          if (sj.state == State::kPending && sj.retry_wake_pending &&
+              sj.retry_not_before_s <= now + kEps) {
+            sj.retry_wake_pending = false;
+            retry_due = true;
+          }
         }
       }
     }
@@ -639,7 +934,7 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
     bool scheduled = false;
     if (completed || arrived || faulted || retry_due ||
         result.scheduling_rounds == 0) {
-      const SchedulerInput input = build_input(now);
+      const SchedulerInput& input = build_input(now);
       if (!input.jobs.empty()) {
         const std::vector<Assignment> assignments = policy.schedule(input);
         apply_assignments(assignments, now);
@@ -650,12 +945,19 @@ SimResult Simulator::run(const std::vector<JobSpec>& jobs,
       TimelineSample sample;
       sample.time_s = now;
       sample.total_gpus = cluster_spec_.total_gpus();
-      for (const auto& sj : sim_jobs) {
-        if (sj.state == State::kRunning) {
-          ++sample.running_jobs;
-          sample.busy_gpus += sj.placement.total_gpus();
-        } else if (sj.state == State::kPending) {
-          ++sample.pending_jobs;
+      if (indexed) {
+        sample.running_jobs = static_cast<int>(running_idx.size());
+        sample.busy_gpus = busy_gpus_now;
+        sample.pending_jobs =
+            static_cast<int>(active_idx.size() - running_idx.size());
+      } else {
+        for (const auto& sj : sim_jobs) {
+          if (sj.state == State::kRunning) {
+            ++sample.running_jobs;
+            sample.busy_gpus += sj.placement.total_gpus();
+          } else if (sj.state == State::kPending) {
+            ++sample.pending_jobs;
+          }
         }
       }
       result.timeline.record(sample);

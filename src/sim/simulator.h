@@ -24,6 +24,16 @@
 
 namespace rubick {
 
+// Which event-loop implementation drives the run (DESIGN.md §13).
+// `kIndexed` (default) is the production engine: a versioned lazy-deletion
+// min-heap of typed events plus incremental running/active/node indexes,
+// O(affected jobs) per tick. `kLegacyScan` is the pre-engine full-fleet
+// scan loop, kept as the byte-identical reference implementation for the
+// engine-vs-legacy differential test and for bisecting engine regressions.
+// Both produce the same SimResult, decision log and golden trace, bit for
+// bit — pinned by tests/test_sim_engine.cc.
+enum class SimEngine { kIndexed, kLegacyScan };
+
 struct SimOptions {
   double reconfig_penalty_s = 78.0;  // delta: checkpoint + resume
   double launch_delay_s = 30.0;      // cold start of a new/previously queued job
@@ -45,6 +55,7 @@ struct SimOptions {
   // refined copy drives scheduling within this run.
   bool online_refinement = true;
   double max_sim_time_s = 60.0 * 24.0 * 3600.0;  // runaway guard
+  SimEngine engine = SimEngine::kIndexed;
 };
 
 // How the simulator (and through it, every policy) reacts to injected

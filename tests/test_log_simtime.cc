@@ -1,0 +1,90 @@
+// Thread-locality of the JSON-log sim-time stamp (ISSUE 9 satellite).
+//
+// `set_log_sim_time_s` used to publish through one global atomic, so two
+// simulations running concurrently (`rubick_simulate --parallel` seed
+// sweeps) raced last-writer-wins and stamped each other's log lines with
+// the wrong clock. The stamp is now thread-local: each thread's lines carry
+// the time that thread published, and a thread that never published one
+// emits no `sim_t_s` at all. Runs under `ctest -L tsan` (ThreadSanitizer
+// preset) so a regression back to an unsynchronized global fails as a data
+// race even where the value race goes unnoticed.
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rubick {
+namespace {
+
+std::string json_line(double stamp_s, const std::string& msg) {
+  set_log_sim_time_s(stamp_s);
+  return detail::format_log_line(LogLevel::kInfo, msg);
+}
+
+TEST(LogSimTime, ThreadsStampTheirOwnLines) {
+  set_log_format(LogFormat::kJson);
+  const int kThreads = 8;
+  const int kLines = 200;
+  std::vector<std::thread> threads;
+  std::vector<int> bad_lines(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &bad_lines] {
+      const double my_time = 100.0 * (t + 1);
+      // json_number renders whole seconds without a fraction: ":100,".
+      const std::string expect_frag =
+          "\"sim_t_s\":" + std::to_string(100 * (t + 1)) + ",";
+      for (int i = 0; i < kLines; ++i) {
+        // Every line this thread renders must carry this thread's clock,
+        // no matter what the other threads publish meanwhile.
+        if (json_line(my_time, "tick").find(expect_frag) == std::string::npos)
+          ++bad_lines[t];
+      }
+      set_log_sim_time_s(-1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(bad_lines[t], 0) << "thread " << t << " saw foreign stamps";
+  set_log_format(LogFormat::kText);
+}
+
+TEST(LogSimTime, FreshThreadHasNoStamp) {
+  set_log_format(LogFormat::kJson);
+  set_log_sim_time_s(42.0);  // main thread publishes a clock...
+  std::string other_line;
+  std::thread worker([&other_line] {
+    // ...but a thread that never published one must omit the annotation.
+    other_line = detail::format_log_line(LogLevel::kInfo, "fresh");
+  });
+  worker.join();
+  EXPECT_EQ(other_line.find("sim_t_s"), std::string::npos) << other_line;
+  EXPECT_NE(detail::format_log_line(LogLevel::kInfo, "main")
+                .find("\"sim_t_s\":42"),
+            std::string::npos);
+  set_log_sim_time_s(-1.0);
+  set_log_format(LogFormat::kText);
+}
+
+TEST(LogSimTime, ClearIsPerThread) {
+  set_log_format(LogFormat::kJson);
+  set_log_sim_time_s(7.0);
+  std::thread worker([] {
+    set_log_sim_time_s(9.0);
+    set_log_sim_time_s(-1.0);  // worker clears only its own stamp
+    EXPECT_EQ(detail::format_log_line(LogLevel::kInfo, "w").find("sim_t_s"),
+              std::string::npos);
+  });
+  worker.join();
+  // The main thread's stamp survives the worker's clear.
+  EXPECT_NE(
+      detail::format_log_line(LogLevel::kInfo, "m").find("\"sim_t_s\":7"),
+      std::string::npos);
+  set_log_sim_time_s(-1.0);
+  set_log_format(LogFormat::kText);
+}
+
+}  // namespace
+}  // namespace rubick

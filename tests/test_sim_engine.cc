@@ -1,0 +1,383 @@
+// Indexed event engine (DESIGN.md §13): unit tests for the engine data
+// structures plus the engine-vs-legacy differential suite. The contract
+// under test is byte-identity: SimEngine::kIndexed and kLegacyScan must
+// produce the same SimResult (every field, every per-job history entry,
+// every timeline sample, bit for bit), the same decision-provenance log
+// and the same audited tick stream, fault-free and faulted alike. Every
+// differential run here executes under the InvariantAuditor in throw mode
+// so a divergence that happens to cancel out in the result still fails at
+// the first illegal intermediate state.
+#include "sim/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariant_auditor.h"
+#include "cluster/cluster.h"
+#include "common/units.h"
+#include "core/rubick_policy.h"
+#include "failure/fault_plan.h"
+#include "perf/oracle.h"
+#include "provenance/decision_log.h"
+#include "provenance/provenance.h"
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
+#include "trace/job.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+SimEvent ev(double t, int job, std::uint64_t version,
+            SimEventKind kind = SimEventKind::kCompletion) {
+  SimEvent e;
+  e.time_s = t;
+  e.job = job;
+  e.version = version;
+  e.kind = kind;
+  return e;
+}
+
+TEST(EventQueue, PopsInAscendingTimeOrder) {
+  EventQueue q;
+  q.push(ev(30.0, 0, 1));
+  q.push(ev(10.0, 1, 1));
+  q.push(ev(20.0, 2, 1));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.top().time_s, 10.0);
+  q.pop();
+  EXPECT_EQ(q.top().time_s, 20.0);
+  q.pop();
+  EXPECT_EQ(q.top().time_s, 30.0);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TieBreakIsJobThenVersionThenKind) {
+  // Simultaneous events must pop in stable job-index order — the legacy
+  // scan's tie-break contract — and within one job ascending version so
+  // the freshest entry for a job is examined last (stale drop first).
+  EventQueue q;
+  q.push(ev(5.0, 2, 1));
+  q.push(ev(5.0, 1, 2, SimEventKind::kBackoffExpiry));
+  q.push(ev(5.0, 1, 1));
+  q.push(ev(5.0, 1, 2, SimEventKind::kCompletion));
+
+  EXPECT_EQ(q.top().job, 1);
+  EXPECT_EQ(q.top().version, 1u);
+  q.pop();
+  EXPECT_EQ(q.top().job, 1);
+  EXPECT_EQ(q.top().version, 2u);
+  EXPECT_EQ(q.top().kind, SimEventKind::kCompletion);
+  q.pop();
+  EXPECT_EQ(q.top().job, 1);
+  EXPECT_EQ(q.top().kind, SimEventKind::kBackoffExpiry);
+  q.pop();
+  EXPECT_EQ(q.top().job, 2);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsHeapOrder) {
+  EventQueue q;
+  for (int i = 0; i < 50; ++i) q.push(ev(50.0 - i, i, 1));
+  double prev = -1.0;
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_GT(q.top().time_s, prev);
+    prev = q.top().time_s;
+    q.pop();
+  }
+  q.push(ev(0.5, 99, 1));  // earlier than everything left
+  EXPECT_EQ(q.top().job, 99);
+  q.pop();
+  while (!q.empty()) {
+    EXPECT_GT(q.top().time_s, prev);
+    prev = q.top().time_s;
+    q.pop();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SortedJobIndex / NodeJobIndex
+// ---------------------------------------------------------------------------
+
+TEST(SortedJobIndex, KeepsAscendingOrderAndReportsNoOps) {
+  SortedJobIndex idx;
+  EXPECT_TRUE(idx.insert(5));
+  EXPECT_TRUE(idx.insert(1));
+  EXPECT_TRUE(idx.insert(3));
+  EXPECT_FALSE(idx.insert(3));  // already present
+  EXPECT_EQ(idx.items(), (std::vector<int>{1, 3, 5}));
+  EXPECT_TRUE(idx.contains(3));
+  EXPECT_FALSE(idx.contains(2));
+  EXPECT_TRUE(idx.erase(3));
+  EXPECT_FALSE(idx.erase(3));  // already absent
+  EXPECT_EQ(idx.items(), (std::vector<int>{1, 5}));
+  EXPECT_EQ(idx.size(), 2u);
+  idx.clear();
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(NodeJobIndex, TracksJobsPerNodeIndependently) {
+  NodeJobIndex idx(3);
+  idx.add(0, 7);
+  idx.add(0, 2);
+  idx.add(2, 7);  // same job on a second node (multi-node placement)
+  idx.add(0, 2);  // duplicate slice on one node deduplicates
+  EXPECT_EQ(idx.jobs_on(0), (std::vector<int>{2, 7}));
+  EXPECT_TRUE(idx.jobs_on(1).empty());
+  EXPECT_EQ(idx.jobs_on(2), (std::vector<int>{7}));
+  idx.remove(0, 7);
+  EXPECT_EQ(idx.jobs_on(0), (std::vector<int>{2}));
+  EXPECT_EQ(idx.jobs_on(2), (std::vector<int>{7}));  // untouched
+  idx.reset(3);
+  EXPECT_TRUE(idx.jobs_on(0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine-vs-legacy differential suite
+// ---------------------------------------------------------------------------
+
+// Exhaustive SimResult comparison. Every double is compared with EXPECT_EQ
+// (bitwise for any value the simulator can produce): byte-identity, not
+// tolerance-identity, is the engine contract.
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.scheduling_rounds, b.scheduling_rounds);
+  EXPECT_EQ(a.reconfig_overhead_gpu_seconds, b.reconfig_overhead_gpu_seconds);
+  EXPECT_EQ(a.total_gpu_seconds, b.total_gpu_seconds);
+  EXPECT_EQ(a.online_refits, b.online_refits);
+  EXPECT_EQ(a.fault_node_crashes, b.fault_node_crashes);
+  EXPECT_EQ(a.fault_gpu_transients, b.fault_gpu_transients);
+  EXPECT_EQ(a.fault_straggler_episodes, b.fault_straggler_episodes);
+  EXPECT_EQ(a.fault_reconfig_failures, b.fault_reconfig_failures);
+  EXPECT_EQ(a.crash_restarts, b.crash_restarts);
+  EXPECT_EQ(a.degraded_jobs, b.degraded_jobs);
+
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    const TimelineSample& sa = a.timeline.samples()[i];
+    const TimelineSample& sb = b.timeline.samples()[i];
+    EXPECT_EQ(sa.time_s, sb.time_s) << "timeline sample " << i;
+    EXPECT_EQ(sa.busy_gpus, sb.busy_gpus) << "timeline sample " << i;
+    EXPECT_EQ(sa.total_gpus, sb.total_gpus) << "timeline sample " << i;
+    EXPECT_EQ(sa.running_jobs, sb.running_jobs) << "timeline sample " << i;
+    EXPECT_EQ(sa.pending_jobs, sb.pending_jobs) << "timeline sample " << i;
+  }
+
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const JobResult& ja = a.jobs[i];
+    const JobResult& jb = b.jobs[i];
+    EXPECT_EQ(ja.spec.id, jb.spec.id) << "job " << i;
+    EXPECT_EQ(ja.finished, jb.finished) << "job " << i;
+    EXPECT_EQ(ja.crash_restarts, jb.crash_restarts) << "job " << i;
+    EXPECT_EQ(ja.reconfig_failures, jb.reconfig_failures) << "job " << i;
+    EXPECT_EQ(ja.degraded, jb.degraded) << "job " << i;
+    EXPECT_EQ(ja.first_start_s, jb.first_start_s) << "job " << i;
+    EXPECT_EQ(ja.finish_s, jb.finish_s) << "job " << i;
+    EXPECT_EQ(ja.jct_s, jb.jct_s) << "job " << i;
+    EXPECT_EQ(ja.reconfig_count, jb.reconfig_count) << "job " << i;
+    EXPECT_EQ(ja.total_active_time_s, jb.total_active_time_s) << "job " << i;
+    EXPECT_EQ(ja.gpu_seconds, jb.gpu_seconds) << "job " << i;
+    EXPECT_EQ(ja.baseline_throughput, jb.baseline_throughput) << "job " << i;
+    EXPECT_EQ(ja.achieved_throughput, jb.achieved_throughput) << "job " << i;
+    ASSERT_EQ(ja.history.size(), jb.history.size()) << "job " << i;
+    for (std::size_t h = 0; h < ja.history.size(); ++h) {
+      EXPECT_EQ(ja.history[h].since_s, jb.history[h].since_s)
+          << "job " << i << " history " << h;
+      EXPECT_EQ(ja.history[h].gpus, jb.history[h].gpus)
+          << "job " << i << " history " << h;
+      EXPECT_EQ(ja.history[h].cpus, jb.history[h].cpus)
+          << "job " << i << " history " << h;
+      EXPECT_EQ(ja.history[h].throughput, jb.history[h].throughput)
+          << "job " << i << " history " << h;
+      EXPECT_TRUE(ja.history[h].plan == jb.history[h].plan)
+          << "job " << i << " history " << h;
+    }
+  }
+}
+
+class SimEngineDiffTest : public ::testing::Test {
+ protected:
+  SimEngineDiffTest() : oracle_(2025), gen_(cluster_, oracle_) {}
+
+  std::vector<JobSpec> trace(int num_jobs, double window_h,
+                             std::uint64_t seed = 7) {
+    TraceOptions opts;
+    opts.seed = seed;
+    opts.num_jobs = num_jobs;
+    opts.window_s = hours(window_h);
+    return gen_.generate(opts);
+  }
+
+  // One audited Rubick run under the given engine; the decision log is
+  // drained into `log_out` for cross-engine comparison.
+  SimResult run_engine(const std::vector<JobSpec>& jobs, SimEngine engine,
+                       const FaultPlan* plan, DecisionLog* log_out) {
+    SimulationOptions options;
+    options.sim.engine = engine;
+    AuditConfig config;
+    config.on_violation = ViolationPolicy::kThrow;
+    config.check_guarantee = true;
+    InvariantAuditor auditor(config);
+    RunContext ctx;
+    ctx.options = &options;
+    ctx.observer = &auditor;
+    ctx.fault_plan = plan;
+    ProvenanceRecorder recorder;
+    RubickPolicy policy;
+    policy.set_provenance(&recorder);
+    const Simulator sim(cluster_, oracle_);
+    const SimResult result = sim.run(jobs, policy, ctx);
+    if (log_out != nullptr) {
+      log_out->policy = policy.name();
+      log_out->rounds = recorder.take_rounds();
+    }
+    return result;
+  }
+
+  void expect_engines_agree(const std::vector<JobSpec>& jobs,
+                            const FaultPlan* plan = nullptr,
+                            SimResult* indexed_out = nullptr) {
+    DecisionLog log_indexed;
+    DecisionLog log_legacy;
+    const SimResult indexed =
+        run_engine(jobs, SimEngine::kIndexed, plan, &log_indexed);
+    const SimResult legacy =
+        run_engine(jobs, SimEngine::kLegacyScan, plan, &log_legacy);
+    expect_identical(indexed, legacy);
+    const std::vector<std::string> diffs = diff_logs(log_indexed, log_legacy);
+    EXPECT_TRUE(diffs.empty())
+        << "decision logs diverge; first: " << diffs.front();
+    if (indexed_out != nullptr) *indexed_out = indexed;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  TraceGenerator gen_;
+};
+
+TEST_F(SimEngineDiffTest, FaultFreeRunIsByteIdentical) {
+  expect_engines_agree(trace(40, 4.0));
+}
+
+TEST_F(SimEngineDiffTest, SecondSeedFaultFreeRunIsByteIdentical) {
+  expect_engines_agree(trace(25, 2.0, /*seed=*/13));
+}
+
+TEST_F(SimEngineDiffTest, FaultedRunIsByteIdentical) {
+  // Generated fault weather: crashes, transients and stragglers land
+  // wherever the seed puts them, plus a 15% warm-reconfiguration failure
+  // rate to exercise the backoff heap.
+  FaultPlanOptions fault_opts;
+  fault_opts.horizon_s = hours(6.0);
+  fault_opts.reconfig_failure_prob = 0.15;
+  const FaultPlan plan = FaultPlan::generate(11, fault_opts, cluster_);
+  SimResult indexed;
+  expect_engines_agree(trace(30, 3.0), &plan, &indexed);
+  EXPECT_TRUE(indexed.any_faults());  // the fault machinery actually ran
+}
+
+// --- Event-queue edge cases (all engine-vs-legacy, audited). ---
+
+TEST_F(SimEngineDiffTest, SimultaneousCompletionArrivalAndFaultCoalesce) {
+  // Pin a completion instant with a solo dry run, then pile an arrival and
+  // a node fault onto exactly that timestamp. All three event sources must
+  // coalesce into one tick on both engines with identical tie-breaking.
+  std::vector<JobSpec> probe = trace(1, 0.01);
+  probe[0].submit_time_s = 0.0;
+  DecisionLog ignore;
+  const SimResult solo =
+      run_engine(probe, SimEngine::kIndexed, nullptr, &ignore);
+  ASSERT_TRUE(solo.jobs[0].finished);
+  const double finish_s = solo.jobs[0].finish_s;
+  ASSERT_GT(finish_s, 0.0);
+
+  std::vector<JobSpec> jobs = trace(3, 0.01);
+  jobs[0].submit_time_s = 0.0;
+  jobs[1].submit_time_s = finish_s;  // arrival == job 0's completion
+  jobs[1].model_name = jobs[0].model_name;  // no extra profiling gate
+  jobs[2].submit_time_s = finish_s;  // two coincident arrivals
+  jobs[2].model_name = jobs[0].model_name;
+
+  std::vector<FaultEvent> events;
+  FaultEvent transient;
+  transient.time_s = finish_s;  // fault at the same instant
+  transient.kind = FaultKind::kGpuTransient;
+  transient.node = 0;
+  events.push_back(transient);
+  const FaultPlan plan = FaultPlan::from_events(1, events, 0.0);
+  expect_engines_agree(jobs, &plan);
+}
+
+TEST_F(SimEngineDiffTest, BackoffExpiryCoalescesWithUnrelatedRounds) {
+  // Every warm reconfiguration fails: jobs cycle through capped exponential
+  // backoff while unrelated arrivals/completions keep forcing rounds, so
+  // backoff expiries coalesce with (and hide behind) other event kinds.
+  const FaultPlan plan = FaultPlan::from_events(9, {}, 1.0);
+  SimResult indexed;
+  expect_engines_agree(trace(15, 1.0), &plan, &indexed);
+  EXPECT_GT(indexed.fault_reconfig_failures, 0);
+  EXPECT_GT(indexed.degraded_jobs, 0);  // retries exhausted under prob=1
+}
+
+TEST_F(SimEngineDiffTest, StragglerReRatingInvalidatesHeapEntries) {
+  // Straggler begin/end on busy nodes re-rates running jobs mid-flight;
+  // the engine must treat their old completion entries as stale.
+  std::vector<FaultEvent> events;
+  for (int node = 0; node < 4; ++node) {
+    FaultEvent begin;
+    begin.time_s = 600.0 + 100.0 * node;
+    begin.kind = FaultKind::kStragglerBegin;
+    begin.node = node;
+    begin.duration_s = 1200.0;
+    begin.severity = 0.4;
+    events.push_back(begin);
+    FaultEvent end = begin;
+    end.time_s = begin.time_s + begin.duration_s;
+    end.kind = FaultKind::kStragglerEnd;
+    events.push_back(end);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.time_s < b.time_s;
+            });
+  const FaultPlan plan = FaultPlan::from_events(3, events, 0.0);
+
+  set_telemetry_enabled(true);
+  MetricsRegistry::global().reset_values();
+  SimResult indexed;
+  expect_engines_agree(trace(20, 1.0), &plan, &indexed);
+  EXPECT_EQ(indexed.fault_straggler_episodes, 4);
+  // Re-rating bumped versions on live entries, so the next-event query saw
+  // stale heap tops and dropped them.
+  EXPECT_GT(MetricsRegistry::global().counter_value("sim.stale_events"), 0u);
+  EXPECT_GT(MetricsRegistry::global().counter_value("sim.heap_pops"), 0u);
+  EXPECT_GT(MetricsRegistry::global().counter_value("sim.index_updates"), 0u);
+  set_telemetry_enabled(false);
+}
+
+TEST_F(SimEngineDiffTest, PausedJobsAnchorCompletionAtPauseEnd) {
+  // Arrivals land while earlier jobs are still inside their launch/reconfig
+  // pause (zero effective progress): the next-completion query must anchor
+  // at pause_until, not at `now`, on both engines.
+  std::vector<JobSpec> jobs = trace(6, 0.02);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].submit_time_s = 5.0 * static_cast<double>(i);  // inside pauses
+    jobs[i].model_name = jobs[0].model_name;  // one profiling gate
+  }
+  expect_engines_agree(jobs);
+}
+
+}  // namespace
+}  // namespace rubick

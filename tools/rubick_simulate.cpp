@@ -45,6 +45,12 @@
 //   rubick_simulate --policy=rubick --jobs=200 --fault-seed=13
 //                   --reconfig-failure-prob=0.1 --audit --audit-policy=throw
 //
+// Event engine (DESIGN.md §13): `--engine=indexed` (default) drives the run
+// with the indexed event engine; `--engine=legacy-scan` selects the
+// pre-engine full-fleet scan loop. The two are byte-identical by contract
+// (same SimResult, decision log and golden trace), so the flag exists for
+// bisecting engine regressions and for the differential CI check.
+//
 // Decision provenance (DESIGN.md §12): `--decisions-out=d.jsonl` attaches a
 // ProvenanceRecorder to the FIRST seed's policy and streams one structured
 // "why" record per scheduling round (chosen plans, curve evidence, trade
@@ -164,6 +170,10 @@ int main(int argc, char** argv) {
 #endif
   const bool audit = flags.get_bool("audit", audit_default);
   const std::string audit_policy = flags.get_string("audit-policy", "count");
+  // Event-engine selection (DESIGN.md §13): `indexed` is the production
+  // engine; `legacy-scan` keeps the pre-engine full-fleet scan loop for
+  // bisecting engine regressions. Both are byte-identical by contract.
+  const std::string engine_name = flags.get_string("engine", "indexed");
   flags.finish();
 
   if (log_json) set_log_format(LogFormat::kJson);
@@ -220,6 +230,13 @@ int main(int argc, char** argv) {
   sim_options.sim.online_refinement = refinement;
   sim_options.sim.size_dependent_reconfig_cost = size_penalty;
   sim_options.sim.reconfig_penalty_s = delta;
+  if (engine_name == "legacy-scan") {
+    sim_options.sim.engine = SimEngine::kLegacyScan;
+  } else {
+    RUBICK_CHECK_MSG(engine_name == "indexed",
+                     "unknown --engine '" << engine_name
+                                          << "'; try indexed, legacy-scan");
+  }
   sim_options.failure = failure_opts;
   const Simulator sim(cluster, oracle, sim_options.sim);
   const bool multi_tenant = variant == TraceVariant::kMultiTenant;
