@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -18,6 +19,7 @@
 
 #include "cluster/cluster.h"
 #include "common/threadpool.h"
+#include "core/decide_index.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
@@ -208,11 +210,21 @@ std::vector<JobSpec> make_round_jobs(int num_jobs) {
   return gen.generate(opts);
 }
 
+// Second benchmark argument on the round benches: 0 = DecideEngine::kIndexed
+// (production), 1 = kLegacyScan (the pre-index full-fleet scan loop, kept as
+// the executable spec — see DESIGN.md §14). Decisions are byte-identical;
+// only the decide-phase cost differs.
+DecideEngine decide_engine_arg(std::int64_t v) {
+  return v == 0 ? DecideEngine::kIndexed : DecideEngine::kLegacyScan;
+}
+
 void BM_ScheduleRound(benchmark::State& state) {
   const int num_jobs = static_cast<int>(state.range(0));
   const auto jobs = make_round_jobs(num_jobs);
   MemoryEstimator est;
   const SchedulerInput input = make_round_input(jobs, est);
+  RubickConfig config;
+  config.decide_engine = decide_engine_arg(state.range(1));
   CacheStats cache;
   for (auto _ : state) {
     // Fresh policy per iteration: measures a cold scheduling round (curve
@@ -220,7 +232,7 @@ void BM_ScheduleRound(benchmark::State& state) {
     // sets come from the process-wide PlanSetCache, so after the first
     // iteration this is "cold predictor, warm plan cache" — the state a
     // long-lived scheduler process is actually in after a model refit.
-    RubickPolicy policy;
+    RubickPolicy policy(config);
     benchmark::DoNotOptimize(policy.schedule(input));
     cache += policy.cache_stats();
   }
@@ -230,20 +242,36 @@ void BM_ScheduleRound(benchmark::State& state) {
       static_cast<double>(cache.misses), benchmark::Counter::kAvgIterations);
   state.counters["cache_hit_rate"] = benchmark::Counter(cache.hit_rate());
 }
-BENCHMARK(BM_ScheduleRound)->Arg(10)->Arg(50)->Arg(100)
+BENCHMARK(BM_ScheduleRound)
+    ->Args({10, 0})
+    ->Args({50, 0})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    // Large fleets: the decide phase dominates the cold round, so the
+    // engines pull apart (the legacy scan is O(jobs^2 x gpus)).
+    ->Args({500, 0})
+    ->Args({500, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({2000, 0})
+    ->Args({2000, 1})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ScheduleRoundSteady(benchmark::State& state) {
   // Steady state: one policy scheduling the same round repeatedly. With the
   // round digest unchanged, every iteration after the first replays the
   // previous assignments (the round-level fast path). Arg(1)==0 disables
-  // the fast path, measuring a fully warmed slow-path round instead.
+  // the fast path, measuring a fully warmed slow-path round instead —
+  // Arg(2) then picks the decide engine doing that work (with the fast
+  // path on, the digest replay never reaches the decide phase and the
+  // engines are indistinguishable).
   const int num_jobs = static_cast<int>(state.range(0));
   const auto jobs = make_round_jobs(num_jobs);
   MemoryEstimator est;
   const SchedulerInput input = make_round_input(jobs, est);
   RubickConfig config;
   config.enable_fast_path = state.range(1) != 0;
+  config.decide_engine = decide_engine_arg(state.range(2));
   RubickPolicy policy(config);
   policy.schedule(input);  // warm curves + caches outside the timed loop
   for (auto _ : state) {
@@ -253,8 +281,15 @@ void BM_ScheduleRoundSteady(benchmark::State& state) {
       static_cast<double>(policy.fast_path_rounds()));
 }
 BENCHMARK(BM_ScheduleRoundSteady)
-    ->Args({100, 1})
-    ->Args({100, 0})
+    ->Args({100, 1, 0})
+    ->Args({100, 0, 0})
+    ->Args({100, 0, 1})
+    ->Args({500, 0, 0})
+    ->Args({500, 0, 1})
+    ->Args({1000, 0, 0})
+    ->Args({1000, 0, 1})
+    ->Args({2000, 0, 0})
+    ->Args({2000, 0, 1})
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
@@ -319,6 +354,22 @@ struct Baseline {
 constexpr Baseline kPrePrBaseline[] = {
     {10, 0.0151}, {50, 0.0283}, {100, 0.0373}};
 
+// Decide-engine scaling fleets (DESIGN.md §14): cold rounds at large job
+// counts, indexed vs legacy-scan, few iterations (a legacy 2000-job cold
+// round runs for seconds). `recorded_speedup` is the cold-round
+// legacy-over-indexed latency ratio measured when the decide index landed
+// (this benchmark, Release build, same trace seed and container class);
+// the CI bench-smoke gate fails if the 2000-job run drops below 80% of it.
+// The ratio is measured within one process on one machine, so it is far
+// more stable across hardware than the absolute latencies.
+struct DecideFleet {
+  int jobs;
+  int iters;
+  double recorded_speedup;
+};
+constexpr DecideFleet kDecideFleets[] = {
+    {500, 5, 1.8}, {1000, 3, 3.5}, {2000, 2, 10.0}};
+
 int write_sched_json(const std::string& path) {
   set_telemetry_enabled(true);
   MetricsRegistry::global().reset_values();
@@ -375,6 +426,41 @@ int write_sched_json(const std::string& path) {
   }
   os << "],";
 
+  // Decide-engine comparison: same input, both engines, byte-identical
+  // decisions — only the decide-phase data structures differ.
+  os << "\"decide\":{\"fleets\":[";
+  bool first_fleet = true;
+  for (const DecideFleet& fleet : kDecideFleets) {
+    const auto jobs = make_round_jobs(fleet.jobs);
+    MemoryEstimator est;
+    const SchedulerInput input = make_round_input(jobs, est);
+
+    RubickConfig indexed_config;  // decide_engine defaults to kIndexed
+    const LatencySummary cold_indexed =
+        summarize(time_rounds(fleet.iters, [&] {
+          RubickPolicy policy(indexed_config);
+          benchmark::DoNotOptimize(policy.schedule(input));
+        }));
+    RubickConfig legacy_config;
+    legacy_config.decide_engine = DecideEngine::kLegacyScan;
+    const LatencySummary cold_legacy =
+        summarize(time_rounds(fleet.iters, [&] {
+          RubickPolicy policy(legacy_config);
+          benchmark::DoNotOptimize(policy.schedule(input));
+        }));
+
+    os << (first_fleet ? "" : ",") << "{\"jobs\":" << fleet.jobs << ",";
+    write_latency(os, "cold_indexed", cold_indexed);
+    os << ",";
+    write_latency(os, "cold_legacy", cold_legacy);
+    os << ",\"speedup_cold\":"
+       << (cold_indexed.mean_s > 0.0 ? cold_legacy.mean_s / cold_indexed.mean_s
+                                     : 0.0)
+       << ",\"recorded_baseline_speedup\":" << fleet.recorded_speedup << "}";
+    first_fleet = false;
+  }
+  os << "]},";
+
   const PlanCacheStats ps = PlanSetCache::global().stats();
   os << "\"plan_cache\":{\"hits\":" << ps.hits << ",\"misses\":" << ps.misses
      << ",\"enumerations\":" << ps.enumerations
@@ -386,7 +472,13 @@ int write_sched_json(const std::string& path) {
      << reg.counter_value("predictor.curve_evals_saved")
      << ",\"fast_path_rounds\":"
      << reg.counter_value("scheduler.fast_path_rounds")
-     << ",\"rounds\":" << reg.counter_value("scheduler.rounds") << "}}\n";
+     << ",\"rounds\":" << reg.counter_value("scheduler.rounds")
+     << ",\"victim_heap_pops\":"
+     << reg.counter_value("scheduler.victim_heap_pops")
+     << ",\"victim_stale_entries\":"
+     << reg.counter_value("scheduler.victim_stale_entries")
+     << ",\"slope_evals_saved\":"
+     << reg.counter_value("scheduler.slope_evals_saved") << "}}\n";
   os.close();
   std::cout << "wrote " << path << "\n";
   return os ? 0 : 1;

@@ -21,6 +21,7 @@ std::unique_ptr<SchedulerPolicy> make_rubick(const std::string& variant,
   config.tenant_quota_gpus = params.tenant_quota_gpus;
   config.gate_threshold = params.gate_threshold;
   config.opportunistic_admission = params.opportunistic_admission;
+  config.decide_engine = params.decide_engine;
   return std::make_unique<RubickPolicy>(config);
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/decide_index.h"
 #include "core/scheduler.h"
 
 namespace rubick {
@@ -28,6 +29,10 @@ struct PolicyParams {
   std::map<std::string, int> tenant_quota_gpus;
   double gate_threshold = 0.97;        // Rubick reconfiguration-penalty gate
   bool opportunistic_admission = true; // Rubick small-start admission
+  // Decide-phase implementation for the Rubick family (byte-identical
+  // either way; legacy-scan exists for bisection and measurement —
+  // `rubick_simulate --decide=legacy-scan`).
+  DecideEngine decide_engine = DecideEngine::kIndexed;
 };
 
 class PolicyFactory {

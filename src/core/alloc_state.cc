@@ -4,6 +4,7 @@
 #include "plan/execution_plan.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.h"
 
@@ -93,6 +94,7 @@ void AllocState::take_gpus(int job, int node, int count) {
   auto& slice = slices_of(job)[node];
   slice.node = node;
   slice.gpus += count;
+  notify(job, node);
 }
 
 void AllocState::take_cpus(int job, int node, int count) {
@@ -103,6 +105,7 @@ void AllocState::take_cpus(int job, int node, int count) {
   auto& slice = slices_of(job)[node];
   slice.node = node;
   slice.cpus += count;
+  notify(job, node);
 }
 
 void AllocState::give_back_gpus(int job, int node, int count) {
@@ -112,6 +115,7 @@ void AllocState::give_back_gpus(int job, int node, int count) {
   slice.node = node;
   slice.gpus -= count;
   free_[static_cast<std::size_t>(node)].gpus += count;
+  notify(job, node);
 }
 
 void AllocState::give_back_cpus(int job, int node, int count) {
@@ -121,15 +125,22 @@ void AllocState::give_back_cpus(int job, int node, int count) {
   slice.node = node;
   slice.cpus -= count;
   free_[static_cast<std::size_t>(node)].cpus += count;
+  notify(job, node);
 }
 
 void AllocState::release_job(int job) {
   auto it = jobs_.find(job);
   if (it == jobs_.end()) return;
-  for (const auto& [node, s] : it->second)
+  std::vector<int> touched;
+  touched.reserve(it->second.size());
+  for (const auto& [node, s] : it->second) {
     free_[static_cast<std::size_t>(node)] +=
         ResourceVector{s.gpus, s.cpus, s.host_memory_bytes};
+    touched.push_back(node);
+  }
   jobs_.erase(it);
+  // Notify after the erase so listeners read the post-release state.
+  for (int node : touched) notify(job, node);
 }
 
 void AllocState::release_memory(int job) {

@@ -17,6 +17,19 @@
 
 namespace rubick {
 
+// Observer seam for incremental indexes over an AllocState (DESIGN.md §14).
+// Fired AFTER the mutation, once per (job, node) slice the operation
+// touched, so the listener reads post-change state. Memory-only operations
+// (alloc_memory/release_memory) do not notify: they move host bytes, which
+// no index keys on. snapshot()/restore() do not notify either — a listener
+// that must survive rollbacks tracks its own journal (see
+// DecideIndex::mark/rollback).
+class AllocListener {
+ public:
+  virtual ~AllocListener() = default;
+  virtual void on_slice_changed(int job, int node) = 0;
+};
+
 class AllocState {
  public:
   // Starts from an empty cluster, then registers the given running jobs'
@@ -69,6 +82,10 @@ class AllocState {
   Snapshot snapshot() const;
   void restore(const Snapshot& snap);
 
+  // At most one listener; null detaches. The listener must outlive every
+  // subsequent mutating call (or detach first).
+  void set_listener(AllocListener* listener) { listener_ = listener; }
+
   struct Snapshot {
     std::vector<ResourceVector> free;
     std::map<int, std::map<int, NodeSlice>> jobs;
@@ -76,11 +93,15 @@ class AllocState {
 
  private:
   std::map<int, NodeSlice>& slices_of(int job) { return jobs_[job]; }
+  void notify(int job, int node) {
+    if (listener_ != nullptr) listener_->on_slice_changed(job, node);
+  }
 
   ClusterSpec spec_;
   std::vector<ResourceVector> free_;
   // job id -> node id -> slice
   std::map<int, std::map<int, NodeSlice>> jobs_;
+  AllocListener* listener_ = nullptr;
 };
 
 }  // namespace rubick

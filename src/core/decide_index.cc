@@ -1,0 +1,293 @@
+#include "core/decide_index.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/error.h"
+
+namespace rubick {
+
+DecideIndex::DecideIndex(const ClusterSpec& cluster, const AllocState* state,
+                         BestPlanPredictor* predictor, int cpu_floor_per_gpu,
+                         bool victim_heaps)
+    : cluster_(cluster),
+      state_(state),
+      predictor_(predictor),
+      cpu_floor_per_gpu_(cpu_floor_per_gpu),
+      victim_heaps_(victim_heaps) {
+  RUBICK_CHECK(state_ != nullptr && predictor_ != nullptr);
+  const auto n = static_cast<std::size_t>(cluster_.num_nodes);
+  gpu_heaps_.resize(n);
+  cpu_heaps_.resize(n);
+}
+
+DecideIndex::~DecideIndex() = default;
+
+int DecideIndex::add_job(const JobMeta& meta) {
+  RUBICK_DCHECK(!built_);
+  const int idx = static_cast<int>(jobs_.size());
+  Job job;
+  job.meta = meta;
+  jobs_.push_back(job);
+  idx_of_.emplace(meta.job_id, idx);
+  return idx;
+}
+
+void DecideIndex::build() {
+  RUBICK_DCHECK(!built_);
+  built_ = true;
+  // Node ranking: total order under NodeOrderLess (the id tie-break makes
+  // every key distinct, so std::sort yields one well-defined permutation).
+  ranked_.resize(static_cast<std::size_t>(cluster_.num_nodes));
+  for (int n = 0; n < cluster_.num_nodes; ++n)
+    ranked_[static_cast<std::size_t>(n)] = n;
+  std::sort(ranked_.begin(), ranked_.end(), NodeOrderLess{&cluster_, state_});
+  pos_.resize(ranked_.size());
+  for (std::size_t r = 0; r < ranked_.size(); ++r)
+    pos_[static_cast<std::size_t>(ranked_[r])] = static_cast<int>(r);
+
+  if (!victim_heaps_) return;
+  for (std::size_t idx = 0; idx < jobs_.size(); ++idx)
+    push_entries(static_cast<int>(idx));
+}
+
+// ---------------------------------------------------------------------------
+// Slope memo
+// ---------------------------------------------------------------------------
+
+double DecideIndex::slope(int idx, SlopeKind kind) {
+  Job& job = jobs_[static_cast<std::size_t>(idx)];
+  const unsigned bit = 1u << kind;
+  if (job.memo.version == job.version && (job.memo.have & bit) != 0) {
+    ++stats_.slope_evals_saved;
+    return job.memo.value[kind];
+  }
+  if (job.memo.version != job.version) {
+    job.memo.version = job.version;
+    job.memo.have = 0;
+  }
+  // Byte-identical to the legacy slope lambdas in RubickPolicy::schedule:
+  // same g/c reads, same max(1, c) clamp, same g<=0 guard on the CPU
+  // slopes, same normalization by the job baseline.
+  const int id = job.meta.job_id;
+  const int g = state_->job_gpus(id);
+  const int c = std::max(1, state_->job_cpus(id));
+  const ModelSpec& model = *job.meta.model;
+  const int batch = job.meta.global_batch;
+  const PlanSelector& sel = *job.meta.selector;
+  double value = 0.0;
+  switch (kind) {
+    case kGpuUp:
+      value = predictor_->gpu_slope_up(model, batch, sel, g, c) /
+              job.meta.baseline;
+      break;
+    case kGpuDown:
+      value = predictor_->gpu_slope_down(model, batch, sel, g, c) /
+              job.meta.baseline;
+      break;
+    case kCpuUp:
+      value = g <= 0 ? 0.0
+                     : predictor_->cpu_slope_up(model, batch, sel, g, c) /
+                           job.meta.baseline;
+      break;
+    case kCpuDown:
+      value = g <= 0 ? 0.0
+                     : predictor_->cpu_slope_down(model, batch, sel, g, c) /
+                           job.meta.baseline;
+      break;
+  }
+  job.memo.value[kind] = value;
+  job.memo.have |= bit;
+  ++stats_.slope_evals;
+  return value;
+}
+
+double DecideIndex::gpu_up(int idx) { return slope(idx, kGpuUp); }
+double DecideIndex::gpu_down(int idx) { return slope(idx, kGpuDown); }
+double DecideIndex::cpu_up(int idx) { return slope(idx, kCpuUp); }
+double DecideIndex::cpu_down(int idx) { return slope(idx, kCpuDown); }
+
+// ---------------------------------------------------------------------------
+// Victim heaps
+// ---------------------------------------------------------------------------
+
+void DecideIndex::push_entries(int idx) {
+  const Job& job = jobs_[static_cast<std::size_t>(idx)];
+  const int id = job.meta.job_id;
+  for (int node : state_->job_nodes(id)) {
+    const auto n = static_cast<std::size_t>(node);
+    if (state_->job_gpus_on(id, node) > 0) {
+      gpu_heaps_[n].push_back(Entry{gpu_down(idx), idx, job.version});
+      std::push_heap(gpu_heaps_[n].begin(), gpu_heaps_[n].end(),
+                     EntryGreater{});
+    }
+    if (state_->job_cpus_on(id, node) > 0) {
+      cpu_heaps_[n].push_back(Entry{cpu_down(idx), idx, job.version});
+      std::push_heap(cpu_heaps_[n].begin(), cpu_heaps_[n].end(),
+                     EntryGreater{});
+    }
+  }
+}
+
+void DecideIndex::reindex_job(int idx) {
+  ++jobs_[static_cast<std::size_t>(idx)].version;
+  if (victim_heaps_ && built_) push_entries(idx);
+}
+
+bool DecideIndex::gpu_eligible(const Job& job, int node) {
+  // Mirror of the legacy gpu_victim scan's version-invariant filters. The
+  // job's resource counts are covered by its version (any change re-pushes
+  // it); min_res/guaranteed are round constants; the envelope is a pure
+  // function of (g, c). So a false here cannot flip back before the next
+  // version bump, and the caller may drop the entry permanently.
+  const int id = job.meta.job_id;
+  if (state_->job_gpus_on(id, node) <= 0) return false;
+  const int g = state_->job_gpus(id);
+  if (g <= job.meta.min_res.gpus) return false;  // must stay over its minimum
+  if (g - 1 == 0) {
+    if (job.meta.guaranteed) return false;  // only BE is preemptible
+  } else {
+    // Shrinking must leave the victim at least one feasible plan.
+    const int c = std::max(1, state_->job_cpus(id));
+    if (predictor_->envelope(*job.meta.model, job.meta.global_batch,
+                             *job.meta.selector, g - 1, c) <= 0.0)
+      return false;
+  }
+  return true;
+}
+
+bool DecideIndex::cpu_eligible(const Job& job, int node) {
+  const int id = job.meta.job_id;
+  if (state_->job_cpus_on(id, node) <= 0) return false;
+  const int floor_c = std::max(job.meta.min_res.cpus,
+                               cpu_floor_per_gpu_ * state_->job_gpus(id));
+  return state_->job_cpus(id) > std::max(1, floor_c);
+}
+
+int DecideIndex::generic_victim(std::vector<std::vector<Entry>>& heaps,
+                                int node, int exclude, bool allow_frozen,
+                                bool gpu) {
+  RUBICK_DCHECK(victim_heaps_ && built_);
+  auto& heap = heaps[static_cast<std::size_t>(node)];
+  scratch_.clear();
+  int found = -1;
+  while (!heap.empty()) {
+    const Entry entry = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), EntryGreater{});
+    heap.pop_back();
+    ++stats_.heap_pops;
+    const Job& job = jobs_[static_cast<std::size_t>(entry.idx)];
+    if (entry.version != job.version) {
+      // Lazy deletion: the job's allocation changed since the push; a
+      // fresh entry (keyed on the new slope) was pushed at the bump.
+      ++stats_.stale_entries;
+      continue;
+    }
+    if (!(gpu ? gpu_eligible(job, node) : cpu_eligible(job, node)))
+      continue;  // permanent drop: re-pushed on the job's next version bump
+    if (job.meta.job_id == exclude || (job.meta.frozen && !allow_frozen)) {
+      // Query-variant skip: a later query (other claimant, allow_frozen)
+      // may need this entry, so it goes back after the search.
+      scratch_.push_back(entry);
+      continue;
+    }
+    // Minimum (slope, idx): the same candidate the legacy scan's strict
+    // `<` keeps — first in `infos` order among equal lowest slopes. The
+    // winner is not consumed: the caller decides whether to shrink it (a
+    // shrink bumps its version and re-pushes it anyway).
+    found = entry.idx;
+    scratch_.push_back(entry);
+    break;
+  }
+  for (const Entry& entry : scratch_) {
+    heap.push_back(entry);
+    std::push_heap(heap.begin(), heap.end(), EntryGreater{});
+  }
+  return found;
+}
+
+int DecideIndex::gpu_victim(int node, int exclude, bool allow_frozen) {
+  return generic_victim(gpu_heaps_, node, exclude, allow_frozen, /*gpu=*/true);
+}
+
+int DecideIndex::cpu_victim(int node, int exclude, bool allow_frozen) {
+  return generic_victim(cpu_heaps_, node, exclude, allow_frozen,
+                        /*gpu=*/false);
+}
+
+void DecideIndex::set_frozen(int idx, bool frozen) {
+  Job& job = jobs_[static_cast<std::size_t>(idx)];
+  if (job.meta.frozen == frozen) return;
+  job.meta.frozen = frozen;
+  if (built_) reindex_job(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Node ranking + change tracking
+// ---------------------------------------------------------------------------
+
+void DecideIndex::reposition(int node) {
+  if (!built_) return;
+  const NodeOrderLess less{&cluster_, state_};
+  auto r = static_cast<std::size_t>(pos_[static_cast<std::size_t>(node)]);
+  while (r > 0 && less(ranked_[r], ranked_[r - 1])) {
+    std::swap(ranked_[r], ranked_[r - 1]);
+    pos_[static_cast<std::size_t>(ranked_[r])] = static_cast<int>(r);
+    --r;
+  }
+  while (r + 1 < ranked_.size() && less(ranked_[r + 1], ranked_[r])) {
+    std::swap(ranked_[r], ranked_[r + 1]);
+    pos_[static_cast<std::size_t>(ranked_[r])] = static_cast<int>(r);
+    ++r;
+  }
+  pos_[static_cast<std::size_t>(ranked_[r])] = static_cast<int>(r);
+}
+
+void DecideIndex::on_slice_changed(int job, int node) {
+  journal_.emplace_back(job, node);
+  reposition(node);
+  const auto it = idx_of_.find(job);
+  RUBICK_DCHECK(it != idx_of_.end());
+  if (it != idx_of_.end()) reindex_job(it->second);
+}
+
+void DecideIndex::rollback(std::size_t mark) {
+  RUBICK_DCHECK(mark <= journal_.size());
+  // The AllocState was restored to its state at mark(): every job/node
+  // touched since then may differ from what the index last saw. Bump each
+  // touched job once (staling its entries, re-pushing from the restored
+  // state) and re-rank each touched node. Deduplicate first — ScheduleJob
+  // attempts touch the same claimant slice many times.
+  std::vector<int> jobs_touched;
+  std::vector<int> nodes_touched;
+  for (std::size_t i = mark; i < journal_.size(); ++i) {
+    jobs_touched.push_back(journal_[i].first);
+    nodes_touched.push_back(journal_[i].second);
+  }
+  journal_.resize(mark);
+  std::sort(jobs_touched.begin(), jobs_touched.end());
+  jobs_touched.erase(std::unique(jobs_touched.begin(), jobs_touched.end()),
+                     jobs_touched.end());
+  std::sort(nodes_touched.begin(), nodes_touched.end());
+  nodes_touched.erase(
+      std::unique(nodes_touched.begin(), nodes_touched.end()),
+      nodes_touched.end());
+  for (int node : nodes_touched) reposition(node);
+  for (int job : jobs_touched) {
+    const auto it = idx_of_.find(job);
+    if (it != idx_of_.end()) reindex_job(it->second);
+  }
+}
+
+void DecideIndex::commit(std::size_t mark) {
+  RUBICK_DCHECK(mark <= journal_.size());
+  // Single-level marks (ScheduleJob's snapshot discipline): nothing can
+  // roll back past `mark` anymore, so the journal prefix is dead weight.
+  journal_.resize(mark);
+}
+
+}  // namespace rubick

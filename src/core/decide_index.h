@@ -1,0 +1,241 @@
+// Incremental indexes for the decide phase of Algorithm 1 (DESIGN.md §14).
+//
+// The legacy decide loop (`DecideEngine::kLegacyScan`) finds each GPU/CPU
+// victim by scanning every job in the round — re-evaluating the
+// sensitivity-curve slopes of every candidate on every probe — and rebuilds
+// and re-sorts the node visit order once per scheduled job. That is
+// O(jobs² × gpus) per cold round. `DecideIndex` replaces those scans with
+// three structures that are maintained incrementally as the round's
+// `AllocState` changes:
+//
+//   1. Per-node slope-ordered victim heaps with LAZY DELETION. Every job
+//      carries a state version that is bumped whenever its allocation
+//      changes (take/give-back of GPUs or CPUs, release, freeze changes);
+//      heap entries record the version they were pushed at and are dropped
+//      on pop when stale. `gpu_victim`/`cpu_victim` pop the minimum-slope
+//      eligible candidate instead of scanning. The heap key is
+//      (slope, infos index), which replicates the legacy scan's tie-break
+//      exactly: the FIRST job in `infos` order among equal lowest slopes.
+//   2. A memoized per-job slope cache (gpu_up / gpu_down / cpu_up /
+//      cpu_down), invalidated by the same versions. Values are computed
+//      with byte-identical expressions to the legacy lambdas, so decisions
+//      and provenance (TradeEvent slopes) are bit-for-bit the same.
+//   3. A shared node ranking (speed desc, then free GPUs desc, then node
+//      id) repositioned in place as free counts change, replacing the
+//      per-job rebuild + std::sort in grow_allocation/gang_place.
+//
+// The index observes `AllocState` through the AllocListener seam and is
+// rolled back in lockstep with `AllocState::restore` via mark()/rollback()
+// (a journal of touched jobs/nodes; single-level marks, matching the
+// snapshot discipline of ScheduleJob).
+//
+// CONCURRENCY: none. The decide phase is single-threaded per round (see
+// DESIGN.md §6); DecideIndex is a round-local object owned by one thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/resource.h"
+#include "core/alloc_state.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "model/model_spec.h"
+
+namespace rubick {
+
+// Which implementation drives the decide phase of Algorithm 1.
+// `kIndexed` (production) uses DecideIndex; `kLegacyScan` keeps the
+// original full-fleet scan loop as the executable specification. The two
+// are byte-identical by contract (identical Assignment vectors, identical
+// provenance records) — `kLegacyScan` exists for bisecting regressions and
+// for the differential tests/CI check, exactly like SimEngine::kLegacyScan.
+enum class DecideEngine { kIndexed, kLegacyScan };
+
+// Shared node-visit comparator: faster nodes first (a gang job paces at its
+// slowest GPU), then emptier free-GPU pools, then ascending node id. The id
+// tie-break makes this a TOTAL order, so the incremental ranking and the
+// legacy per-job std::sort resolve ties identically (std::sort gives no
+// ordering guarantee between equivalent keys, and the two engines must
+// visit nodes in the same order to place byte-identical slices).
+struct NodeOrderLess {
+  const ClusterSpec* cluster = nullptr;
+  const AllocState* state = nullptr;
+
+  bool operator()(int a, int b) const {
+    const double sa = cluster->speed_of(a);
+    const double sb = cluster->speed_of(b);
+    if (sa != sb) return sa > sb;
+    const int fa = state->free_gpus(a);
+    const int fb = state->free_gpus(b);
+    if (fa != fb) return fa > fb;
+    return a < b;
+  }
+};
+
+class DecideIndex final : public AllocListener {
+ public:
+  // Round-constant facts about one job, registered in `infos` order (the
+  // registration index IS the victim tie-break rank). `min_res` must be the
+  // job's true minimum demand: the temporary overrides the policy applies
+  // during opportunistic/starvation admission affect only the CLAIMANT,
+  // which is excluded from its own victim searches, so candidate
+  // eligibility always reads the un-overridden value — same as the legacy
+  // scan at its call sites.
+  struct JobMeta {
+    int job_id = 0;
+    const ModelSpec* model = nullptr;
+    int global_batch = 0;
+    const PlanSelector* selector = nullptr;
+    double baseline = 1.0;
+    ResourceVector min_res;
+    bool guaranteed = false;
+    bool frozen = false;
+  };
+
+  struct Stats {
+    std::uint64_t heap_pops = 0;          // victim-heap entries popped
+    std::uint64_t stale_entries = 0;      // lazily-deleted entries dropped
+    std::uint64_t slope_evals = 0;        // slopes computed via the predictor
+    std::uint64_t slope_evals_saved = 0;  // slope reads served by the memo
+  };
+
+  // `victim_heaps` may be false for gang-placement variants (Rubick-E/-N):
+  // they never query victims, so the index skips the heap fill (and its
+  // slope evaluations) and maintains only the node ranking.
+  DecideIndex(const ClusterSpec& cluster, const AllocState* state,
+              BestPlanPredictor* predictor, int cpu_floor_per_gpu,
+              bool victim_heaps);
+  ~DecideIndex() override;
+
+  DecideIndex(const DecideIndex&) = delete;
+  DecideIndex& operator=(const DecideIndex&) = delete;
+
+  // Registers a job; returns its index (== infos position). All jobs must
+  // be registered, in order, before build().
+  int add_job(const JobMeta& meta);
+
+  // Fills the victim heaps and the node ranking from the current AllocState
+  // (call once, after add_job and after `state` registered the running
+  // placements; attach via AllocState::set_listener first so subsequent
+  // mutations are tracked).
+  void build();
+
+  // Memoized normalized slopes — byte-identical to the legacy lambdas in
+  // RubickPolicy::schedule (same predictor calls, same g/c clamping, same
+  // division by the job baseline).
+  double gpu_up(int idx);
+  double gpu_down(int idx);
+  double cpu_up(int idx);
+  double cpu_down(int idx);
+
+  // Minimum-slope eligible victim on `node`, or -1. Eligibility and
+  // tie-break replicate the legacy scans exactly (see rubick_policy.cc).
+  // `exclude` is a job id (the claimant); `allow_frozen` admits
+  // recently-reconfigured jobs, as for below-minimum claimants.
+  int gpu_victim(int node, int exclude, bool allow_frozen);
+  int cpu_victim(int node, int exclude, bool allow_frozen);
+
+  // Nodes ordered by NodeOrderLess, kept current across allocation changes.
+  const std::vector<int>& ranked_nodes() const { return ranked_; }
+
+  // Freeze-state change: bumps the job's version so cached heap entries are
+  // invalidated (the policy currently fixes frozen flags before build(),
+  // but the index does not rely on that).
+  void set_frozen(int idx, bool frozen);
+
+  // Rollback seam, used in lockstep with AllocState::snapshot()/restore():
+  // mark() before the snapshot, rollback(mark) right after a restore (bumps
+  // every job touched since the mark and re-indexes it from the restored
+  // state), commit(mark) on success. Marks are single-level — ScheduleJob's
+  // snapshot discipline — so commit may simply truncate the journal.
+  std::size_t mark() const { return journal_.size(); }
+  void rollback(std::size_t mark);
+  void commit(std::size_t mark);
+
+  // AllocListener: one allocation slice changed (take/give-back/release).
+  void on_slice_changed(int job, int node) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum SlopeKind { kGpuUp = 0, kGpuDown = 1, kCpuUp = 2, kCpuDown = 3 };
+
+  struct SlopeMemo {
+    std::uint64_t version = ~std::uint64_t{0};
+    unsigned have = 0;  // bitmask over SlopeKind
+    double value[4] = {0.0, 0.0, 0.0, 0.0};
+  };
+
+  struct Job {
+    JobMeta meta;
+    std::uint64_t version = 0;
+    SlopeMemo memo;
+  };
+
+  // Victim-heap entry: min-heap on (slope, idx); `version` stales out
+  // entries whose job state changed since the push.
+  struct Entry {
+    double slope = 0.0;
+    int idx = 0;
+    std::uint64_t version = 0;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.slope != b.slope) return a.slope > b.slope;
+      if (a.idx != b.idx) return a.idx > b.idx;
+      return a.version > b.version;
+    }
+  };
+
+  double slope(int idx, SlopeKind kind);
+  // Version-invariant eligibility at the entry's (current) version; a
+  // false result lets the pop drop the entry permanently — the job cannot
+  // become eligible again without a version bump, which re-pushes it.
+  bool gpu_eligible(const Job& job, int node);
+  bool cpu_eligible(const Job& job, int node);
+  // Bumps the job's version and pushes fresh entries for every node where
+  // it currently holds GPUs (gpu heaps) / CPUs (cpu heaps).
+  void reindex_job(int idx);
+  void push_entries(int idx);
+  // Restores the ranking position of `node` after its free-GPU count
+  // changed (in-place bubble; amortized O(1) for ±small deltas).
+  void reposition(int node);
+  int generic_victim(std::vector<std::vector<Entry>>& heaps, int node,
+                     int exclude, bool allow_frozen, bool gpu);
+
+  ClusterSpec cluster_;
+  const AllocState* state_;
+  BestPlanPredictor* predictor_;
+  int cpu_floor_per_gpu_;
+  bool victim_heaps_;
+  bool built_ = false;
+
+  std::vector<Job> jobs_;
+  std::unordered_map<int, int> idx_of_;  // job id -> registration index
+
+  // One binary min-heap per node (std::push_heap/pop_heap over a vector,
+  // EntryGreater order).
+  std::vector<std::vector<Entry>> gpu_heaps_;
+  std::vector<std::vector<Entry>> cpu_heaps_;
+
+  // Node ranking: ranked_[r] = node id at rank r; pos_[node] = its rank.
+  std::vector<int> ranked_;
+  std::vector<int> pos_;
+
+  // Mutation journal for rollback: (job id, node) per AllocState change.
+  std::vector<std::pair<int, int>> journal_;
+
+  // Scratch for victim queries: entries popped but skipped for
+  // query-variant reasons (the excluded claimant, frozen without
+  // allow_frozen) plus the winner, re-pushed after the query.
+  std::vector<Entry> scratch_;
+
+  Stats stats_;
+};
+
+}  // namespace rubick

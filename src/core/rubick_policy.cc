@@ -11,12 +11,14 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <memory>
 
 #include "common/error.h"
 #include "common/intern.h"
 #include "common/log.h"
 #include "common/threadpool.h"
 #include "core/alloc_state.h"
+#include "core/decide_index.h"
 #include "core/fault_tolerance.h"
 #include "model/model_zoo.h"
 #include "perf/profiler.h"
@@ -338,11 +340,44 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   for (const auto& info : infos)
     if (info.view->running) chosen_plan[info.view->spec->id] = info.view->plan;
 
-  // ---------- Slope helpers (normalized to per-job baseline speedup). ----
   auto job_id = [](const JobInfo& info) { return info.view->spec->id; };
   auto batch = [](const JobInfo& info) { return info.view->spec->global_batch; };
 
+  // ---------- Decide-phase index (DESIGN.md §14). ----------
+  // Under DecideEngine::kIndexed the victim searches, slope reads and node
+  // orderings below are served by DecideIndex; the legacy branches are the
+  // executable spec the index must match byte for byte. The index observes
+  // every AllocState mutation through the listener seam and is rolled back
+  // in lockstep with state.restore() (see schedule_job).
+  std::unique_ptr<DecideIndex> didx;
+  if (config_.decide_engine == DecideEngine::kIndexed) {
+    didx = std::make_unique<DecideIndex>(
+        *input.cluster, &state, predictor_.get(), config_.cpu_floor_per_gpu,
+        /*victim_heaps=*/config_.reallocate_resources);
+    for (const auto& info : infos) {
+      DecideIndex::JobMeta meta;
+      meta.job_id = job_id(info);
+      meta.model = info.model;
+      meta.global_batch = batch(info);
+      meta.selector = info.selector;
+      meta.baseline = info.baseline;
+      meta.min_res = info.min_res;
+      meta.guaranteed = info.view->spec->guaranteed;
+      meta.frozen = info.frozen;
+      didx->add_job(meta);
+    }
+    state.set_listener(didx.get());
+    didx->build();
+  }
+  auto idx_of = [&](const JobInfo& info) {
+    return static_cast<int>(&info - infos.data());
+  };
+
+  // ---------- Slope helpers (normalized to per-job baseline speedup). ----
+  // The indexed engine serves these from the per-job memo (invalidated by
+  // the job's state version); the legacy expressions below are the spec.
   auto gpu_up = [&](const JobInfo& info) {
+    if (didx != nullptr) return didx->gpu_up(idx_of(info));
     const int g = state.job_gpus(job_id(info));
     const int c = std::max(1, state.job_cpus(job_id(info)));
     return predictor_->gpu_slope_up(*info.model, batch(info), *info.selector,
@@ -350,6 +385,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
            info.baseline;
   };
   auto gpu_down = [&](const JobInfo& info) {
+    if (didx != nullptr) return didx->gpu_down(idx_of(info));
     const int g = state.job_gpus(job_id(info));
     const int c = std::max(1, state.job_cpus(job_id(info)));
     return predictor_->gpu_slope_down(*info.model, batch(info), *info.selector,
@@ -357,6 +393,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
            info.baseline;
   };
   auto cpu_up = [&](const JobInfo& info) {
+    if (didx != nullptr) return didx->cpu_up(idx_of(info));
     const int g = state.job_gpus(job_id(info));
     if (g <= 0) return 0.0;
     const int c = std::max(1, state.job_cpus(job_id(info)));
@@ -365,6 +402,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
            info.baseline;
   };
   auto cpu_down = [&](const JobInfo& info) {
+    if (didx != nullptr) return didx->cpu_down(idx_of(info));
     const int g = state.job_gpus(job_id(info));
     if (g <= 0) return 0.0;
     const int c = std::max(1, state.job_cpus(job_id(info)));
@@ -398,6 +436,10 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   // minRes admission would head-of-line block the queue, which is worse
   // than charging the victim one extra checkpoint-resume cycle.
   auto gpu_victim = [&](int node, int exclude, bool allow_frozen) -> JobInfo* {
+    if (didx != nullptr) {
+      const int idx = didx->gpu_victim(node, exclude, allow_frozen);
+      return idx < 0 ? nullptr : &infos[static_cast<std::size_t>(idx)];
+    }
     JobInfo* best = nullptr;
     double best_slope = std::numeric_limits<double>::infinity();
     for (auto& cand : infos) {
@@ -425,6 +467,10 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   };
 
   auto cpu_victim = [&](int node, int exclude, bool allow_frozen) -> JobInfo* {
+    if (didx != nullptr) {
+      const int idx = didx->cpu_victim(node, exclude, allow_frozen);
+      return idx < 0 ? nullptr : &infos[static_cast<std::size_t>(idx)];
+    }
     JobInfo* best = nullptr;
     double best_slope = std::numeric_limits<double>::infinity();
     for (auto& cand : infos) {
@@ -569,15 +615,19 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     const int cpu_per_gpu =
         std::max(1, (spec.requested.cpus + want_g - 1) / want_g);
 
-    std::vector<int> order(static_cast<std::size_t>(input.cluster->num_nodes));
-    for (int n = 0; n < input.cluster->num_nodes; ++n)
-      order[static_cast<std::size_t>(n)] = n;
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      const double sa = input.cluster->speed_of(a);
-      const double sb = input.cluster->speed_of(b);
-      if (sa != sb) return sa > sb;
-      return state.free_gpus(a) > state.free_gpus(b);
-    });
+    // Fast/empty nodes first (NodeOrderLess, shared with grow_allocation).
+    // The indexed engine reads the incrementally maintained ranking instead
+    // of re-sorting per job; both produce the same total order.
+    std::vector<int> order;
+    if (didx != nullptr) {
+      order = didx->ranked_nodes();
+    } else {
+      order.resize(static_cast<std::size_t>(input.cluster->num_nodes));
+      for (int n = 0; n < input.cluster->num_nodes; ++n)
+        order[static_cast<std::size_t>(n)] = n;
+      std::sort(order.begin(), order.end(),
+                NodeOrderLess{input.cluster, &state});
+    }
 
     int got = 0;
     for (int n : order) {
@@ -593,28 +643,37 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   };
 
   // ---------- ScheduleJob (Algorithm 1 lines 6-24). ----------
+  // Scratch for grow_allocation's visited-node dedup (set/cleared per call;
+  // hoisted so a round does one allocation, not one per scheduled job).
+  std::vector<char> own_node(static_cast<std::size_t>(input.cluster->num_nodes),
+                             0);
   auto grow_allocation = [&](JobInfo& info) {
     const JobSpec& spec = *info.view->spec;
     const int id = spec.id;
     const int max_g = max_useful_gpus(info);
 
     // Visit nodes where the job already holds GPUs first (locality), then
-    // the rest by descending free GPUs.
+    // the rest — faster nodes first (heterogeneous pods: a gang job paces
+    // at its slowest GPU), then emptier ones (NodeOrderLess). The indexed
+    // engine appends from the maintained ranking; the legacy path sorts
+    // the remainder per job. The `own_node` bitmask replaces the old
+    // std::find dedup (O(N²) in nodes).
     std::vector<int> order;
     for (int n : state.job_nodes(id)) order.push_back(n);
-    std::vector<int> rest;
-    for (int n = 0; n < input.cluster->num_nodes; ++n)
-      if (std::find(order.begin(), order.end(), n) == order.end())
-        rest.push_back(n);
-    // Prefer faster nodes (heterogeneous pods: a gang job paces at its
-    // slowest GPU), then emptier ones.
-    std::sort(rest.begin(), rest.end(), [&](int a, int b) {
-      const double sa = input.cluster->speed_of(a);
-      const double sb = input.cluster->speed_of(b);
-      if (sa != sb) return sa > sb;
-      return state.free_gpus(a) > state.free_gpus(b);
-    });
-    order.insert(order.end(), rest.begin(), rest.end());
+    const std::size_t own_count = order.size();
+    for (std::size_t i = 0; i < own_count; ++i)
+      own_node[static_cast<std::size_t>(order[i])] = 1;
+    if (didx != nullptr) {
+      for (int n : didx->ranked_nodes())
+        if (own_node[static_cast<std::size_t>(n)] == 0) order.push_back(n);
+    } else {
+      for (int n = 0; n < input.cluster->num_nodes; ++n)
+        if (own_node[static_cast<std::size_t>(n)] == 0) order.push_back(n);
+      std::sort(order.begin() + static_cast<std::ptrdiff_t>(own_count),
+                order.end(), NodeOrderLess{input.cluster, &state});
+    }
+    for (std::size_t i = 0; i < own_count; ++i)
+      own_node[static_cast<std::size_t>(order[i])] = 0;
 
     for (int n : order) {
       // --- GPUs ---
@@ -729,6 +788,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
 
   auto schedule_job = [&](JobInfo& info) -> bool {
     const auto snap = state.snapshot();
+    const std::size_t index_mark = didx != nullptr ? didx->mark() : 0;
     const auto plans_snap = chosen_plan;
     const std::size_t trades_mark = trades.size();
     const int entry_gpus = state.job_gpus(job_id(info));
@@ -752,9 +812,14 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
       ok = false;
     if (!ok) {
       state.restore(snap);
+      // Re-index everything the failed attempt touched from the restored
+      // state (restore() itself bypasses the listener seam).
+      if (didx != nullptr) didx->rollback(index_mark);
       chosen_plan = plans_snap;
       // Rolled-back attempts must not leave phantom trades in the log.
       trades.resize(trades_mark);
+    } else if (didx != nullptr) {
+      didx->commit(index_mark);
     }
     return ok;
   };
@@ -880,6 +945,12 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
   apply_fault_tolerance(input, out);
   RUBICK_COUNTER_ADD("scheduler.assignments",
                      static_cast<std::uint64_t>(out.size()));
+  if (didx != nullptr) {
+    const DecideIndex::Stats& ds = didx->stats();
+    RUBICK_COUNTER_ADD("scheduler.victim_heap_pops", ds.heap_pops);
+    RUBICK_COUNTER_ADD("scheduler.victim_stale_entries", ds.stale_entries);
+    RUBICK_COUNTER_ADD("scheduler.slope_evals_saved", ds.slope_evals_saved);
+  }
   if (telemetry_enabled()) {
     const CacheStats cs = cache_stats();
     RUBICK_GAUGE_SET("predictor.cache_hits", static_cast<double>(cs.hits));

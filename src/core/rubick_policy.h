@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 
+#include "core/decide_index.h"
 #include "core/plan_selector.h"
 #include "core/predictor.h"
 #include "core/scheduler.h"
@@ -72,6 +73,14 @@ struct RubickConfig {
   // and decision phases. Decisions are byte-identical either way; disable
   // only to measure the slow path.
   bool enable_fast_path = true;
+
+  // Decide-phase implementation (DESIGN.md §14): `kIndexed` drives victim
+  // selection off slope-ordered per-node heaps and an incrementally
+  // maintained node ranking; `kLegacyScan` keeps the original full-fleet
+  // scan loop as the executable spec. Byte-identical by contract — select
+  // legacy only to measure it or to bisect an index regression
+  // (`rubick_simulate --decide=legacy-scan`).
+  DecideEngine decide_engine = DecideEngine::kIndexed;
 };
 
 class RubickPolicy final : public SchedulerPolicy {

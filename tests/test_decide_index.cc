@@ -1,0 +1,498 @@
+// Indexed decide phase (DESIGN.md §14): unit tests for the DecideIndex
+// data structures plus the decide-engine differential suite. The contract
+// under test is byte-identity one layer below the event engine:
+// DecideEngine::kIndexed and kLegacyScan must produce identical Assignment
+// vectors in any single round, and identical SimResults and decision-
+// provenance logs over full simulator runs — fault-free and faulted alike,
+// for every ablation variant (Rubick / -E / -R / -N). Differential runs
+// execute under the InvariantAuditor in throw mode so a divergence that
+// cancels out in the result still fails at the first illegal intermediate
+// state.
+#include "core/decide_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariant_auditor.h"
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/resource.h"
+#include "common/units.h"
+#include "core/alloc_state.h"
+#include "core/plan_selector.h"
+#include "core/predictor.h"
+#include "core/rubick_policy.h"
+#include "core/scheduler.h"
+#include "failure/fault_plan.h"
+#include "model/model_zoo.h"
+#include "perf/oracle.h"
+#include "perf/perf_store.h"
+#include "plan/execution_plan.h"
+#include "plan/memory_estimator.h"
+#include "provenance/decision_log.h"
+#include "provenance/provenance.h"
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "trace/job.h"
+#include "trace/trace_gen.h"
+
+namespace rubick {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NodeOrderLess / node ranking
+// ---------------------------------------------------------------------------
+
+TEST(NodeOrderLess, IsATotalOrderWithIdTieBreak) {
+  ClusterSpec cluster;
+  cluster.node_speed = {1.0, 1.5, 1.0, 1.5, 1.0, 1.0, 1.0, 1.0};
+  AllocState state(cluster, {});
+  const NodeOrderLess less{&cluster, &state};
+  // Faster first.
+  EXPECT_TRUE(less(1, 0));
+  EXPECT_FALSE(less(0, 1));
+  // Same speed, same free count: ascending id breaks the tie — exactly one
+  // of (a<b, b<a) holds for every distinct pair (strict total order).
+  EXPECT_TRUE(less(0, 2));
+  EXPECT_FALSE(less(2, 0));
+  // Emptier free pool wins within a speed class.
+  state.take_gpus(/*job=*/1, /*node=*/0, 3);
+  EXPECT_TRUE(less(2, 0));
+  EXPECT_FALSE(less(0, 2));
+}
+
+class DecideIndexTest : public ::testing::Test {
+ protected:
+  DecideIndexTest()
+      : oracle_(2025),
+        store_(PerfModelStore::profile_models(oracle_, cluster_, {"GPT-2"})),
+        predictor_(cluster_, store_, estimator_) {}
+
+  // A slice of `node` for `job` with one CPU above the 2-per-GPU input
+  // pipeline floor, so CPU victim queries have something to take.
+  static std::pair<int, Placement> running(int job, int node, int gpus) {
+    Placement p;
+    p.add(NodeSlice{node, gpus, 2 * gpus + 1, 0});
+    return {job, p};
+  }
+
+  DecideIndex::JobMeta meta(int job_id) const {
+    DecideIndex::JobMeta m;
+    m.job_id = job_id;
+    m.model = &find_model("GPT-2");
+    m.global_batch = m.model->default_global_batch;
+    m.selector = &selector_;
+    m.baseline = 1.0;
+    m.min_res = ResourceVector{1, 2, 0};
+    m.guaranteed = false;
+    m.frozen = false;
+    return m;
+  }
+
+  std::unique_ptr<DecideIndex> build_index(AllocState& state,
+                                           const std::vector<int>& job_ids) {
+    auto index = std::make_unique<DecideIndex>(cluster_, &state, &predictor_,
+                                               /*cpu_floor_per_gpu=*/2,
+                                               /*victim_heaps=*/true);
+    for (const int id : job_ids) index->add_job(meta(id));
+    state.set_listener(index.get());
+    index->build();
+    return index;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  MemoryEstimator estimator_;
+  PerfModelStore store_;
+  BestPlanPredictor predictor_;
+  FullPlanSelector selector_;
+};
+
+TEST_F(DecideIndexTest, RankingTracksFreeGpusIncrementally) {
+  AllocState state(cluster_, {});
+  auto index = build_index(state, {});
+  // Homogeneous and empty: ascending node id.
+  EXPECT_EQ(index->ranked_nodes(), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  // Take GPUs on node 3: it falls to the back; everyone else keeps order.
+  state.take_gpus(/*job=*/1, /*node=*/3, 2);
+  EXPECT_EQ(index->ranked_nodes(), (std::vector<int>{0, 1, 2, 4, 5, 6, 7, 3}));
+  // Node 1 falls below node 3: strict free-count order, id tie-break.
+  state.take_gpus(/*job=*/1, /*node=*/1, 5);
+  EXPECT_EQ(index->ranked_nodes(), (std::vector<int>{0, 2, 4, 5, 6, 7, 3, 1}));
+  // Give everything back: ranking returns to the identity.
+  state.give_back_gpus(1, 3, 2);
+  state.give_back_gpus(1, 1, 5);
+  EXPECT_EQ(index->ranked_nodes(), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST_F(DecideIndexTest, VictimTieBreakIsFirstRegisteredJob) {
+  // Two identical jobs on one node: identical slopes, so the winner must be
+  // the FIRST registered (lowest infos index) — the legacy scan's strict-<
+  // rule. A third query excluding the winner yields the second job.
+  AllocState state(cluster_, {running(1, 0, 2), running(2, 0, 2)});
+  auto index = build_index(state, {1, 2});
+  EXPECT_EQ(index->gpu_victim(/*node=*/0, /*exclude=*/-1,
+                              /*allow_frozen=*/false),
+            0);
+  // The winner is not consumed: asking again gives the same answer.
+  EXPECT_EQ(index->gpu_victim(0, -1, false), 0);
+  EXPECT_EQ(index->gpu_victim(0, /*exclude=*/1, false), 1);
+  EXPECT_EQ(index->cpu_victim(0, -1, false), 0);
+  // No allocations on node 5: no victim.
+  EXPECT_EQ(index->gpu_victim(5, -1, false), -1);
+}
+
+TEST_F(DecideIndexTest, FrozenJobsAreSkippedUnlessAllowed) {
+  AllocState state(cluster_, {running(1, 0, 2), running(2, 0, 2)});
+  auto index = build_index(state, {1, 2});
+  index->set_frozen(/*idx=*/0, true);
+  EXPECT_EQ(index->gpu_victim(0, -1, /*allow_frozen=*/false), 1);
+  EXPECT_EQ(index->gpu_victim(0, -1, /*allow_frozen=*/true), 0);
+  index->set_frozen(0, false);
+  EXPECT_EQ(index->gpu_victim(0, -1, false), 0);
+}
+
+TEST_F(DecideIndexTest, StaleEntriesAreLazilyDroppedAfterMutation) {
+  AllocState state(cluster_, {running(1, 0, 2), running(2, 1, 4)});
+  auto index = build_index(state, {1, 2});
+  ASSERT_EQ(index->gpu_victim(0, -1, false), 0);
+  // Shrink job 1 to its minimum: its build-time entry is stale (version
+  // bump) and its fresh entry is ineligible (g == min_res.gpus), so the
+  // query must drain node 0's heap — counting exactly the lazy deletions —
+  // and report no victim. Job 2 on node 1 is untouched.
+  state.give_back_gpus(1, 0, 1);
+  const std::uint64_t before = index->stats().stale_entries;
+  EXPECT_EQ(index->gpu_victim(0, -1, false), -1);
+  EXPECT_GT(index->stats().stale_entries, before);
+  EXPECT_GT(index->stats().heap_pops, 0u);
+  EXPECT_EQ(index->gpu_victim(1, -1, false), 1);
+  // Release job 1 entirely: nothing left to find anywhere on node 0.
+  state.release_job(1);
+  EXPECT_EQ(index->gpu_victim(0, -1, false), -1);
+}
+
+TEST_F(DecideIndexTest, SlopeMemoServesRepeatReadsWithoutReevaluation) {
+  AllocState state(cluster_, {running(1, 0, 2)});
+  auto index = build_index(state, {1});
+  const double first = index->gpu_down(0);
+  const std::uint64_t evals = index->stats().slope_evals;
+  EXPECT_EQ(index->gpu_down(0), first);  // memo hit: byte-identical
+  EXPECT_EQ(index->stats().slope_evals, evals);
+  EXPECT_GT(index->stats().slope_evals_saved, 0u);
+  // A mutation invalidates the memo: the next read recomputes.
+  state.give_back_gpus(1, 0, 1);
+  index->gpu_down(0);
+  EXPECT_GT(index->stats().slope_evals, evals);
+}
+
+TEST_F(DecideIndexTest, RollbackRestoresVictimAnswersAndRanking) {
+  AllocState state(cluster_, {running(1, 0, 2), running(2, 1, 2)});
+  auto index = build_index(state, {1, 2});
+  const std::vector<int> ranked_before = index->ranked_nodes();
+  const int victim_before = index->gpu_victim(0, -1, false);
+
+  // A failed ScheduleJob attempt: snapshot, mutate heavily, restore.
+  const auto snap = state.snapshot();
+  const std::size_t mark = index->mark();
+  state.take_gpus(1, 2, 3);
+  state.take_cpus(1, 2, 6);
+  state.give_back_gpus(2, 1, 1);
+  state.release_job(2);
+  state.restore(snap);
+  index->rollback(mark);
+
+  EXPECT_EQ(index->ranked_nodes(), ranked_before);
+  EXPECT_EQ(index->gpu_victim(0, -1, false), victim_before);
+  // The rolled-back take on node 2 must not have left phantom entries.
+  EXPECT_EQ(index->gpu_victim(2, -1, false), -1);
+  // Job 2's heap answers reflect the restored allocation.
+  EXPECT_EQ(index->gpu_victim(1, -1, false), 1);
+
+  // A successful attempt commits: the journal prefix is discarded and
+  // later rollbacks cannot cross it.
+  const std::size_t mark2 = index->mark();
+  state.take_gpus(1, 3, 1);
+  index->commit(mark2);
+  EXPECT_EQ(index->gpu_victim(3, -1, false), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Single-round engine equivalence (direct Assignment comparison)
+// ---------------------------------------------------------------------------
+
+void expect_assignments_equal(const std::vector<Assignment>& a,
+                              const std::vector<Assignment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_id, b[i].job_id) << i;
+    EXPECT_TRUE(a[i].plan == b[i].plan) << i;
+    ASSERT_EQ(a[i].placement.slices.size(), b[i].placement.slices.size()) << i;
+    for (std::size_t s = 0; s < a[i].placement.slices.size(); ++s)
+      EXPECT_TRUE(a[i].placement.slices[s] == b[i].placement.slices[s])
+          << "job " << a[i].job_id << " slice " << s;
+  }
+}
+
+class DecideEngineRoundTest : public ::testing::Test {
+ protected:
+  DecideEngineRoundTest()
+      : oracle_(2025),
+        store_(PerfModelStore::profile_models(
+            oracle_, cluster_, {"GPT-2", "BERT", "LLaMA-2-7B"})) {}
+
+  JobSpec make_spec(int id, const std::string& model, int gpus,
+                    bool guaranteed) {
+    JobSpec spec;
+    spec.id = id;
+    spec.model_name = model;
+    spec.requested = ResourceVector{gpus, 4 * gpus, 0};
+    spec.global_batch = find_model(model).default_global_batch;
+    spec.initial_plan = make_dp(gpus);
+    spec.target_samples = 1e6;
+    spec.guaranteed = guaranteed;
+    spec.tenant = "t";
+    return spec;
+  }
+
+  SchedulerInput input_for(const std::deque<JobSpec>& specs,
+                           double now = 0.0) const {
+    SchedulerInput in;
+    in.now = now;
+    in.cluster = &cluster_;
+    in.models = &store_;
+    in.estimator = &estimator_;
+    for (const JobSpec& s : specs) {
+      JobView v;
+      v.spec = &s;
+      v.running = false;
+      v.plan = s.initial_plan;
+      v.remaining_samples = s.target_samples;
+      v.queued_since = s.submit_time_s;
+      in.jobs.push_back(v);
+    }
+    return in;
+  }
+
+  // Runs the same round through both engines (fresh policies — policies are
+  // single-run objects) and returns the indexed assignments.
+  std::vector<Assignment> expect_round_identical(const SchedulerInput& input,
+                                                 RubickConfig config) {
+    config.decide_engine = DecideEngine::kIndexed;
+    RubickPolicy indexed(config);
+    config.decide_engine = DecideEngine::kLegacyScan;
+    RubickPolicy legacy(config);
+    const std::vector<Assignment> a = indexed.schedule(input);
+    const std::vector<Assignment> b = legacy.schedule(input);
+    expect_assignments_equal(a, b);
+    return a;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  MemoryEstimator estimator_;
+  PerfModelStore store_;
+};
+
+TEST_F(DecideEngineRoundTest, ContendedAdmissionRoundIsIdentical) {
+  // Demand (14 x 8 = 112 GPUs) far exceeds the 64-GPU cluster: admission
+  // order, victim trades and opportunistic starts all fire.
+  std::deque<JobSpec> specs;
+  const char* models[] = {"GPT-2", "BERT", "LLaMA-2-7B"};
+  for (int i = 0; i < 14; ++i)
+    specs.push_back(
+        make_spec(i + 1, models[i % 3], 8, /*guaranteed=*/i % 2 == 0));
+  const std::vector<Assignment> out =
+      expect_round_identical(input_for(specs), RubickPolicy::full());
+  EXPECT_FALSE(out.empty());
+}
+
+TEST_F(DecideEngineRoundTest, SecondRoundWithRunningVictimsIsIdentical) {
+  // Round 1 fills the cluster with best-effort jobs; round 2 adds
+  // guaranteed arrivals that must shrink them (the victim-heap hot path).
+  std::deque<JobSpec> specs;
+  for (int i = 0; i < 8; ++i)
+    specs.push_back(make_spec(i + 1, i % 2 == 0 ? "GPT-2" : "BERT", 8,
+                              /*guaranteed=*/false));
+  RubickConfig config = RubickPolicy::full();
+  config.decide_engine = DecideEngine::kIndexed;
+  RubickPolicy warmup(config);
+  const std::vector<Assignment> round1 = warmup.schedule(input_for(specs));
+  ASSERT_FALSE(round1.empty());
+
+  for (int i = 0; i < 4; ++i)
+    specs.push_back(
+        make_spec(100 + i, "LLaMA-2-7B", 8, /*guaranteed=*/true));
+  SchedulerInput in = input_for(specs, /*now=*/600.0);
+  for (const Assignment& a : round1) {
+    for (JobView& v : in.jobs) {
+      if (v.spec->id != a.job_id) continue;
+      v.running = true;
+      v.placement = a.placement;
+      v.plan = a.plan;
+      v.total_active_time_s = 3600.0;  // long-running: passes the gate
+      break;
+    }
+  }
+  expect_round_identical(in, RubickPolicy::full());
+}
+
+TEST_F(DecideEngineRoundTest, AblationVariantsAreIdenticalPerRound) {
+  std::deque<JobSpec> specs;
+  for (int i = 0; i < 10; ++i)
+    specs.push_back(make_spec(i + 1, i % 2 == 0 ? "BERT" : "GPT-2", 8,
+                              /*guaranteed=*/i < 5));
+  for (const RubickConfig& config :
+       {RubickPolicy::full(), RubickPolicy::plans_only(),
+        RubickPolicy::resources_only(), RubickPolicy::neither()}) {
+    expect_round_identical(input_for(specs), config);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-simulation differential suite (engine-vs-legacy, audited)
+// ---------------------------------------------------------------------------
+
+class DecideEngineSimTest : public ::testing::Test {
+ protected:
+  DecideEngineSimTest() : oracle_(2025), gen_(cluster_, oracle_) {}
+
+  std::vector<JobSpec> trace(int num_jobs, double window_h,
+                             std::uint64_t seed = 7) {
+    TraceOptions opts;
+    opts.seed = seed;
+    opts.num_jobs = num_jobs;
+    opts.window_s = hours(window_h);
+    return gen_.generate(opts);
+  }
+
+  SimResult run_engine(const std::vector<JobSpec>& jobs, RubickConfig config,
+                       DecideEngine engine, const FaultPlan* plan,
+                       DecisionLog* log_out) {
+    config.decide_engine = engine;
+    AuditConfig audit;
+    audit.on_violation = ViolationPolicy::kThrow;
+    audit.check_guarantee = true;
+    InvariantAuditor auditor(audit);
+    SimulationOptions options;
+    RunContext ctx;
+    ctx.options = &options;
+    ctx.observer = &auditor;
+    ctx.fault_plan = plan;
+    ProvenanceRecorder recorder;
+    RubickPolicy policy(config);
+    policy.set_provenance(&recorder);
+    const Simulator sim(cluster_, oracle_);
+    const SimResult result = sim.run(jobs, policy, ctx);
+    if (log_out != nullptr) {
+      log_out->policy = policy.name();
+      log_out->rounds = recorder.take_rounds();
+    }
+    return result;
+  }
+
+  void expect_engines_agree(const std::vector<JobSpec>& jobs,
+                            RubickConfig config = RubickPolicy::full(),
+                            const FaultPlan* plan = nullptr,
+                            SimResult* indexed_out = nullptr) {
+    DecisionLog log_indexed;
+    DecisionLog log_legacy;
+    const SimResult indexed =
+        run_engine(jobs, config, DecideEngine::kIndexed, plan, &log_indexed);
+    const SimResult legacy =
+        run_engine(jobs, config, DecideEngine::kLegacyScan, plan, &log_legacy);
+    // SimResult equality via the decision log would be indirect; the
+    // makespan + per-job comparison below is the same contract
+    // test_sim_engine enforces for the event engine, reused here at the
+    // decide layer. Doubles compare with EXPECT_EQ: byte-identity, not
+    // tolerance-identity.
+    EXPECT_EQ(indexed.makespan_s, legacy.makespan_s);
+    EXPECT_EQ(indexed.scheduling_rounds, legacy.scheduling_rounds);
+    EXPECT_EQ(indexed.reconfig_overhead_gpu_seconds,
+              legacy.reconfig_overhead_gpu_seconds);
+    EXPECT_EQ(indexed.total_gpu_seconds, legacy.total_gpu_seconds);
+    ASSERT_EQ(indexed.jobs.size(), legacy.jobs.size());
+    for (std::size_t i = 0; i < indexed.jobs.size(); ++i) {
+      const JobResult& ja = indexed.jobs[i];
+      const JobResult& jb = legacy.jobs[i];
+      EXPECT_EQ(ja.spec.id, jb.spec.id) << "job " << i;
+      EXPECT_EQ(ja.finished, jb.finished) << "job " << i;
+      EXPECT_EQ(ja.first_start_s, jb.first_start_s) << "job " << i;
+      EXPECT_EQ(ja.finish_s, jb.finish_s) << "job " << i;
+      EXPECT_EQ(ja.jct_s, jb.jct_s) << "job " << i;
+      EXPECT_EQ(ja.reconfig_count, jb.reconfig_count) << "job " << i;
+      EXPECT_EQ(ja.gpu_seconds, jb.gpu_seconds) << "job " << i;
+      ASSERT_EQ(ja.history.size(), jb.history.size()) << "job " << i;
+      for (std::size_t h = 0; h < ja.history.size(); ++h) {
+        EXPECT_EQ(ja.history[h].since_s, jb.history[h].since_s)
+            << "job " << i << " history " << h;
+        EXPECT_EQ(ja.history[h].gpus, jb.history[h].gpus)
+            << "job " << i << " history " << h;
+        EXPECT_EQ(ja.history[h].cpus, jb.history[h].cpus)
+            << "job " << i << " history " << h;
+        EXPECT_TRUE(ja.history[h].plan == jb.history[h].plan)
+            << "job " << i << " history " << h;
+      }
+    }
+    // Decision provenance — including TradeEvent slopes, which expose the
+    // slope memo's raw doubles — must serialize identically.
+    const std::vector<std::string> diffs = diff_logs(log_indexed, log_legacy);
+    EXPECT_TRUE(diffs.empty())
+        << "decision logs diverge; first: " << diffs.front();
+    if (indexed_out != nullptr) *indexed_out = indexed;
+  }
+
+  ClusterSpec cluster_;
+  GroundTruthOracle oracle_;
+  TraceGenerator gen_;
+};
+
+TEST_F(DecideEngineSimTest, FaultFreeRunIsByteIdentical) {
+  expect_engines_agree(trace(40, 4.0));
+}
+
+TEST_F(DecideEngineSimTest, RandomizedSeedsAreByteIdentical) {
+  for (const std::uint64_t seed : {3ull, 21ull, 77ull})
+    expect_engines_agree(trace(25, 2.0, seed));
+}
+
+TEST_F(DecideEngineSimTest, AblationVariantsAreByteIdentical) {
+  const std::vector<JobSpec> jobs = trace(25, 2.0, /*seed=*/13);
+  expect_engines_agree(jobs, RubickPolicy::full());
+  expect_engines_agree(jobs, RubickPolicy::plans_only());
+  expect_engines_agree(jobs, RubickPolicy::resources_only());
+  expect_engines_agree(jobs, RubickPolicy::neither());
+}
+
+TEST_F(DecideEngineSimTest, FaultedRunIsByteIdentical) {
+  // Node crashes, GPU transients, stragglers, plus a 15% reconfiguration
+  // failure rate: down-node masks and rollback churn hammer the index's
+  // journal discipline.
+  FaultPlanOptions fault_opts;
+  fault_opts.horizon_s = hours(6.0);
+  fault_opts.reconfig_failure_prob = 0.15;
+  const FaultPlan plan = FaultPlan::generate(11, fault_opts, cluster_);
+  SimResult indexed;
+  expect_engines_agree(trace(30, 3.0), RubickPolicy::full(), &plan, &indexed);
+  EXPECT_TRUE(indexed.any_faults());
+}
+
+TEST_F(DecideEngineSimTest, IndexTelemetryCountersAccumulate) {
+  set_telemetry_enabled(true);
+  MetricsRegistry::global().reset_values();
+  expect_engines_agree(trace(25, 2.0, /*seed=*/5));
+  MetricsRegistry& reg = MetricsRegistry::global();
+  EXPECT_GT(reg.counter_value("scheduler.victim_heap_pops"), 0u);
+  EXPECT_GT(reg.counter_value("scheduler.slope_evals_saved"), 0u);
+  EXPECT_GT(reg.counter_value("scheduler.victim_stale_entries"), 0u);
+  set_telemetry_enabled(false);
+}
+
+}  // namespace
+}  // namespace rubick

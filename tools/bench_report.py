@@ -20,15 +20,24 @@ merges any number of those documents into one trajectory-friendly file:
   }
 
 Labels are "cold[@jobs]" / "steady_fast_path[@jobs]" / ... for the
-microbenchmark's per-job-count rounds and "decision_latency" for histogram
-reports. Duplicate bench names fail loudly (a merge must not silently drop
-a run). Used by the CI bench-smoke job, which uploads the merged file.
+microbenchmark's per-job-count rounds, "cold_indexed@jobs" /
+"cold_legacy@jobs" for the decide-engine fleets, and "decision_latency"
+for histogram reports. Duplicate bench names WITHIN one invocation fail
+loudly (a merge must not silently drop a run).
+
+When --out already exists (the committed repo-root BENCH_sched.json seed),
+the tool merges into it instead of overwriting: benches absent from the
+inputs are carried forward unchanged, and a re-run bench replaces the old
+entry while keeping the old latencies under "recorded" with a
+"delta_vs_recorded" map of mean-latency ratios (new/old; < 1.0 = faster).
+Used by the CI bench-smoke job, which uploads the merged file.
 
 Usage: bench_report.py --out BENCH_sched.json FILE [FILE ...]
 """
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 
@@ -71,6 +80,11 @@ def normalize(doc):
     for label in ("decision_latency_s",):
         if isinstance(doc.get(label), dict):
             latency["decision_latency"] = pick_percentiles(doc[label])
+    for fleet in doc.get("decide", {}).get("fleets", []):
+        suffix = f"@{fleet['jobs']}" if "jobs" in fleet else ""
+        for label in ("cold_indexed", "cold_legacy"):
+            if isinstance(fleet.get(label), dict):
+                latency[f"{label}{suffix}"] = pick_percentiles(fleet[label])
     return {
         "latency": latency,
         "counters": doc.get("counters", {}),
@@ -103,6 +117,32 @@ def main():
                   file=sys.stderr)
             return 1
         benches[name] = normalize(doc)
+
+    if os.path.exists(args.out):
+        with open(args.out, encoding="utf-8") as f:
+            try:
+                prior = json.load(f)
+            except json.JSONDecodeError as exc:
+                print(f"bench_report: {args.out}: existing file is not valid "
+                      f"JSON: {exc}", file=sys.stderr)
+                return 1
+        carried = 0
+        for name, old in prior.get("benches", {}).items():
+            if name not in benches:
+                benches[name] = old
+                carried += 1
+                continue
+            old_latency = old.get("latency", {})
+            new_latency = benches[name]["latency"]
+            benches[name]["recorded"] = old_latency
+            benches[name]["delta_vs_recorded"] = {
+                label: new_latency[label]["mean_s"] / rec["mean_s"]
+                for label, rec in old_latency.items()
+                if label in new_latency and rec.get("mean_s")
+            }
+        if carried:
+            print(f"bench_report: carried {carried} bench(es) forward "
+                  f"from {args.out}")
 
     merged = {
         "schema_version": 1,

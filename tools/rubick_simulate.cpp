@@ -51,6 +51,12 @@
 // (same SimResult, decision log and golden trace), so the flag exists for
 // bisecting engine regressions and for the differential CI check.
 //
+// Decide engine (DESIGN.md §14): `--decide=indexed` (default) serves the
+// Rubick-family decide phase from slope-ordered victim heaps and an
+// incrementally maintained node ranking; `--decide=legacy-scan` keeps the
+// original per-probe full-fleet scan. Byte-identical by contract, same as
+// --engine one layer down; baselines ignore the flag.
+//
 // Decision provenance (DESIGN.md §12): `--decisions-out=d.jsonl` attaches a
 // ProvenanceRecorder to the FIRST seed's policy and streams one structured
 // "why" record per scheduling round (chosen plans, curve evidence, trade
@@ -73,6 +79,7 @@
 #include "common/threadpool.h"
 #include "common/units.h"
 #include "core/audit.h"
+#include "core/decide_index.h"
 #include "core/predictor.h"
 #include "core/rubick_policy.h"
 #include "failure/fault_plan.h"
@@ -174,6 +181,11 @@ int main(int argc, char** argv) {
   // engine; `legacy-scan` keeps the pre-engine full-fleet scan loop for
   // bisecting engine regressions. Both are byte-identical by contract.
   const std::string engine_name = flags.get_string("engine", "indexed");
+  // Decide-phase selection (DESIGN.md §14): same contract as --engine, one
+  // layer down — `indexed` serves Algorithm 1's victim searches from
+  // slope-ordered heaps, `legacy-scan` keeps the original per-probe
+  // full-fleet scan. Applies to the Rubick family; baselines ignore it.
+  const std::string decide_name = flags.get_string("decide", "indexed");
   flags.finish();
 
   if (log_json) set_log_format(LogFormat::kJson);
@@ -257,6 +269,13 @@ int main(int argc, char** argv) {
   if (multi_tenant) policy_params.tenant_quota_gpus["tenant-a"] = 64;
   policy_params.gate_threshold = gate;
   policy_params.opportunistic_admission = opportunistic;
+  if (decide_name == "legacy-scan") {
+    policy_params.decide_engine = DecideEngine::kLegacyScan;
+  } else {
+    RUBICK_CHECK_MSG(decide_name == "indexed",
+                     "unknown --decide '" << decide_name
+                                          << "'; try indexed, legacy-scan");
+  }
   const PolicyFactory& factory = PolicyFactory::global();
 
   // The performance guarantee and curve sweeps are promises only the
