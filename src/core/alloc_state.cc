@@ -131,16 +131,23 @@ void AllocState::give_back_cpus(int job, int node, int count) {
 void AllocState::release_job(int job) {
   auto it = jobs_.find(job);
   if (it == jobs_.end()) return;
-  std::vector<int> touched;
-  touched.reserve(it->second.size());
-  for (const auto& [node, s] : it->second) {
+  // Free ONE node at a time, erasing the slice before its notification
+  // fires: each callback then reads post-release state for that node and
+  // observes exactly one changed free-resource key — the AllocListener
+  // contract an incremental single-key repair (DecideIndex::reposition)
+  // relies on. Batching the frees and notifying afterwards would present
+  // listeners with several already-moved keys per callback, silently
+  // corrupting incremental orderings.
+  while (!it->second.empty()) {
+    const auto sit = it->second.begin();
+    const int node = sit->first;
+    const NodeSlice s = sit->second;
+    it->second.erase(sit);
     free_[static_cast<std::size_t>(node)] +=
         ResourceVector{s.gpus, s.cpus, s.host_memory_bytes};
-    touched.push_back(node);
+    notify(job, node);
   }
   jobs_.erase(it);
-  // Notify after the erase so listeners read the post-release state.
-  for (int node : touched) notify(job, node);
 }
 
 void AllocState::release_memory(int job) {

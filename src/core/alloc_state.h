@@ -19,7 +19,11 @@ namespace rubick {
 
 // Observer seam for incremental indexes over an AllocState (DESIGN.md §14).
 // Fired AFTER the mutation, once per (job, node) slice the operation
-// touched, so the listener reads post-change state. Memory-only operations
+// touched, so the listener reads post-change state. CONTRACT: at most ONE
+// node's free-resource counts change between consecutive notifications —
+// multi-node operations (release_job) interleave their per-node frees with
+// the callbacks — so a listener may repair a sorted-by-free-resources
+// ordering with a single-key fix per callback. Memory-only operations
 // (alloc_memory/release_memory) do not notify: they move host bytes, which
 // no index keys on. snapshot()/restore() do not notify either — a listener
 // that must survive rollbacks tracks its own journal (see

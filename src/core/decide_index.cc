@@ -257,26 +257,34 @@ void DecideIndex::on_slice_changed(int job, int node) {
 
 void DecideIndex::rollback(std::size_t mark) {
   RUBICK_DCHECK(mark <= journal_.size());
-  // The AllocState was restored to its state at mark(): every job/node
-  // touched since then may differ from what the index last saw. Bump each
-  // touched job once (staling its entries, re-pushing from the restored
-  // state) and re-rank each touched node. Deduplicate first — ScheduleJob
-  // attempts touch the same claimant slice many times.
+  if (mark == journal_.size()) return;  // nothing was touched since mark()
+  // The AllocState was restored to its state at mark(): every job touched
+  // since then may differ from what the index last saw. Bump each touched
+  // job once (staling its entries, re-pushing from the restored state).
+  // Deduplicate first — ScheduleJob attempts touch the same claimant slice
+  // many times.
   std::vector<int> jobs_touched;
-  std::vector<int> nodes_touched;
-  for (std::size_t i = mark; i < journal_.size(); ++i) {
+  jobs_touched.reserve(journal_.size() - mark);
+  for (std::size_t i = mark; i < journal_.size(); ++i)
     jobs_touched.push_back(journal_[i].first);
-    nodes_touched.push_back(journal_[i].second);
-  }
   journal_.resize(mark);
   std::sort(jobs_touched.begin(), jobs_touched.end());
   jobs_touched.erase(std::unique(jobs_touched.begin(), jobs_touched.end()),
                      jobs_touched.end());
-  std::sort(nodes_touched.begin(), nodes_touched.end());
-  nodes_touched.erase(
-      std::unique(nodes_touched.begin(), nodes_touched.end()),
-      nodes_touched.end());
-  for (int node : nodes_touched) reposition(node);
+  // The node ranking is re-sorted WHOLESALE, not repaired with per-node
+  // reposition(): reposition is a single-key insertion fix that assumes
+  // the rest of the array is sorted, but restore() moved every touched
+  // node's free-GPU key at once, so a bubble can park against a neighbour
+  // whose own key is also stale and never be revisited (see
+  // DecideIndexTest.RollbackRepairsRankingAcrossMultipleStaleKeys). A full
+  // O(nodes log nodes) sort is negligible next to the failed placement
+  // attempt it cleans up after.
+  if (built_) {
+    std::sort(ranked_.begin(), ranked_.end(),
+              NodeOrderLess{&cluster_, state_});
+    for (std::size_t r = 0; r < ranked_.size(); ++r)
+      pos_[static_cast<std::size_t>(ranked_[r])] = static_cast<int>(r);
+  }
   for (int job : jobs_touched) {
     const auto it = idx_of_.find(job);
     if (it != idx_of_.end()) reindex_job(it->second);

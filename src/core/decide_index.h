@@ -150,8 +150,10 @@ class DecideIndex final : public AllocListener {
 
   // Rollback seam, used in lockstep with AllocState::snapshot()/restore():
   // mark() before the snapshot, rollback(mark) right after a restore (bumps
-  // every job touched since the mark and re-indexes it from the restored
-  // state), commit(mark) on success. Marks are single-level — ScheduleJob's
+  // every job touched since the mark, re-indexes it from the restored
+  // state, and re-sorts the node ranking wholesale — restore() moves many
+  // keys at once, which the single-key reposition() repair cannot handle),
+  // commit(mark) on success. Marks are single-level — ScheduleJob's
   // snapshot discipline — so commit may simply truncate the journal.
   std::size_t mark() const { return journal_.size(); }
   void rollback(std::size_t mark);

@@ -949,6 +949,7 @@ std::vector<Assignment> RubickPolicy::schedule(const SchedulerInput& input) {
     const DecideIndex::Stats& ds = didx->stats();
     RUBICK_COUNTER_ADD("scheduler.victim_heap_pops", ds.heap_pops);
     RUBICK_COUNTER_ADD("scheduler.victim_stale_entries", ds.stale_entries);
+    RUBICK_COUNTER_ADD("scheduler.slope_evals", ds.slope_evals);
     RUBICK_COUNTER_ADD("scheduler.slope_evals_saved", ds.slope_evals_saved);
   }
   if (telemetry_enabled()) {

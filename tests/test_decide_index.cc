@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <numeric>
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -221,6 +223,109 @@ TEST_F(DecideIndexTest, RollbackRestoresVictimAnswersAndRanking) {
   state.take_gpus(1, 3, 1);
   index->commit(mark2);
   EXPECT_EQ(index->gpu_victim(3, -1, false), 0);
+}
+
+TEST_F(DecideIndexTest, RollbackRepairsRankingAcrossMultipleStaleKeys) {
+  // A failed multi-node gang attempt on equal-speed nodes: the restore
+  // moves SEVERAL free-GPU keys at once, so a per-node single-key repair
+  // (reposition) can park a node against a neighbour whose key is also
+  // stale and leave the ranking permanently wrong. Pre-attempt free GPUs:
+  // node 2 = 6, node 1 = 5, node 3 = 4 (all other nodes 8).
+  AllocState state(cluster_,
+                   {running(1, 1, 3), running(2, 2, 2), running(3, 3, 4)});
+  auto index = build_index(state, {1, 2, 3, 4});
+  const std::vector<int> ranked_before{0, 4, 5, 6, 7, 2, 1, 3};
+  ASSERT_EQ(index->ranked_nodes(), ranked_before);
+
+  // Claimant job 4 gang-places 3 GPUs on node 2 and 3 on node 1, then the
+  // attempt fails: attempt-state ranking [... 3, 2, 1], restore flips both
+  // keys back up simultaneously.
+  const auto snap = state.snapshot();
+  const std::size_t mark = index->mark();
+  state.take_gpus(4, 2, 3);
+  state.take_gpus(4, 1, 3);
+  EXPECT_EQ(index->ranked_nodes(), (std::vector<int>{0, 4, 5, 6, 7, 3, 2, 1}));
+  state.restore(snap);
+  index->rollback(mark);
+  EXPECT_EQ(index->ranked_nodes(), ranked_before);
+
+  // The rank->position map must be coherent too: a follow-up single-key
+  // change repositions from the repaired ranking, not a stale one.
+  state.take_gpus(2, 2, 3);  // node 2 free 6 -> 3: falls behind node 3
+  EXPECT_EQ(index->ranked_nodes(), (std::vector<int>{0, 4, 5, 6, 7, 1, 3, 2}));
+}
+
+TEST_F(DecideIndexTest, RollbackRankingMatchesFreshSortUnderRandomChurn) {
+  // Randomized failed attempts: arbitrary take/give-back churn inside a
+  // snapshot region must always roll back to exactly the ranking a fresh
+  // sort of the restored state produces, with committed drift in between
+  // so attempts start from varied base states.
+  std::mt19937 rng(1234);
+  AllocState state(cluster_, {running(1, 0, 2), running(2, 1, 3),
+                              running(3, 2, 4), running(4, 3, 1)});
+  auto index = build_index(state, {1, 2, 3, 4});
+  std::vector<int> expected(8);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto snap = state.snapshot();
+    const std::size_t mark = index->mark();
+    for (int m = 0; m < 6; ++m) {
+      const int job = 1 + static_cast<int>(rng() % 4);
+      const int node = static_cast<int>(rng() % 8);
+      if (rng() % 2 == 0) {
+        const int can = std::min(state.free_gpus(node), 3);
+        if (can > 0)
+          state.take_gpus(job, node, 1 + static_cast<int>(rng() % can));
+      } else {
+        const int held = state.job_gpus_on(job, node);
+        if (held > 0)
+          state.give_back_gpus(job, node, 1 + static_cast<int>(rng() % held));
+      }
+    }
+    state.restore(snap);
+    index->rollback(mark);
+    std::iota(expected.begin(), expected.end(), 0);
+    std::sort(expected.begin(), expected.end(),
+              NodeOrderLess{&cluster_, &state});
+    ASSERT_EQ(index->ranked_nodes(), expected) << "iter " << iter;
+
+    const int node = static_cast<int>(rng() % 8);
+    const std::size_t mark2 = index->mark();
+    if (state.free_gpus(node) > 0)
+      state.take_gpus(1 + (iter % 4), node, 1);
+    index->commit(mark2);
+    std::sort(expected.begin(), expected.end(),
+              NodeOrderLess{&cluster_, &state});
+    ASSERT_EQ(index->ranked_nodes(), expected) << "iter " << iter;
+  }
+}
+
+TEST_F(DecideIndexTest, ReleaseJobRepairsRankingOneNodeAtATime) {
+  // release_job on a job with LIVE GPU slices across several nodes. If all
+  // frees landed before the first listener callback, the single-key
+  // reposition repair could strand a node: with post-release keys
+  // node 2 = 7 > node 1 = 6 > node 3 = 5, repairing node 1 first would
+  // stop against node 2 (key 7, still misplaced at the back) and never be
+  // revisited, leaving node 1 ranked behind node 3. The AllocListener
+  // contract — one node's keys change per notification — rules that out.
+  Placement pa;  // released: 3 GPUs on node 1, 3 on node 2
+  pa.add(NodeSlice{1, 3, 6, 0});
+  pa.add(NodeSlice{2, 3, 6, 0});
+  Placement pb;  // stays: pins post-release keys to 6 / 7
+  pb.add(NodeSlice{1, 2, 4, 0});
+  pb.add(NodeSlice{2, 1, 2, 0});
+  Placement pc;  // stays: untouched node 3 at key 5
+  pc.add(NodeSlice{3, 3, 6, 0});
+  AllocState state(cluster_, {{1, pa}, {2, pb}, {3, pc}});
+  auto index = build_index(state, {1, 2, 3});
+  // Pre-release free GPUs: node 3 = 5, node 2 = 4, node 1 = 3.
+  ASSERT_EQ(index->ranked_nodes(), (std::vector<int>{0, 4, 5, 6, 7, 3, 2, 1}));
+
+  state.release_job(1);
+  EXPECT_EQ(index->ranked_nodes(), (std::vector<int>{0, 4, 5, 6, 7, 2, 1, 3}));
+  // No phantom entries for the released job: the surviving holders win.
+  EXPECT_EQ(index->gpu_victim(1, -1, false), 1);  // job 2
+  EXPECT_EQ(index->gpu_victim(2, -1, false), 1);  // job 2
+  EXPECT_EQ(index->gpu_victim(3, -1, false), 2);  // job 3
 }
 
 // ---------------------------------------------------------------------------
@@ -489,8 +594,11 @@ TEST_F(DecideEngineSimTest, IndexTelemetryCountersAccumulate) {
   expect_engines_agree(trace(25, 2.0, /*seed=*/5));
   MetricsRegistry& reg = MetricsRegistry::global();
   EXPECT_GT(reg.counter_value("scheduler.victim_heap_pops"), 0u);
+  EXPECT_GT(reg.counter_value("scheduler.slope_evals"), 0u);
   EXPECT_GT(reg.counter_value("scheduler.slope_evals_saved"), 0u);
   EXPECT_GT(reg.counter_value("scheduler.victim_stale_entries"), 0u);
+  // slope_evals is the denominator that makes slope_evals_saved a hit
+  // rate; both must be exported for the ratio to be computable.
   set_telemetry_enabled(false);
 }
 
